@@ -1,0 +1,131 @@
+//! Family catalog: a uniform view over every topology family, used by the
+//! applicability experiments (E14) and the flooding comparisons (E9–E11).
+//!
+//! Each [`Family`] can answer "does a member exist for (n, k)?" and build
+//! the member when it does. This quantifies the papers' motivating point:
+//! hypercubes and de Bruijn graphs are fine LHGs but exist for a vanishing
+//! fraction of (n, k) pairs, while K-TREE/K-DIAMOND cover every `n ≥ 2k`.
+
+use lhg_graph::Graph;
+
+use crate::harary::{harary_exists, harary_graph};
+use crate::structured::{de_bruijn, de_bruijn_params, hypercube, hypercube_params};
+
+/// A named topology family with an existence predicate and a builder.
+#[derive(Clone, Copy)]
+pub struct Family {
+    /// Display name.
+    pub name: &'static str,
+    /// Returns `true` if a member with `n` nodes and connectivity ≥ `k`
+    /// exists in this family.
+    pub exists: fn(n: usize, k: usize) -> bool,
+    /// Builds the member, or `None` when it does not exist.
+    pub build: fn(n: usize, k: usize) -> Option<Graph>,
+}
+
+impl core::fmt::Debug for Family {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Family").field("name", &self.name).finish()
+    }
+}
+
+fn harary_family_exists(n: usize, k: usize) -> bool {
+    harary_exists(n, k)
+}
+
+fn harary_family_build(n: usize, k: usize) -> Option<Graph> {
+    harary_exists(n, k).then(|| harary_graph(n, k))
+}
+
+fn hypercube_family_exists(n: usize, k: usize) -> bool {
+    hypercube_params(n, k).is_some()
+}
+
+fn hypercube_family_build(n: usize, k: usize) -> Option<Graph> {
+    hypercube_params(n, k).map(hypercube)
+}
+
+fn de_bruijn_family_exists(n: usize, k: usize) -> bool {
+    de_bruijn_params(n, k).is_some()
+}
+
+fn de_bruijn_family_build(n: usize, k: usize) -> Option<Graph> {
+    de_bruijn_params(n, k).map(|(d, m)| de_bruijn(d, m))
+}
+
+/// The classic Harary family H(k, n): exists for every `1 ≤ k < n`.
+pub const HARARY: Family = Family {
+    name: "Harary H(k,n)",
+    exists: harary_family_exists,
+    build: harary_family_build,
+};
+
+/// Hypercubes: exist only at `n = 2^k`.
+pub const HYPERCUBE: Family = Family {
+    name: "Hypercube",
+    exists: hypercube_family_exists,
+    build: hypercube_family_build,
+};
+
+/// De Bruijn graphs: exist only at `n = k^m`.
+pub const DE_BRUIJN: Family = Family {
+    name: "De Bruijn",
+    exists: de_bruijn_family_exists,
+    build: de_bruijn_family_build,
+};
+
+/// All baseline families, in display order.
+pub const ALL_FAMILIES: &[Family] = &[HARARY, HYPERCUBE, DE_BRUIJN];
+
+/// Fraction of `n ∈ k+1 ..= max_n` for which the family has a member at
+/// connectivity `k`.
+#[must_use]
+pub fn existence_density(family: &Family, k: usize, max_n: usize) -> f64 {
+    if max_n <= k {
+        return 0.0;
+    }
+    let total = max_n - k;
+    let hits = ((k + 1)..=max_n).filter(|&n| (family.exists)(n, k)).count();
+    hits as f64 / total as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harary_is_dense_hypercube_sparse() {
+        let h = existence_density(&HARARY, 3, 200);
+        let q = existence_density(&HYPERCUBE, 3, 200);
+        let b = existence_density(&DE_BRUIJN, 3, 200);
+        assert!(h > 0.99, "Harary density {h}");
+        assert!(q < 0.02, "hypercube density {q}");
+        assert!(b < 0.03, "de Bruijn density {b}");
+    }
+
+    #[test]
+    fn build_agrees_with_exists() {
+        for family in ALL_FAMILIES {
+            for k in 2..=4 {
+                for n in 2..40 {
+                    let exists = (family.exists)(n, k);
+                    let built = (family.build)(n, k);
+                    assert_eq!(exists, built.is_some(), "{} (n={n},k={k})", family.name);
+                    if let Some(g) = built {
+                        assert_eq!(g.node_count(), n, "{} (n={n},k={k})", family.name);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn debug_prints_name() {
+        assert!(format!("{HARARY:?}").contains("Harary"));
+    }
+
+    #[test]
+    fn density_edge_case() {
+        assert_eq!(existence_density(&HARARY, 5, 3), 0.0);
+    }
+}

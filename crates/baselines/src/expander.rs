@@ -1,0 +1,95 @@
+//! Law–Siu-style random expanders: the union of `d` independent random
+//! Hamiltonian cycles on the same node set.
+//!
+//! The follow-up study's related work (\[12\], Law & Siu, INFOCOM 2003) builds
+//! overlay expanders this way: 2d-regular, logarithmic diameter and
+//! connectivity 2d *with high probability* (not deterministically — the
+//! contrast with LHGs the experiments quantify).
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use lhg_graph::{Graph, NodeId};
+
+/// Union of `d` random Hamiltonian cycles on `n` nodes (seeded). The result
+/// is 2d-regular unless cycles collide on an edge (increasingly unlikely for
+/// large n); collisions merely lower a degree by sharing the edge.
+///
+/// # Panics
+///
+/// Panics if `n < 3` or `d == 0`.
+#[must_use]
+pub fn hamiltonian_expander(n: usize, d: usize, seed: u64) -> Graph {
+    assert!(n >= 3, "a Hamiltonian cycle needs at least 3 nodes");
+    assert!(d >= 1, "need at least one cycle");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = Graph::with_nodes(n);
+    let mut order: Vec<usize> = (0..n).collect();
+    for _ in 0..d {
+        order.shuffle(&mut rng);
+        for i in 0..n {
+            g.add_edge(NodeId(order[i]), NodeId(order[(i + 1) % n]));
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lhg_graph::components::is_connected;
+    use lhg_graph::connectivity::vertex_connectivity;
+    use lhg_graph::degree::degree_stats;
+    use lhg_graph::paths::diameter;
+
+    #[test]
+    fn single_cycle_is_a_cycle() {
+        let g = hamiltonian_expander(12, 1, 5);
+        assert_eq!(g.edge_count(), 12);
+        let s = degree_stats(&g);
+        assert_eq!((s.min, s.max), (2, 2));
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn two_cycles_give_near_4_regular() {
+        let g = hamiltonian_expander(40, 2, 7);
+        let s = degree_stats(&g);
+        assert!(s.max <= 4);
+        assert!(s.min >= 2, "shared cycle edges can lower a degree");
+        assert!(s.mean() > 3.5, "almost all nodes keep degree 4");
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn expander_has_small_diameter() {
+        let g = hamiltonian_expander(200, 3, 11);
+        let d = diameter(&g).unwrap();
+        assert!(d <= 10, "expander diameter {d} should be logarithmic");
+    }
+
+    #[test]
+    fn expander_is_highly_connected_whp() {
+        let g = hamiltonian_expander(50, 2, 13);
+        assert!(
+            vertex_connectivity(&g) >= 3,
+            "2 cycles are ≥3-connected w.h.p."
+        );
+    }
+
+    #[test]
+    fn reproducible_and_seed_sensitive() {
+        let a = hamiltonian_expander(30, 2, 1);
+        let b = hamiltonian_expander(30, 2, 1);
+        let c = hamiltonian_expander(30, 2, 2);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert_ne!(a.fingerprint(), c.fingerprint());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3")]
+    fn rejects_tiny_n() {
+        let _ = hamiltonian_expander(2, 1, 0);
+    }
+}

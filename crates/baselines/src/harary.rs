@@ -1,0 +1,178 @@
+//! Classic Harary graphs H(k, n) — the k-connected graphs with the minimum
+//! possible number of edges, ⌈kn/2⌉ (Harary 1962).
+//!
+//! These are the baseline the LHG paper improves on: H(k, n) is optimal in
+//! edges but its diameter is Θ(n/k), so flooding over it needs linearly many
+//! rounds. Experiment E7 plots exactly that contrast.
+//!
+//! Construction over nodes `0..n` on a circle:
+//!
+//! * `k = 2r` even — the circulant C_n⟨1, …, r⟩;
+//! * `k = 2r+1` odd, `n` even — C_n⟨1, …, r⟩ plus all diameters
+//!   `i ↔ i + n/2`;
+//! * `k = 2r+1` odd, `n` odd — C_n⟨1, …, r⟩ plus the ⌈n/2⌉ "near-diameter"
+//!   chords `i ↔ i + (n−1)/2` for `0 ≤ i ≤ (n−1)/2` (nodes 0, (n−1)/2 and
+//!   n−1 get one extra edge; node 0 ends with degree k+1).
+
+use lhg_graph::{Graph, NodeId};
+
+/// Returns `true` if H(k, n) is defined: `1 ≤ k < n` (k = 1 yields a path
+/// for n ≥ 2 by convention; the classic construction needs k ≥ 2).
+#[must_use]
+pub fn harary_exists(n: usize, k: usize) -> bool {
+    k >= 1 && k < n
+}
+
+/// Builds the classic Harary graph H(k, n).
+///
+/// # Panics
+///
+/// Panics if `k == 0` or `k >= n`; check with [`harary_exists`] first.
+///
+/// # Example
+///
+/// ```
+/// use lhg_baselines::harary::harary_graph;
+/// use lhg_graph::connectivity::vertex_connectivity;
+///
+/// let h = harary_graph(8, 3);
+/// assert_eq!(h.edge_count(), 12); // ⌈3·8/2⌉
+/// assert_eq!(vertex_connectivity(&h), 3);
+/// ```
+#[must_use]
+pub fn harary_graph(n: usize, k: usize) -> Graph {
+    assert!(
+        harary_exists(n, k),
+        "H(k={k}, n={n}) is not defined (need 1 <= k < n)"
+    );
+    let mut g = Graph::with_nodes(n);
+    if k == 1 {
+        for i in 1..n {
+            g.add_edge(NodeId(i - 1), NodeId(i));
+        }
+        return g;
+    }
+    let r = k / 2;
+    for i in 0..n {
+        for off in 1..=r {
+            g.add_edge(NodeId(i), NodeId((i + off) % n));
+        }
+    }
+    if k % 2 == 1 {
+        if n.is_multiple_of(2) {
+            for i in 0..n / 2 {
+                g.add_edge(NodeId(i), NodeId(i + n / 2));
+            }
+        } else {
+            let half = (n - 1) / 2;
+            for i in 0..=half {
+                g.add_edge(NodeId(i), NodeId((i + half) % n));
+            }
+        }
+    }
+    g
+}
+
+/// Number of edges of H(k, n): ⌈kn/2⌉ for `k ≥ 2` (Harary's theorem), and
+/// `n − 1` for `k = 1` (a connected graph needs a spanning tree, which
+/// exceeds ⌈n/2⌉).
+#[must_use]
+pub fn harary_edge_count(n: usize, k: usize) -> usize {
+    if k == 1 {
+        n.saturating_sub(1)
+    } else {
+        (k * n).div_ceil(2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lhg_graph::connectivity::{edge_connectivity, vertex_connectivity};
+    use lhg_graph::degree::degree_stats;
+    use lhg_graph::paths::diameter;
+
+    #[test]
+    fn edge_counts_meet_the_lower_bound() {
+        for k in 1..=6 {
+            for n in (k + 1)..=(k + 14) {
+                let g = harary_graph(n, k);
+                assert_eq!(g.edge_count(), harary_edge_count(n, k), "H({k},{n})");
+            }
+        }
+    }
+
+    #[test]
+    fn connectivity_is_exactly_k() {
+        for k in 2..=5 {
+            for n in (k + 1)..=(k + 12) {
+                let g = harary_graph(n, k);
+                assert_eq!(vertex_connectivity(&g), k, "κ of H({k},{n})");
+                assert_eq!(edge_connectivity(&g), k, "λ of H({k},{n})");
+            }
+        }
+    }
+
+    #[test]
+    fn even_k_is_regular() {
+        for n in [7, 10, 13] {
+            let g = harary_graph(n, 4);
+            let s = degree_stats(&g);
+            assert_eq!((s.min, s.max), (4, 4), "H(4,{n})");
+        }
+    }
+
+    #[test]
+    fn odd_k_even_n_is_regular() {
+        let g = harary_graph(10, 3);
+        let s = degree_stats(&g);
+        assert_eq!((s.min, s.max), (3, 3));
+    }
+
+    #[test]
+    fn odd_k_odd_n_has_one_heavier_node() {
+        let g = harary_graph(9, 3);
+        let s = degree_stats(&g);
+        assert_eq!(s.min, 3);
+        assert_eq!(s.max, 4);
+        assert_eq!(s.sum, 2 * harary_edge_count(9, 3));
+    }
+
+    #[test]
+    fn k1_is_a_path() {
+        let g = harary_graph(5, 1);
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(diameter(&g), Some(4));
+        assert_eq!(vertex_connectivity(&g), 1);
+    }
+
+    #[test]
+    fn k2_is_a_cycle() {
+        let g = harary_graph(7, 2);
+        assert_eq!(g.edge_count(), 7);
+        assert_eq!(vertex_connectivity(&g), 2);
+        assert_eq!(diameter(&g), Some(3));
+    }
+
+    #[test]
+    fn diameter_grows_linearly_with_n() {
+        // The motivating deficiency: H(4, n) has diameter ~ n/4.
+        let d1 = diameter(&harary_graph(40, 4)).unwrap();
+        let d2 = diameter(&harary_graph(80, 4)).unwrap();
+        assert!(d2 >= 2 * d1 - 2, "H(4,40) d={d1}, H(4,80) d={d2}");
+        assert!(d1 >= 40 / 4 - 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "not defined")]
+    fn rejects_k_equal_n() {
+        let _ = harary_graph(4, 4);
+    }
+
+    #[test]
+    fn exists_predicate() {
+        assert!(harary_exists(5, 4));
+        assert!(!harary_exists(5, 5));
+        assert!(!harary_exists(5, 0));
+    }
+}

@@ -1,0 +1,36 @@
+//! # lhg-baselines
+//!
+//! Every comparison topology the LHG experiments need, generated from
+//! scratch with deterministic seeds:
+//!
+//! * [`harary`] — classic Harary graphs H(k, n): k-connected with the
+//!   minimum ⌈kn/2⌉ edges but Θ(n/k) diameter (the baseline LHGs improve
+//!   on);
+//! * [`structured`] — hypercubes, de Bruijn graphs, butterflies, tori,
+//!   paths/cycles/stars/complete graphs and balanced trees;
+//! * [`random`] — Erdős–Rényi G(n, p), random k-regular graphs
+//!   (configuration model), random connected tree-plus-chords graphs;
+//! * [`expander`] — Law–Siu-style unions of random Hamiltonian cycles;
+//! * [`catalog`] — a uniform family view with existence predicates, used to
+//!   measure how sparsely each family covers the (n, k) plane.
+//!
+//! # Example
+//!
+//! ```
+//! use lhg_baselines::harary::harary_graph;
+//! use lhg_graph::paths::diameter;
+//!
+//! // The motivating deficiency: H(3, 60) is edge-optimal but its diameter
+//! // grows linearly with n (~ n/4 here; an LHG’s is logarithmic).
+//! let h = harary_graph(60, 3);
+//! assert!(diameter(&h).unwrap() >= 14);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod catalog;
+pub mod expander;
+pub mod harary;
+pub mod random;
+pub mod structured;

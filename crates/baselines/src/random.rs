@@ -1,0 +1,237 @@
+//! Random topologies with seeded, reproducible generation: Erdős–Rényi
+//! G(n, p), random k-regular graphs (configuration model), and random
+//! spanning-tree-plus-chords graphs.
+//!
+//! The gossip literature the LHG paper contrasts with (\[5\], \[12\], \[17\] in
+//! the follow-up's bibliography) floods over random graphs whose
+//! connectivity holds only *with high probability*; these generators provide
+//! that comparison arm for experiments E9–E11.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use lhg_graph::{Graph, NodeId};
+
+/// Erdős–Rényi G(n, p): each pair independently an edge with probability
+/// `p`, drawn from the seeded RNG.
+///
+/// # Panics
+///
+/// Panics if `p` is not within `0.0..=1.0`.
+#[must_use]
+pub fn gnp(n: usize, p: f64, seed: u64) -> Graph {
+    assert!((0.0..=1.0).contains(&p), "probability out of range");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = Graph::with_nodes(n);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if rng.random_bool(p) {
+                g.add_edge(NodeId(i), NodeId(j));
+            }
+        }
+    }
+    g
+}
+
+/// G(n, p) with `p` chosen so the expected mean degree is `d`
+/// (`p = d / (n−1)`).
+#[must_use]
+pub fn gnp_with_mean_degree(n: usize, d: f64, seed: u64) -> Graph {
+    if n <= 1 {
+        return Graph::with_nodes(n);
+    }
+    gnp(n, (d / (n as f64 - 1.0)).clamp(0.0, 1.0), seed)
+}
+
+/// Random k-regular graph by the configuration (pairing) model with
+/// pair-swap repair: k·n stubs are shuffled and paired; self-loops and
+/// duplicate edges are then repaired by random pair swaps (the standard
+/// fix-up, which converges quickly for k ≪ n). Returns `None` if `k·n` is
+/// odd, `k ≥ n`, or no simple pairing emerged within `max_tries` attempts.
+#[must_use]
+pub fn random_regular(n: usize, k: usize, seed: u64, max_tries: usize) -> Option<Graph> {
+    if k >= n || (k * n) % 2 == 1 {
+        return None;
+    }
+    if k == 0 {
+        return Some(Graph::with_nodes(n));
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..max_tries).find_map(|_| pairing_attempt(n, k, &mut rng))
+}
+
+/// One shuffled pairing plus a bounded repair phase.
+fn pairing_attempt(n: usize, k: usize, rng: &mut StdRng) -> Option<Graph> {
+    let mut stubs: Vec<usize> = (0..n).flat_map(|v| std::iter::repeat_n(v, k)).collect();
+    stubs.shuffle(rng);
+    let mut pairs: Vec<(usize, usize)> = stubs.chunks_exact(2).map(|c| (c[0], c[1])).collect();
+    let budget = 100 * pairs.len();
+    for _ in 0..budget {
+        // Locate the first violating pair (self-loop or duplicate edge).
+        let mut seen = std::collections::HashSet::with_capacity(pairs.len());
+        let mut bad = None;
+        for (i, &(a, b)) in pairs.iter().enumerate() {
+            if a == b || !seen.insert((a.min(b), a.max(b))) {
+                bad = Some(i);
+                break;
+            }
+        }
+        let Some(i) = bad else {
+            let mut g = Graph::with_nodes(n);
+            for &(a, b) in &pairs {
+                g.add_edge(NodeId(a), NodeId(b));
+            }
+            return Some(g);
+        };
+        // Swap its second stub with a random other pair's.
+        let j = rng.random_range(0..pairs.len());
+        if i != j {
+            let (a, b) = pairs[i];
+            let (c, d) = pairs[j];
+            pairs[i] = (a, d);
+            pairs[j] = (c, b);
+        }
+    }
+    None
+}
+
+/// A connected random graph: a uniform random spanning tree (random Prüfer
+/// sequence) plus `extra_edges` random chords. Mean degree ≈ 2 + 2·extra/n.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+#[must_use]
+pub fn random_connected(n: usize, extra_edges: usize, seed: u64) -> Graph {
+    assert!(n >= 1, "need at least one node");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = Graph::with_nodes(n);
+    if n == 1 {
+        return g;
+    }
+    if n == 2 {
+        g.add_edge(NodeId(0), NodeId(1));
+        return g;
+    }
+    // Random Prüfer sequence -> uniform random labelled tree.
+    let prufer: Vec<usize> = (0..n - 2).map(|_| rng.random_range(0..n)).collect();
+    let mut degree = vec![1usize; n];
+    for &v in &prufer {
+        degree[v] += 1;
+    }
+    let mut heap: std::collections::BinaryHeap<std::cmp::Reverse<usize>> = (0..n)
+        .filter(|&v| degree[v] == 1)
+        .map(std::cmp::Reverse)
+        .collect();
+    for &v in &prufer {
+        let std::cmp::Reverse(leaf) = heap.pop().expect("prufer invariant");
+        g.add_edge(NodeId(leaf), NodeId(v));
+        degree[leaf] -= 1;
+        degree[v] -= 1;
+        if degree[v] == 1 {
+            heap.push(std::cmp::Reverse(v));
+        }
+    }
+    let std::cmp::Reverse(a) = heap.pop().expect("two leaves remain");
+    let std::cmp::Reverse(b) = heap.pop().expect("two leaves remain");
+    g.add_edge(NodeId(a), NodeId(b));
+
+    // Random chords.
+    let mut added = 0;
+    let mut guard = 0;
+    while added < extra_edges && guard < 100 * (extra_edges + 1) {
+        guard += 1;
+        let a = rng.random_range(0..n);
+        let b = rng.random_range(0..n);
+        if a != b && g.add_edge(NodeId(a), NodeId(b)) {
+            added += 1;
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lhg_graph::components::is_connected;
+    use lhg_graph::degree::{degree_stats, is_k_regular};
+
+    #[test]
+    fn gnp_extremes() {
+        let empty = gnp(10, 0.0, 1);
+        assert_eq!(empty.edge_count(), 0);
+        let full = gnp(10, 1.0, 1);
+        assert_eq!(full.edge_count(), 45);
+    }
+
+    #[test]
+    fn gnp_is_reproducible_and_seed_sensitive() {
+        let a = gnp(30, 0.2, 42);
+        let b = gnp(30, 0.2, 42);
+        let c = gnp(30, 0.2, 43);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert_ne!(a.fingerprint(), c.fingerprint());
+    }
+
+    #[test]
+    fn gnp_mean_degree_is_close() {
+        let g = gnp_with_mean_degree(400, 6.0, 7);
+        let mean = degree_stats(&g).mean();
+        assert!((mean - 6.0).abs() < 1.0, "mean degree {mean}");
+    }
+
+    #[test]
+    fn random_regular_is_regular() {
+        for (n, k) in [(10, 3), (12, 4), (20, 5)] {
+            let g = random_regular(n, k, 1, 50).unwrap();
+            assert!(is_k_regular(&g, k), "({n},{k})");
+        }
+    }
+
+    #[test]
+    fn random_regular_rejects_impossible() {
+        assert!(random_regular(5, 3, 1, 50).is_none(), "odd kn");
+        assert!(random_regular(4, 4, 1, 50).is_none(), "k >= n");
+        assert!(random_regular(6, 0, 1, 50).is_some());
+    }
+
+    #[test]
+    fn random_regular_is_reproducible() {
+        let a = random_regular(16, 3, 9, 100).unwrap();
+        let b = random_regular(16, 3, 9, 100).unwrap();
+        assert_eq!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn random_connected_is_connected() {
+        for seed in 0..5 {
+            let g = random_connected(50, 10, seed);
+            assert!(is_connected(&g), "seed {seed}");
+            assert_eq!(g.node_count(), 50);
+            assert!(g.edge_count() >= 49);
+        }
+    }
+
+    #[test]
+    fn random_connected_tree_has_n_minus_1_edges() {
+        let g = random_connected(40, 0, 3);
+        assert_eq!(g.edge_count(), 39);
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn random_connected_small_cases() {
+        assert_eq!(random_connected(1, 5, 0).edge_count(), 0);
+        assert_eq!(random_connected(2, 0, 0).edge_count(), 1);
+        let g = random_connected(3, 0, 0);
+        assert!(is_connected(&g));
+        assert_eq!(g.edge_count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn gnp_rejects_bad_probability() {
+        let _ = gnp(5, 1.5, 0);
+    }
+}

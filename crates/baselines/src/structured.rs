@@ -1,0 +1,285 @@
+//! Structured topologies: hypercube, de Bruijn, butterfly, torus, and the
+//! elementary graphs (path, cycle, star, complete, balanced trees).
+//!
+//! These are the "specific subsets of LHGs" the papers cite (hypercubes and
+//! de Bruijn graphs are logarithmic-diameter and k-connected, but exist only
+//! for very particular (n, k) pairs — the motivation for general-purpose
+//! constraints like K-TREE). Experiment E14 measures exactly how sparse
+//! their existence sets are.
+
+use lhg_graph::{Graph, NodeId};
+
+/// Path P_n: 0 − 1 − … − n−1.
+#[must_use]
+pub fn path(n: usize) -> Graph {
+    let mut g = Graph::with_nodes(n);
+    for i in 1..n {
+        g.add_edge(NodeId(i - 1), NodeId(i));
+    }
+    g
+}
+
+/// Cycle C_n (`n ≥ 3`).
+///
+/// # Panics
+///
+/// Panics if `n < 3`.
+#[must_use]
+pub fn cycle(n: usize) -> Graph {
+    assert!(n >= 3, "a cycle needs at least 3 nodes");
+    let mut g = path(n);
+    g.add_edge(NodeId(n - 1), NodeId(0));
+    g
+}
+
+/// Star S_n: node 0 adjacent to all others.
+#[must_use]
+pub fn star(n: usize) -> Graph {
+    let mut g = Graph::with_nodes(n);
+    for i in 1..n {
+        g.add_edge(NodeId(0), NodeId(i));
+    }
+    g
+}
+
+/// Complete graph K_n.
+#[must_use]
+pub fn complete(n: usize) -> Graph {
+    let mut g = Graph::with_nodes(n);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            g.add_edge(NodeId(i), NodeId(j));
+        }
+    }
+    g
+}
+
+/// Balanced b-ary tree with the given number of nodes (heap layout: node i's
+/// children are `b·i + 1 … b·i + b`).
+///
+/// # Panics
+///
+/// Panics if `b == 0`.
+#[must_use]
+pub fn balanced_tree(n: usize, b: usize) -> Graph {
+    assert!(b >= 1, "branching factor must be positive");
+    let mut g = Graph::with_nodes(n);
+    for i in 1..n {
+        g.add_edge(NodeId((i - 1) / b), NodeId(i));
+    }
+    g
+}
+
+/// Hypercube Q_d: 2^d nodes, edges between words at Hamming distance 1.
+/// d-regular, d-connected, diameter d — an LHG that exists only at
+/// `n = 2^k`.
+#[must_use]
+pub fn hypercube(d: u32) -> Graph {
+    let n = 1usize << d;
+    let mut g = Graph::with_nodes(n);
+    for v in 0..n {
+        for bit in 0..d {
+            let w = v ^ (1usize << bit);
+            if v < w {
+                g.add_edge(NodeId(v), NodeId(w));
+            }
+        }
+    }
+    g
+}
+
+/// Returns `Some(d)` if a d-dimensional hypercube has exactly `n` nodes and
+/// connectivity `k` (requires `n = 2^k`, `d = k`).
+#[must_use]
+pub fn hypercube_params(n: usize, k: usize) -> Option<u32> {
+    (k >= 1 && n == 1usize.checked_shl(k as u32)?).then_some(k as u32)
+}
+
+/// Undirected de Bruijn graph B(d, m): `d^m` nodes (words of length `m` over
+/// a `d`-symbol alphabet), an edge between `w` and every left/right shift of
+/// `w`. Self-loops and parallel edges of the directed de Bruijn graph are
+/// dropped, so degrees are ≤ 2d. Diameter is exactly `m = log_d n`.
+///
+/// # Panics
+///
+/// Panics if `d < 2` or `m < 1`.
+#[must_use]
+pub fn de_bruijn(d: usize, m: u32) -> Graph {
+    assert!(
+        d >= 2 && m >= 1,
+        "de Bruijn needs alphabet >= 2 and length >= 1"
+    );
+    let n = d.pow(m);
+    let mut g = Graph::with_nodes(n);
+    for v in 0..n {
+        // Right shifts: v = (v_1 … v_m) -> (v_2 … v_m, s) for each symbol s.
+        let shifted = (v % d.pow(m - 1)) * d;
+        for s in 0..d {
+            let w = shifted + s;
+            if w != v {
+                g.add_edge(NodeId(v), NodeId(w));
+            }
+        }
+    }
+    g
+}
+
+/// Returns `Some((d, m))` if an undirected de Bruijn graph with alphabet `k`
+/// matches `n = k^m` nodes (the papers' "k-connected De Bruijn graphs are
+/// k-regular graphs with k^m nodes" existence set).
+#[must_use]
+pub fn de_bruijn_params(n: usize, k: usize) -> Option<(usize, u32)> {
+    if k < 2 || n < k {
+        return None;
+    }
+    let mut m = 0u32;
+    let mut acc = 1usize;
+    while acc < n {
+        acc = acc.checked_mul(k)?;
+        m += 1;
+    }
+    (acc == n && m >= 1).then_some((k, m))
+}
+
+/// Wrapped butterfly BF(d): `d · 2^d` nodes `(level, row)`, edges from
+/// `(l, r)` to `(l+1 mod d, r)` and `(l+1 mod d, r ^ 2^l)`. 4-regular with
+/// logarithmic diameter.
+///
+/// # Panics
+///
+/// Panics if `d < 2`.
+#[must_use]
+pub fn butterfly(d: u32) -> Graph {
+    assert!(d >= 2, "butterfly needs dimension >= 2");
+    let rows = 1usize << d;
+    let n = d as usize * rows;
+    let id = |level: u32, row: usize| NodeId(level as usize * rows + row);
+    let mut g = Graph::with_nodes(n);
+    for level in 0..d {
+        let next = (level + 1) % d;
+        for row in 0..rows {
+            g.add_edge(id(level, row), id(next, row));
+            g.add_edge(id(level, row), id(next, row ^ (1usize << level)));
+        }
+    }
+    g
+}
+
+/// 2-D torus (wraparound grid) with `rows × cols` nodes; 4-regular for
+/// `rows, cols ≥ 3`.
+///
+/// # Panics
+///
+/// Panics if either dimension is smaller than 3.
+#[must_use]
+pub fn torus(rows: usize, cols: usize) -> Graph {
+    assert!(rows >= 3 && cols >= 3, "torus needs both dimensions >= 3");
+    let id = |r: usize, c: usize| NodeId(r * cols + c);
+    let mut g = Graph::with_nodes(rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            g.add_edge(id(r, c), id((r + 1) % rows, c));
+            g.add_edge(id(r, c), id(r, (c + 1) % cols));
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lhg_graph::components::is_connected;
+    use lhg_graph::connectivity::{edge_connectivity, vertex_connectivity};
+    use lhg_graph::degree::{degree_stats, is_k_regular};
+    use lhg_graph::paths::diameter;
+
+    #[test]
+    fn elementary_graphs() {
+        assert_eq!(path(5).edge_count(), 4);
+        assert_eq!(cycle(5).edge_count(), 5);
+        assert_eq!(star(5).edge_count(), 4);
+        assert_eq!(complete(5).edge_count(), 10);
+        assert!(is_connected(&balanced_tree(13, 3)));
+        assert_eq!(balanced_tree(13, 3).edge_count(), 12);
+    }
+
+    #[test]
+    fn balanced_tree_depth_is_logarithmic() {
+        let g = balanced_tree(40, 3);
+        assert!(diameter(&g).unwrap() <= 8);
+    }
+
+    #[test]
+    fn hypercube_q4_properties() {
+        let g = hypercube(4);
+        assert_eq!(g.node_count(), 16);
+        assert!(is_k_regular(&g, 4));
+        assert_eq!(vertex_connectivity(&g), 4);
+        assert_eq!(edge_connectivity(&g), 4);
+        assert_eq!(diameter(&g), Some(4));
+    }
+
+    #[test]
+    fn hypercube_params_only_at_powers_of_two() {
+        assert_eq!(hypercube_params(16, 4), Some(4));
+        assert_eq!(hypercube_params(8, 3), Some(3));
+        assert_eq!(hypercube_params(12, 3), None);
+        assert_eq!(hypercube_params(16, 3), None);
+        assert_eq!(hypercube_params(16, 0), None);
+    }
+
+    #[test]
+    fn de_bruijn_2_3_is_connected_logarithmic() {
+        let g = de_bruijn(2, 3);
+        assert_eq!(g.node_count(), 8);
+        assert!(is_connected(&g));
+        assert_eq!(diameter(&g), Some(3), "diameter = word length");
+        let s = degree_stats(&g);
+        assert!(s.max <= 4, "undirected degree at most 2d");
+    }
+
+    #[test]
+    fn de_bruijn_3_2_nine_nodes() {
+        let g = de_bruijn(3, 2);
+        assert_eq!(g.node_count(), 9);
+        assert!(is_connected(&g));
+        assert_eq!(diameter(&g), Some(2));
+    }
+
+    #[test]
+    fn de_bruijn_params_only_at_powers() {
+        assert_eq!(de_bruijn_params(8, 2), Some((2, 3)));
+        assert_eq!(de_bruijn_params(9, 3), Some((3, 2)));
+        assert_eq!(de_bruijn_params(10, 3), None);
+        assert_eq!(de_bruijn_params(4, 1), None);
+    }
+
+    #[test]
+    fn butterfly_is_4_regular_connected() {
+        let g = butterfly(3);
+        assert_eq!(g.node_count(), 24);
+        assert!(is_k_regular(&g, 4));
+        assert!(is_connected(&g));
+        assert_eq!(vertex_connectivity(&g), 4);
+    }
+
+    #[test]
+    fn torus_is_4_regular_4_connected() {
+        let g = torus(4, 5);
+        assert_eq!(g.node_count(), 20);
+        assert!(is_k_regular(&g, 4));
+        assert_eq!(vertex_connectivity(&g), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3")]
+    fn cycle_rejects_tiny() {
+        let _ = cycle(2);
+    }
+
+    #[test]
+    #[should_panic(expected = ">= 3")]
+    fn torus_rejects_thin_dimensions() {
+        let _ = torus(2, 5);
+    }
+}

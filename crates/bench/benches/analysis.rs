@@ -1,0 +1,56 @@
+//! Cost of the analysis machinery: Menger-witness extraction, betweenness,
+//! spectral estimation and overlay churn maintenance.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use lhg_core::kdiamond::build_kdiamond;
+use lhg_core::overlay::DynamicOverlay;
+use lhg_core::witness::menger_witness;
+use lhg_core::Constraint;
+use lhg_graph::betweenness::betweenness;
+use lhg_graph::spectral::slem_estimate;
+use lhg_graph::NodeId;
+
+fn bench_analysis(c: &mut Criterion) {
+    let k = 4;
+    let mut group = c.benchmark_group("analysis");
+    group.sample_size(10);
+    for n in [64usize, 256, 1024] {
+        let overlay = build_kdiamond(n, k).unwrap();
+        group.bench_with_input(BenchmarkId::new("menger_witness", n), &overlay, |b, o| {
+            b.iter(|| menger_witness(black_box(o), NodeId(0), NodeId(o.n() - 1)));
+        });
+        group.bench_with_input(
+            BenchmarkId::new("betweenness", n),
+            overlay.graph(),
+            |b, g| {
+                b.iter(|| betweenness(black_box(g)));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("spectral_slem_x200", n),
+            overlay.graph(),
+            |b, g| {
+                b.iter(|| slem_estimate(black_box(g), 200));
+            },
+        );
+    }
+    for n in [64usize, 256, 1024] {
+        group.bench_with_input(BenchmarkId::new("overlay_join_leave", n), &n, |b, &n| {
+            b.iter_batched(
+                || DynamicOverlay::bootstrap(Constraint::KDiamond, n, k).unwrap(),
+                |mut o| {
+                    let (id, _) = o.join().unwrap();
+                    let _ = o.leave(id).unwrap();
+                    o
+                },
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_analysis);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Construction throughput: how fast each topology builder scales with n.
+//!
+//! Supports the "usable at overlay scale" claim: K-TREE/K-DIAMOND builds
+//! are near-linear in n, so recomputing a topology on membership change is
+//! cheap.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use lhg_baselines::harary::harary_graph;
+use lhg_baselines::random::random_regular;
+use lhg_core::jd::build_jd;
+use lhg_core::kdiamond::build_kdiamond;
+use lhg_core::ktree::build_ktree;
+
+fn bench_builders(c: &mut Criterion) {
+    let k = 4;
+    let mut group = c.benchmark_group("construction");
+    for n in [64usize, 256, 1024, 4096] {
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("ktree", n), &n, |b, &n| {
+            b.iter(|| build_ktree(black_box(n), k).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("kdiamond", n), &n, |b, &n| {
+            b.iter(|| build_kdiamond(black_box(n), k).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("harary", n), &n, |b, &n| {
+            b.iter(|| harary_graph(black_box(n), k));
+        });
+        group.bench_with_input(BenchmarkId::new("random_regular", n), &n, |b, &n| {
+            b.iter(|| random_regular(black_box(n), k, 7, 100).unwrap());
+        });
+    }
+    // JD only at its constructible points (regular points are always in).
+    for n in [64usize, 256, 1024] {
+        let n = n - (n - 2 * k) % (2 * (k - 1)); // snap to a regular point
+        group.bench_with_input(BenchmarkId::new("jd", n), &n, |b, &n| {
+            b.iter(|| build_jd(black_box(n), k).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_builders);
+criterion_main!(benches);

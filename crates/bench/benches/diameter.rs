@@ -1,0 +1,38 @@
+//! Diameter computation cost (exact all-sources BFS vs the double-sweep
+//! lower bound) — the P4 measurement that experiment E7 sweeps.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use lhg_baselines::harary::harary_graph;
+use lhg_core::kdiamond::build_kdiamond;
+use lhg_graph::paths::{diameter, diameter_double_sweep};
+use lhg_graph::traversal::bfs_distances;
+use lhg_graph::{CsrGraph, NodeId};
+
+fn bench_diameter(c: &mut Criterion) {
+    let k = 4;
+    let mut group = c.benchmark_group("diameter");
+    group.sample_size(10);
+    for n in [256usize, 1024, 4096] {
+        let lhg = build_kdiamond(n, k).unwrap().into_graph();
+        let harary = harary_graph(n, k);
+        group.bench_with_input(BenchmarkId::new("exact_lhg", n), &lhg, |b, g| {
+            b.iter(|| diameter(black_box(g)));
+        });
+        group.bench_with_input(BenchmarkId::new("exact_harary", n), &harary, |b, g| {
+            b.iter(|| diameter(black_box(g)));
+        });
+        group.bench_with_input(BenchmarkId::new("double_sweep_lhg", n), &lhg, |b, g| {
+            b.iter(|| diameter_double_sweep(black_box(g), NodeId(0)));
+        });
+        let csr = CsrGraph::from_graph(&lhg);
+        group.bench_with_input(BenchmarkId::new("single_bfs_csr", n), &csr, |b, g| {
+            b.iter(|| bfs_distances(black_box(g), NodeId(0)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_diameter);
+criterion_main!(benches);

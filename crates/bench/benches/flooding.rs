@@ -1,0 +1,56 @@
+//! Flooding simulator throughput: broadcasts per second over LHG and
+//! baseline topologies, with and without failure injection.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use lhg_baselines::harary::harary_graph;
+use lhg_core::ktree::build_ktree;
+use lhg_flood::engine::{run_broadcast, Protocol};
+use lhg_flood::failure::{random_node_failures, FailurePlan};
+use lhg_graph::{CsrGraph, NodeId};
+
+fn bench_flooding(c: &mut Criterion) {
+    let k = 4;
+    let mut group = c.benchmark_group("flooding");
+    for n in [128usize, 512, 2048] {
+        group.throughput(Throughput::Elements(n as u64));
+        let lhg = build_ktree(n, k).unwrap().into_graph();
+        let lhg_csr = CsrGraph::from_graph(&lhg);
+        let harary_csr = CsrGraph::from_graph(&harary_graph(n, k));
+        let none = FailurePlan::none();
+        let failures = random_node_failures(&lhg, k - 1, NodeId(0), 7);
+
+        group.bench_with_input(BenchmarkId::new("flood_lhg", n), &lhg_csr, |b, t| {
+            b.iter(|| run_broadcast(black_box(t), NodeId(0), &none, Protocol::Flood, 0));
+        });
+        group.bench_with_input(
+            BenchmarkId::new("flood_lhg_failures", n),
+            &lhg_csr,
+            |b, t| {
+                b.iter(|| run_broadcast(black_box(t), NodeId(0), &failures, Protocol::Flood, 0));
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("flood_harary", n), &harary_csr, |b, t| {
+            b.iter(|| run_broadcast(black_box(t), NodeId(0), &none, Protocol::Flood, 0));
+        });
+        group.bench_with_input(BenchmarkId::new("gossip_lhg", n), &lhg_csr, |b, t| {
+            b.iter(|| {
+                run_broadcast(
+                    black_box(t),
+                    NodeId(0),
+                    &none,
+                    Protocol::GossipPush {
+                        fanout: 2,
+                        rounds_per_node: 4,
+                    },
+                    1,
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_flooding);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Discrete-event substrate throughput: events per second for full overlay
+//! broadcasts, plus the wire-format codec.
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use lhg_core::kdiamond::build_kdiamond;
+use lhg_graph::NodeId;
+use lhg_net::broadcast::run_overlay_broadcast;
+use lhg_net::message::Message;
+use lhg_net::sim::LinkModel;
+
+fn bench_net(c: &mut Criterion) {
+    let k = 4;
+    let link = LinkModel {
+        base_latency_us: 1_000,
+        jitter_us: 200,
+    };
+    let mut group = c.benchmark_group("net");
+    for n in [64usize, 256, 1024] {
+        group.throughput(Throughput::Elements(n as u64));
+        let overlay = build_kdiamond(n, k).unwrap().into_graph();
+        group.bench_with_input(
+            BenchmarkId::new("overlay_broadcast", n),
+            &overlay,
+            |b, g| {
+                b.iter(|| {
+                    run_overlay_broadcast(
+                        black_box(g),
+                        NodeId(0),
+                        Bytes::from_static(b"bench"),
+                        link,
+                        &[],
+                        3,
+                    )
+                });
+            },
+        );
+    }
+
+    let msg = Message::new(7, 3, Bytes::from(vec![0u8; 256]));
+    let encoded = msg.encode();
+    group.throughput(Throughput::Bytes(encoded.len() as u64));
+    group.bench_function("message_encode_256B", |b| {
+        b.iter(|| black_box(&msg).encode());
+    });
+    group.bench_function("message_decode_256B", |b| {
+        b.iter(|| Message::decode(black_box(encoded.clone())).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_net);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! The experiments binary: regenerates every table and figure in
+//! EXPERIMENTS.md.
+//!
+//! Usage:
+//!   cargo run -p lhg-bench --release --bin experiments -- all
+//!   cargo run -p lhg-bench --release --bin experiments -- e7 e10
+//!   cargo run -p lhg-bench --release --bin experiments -- list
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let experiments = lhg_bench::all_experiments();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+
+    if args.is_empty() || args.iter().any(|a| a == "list") {
+        println!("available experiments (pass ids, or `all`):");
+        for (id, desc, _) in &experiments {
+            println!("  {id:<5} {desc}");
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let run_all = args.iter().any(|a| a == "all");
+    let mut matched = false;
+    for (id, _, runner) in &experiments {
+        if run_all || args.iter().any(|a| a == id) {
+            matched = true;
+            println!("{}", runner());
+            println!("{}", "-".repeat(78));
+        }
+    }
+    if !matched {
+        eprintln!("unknown experiment id(s) {args:?}; try `list`");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,253 @@
+//! Experiments E3–E6, E13, E14: the existence/regularity landscape —
+//! closed forms cross-checked empirically, the theorem suite, JD's gaps,
+//! and the family applicability census.
+
+use std::fmt::Write as _;
+
+use lhg_baselines::catalog::{existence_density, ALL_FAMILIES};
+use lhg_core::existence::{ex_empirical, ex_jd, ex_ktree};
+use lhg_core::regularity::{reg_empirical, reg_kdiamond, reg_ktree, theorem7_witnesses};
+use lhg_core::theory::run_all;
+use lhg_core::Constraint;
+
+/// Sweeps `f_closed` vs `f_emp` over a grid and renders mismatches.
+fn grid_check(
+    out: &mut String,
+    label: &str,
+    ks: &[usize],
+    max_n: usize,
+    f_closed: impl Fn(usize, usize) -> bool,
+    f_emp: impl Fn(usize, usize) -> bool,
+) {
+    let mut cases = 0;
+    let mut mismatches = Vec::new();
+    for &k in ks {
+        for n in 2..=max_n {
+            cases += 1;
+            if f_closed(n, k) != f_emp(n, k) {
+                mismatches.push((n, k));
+            }
+        }
+    }
+    let _ = writeln!(
+        out,
+        "{label:<34} {cases:>5} cases, {} mismatches {}",
+        mismatches.len(),
+        if mismatches.is_empty() {
+            "— closed form CONFIRMED"
+        } else {
+            "— MISMATCH"
+        },
+    );
+    if !mismatches.is_empty() {
+        let _ = writeln!(
+            out,
+            "  first mismatches: {:?}",
+            &mismatches[..mismatches.len().min(8)]
+        );
+    }
+}
+
+/// E3 — Theorem 2 grid: `EX_KTREE(n,k) ⇔ n ≥ 2k`, empirically.
+#[must_use]
+pub fn e3_ex_ktree_grid() -> String {
+    let mut out = String::from("E3 — EX_KTREE: closed form vs construction+validation\n");
+    let ks = [2, 3, 4, 5, 6];
+    grid_check(
+        &mut out,
+        "EX_KTREE (constructibility)",
+        &ks,
+        60,
+        ex_ktree,
+        |n, k| ex_empirical(Constraint::KTree, n, k, false),
+    );
+    grid_check(
+        &mut out,
+        "EX_KTREE (full LHG validation)",
+        &[3, 4],
+        40,
+        ex_ktree,
+        |n, k| ex_empirical(Constraint::KTree, n, k, true),
+    );
+    out
+}
+
+/// E4 — Theorem 3 grid: `REG_KTREE(n,k) ⇔ n = 2k + 2α(k−1)`, empirically.
+#[must_use]
+pub fn e4_reg_ktree_grid() -> String {
+    let mut out = String::from("E4 — REG_KTREE: closed form vs built-graph regularity\n");
+    grid_check(
+        &mut out,
+        "REG_KTREE",
+        &[2, 3, 4, 5, 6],
+        60,
+        reg_ktree,
+        |n, k| reg_empirical(Constraint::KTree, n, k),
+    );
+    out
+}
+
+/// E5 — Theorems 5–6 grids for K-DIAMOND.
+#[must_use]
+pub fn e5_kdiamond_grids() -> String {
+    let mut out = String::from("E5 — EX/REG_KDIAMOND: closed forms vs construction\n");
+    let ks = [2, 3, 4, 5, 6];
+    grid_check(
+        &mut out,
+        "EX_KDIAMOND (constructibility)",
+        &ks,
+        60,
+        ex_ktree,
+        |n, k| ex_empirical(Constraint::KDiamond, n, k, false),
+    );
+    grid_check(&mut out, "REG_KDIAMOND", &ks, 60, reg_kdiamond, |n, k| {
+        reg_empirical(Constraint::KDiamond, n, k)
+    });
+    out
+}
+
+/// E6 — the executable theorem suite plus Theorem 7 witness listing.
+#[must_use]
+pub fn e6_theorem_suite() -> String {
+    let mut out = String::from("E6 — executable theorem suite (k ∈ {3,4,5}, span 14)\n");
+    for check in run_all(&[3, 4, 5], 14) {
+        let _ = writeln!(
+            out,
+            "{:<50} {} ({} cases)",
+            check.name,
+            if check.holds() { "HOLDS" } else { "FAILS" },
+            check.cases
+        );
+        if !check.holds() {
+            let _ = writeln!(out, "  failures: {:?}", check.failures);
+        }
+    }
+    out.push_str("\nTheorem 7 witnesses (regular under K-DIAMOND, not K-TREE):\n");
+    for k in 3..=6 {
+        let ns: Vec<usize> = theorem7_witnesses(k, 6)
+            .into_iter()
+            .map(|(n, _)| n)
+            .collect();
+        let _ = writeln!(out, "  k={k}: n = {ns:?} …");
+    }
+    out
+}
+
+/// E13 — the JD rule's constructibility gaps (follow-up §4.4).
+#[must_use]
+pub fn e13_jd_gaps() -> String {
+    use lhg_core::jd::is_jd_constructible_strict;
+    let mut out = String::from(
+        "E13 — JD operational rule vs K-TREE constructibility\n\
+         two readings of the quoted rule: lenient (hosts take 1 or 2 extras) and\n\
+         strict (extras only in pairs — reproduces §4.4's infinite gap families)\n",
+    );
+    for k in [3usize, 4, 5] {
+        let max_n = 30 * k;
+        let ktree: Vec<usize> = (2..=max_n).filter(|&n| ex_ktree(n, k)).collect();
+        let lenient_gaps: Vec<usize> = ktree.iter().copied().filter(|&n| !ex_jd(n, k)).collect();
+        let strict_gaps: Vec<usize> = ktree
+            .iter()
+            .copied()
+            .filter(|&n| !is_jd_constructible_strict(n, k))
+            .collect();
+        let cover = |gaps: &[usize]| 100.0 * (1.0 - gaps.len() as f64 / ktree.len() as f64);
+        let _ = writeln!(
+            out,
+            "k={k}: K-TREE covers {} pairs up to n={max_n}; lenient JD misses {} \
+             ({:.1}%), strict JD misses {} ({:.1}%)",
+            ktree.len(),
+            lenient_gaps.len(),
+            cover(&lenient_gaps),
+            strict_gaps.len(),
+            cover(&strict_gaps),
+        );
+        let _ = writeln!(
+            out,
+            "  first lenient gaps: {:?}",
+            &lenient_gaps[..lenient_gaps.len().min(10)]
+        );
+        let _ = writeln!(
+            out,
+            "  first strict gaps:  {:?}",
+            &strict_gaps[..strict_gaps.len().min(10)]
+        );
+    }
+    out.push_str(
+        "every JD gap (under either reading) is constructible with K-TREE. The strict\n\
+         reading leaves every odd-j point unreachable forever — e.g. n = 2k+2α(k−1)+3\n\
+         for all α at k=3 — exactly the follow-up's §4.4 claim.\n",
+    );
+    out
+}
+
+/// E14 — applicability census: fraction of n ≤ N each family covers.
+#[must_use]
+pub fn e14_existence_density() -> String {
+    let mut out = String::from(
+        "E14 — existence density at connectivity k (fraction of n in (k, N] with a member)\n\
+         family             k=3,N=500  k=4,N=500  k=5,N=500\n",
+    );
+    let mut rows: Vec<(String, [f64; 3])> = Vec::new();
+    for family in ALL_FAMILIES {
+        let d: Vec<f64> = [3usize, 4, 5]
+            .iter()
+            .map(|&k| existence_density(family, k, 500))
+            .collect();
+        rows.push((family.name.to_string(), [d[0], d[1], d[2]]));
+    }
+    // K-TREE / K-DIAMOND (identical existence sets).
+    for name in ["K-TREE", "K-DIAMOND"] {
+        let d: Vec<f64> = [3usize, 4, 5]
+            .iter()
+            .map(|&k| {
+                let hits = ((k + 1)..=500).filter(|&n| ex_ktree(n, k)).count();
+                hits as f64 / (500 - k) as f64
+            })
+            .collect();
+        rows.push((name.to_string(), [d[0], d[1], d[2]]));
+    }
+    for (name, d) in rows {
+        let _ = writeln!(out, "{name:<18} {:>9.3} {:>9.3} {:>9.3}", d[0], d[1], d[2]);
+    }
+    out.push_str("reading: LHG constraints cover ~99% of sizes; hypercube/de Bruijn <2%.\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e3_to_e5_confirm_closed_forms() {
+        for out in [e3_ex_ktree_grid(), e4_reg_ktree_grid(), e5_kdiamond_grids()] {
+            assert!(!out.contains("MISMATCH"), "{out}");
+            assert!(out.contains("CONFIRMED"), "{out}");
+        }
+    }
+
+    #[test]
+    fn e6_all_theorems_hold() {
+        let out = e6_theorem_suite();
+        assert!(!out.contains("FAILS"), "{out}");
+        assert_eq!(out.matches("HOLDS").count(), 7, "{out}");
+    }
+
+    #[test]
+    fn e13_reports_gaps_that_ktree_fills() {
+        let out = e13_jd_gaps();
+        assert!(out.contains("first lenient gaps: [7, 8, 9, 13]"), "{out}");
+        // Strict gaps include every odd-j point: 7, 9, 11, 13, 15, ...
+        assert!(
+            out.contains("first strict gaps:  [7, 8, 9, 11, 13"),
+            "{out}"
+        );
+    }
+
+    #[test]
+    fn e14_orders_families_sanely() {
+        let out = e14_existence_density();
+        assert!(out.contains("Harary"), "{out}");
+        assert!(out.contains("K-DIAMOND"), "{out}");
+    }
+}

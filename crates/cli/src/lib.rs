@@ -1,0 +1,430 @@
+//! # lhg-cli
+//!
+//! Command-line tools for the LHG library. The `lhg` binary exposes:
+//!
+//! ```text
+//! lhg generate  --constraint ktree|kdiamond|jd|harary --n N --k K [--format dot|edges|summary]
+//! lhg validate  --k K [--file PATH]           # reads an edge list
+//! lhg plan      --n N --f F                   # topology recommendation
+//! lhg flood     --n N --k K [--failures F] [--trials T] [--constraint C]
+//! lhg census    --k K [--max-n N]             # EX/REG table
+//! ```
+//!
+//! All logic lives in [`run`], which writes to any `io::Write` — the tests
+//! drive it with string buffers; the binary passes stdout.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::io::Write;
+
+use lhg_baselines::harary::{harary_exists, harary_graph};
+use lhg_core::existence::{ex_jd, ex_ktree};
+use lhg_core::jd::build_jd;
+use lhg_core::kdiamond::build_kdiamond;
+use lhg_core::ktree::build_ktree;
+use lhg_core::planner::plan;
+use lhg_core::properties::validate;
+use lhg_core::regularity::{reg_kdiamond, reg_ktree};
+use lhg_flood::engine::Protocol;
+use lhg_flood::experiment::{run_trials, FailureMode};
+use lhg_graph::io::{from_edge_list, to_dot, to_edge_list};
+use lhg_graph::Graph;
+
+/// A CLI failure: message plus suggested exit code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliError {
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+fn err(message: impl Into<String>) -> CliError {
+    CliError {
+        message: message.into(),
+    }
+}
+
+/// Parsed `--key value` options plus positional arguments.
+#[derive(Debug, Default)]
+struct Options {
+    flags: BTreeMap<String, String>,
+}
+
+impl Options {
+    fn parse(args: &[String]) -> Result<Options, CliError> {
+        let mut flags = BTreeMap::new();
+        let mut it = args.iter();
+        while let Some(arg) = it.next() {
+            let Some(key) = arg.strip_prefix("--") else {
+                return Err(err(format!("unexpected positional argument {arg:?}")));
+            };
+            let value = it
+                .next()
+                .ok_or_else(|| err(format!("--{key} requires a value")))?;
+            flags.insert(key.to_string(), value.clone());
+        }
+        Ok(Options { flags })
+    }
+
+    fn required<T: std::str::FromStr>(&self, key: &str) -> Result<T, CliError> {
+        let raw = self
+            .flags
+            .get(key)
+            .ok_or_else(|| err(format!("missing required option --{key}")))?;
+        raw.parse()
+            .map_err(|_| err(format!("invalid value {raw:?} for --{key}")))
+    }
+
+    fn optional<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, CliError> {
+        match self.flags.get(key) {
+            None => Ok(default),
+            Some(raw) => raw
+                .parse()
+                .map_err(|_| err(format!("invalid value {raw:?} for --{key}"))),
+        }
+    }
+
+    fn string(&self, key: &str, default: &str) -> String {
+        self.flags
+            .get(key)
+            .cloned()
+            .unwrap_or_else(|| default.to_string())
+    }
+}
+
+fn build_topology(constraint: &str, n: usize, k: usize) -> Result<Graph, CliError> {
+    match constraint {
+        "ktree" => Ok(build_ktree(n, k)
+            .map_err(|e| err(e.to_string()))?
+            .into_graph()),
+        "kdiamond" => Ok(build_kdiamond(n, k)
+            .map_err(|e| err(e.to_string()))?
+            .into_graph()),
+        "jd" => Ok(build_jd(n, k).map_err(|e| err(e.to_string()))?.into_graph()),
+        "harary" => {
+            if !harary_exists(n, k) {
+                return Err(err(format!("H({k},{n}) is not defined")));
+            }
+            Ok(harary_graph(n, k))
+        }
+        other => Err(err(format!(
+            "unknown constraint {other:?} (expected ktree, kdiamond, jd or harary)"
+        ))),
+    }
+}
+
+/// The usage text printed by `lhg help`.
+pub const USAGE: &str = "\
+lhg — Logarithmic Harary Graph tools
+
+USAGE:
+  lhg generate --constraint ktree|kdiamond|jd|harary --n N --k K [--format dot|edges|summary]
+  lhg validate --k K [--file PATH]    (omit --file to read stdin)
+  lhg plan     --n N --f F
+  lhg flood    --n N --k K [--failures F] [--trials T] [--constraint C] [--seed S]
+  lhg census   --k K [--max-n N]
+  lhg help
+";
+
+/// Executes one CLI invocation (`args` excludes the program name), writing
+/// results to `out`.
+///
+/// # Errors
+///
+/// Returns a [`CliError`] for unknown commands, malformed options, or
+/// out-of-domain parameters; the binary prints it to stderr and exits 1.
+pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let Some((command, rest)) = args.split_first() else {
+        return Err(err(format!("no command given\n{USAGE}")));
+    };
+    let io_err = |e: std::io::Error| err(format!("write failed: {e}"));
+    match command.as_str() {
+        "help" | "--help" | "-h" => {
+            out.write_all(USAGE.as_bytes()).map_err(io_err)?;
+            Ok(())
+        }
+        "generate" => {
+            let opts = Options::parse(rest)?;
+            let n: usize = opts.required("n")?;
+            let k: usize = opts.required("k")?;
+            let constraint = opts.string("constraint", "kdiamond");
+            let g = build_topology(&constraint, n, k)?;
+            match opts.string("format", "edges").as_str() {
+                "dot" => {
+                    write!(out, "{}", to_dot(&g, &format!("{constraint}_{n}_{k}"))).map_err(io_err)
+                }
+                "edges" => write!(out, "{}", to_edge_list(&g)).map_err(io_err),
+                "summary" => {
+                    let report = validate(&g, k);
+                    writeln!(
+                        out,
+                        "{constraint} (n={n}, k={k}): {} edges (bound {}), diameter {:?}, \
+                         LHG={}, regular={}",
+                        report.edge_count,
+                        report.edge_lower_bound,
+                        report.diameter,
+                        report.is_lhg(),
+                        report.regular
+                    )
+                    .map_err(io_err)
+                }
+                other => Err(err(format!("unknown format {other:?}"))),
+            }
+        }
+        "validate" => {
+            let opts = Options::parse(rest)?;
+            let k: usize = opts.required("k")?;
+            let text = match opts.flags.get("file") {
+                Some(path) => std::fs::read_to_string(path)
+                    .map_err(|e| err(format!("cannot read {path}: {e}")))?,
+                None => {
+                    let mut buf = String::new();
+                    std::io::Read::read_to_string(&mut std::io::stdin(), &mut buf)
+                        .map_err(|e| err(format!("cannot read stdin: {e}")))?;
+                    buf
+                }
+            };
+            let g = from_edge_list(&text).map_err(|e| err(e.to_string()))?;
+            let report = validate(&g, k);
+            writeln!(
+                out,
+                "n={} edges={} | P1 node-connectivity: {} | P2 link-connectivity: {} | \
+                 P3 minimality: {} | P4 log-diameter: {} (d={:?} bound={:.1}) | \
+                 P5 regular: {} | LHG: {}",
+                report.n,
+                report.edge_count,
+                report.node_connectivity_ok,
+                report.link_connectivity_ok,
+                report.link_minimal,
+                report.logarithmic_diameter,
+                report.diameter,
+                report.diameter_bound,
+                report.regular,
+                report.is_lhg()
+            )
+            .map_err(io_err)
+        }
+        "plan" => {
+            let opts = Options::parse(rest)?;
+            let n: usize = opts.required("n")?;
+            let f: usize = opts.required("f")?;
+            let (p, _) = plan(n, f).map_err(|e| err(e.to_string()))?;
+            writeln!(
+                out,
+                "plan for n={n}, f={f}: use {} at k={} — {} edges ({} over the ⌈kn/2⌉ bound), \
+                 regular={}; nearest regular sizes: {} and {}",
+                p.constraint,
+                p.k,
+                p.edges,
+                p.edge_overhead(),
+                p.regular,
+                p.nearest_regular.0,
+                p.nearest_regular.1
+            )
+            .map_err(io_err)
+        }
+        "flood" => {
+            let opts = Options::parse(rest)?;
+            let n: usize = opts.required("n")?;
+            let k: usize = opts.required("k")?;
+            let failures: usize = opts.optional("failures", k - 1)?;
+            let trials: usize = opts.optional("trials", 50)?;
+            let seed: u64 = opts.optional("seed", 42)?;
+            let constraint = opts.string("constraint", "kdiamond");
+            let g = build_topology(&constraint, n, k)?;
+            let mode = if failures == 0 {
+                FailureMode::None
+            } else {
+                FailureMode::RandomNodes { count: failures }
+            };
+            let stats = run_trials(&g, Protocol::Flood, mode, trials, seed);
+            writeln!(
+                out,
+                "flooding {constraint} (n={n}, k={k}) with {failures} random crashes, \
+                 {trials} trials: reliability {:.3}, mean rounds {:.2}, mean messages {:.1}",
+                stats.reliability, stats.mean_rounds, stats.mean_messages
+            )
+            .map_err(io_err)
+        }
+        "census" => {
+            let opts = Options::parse(rest)?;
+            let k: usize = opts.required("k")?;
+            let max_n: usize = opts.optional("max-n", 4 * k + 10)?;
+            writeln!(
+                out,
+                "n: EX(JD) EX(K-TREE/K-DIAMOND) REG(K-TREE) REG(K-DIAMOND)"
+            )
+            .map_err(io_err)?;
+            for n in (k + 1)..=max_n {
+                writeln!(
+                    out,
+                    "{n:>4}: {:>6} {:>21} {:>11} {:>14}",
+                    ex_jd(n, k),
+                    ex_ktree(n, k),
+                    reg_ktree(n, k),
+                    reg_kdiamond(n, k)
+                )
+                .map_err(io_err)?;
+            }
+            Ok(())
+        }
+        other => Err(err(format!("unknown command {other:?}\n{USAGE}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_to_string(args: &[&str]) -> Result<String, CliError> {
+        let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        let mut buf = Vec::new();
+        run(&args, &mut buf)?;
+        Ok(String::from_utf8(buf).expect("utf8 output"))
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let out = run_to_string(&["help"]).unwrap();
+        assert!(out.contains("USAGE"));
+        assert!(out.contains("generate"));
+    }
+
+    #[test]
+    fn generate_edges_round_trips() {
+        let out =
+            run_to_string(&["generate", "--constraint", "ktree", "--n", "10", "--k", "3"]).unwrap();
+        let g = from_edge_list(&out).unwrap();
+        assert_eq!(g.node_count(), 10);
+        assert_eq!(g.edge_count(), 15);
+    }
+
+    #[test]
+    fn generate_dot_and_summary() {
+        let dot = run_to_string(&[
+            "generate",
+            "--constraint",
+            "kdiamond",
+            "--n",
+            "8",
+            "--k",
+            "3",
+            "--format",
+            "dot",
+        ])
+        .unwrap();
+        assert!(dot.starts_with("graph kdiamond_8_3"));
+
+        let sum = run_to_string(&[
+            "generate",
+            "--constraint",
+            "kdiamond",
+            "--n",
+            "8",
+            "--k",
+            "3",
+            "--format",
+            "summary",
+        ])
+        .unwrap();
+        assert!(sum.contains("LHG=true"), "{sum}");
+        assert!(sum.contains("regular=true"), "{sum}");
+    }
+
+    #[test]
+    fn generate_harary_works() {
+        let out = run_to_string(&[
+            "generate",
+            "--constraint",
+            "harary",
+            "--n",
+            "9",
+            "--k",
+            "3",
+            "--format",
+            "summary",
+        ])
+        .unwrap();
+        assert!(out.contains("14 edges"), "{out}");
+    }
+
+    #[test]
+    fn generate_rejects_bad_inputs() {
+        assert!(run_to_string(&["generate", "--n", "10"]).is_err());
+        assert!(run_to_string(&["generate", "--n", "x", "--k", "3"]).is_err());
+        assert!(
+            run_to_string(&["generate", "--constraint", "nope", "--n", "10", "--k", "3"]).is_err()
+        );
+        assert!(
+            run_to_string(&["generate", "--n", "5", "--k", "3"]).is_err(),
+            "below 2k"
+        );
+    }
+
+    #[test]
+    fn validate_reads_a_file() {
+        let g = build_ktree(10, 3).unwrap().into_graph();
+        let path = std::env::temp_dir().join("lhg_cli_validate_test.edges");
+        std::fs::write(&path, to_edge_list(&g)).unwrap();
+        let out =
+            run_to_string(&["validate", "--k", "3", "--file", path.to_str().unwrap()]).unwrap();
+        assert!(out.contains("LHG: true"), "{out}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn plan_recommends_kdiamond() {
+        let out = run_to_string(&["plan", "--n", "30", "--f", "2"]).unwrap();
+        assert!(out.contains("K-DIAMOND"), "{out}");
+        assert!(out.contains("regular=true"), "{out}");
+        assert!(run_to_string(&["plan", "--n", "5", "--f", "2"]).is_err());
+    }
+
+    #[test]
+    fn flood_reports_full_reliability_at_k_minus_1() {
+        let out = run_to_string(&[
+            "flood",
+            "--n",
+            "20",
+            "--k",
+            "3",
+            "--failures",
+            "2",
+            "--trials",
+            "10",
+        ])
+        .unwrap();
+        assert!(out.contains("reliability 1.000"), "{out}");
+    }
+
+    #[test]
+    fn census_prints_the_table() {
+        let out = run_to_string(&["census", "--k", "3", "--max-n", "12"]).unwrap();
+        assert!(out.lines().count() >= 9);
+        assert!(out.contains("REG(K-DIAMOND)"));
+    }
+
+    #[test]
+    fn unknown_command_fails_with_usage() {
+        let e = run_to_string(&["frobnicate"]).unwrap_err();
+        assert!(e.message.contains("USAGE"));
+        let e = run_to_string(&[]).unwrap_err();
+        assert!(e.message.contains("no command"));
+    }
+
+    #[test]
+    fn option_parser_rejects_positional_and_dangling() {
+        assert!(run_to_string(&["generate", "positional"]).is_err());
+        assert!(run_to_string(&["generate", "--n"]).is_err());
+    }
+}

@@ -1,0 +1,180 @@
+//! Ablation builders: what happens when a construction rule is dropped.
+//!
+//! DESIGN.md calls out two load-bearing choices whose effect these
+//! ablations quantify (experiment E16):
+//!
+//! * **Height balance (rule 3a/5a).** [`build_ktree_unbalanced`] converts
+//!   leaves in LIFO (depth-first) order instead of the level-filling FIFO
+//!   order. The result still satisfies rules 1–2 (k pasted trees, shared
+//!   leaves) and is still k-connected and link-minimal — but the template
+//!   degenerates toward a caterpillar and the diameter becomes Θ(n/k),
+//!   destroying exactly property P4. This is why rule 3a exists.
+//! * **Unshared-leaf priority (K-DIAMOND growth order).**
+//!   [`build_kdiamond_daft`] groups and converts the *deepest* frontier
+//!   positions first, violating the proofs' shallow-first order; the tree
+//!   unbalances the same way.
+//!
+//! Both ablations produce valid *k-connected* graphs — they fail only the
+//! logarithmic-diameter property, making the comparison clean.
+
+use std::collections::BTreeSet;
+
+use crate::construction::{Constraint, LhgGraph};
+use crate::error::LhgError;
+use crate::expand::expand;
+use crate::ktree::validate_params;
+use crate::template::{TemplateTree, TplKind};
+
+/// K-TREE with depth-first (LIFO) leaf conversion: drops height balance.
+///
+/// # Errors
+///
+/// Same domain as [`crate::ktree::build_ktree`].
+pub fn build_ktree_unbalanced(n: usize, k: usize) -> Result<LhgGraph, LhgError> {
+    validate_params(n, k, "K-TREE (unbalanced ablation)")?;
+    let (alpha, j) = crate::ktree::decompose(n, k);
+    let mut t = TemplateTree::new();
+    let mut stack = Vec::with_capacity(k);
+    for _ in 0..k {
+        stack.push(t.add_child(t.root(), TplKind::SharedLeaf { added: false }));
+    }
+    for _ in 0..alpha {
+        let leaf = stack.pop().expect("conversions never exhaust the stack");
+        t.convert_to_branch(leaf);
+        for _ in 0..(k - 1) {
+            stack.push(t.add_child(leaf, TplKind::SharedLeaf { added: false }));
+        }
+    }
+    if j > 0 {
+        let next = *stack.last().expect("stack is never empty");
+        let host = t.node(next).parent.expect("leaves have parents");
+        for _ in 0..j {
+            t.add_child(host, TplKind::SharedLeaf { added: true });
+        }
+    }
+    debug_assert_eq!(t.expanded_node_count(k), n);
+    let expansion = expand(&t, k);
+    Ok(LhgGraph::from_expansion(expansion, t, k, Constraint::KTree))
+}
+
+/// K-DIAMOND with deepest-first growth order: drops height balance.
+///
+/// # Errors
+///
+/// Same domain as [`crate::kdiamond::build_kdiamond`].
+pub fn build_kdiamond_daft(n: usize, k: usize) -> Result<LhgGraph, LhgError> {
+    validate_params(n, k, "K-DIAMOND (deepest-first ablation)")?;
+    let (alpha, j) = crate::kdiamond::decompose(n, k);
+    let mut t = TemplateTree::new();
+    // Max-first ordering: take the *last* (deepest, newest) position.
+    let mut frontier: BTreeSet<(u32, u8, usize)> = BTreeSet::new();
+    for _ in 0..k {
+        let id = t.add_child(t.root(), TplKind::SharedLeaf { added: false });
+        frontier.insert((1, 0, id));
+    }
+    for _ in 0..alpha {
+        let pos = *frontier
+            .iter()
+            .next_back()
+            .expect("frontier is never empty");
+        frontier.remove(&pos);
+        let (depth, kind, id) = pos;
+        if kind == 0 {
+            t.convert_to_unshared(id);
+            frontier.insert((depth, 1, id));
+        } else {
+            t.convert_to_branch(id);
+            for _ in 0..(k - 1) {
+                let c = t.add_child(id, TplKind::SharedLeaf { added: false });
+                frontier.insert((depth + 1, 0, c));
+            }
+        }
+    }
+    if j > 0 {
+        let &(_, _, next) = frontier
+            .iter()
+            .next_back()
+            .expect("frontier is never empty");
+        let host = t.node(next).parent.expect("leaves have parents");
+        for _ in 0..j {
+            t.add_child(host, TplKind::SharedLeaf { added: true });
+        }
+    }
+    debug_assert_eq!(t.expanded_node_count(k), n);
+    let expansion = expand(&t, k);
+    Ok(LhgGraph::from_expansion(
+        expansion,
+        t,
+        k,
+        Constraint::KDiamond,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kdiamond::build_kdiamond;
+    use crate::ktree::build_ktree;
+    use crate::properties::{p4_diameter_bound, validate};
+    use lhg_graph::connectivity::vertex_connectivity;
+    use lhg_graph::paths::diameter;
+
+    #[test]
+    fn unbalanced_ktree_is_still_k_connected_and_minimal() {
+        for (n, k) in [(26, 3), (30, 3), (32, 4)] {
+            let lhg = build_ktree_unbalanced(n, k).unwrap();
+            assert_eq!(lhg.n(), n);
+            let r = validate(lhg.graph(), k);
+            assert!(r.node_connectivity_ok, "(n={n},k={k})");
+            assert!(r.link_connectivity_ok, "(n={n},k={k})");
+            assert!(r.link_minimal, "(n={n},k={k})");
+            assert_eq!(vertex_connectivity(lhg.graph()), k);
+        }
+    }
+
+    #[test]
+    fn unbalanced_ktree_loses_logarithmic_diameter() {
+        // At n=86, k=3 the balanced tree has height ~4 while the DFS chain
+        // has height ~(n-2k)/(2(k-1)) = 20: the diameter gap is decisive.
+        let (n, k) = (86, 3);
+        let balanced = build_ktree(n, k).unwrap();
+        let unbalanced = build_ktree_unbalanced(n, k).unwrap();
+        let d_bal = diameter(balanced.graph()).unwrap();
+        let d_unb = diameter(unbalanced.graph()).unwrap();
+        assert!(
+            f64::from(d_bal) <= p4_diameter_bound(n, k),
+            "balanced diameter {d_bal} within bound"
+        );
+        assert!(
+            f64::from(d_unb) > p4_diameter_bound(n, k),
+            "unbalanced diameter {d_unb} must exceed the P4 bound {}",
+            p4_diameter_bound(n, k)
+        );
+        assert!(d_unb >= 2 * d_bal, "diameter blowup: {d_bal} -> {d_unb}");
+        assert!(!unbalanced.template().is_height_balanced());
+    }
+
+    #[test]
+    fn daft_kdiamond_is_k_connected_but_unbalanced() {
+        let (n, k) = (60, 3);
+        let lhg = build_kdiamond_daft(n, k).unwrap();
+        assert_eq!(vertex_connectivity(lhg.graph()), k);
+        assert!(!lhg.template().is_height_balanced());
+        let d_daft = diameter(lhg.graph()).unwrap();
+        let d_good = diameter(build_kdiamond(n, k).unwrap().graph()).unwrap();
+        assert!(
+            d_daft > d_good,
+            "deepest-first must be strictly worse: {d_daft} vs {d_good}"
+        );
+    }
+
+    #[test]
+    fn ablations_preserve_node_counts_and_domains() {
+        assert!(build_ktree_unbalanced(5, 3).is_err());
+        assert!(build_kdiamond_daft(5, 3).is_err());
+        for n in 6..=20 {
+            assert_eq!(build_ktree_unbalanced(n, 3).unwrap().n(), n);
+            assert_eq!(build_kdiamond_daft(n, 3).unwrap().n(), n);
+        }
+    }
+}

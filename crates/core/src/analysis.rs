@@ -1,0 +1,159 @@
+//! Structural analysis of the constructions: facts the papers do not state
+//! but that follow from the pasted-trees shape, made executable.
+//!
+//! * **K-TREE graphs are bipartite** (hence triangle-free): every edge
+//!   joins template depth `d` to `d + 1`, so depth parity is a proper
+//!   2-coloring. Their girth is 4 for k ≥ 3 (two tree copies plus two
+//!   shared sibling leaves form a 4-cycle).
+//! * **K-DIAMOND graphs** trade that away: each unshared leaf group is a
+//!   k-clique, contributing exactly `C(k, 3)` triangles — so
+//!   `triangles = u · C(k, 3)` where `u` is the number of unshared groups,
+//!   and for `k ≥ 3`, `u ≥ 1` the graph is non-bipartite with girth 3.
+//!
+//! [`profile`] bundles these with clustering and a spectral-gap estimate
+//! for the cross-topology comparison experiment (E19/E20).
+
+use lhg_graph::metrics::{average_clustering, girth, is_bipartite, triangle_count};
+use lhg_graph::spectral::slem_estimate;
+use lhg_graph::Graph;
+
+use crate::construction::LhgGraph;
+use crate::template::TplKind;
+use crate::util::binomial;
+
+/// Structural profile of a topology.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StructuralProfile {
+    /// Whether the graph is bipartite.
+    pub bipartite: bool,
+    /// Shortest cycle length (`None` for forests).
+    pub girth: Option<u32>,
+    /// Number of triangles.
+    pub triangles: usize,
+    /// Average local clustering coefficient.
+    pub clustering: f64,
+    /// Spectral gap estimate of the lazy random walk (see
+    /// [`lhg_graph::spectral`]).
+    pub spectral_gap: f64,
+}
+
+/// Computes the structural profile of `g` (spectral estimate uses `iters`
+/// power-iteration steps).
+///
+/// # Panics
+///
+/// Panics if `g` has no nodes.
+#[must_use]
+pub fn profile(g: &Graph, iters: usize) -> StructuralProfile {
+    StructuralProfile {
+        bipartite: is_bipartite(g),
+        girth: girth(g),
+        triangles: triangle_count(g),
+        clustering: average_clustering(g),
+        spectral_gap: slem_estimate(g, iters).gap,
+    }
+}
+
+/// Number of unshared leaf groups in an LHG's template.
+#[must_use]
+pub fn unshared_group_count(lhg: &LhgGraph) -> usize {
+    lhg.template()
+        .iter()
+        .filter(|(_, n)| matches!(n.kind, TplKind::UnsharedGroup))
+        .count()
+}
+
+/// The closed-form triangle count of a pasted-trees graph: every triangle
+/// lives inside an unshared clique, so `u · C(k, 3)`.
+#[must_use]
+pub fn expected_triangles(lhg: &LhgGraph) -> usize {
+    unshared_group_count(lhg) * binomial(lhg.k(), 3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kdiamond::build_kdiamond;
+    use crate::ktree::build_ktree;
+
+    #[test]
+    fn ktree_graphs_are_bipartite_and_triangle_free() {
+        for k in 2..=4usize {
+            for n in (2 * k)..=(2 * k + 20) {
+                let lhg = build_ktree(n, k).unwrap();
+                let p = profile(lhg.graph(), 50);
+                assert!(p.bipartite, "(n={n},k={k})");
+                assert_eq!(p.triangles, 0, "(n={n},k={k})");
+                assert_eq!(p.clustering, 0.0, "(n={n},k={k})");
+            }
+        }
+    }
+
+    #[test]
+    fn ktree_girth_is_four_for_k_at_least_3() {
+        for (n, k) in [(6, 3), (10, 3), (14, 3), (12, 4), (20, 4)] {
+            let lhg = build_ktree(n, k).unwrap();
+            assert_eq!(girth(lhg.graph()), Some(4), "(n={n},k={k})");
+        }
+    }
+
+    #[test]
+    fn ktree_k2_is_a_cycle_with_girth_n() {
+        let lhg = build_ktree(8, 2).unwrap();
+        assert_eq!(girth(lhg.graph()), Some(8));
+    }
+
+    #[test]
+    fn kdiamond_triangles_match_the_closed_form() {
+        for k in 3..=5usize {
+            for n in (2 * k)..=(2 * k + 25) {
+                let lhg = build_kdiamond(n, k).unwrap();
+                assert_eq!(
+                    triangle_count(lhg.graph()),
+                    expected_triangles(&lhg),
+                    "(n={n},k={k}) with {} groups",
+                    unshared_group_count(&lhg)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn kdiamond_with_groups_is_non_bipartite_girth_3() {
+        let lhg = build_kdiamond(8, 3).unwrap();
+        assert!(unshared_group_count(&lhg) > 0);
+        let p = profile(lhg.graph(), 50);
+        assert!(!p.bipartite);
+        assert_eq!(p.girth, Some(3));
+        assert!(p.triangles > 0);
+        assert!(p.clustering > 0.0);
+    }
+
+    #[test]
+    fn kdiamond_without_groups_matches_ktree_shape() {
+        // (6,3) has no unshared groups: identical to the K-TREE base.
+        let lhg = build_kdiamond(6, 3).unwrap();
+        assert_eq!(unshared_group_count(&lhg), 0);
+        assert!(profile(lhg.graph(), 50).bipartite);
+    }
+
+    #[test]
+    fn lhgs_have_healthy_spectral_gap() {
+        // Compared to a cycle of the same size, the LHG gap is much larger.
+        let lhg = build_kdiamond(62, 3).unwrap();
+        let lhg_gap = profile(lhg.graph(), 400).spectral_gap;
+        let mut cycle = Graph::with_nodes(62);
+        for i in 0..62 {
+            cycle.add_edge(lhg_graph_node(i), lhg_graph_node((i + 1) % 62));
+        }
+        let cycle_gap = profile(&cycle, 400).spectral_gap;
+        assert!(
+            lhg_gap > 5.0 * cycle_gap,
+            "LHG gap {lhg_gap} vs cycle gap {cycle_gap}"
+        );
+    }
+
+    fn lhg_graph_node(i: usize) -> lhg_graph::NodeId {
+        lhg_graph::NodeId(i)
+    }
+}

@@ -1,0 +1,314 @@
+//! Structural constraint checker: verifies a built [`LhgGraph`] against the
+//! rule set of its constraint (K-TREE Definition 1, K-DIAMOND Definition 2,
+//! or the JD rule), rule by rule.
+//!
+//! This is deliberately independent of the builders' internal logic: it
+//! re-derives every fact it checks from the template and the expanded graph,
+//! so a bug in the growth schedules (wrong conversion order, unbalanced
+//! levels, overfull hosts) surfaces as a named violation rather than a
+//! silently wrong topology.
+
+use lhg_graph::components::is_connected;
+use lhg_graph::{Graph, NodeId};
+
+use crate::construction::{Constraint, LhgGraph};
+use crate::template::{TplId, TplKind};
+
+/// A violated constraint rule, with the rule's paper name and a description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Which rule failed (paper numbering, e.g. "K-TREE 3b").
+    pub rule: String,
+    /// What exactly went wrong.
+    pub detail: String,
+}
+
+impl core::fmt::Display for Violation {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "rule {} violated: {}", self.rule, self.detail)
+    }
+}
+
+fn violation(rule: &str, detail: String) -> Violation {
+    Violation {
+        rule: rule.to_string(),
+        detail,
+    }
+}
+
+/// Checks `lhg` against every rule of its constraint. An empty vector means
+/// the graph satisfies the constraint.
+#[must_use]
+pub fn check_constraint(lhg: &LhgGraph) -> Vec<Violation> {
+    let mut v = Vec::new();
+    let t = lhg.template();
+    let k = lhg.k();
+    let prefix = lhg.constraint().name();
+
+    // --- Template-level rules -------------------------------------------
+    if t.validate_structure().is_err() {
+        v.push(violation(
+            &format!("{prefix} template"),
+            "broken parent/child links".into(),
+        ));
+        return v; // everything else would be noise
+    }
+
+    // Rule 3a / 5a: height balance.
+    if !t.is_height_balanced() {
+        v.push(violation(
+            &format!("{prefix} 3a/5a"),
+            "template tree is not height-balanced".into(),
+        ));
+    }
+
+    // Child-count rules. Added leaves never count toward the regular quota.
+    for (id, node) in t.iter() {
+        if !matches!(node.kind, TplKind::Branch) {
+            continue;
+        }
+        let regular: Vec<TplId> = node
+            .children
+            .iter()
+            .copied()
+            .filter(|&c| !matches!(t.node(c).kind, TplKind::SharedLeaf { added: true }))
+            .collect();
+        let added = node.children.len() - regular.len();
+
+        if id == t.root() {
+            // Rule 3b / 5b: root has k (regular) children.
+            if regular.len() != k {
+                v.push(violation(
+                    &format!("{prefix} 3b/5b"),
+                    format!("root has {} regular children, expected {k}", regular.len()),
+                ));
+            }
+        } else {
+            // Rule 3c / 5c: internal nodes have 0 or k−1 (regular) children.
+            if !regular.is_empty() && regular.len() != k - 1 {
+                v.push(violation(
+                    &format!("{prefix} 3c/5c"),
+                    format!("internal node {id} has {} regular children", regular.len()),
+                ));
+            }
+        }
+
+        // Added-leaf capacity and placement.
+        if added > 0 {
+            let has_leaf_child = node.children.iter().any(|&c| t.node(c).kind.is_leaf());
+            if !has_leaf_child {
+                v.push(violation(
+                    &format!("{prefix} 3d/5d"),
+                    format!("node {id} hosts added leaves but is not just above the leaves"),
+                ));
+            }
+            let cap = match lhg.constraint() {
+                Constraint::KTree => 2 * k - 3,
+                Constraint::KDiamond => k - 2,
+                Constraint::Jd => 2,
+            };
+            if added > cap {
+                v.push(violation(
+                    &format!("{prefix} 3d/5d"),
+                    format!("node {id} hosts {added} added leaves, cap {cap}"),
+                ));
+            }
+            if lhg.constraint() == Constraint::Jd && id == t.root() {
+                v.push(violation(
+                    "JD root",
+                    "the JD rule gives the root exactly k children".into(),
+                ));
+            }
+        }
+    }
+
+    // JD: at most k hosts with extras.
+    if lhg.constraint() == Constraint::Jd {
+        let hosts = t
+            .iter()
+            .filter(|(_, n)| {
+                n.children
+                    .iter()
+                    .any(|&c| matches!(t.node(c).kind, TplKind::SharedLeaf { added: true }))
+            })
+            .count();
+        if hosts > k {
+            v.push(violation(
+                "JD hosts",
+                format!("{hosts} nodes host extras, cap {k}"),
+            ));
+        }
+    }
+
+    // Unshared leaves are K-DIAMOND-only.
+    let unshared = t
+        .iter()
+        .filter(|(_, n)| matches!(n.kind, TplKind::UnsharedGroup))
+        .count();
+    if unshared > 0 && lhg.constraint() != Constraint::KDiamond {
+        v.push(violation(
+            &format!("{prefix} 1"),
+            format!("{unshared} unshared leaf groups in a non-K-DIAMOND graph"),
+        ));
+    }
+
+    // --- Expansion-level rules ------------------------------------------
+    // Rule 1: the graph contains k copies of T — each copy's members induce
+    // a tree with |T| nodes.
+    for copy in 0..k {
+        let members = lhg.tree_copy_members(copy);
+        let mut sub = Graph::with_nodes(members.len());
+        for (i, &a) in members.iter().enumerate() {
+            for (j, &b) in members.iter().enumerate().skip(i + 1) {
+                if lhg.graph().has_edge(a, b) {
+                    sub.add_edge(NodeId(i), NodeId(j));
+                }
+            }
+        }
+        if !is_connected(&sub) || sub.edge_count() != members.len().saturating_sub(1) {
+            v.push(violation(
+                &format!("{prefix} 1"),
+                format!(
+                    "tree copy {copy} is not a tree ({} nodes, {} induced edges)",
+                    members.len(),
+                    sub.edge_count()
+                ),
+            ));
+        }
+    }
+
+    // Rule 2 / 3: each shared leaf is a leaf of all k trees — exactly one
+    // parent-copy edge per tree, i.e. degree k with one neighbor per copy.
+    for (id, node) in t.iter() {
+        match node.kind {
+            TplKind::SharedLeaf { .. } => {
+                let vtx = NodeId(lhg.base_id(id));
+                if lhg.graph().degree(vtx) != k {
+                    v.push(violation(
+                        &format!("{prefix} 2/3"),
+                        format!(
+                            "shared leaf {vtx} has degree {}, expected {k}",
+                            lhg.graph().degree(vtx)
+                        ),
+                    ));
+                }
+            }
+            TplKind::UnsharedGroup => {
+                // Rule 4a/4b: clique of k, each member one tree edge.
+                let base = lhg.base_id(id);
+                for i in 0..k {
+                    for j in (i + 1)..k {
+                        if !lhg.graph().has_edge(NodeId(base + i), NodeId(base + j)) {
+                            v.push(violation(
+                                "K-DIAMOND 4a",
+                                format!("unshared group {id} is missing clique edges"),
+                            ));
+                        }
+                    }
+                    if lhg.graph().degree(NodeId(base + i)) != k {
+                        v.push(violation(
+                            "K-DIAMOND 4b",
+                            format!(
+                                "unshared member {} has degree {}, expected {k}",
+                                base + i,
+                                lhg.graph().degree(NodeId(base + i))
+                            ),
+                        ));
+                    }
+                }
+            }
+            TplKind::Branch => {}
+        }
+    }
+
+    v
+}
+
+/// Convenience wrapper: `true` when [`check_constraint`] reports nothing.
+#[must_use]
+pub fn satisfies_constraint(lhg: &LhgGraph) -> bool {
+    check_constraint(lhg).is_empty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::jd::build_jd;
+    use crate::kdiamond::build_kdiamond;
+    use crate::ktree::build_ktree;
+
+    #[test]
+    fn all_ktree_builds_satisfy_their_rules() {
+        for k in 2..=4usize {
+            for n in (2 * k)..=(2 * k + 20) {
+                let lhg = build_ktree(n, k).unwrap();
+                let violations = check_constraint(&lhg);
+                assert!(violations.is_empty(), "(n={n},k={k}): {violations:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn all_kdiamond_builds_satisfy_their_rules() {
+        for k in 2..=4usize {
+            for n in (2 * k)..=(2 * k + 25) {
+                let lhg = build_kdiamond(n, k).unwrap();
+                let violations = check_constraint(&lhg);
+                assert!(violations.is_empty(), "(n={n},k={k}): {violations:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn all_jd_builds_satisfy_their_rules() {
+        for k in 2..=4usize {
+            for n in (2 * k)..=(2 * k + 20) {
+                if let Ok(lhg) = build_jd(n, k) {
+                    let violations = check_constraint(&lhg);
+                    assert!(violations.is_empty(), "(n={n},k={k}): {violations:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn checker_catches_broken_height_balance() {
+        // The ablation builders intentionally violate rule 3a/5a; the
+        // checker must flag them (and only that rule).
+        let unbalanced = crate::ablation::build_ktree_unbalanced(26, 3).unwrap();
+        let violations = check_constraint(&unbalanced);
+        assert!(
+            violations.iter().any(|v| v.rule.contains("3a/5a")),
+            "expected a balance violation, got {violations:?}"
+        );
+        assert!(!satisfies_constraint(&unbalanced));
+
+        let daft = crate::ablation::build_kdiamond_daft(40, 3).unwrap();
+        let violations = check_constraint(&daft);
+        assert!(
+            violations.iter().any(|v| v.rule.contains("3a/5a")),
+            "expected a balance violation, got {violations:?}"
+        );
+    }
+
+    #[test]
+    fn checker_accepts_balanced_ablation_sizes() {
+        // At sizes where DFS order coincides with BFS order (alpha <= 1),
+        // the "ablated" builder still produces a legal K-TREE graph.
+        let small = crate::ablation::build_ktree_unbalanced(10, 3).unwrap();
+        assert!(
+            satisfies_constraint(&small),
+            "{:?}",
+            check_constraint(&small)
+        );
+    }
+
+    #[test]
+    fn violation_display_names_the_rule() {
+        let v = Violation {
+            rule: "K-TREE 3b".into(),
+            detail: "boom".into(),
+        };
+        assert_eq!(v.to_string(), "rule K-TREE 3b violated: boom");
+    }
+}

@@ -1,0 +1,201 @@
+//! The [`LhgGraph`] artifact: a built graph together with the template and
+//! per-vertex roles that witness *why* it satisfies its constraint.
+
+use core::fmt;
+
+use lhg_graph::{Graph, NodeId};
+
+use crate::expand::{Expansion, NodeRole};
+use crate::template::TemplateTree;
+
+/// Which graph constraint a built LHG satisfies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum Constraint {
+    /// The Jenkins–Demers operational rule (the target paper's construction).
+    Jd,
+    /// K-TREE (follow-up study, Definition 1): generalizes JD by letting any
+    /// node just above the leaves carry up to 2k−3 added shared leaves.
+    KTree,
+    /// K-DIAMOND (follow-up study, Definition 2): shared and unshared
+    /// (clique) leaves; up to k−2 added shared leaves per host.
+    KDiamond,
+}
+
+impl Constraint {
+    /// Human-readable name as used in the papers.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Constraint::Jd => "JD",
+            Constraint::KTree => "K-TREE",
+            Constraint::KDiamond => "K-DIAMOND",
+        }
+    }
+}
+
+impl fmt::Display for Constraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A constructed Logarithmic Harary Graph with its construction witness.
+///
+/// Produced by [`crate::ktree::build_ktree`],
+/// [`crate::kdiamond::build_kdiamond`] or [`crate::jd::build_jd`]. Beyond the
+/// plain [`Graph`], it retains the template tree and the role of every
+/// vertex, which the structural checker ([`crate::checker`]) and the
+/// experiments use.
+#[derive(Debug, Clone)]
+pub struct LhgGraph {
+    graph: Graph,
+    template: TemplateTree,
+    roles: Vec<NodeRole>,
+    base_ids: Vec<usize>,
+    k: usize,
+    constraint: Constraint,
+}
+
+impl LhgGraph {
+    pub(crate) fn from_expansion(
+        expansion: Expansion,
+        template: TemplateTree,
+        k: usize,
+        constraint: Constraint,
+    ) -> Self {
+        let Expansion {
+            graph,
+            roles,
+            base_ids,
+        } = expansion;
+        LhgGraph {
+            graph,
+            template,
+            roles,
+            base_ids,
+            k,
+            constraint,
+        }
+    }
+
+    /// The underlying graph.
+    #[must_use]
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Consumes the artifact, returning just the graph.
+    #[must_use]
+    pub fn into_graph(self) -> Graph {
+        self.graph
+    }
+
+    /// Number of nodes `n`.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.graph.node_count()
+    }
+
+    /// Target connectivity `k`.
+    #[must_use]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The constraint this graph was built to satisfy.
+    #[must_use]
+    pub fn constraint(&self) -> Constraint {
+        self.constraint
+    }
+
+    /// The template tree `T` whose `k` pasted copies form the graph.
+    #[must_use]
+    pub fn template(&self) -> &TemplateTree {
+        &self.template
+    }
+
+    /// Role of vertex `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of bounds.
+    #[must_use]
+    pub fn role(&self, v: NodeId) -> NodeRole {
+        self.roles[v.index()]
+    }
+
+    /// Roles of all vertices, indexed by vertex id.
+    #[must_use]
+    pub fn roles(&self) -> &[NodeRole] {
+        &self.roles
+    }
+
+    /// First vertex id expanding template node `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is out of bounds.
+    #[must_use]
+    pub fn base_id(&self, t: crate::template::TplId) -> usize {
+        self.base_ids[t]
+    }
+
+    /// The vertices forming tree copy `copy` (see
+    /// [`Expansion::tree_copy_members`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `copy >= k`.
+    #[must_use]
+    pub fn tree_copy_members(&self, copy: usize) -> Vec<NodeId> {
+        assert!(copy < self.k, "copy index out of range");
+        let expansion = Expansion {
+            graph: Graph::new(), // members derive from template + base_ids only
+            roles: Vec::new(),
+            base_ids: self.base_ids.clone(),
+        };
+        expansion.tree_copy_members(&self.template, copy)
+    }
+}
+
+impl fmt::Display for LhgGraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} LHG (n={}, k={}): {} edges, template height {}",
+            self.constraint,
+            self.n(),
+            self.k,
+            self.graph.edge_count(),
+            self.template.height()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constraint_names() {
+        assert_eq!(Constraint::Jd.name(), "JD");
+        assert_eq!(Constraint::KTree.to_string(), "K-TREE");
+        assert_eq!(Constraint::KDiamond.to_string(), "K-DIAMOND");
+    }
+
+    #[test]
+    fn accessors_round_trip() {
+        let lhg = crate::ktree::build_ktree(10, 3).unwrap();
+        assert_eq!(lhg.n(), 10);
+        assert_eq!(lhg.k(), 3);
+        assert_eq!(lhg.constraint(), Constraint::KTree);
+        assert_eq!(lhg.roles().len(), 10);
+        assert_eq!(lhg.graph().node_count(), 10);
+        let display = lhg.to_string();
+        assert!(display.contains("K-TREE"));
+        assert!(display.contains("n=10"));
+        let g = lhg.into_graph();
+        assert_eq!(g.node_count(), 10);
+    }
+}

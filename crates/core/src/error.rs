@@ -1,0 +1,74 @@
+//! Error type for LHG construction.
+
+use core::fmt;
+
+/// Errors produced by the LHG builders.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum LhgError {
+    /// The pair (n, k) is outside the domain of any LHG (`k < n` required,
+    /// and the constructions need `k ≥ 2`).
+    InvalidParams {
+        /// Requested node count.
+        n: usize,
+        /// Requested connectivity.
+        k: usize,
+        /// Why the pair is invalid.
+        reason: &'static str,
+    },
+    /// No graph satisfying the requested constraint exists for (n, k); e.g.
+    /// `n < 2k` for K-TREE/K-DIAMOND (Lemmas 4 and 8), or a pair the JD
+    /// operational rule cannot reach (§4.4 of the follow-up study).
+    NotConstructible {
+        /// Requested node count.
+        n: usize,
+        /// Requested connectivity.
+        k: usize,
+        /// Name of the constraint that cannot be met.
+        constraint: &'static str,
+    },
+}
+
+impl fmt::Display for LhgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LhgError::InvalidParams { n, k, reason } => {
+                write!(f, "invalid parameters (n={n}, k={k}): {reason}")
+            }
+            LhgError::NotConstructible { n, k, constraint } => {
+                write!(f, "no {constraint} graph exists for (n={n}, k={k})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LhgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = LhgError::InvalidParams {
+            n: 3,
+            k: 5,
+            reason: "k must be smaller than n",
+        };
+        assert!(e.to_string().contains("n=3"));
+        assert!(e.to_string().contains("k must be smaller"));
+
+        let e = LhgError::NotConstructible {
+            n: 5,
+            k: 3,
+            constraint: "K-TREE",
+        };
+        assert_eq!(e.to_string(), "no K-TREE graph exists for (n=5, k=3)");
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<LhgError>();
+    }
+}

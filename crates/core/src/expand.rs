@@ -1,0 +1,302 @@
+//! Expansion of a template tree into the final pasted-trees graph.
+//!
+//! Given the template `T` and the connectivity `k`, the expansion materializes
+//! the "k copies of a tree, pasted together at the leaves" (see
+//! [`crate::template`]): every branch becomes `k` vertices (one per copy),
+//! every shared leaf one vertex adjacent to its parent's copy in *every*
+//! tree, and every unshared group a `k`-clique with one member per tree.
+//!
+//! Vertex ids are assigned deterministically in template-id order, copies
+//! consecutive, so repeated builds of the same (n, k) produce identical
+//! graphs (same [`Graph::fingerprint`](lhg_graph::Graph::fingerprint)).
+
+use lhg_graph::{Graph, NodeId};
+
+use crate::template::{TemplateTree, TplId, TplKind};
+
+/// The role a graph vertex plays in the pasted-trees structure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum NodeRole {
+    /// Copy `copy` of a branch template node (`tpl == 0` is the root).
+    Branch {
+        /// Template node this vertex expands.
+        tpl: TplId,
+        /// Which tree copy (`0..k`) this vertex belongs to.
+        copy: usize,
+    },
+    /// The single vertex of a shared leaf — a leaf of all `k` trees.
+    SharedLeaf {
+        /// Template node this vertex expands.
+        tpl: TplId,
+        /// Whether the leaf was attached as an "added" leaf.
+        added: bool,
+    },
+    /// Member `member` of an unshared-leaf clique (K-DIAMOND rule 4).
+    UnsharedMember {
+        /// Template node this vertex expands.
+        tpl: TplId,
+        /// Which tree copy this member is attached to.
+        member: usize,
+    },
+}
+
+impl NodeRole {
+    /// Returns `true` if the vertex is a leaf of the pasted trees (shared or
+    /// unshared).
+    #[must_use]
+    pub fn is_leaf(self) -> bool {
+        !matches!(self, NodeRole::Branch { .. })
+    }
+
+    /// Template node this vertex expands.
+    #[must_use]
+    pub fn tpl(self) -> TplId {
+        match self {
+            NodeRole::Branch { tpl, .. }
+            | NodeRole::SharedLeaf { tpl, .. }
+            | NodeRole::UnsharedMember { tpl, .. } => tpl,
+        }
+    }
+}
+
+/// Result of expanding a template: the graph plus per-vertex roles.
+#[derive(Debug, Clone)]
+pub struct Expansion {
+    /// The expanded graph.
+    pub graph: Graph,
+    /// `roles[v]` describes vertex `v`.
+    pub roles: Vec<NodeRole>,
+    /// `base_ids[t]` is the first vertex id expanding template node `t`
+    /// (branches and groups occupy `base..base + k`, shared leaves `base`).
+    pub base_ids: Vec<usize>,
+}
+
+impl Expansion {
+    /// The vertices of tree copy `copy`: copy-`copy` branch vertices, every
+    /// shared leaf, and member `copy` of every unshared group.
+    ///
+    /// By construction each copy's induced subgraph is a tree — the
+    /// structural verifier in [`crate::properties`] checks exactly that.
+    #[must_use]
+    pub fn tree_copy_members(&self, template: &TemplateTree, copy: usize) -> Vec<NodeId> {
+        let mut members = Vec::new();
+        for (t, node) in template.iter() {
+            let base = self.base_ids[t];
+            match node.kind {
+                TplKind::Branch | TplKind::UnsharedGroup => members.push(NodeId(base + copy)),
+                TplKind::SharedLeaf { .. } => members.push(NodeId(base)),
+            }
+        }
+        members
+    }
+}
+
+/// Expands `template` for connectivity `k`.
+///
+/// # Panics
+///
+/// Panics if `k == 0`.
+#[must_use]
+pub fn expand(template: &TemplateTree, k: usize) -> Expansion {
+    assert!(k >= 1, "connectivity must be at least 1");
+    let mut graph = Graph::with_nodes(template.expanded_node_count(k));
+    let mut roles = Vec::with_capacity(graph.node_count());
+    let mut base_ids = Vec::with_capacity(template.len());
+
+    // First pass: assign vertex ids and roles.
+    let mut next = 0usize;
+    for (t, node) in template.iter() {
+        base_ids.push(next);
+        match node.kind {
+            TplKind::Branch => {
+                for copy in 0..k {
+                    roles.push(NodeRole::Branch { tpl: t, copy });
+                }
+                next += k;
+            }
+            TplKind::SharedLeaf { added } => {
+                roles.push(NodeRole::SharedLeaf { tpl: t, added });
+                next += 1;
+            }
+            TplKind::UnsharedGroup => {
+                for member in 0..k {
+                    roles.push(NodeRole::UnsharedMember { tpl: t, member });
+                }
+                next += k;
+            }
+        }
+    }
+
+    // Second pass: parent edges (per copy) and unshared cliques.
+    for (t, node) in template.iter() {
+        let base = base_ids[t];
+        if let Some(p) = node.parent {
+            let pbase = base_ids[p];
+            match node.kind {
+                TplKind::Branch | TplKind::UnsharedGroup => {
+                    for copy in 0..k {
+                        graph.add_edge(NodeId(pbase + copy), NodeId(base + copy));
+                    }
+                }
+                TplKind::SharedLeaf { .. } => {
+                    for copy in 0..k {
+                        graph.add_edge(NodeId(pbase + copy), NodeId(base));
+                    }
+                }
+            }
+        }
+        if matches!(node.kind, TplKind::UnsharedGroup) {
+            for i in 0..k {
+                for j in (i + 1)..k {
+                    graph.add_edge(NodeId(base + i), NodeId(base + j));
+                }
+            }
+        }
+    }
+
+    Expansion {
+        graph,
+        roles,
+        base_ids,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lhg_graph::connectivity::vertex_connectivity;
+    use lhg_graph::degree::is_k_regular;
+
+    fn leaf() -> TplKind {
+        TplKind::SharedLeaf { added: false }
+    }
+
+    /// Smallest K-TREE template: root + k shared leaves -> the (2k, k) graph.
+    fn smallest(k: usize) -> TemplateTree {
+        let mut t = TemplateTree::new();
+        for _ in 0..k {
+            t.add_child(t.root(), leaf());
+        }
+        t
+    }
+
+    #[test]
+    fn smallest_graph_has_2k_nodes_and_is_k_regular() {
+        for k in 2..=5 {
+            let e = expand(&smallest(k), k);
+            assert_eq!(e.graph.node_count(), 2 * k, "k={k}");
+            // Roots have k children-edges; each shared leaf has k parents.
+            assert!(is_k_regular(&e.graph, k), "k={k}");
+            assert_eq!(vertex_connectivity(&e.graph), k, "k={k}");
+        }
+    }
+
+    #[test]
+    fn smallest_graph_matches_paper_fig_2a() {
+        // (6,3): 3 roots R1..R3, 3 shared leaves l1..l3; every root adjacent
+        // to every leaf (K_{3,3}).
+        let e = expand(&smallest(3), 3);
+        assert_eq!(e.graph.node_count(), 6);
+        assert_eq!(e.graph.edge_count(), 9);
+        for root in 0..3 {
+            for l in 3..6 {
+                assert!(e.graph.has_edge(NodeId(root), NodeId(l)));
+            }
+        }
+    }
+
+    #[test]
+    fn roles_and_base_ids_are_consistent() {
+        let mut t = smallest(3);
+        let extra = t.add_child(t.root(), TplKind::UnsharedGroup);
+        let e = expand(&t, 3);
+        assert_eq!(e.roles.len(), e.graph.node_count());
+        assert_eq!(e.roles[0], NodeRole::Branch { tpl: 0, copy: 0 });
+        assert_eq!(
+            e.roles[3],
+            NodeRole::SharedLeaf {
+                tpl: 1,
+                added: false
+            }
+        );
+        let gbase = e.base_ids[extra];
+        assert_eq!(
+            e.roles[gbase],
+            NodeRole::UnsharedMember {
+                tpl: extra,
+                member: 0
+            }
+        );
+    }
+
+    #[test]
+    fn unshared_group_forms_clique_with_one_parent_edge_each() {
+        let mut t = TemplateTree::new();
+        for _ in 0..2 {
+            t.add_child(t.root(), leaf());
+        }
+        let g_id = t.add_child(t.root(), TplKind::UnsharedGroup);
+        let k = 3;
+        let e = expand(&t, k);
+        let base = e.base_ids[g_id];
+        // Clique among members.
+        for i in 0..k {
+            for j in (i + 1)..k {
+                assert!(e.graph.has_edge(NodeId(base + i), NodeId(base + j)));
+            }
+        }
+        // Member i adjacent to root copy i only.
+        for i in 0..k {
+            assert!(e.graph.has_edge(NodeId(i), NodeId(base + i)));
+            for other in 0..k {
+                if other != i {
+                    assert!(!e.graph.has_edge(NodeId(other), NodeId(base + i)));
+                }
+            }
+        }
+        // Each member has degree k: (k-1)-clique + parent.
+        for i in 0..k {
+            assert_eq!(e.graph.degree(NodeId(base + i)), k);
+        }
+    }
+
+    #[test]
+    fn tree_copy_members_induce_trees() {
+        use lhg_graph::components::is_connected;
+        // Template: root, one internal with 2 leaves, one shared leaf, one group.
+        let mut t = TemplateTree::new();
+        let a = t.add_child(t.root(), leaf());
+        t.add_child(t.root(), leaf());
+        t.add_child(t.root(), TplKind::UnsharedGroup);
+        t.convert_to_branch(a);
+        t.add_child(a, leaf());
+        t.add_child(a, leaf());
+        let k = 3;
+        let e = expand(&t, k);
+        for copy in 0..k {
+            let members = e.tree_copy_members(&t, copy);
+            assert_eq!(members.len(), t.len());
+            // Induced subgraph on members must be a tree: connected with
+            // |V| - 1 edges.
+            let mut sub = Graph::with_nodes(members.len());
+            for (i, &u) in members.iter().enumerate() {
+                for (j, &v) in members.iter().enumerate().skip(i + 1) {
+                    if e.graph.has_edge(u, v) {
+                        sub.add_edge(NodeId(i), NodeId(j));
+                    }
+                }
+            }
+            assert!(is_connected(&sub), "copy {copy} connected");
+            assert_eq!(sub.edge_count(), members.len() - 1, "copy {copy} is a tree");
+        }
+    }
+
+    #[test]
+    fn expansion_is_deterministic() {
+        let t = smallest(4);
+        let a = expand(&t, 4);
+        let b = expand(&t, 4);
+        assert_eq!(a.graph.fingerprint(), b.graph.fingerprint());
+    }
+}

@@ -1,0 +1,328 @@
+//! The Jenkins–Demers operational construction (the target paper's rule).
+//!
+//! Quoted by the follow-up study (§4.4): *"The construction consists of k
+//! copies of a tree whose root node has k children, and whose other interior
+//! nodes mostly have k−1 children (except for at most k interior nodes just
+//! above the leaf nodes, which may have up to k+1 children). These trees are
+//! then 'pasted together' at the leaves — i.e. each leaf is a leaf of all k
+//! trees."*
+//!
+//! Relative to K-TREE the differences are:
+//!
+//! * the **root never takes extra children** (it has exactly k);
+//! * only **interior** nodes just above the leaves may take extras;
+//! * each such node tops out at `k+1` children, i.e. at most **2 extras**
+//!   over the regular `k−1`;
+//! * at most **k** interior nodes may carry extras.
+//!
+//! Consequently the reachable `j` range at a given growth stage is
+//! `0 ..= 2·min(h, k)` where `h` is the number of interior nodes currently
+//! just above the leaves — strictly narrower than K-TREE's `0 ..= 2k−3`
+//! whenever `h` is small. In particular at `α = 0` there are no interior
+//! nodes at all, so only `j = 0` works: JD misses `(2k+1, k) .. (2k+2k−3,
+//! k)` entirely, and similar gaps recur at every height increase. This is
+//! the follow-up's §4.4 claim that JD leaves infinitely many pairs
+//! unconstructible; [`is_jd_constructible`] computes the exact set under
+//! this reading.
+//!
+//! **Interpretation note.** The JD paper's own text is not available to this
+//! reproduction; the rule above is reconstructed from the verbatim quote,
+//! which does not say whether extras may be added one at a time (k
+//! children) or only in pairs (k+1). Both readings ship:
+//! [`is_jd_constructible`] / [`build_jd`] are **lenient** (1 or 2 extras per
+//! host; finite gap set per k), while [`is_jd_constructible_strict`] /
+//! [`build_jd_strict`] are **strict** (pairs only), which reproduces the
+//! follow-up's claim that JD misses infinitely many pairs — every odd-j
+//! point, e.g. n = 2k + 2α(k−1) + 3 for all α at k = 3. Experiment E13
+//! brackets the two readings side by side.
+
+use crate::construction::{Constraint, LhgGraph};
+use crate::error::LhgError;
+use crate::expand::expand;
+use crate::ktree::{decompose, validate_params};
+use crate::template::{TemplateTree, TplId, TplKind};
+
+/// Interior (non-root) nodes whose children are currently all leaves, in id
+/// (BFS/creation) order. These are the only nodes JD may give extra children.
+fn extra_hosts(t: &TemplateTree) -> Vec<TplId> {
+    t.iter()
+        .filter(|&(id, n)| {
+            id != t.root()
+                && matches!(n.kind, TplKind::Branch)
+                && !n.children.is_empty()
+                && n.children.iter().all(|&c| t.node(c).kind.is_leaf())
+        })
+        .map(|(id, _)| id)
+        .collect()
+}
+
+/// Number of extra leaves JD can host at growth stage `α` for connectivity
+/// `k`: two per interior just-above-leaves node, at most `k` such nodes.
+#[must_use]
+pub fn jd_extra_capacity(k: usize, alpha: usize) -> usize {
+    let t = crate::ktree::build_template(k, alpha, 0);
+    2 * extra_hosts(&t).len().min(k)
+}
+
+/// Returns `true` if the JD operational rule can build a graph for (n, k)
+/// under the **lenient** reading of the rule (a host may take one *or* two
+/// extras).
+#[must_use]
+pub fn is_jd_constructible(n: usize, k: usize) -> bool {
+    if k < 2 || k >= n || n < 2 * k {
+        return false;
+    }
+    let (alpha, j) = decompose(n, k);
+    j <= jd_extra_capacity(k, alpha)
+}
+
+/// Returns `true` if the JD rule can build (n, k) under the **strict**
+/// reading: a special interior node has exactly `k+1` children (extras
+/// only come in pairs), so only even `j ≤ capacity` is reachable.
+///
+/// This reading reproduces the follow-up's §4.4 claim *exactly*: for every
+/// k there are infinitely many unreachable pairs — all odd-j points, e.g.
+/// `n = 2k + 2α(k−1) + 3` for every α when k = 3.
+#[must_use]
+pub fn is_jd_constructible_strict(n: usize, k: usize) -> bool {
+    if k < 2 || k >= n || n < 2 * k {
+        return false;
+    }
+    let (alpha, j) = decompose(n, k);
+    j % 2 == 0 && j <= jd_extra_capacity(k, alpha)
+}
+
+/// Builds the JD graph for (n, k).
+///
+/// # Errors
+///
+/// * [`LhgError::InvalidParams`] if `k < 2` or `k ≥ n`;
+/// * [`LhgError::NotConstructible`] if `n < 2k`, or if (n, k) falls in one
+///   of the gaps the JD rule cannot reach (use
+///   [`crate::ktree::build_ktree`] there — that is exactly the follow-up's
+///   point).
+///
+/// # Example
+///
+/// ```
+/// use lhg_core::jd::{build_jd, is_jd_constructible};
+///
+/// assert!(is_jd_constructible(6, 3));
+/// assert!(!is_jd_constructible(9, 3)); // K-TREE handles this pair; JD cannot
+/// let lhg = build_jd(6, 3)?;
+/// assert_eq!(lhg.n(), 6);
+/// # Ok::<(), lhg_core::LhgError>(())
+/// ```
+pub fn build_jd(n: usize, k: usize) -> Result<LhgGraph, LhgError> {
+    validate_params(n, k, "JD")?;
+    let (alpha, j) = decompose(n, k);
+    let mut template = crate::ktree::build_template(k, alpha, 0);
+    if j > 0 {
+        let hosts = extra_hosts(&template);
+        let usable = hosts.len().min(k);
+        if j > 2 * usable {
+            return Err(LhgError::NotConstructible {
+                n,
+                k,
+                constraint: "JD",
+            });
+        }
+        // Two extras per host, in BFS order, until j is exhausted.
+        let mut remaining = j;
+        for &host in hosts.iter().take(usable) {
+            let here = remaining.min(2);
+            for _ in 0..here {
+                template.add_child(host, TplKind::SharedLeaf { added: true });
+            }
+            remaining -= here;
+            if remaining == 0 {
+                break;
+            }
+        }
+        debug_assert_eq!(remaining, 0);
+    }
+    debug_assert_eq!(template.expanded_node_count(k), n);
+    let expansion = expand(&template, k);
+    Ok(LhgGraph::from_expansion(
+        expansion,
+        template,
+        k,
+        Constraint::Jd,
+    ))
+}
+
+/// Builds the JD graph for (n, k) under the strict (pairs-only) reading.
+///
+/// # Errors
+///
+/// As [`build_jd`], plus [`LhgError::NotConstructible`] for every odd-`j`
+/// point (the infinitely many gaps of §4.4).
+pub fn build_jd_strict(n: usize, k: usize) -> Result<LhgGraph, LhgError> {
+    if !is_jd_constructible_strict(n, k) {
+        validate_params(n, k, "JD (strict)")?;
+        return Err(LhgError::NotConstructible {
+            n,
+            k,
+            constraint: "JD (strict)",
+        });
+    }
+    build_jd(n, k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lhg_graph::connectivity::vertex_connectivity;
+
+    #[test]
+    fn strict_reading_reproduces_the_infinite_gap_claim() {
+        // §4.4: n = 2k + 2α(k−1) + 3 is unreachable for EVERY α at k = 3.
+        for alpha in 0..30usize {
+            let n = 6 + 4 * alpha + 3;
+            assert!(!is_jd_constructible_strict(n, 3), "n={n}");
+            assert!(
+                crate::ktree::build_ktree(n, 3).is_ok(),
+                "K-TREE covers n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn strict_is_a_subset_of_lenient() {
+        for k in 2..=5 {
+            for n in 2..=(6 * k + 20) {
+                if is_jd_constructible_strict(n, k) {
+                    assert!(is_jd_constructible(n, k), "(n={n},k={k})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn strict_builder_matches_its_predicate() {
+        for k in 3..=4usize {
+            for n in (2 * k)..=(2 * k + 20) {
+                assert_eq!(
+                    build_jd_strict(n, k).is_ok(),
+                    is_jd_constructible_strict(n, k),
+                    "(n={n},k={k})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn strict_builds_are_k_connected() {
+        for (n, k) in [(6, 3), (10, 3), (12, 3), (16, 4)] {
+            if let Ok(lhg) = build_jd_strict(n, k) {
+                assert_eq!(vertex_connectivity(lhg.graph()), k, "(n={n},k={k})");
+            }
+        }
+    }
+    use lhg_graph::degree::is_k_regular;
+
+    #[test]
+    fn smallest_jd_equals_smallest_ktree() {
+        let jd = build_jd(6, 3).unwrap();
+        let kt = crate::ktree::build_ktree(6, 3).unwrap();
+        assert_eq!(jd.graph().fingerprint(), kt.graph().fingerprint());
+        assert_eq!(jd.constraint(), Constraint::Jd);
+    }
+
+    #[test]
+    fn alpha_zero_allows_only_j_zero() {
+        // With no interior nodes, no extras can be hosted: (7..9, 3) fail.
+        assert!(is_jd_constructible(6, 3));
+        assert!(!is_jd_constructible(7, 3));
+        assert!(!is_jd_constructible(8, 3));
+        assert!(!is_jd_constructible(9, 3));
+        assert!(is_jd_constructible(10, 3)); // α=1, j=0
+        assert!(matches!(
+            build_jd(7, 3),
+            Err(LhgError::NotConstructible { .. })
+        ));
+    }
+
+    #[test]
+    fn alpha_one_allows_two_extras() {
+        // α=1 (k=3): one interior just-above-leaves node -> capacity 2.
+        assert_eq!(jd_extra_capacity(3, 1), 2);
+        assert!(is_jd_constructible(11, 3)); // j=1
+        assert!(is_jd_constructible(12, 3)); // j=2
+        assert!(!is_jd_constructible(13, 3)); // j=3 > 2
+    }
+
+    #[test]
+    fn jd_gap_set_is_infinite_along_j3() {
+        // §4.4: for k=3 the pairs n = 2k + 2α(k−1) + 3 stay unreachable
+        // while only one interior host exists; verify the early gaps and
+        // that K-TREE covers all of them.
+        for alpha in 0..2usize {
+            let n = 6 + 4 * alpha + 3;
+            assert!(!is_jd_constructible(n, 3), "n={n}");
+            assert!(crate::ktree::build_ktree(n, 3).is_ok(), "n={n}");
+        }
+    }
+
+    #[test]
+    fn built_jd_graphs_are_k_connected() {
+        for k in 2..=4usize {
+            for n in (2 * k)..=(2 * k + 16) {
+                if !is_jd_constructible(n, k) {
+                    continue;
+                }
+                let lhg = build_jd(n, k).unwrap_or_else(|e| panic!("(n={n},k={k}): {e}"));
+                assert_eq!(vertex_connectivity(lhg.graph()), k, "(n={n},k={k})");
+            }
+        }
+    }
+
+    #[test]
+    fn jd_regular_points_match_ktree() {
+        let k = 3;
+        for n in (2 * k)..=(2 * k + 20) {
+            if !is_jd_constructible(n, k) {
+                continue;
+            }
+            let lhg = build_jd(n, k).unwrap();
+            let (_, j) = decompose(n, k);
+            assert_eq!(is_k_regular(lhg.graph(), k), j == 0, "n={n}");
+        }
+    }
+
+    #[test]
+    fn extras_never_exceed_k_plus_1_children() {
+        let k = 4;
+        for n in (2 * k)..=(2 * k + 30) {
+            if !is_jd_constructible(n, k) {
+                continue;
+            }
+            let lhg = build_jd(n, k).unwrap();
+            for (id, node) in lhg.template().iter() {
+                if id == lhg.template().root() {
+                    assert_eq!(node.children.len(), k, "root must have exactly k children");
+                } else if matches!(node.kind, TplKind::Branch) {
+                    assert!(
+                        node.children.len() <= k + 1,
+                        "interior node with {} children (n={n})",
+                        node.children.len()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn constructible_set_is_subset_of_ktree() {
+        for k in 2..=5usize {
+            for n in 2..(4 * k + 10) {
+                if is_jd_constructible(n, k) {
+                    assert!(
+                        crate::ktree::build_ktree(n, k).is_ok(),
+                        "JD-constructible but not K-TREE: (n={n},k={k})"
+                    );
+                }
+            }
+        }
+    }
+}

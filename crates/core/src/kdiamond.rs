@@ -1,0 +1,302 @@
+//! The K-DIAMOND construction (follow-up study, Definition 2).
+//!
+//! K-DIAMOND generalizes K-TREE with *unshared* leaves: a tree-leaf position
+//! may hold `k` vertices forming a clique, each attached to one tree copy
+//! (rule 4). This makes the regular points denser: Theorem 6 shows a
+//! k-regular K-DIAMOND graph exists iff `n = 2k + α(k−1)` — every `k−1`
+//! nodes instead of K-TREE's every `2(k−1)` (Theorem 7: infinitely many
+//! pairs are regular under K-DIAMOND but not under K-TREE).
+//!
+//! The builder follows the constructive proof of Theorem 5 with a single
+//! priority rule ordering the α growth events. Each event consumes `k−1`
+//! vertices and acts on the BFS-least *actionable position*, ordered by
+//! `(depth, kind, id)` with shared leaves (kind 0) before unshared groups
+//! (kind 1):
+//!
+//! * a **shared leaf** at the frontier is grouped into an unshared k-clique
+//!   (proof part 2);
+//! * once a depth has no shared leaves left, the oldest **unshared group**
+//!   converts into an internal node with `k−1` fresh shared-leaf children
+//!   (proof part 3 — this is what increases the height, and processing
+//!   shallower groups first keeps the tree height-balanced, part 4).
+//!
+//! Finally `j = (n − 2k) mod (k−1) ∈ {0, …, k−2}` added shared leaves attach
+//! to the node just above the next actionable position (rule 5d).
+
+use std::collections::BTreeSet;
+
+use crate::construction::{Constraint, LhgGraph};
+use crate::error::LhgError;
+use crate::expand::expand;
+use crate::ktree::validate_params;
+use crate::template::{TemplateTree, TplKind};
+
+/// Decomposes `n = 2k + α(k−1) + j` with `j ∈ {0, …, k−2}`.
+///
+/// # Panics
+///
+/// Panics if `n < 2k` or `k < 2` (callers validate first).
+#[must_use]
+pub fn decompose(n: usize, k: usize) -> (usize, usize) {
+    assert!(
+        k >= 2 && n >= 2 * k,
+        "decompose requires k >= 2 and n >= 2k"
+    );
+    let rest = n - 2 * k;
+    (rest / (k - 1), rest % (k - 1))
+}
+
+/// Frontier ordering: shared leaves sort before unshared groups at the same
+/// depth; smaller depth always first; ids break ties (creation order).
+type Position = (u32, u8, usize);
+
+const SHARED: u8 = 0;
+const UNSHARED: u8 = 1;
+
+/// Builds the K-DIAMOND template for `α` growth events and `j` added leaves.
+pub(crate) fn build_template(k: usize, alpha: usize, j: usize) -> TemplateTree {
+    let mut t = TemplateTree::new();
+    let mut frontier: BTreeSet<Position> = BTreeSet::new();
+    for _ in 0..k {
+        let id = t.add_child(t.root(), TplKind::SharedLeaf { added: false });
+        frontier.insert((1, SHARED, id));
+    }
+    for _ in 0..alpha {
+        let pos = *frontier.iter().next().expect("frontier is never empty");
+        frontier.remove(&pos);
+        let (depth, kind, id) = pos;
+        if kind == SHARED {
+            // Grouping: the shared leaf plus k−1 incoming vertices become an
+            // unshared k-clique in the same tree position.
+            t.convert_to_unshared(id);
+            frontier.insert((depth, UNSHARED, id));
+        } else {
+            // Height growth: the unshared group becomes an internal node
+            // with k−1 fresh shared-leaf children.
+            t.convert_to_branch(id);
+            for _ in 0..(k - 1) {
+                let c = t.add_child(id, TplKind::SharedLeaf { added: false });
+                frontier.insert((depth + 1, SHARED, c));
+            }
+        }
+    }
+    if j > 0 {
+        let &(_, _, next) = frontier.iter().next().expect("frontier is never empty");
+        let host = t.node(next).parent.expect("leaves always have parents");
+        for _ in 0..j {
+            t.add_child(host, TplKind::SharedLeaf { added: true });
+        }
+    }
+    t
+}
+
+/// Builds the K-DIAMOND graph for (n, k).
+///
+/// # Errors
+///
+/// * [`LhgError::InvalidParams`] if `k < 2` or `k ≥ n`;
+/// * [`LhgError::NotConstructible`] if `n < 2k` (Theorem 5: no K-DIAMOND
+///   graph exists below 2k).
+///
+/// # Example
+///
+/// ```
+/// use lhg_core::kdiamond::build_kdiamond;
+///
+/// // The follow-up's Fig. 3(b) example: (8, 3) with one unshared leaf,
+/// // 3-regular — a pair K-TREE cannot make regular.
+/// let lhg = build_kdiamond(8, 3)?;
+/// assert_eq!(lhg.graph().edge_count(), 12); // 3·8/2
+/// # Ok::<(), lhg_core::LhgError>(())
+/// ```
+pub fn build_kdiamond(n: usize, k: usize) -> Result<LhgGraph, LhgError> {
+    validate_params(n, k, "K-DIAMOND")?;
+    let (alpha, j) = decompose(n, k);
+    let template = build_template(k, alpha, j);
+    debug_assert_eq!(template.expanded_node_count(k), n);
+    let expansion = expand(&template, k);
+    Ok(LhgGraph::from_expansion(
+        expansion,
+        template,
+        k,
+        Constraint::KDiamond,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::template::TplKind;
+    use lhg_graph::connectivity::{edge_connectivity, vertex_connectivity};
+    use lhg_graph::degree::is_k_regular;
+    use lhg_graph::paths::diameter;
+
+    fn unshared_count(t: &TemplateTree) -> usize {
+        t.iter()
+            .filter(|(_, n)| matches!(n.kind, TplKind::UnsharedGroup))
+            .count()
+    }
+
+    fn added_count(t: &TemplateTree) -> usize {
+        t.iter()
+            .filter(|(_, n)| matches!(n.kind, TplKind::SharedLeaf { added: true }))
+            .count()
+    }
+
+    #[test]
+    fn decompose_round_trips() {
+        for k in 2..=6 {
+            for n in (2 * k)..(2 * k + 40) {
+                let (alpha, j) = decompose(n, k);
+                assert_eq!(2 * k + alpha * (k - 1) + j, n, "n={n} k={k}");
+                assert!(j <= k - 2 || (k == 2 && j == 0), "j={j} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_invalid_params() {
+        assert!(matches!(
+            build_kdiamond(10, 0),
+            Err(LhgError::InvalidParams { .. })
+        ));
+        assert!(matches!(
+            build_kdiamond(10, 1),
+            Err(LhgError::InvalidParams { .. })
+        ));
+        assert!(matches!(
+            build_kdiamond(5, 3),
+            Err(LhgError::NotConstructible { .. })
+        ));
+    }
+
+    #[test]
+    fn fig_3a_seven_nodes_one_added_leaf() {
+        // (7,3): α=0, j=1 — root with k=3 regular children + 1 added leaf.
+        let lhg = build_kdiamond(7, 3).unwrap();
+        let (alpha, j) = decompose(7, 3);
+        assert_eq!((alpha, j), (0, 1));
+        assert_eq!(unshared_count(lhg.template()), 0);
+        assert_eq!(added_count(lhg.template()), 1);
+        assert!(!is_k_regular(lhg.graph(), 3));
+        assert_eq!(vertex_connectivity(lhg.graph()), 3);
+    }
+
+    #[test]
+    fn fig_3b_eight_nodes_one_unshared_group_regular() {
+        // (8,3): α=1, j=0 — one unshared clique of 3; 3-regular.
+        let lhg = build_kdiamond(8, 3).unwrap();
+        let (alpha, j) = decompose(8, 3);
+        assert_eq!((alpha, j), (1, 0));
+        assert_eq!(unshared_count(lhg.template()), 1);
+        assert!(is_k_regular(lhg.graph(), 3));
+        assert_eq!(lhg.graph().edge_count(), 12);
+        assert_eq!(vertex_connectivity(lhg.graph()), 3);
+        assert_eq!(edge_connectivity(lhg.graph()), 3);
+    }
+
+    #[test]
+    fn fig_3c_thirteen_nodes_three_groups_plus_added() {
+        // (13,3): α=3, j=1 — all three root slots unshared + 1 added leaf.
+        let lhg = build_kdiamond(13, 3).unwrap();
+        let (alpha, j) = decompose(13, 3);
+        assert_eq!((alpha, j), (3, 1));
+        assert_eq!(unshared_count(lhg.template()), 3);
+        assert_eq!(added_count(lhg.template()), 1);
+        assert_eq!(lhg.template().height(), 1);
+        assert_eq!(vertex_connectivity(lhg.graph()), 3);
+    }
+
+    #[test]
+    fn fig_3d_fourteen_nodes_height_grows_regular() {
+        // (14,3): α=4, j=0 — one group converted to an internal node with
+        // two shared children; 3-regular; height 2.
+        let lhg = build_kdiamond(14, 3).unwrap();
+        let (alpha, j) = decompose(14, 3);
+        assert_eq!((alpha, j), (4, 0));
+        assert_eq!(unshared_count(lhg.template()), 2);
+        assert_eq!(lhg.template().height(), 2);
+        assert!(is_k_regular(lhg.graph(), 3));
+        assert_eq!(lhg.graph().edge_count(), 21);
+        assert_eq!(vertex_connectivity(lhg.graph()), 3);
+    }
+
+    #[test]
+    fn every_n_from_2k_is_constructible_and_k_connected() {
+        for k in 2..=4usize {
+            for n in (2 * k)..=(2 * k + 14) {
+                let lhg = build_kdiamond(n, k).unwrap_or_else(|e| panic!("(n={n},k={k}): {e}"));
+                assert_eq!(lhg.n(), n, "(n={n},k={k})");
+                assert_eq!(vertex_connectivity(lhg.graph()), k, "κ (n={n},k={k})");
+                assert_eq!(edge_connectivity(lhg.graph()), k, "λ (n={n},k={k})");
+            }
+        }
+    }
+
+    #[test]
+    fn regular_exactly_at_theorem_6_points() {
+        let k = 4;
+        for n in (2 * k)..=(2 * k + 24) {
+            let lhg = build_kdiamond(n, k).unwrap();
+            let (_, j) = decompose(n, k);
+            assert_eq!(is_k_regular(lhg.graph(), k), j == 0, "n={n}");
+        }
+    }
+
+    #[test]
+    fn regular_twice_as_often_as_ktree() {
+        // Theorem 7 witness: odd α points are K-DIAMOND-regular but not
+        // decomposable as K-TREE regular points.
+        let k = 3;
+        for alpha in [1usize, 3, 5, 7] {
+            let n = 2 * k + alpha * (k - 1);
+            let lhg = build_kdiamond(n, k).unwrap();
+            assert!(is_k_regular(lhg.graph(), k), "n={n}");
+            let (_, j_ktree) = crate::ktree::decompose(n, k);
+            assert_ne!(j_ktree, 0, "K-TREE cannot be regular at n={n}");
+        }
+    }
+
+    #[test]
+    fn templates_stay_height_balanced_across_growth() {
+        for k in 2..=4usize {
+            for n in (2 * k)..=(2 * k + 40) {
+                let lhg = build_kdiamond(n, k).unwrap();
+                assert!(lhg.template().is_height_balanced(), "(n={n},k={k})");
+                assert!(lhg.template().validate_structure().is_ok());
+            }
+        }
+    }
+
+    #[test]
+    fn k2_gives_cycles_for_every_n() {
+        for n in 4..=10 {
+            let lhg = build_kdiamond(n, 2).unwrap();
+            assert!(is_k_regular(lhg.graph(), 2), "n={n}");
+            assert_eq!(lhg.graph().edge_count(), n, "n={n}");
+            assert_eq!(vertex_connectivity(lhg.graph()), 2, "n={n}");
+            assert_eq!(diameter(lhg.graph()), Some((n / 2) as u32), "n={n}");
+        }
+    }
+
+    #[test]
+    fn deterministic_construction() {
+        let a = build_kdiamond(31, 4).unwrap();
+        let b = build_kdiamond(31, 4).unwrap();
+        assert_eq!(a.graph().fingerprint(), b.graph().fingerprint());
+    }
+
+    #[test]
+    fn growth_sequence_matches_proof_order() {
+        // k=3: events must be group, group, group, convert, convert, ...
+        let t = build_template(3, 5, 0);
+        // After 5 events: groups at ids 2,3 — wait, event order: group 1,
+        // group 2, group 3, convert 1, convert 2. So id 1 and 2 are branches,
+        // id 3 is still a group.
+        assert!(matches!(t.node(1).kind, TplKind::Branch));
+        assert!(matches!(t.node(2).kind, TplKind::Branch));
+        assert!(matches!(t.node(3).kind, TplKind::UnsharedGroup));
+        assert_eq!(t.node(1).children.len(), 2);
+        assert_eq!(t.node(2).children.len(), 2);
+    }
+}

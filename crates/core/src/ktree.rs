@@ -1,0 +1,293 @@
+//! The K-TREE construction (follow-up study, Definition 1).
+//!
+//! A graph satisfies K-TREE if it consists of `k` copies of a tree `T`
+//! pasted together at the leaves, where `T` is height-balanced, its root has
+//! `k` children, other nodes have 0 or `k−1` children, and nodes just above
+//! the leaves may carry up to `2k−3` *added* leaves.
+//!
+//! Theorem 2: a K-TREE graph exists for (n, k) **iff n ≥ 2k**, via the
+//! decomposition `n = 2k + 2α(k−1) + j` with `j ∈ {0, …, 2k−3}`:
+//!
+//! * α *conversion events*, each turning the BFS-first shared leaf into an
+//!   internal node with `k−1` fresh shared-leaf children (one conversion
+//!   costs `k−1` vertices for the new internal copies plus `k−1` for the new
+//!   leaves — Theorem 2, part 2);
+//! * `j` added leaves on the node just above the current conversion
+//!   frontier (Theorem 2, part 1).
+//!
+//! Theorem 3: the result is k-regular **iff j = 0**, i.e. n = 2k + 2α(k−1).
+
+use std::collections::VecDeque;
+
+use crate::construction::{Constraint, LhgGraph};
+use crate::error::LhgError;
+use crate::expand::expand;
+use crate::template::{TemplateTree, TplKind};
+
+/// Validates (n, k) for the pasted-trees constructions.
+///
+/// # Errors
+///
+/// `InvalidParams` when `k < 2` or `k ≥ n`; `NotConstructible` when
+/// `n < 2k` (Lemma 4 / Lemma 8: no K-TREE or K-DIAMOND graph exists).
+pub(crate) fn validate_params(
+    n: usize,
+    k: usize,
+    constraint: &'static str,
+) -> Result<(), LhgError> {
+    if k < 2 {
+        return Err(LhgError::InvalidParams {
+            n,
+            k,
+            reason: "the pasted-trees constructions require k >= 2",
+        });
+    }
+    if k >= n {
+        return Err(LhgError::InvalidParams {
+            n,
+            k,
+            reason: "LHGs require k < n",
+        });
+    }
+    if n < 2 * k {
+        return Err(LhgError::NotConstructible { n, k, constraint });
+    }
+    Ok(())
+}
+
+/// Decomposes `n = 2k + 2α(k−1) + j` with `j ∈ {0, …, 2k−3}`.
+///
+/// # Panics
+///
+/// Panics if `n < 2k` or `k < 2` (callers validate first).
+#[must_use]
+pub fn decompose(n: usize, k: usize) -> (usize, usize) {
+    assert!(
+        k >= 2 && n >= 2 * k,
+        "decompose requires k >= 2 and n >= 2k"
+    );
+    let rest = n - 2 * k;
+    let step = 2 * (k - 1);
+    (rest / step, rest % step)
+}
+
+/// Builds the K-TREE template for `α` conversions and `j` added leaves.
+pub(crate) fn build_template(k: usize, alpha: usize, j: usize) -> TemplateTree {
+    let mut t = TemplateTree::new();
+    let mut frontier = VecDeque::with_capacity(k);
+    for _ in 0..k {
+        frontier.push_back(t.add_child(t.root(), TplKind::SharedLeaf { added: false }));
+    }
+    for _ in 0..alpha {
+        let leaf = frontier
+            .pop_front()
+            .expect("conversions never exhaust the frontier");
+        t.convert_to_branch(leaf);
+        for _ in 0..(k - 1) {
+            frontier.push_back(t.add_child(leaf, TplKind::SharedLeaf { added: false }));
+        }
+    }
+    if j > 0 {
+        // Host = parent of the next convertible leaf: a node just above the
+        // (shallowest) leaves, capacity 2k−3 ≥ j.
+        let next = *frontier.front().expect("frontier is never empty");
+        let host = t.node(next).parent.expect("leaves always have parents");
+        for _ in 0..j {
+            t.add_child(host, TplKind::SharedLeaf { added: true });
+        }
+    }
+    t
+}
+
+/// Builds the K-TREE graph for (n, k).
+///
+/// # Errors
+///
+/// * [`LhgError::InvalidParams`] if `k < 2` or `k ≥ n`;
+/// * [`LhgError::NotConstructible`] if `n < 2k` (Theorem 2: no K-TREE graph
+///   exists below 2k).
+///
+/// # Example
+///
+/// ```
+/// use lhg_core::ktree::build_ktree;
+///
+/// // The paper's Fig. 2(c) example: (10, 3), 3-regular.
+/// let lhg = build_ktree(10, 3)?;
+/// assert_eq!(lhg.n(), 10);
+/// assert_eq!(lhg.graph().edge_count(), 15); // 3·10/2
+/// # Ok::<(), lhg_core::LhgError>(())
+/// ```
+pub fn build_ktree(n: usize, k: usize) -> Result<LhgGraph, LhgError> {
+    validate_params(n, k, "K-TREE")?;
+    let (alpha, j) = decompose(n, k);
+    let template = build_template(k, alpha, j);
+    debug_assert_eq!(template.expanded_node_count(k), n);
+    let expansion = expand(&template, k);
+    Ok(LhgGraph::from_expansion(
+        expansion,
+        template,
+        k,
+        Constraint::KTree,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lhg_graph::connectivity::{edge_connectivity, vertex_connectivity};
+    use lhg_graph::degree::is_k_regular;
+    use lhg_graph::NodeId;
+
+    #[test]
+    fn decompose_round_trips() {
+        for k in 2..=6 {
+            for n in (2 * k)..(2 * k + 40) {
+                let (alpha, j) = decompose(n, k);
+                assert_eq!(2 * k + 2 * alpha * (k - 1) + j, n, "n={n} k={k}");
+                assert!(j <= (2 * k - 3), "j={j} exceeds 2k-3 for k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_invalid_params() {
+        assert!(matches!(
+            build_ktree(10, 1),
+            Err(LhgError::InvalidParams { .. })
+        ));
+        assert!(matches!(
+            build_ktree(3, 3),
+            Err(LhgError::InvalidParams { .. })
+        ));
+        assert!(matches!(
+            build_ktree(3, 5),
+            Err(LhgError::InvalidParams { .. })
+        ));
+        assert!(matches!(
+            build_ktree(5, 3),
+            Err(LhgError::NotConstructible { .. })
+        ));
+    }
+
+    #[test]
+    fn smallest_graph_is_fig_2a() {
+        // (6,3) = K_{3,3}: roots 0..3 each adjacent to leaves 3..6.
+        let lhg = build_ktree(6, 3).unwrap();
+        assert_eq!(lhg.graph().edge_count(), 9);
+        assert!(is_k_regular(lhg.graph(), 3));
+        assert_eq!(vertex_connectivity(lhg.graph()), 3);
+    }
+
+    #[test]
+    fn fig_2b_nine_nodes_with_three_added_leaves() {
+        // (9,3): root hosts 2k−3 = 3 added leaves; not regular.
+        let lhg = build_ktree(9, 3).unwrap();
+        assert_eq!(lhg.n(), 9);
+        let (alpha, j) = decompose(9, 3);
+        assert_eq!((alpha, j), (0, 3));
+        assert!(!is_k_regular(lhg.graph(), 3));
+        // Root copies have degree k + j = 6; leaves have degree 3.
+        let mut degs: Vec<usize> = lhg.graph().nodes().map(|v| lhg.graph().degree(v)).collect();
+        degs.sort_unstable();
+        assert_eq!(degs, vec![3, 3, 3, 3, 3, 3, 6, 6, 6]);
+        assert_eq!(vertex_connectivity(lhg.graph()), 3);
+    }
+
+    #[test]
+    fn fig_2c_ten_nodes_regular() {
+        // (10,3): one conversion (α=1, j=0), 3-regular, 15 edges.
+        let lhg = build_ktree(10, 3).unwrap();
+        let (alpha, j) = decompose(10, 3);
+        assert_eq!((alpha, j), (1, 0));
+        assert!(is_k_regular(lhg.graph(), 3));
+        assert_eq!(lhg.graph().edge_count(), 15);
+        assert_eq!(vertex_connectivity(lhg.graph()), 3);
+        assert_eq!(edge_connectivity(lhg.graph()), 3);
+        // Template: root + converted internal (3 copies) + 2 untouched
+        // leaves + 2 new leaves.
+        assert_eq!(lhg.template().len(), 6);
+        assert_eq!(lhg.template().height(), 2);
+    }
+
+    #[test]
+    fn every_n_from_2k_is_constructible_and_k_connected() {
+        for k in 2..=4usize {
+            for n in (2 * k)..=(2 * k + 12) {
+                let lhg = build_ktree(n, k).unwrap_or_else(|e| panic!("(n={n},k={k}): {e}"));
+                assert_eq!(lhg.n(), n, "node count (n={n},k={k})");
+                assert_eq!(
+                    vertex_connectivity(lhg.graph()),
+                    k,
+                    "vertex connectivity (n={n},k={k})"
+                );
+                assert_eq!(
+                    edge_connectivity(lhg.graph()),
+                    k,
+                    "edge connectivity (n={n},k={k})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn regular_exactly_at_theorem_3_points() {
+        let k = 3;
+        for n in (2 * k)..=(2 * k + 20) {
+            let lhg = build_ktree(n, k).unwrap();
+            let (_, j) = decompose(n, k);
+            assert_eq!(is_k_regular(lhg.graph(), k), j == 0, "n={n}");
+        }
+    }
+
+    #[test]
+    fn templates_stay_height_balanced_across_growth() {
+        for k in 2..=4usize {
+            for n in (2 * k)..=(2 * k + 30) {
+                let lhg = build_ktree(n, k).unwrap();
+                assert!(lhg.template().is_height_balanced(), "(n={n}, k={k})");
+                assert!(lhg.template().validate_structure().is_ok());
+            }
+        }
+    }
+
+    #[test]
+    fn shared_leaves_have_degree_k() {
+        let lhg = build_ktree(16, 3).unwrap();
+        for v in lhg.graph().nodes() {
+            if lhg.role(v).is_leaf() {
+                assert_eq!(lhg.graph().degree(v), 3, "leaf {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_construction() {
+        let a = build_ktree(22, 4).unwrap();
+        let b = build_ktree(22, 4).unwrap();
+        assert_eq!(a.graph().fingerprint(), b.graph().fingerprint());
+    }
+
+    #[test]
+    fn k2_gives_cycles() {
+        // K-TREE with k=2: two pasted paths = a cycle (exactly 2-connected,
+        // 2-regular at j=0).
+        for n in 4..=9 {
+            let lhg = build_ktree(n, 2).unwrap();
+            assert_eq!(lhg.graph().edge_count(), n + (n % 2), "n={n}");
+            assert_eq!(vertex_connectivity(lhg.graph()), 2, "n={n}");
+        }
+    }
+
+    #[test]
+    fn root_copy_zero_is_node_zero() {
+        let lhg = build_ktree(12, 3).unwrap();
+        match lhg.role(NodeId(0)) {
+            crate::expand::NodeRole::Branch { tpl, copy } => {
+                assert_eq!(tpl, 0);
+                assert_eq!(copy, 0);
+            }
+            other => panic!("unexpected role {other:?}"),
+        }
+    }
+}

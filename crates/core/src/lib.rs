@@ -1,0 +1,64 @@
+//! # lhg-core
+//!
+//! Logarithmic Harary Graphs (LHGs): constructions, validators, and the
+//! existence/regularity theory.
+//!
+//! An LHG for a pair `(n, k)` is a graph on `n` nodes that is k-node- and
+//! k-link-connected (tolerates any k−1 failures), *link-minimal* (no edge
+//! can be dropped without losing connectivity), and has `O(log n)` diameter
+//! — the topology Jenkins & Demers (ICDCS 2001) proposed for efficient
+//! fault-tolerant flooding. This crate implements:
+//!
+//! * the **JD operational construction** ([`jd`]) — the target paper's rule:
+//!   k copies of a tree pasted together at the leaves;
+//! * the **K-TREE** graph constraint ([`ktree`]) — exists for *every*
+//!   `n ≥ 2k` (Theorem 2), k-regular at `n = 2k + 2α(k−1)` (Theorem 3);
+//! * the **K-DIAMOND** graph constraint ([`kdiamond`]) — same existence
+//!   domain (Theorem 5), but k-regular at every `n = 2k + α(k−1)`
+//!   (Theorems 6–7: strictly more regular points than K-TREE);
+//! * the **LHG property validators** P1–P5 ([`properties`]), exact via
+//!   max-flow/Menger plus exhaustive brute-force variants;
+//! * a rule-by-rule **structural checker** ([`checker`]);
+//! * the **EX/REG characteristic functions** ([`existence`], [`regularity`])
+//!   in closed form and empirically;
+//! * an **executable theorem suite** ([`theory`]).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use lhg_core::kdiamond::build_kdiamond;
+//! use lhg_core::properties::validate;
+//!
+//! // An 8-node, 3-connected LHG that K-TREE cannot make regular.
+//! let lhg = build_kdiamond(8, 3)?;
+//! let report = validate(lhg.graph(), 3);
+//! assert!(report.is_regular_lhg());
+//! assert_eq!(report.edge_count, report.edge_lower_bound); // ⌈kn/2⌉
+//! # Ok::<(), lhg_core::LhgError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod construction;
+mod error;
+
+pub mod ablation;
+pub mod analysis;
+pub mod checker;
+pub mod existence;
+pub mod expand;
+pub mod jd;
+pub mod kdiamond;
+pub mod ktree;
+pub mod overlay;
+pub mod planner;
+pub mod properties;
+pub mod regularity;
+pub mod template;
+pub mod theory;
+pub mod util;
+pub mod witness;
+
+pub use construction::{Constraint, LhgGraph};
+pub use error::LhgError;

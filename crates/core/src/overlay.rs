@@ -1,0 +1,263 @@
+//! Dynamic membership: maintaining an LHG overlay under joins and leaves.
+//!
+//! The papers motivate LHGs by peer-to-peer settings where n is arbitrary
+//! *and changing*. [`DynamicOverlay`] keeps a constraint-built LHG over a
+//! live membership list: every join/leave rebuilds the topology at the new
+//! n (constructions are O(n), see the `construction` bench) and reports the
+//! **churn** — which member-to-member links must be torn down or
+//! established. Experiment E17 measures how churn scales.
+//!
+//! Members carry stable ids; graph node `i` hosts `members()[i]`. A leave
+//! swap-removes, so at most one surviving member changes position.
+
+use std::collections::BTreeSet;
+
+use lhg_graph::Graph;
+
+use crate::construction::{Constraint, LhgGraph};
+use crate::error::LhgError;
+
+/// A stable member identifier (independent of graph node positions).
+pub type MemberId = u64;
+
+/// Link churn from one membership change.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ChurnReport {
+    /// Member-id pairs that must be connected.
+    pub added: Vec<(MemberId, MemberId)>,
+    /// Member-id pairs that must be disconnected.
+    pub removed: Vec<(MemberId, MemberId)>,
+}
+
+impl ChurnReport {
+    /// Total links touched.
+    #[must_use]
+    pub fn total(&self) -> usize {
+        self.added.len() + self.removed.len()
+    }
+}
+
+/// An LHG overlay maintained across membership changes.
+#[derive(Debug, Clone)]
+pub struct DynamicOverlay {
+    k: usize,
+    constraint: Constraint,
+    members: Vec<MemberId>,
+    next_id: MemberId,
+    current: LhgGraph,
+}
+
+impl DynamicOverlay {
+    /// Bootstraps an overlay with `n` initial members (ids `0..n`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the builder's error when (n, k) is out of domain
+    /// (`n ≥ 2k`, `k ≥ 2` required).
+    pub fn bootstrap(constraint: Constraint, n: usize, k: usize) -> Result<Self, LhgError> {
+        let current = build(constraint, n, k)?;
+        Ok(DynamicOverlay {
+            k,
+            constraint,
+            members: (0..n as MemberId).collect(),
+            next_id: n as MemberId,
+            current,
+        })
+    }
+
+    /// Current member list, indexed by graph node position.
+    #[must_use]
+    pub fn members(&self) -> &[MemberId] {
+        &self.members
+    }
+
+    /// Number of members.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// `true` if the overlay has no members (never happens: the domain
+    /// floor is 2k).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// The current topology.
+    #[must_use]
+    pub fn graph(&self) -> &Graph {
+        self.current.graph()
+    }
+
+    /// Target connectivity.
+    #[must_use]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Member-id link set of the current topology.
+    fn link_set(&self) -> BTreeSet<(MemberId, MemberId)> {
+        self.current
+            .graph()
+            .edges()
+            .map(|e| {
+                let a = self.members[e.a.index()];
+                let b = self.members[e.b.index()];
+                (a.min(b), a.max(b))
+            })
+            .collect()
+    }
+
+    /// Rebuilds the topology at the current membership; `before` is the
+    /// link set captured **before** the membership was mutated (the member
+    /// list and the old graph must be read together).
+    fn rebuild(&mut self, before: BTreeSet<(MemberId, MemberId)>) -> Result<ChurnReport, LhgError> {
+        self.current = build(self.constraint, self.members.len(), self.k)?;
+        let after = self.link_set();
+        Ok(ChurnReport {
+            added: after.difference(&before).copied().collect(),
+            removed: before.difference(&after).copied().collect(),
+        })
+    }
+
+    /// Admits a new member; returns its id and the link churn.
+    ///
+    /// # Errors
+    ///
+    /// Never fails once bootstrapped (n only grows), but propagates builder
+    /// errors defensively.
+    pub fn join(&mut self) -> Result<(MemberId, ChurnReport), LhgError> {
+        let before = self.link_set();
+        let id = self.next_id;
+        self.next_id += 1;
+        self.members.push(id);
+        let churn = self.rebuild(before)?;
+        Ok((id, churn))
+    }
+
+    /// Removes `member`; returns the link churn.
+    ///
+    /// # Errors
+    ///
+    /// [`LhgError::InvalidParams`] if `member` is unknown, or
+    /// [`LhgError::NotConstructible`] if the membership would drop below
+    /// the 2k floor.
+    pub fn leave(&mut self, member: MemberId) -> Result<ChurnReport, LhgError> {
+        let Some(pos) = self.members.iter().position(|&m| m == member) else {
+            return Err(LhgError::InvalidParams {
+                n: self.members.len(),
+                k: self.k,
+                reason: "unknown member id",
+            });
+        };
+        if self.members.len() <= 2 * self.k {
+            return Err(LhgError::NotConstructible {
+                n: self.members.len() - 1,
+                k: self.k,
+                constraint: self.constraint.name(),
+            });
+        }
+        let before = self.link_set();
+        self.members.swap_remove(pos);
+        self.rebuild(before)
+    }
+}
+
+fn build(constraint: Constraint, n: usize, k: usize) -> Result<LhgGraph, LhgError> {
+    match constraint {
+        Constraint::KTree => crate::ktree::build_ktree(n, k),
+        Constraint::KDiamond => crate::kdiamond::build_kdiamond(n, k),
+        Constraint::Jd => crate::jd::build_jd(n, k),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lhg_graph::connectivity::vertex_connectivity;
+
+    #[test]
+    fn bootstrap_builds_a_k_connected_overlay() {
+        let o = DynamicOverlay::bootstrap(Constraint::KDiamond, 12, 3).unwrap();
+        assert_eq!(o.len(), 12);
+        assert_eq!(o.k(), 3);
+        assert!(!o.is_empty());
+        assert_eq!(vertex_connectivity(o.graph()), 3);
+    }
+
+    #[test]
+    fn join_keeps_connectivity_and_reports_churn() {
+        let mut o = DynamicOverlay::bootstrap(Constraint::KDiamond, 10, 3).unwrap();
+        let (id, churn) = o.join().unwrap();
+        assert_eq!(id, 10);
+        assert_eq!(o.len(), 11);
+        assert!(!churn.added.is_empty(), "the newcomer must get links");
+        assert!(churn.added.iter().any(|&(a, b)| a == 10 || b == 10));
+        assert_eq!(vertex_connectivity(o.graph()), 3);
+    }
+
+    #[test]
+    fn leave_keeps_connectivity() {
+        let mut o = DynamicOverlay::bootstrap(Constraint::KTree, 14, 3).unwrap();
+        let churn = o.leave(5).unwrap();
+        assert_eq!(o.len(), 13);
+        assert!(!o.members().contains(&5));
+        assert!(churn.removed.iter().any(|&(a, b)| a == 5 || b == 5));
+        assert!(!churn.removed.is_empty());
+        assert_eq!(vertex_connectivity(o.graph()), 3);
+    }
+
+    #[test]
+    fn leave_below_floor_is_rejected() {
+        let mut o = DynamicOverlay::bootstrap(Constraint::KTree, 6, 3).unwrap();
+        assert!(matches!(o.leave(0), Err(LhgError::NotConstructible { .. })));
+        assert_eq!(o.len(), 6, "membership unchanged on failure");
+    }
+
+    #[test]
+    fn unknown_member_is_rejected() {
+        let mut o = DynamicOverlay::bootstrap(Constraint::KTree, 10, 3).unwrap();
+        assert!(matches!(o.leave(99), Err(LhgError::InvalidParams { .. })));
+    }
+
+    #[test]
+    fn churn_is_consistent_with_topologies() {
+        // Applying the diff to the before-link-set must yield the after-set.
+        let mut o = DynamicOverlay::bootstrap(Constraint::KDiamond, 9, 3).unwrap();
+        let before = o.link_set();
+        let (_, churn) = o.join().unwrap();
+        let mut reconstructed = before;
+        for r in &churn.removed {
+            assert!(reconstructed.remove(r), "removed link {r:?} was present");
+        }
+        for a in &churn.added {
+            assert!(reconstructed.insert(*a), "added link {a:?} was absent");
+        }
+        assert_eq!(reconstructed, o.link_set());
+    }
+
+    #[test]
+    fn join_leave_round_trip_restores_size() {
+        let mut o = DynamicOverlay::bootstrap(Constraint::KTree, 12, 3).unwrap();
+        let (id, _) = o.join().unwrap();
+        let _ = o.leave(id).unwrap();
+        assert_eq!(o.len(), 12);
+        assert_eq!(vertex_connectivity(o.graph()), 3);
+    }
+
+    #[test]
+    fn long_churn_sequence_stays_k_connected() {
+        let mut o = DynamicOverlay::bootstrap(Constraint::KDiamond, 10, 3).unwrap();
+        for step in 0..12 {
+            if step % 3 == 2 {
+                let victim = o.members()[step % o.len()];
+                let _ = o.leave(victim).unwrap();
+            } else {
+                let _ = o.join().unwrap();
+            }
+            assert_eq!(vertex_connectivity(o.graph()), 3, "step {step}");
+        }
+        assert_eq!(o.len(), 10 + 8 - 4);
+    }
+}

@@ -1,0 +1,201 @@
+//! Topology planning: which construction should a deployment use?
+//!
+//! Downstream users arrive with "I have n processes and want to survive f
+//! failures"; the papers' theory answers which constraint fits and what it
+//! costs. [`plan`] encodes that decision:
+//!
+//! * connectivity `k = f + 1`;
+//! * existence needs `n ≥ 2k` (Theorems 2/5) — below that only a complete
+//!   graph helps;
+//! * K-DIAMOND is preferred wherever it is k-regular (its regular points
+//!   are twice as dense as K-TREE's, Theorem 7); otherwise the planner
+//!   reports the unavoidable edge overhead and the nearest regular sizes.
+
+use crate::construction::Constraint;
+use crate::error::LhgError;
+use crate::existence::ex_ktree;
+use crate::kdiamond::build_kdiamond;
+use crate::ktree::build_ktree;
+use crate::regularity::{reg_kdiamond, reg_ktree};
+use crate::LhgGraph;
+
+/// A planning recommendation for (n, f).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Plan {
+    /// Number of processes.
+    pub n: usize,
+    /// Failures to tolerate.
+    pub f: usize,
+    /// Required connectivity (f + 1).
+    pub k: usize,
+    /// Recommended constraint.
+    pub constraint: Constraint,
+    /// Whether the recommended topology is k-regular (edge-minimal).
+    pub regular: bool,
+    /// Edges the topology will have.
+    pub edges: usize,
+    /// The ⌈kn/2⌉ lower bound.
+    pub edge_lower_bound: usize,
+    /// Nearest sizes (≤ n, ≥ n) at which a k-regular K-DIAMOND exists —
+    /// useful when the deployment can choose its group size.
+    pub nearest_regular: (usize, usize),
+}
+
+impl Plan {
+    /// Extra edges paid over the lower bound.
+    #[must_use]
+    pub fn edge_overhead(&self) -> usize {
+        self.edges - self.edge_lower_bound
+    }
+}
+
+/// Plans a topology for `n` processes tolerating `f` crash/link failures
+/// and builds it.
+///
+/// # Errors
+///
+/// * [`LhgError::InvalidParams`] if `f == 0` (use a spanning tree) or
+///   `f + 1 ≥ n` (only the complete graph can help, and only up to n−2);
+/// * [`LhgError::NotConstructible`] if `n < 2(f+1)` (Theorem 2/5 floor).
+///
+/// # Example
+///
+/// ```
+/// use lhg_core::planner::plan;
+///
+/// // 30 processes, survive any 2 failures.
+/// let (plan, overlay) = plan(30, 2)?;
+/// assert_eq!(plan.k, 3);
+/// assert!(plan.regular, "30 = 2·3 + 24·1 is a K-DIAMOND regular point");
+/// assert_eq!(overlay.graph().edge_count(), 45); // ⌈3·30/2⌉
+/// # Ok::<(), lhg_core::LhgError>(())
+/// ```
+pub fn plan(n: usize, f: usize) -> Result<(Plan, LhgGraph), LhgError> {
+    if f == 0 {
+        return Err(LhgError::InvalidParams {
+            n,
+            k: 1,
+            reason: "f = 0 needs no redundancy; use a spanning tree",
+        });
+    }
+    let k = f + 1;
+    if k >= n {
+        return Err(LhgError::InvalidParams {
+            n,
+            k,
+            reason: "tolerating f >= n-1 failures is impossible for any topology",
+        });
+    }
+    if !ex_ktree(n, k) {
+        return Err(LhgError::NotConstructible {
+            n,
+            k,
+            constraint: "K-TREE/K-DIAMOND",
+        });
+    }
+
+    // Prefer K-DIAMOND: regular at least as often as K-TREE (Corollary 2),
+    // identical existence domain (Corollary 1).
+    let (constraint, overlay) = if reg_kdiamond(n, k) || !reg_ktree(n, k) {
+        (Constraint::KDiamond, build_kdiamond(n, k)?)
+    } else {
+        (Constraint::KTree, build_ktree(n, k)?)
+    };
+
+    let below = (2 * k..=n)
+        .rev()
+        .find(|&m| reg_kdiamond(m, k))
+        .unwrap_or(2 * k);
+    let above = (n..)
+        .find(|&m| reg_kdiamond(m, k))
+        .expect("regular points are unbounded");
+
+    let edges = overlay.graph().edge_count();
+    let plan = Plan {
+        n,
+        f,
+        k,
+        constraint,
+        regular: lhg_graph::degree::is_k_regular(overlay.graph(), k),
+        edges,
+        edge_lower_bound: (k * n).div_ceil(2),
+        nearest_regular: (below, above),
+    };
+    Ok((plan, overlay))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::properties::validate;
+
+    #[test]
+    fn plans_regular_points_at_minimum_cost() {
+        let (p, overlay) = plan(30, 2).unwrap();
+        assert_eq!(p.k, 3);
+        assert_eq!(p.constraint, Constraint::KDiamond);
+        assert!(p.regular);
+        assert_eq!(p.edge_overhead(), 0);
+        assert!(validate(overlay.graph(), 3).is_regular_lhg());
+        assert_eq!(p.nearest_regular, (30, 30));
+    }
+
+    #[test]
+    fn plans_irregular_points_with_reported_overhead() {
+        // k=3: odd n is never regular.
+        let (p, overlay) = plan(31, 2).unwrap();
+        assert!(!p.regular);
+        assert!(p.edge_overhead() > 0);
+        assert_eq!(p.nearest_regular, (30, 32));
+        assert!(validate(overlay.graph(), 3).is_lhg());
+    }
+
+    #[test]
+    fn tolerates_the_promised_failures() {
+        use crate::util::all_combinations;
+        use lhg_graph::subgraph::SubgraphView;
+        let (p, overlay) = plan(12, 2).unwrap();
+        assert_eq!(p.f, 2);
+        let g = overlay.graph();
+        for r in 1..=2 {
+            assert!(all_combinations(12, r, |subset| {
+                SubgraphView::without_nodes(g, subset.iter().map(|&i| lhg_graph::NodeId(i)))
+                    .is_live_connected()
+            }));
+        }
+    }
+
+    #[test]
+    fn rejects_out_of_domain_requests() {
+        assert!(matches!(plan(10, 0), Err(LhgError::InvalidParams { .. })));
+        assert!(matches!(plan(4, 4), Err(LhgError::InvalidParams { .. })));
+        assert!(matches!(plan(5, 2), Err(LhgError::NotConstructible { .. })));
+    }
+
+    #[test]
+    fn k_is_f_plus_1_across_a_sweep() {
+        for f in 1..=4 {
+            for n in (2 * (f + 1))..=(2 * (f + 1) + 10) {
+                let (p, overlay) = plan(n, f).unwrap();
+                assert_eq!(p.k, f + 1);
+                assert_eq!(p.edges, overlay.graph().edge_count());
+                assert_eq!(
+                    lhg_graph::connectivity::vertex_connectivity(overlay.graph()),
+                    f + 1,
+                    "(n={n},f={f})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn nearest_regular_brackets_n() {
+        for n in 8..=40 {
+            let (p, _) = plan(n, 2).unwrap();
+            assert!(p.nearest_regular.0 <= n);
+            assert!(p.nearest_regular.1 >= n);
+            assert!(reg_kdiamond(p.nearest_regular.0, 3) || p.nearest_regular.0 == 6);
+            assert!(reg_kdiamond(p.nearest_regular.1, 3));
+        }
+    }
+}

@@ -1,0 +1,163 @@
+//! The regularity characteristic functions REG_Π(n, k).
+//!
+//! `REG_Π(n, k)` is true iff a **k-regular** LHG for (n, k) satisfying Π
+//! exists. Closed forms:
+//!
+//! * Theorem 3 (K-TREE):    true ⟺ `n = 2k + 2α(k−1)` for some α ∈ ℕ;
+//! * Theorem 6 (K-DIAMOND): true ⟺ `n = 2k + α(k−1)`;
+//! * Corollary 2:           `REG_KTREE ⇒ REG_KDIAMOND`;
+//! * Theorem 7:             infinitely many pairs (the odd-α K-DIAMOND
+//!   points) are regular under K-DIAMOND but not under K-TREE.
+
+use crate::construction::Constraint;
+use crate::jd::is_jd_constructible;
+
+/// Closed-form `REG_KTREE(n, k)` (Theorem 3).
+#[must_use]
+pub fn reg_ktree(n: usize, k: usize) -> bool {
+    if !crate::existence::ex_ktree(n, k) {
+        return false;
+    }
+    (n - 2 * k).is_multiple_of(2 * (k - 1))
+}
+
+/// Closed-form `REG_KDIAMOND(n, k)` (Theorem 6).
+#[must_use]
+pub fn reg_kdiamond(n: usize, k: usize) -> bool {
+    if !crate::existence::ex_kdiamond(n, k) {
+        return false;
+    }
+    (n - 2 * k).is_multiple_of(k - 1)
+}
+
+/// `REG` under the JD rule: JD's regular points are exactly K-TREE's
+/// (extras always break regularity, and j = 0 is always JD-constructible).
+#[must_use]
+pub fn reg_jd(n: usize, k: usize) -> bool {
+    is_jd_constructible(n, k) && reg_ktree(n, k)
+}
+
+/// Closed-form `REG` for a constraint.
+#[must_use]
+pub fn reg(constraint: Constraint, n: usize, k: usize) -> bool {
+    match constraint {
+        Constraint::KTree => reg_ktree(n, k),
+        Constraint::KDiamond => reg_kdiamond(n, k),
+        Constraint::Jd => reg_jd(n, k),
+    }
+}
+
+/// Empirical `REG`: builds the graph and checks k-regularity of the result.
+/// (The builders produce regular graphs exactly at the closed-form points,
+/// so this doubles as a builder test.)
+#[must_use]
+pub fn reg_empirical(constraint: Constraint, n: usize, k: usize) -> bool {
+    let built = match constraint {
+        Constraint::KTree => crate::ktree::build_ktree(n, k),
+        Constraint::KDiamond => crate::kdiamond::build_kdiamond(n, k),
+        Constraint::Jd => crate::jd::build_jd(n, k),
+    };
+    built.is_ok_and(|lhg| lhg_graph::degree::is_k_regular(lhg.graph(), k))
+}
+
+/// The first `count` pairs (n, k) for the given `k` that witness Theorem 7:
+/// regular under K-DIAMOND but not under K-TREE (the odd-α points).
+#[must_use]
+pub fn theorem7_witnesses(k: usize, count: usize) -> Vec<(usize, usize)> {
+    assert!(
+        k >= 3,
+        "theorem 7 needs k >= 3 (k = 2 has k-1 = 1: every point is both)"
+    );
+    (0..)
+        .map(|i| 2 * k + (2 * i + 1) * (k - 1)) // odd α
+        .take(count)
+        .map(|n| (n, k))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn theorem_3_points() {
+        // k=3: regular at n = 6, 10, 14, 18, ...
+        for n in 6..=20 {
+            assert_eq!(reg_ktree(n, 3), n >= 6 && (n - 6) % 4 == 0, "n={n}");
+        }
+    }
+
+    #[test]
+    fn theorem_6_points() {
+        // k=3: regular at n = 6, 8, 10, 12, ...
+        for n in 6..=20 {
+            assert_eq!(reg_kdiamond(n, 3), n % 2 == 0, "n={n}");
+        }
+    }
+
+    #[test]
+    fn corollary_2_implication() {
+        for k in 2..=6 {
+            for n in 1..=80 {
+                if reg_ktree(n, k) {
+                    assert!(reg_kdiamond(n, k), "(n={n},k={k})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn theorem_7_witnesses_are_diamond_only() {
+        for k in 3..=5 {
+            for &(n, k) in &theorem7_witnesses(k, 6) {
+                assert!(reg_kdiamond(n, k), "(n={n},k={k})");
+                assert!(!reg_ktree(n, k), "(n={n},k={k})");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "k >= 3")]
+    fn theorem_7_rejects_k2() {
+        let _ = theorem7_witnesses(2, 1);
+    }
+
+    #[test]
+    fn empirical_matches_closed_forms() {
+        for k in 2..=4usize {
+            for n in (2 * k)..=(2 * k + 16) {
+                assert_eq!(
+                    reg_empirical(Constraint::KTree, n, k),
+                    reg_ktree(n, k),
+                    "K-TREE (n={n},k={k})"
+                );
+                assert_eq!(
+                    reg_empirical(Constraint::KDiamond, n, k),
+                    reg_kdiamond(n, k),
+                    "K-DIAMOND (n={n},k={k})"
+                );
+                assert_eq!(
+                    reg_empirical(Constraint::Jd, n, k),
+                    reg_jd(n, k),
+                    "JD (n={n},k={k})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn out_of_domain_is_false() {
+        assert!(!reg_ktree(5, 3));
+        assert!(!reg_kdiamond(5, 3));
+        assert!(!reg_jd(5, 3));
+        assert!(!reg(Constraint::KTree, 4, 4));
+    }
+
+    #[test]
+    fn k2_every_point_is_regular_under_both() {
+        for n in 4..=12 {
+            assert!(reg_ktree(n, 2) == ((n % 2) == 0), "K-TREE k=2 n={n}");
+            assert!(reg_kdiamond(n, 2), "K-DIAMOND k=2 n={n}");
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! Small combinatorial helpers used by the exhaustive validators.
+
+/// Calls `f` with every `r`-element combination of `0..n` (ascending inside
+/// each combination, lexicographic across combinations). Returns early with
+/// `false` as soon as `f` returns `false`; returns `true` if all
+/// combinations passed (vacuously for `r > n`).
+pub fn all_combinations<F: FnMut(&[usize]) -> bool>(n: usize, r: usize, mut f: F) -> bool {
+    if r > n {
+        return true;
+    }
+    if r == 0 {
+        return f(&[]);
+    }
+    let mut idx: Vec<usize> = (0..r).collect();
+    loop {
+        if !f(&idx) {
+            return false;
+        }
+        // Advance to the next combination.
+        let mut i = r;
+        loop {
+            if i == 0 {
+                return true;
+            }
+            i -= 1;
+            if idx[i] != i + n - r {
+                break;
+            }
+            if i == 0 {
+                return true;
+            }
+        }
+        idx[i] += 1;
+        for j in (i + 1)..r {
+            idx[j] = idx[j - 1] + 1;
+        }
+    }
+}
+
+/// Number of `r`-element combinations of `n` items (saturating).
+#[must_use]
+pub fn binomial(n: usize, r: usize) -> usize {
+    if r > n {
+        return 0;
+    }
+    let r = r.min(n - r);
+    let mut acc: u128 = 1;
+    for i in 0..r {
+        acc = acc * (n - i) as u128 / (i + 1) as u128;
+        if acc > usize::MAX as u128 {
+            return usize::MAX;
+        }
+    }
+    acc as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn collect(n: usize, r: usize) -> Vec<Vec<usize>> {
+        let mut out = Vec::new();
+        all_combinations(n, r, |c| {
+            out.push(c.to_vec());
+            true
+        });
+        out
+    }
+
+    #[test]
+    fn enumerates_4_choose_2() {
+        assert_eq!(
+            collect(4, 2),
+            vec![
+                vec![0, 1],
+                vec![0, 2],
+                vec![0, 3],
+                vec![1, 2],
+                vec![1, 3],
+                vec![2, 3]
+            ]
+        );
+    }
+
+    #[test]
+    fn counts_match_binomial() {
+        for n in 0..=8 {
+            for r in 0..=n {
+                assert_eq!(collect(n, r).len(), binomial(n, r), "C({n},{r})");
+            }
+        }
+    }
+
+    #[test]
+    fn edge_cases() {
+        assert_eq!(collect(5, 0), vec![Vec::<usize>::new()]);
+        assert_eq!(collect(3, 3), vec![vec![0, 1, 2]]);
+        assert!(all_combinations(2, 5, |_| false), "vacuous when r > n");
+        assert_eq!(binomial(5, 7), 0);
+        assert_eq!(binomial(10, 5), 252);
+        assert_eq!(binomial(0, 0), 1);
+    }
+
+    #[test]
+    fn early_exit_on_false() {
+        let mut seen = 0;
+        let ok = all_combinations(5, 2, |c| {
+            seen += 1;
+            c != [0, 2]
+        });
+        assert!(!ok);
+        assert_eq!(seen, 2, "stops right at the failing combination");
+    }
+
+    #[test]
+    fn binomial_saturates() {
+        assert_eq!(binomial(200, 100), usize::MAX);
+    }
+}

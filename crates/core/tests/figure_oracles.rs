@@ -1,0 +1,195 @@
+//! Golden-figure oracles: the papers' example graphs, hand-transcribed
+//! edge-by-edge from their figures, compared against our builders up to
+//! isomorphism. These tests pin the constructions to the *published*
+//! topologies, not merely to "some graph with the right properties".
+
+use lhg_core::kdiamond::build_kdiamond;
+use lhg_core::ktree::build_ktree;
+use lhg_graph::isomorphism::are_isomorphic;
+use lhg_graph::{Graph, NodeId};
+
+fn n(i: usize) -> NodeId {
+    NodeId(i)
+}
+
+/// Fig. 2(a): the (6,3) K-TREE graph — three roots R1..R3 each adjacent to
+/// the three shared leaves l1..l3 (that is, K_{3,3}).
+#[test]
+fn fig2a_is_k33() {
+    // 0,1,2 = roots; 3,4,5 = leaves.
+    let mut fig = Graph::with_nodes(6);
+    for root in 0..3 {
+        for leaf in 3..6 {
+            fig.add_edge(n(root), n(leaf));
+        }
+    }
+    let built = build_ktree(6, 3).unwrap();
+    assert!(are_isomorphic(built.graph(), &fig));
+}
+
+/// The smallest K-TREE graph at any k is K_{k,k}.
+#[test]
+fn smallest_ktree_is_complete_bipartite() {
+    for k in 2..=5 {
+        let mut fig = Graph::with_nodes(2 * k);
+        for root in 0..k {
+            for leaf in k..(2 * k) {
+                fig.add_edge(n(root), n(leaf));
+            }
+        }
+        let built = build_ktree(2 * k, k).unwrap();
+        assert!(are_isomorphic(built.graph(), &fig), "k={k}");
+    }
+}
+
+/// Fig. 2(b): the (9,3) K-TREE graph — K_{3,3} plus 2k−3 = 3 added shared
+/// leaves l4..l6, each also adjacent to all three roots (i.e. K_{3,6}).
+#[test]
+fn fig2b_is_k36() {
+    let mut fig = Graph::with_nodes(9);
+    for root in 0..3 {
+        for leaf in 3..9 {
+            fig.add_edge(n(root), n(leaf));
+        }
+    }
+    let built = build_ktree(9, 3).unwrap();
+    assert!(are_isomorphic(built.graph(), &fig));
+}
+
+/// Fig. 2(c): the (10,3) K-TREE graph — roots R1..R3 with shared leaves
+/// l2, l3; l1 converted to an internal node (copies A1, A2) whose children
+/// A3, A4 are shared leaves of all three trees.
+#[test]
+fn fig2c_matches_the_paper_drawing() {
+    // 0,1,2 = roots R1..R3; 3,4,5 = internal copies (l1, A1, A2);
+    // 6,7 = leaves l2, l3; 8,9 = leaves A3, A4.
+    let mut fig = Graph::with_nodes(10);
+    for (i, root) in (0..3).enumerate() {
+        // Root i's children in its tree copy: internal copy i, l2, l3.
+        fig.add_edge(n(root), n(3 + i));
+        fig.add_edge(n(root), n(6));
+        fig.add_edge(n(root), n(7));
+    }
+    for internal in 3..6 {
+        fig.add_edge(n(internal), n(8));
+        fig.add_edge(n(internal), n(9));
+    }
+    let built = build_ktree(10, 3).unwrap();
+    assert!(are_isomorphic(built.graph(), &fig));
+}
+
+/// Fig. 3(a): the (7,3) K-DIAMOND graph — K_{3,3} plus one added shared
+/// leaf L4 adjacent to all roots (K_{3,4}).
+#[test]
+fn fig3a_is_k34() {
+    let mut fig = Graph::with_nodes(7);
+    for root in 0..3 {
+        for leaf in 3..7 {
+            fig.add_edge(n(root), n(leaf));
+        }
+    }
+    let built = build_kdiamond(7, 3).unwrap();
+    assert!(are_isomorphic(built.graph(), &fig));
+}
+
+/// Fig. 3(b): the (8,3) K-DIAMOND graph — roots R1..R3, shared leaves
+/// L1, L2, and one unshared leaf {L3, L4, L5} forming a triangle with one
+/// edge to each root.
+#[test]
+fn fig3b_matches_the_paper_drawing() {
+    // 0,1,2 = roots; 3,4 = shared leaves; 5,6,7 = unshared clique.
+    let mut fig = Graph::with_nodes(8);
+    for root in 0..3 {
+        fig.add_edge(n(root), n(3));
+        fig.add_edge(n(root), n(4));
+        fig.add_edge(n(root), n(5 + root)); // member `root` of the clique
+    }
+    for i in 5..8 {
+        for j in (i + 1)..8 {
+            fig.add_edge(n(i), n(j));
+        }
+    }
+    let built = build_kdiamond(8, 3).unwrap();
+    assert!(are_isomorphic(built.graph(), &fig));
+}
+
+/// Fig. 3(c): the (13,3) K-DIAMOND graph — three unshared leaves (cliques)
+/// plus one added shared leaf L10.
+#[test]
+fn fig3c_matches_the_paper_drawing() {
+    // 0,1,2 = roots; 3 = added shared leaf; cliques {4,5,6}, {7,8,9},
+    // {10,11,12}; member m of clique c attaches to root m.
+    let mut fig = Graph::with_nodes(13);
+    for root in 0..3 {
+        fig.add_edge(n(root), n(3));
+    }
+    for c in 0..3 {
+        let base = 4 + 3 * c;
+        for m in 0..3 {
+            fig.add_edge(n(m), n(base + m));
+            for m2 in (m + 1)..3 {
+                fig.add_edge(n(base + m), n(base + m2));
+            }
+        }
+    }
+    let built = build_kdiamond(13, 3).unwrap();
+    assert!(are_isomorphic(built.graph(), &fig));
+}
+
+/// Fig. 3(d): the (14,3) K-DIAMOND graph — two unshared leaves stay at
+/// depth 1; the third became an internal node (copies at depth 1) with two
+/// shared-leaf children.
+#[test]
+fn fig3d_matches_the_paper_drawing() {
+    // 0,1,2 = roots; 3,4,5 = internal copies; cliques {6,7,8} and {9,10,11};
+    // 12,13 = shared leaves under the internal node.
+    let mut fig = Graph::with_nodes(14);
+    for root in 0..3 {
+        fig.add_edge(n(root), n(3 + root)); // internal copy
+        fig.add_edge(n(root), n(6 + root)); // member of clique 1
+        fig.add_edge(n(root), n(9 + root)); // member of clique 2
+    }
+    for base in [6, 9] {
+        for i in 0..3 {
+            for j in (i + 1)..3 {
+                fig.add_edge(n(base + i), n(base + j));
+            }
+        }
+    }
+    for internal in 3..6 {
+        fig.add_edge(n(internal), n(12));
+        fig.add_edge(n(internal), n(13));
+    }
+    let built = build_kdiamond(14, 3).unwrap();
+    assert!(are_isomorphic(built.graph(), &fig));
+}
+
+/// k = 2 sanity: both constructions degenerate to cycles at regular points.
+#[test]
+fn k2_regular_points_are_cycles() {
+    for nn in [4usize, 6, 8, 10] {
+        let mut cycle = Graph::with_nodes(nn);
+        for i in 0..nn {
+            cycle.add_edge(n(i), n((i + 1) % nn));
+        }
+        assert!(
+            are_isomorphic(build_ktree(nn, 2).unwrap().graph(), &cycle),
+            "K-TREE ({nn},2)"
+        );
+        assert!(
+            are_isomorphic(build_kdiamond(nn, 2).unwrap().graph(), &cycle),
+            "K-DIAMOND ({nn},2)"
+        );
+    }
+    // K-DIAMOND covers odd n too (Theorem 6 with k−1 = 1).
+    for nn in [5usize, 7, 9] {
+        let mut cycle = Graph::with_nodes(nn);
+        for i in 0..nn {
+            cycle.add_edge(n(i), n((i + 1) % nn));
+        }
+        assert!(
+            are_isomorphic(build_kdiamond(nn, 2).unwrap().graph(), &cycle),
+            "K-DIAMOND ({nn},2)"
+        );
+    }
+}

@@ -1,0 +1,119 @@
+//! Property-based tests for the LHG constructions.
+//!
+//! Random (n, k) pairs from the valid domain; every built graph must be a
+//! genuine LHG, satisfy its constraint rule-by-rule, and match the
+//! regularity closed form.
+
+use proptest::prelude::*;
+
+use lhg_core::checker::check_constraint;
+use lhg_core::jd::{build_jd, is_jd_constructible};
+use lhg_core::kdiamond::build_kdiamond;
+use lhg_core::ktree::build_ktree;
+use lhg_core::properties::{p4_diameter_bound, validate};
+use lhg_core::regularity::{reg_kdiamond, reg_ktree};
+use lhg_graph::connectivity::{edge_connectivity, vertex_connectivity};
+use lhg_graph::degree::{degree_stats, is_k_regular};
+use lhg_graph::paths::diameter;
+
+/// Valid (n, k) domain with k >= 3 (the non-degenerate diameter regime).
+fn arb_params() -> impl Strategy<Value = (usize, usize)> {
+    (3usize..=6).prop_flat_map(|k| ((2 * k)..=(2 * k + 60)).prop_map(move |n| (n, k)))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn ktree_builds_are_lhgs((n, k) in arb_params()) {
+        let lhg = build_ktree(n, k).unwrap();
+        prop_assert_eq!(lhg.n(), n);
+        let report = validate(lhg.graph(), k);
+        prop_assert!(report.is_lhg(), "(n={}, k={}): {:?}", n, k, report);
+        prop_assert_eq!(report.regular, reg_ktree(n, k));
+    }
+
+    #[test]
+    fn kdiamond_builds_are_lhgs((n, k) in arb_params()) {
+        let lhg = build_kdiamond(n, k).unwrap();
+        prop_assert_eq!(lhg.n(), n);
+        let report = validate(lhg.graph(), k);
+        prop_assert!(report.is_lhg(), "(n={}, k={}): {:?}", n, k, report);
+        prop_assert_eq!(report.regular, reg_kdiamond(n, k));
+    }
+
+    #[test]
+    fn jd_builds_are_lhgs((n, k) in arb_params()) {
+        if is_jd_constructible(n, k) {
+            let lhg = build_jd(n, k).unwrap();
+            let report = validate(lhg.graph(), k);
+            prop_assert!(report.is_lhg(), "(n={}, k={}): {:?}", n, k, report);
+        } else {
+            prop_assert!(build_jd(n, k).is_err());
+        }
+    }
+
+    #[test]
+    fn connectivity_is_exactly_k((n, k) in arb_params()) {
+        for lhg in [build_ktree(n, k).unwrap(), build_kdiamond(n, k).unwrap()] {
+            prop_assert_eq!(vertex_connectivity(lhg.graph()), k);
+            prop_assert_eq!(edge_connectivity(lhg.graph()), k);
+            prop_assert_eq!(degree_stats(lhg.graph()).min, k);
+        }
+    }
+
+    #[test]
+    fn constraint_checker_accepts_all_builds((n, k) in arb_params()) {
+        for lhg in [build_ktree(n, k).unwrap(), build_kdiamond(n, k).unwrap()] {
+            let violations = check_constraint(&lhg);
+            prop_assert!(violations.is_empty(), "(n={}, k={}): {:?}", n, k, violations);
+        }
+        if is_jd_constructible(n, k) {
+            let lhg = build_jd(n, k).unwrap();
+            prop_assert!(check_constraint(&lhg).is_empty());
+        }
+    }
+
+    #[test]
+    fn diameter_within_logarithmic_bound((n, k) in arb_params()) {
+        for lhg in [build_ktree(n, k).unwrap(), build_kdiamond(n, k).unwrap()] {
+            let d = diameter(lhg.graph()).expect("LHGs are connected");
+            prop_assert!(
+                f64::from(d) <= p4_diameter_bound(n, k),
+                "(n={}, k={}): diameter {} > bound {}",
+                n, k, d, p4_diameter_bound(n, k)
+            );
+        }
+    }
+
+    #[test]
+    fn builds_are_deterministic((n, k) in arb_params()) {
+        let a = build_ktree(n, k).unwrap();
+        let b = build_ktree(n, k).unwrap();
+        prop_assert_eq!(a.graph().fingerprint(), b.graph().fingerprint());
+        let a = build_kdiamond(n, k).unwrap();
+        let b = build_kdiamond(n, k).unwrap();
+        prop_assert_eq!(a.graph().fingerprint(), b.graph().fingerprint());
+    }
+
+    #[test]
+    fn regular_points_hit_edge_lower_bound((n, k) in arb_params()) {
+        let lhg = build_kdiamond(n, k).unwrap();
+        if reg_kdiamond(n, k) {
+            prop_assert!(is_k_regular(lhg.graph(), k));
+            prop_assert_eq!(lhg.graph().edge_count(), (k * n).div_ceil(2));
+        } else {
+            prop_assert!(lhg.graph().edge_count() > (k * n).div_ceil(2));
+        }
+    }
+
+    #[test]
+    fn leaf_roles_have_degree_k((n, k) in arb_params()) {
+        let lhg = build_kdiamond(n, k).unwrap();
+        for v in lhg.graph().nodes() {
+            if lhg.role(v).is_leaf() {
+                prop_assert_eq!(lhg.graph().degree(v), k, "leaf {}", v);
+            }
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! Heavyweight sweeps, ignored by default. Run with:
+//! `cargo test -p lhg-core --release --test stress -- --ignored`
+
+use lhg_core::checker::check_constraint;
+use lhg_core::kdiamond::build_kdiamond;
+use lhg_core::ktree::build_ktree;
+use lhg_core::properties::{
+    exhaustive_link_fault_tolerance, exhaustive_node_fault_tolerance, validate,
+};
+use lhg_core::theory::run_all;
+
+#[test]
+#[ignore = "minutes-long sweep; run explicitly in release"]
+fn theorem_suite_holds_on_wide_grid() {
+    for check in run_all(&[3, 4, 5, 6, 7, 8], 40) {
+        assert!(
+            check.holds(),
+            "{} failed on {:?} ({} cases)",
+            check.name,
+            check.failures,
+            check.cases
+        );
+    }
+}
+
+#[test]
+#[ignore = "full LHG validation over hundreds of graphs"]
+fn every_construction_validates_up_to_n_120() {
+    for k in 3..=5usize {
+        for n in (2 * k)..=120 {
+            for lhg in [build_ktree(n, k).unwrap(), build_kdiamond(n, k).unwrap()] {
+                let report = validate(lhg.graph(), k);
+                assert!(report.is_lhg(), "(n={n},k={k}): {report:?}");
+                let violations = check_constraint(&lhg);
+                assert!(violations.is_empty(), "(n={n},k={k}): {violations:?}");
+            }
+        }
+    }
+}
+
+#[test]
+#[ignore = "exhaustive subset removal at k = 5 (hundreds of thousands of cases)"]
+fn exhaustive_fault_injection_at_k5() {
+    for n in [10usize, 12, 14] {
+        let lhg = build_kdiamond(n, 5).unwrap();
+        assert!(exhaustive_node_fault_tolerance(lhg.graph(), 5), "n={n}");
+        assert!(exhaustive_link_fault_tolerance(lhg.graph(), 5), "n={n}");
+    }
+}

@@ -1,0 +1,309 @@
+//! Multi-trial experiment runner and aggregate statistics.
+//!
+//! Experiments E9–E11 sweep topologies × failure intensities × protocols;
+//! this module runs the trials (seeded, reproducible) and aggregates
+//! latency, message cost and reliability.
+
+use lhg_graph::{CsrGraph, Graph, NodeId};
+
+use crate::engine::{run_broadcast, FloodOutcome, Protocol};
+use crate::failure::{
+    adversarial_link_failures, adversarial_node_failures, random_link_failures,
+    random_node_failures, FailurePlan,
+};
+
+/// How failures are injected per trial.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureMode {
+    /// No failures.
+    None,
+    /// `count` crash-from-start nodes, fresh random choice per trial.
+    RandomNodes {
+        /// Nodes crashed per trial.
+        count: usize,
+    },
+    /// `count` failed links, fresh random choice per trial.
+    RandomLinks {
+        /// Links failed per trial.
+        count: usize,
+    },
+    /// Up to `count` crash-from-start nodes drawn from a minimum vertex cut
+    /// (the same adversarial plan every trial; falls back to no failures on
+    /// complete graphs, which have no cut).
+    AdversarialNodes {
+        /// Nodes crashed per trial.
+        count: usize,
+    },
+    /// Up to `count` failed links drawn from a minimum edge cut.
+    AdversarialLinks {
+        /// Links failed per trial.
+        count: usize,
+    },
+}
+
+/// Aggregates over a batch of broadcast trials.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrialStats {
+    /// Trials run.
+    pub trials: usize,
+    /// Mean of the last informing round over trials.
+    pub mean_rounds: f64,
+    /// Maximum last informing round.
+    pub max_rounds: u32,
+    /// Mean messages sent.
+    pub mean_messages: f64,
+    /// Mean coverage of correct nodes.
+    pub mean_coverage: f64,
+    /// Fraction of trials achieving full coverage (reliability).
+    pub reliability: f64,
+}
+
+impl TrialStats {
+    fn from_outcomes(outcomes: &[FloodOutcome]) -> Self {
+        let trials = outcomes.len();
+        assert!(trials > 0, "at least one trial required");
+        let mut rounds_sum = 0u64;
+        let mut max_rounds = 0u32;
+        let mut msg_sum = 0u64;
+        let mut coverage_sum = 0.0;
+        let mut full = 0usize;
+        for o in outcomes {
+            let r = o.last_informed_round();
+            rounds_sum += u64::from(r);
+            max_rounds = max_rounds.max(r);
+            msg_sum += o.messages_sent;
+            coverage_sum += o.coverage();
+            full += usize::from(o.full_coverage());
+        }
+        TrialStats {
+            trials,
+            mean_rounds: rounds_sum as f64 / trials as f64,
+            max_rounds,
+            mean_messages: msg_sum as f64 / trials as f64,
+            mean_coverage: coverage_sum / trials as f64,
+            reliability: full as f64 / trials as f64,
+        }
+    }
+}
+
+/// Runs `trials` broadcasts of `protocol` from node 0 over `graph`, with
+/// failures per `mode`, base seed `seed` (trial t uses `seed + t`).
+///
+/// # Panics
+///
+/// Panics if `trials == 0` or the graph is empty.
+#[must_use]
+pub fn run_trials(
+    graph: &Graph,
+    protocol: Protocol,
+    mode: FailureMode,
+    trials: usize,
+    seed: u64,
+) -> TrialStats {
+    assert!(trials > 0, "at least one trial required");
+    assert!(graph.node_count() > 0, "graph must be nonempty");
+    let topology = CsrGraph::from_graph(graph);
+    let origin = NodeId(0);
+    let outcomes: Vec<FloodOutcome> = (0..trials)
+        .map(|t| {
+            let trial_seed = seed.wrapping_add(t as u64);
+            let plan = match mode {
+                FailureMode::None => FailurePlan::none(),
+                FailureMode::RandomNodes { count } => {
+                    random_node_failures(graph, count, origin, trial_seed)
+                }
+                FailureMode::RandomLinks { count } => {
+                    random_link_failures(graph, count, trial_seed)
+                }
+                FailureMode::AdversarialNodes { count } => {
+                    adversarial_node_failures(graph, count, origin)
+                        .unwrap_or_else(FailurePlan::none)
+                }
+                FailureMode::AdversarialLinks { count } => {
+                    adversarial_link_failures(graph, count).unwrap_or_else(FailurePlan::none)
+                }
+            };
+            run_broadcast(&topology, origin, &plan, protocol, trial_seed)
+        })
+        .collect();
+    TrialStats::from_outcomes(&outcomes)
+}
+
+/// Runs one broadcast under an explicit plan (adversarial experiments).
+#[must_use]
+pub fn run_with_plan(
+    graph: &Graph,
+    protocol: Protocol,
+    plan: &FailurePlan,
+    seed: u64,
+) -> FloodOutcome {
+    let topology = CsrGraph::from_graph(graph);
+    run_broadcast(&topology, NodeId(0), plan, protocol, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cycle(n: usize) -> Graph {
+        let mut g = Graph::with_nodes(n);
+        for i in 0..n {
+            g.add_edge(NodeId(i), NodeId((i + 1) % n));
+        }
+        g
+    }
+
+    #[test]
+    fn failure_free_flooding_is_fully_reliable() {
+        let g = cycle(16);
+        let s = run_trials(&g, Protocol::Flood, FailureMode::None, 5, 1);
+        assert_eq!(s.reliability, 1.0);
+        assert_eq!(s.mean_coverage, 1.0);
+        assert_eq!(s.mean_rounds, 8.0);
+        assert_eq!(s.max_rounds, 8);
+        assert_eq!(s.trials, 5);
+    }
+
+    #[test]
+    fn one_random_failure_on_cycle_keeps_reliability() {
+        let g = cycle(12);
+        let s = run_trials(
+            &g,
+            Protocol::Flood,
+            FailureMode::RandomNodes { count: 1 },
+            20,
+            3,
+        );
+        assert_eq!(s.reliability, 1.0, "2-connected tolerates 1 crash");
+    }
+
+    #[test]
+    fn two_random_failures_on_cycle_break_reliability_sometimes() {
+        let g = cycle(12);
+        let s = run_trials(
+            &g,
+            Protocol::Flood,
+            FailureMode::RandomNodes { count: 2 },
+            40,
+            3,
+        );
+        assert!(s.reliability < 1.0, "two crashes can split a cycle");
+        assert!(s.reliability > 0.0, "but not always");
+        assert!(s.mean_coverage > 0.5);
+    }
+
+    #[test]
+    fn link_failures_mode_works() {
+        let g = cycle(10);
+        let s = run_trials(
+            &g,
+            Protocol::Flood,
+            FailureMode::RandomLinks { count: 1 },
+            10,
+            7,
+        );
+        assert_eq!(s.reliability, 1.0, "2-edge-connected tolerates 1 link loss");
+        let s2 = run_trials(
+            &g,
+            Protocol::Flood,
+            FailureMode::RandomLinks { count: 2 },
+            40,
+            7,
+        );
+        assert!(s2.reliability < 1.0);
+    }
+
+    #[test]
+    fn stats_are_reproducible() {
+        let g = cycle(14);
+        let a = run_trials(
+            &g,
+            Protocol::Flood,
+            FailureMode::RandomNodes { count: 2 },
+            10,
+            9,
+        );
+        let b = run_trials(
+            &g,
+            Protocol::Flood,
+            FailureMode::RandomNodes { count: 2 },
+            10,
+            9,
+        );
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn adversarial_modes_track_the_connectivity_threshold() {
+        let g = cycle(12);
+        // One cut node (κ − 1): always survives.
+        let s = run_trials(
+            &g,
+            Protocol::Flood,
+            FailureMode::AdversarialNodes { count: 1 },
+            5,
+            0,
+        );
+        assert_eq!(s.reliability, 1.0);
+        // The whole 2-node cut: always splits.
+        let s = run_trials(
+            &g,
+            Protocol::Flood,
+            FailureMode::AdversarialNodes { count: 2 },
+            5,
+            0,
+        );
+        assert_eq!(s.reliability, 0.0);
+        // Same on links.
+        let s = run_trials(
+            &g,
+            Protocol::Flood,
+            FailureMode::AdversarialLinks { count: 1 },
+            5,
+            0,
+        );
+        assert_eq!(s.reliability, 1.0);
+        let s = run_trials(
+            &g,
+            Protocol::Flood,
+            FailureMode::AdversarialLinks { count: 2 },
+            5,
+            0,
+        );
+        assert_eq!(s.reliability, 0.0);
+    }
+
+    #[test]
+    fn adversarial_mode_on_complete_graph_degrades_to_none() {
+        let mut g = Graph::with_nodes(5);
+        for i in 0..5 {
+            for j in (i + 1)..5 {
+                g.add_edge(NodeId(i), NodeId(j));
+            }
+        }
+        let s = run_trials(
+            &g,
+            Protocol::Flood,
+            FailureMode::AdversarialNodes { count: 3 },
+            3,
+            0,
+        );
+        assert_eq!(s.reliability, 1.0, "no vertex cut exists in K_5");
+    }
+
+    #[test]
+    fn run_with_plan_matches_engine() {
+        let g = cycle(8);
+        let mut plan = FailurePlan::none();
+        plan.crash_node(NodeId(4), 0);
+        let out = run_with_plan(&g, Protocol::Flood, &plan, 0);
+        assert!(out.full_coverage());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one trial")]
+    fn zero_trials_rejected() {
+        let g = cycle(4);
+        let _ = run_trials(&g, Protocol::Flood, FailureMode::None, 0, 0);
+    }
+}

@@ -1,0 +1,246 @@
+//! Failure plans: which nodes crash (and when) and which links are down.
+//!
+//! The LHG guarantee under test: with at most k−1 node or link failures,
+//! deterministic flooding still reaches every correct process. Plans are
+//! built either randomly (seeded) or *adversarially* from an actual minimum
+//! cut of the topology — the worst case the paper's k-connectivity
+//! argument must survive.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use lhg_graph::connectivity::{min_edge_cut, min_vertex_cut};
+use lhg_graph::{Edge, Graph, NodeId};
+
+/// A set of node crashes (each with the round it takes effect) and link
+/// failures (down for the whole run).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FailurePlan {
+    crashed_from: BTreeMap<NodeId, u32>,
+    failed_links: BTreeSet<Edge>,
+}
+
+impl FailurePlan {
+    /// A plan with no failures.
+    #[must_use]
+    pub fn none() -> Self {
+        FailurePlan::default()
+    }
+
+    /// Crashes `node` from `round` onward (0 = crashed before the run).
+    /// The earliest round wins if called twice.
+    pub fn crash_node(&mut self, node: NodeId, round: u32) -> &mut Self {
+        self.crashed_from
+            .entry(node)
+            .and_modify(|r| *r = (*r).min(round))
+            .or_insert(round);
+        self
+    }
+
+    /// Fails `link` for the whole run.
+    pub fn fail_link(&mut self, link: Edge) -> &mut Self {
+        self.failed_links.insert(link);
+        self
+    }
+
+    /// Returns `true` if `node` is crashed at `round`.
+    #[must_use]
+    pub fn is_crashed(&self, node: NodeId, round: u32) -> bool {
+        self.crashed_from.get(&node).is_some_and(|&r| round >= r)
+    }
+
+    /// Returns `true` if `node` crashes at some point during the run.
+    #[must_use]
+    pub fn ever_crashes(&self, node: NodeId) -> bool {
+        self.crashed_from.contains_key(&node)
+    }
+
+    /// Returns `true` if `link` is failed.
+    #[must_use]
+    pub fn is_link_failed(&self, link: Edge) -> bool {
+        self.failed_links.contains(&link)
+    }
+
+    /// Number of nodes that crash at any point.
+    #[must_use]
+    pub fn crashed_count(&self) -> usize {
+        self.crashed_from.len()
+    }
+
+    /// Number of failed links.
+    #[must_use]
+    pub fn failed_link_count(&self) -> usize {
+        self.failed_links.len()
+    }
+
+    /// Iterator over crashed nodes and their crash rounds.
+    pub fn crashes(&self) -> impl Iterator<Item = (NodeId, u32)> + '_ {
+        self.crashed_from.iter().map(|(&v, &r)| (v, r))
+    }
+}
+
+/// Crashes `count` random nodes (≠ `protect`) from round 0.
+///
+/// # Panics
+///
+/// Panics if fewer than `count` candidate nodes exist.
+#[must_use]
+pub fn random_node_failures(g: &Graph, count: usize, protect: NodeId, seed: u64) -> FailurePlan {
+    let mut candidates: Vec<NodeId> = g.nodes().filter(|&v| v != protect).collect();
+    assert!(candidates.len() >= count, "not enough nodes to crash");
+    let mut rng = StdRng::seed_from_u64(seed);
+    candidates.shuffle(&mut rng);
+    let mut plan = FailurePlan::none();
+    for &v in candidates.iter().take(count) {
+        plan.crash_node(v, 0);
+    }
+    plan
+}
+
+/// Fails `count` random links from round 0.
+///
+/// # Panics
+///
+/// Panics if the graph has fewer than `count` links.
+#[must_use]
+pub fn random_link_failures(g: &Graph, count: usize, seed: u64) -> FailurePlan {
+    let mut links: Vec<Edge> = g.edges().collect();
+    assert!(links.len() >= count, "not enough links to fail");
+    let mut rng = StdRng::seed_from_u64(seed);
+    links.shuffle(&mut rng);
+    let mut plan = FailurePlan::none();
+    for &e in links.iter().take(count) {
+        plan.fail_link(e);
+    }
+    plan
+}
+
+/// Crashes up to `count` nodes taken from a **minimum vertex cut** of `g`
+/// (skipping `protect`): the adversarial choice. With `count < κ(G)` the
+/// graph provably stays connected; with `count ≥ κ(G)` the whole cut falls
+/// and flooding is expected to miss nodes.
+///
+/// Returns `None` if `g` has no vertex cut (complete graphs).
+#[must_use]
+pub fn adversarial_node_failures(g: &Graph, count: usize, protect: NodeId) -> Option<FailurePlan> {
+    let cut = min_vertex_cut(g)?;
+    let mut plan = FailurePlan::none();
+    for v in cut.into_iter().filter(|&v| v != protect).take(count) {
+        plan.crash_node(v, 0);
+    }
+    Some(plan)
+}
+
+/// Fails up to `count` links taken from a **minimum edge cut** of `g`.
+///
+/// Returns `None` for graphs with fewer than two nodes.
+#[must_use]
+pub fn adversarial_link_failures(g: &Graph, count: usize) -> Option<FailurePlan> {
+    let cut = min_edge_cut(g)?;
+    let mut plan = FailurePlan::none();
+    for e in cut.into_iter().take(count) {
+        plan.fail_link(e);
+    }
+    Some(plan)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cycle(n: usize) -> Graph {
+        let mut g = Graph::with_nodes(n);
+        for i in 0..n {
+            g.add_edge(NodeId(i), NodeId((i + 1) % n));
+        }
+        g
+    }
+
+    #[test]
+    fn empty_plan_has_no_failures() {
+        let p = FailurePlan::none();
+        assert!(!p.is_crashed(NodeId(0), 100));
+        assert!(!p.is_link_failed(Edge::new(NodeId(0), NodeId(1))));
+        assert_eq!(p.crashed_count(), 0);
+        assert_eq!(p.failed_link_count(), 0);
+    }
+
+    #[test]
+    fn crash_takes_effect_at_round() {
+        let mut p = FailurePlan::none();
+        p.crash_node(NodeId(3), 5);
+        assert!(!p.is_crashed(NodeId(3), 4));
+        assert!(p.is_crashed(NodeId(3), 5));
+        assert!(p.is_crashed(NodeId(3), 9));
+        assert!(p.ever_crashes(NodeId(3)));
+        assert!(!p.ever_crashes(NodeId(2)));
+    }
+
+    #[test]
+    fn earliest_crash_round_wins() {
+        let mut p = FailurePlan::none();
+        p.crash_node(NodeId(1), 7)
+            .crash_node(NodeId(1), 3)
+            .crash_node(NodeId(1), 9);
+        assert!(!p.is_crashed(NodeId(1), 2));
+        assert!(p.is_crashed(NodeId(1), 3));
+        assert_eq!(p.crashed_count(), 1);
+    }
+
+    #[test]
+    fn random_node_failures_respect_protect_and_count() {
+        let g = cycle(10);
+        for seed in 0..5 {
+            let p = random_node_failures(&g, 3, NodeId(0), seed);
+            assert_eq!(p.crashed_count(), 3, "seed {seed}");
+            assert!(!p.ever_crashes(NodeId(0)), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn random_link_failures_count() {
+        let g = cycle(8);
+        let p = random_link_failures(&g, 2, 1);
+        assert_eq!(p.failed_link_count(), 2);
+    }
+
+    #[test]
+    fn random_plans_are_reproducible() {
+        let g = cycle(12);
+        assert_eq!(
+            random_node_failures(&g, 4, NodeId(0), 9),
+            random_node_failures(&g, 4, NodeId(0), 9)
+        );
+        assert_ne!(
+            random_node_failures(&g, 4, NodeId(0), 9),
+            random_node_failures(&g, 4, NodeId(0), 10)
+        );
+    }
+
+    #[test]
+    fn adversarial_node_failures_use_the_cut() {
+        let g = cycle(8);
+        let p = adversarial_node_failures(&g, 1, NodeId(0)).unwrap();
+        assert_eq!(p.crashed_count(), 1);
+        // With 2 failures (= κ) the cycle splits.
+        let p2 = adversarial_node_failures(&g, 2, NodeId(0)).unwrap();
+        assert_eq!(p2.crashed_count(), 2);
+    }
+
+    #[test]
+    fn adversarial_link_failures_use_the_cut() {
+        let g = cycle(6);
+        let p = adversarial_link_failures(&g, 2).unwrap();
+        assert_eq!(p.failed_link_count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "not enough nodes")]
+    fn too_many_crashes_panics() {
+        let g = cycle(4);
+        let _ = random_node_failures(&g, 4, NodeId(0), 0);
+    }
+}

@@ -1,0 +1,183 @@
+//! Multi-broadcast workloads: sweeping origins and aggregating latency
+//! distributions.
+//!
+//! A deployed overlay does not flood once from node 0 — every process
+//! originates broadcasts. This module runs an all-origins (or strided)
+//! sweep and reports the latency distribution, tying the flooding behavior
+//! back to the graph theory: failure-free flooding from `v` takes exactly
+//! `ecc(v)` rounds, so the sweep's min/max equal the topology's
+//! radius/diameter.
+
+use lhg_graph::{CsrGraph, Graph, NodeId};
+
+use crate::engine::{run_broadcast, FloodOutcome, Protocol};
+use crate::failure::FailurePlan;
+
+/// Aggregate over an origin sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OriginSweep {
+    /// Per-origin completion rounds (index = origin id / stride position).
+    pub rounds: Vec<u32>,
+    /// Per-origin message counts.
+    pub messages: Vec<u64>,
+    /// Number of origins that achieved full coverage.
+    pub fully_covered: usize,
+}
+
+impl OriginSweep {
+    /// Fastest origin's completion rounds (the topology's radius when the
+    /// sweep is exhaustive and failure-free).
+    #[must_use]
+    pub fn min_rounds(&self) -> u32 {
+        self.rounds.iter().copied().min().unwrap_or(0)
+    }
+
+    /// Slowest origin's completion rounds (the diameter, likewise).
+    #[must_use]
+    pub fn max_rounds(&self) -> u32 {
+        self.rounds.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Mean completion rounds.
+    #[must_use]
+    pub fn mean_rounds(&self) -> f64 {
+        if self.rounds.is_empty() {
+            0.0
+        } else {
+            self.rounds.iter().map(|&r| f64::from(r)).sum::<f64>() / self.rounds.len() as f64
+        }
+    }
+
+    /// The `q`-quantile of completion rounds (nearest-rank; `q ∈ [0, 1]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sweep is empty or `q` is out of range.
+    #[must_use]
+    pub fn rounds_quantile(&self, q: f64) -> u32 {
+        assert!(!self.rounds.is_empty(), "empty sweep");
+        assert!((0.0..=1.0).contains(&q), "quantile out of range");
+        let mut sorted = self.rounds.clone();
+        sorted.sort_unstable();
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        sorted[rank - 1]
+    }
+}
+
+/// Floods once from every `stride`-th origin under `plan` and aggregates.
+///
+/// # Panics
+///
+/// Panics if `stride == 0`, the graph is empty, or an origin is crashed at
+/// round 0 under `plan` (pick a plan that spares the swept origins).
+#[must_use]
+pub fn origin_sweep(
+    graph: &Graph,
+    protocol: Protocol,
+    plan: &FailurePlan,
+    stride: usize,
+    seed: u64,
+) -> OriginSweep {
+    assert!(stride > 0, "stride must be positive");
+    assert!(graph.node_count() > 0, "graph must be nonempty");
+    let topology = CsrGraph::from_graph(graph);
+    let mut rounds = Vec::new();
+    let mut messages = Vec::new();
+    let mut fully_covered = 0;
+    let mut origin = 0;
+    while origin < graph.node_count() {
+        let out: FloodOutcome = run_broadcast(&topology, NodeId(origin), plan, protocol, seed);
+        rounds.push(out.last_informed_round());
+        messages.push(out.messages_sent);
+        fully_covered += usize::from(out.full_coverage());
+        origin += stride;
+    }
+    OriginSweep {
+        rounds,
+        messages,
+        fully_covered,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lhg_graph::paths::{diameter, radius};
+
+    fn cycle(n: usize) -> Graph {
+        let mut g = Graph::with_nodes(n);
+        for i in 0..n {
+            g.add_edge(NodeId(i), NodeId((i + 1) % n));
+        }
+        g
+    }
+
+    fn path(n: usize) -> Graph {
+        let mut g = Graph::with_nodes(n);
+        for i in 1..n {
+            g.add_edge(NodeId(i - 1), NodeId(i));
+        }
+        g
+    }
+
+    #[test]
+    fn sweep_extrema_equal_radius_and_diameter() {
+        for g in [cycle(9), path(7)] {
+            let sweep = origin_sweep(&g, Protocol::Flood, &FailurePlan::none(), 1, 0);
+            assert_eq!(sweep.min_rounds(), radius(&g).unwrap(), "{g:?}");
+            assert_eq!(sweep.max_rounds(), diameter(&g).unwrap(), "{g:?}");
+            assert_eq!(sweep.fully_covered, g.node_count());
+        }
+    }
+
+    #[test]
+    fn message_cost_is_origin_independent_without_failures() {
+        let g = cycle(10);
+        let sweep = origin_sweep(&g, Protocol::Flood, &FailurePlan::none(), 1, 0);
+        assert!(
+            sweep.messages.windows(2).all(|w| w[0] == w[1]),
+            "{:?}",
+            sweep.messages
+        );
+    }
+
+    #[test]
+    fn quantiles_are_ordered() {
+        let g = path(12);
+        let sweep = origin_sweep(&g, Protocol::Flood, &FailurePlan::none(), 1, 0);
+        let q50 = sweep.rounds_quantile(0.5);
+        let q90 = sweep.rounds_quantile(0.9);
+        let q100 = sweep.rounds_quantile(1.0);
+        assert!(q50 <= q90 && q90 <= q100);
+        assert_eq!(q100, sweep.max_rounds());
+        assert!((sweep.mean_rounds() - 8.5) < 12.0);
+    }
+
+    #[test]
+    fn stride_reduces_the_sample() {
+        let g = cycle(12);
+        let full = origin_sweep(&g, Protocol::Flood, &FailurePlan::none(), 1, 0);
+        let half = origin_sweep(&g, Protocol::Flood, &FailurePlan::none(), 2, 0);
+        assert_eq!(full.rounds.len(), 12);
+        assert_eq!(half.rounds.len(), 6);
+    }
+
+    #[test]
+    fn sweep_under_failures_counts_coverage() {
+        // Path 0-..-5 with the middle node 3 crashed: every live origin
+        // reaches only its own side, so nobody achieves full coverage.
+        // Stride 2 sweeps origins 0, 2, 4 — none of them the crashed node.
+        let g = path(6);
+        let mut plan = FailurePlan::none();
+        plan.crash_node(NodeId(3), 0);
+        let sweep = origin_sweep(&g, Protocol::Flood, &plan, 2, 0);
+        assert_eq!(sweep.rounds.len(), 3);
+        assert_eq!(sweep.fully_covered, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "stride must be positive")]
+    fn zero_stride_rejected() {
+        let _ = origin_sweep(&cycle(4), Protocol::Flood, &FailurePlan::none(), 0, 0);
+    }
+}

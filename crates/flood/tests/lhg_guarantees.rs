@@ -1,0 +1,146 @@
+//! Cross-crate tests of the paper's headline guarantee: flooding over an
+//! LHG reaches every correct node despite up to k−1 failures, in about
+//! diameter-many rounds, and a k-regular LHG does so with the minimum
+//! message count.
+
+use proptest::prelude::*;
+
+use lhg_core::kdiamond::build_kdiamond;
+use lhg_core::ktree::build_ktree;
+use lhg_core::util::all_combinations;
+use lhg_flood::engine::Protocol;
+use lhg_flood::experiment::{run_trials, run_with_plan, FailureMode};
+use lhg_flood::failure::{adversarial_link_failures, adversarial_node_failures, FailurePlan};
+use lhg_graph::paths::diameter;
+use lhg_graph::{Graph, NodeId};
+
+/// Exhaustive check: flooding from node 0 survives *every* crash set of
+/// size ≤ k−1 (node 0 protected as the origin).
+fn survives_all_crash_sets(g: &Graph, k: usize) -> bool {
+    let n = g.node_count();
+    for r in 1..k {
+        let ok = all_combinations(n - 1, r, |subset| {
+            // Map combination indices 0..n-1 to node ids 1..n (skip origin).
+            let mut plan = FailurePlan::none();
+            for &i in subset {
+                plan.crash_node(NodeId(i + 1), 0);
+            }
+            run_with_plan(g, Protocol::Flood, &plan, 0).full_coverage()
+        });
+        if !ok {
+            return false;
+        }
+    }
+    true
+}
+
+#[test]
+fn exhaustive_fault_tolerance_small_lhgs() {
+    for (n, k) in [(6, 3), (8, 3), (10, 3), (13, 3), (12, 4)] {
+        let kt = build_ktree(n, k).unwrap();
+        assert!(survives_all_crash_sets(kt.graph(), k), "K-TREE ({n},{k})");
+        let kd = build_kdiamond(n, k).unwrap();
+        assert!(
+            survives_all_crash_sets(kd.graph(), k),
+            "K-DIAMOND ({n},{k})"
+        );
+    }
+}
+
+#[test]
+fn adversarial_cut_minus_one_never_breaks_flooding() {
+    for (n, k) in [(14, 3), (22, 3), (16, 4)] {
+        let lhg = build_ktree(n, k).unwrap();
+        let plan = adversarial_node_failures(lhg.graph(), k - 1, NodeId(0)).unwrap();
+        let out = run_with_plan(lhg.graph(), Protocol::Flood, &plan, 0);
+        assert!(out.full_coverage(), "({n},{k}) node cut");
+
+        let plan = adversarial_link_failures(lhg.graph(), k - 1).unwrap();
+        let out = run_with_plan(lhg.graph(), Protocol::Flood, &plan, 0);
+        assert!(out.full_coverage(), "({n},{k}) link cut");
+    }
+}
+
+#[test]
+fn full_adversarial_cut_breaks_flooding() {
+    for (n, k) in [(14, 3), (16, 4)] {
+        let lhg = build_ktree(n, k).unwrap();
+        let plan = adversarial_node_failures(lhg.graph(), k, NodeId(0)).unwrap();
+        if plan.crashed_count() == k {
+            let out = run_with_plan(lhg.graph(), Protocol::Flood, &plan, 0);
+            assert!(
+                !out.full_coverage(),
+                "removing a whole min cut must split ({n},{k})"
+            );
+        }
+    }
+}
+
+#[test]
+fn failure_free_message_cost_is_2m_minus_n_plus_1() {
+    // Flood: origin sends deg(origin); every other node sends deg−1.
+    // Total = Σdeg − (n−1) = 2m − n + 1.
+    for (n, k) in [(10, 3), (14, 3), (16, 4)] {
+        let lhg = build_kdiamond(n, k).unwrap();
+        let m = lhg.graph().edge_count() as u64;
+        let out = run_with_plan(lhg.graph(), Protocol::Flood, &FailurePlan::none(), 0);
+        assert_eq!(out.messages_sent, 2 * m - n as u64 + 1, "({n},{k})");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn random_k_minus_1_failures_always_covered(
+        k in 3usize..=5,
+        extra in 0usize..40,
+        seed in 0u64..1000,
+    ) {
+        let n = 2 * k + extra;
+        let lhg = build_ktree(n, k).unwrap();
+        let stats = run_trials(
+            lhg.graph(),
+            Protocol::Flood,
+            FailureMode::RandomNodes { count: k - 1 },
+            5,
+            seed,
+        );
+        prop_assert_eq!(stats.reliability, 1.0, "(n={}, k={})", n, k);
+    }
+
+    #[test]
+    fn random_link_failures_always_covered(
+        k in 3usize..=5,
+        extra in 0usize..40,
+        seed in 0u64..1000,
+    ) {
+        let n = 2 * k + extra;
+        let lhg = build_kdiamond(n, k).unwrap();
+        let stats = run_trials(
+            lhg.graph(),
+            Protocol::Flood,
+            FailureMode::RandomLinks { count: k - 1 },
+            5,
+            seed,
+        );
+        prop_assert_eq!(stats.reliability, 1.0, "(n={}, k={})", n, k);
+    }
+
+    #[test]
+    fn flooding_rounds_equal_eccentricity_bounded_by_diameter(
+        k in 3usize..=5,
+        extra in 0usize..50,
+    ) {
+        let n = 2 * k + extra;
+        let lhg = build_ktree(n, k).unwrap();
+        let d = diameter(lhg.graph()).unwrap();
+        let out = run_with_plan(lhg.graph(), Protocol::Flood, &FailurePlan::none(), 0);
+        prop_assert!(out.full_coverage());
+        prop_assert!(
+            out.last_informed_round() <= d,
+            "rounds {} > diameter {} (n={}, k={})",
+            out.last_informed_round(), d, n, k
+        );
+    }
+}

@@ -1,0 +1,219 @@
+//! Tests of the extended protocol matrix: lossy links, flooding with
+//! retransmissions, push–pull gossip, and coverage curves.
+
+use lhg_core::ktree::build_ktree;
+use lhg_flood::engine::{run_broadcast, run_broadcast_lossy, Protocol};
+use lhg_flood::failure::FailurePlan;
+use lhg_graph::{CsrGraph, Graph, NodeId};
+
+fn csr_cycle(n: usize) -> CsrGraph {
+    let mut g = Graph::with_nodes(n);
+    for i in 0..n {
+        g.add_edge(NodeId(i), NodeId((i + 1) % n));
+    }
+    CsrGraph::from_graph(&g)
+}
+
+fn lhg_csr(n: usize, k: usize) -> CsrGraph {
+    CsrGraph::from_graph(build_ktree(n, k).unwrap().graph())
+}
+
+#[test]
+fn zero_loss_equals_reliable_run() {
+    let t = lhg_csr(22, 3);
+    let reliable = run_broadcast(&t, NodeId(0), &FailurePlan::none(), Protocol::Flood, 5);
+    let lossy0 = run_broadcast_lossy(&t, NodeId(0), &FailurePlan::none(), Protocol::Flood, 5, 0.0);
+    assert_eq!(reliable, lossy0);
+}
+
+#[test]
+fn full_loss_informs_nobody_else() {
+    let t = lhg_csr(14, 3);
+    let out = run_broadcast_lossy(&t, NodeId(0), &FailurePlan::none(), Protocol::Flood, 5, 1.0);
+    assert_eq!(out.correct_informed, 1, "only the origin");
+    assert!(out.messages_sent > 0, "sends still happen, all dropped");
+}
+
+#[test]
+fn plain_flood_degrades_under_loss_but_retry_recovers() {
+    let t = lhg_csr(46, 3);
+    let loss = 0.30;
+    let trials = 40u64;
+    let mut flood_full = 0;
+    let mut retry_full = 0;
+    for seed in 0..trials {
+        let f = run_broadcast_lossy(
+            &t,
+            NodeId(0),
+            &FailurePlan::none(),
+            Protocol::Flood,
+            seed,
+            loss,
+        );
+        let r = run_broadcast_lossy(
+            &t,
+            NodeId(0),
+            &FailurePlan::none(),
+            Protocol::FloodRetry { retries: 4 },
+            seed,
+            loss,
+        );
+        flood_full += u64::from(f.full_coverage());
+        retry_full += u64::from(r.full_coverage());
+    }
+    assert!(
+        flood_full < trials,
+        "30% loss must break single-shot flooding sometimes ({flood_full}/{trials})"
+    );
+    assert!(
+        retry_full > flood_full,
+        "retransmissions must improve coverage ({retry_full} vs {flood_full})"
+    );
+}
+
+#[test]
+fn retry_on_reliable_links_changes_nothing_but_cost() {
+    let t = lhg_csr(18, 3);
+    let plain = run_broadcast(&t, NodeId(0), &FailurePlan::none(), Protocol::Flood, 0);
+    let retry = run_broadcast(
+        &t,
+        NodeId(0),
+        &FailurePlan::none(),
+        Protocol::FloodRetry { retries: 3 },
+        0,
+    );
+    assert_eq!(plain.informed_at, retry.informed_at, "same delivery rounds");
+    assert!(
+        retry.messages_sent > 2 * plain.messages_sent,
+        "but ~3x the messages"
+    );
+}
+
+#[test]
+fn push_pull_converges_where_push_struggles() {
+    // Star graph: push with fanout 1 from the hub informs one leaf per
+    // round; pull lets every leaf fetch from the hub in round 1.
+    let mut g = Graph::with_nodes(16);
+    for i in 1..16 {
+        g.add_edge(NodeId(0), NodeId(i));
+    }
+    let t = CsrGraph::from_graph(&g);
+    let push = run_broadcast(
+        &t,
+        NodeId(0),
+        &FailurePlan::none(),
+        Protocol::GossipPush {
+            fanout: 1,
+            rounds_per_node: 4,
+        },
+        9,
+    );
+    let pushpull = run_broadcast(
+        &t,
+        NodeId(0),
+        &FailurePlan::none(),
+        Protocol::GossipPushPull {
+            fanout: 1,
+            rounds: 4,
+        },
+        9,
+    );
+    assert!(!push.full_coverage(), "4 pushes cannot reach 15 leaves");
+    assert!(pushpull.full_coverage(), "every leaf pulls from the hub");
+}
+
+#[test]
+fn push_pull_respects_crashes() {
+    let t = csr_cycle(10);
+    let mut plan = FailurePlan::none();
+    plan.crash_node(NodeId(2), 0);
+    plan.crash_node(NodeId(7), 0);
+    let out = run_broadcast(
+        &t,
+        NodeId(0),
+        &plan,
+        Protocol::GossipPushPull {
+            fanout: 2,
+            rounds: 30,
+        },
+        3,
+    );
+    // The cycle is split by the two crashes: 3,4,5,6 unreachable.
+    assert!(!out.full_coverage());
+    assert_eq!(out.correct_informed, 4);
+}
+
+#[test]
+fn push_pull_message_cost_is_rounds_times_contacts() {
+    let t = csr_cycle(8);
+    let out = run_broadcast(
+        &t,
+        NodeId(0),
+        &FailurePlan::none(),
+        Protocol::GossipPushPull {
+            fanout: 1,
+            rounds: 5,
+        },
+        1,
+    );
+    assert_eq!(
+        out.messages_sent,
+        5 * 8,
+        "every node contacts once per round"
+    );
+}
+
+#[test]
+fn coverage_curve_is_monotone_and_ends_at_coverage() {
+    let t = lhg_csr(30, 3);
+    let out = run_broadcast(&t, NodeId(0), &FailurePlan::none(), Protocol::Flood, 0);
+    let curve = out.coverage_curve();
+    assert_eq!(curve[0], 1.0 / 30.0, "round 0: just the origin");
+    assert!(
+        curve.windows(2).all(|w| w[0] <= w[1]),
+        "monotone: {curve:?}"
+    );
+    assert_eq!(*curve.last().unwrap(), out.coverage());
+    assert_eq!(curve.len() as u32, out.last_informed_round() + 1);
+}
+
+#[test]
+fn coverage_curve_under_failures_plateaus_below_one() {
+    let t = csr_cycle(12);
+    let mut plan = FailurePlan::none();
+    plan.crash_node(NodeId(3), 0);
+    plan.crash_node(NodeId(9), 0);
+    let out = run_broadcast(&t, NodeId(0), &plan, Protocol::Flood, 0);
+    let curve = out.coverage_curve();
+    assert!(*curve.last().unwrap() < 1.0);
+    assert_eq!(*curve.last().unwrap(), out.coverage());
+}
+
+#[test]
+fn lossy_runs_are_seed_reproducible() {
+    let t = lhg_csr(26, 3);
+    let a = run_broadcast_lossy(
+        &t,
+        NodeId(0),
+        &FailurePlan::none(),
+        Protocol::Flood,
+        11,
+        0.2,
+    );
+    let b = run_broadcast_lossy(
+        &t,
+        NodeId(0),
+        &FailurePlan::none(),
+        Protocol::Flood,
+        11,
+        0.2,
+    );
+    assert_eq!(a, b);
+}
+
+#[test]
+#[should_panic(expected = "loss probability")]
+fn invalid_loss_probability_rejected() {
+    let t = csr_cycle(4);
+    let _ = run_broadcast_lossy(&t, NodeId(0), &FailurePlan::none(), Protocol::Flood, 0, 1.5);
+}

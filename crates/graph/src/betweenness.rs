@@ -1,0 +1,199 @@
+//! Betweenness centrality (Brandes' algorithm, unweighted).
+//!
+//! In a flooding overlay, a node's betweenness approximates the share of
+//! shortest-path traffic it relays; the *distribution* of betweenness shows
+//! how evenly a topology spreads forwarding load. Trees concentrate all
+//! load on the root; Harary rings spread it perfectly but pay linear
+//! latency; LHGs sit in between (experiment E21).
+
+use std::collections::VecDeque;
+
+use crate::traversal::Adjacency;
+use crate::NodeId;
+
+/// Exact betweenness centrality of every node (unnormalized, undirected:
+/// each pair counted once).
+///
+/// Runs Brandes' algorithm: one BFS + dependency accumulation per source,
+/// `O(n·m)` total.
+#[must_use]
+pub fn betweenness<A: Adjacency + ?Sized>(adj: &A) -> Vec<f64> {
+    let n = adj.node_count();
+    let mut centrality = vec![0.0f64; n];
+
+    for s in 0..n {
+        // BFS computing distance, shortest-path counts and predecessors.
+        let mut dist = vec![u32::MAX; n];
+        let mut sigma = vec![0.0f64; n];
+        let mut preds: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut order: Vec<usize> = Vec::with_capacity(n);
+        dist[s] = 0;
+        sigma[s] = 1.0;
+        let mut q = VecDeque::from([s]);
+        while let Some(v) = q.pop_front() {
+            order.push(v);
+            adj.for_each_neighbor(NodeId(v), &mut |w| {
+                let w = w.index();
+                if dist[w] == u32::MAX {
+                    dist[w] = dist[v] + 1;
+                    q.push_back(w);
+                }
+                if dist[w] == dist[v] + 1 {
+                    sigma[w] += sigma[v];
+                    preds[w].push(v);
+                }
+            });
+        }
+        // Dependency accumulation in reverse BFS order.
+        let mut delta = vec![0.0f64; n];
+        for &w in order.iter().rev() {
+            for &v in &preds[w] {
+                delta[v] += sigma[v] / sigma[w] * (1.0 + delta[w]);
+            }
+            if w != s {
+                centrality[w] += delta[w];
+            }
+        }
+    }
+    // Each undirected pair was counted twice (once per endpoint as source).
+    for c in &mut centrality {
+        *c /= 2.0;
+    }
+    centrality
+}
+
+/// Summary of a betweenness distribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LoadProfile {
+    /// Largest betweenness.
+    pub max: f64,
+    /// Mean betweenness.
+    pub mean: f64,
+    /// Max/mean ratio — 1.0 is perfectly balanced forwarding load.
+    pub imbalance: f64,
+}
+
+/// Computes the [`LoadProfile`] of `adj`.
+///
+/// # Panics
+///
+/// Panics if the graph has no nodes.
+#[must_use]
+pub fn load_profile<A: Adjacency + ?Sized>(adj: &A) -> LoadProfile {
+    let c = betweenness(adj);
+    assert!(!c.is_empty(), "need at least one node");
+    let max = c.iter().copied().fold(0.0f64, f64::max);
+    let mean = c.iter().sum::<f64>() / c.len() as f64;
+    let imbalance = if mean > 0.0 { max / mean } else { 1.0 };
+    LoadProfile {
+        max,
+        mean,
+        imbalance,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Graph;
+
+    fn path(n: usize) -> Graph {
+        let mut g = Graph::with_nodes(n);
+        for i in 1..n {
+            g.add_edge(NodeId(i - 1), NodeId(i));
+        }
+        g
+    }
+
+    fn cycle(n: usize) -> Graph {
+        let mut g = path(n);
+        g.add_edge(NodeId(n - 1), NodeId(0));
+        g
+    }
+
+    #[test]
+    fn path_betweenness_is_quadratic_in_the_middle() {
+        // P_5: node i lies on (i)(n-1-i) shortest paths.
+        let c = betweenness(&path(5));
+        assert_eq!(c, vec![0.0, 3.0, 4.0, 3.0, 0.0]);
+    }
+
+    #[test]
+    fn star_center_carries_all_load() {
+        let mut g = Graph::with_nodes(6);
+        for i in 1..6 {
+            g.add_edge(NodeId(0), NodeId(i));
+        }
+        let c = betweenness(&g);
+        // C(5,2) = 10 leaf pairs all route through the hub.
+        assert_eq!(c[0], 10.0);
+        assert!(c[1..].iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn cycle_load_is_uniform() {
+        let c = betweenness(&cycle(8));
+        for &x in &c {
+            assert!((x - c[0]).abs() < 1e-9, "{c:?}");
+        }
+        let p = load_profile(&cycle(8));
+        assert!((p.imbalance - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn even_cycle_split_paths_counted_fractionally() {
+        // C_4: opposite pairs have 2 shortest paths, each middle node gets
+        // 0.5 per pair; total per node = 0.5.
+        let c = betweenness(&cycle(4));
+        for &x in &c {
+            assert!((x - 0.5).abs() < 1e-9, "{c:?}");
+        }
+    }
+
+    #[test]
+    fn complete_graph_has_zero_betweenness() {
+        let mut g = Graph::with_nodes(5);
+        for i in 0..5 {
+            for j in (i + 1)..5 {
+                g.add_edge(NodeId(i), NodeId(j));
+            }
+        }
+        assert!(betweenness(&g).iter().all(|&x| x == 0.0));
+        assert_eq!(load_profile(&g).imbalance, 1.0);
+    }
+
+    #[test]
+    fn disconnected_components_do_not_interact() {
+        // Two disjoint paths of 3: middles get 1.0 each.
+        let mut g = Graph::with_nodes(6);
+        g.add_edge(NodeId(0), NodeId(1));
+        g.add_edge(NodeId(1), NodeId(2));
+        g.add_edge(NodeId(3), NodeId(4));
+        g.add_edge(NodeId(4), NodeId(5));
+        let c = betweenness(&g);
+        assert_eq!(c, vec![0.0, 1.0, 0.0, 0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn barbell_bridge_endpoints_dominate() {
+        // Triangle - bridge - triangle: bridge endpoints carry cross
+        // traffic.
+        let g = Graph::from_edges(
+            0,
+            [
+                (NodeId(0), NodeId(1)),
+                (NodeId(1), NodeId(2)),
+                (NodeId(0), NodeId(2)),
+                (NodeId(2), NodeId(3)),
+                (NodeId(3), NodeId(4)),
+                (NodeId(4), NodeId(5)),
+                (NodeId(3), NodeId(5)),
+            ],
+        );
+        let c = betweenness(&g);
+        assert!(c[2] > c[0] && c[2] > c[1]);
+        assert!(c[3] > c[4] && c[3] > c[5]);
+        let p = load_profile(&g);
+        assert!(p.imbalance > 1.5);
+    }
+}

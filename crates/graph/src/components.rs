@@ -1,0 +1,156 @@
+//! Connected components.
+
+use crate::traversal::{bfs_order, Adjacency};
+use crate::NodeId;
+
+/// Partition of nodes into connected components.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Components {
+    /// `label[v]` is the 0-based component index of node `v`; components are
+    /// numbered by ascending smallest member id.
+    labels: Vec<usize>,
+    count: usize,
+}
+
+impl Components {
+    /// Number of connected components (0 for the empty graph).
+    #[must_use]
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Component index of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of bounds.
+    #[must_use]
+    pub fn label(&self, node: NodeId) -> usize {
+        self.labels[node.index()]
+    }
+
+    /// Returns `true` if `a` and `b` are in the same component.
+    #[must_use]
+    pub fn same_component(&self, a: NodeId, b: NodeId) -> bool {
+        self.label(a) == self.label(b)
+    }
+
+    /// The members of each component, each sorted ascending.
+    #[must_use]
+    pub fn groups(&self) -> Vec<Vec<NodeId>> {
+        let mut groups = vec![Vec::new(); self.count];
+        for (i, &label) in self.labels.iter().enumerate() {
+            groups[label].push(NodeId(i));
+        }
+        groups
+    }
+
+    /// Size of the largest component (0 for the empty graph).
+    #[must_use]
+    pub fn largest_size(&self) -> usize {
+        let mut sizes = vec![0usize; self.count];
+        for &label in &self.labels {
+            sizes[label] += 1;
+        }
+        sizes.into_iter().max().unwrap_or(0)
+    }
+}
+
+/// Computes the connected components of `adj`.
+#[must_use]
+pub fn connected_components<A: Adjacency + ?Sized>(adj: &A) -> Components {
+    let n = adj.node_count();
+    let mut labels = vec![usize::MAX; n];
+    let mut count = 0;
+    for start in 0..n {
+        if labels[start] != usize::MAX {
+            continue;
+        }
+        for v in bfs_order(adj, NodeId(start)) {
+            labels[v.index()] = count;
+        }
+        count += 1;
+    }
+    Components { labels, count }
+}
+
+/// Returns `true` if the graph is connected.
+///
+/// The empty graph is considered connected (vacuously), matching the paper's
+/// definition which only constrains graphs with more than one node.
+#[must_use]
+pub fn is_connected<A: Adjacency + ?Sized>(adj: &A) -> bool {
+    let n = adj.node_count();
+    if n <= 1 {
+        return true;
+    }
+    bfs_order(adj, NodeId(0)).len() == n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Graph;
+
+    #[test]
+    fn empty_graph_is_connected_with_zero_components() {
+        let g = Graph::new();
+        assert!(is_connected(&g));
+        assert_eq!(connected_components(&g).count(), 0);
+    }
+
+    #[test]
+    fn single_node_is_connected() {
+        let g = Graph::with_nodes(1);
+        assert!(is_connected(&g));
+        assert_eq!(connected_components(&g).count(), 1);
+    }
+
+    #[test]
+    fn two_isolated_nodes_are_disconnected() {
+        let g = Graph::with_nodes(2);
+        assert!(!is_connected(&g));
+        let c = connected_components(&g);
+        assert_eq!(c.count(), 2);
+        assert!(!c.same_component(NodeId(0), NodeId(1)));
+    }
+
+    #[test]
+    fn components_are_numbered_by_smallest_member() {
+        // {0,3} and {1,2} — component of node 0 must be index 0.
+        let mut g = Graph::with_nodes(4);
+        g.add_edge(NodeId(0), NodeId(3));
+        g.add_edge(NodeId(1), NodeId(2));
+        let c = connected_components(&g);
+        assert_eq!(c.count(), 2);
+        assert_eq!(c.label(NodeId(0)), 0);
+        assert_eq!(c.label(NodeId(3)), 0);
+        assert_eq!(c.label(NodeId(1)), 1);
+        assert_eq!(c.label(NodeId(2)), 1);
+        assert_eq!(
+            c.groups(),
+            vec![vec![NodeId(0), NodeId(3)], vec![NodeId(1), NodeId(2)]]
+        );
+    }
+
+    #[test]
+    fn largest_component_size() {
+        let mut g = Graph::with_nodes(5);
+        g.add_edge(NodeId(0), NodeId(1));
+        g.add_edge(NodeId(1), NodeId(2));
+        g.add_edge(NodeId(3), NodeId(4));
+        let c = connected_components(&g);
+        assert_eq!(c.largest_size(), 3);
+    }
+
+    #[test]
+    fn connected_cycle() {
+        let mut g = Graph::with_nodes(4);
+        for i in 0..4 {
+            g.add_edge(NodeId(i), NodeId((i + 1) % 4));
+        }
+        assert!(is_connected(&g));
+        assert_eq!(connected_components(&g).count(), 1);
+        assert_eq!(connected_components(&g).largest_size(), 4);
+    }
+}

@@ -1,0 +1,514 @@
+//! Exact vertex and edge connectivity via Menger's theorem.
+//!
+//! LHG property P1 requires *k-node connectivity* and P2 *k-link
+//! connectivity*. Both are computed exactly here by max-flow reductions:
+//!
+//! * **edge connectivity** — each undirected edge becomes a pair of opposed
+//!   unit-capacity arcs; λ(s,t) is the s→t max flow, and the global value is
+//!   `min over t≠0 of λ(0, t)` (any global minimum edge cut separates node 0
+//!   from something).
+//! * **vertex connectivity** — the standard node-splitting network (each
+//!   vertex `v` becomes `v_in → v_out` with capacity 1) plus Even's pair
+//!   selection: with `v` a minimum-degree vertex, the global value is the
+//!   minimum of κ(v, w) over non-neighbors `w` of `v` and κ(x, y) over
+//!   non-adjacent pairs of neighbors of `v` (or `n − 1` for complete graphs).
+//!
+//! `is_k_*_connected` variants cap every flow at `k` for an early exit —
+//! the validators only need the yes/no answer.
+
+use crate::flow::FlowNetwork;
+use crate::graph::Edge;
+use crate::{Graph, NodeId};
+
+/// Large finite stand-in for infinite capacity; flows here never exceed the
+/// node count, so `node_count + 1` is safely "infinite".
+fn inf_cap(g: &Graph) -> u64 {
+    g.node_count() as u64 + 1
+}
+
+/// Returns `true` if every pair of distinct nodes is adjacent.
+#[must_use]
+pub fn is_complete(g: &Graph) -> bool {
+    let n = g.node_count();
+    g.edge_count() == n * n.saturating_sub(1) / 2
+}
+
+// ---------------------------------------------------------------------------
+// Edge connectivity
+// ---------------------------------------------------------------------------
+
+fn edge_flow_network(g: &Graph) -> FlowNetwork {
+    let mut net = FlowNetwork::new(g.node_count());
+    for e in g.edges() {
+        net.add_edge(e.a.index(), e.b.index(), 1);
+        net.add_edge(e.b.index(), e.a.index(), 1);
+    }
+    net
+}
+
+/// Maximum number of edge-disjoint paths between `s` and `t` (Menger), the
+/// local edge connectivity λ(s, t). Capped at `cap` if provided.
+///
+/// # Panics
+///
+/// Panics if `s == t` or either is out of bounds.
+#[must_use]
+pub fn local_edge_connectivity(g: &Graph, s: NodeId, t: NodeId, cap: Option<usize>) -> usize {
+    let mut net = edge_flow_network(g);
+    let cap = cap.map_or(u64::MAX, |c| c as u64);
+    net.max_flow_capped(s.index(), t.index(), cap) as usize
+}
+
+/// Global edge connectivity λ(G): the minimum number of edges whose removal
+/// disconnects the graph. Returns 0 for disconnected graphs and for graphs
+/// with fewer than two nodes.
+#[must_use]
+pub fn edge_connectivity(g: &Graph) -> usize {
+    let n = g.node_count();
+    if n < 2 || !crate::components::is_connected(g) {
+        return 0;
+    }
+    let mut best = g.degree(NodeId(0)); // λ ≤ min degree ≤ deg(0)
+    for t in 1..n {
+        if best == 0 {
+            break;
+        }
+        best = best.min(local_edge_connectivity(g, NodeId(0), NodeId(t), Some(best)));
+    }
+    best
+}
+
+/// Returns `true` if λ(G) ≥ k, i.e. removing any k−1 edges leaves the graph
+/// connected. `k == 0` is vacuously true.
+#[must_use]
+pub fn is_k_edge_connected(g: &Graph, k: usize) -> bool {
+    if k == 0 {
+        return true;
+    }
+    let n = g.node_count();
+    if n < 2 {
+        return false;
+    }
+    if g.nodes().any(|v| g.degree(v) < k) {
+        return false; // min degree bounds λ
+    }
+    if !crate::components::is_connected(g) {
+        return false;
+    }
+    (1..n).all(|t| local_edge_connectivity(g, NodeId(0), NodeId(t), Some(k)) >= k)
+}
+
+/// A minimum edge cut: a smallest set of edges whose removal disconnects the
+/// graph. `None` when no cut exists (fewer than two nodes); the empty vector
+/// when the graph is already disconnected.
+#[must_use]
+pub fn min_edge_cut(g: &Graph) -> Option<Vec<Edge>> {
+    let n = g.node_count();
+    if n < 2 {
+        return None;
+    }
+    if !crate::components::is_connected(g) {
+        return Some(Vec::new());
+    }
+    // Find the argmin target, then extract the cut from the residual graph.
+    let mut best = usize::MAX;
+    let mut best_t = NodeId(1);
+    for t in 1..n {
+        let lam = local_edge_connectivity(g, NodeId(0), NodeId(t), Some(best));
+        if lam < best {
+            best = lam;
+            best_t = NodeId(t);
+        }
+    }
+    let mut net = edge_flow_network(g);
+    net.max_flow(0, best_t.index());
+    // Residual-reachable set from the source = source side of a min cut.
+    let reach = net.residual_reachable(0);
+    let cut: Vec<Edge> = g
+        .edges()
+        .filter(|e| reach[e.a.index()] != reach[e.b.index()])
+        .collect();
+    debug_assert_eq!(cut.len(), best);
+    Some(cut)
+}
+
+// ---------------------------------------------------------------------------
+// Vertex connectivity
+// ---------------------------------------------------------------------------
+
+/// Builds the node-split network. Returns (network, in-index fn offset).
+/// For vertex v: in = 2v, out = 2v + 1.
+fn vertex_flow_network(g: &Graph, s: NodeId, t: NodeId) -> FlowNetwork {
+    let n = g.node_count();
+    let inf = inf_cap(g);
+    let mut net = FlowNetwork::new(2 * n);
+    for v in g.nodes() {
+        let cap = if v == s || v == t { inf } else { 1 };
+        net.add_edge(2 * v.index(), 2 * v.index() + 1, cap);
+    }
+    for e in g.edges() {
+        net.add_edge(2 * e.a.index() + 1, 2 * e.b.index(), inf);
+        net.add_edge(2 * e.b.index() + 1, 2 * e.a.index(), inf);
+    }
+    net
+}
+
+/// Maximum number of internally vertex-disjoint paths between non-adjacent
+/// `s` and `t` (Menger), the local vertex connectivity κ(s, t). Capped at
+/// `cap` if provided.
+///
+/// # Panics
+///
+/// Panics if `s == t`, if either is out of bounds, or if `s` and `t` are
+/// adjacent (κ is unbounded by Menger for adjacent pairs).
+#[must_use]
+pub fn local_vertex_connectivity(g: &Graph, s: NodeId, t: NodeId, cap: Option<usize>) -> usize {
+    assert!(
+        !g.has_edge(s, t),
+        "local vertex connectivity requires non-adjacent endpoints"
+    );
+    assert_ne!(s, t, "endpoints must be distinct");
+    let mut net = vertex_flow_network(g, s, t);
+    let cap = cap.map_or(u64::MAX, |c| c as u64);
+    net.max_flow_capped(2 * s.index() + 1, 2 * t.index(), cap) as usize
+}
+
+/// The pairs Even's algorithm must inspect, given min-degree vertex `v`.
+fn even_pairs(g: &Graph, v: NodeId) -> Vec<(NodeId, NodeId)> {
+    let mut pairs = Vec::new();
+    for w in g.nodes() {
+        if w != v && !g.has_edge(v, w) {
+            pairs.push((v, w));
+        }
+    }
+    let neighbors: Vec<NodeId> = g.neighbors(v).collect();
+    for (i, &x) in neighbors.iter().enumerate() {
+        for &y in &neighbors[i + 1..] {
+            if !g.has_edge(x, y) {
+                pairs.push((x, y));
+            }
+        }
+    }
+    pairs
+}
+
+/// Global vertex connectivity κ(G): the minimum number of vertices whose
+/// removal disconnects the graph (or `n − 1` for complete graphs). Returns
+/// 0 for disconnected graphs and graphs with fewer than two nodes.
+#[must_use]
+pub fn vertex_connectivity(g: &Graph) -> usize {
+    let n = g.node_count();
+    if n < 2 || !crate::components::is_connected(g) {
+        return 0;
+    }
+    if is_complete(g) {
+        return n - 1;
+    }
+    let v = g.nodes().min_by_key(|&v| g.degree(v)).expect("nonempty");
+    let mut best = g.degree(v); // κ ≤ δ
+    for (s, t) in even_pairs(g, v) {
+        if best == 0 {
+            break;
+        }
+        best = best.min(local_vertex_connectivity(g, s, t, Some(best)));
+    }
+    best
+}
+
+/// Returns `true` if κ(G) ≥ k, i.e. removing any k−1 vertices leaves the
+/// graph connected. `k == 0` is vacuously true.
+#[must_use]
+pub fn is_k_vertex_connected(g: &Graph, k: usize) -> bool {
+    if k == 0 {
+        return true;
+    }
+    let n = g.node_count();
+    if n < 2 || n <= k {
+        // κ(G) ≤ n − 1 always, so κ ≥ k needs n ≥ k + 1.
+        return false;
+    }
+    if g.nodes().any(|v| g.degree(v) < k) {
+        return false;
+    }
+    if !crate::components::is_connected(g) {
+        return false;
+    }
+    if is_complete(g) {
+        return n > k;
+    }
+    let v = g.nodes().min_by_key(|&v| g.degree(v)).expect("nonempty");
+    even_pairs(g, v)
+        .into_iter()
+        .all(|(s, t)| local_vertex_connectivity(g, s, t, Some(k)) >= k)
+}
+
+/// A minimum vertex cut: a smallest vertex set whose removal disconnects the
+/// graph. `None` for complete graphs and graphs with fewer than two nodes
+/// (no cut exists); the empty vector when already disconnected.
+#[must_use]
+pub fn min_vertex_cut(g: &Graph) -> Option<Vec<NodeId>> {
+    let n = g.node_count();
+    if n < 2 || is_complete(g) {
+        return None;
+    }
+    if !crate::components::is_connected(g) {
+        return Some(Vec::new());
+    }
+    let v = g.nodes().min_by_key(|&v| g.degree(v)).expect("nonempty");
+    let mut best = usize::MAX;
+    let mut best_pair = None;
+    for (s, t) in even_pairs(g, v) {
+        let kappa = local_vertex_connectivity(g, s, t, Some(best));
+        if kappa < best {
+            best = kappa;
+            best_pair = Some((s, t));
+        }
+    }
+    let (s, t) = best_pair.expect("non-complete connected graph has a non-adjacent pair");
+    let mut net = vertex_flow_network(g, s, t);
+    net.max_flow(2 * s.index() + 1, 2 * t.index());
+    let reach = net.residual_reachable(2 * s.index() + 1);
+    // A vertex v is in the cut iff its in-node is reachable but its out-node
+    // is not (the unit in→out arc is saturated and crosses the cut).
+    let cut: Vec<NodeId> = g
+        .nodes()
+        .filter(|&w| w != s && w != t && reach[2 * w.index()] && !reach[2 * w.index() + 1])
+        .collect();
+    debug_assert_eq!(cut.len(), best);
+    Some(cut)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cycle(n: usize) -> Graph {
+        let mut g = Graph::with_nodes(n);
+        for i in 0..n {
+            g.add_edge(NodeId(i), NodeId((i + 1) % n));
+        }
+        g
+    }
+
+    fn complete(n: usize) -> Graph {
+        let mut g = Graph::with_nodes(n);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                g.add_edge(NodeId(i), NodeId(j));
+            }
+        }
+        g
+    }
+
+    fn path(n: usize) -> Graph {
+        let mut g = Graph::with_nodes(n);
+        for i in 1..n {
+            g.add_edge(NodeId(i - 1), NodeId(i));
+        }
+        g
+    }
+
+    #[test]
+    fn cycle_is_exactly_2_connected() {
+        let g = cycle(8);
+        assert_eq!(vertex_connectivity(&g), 2);
+        assert_eq!(edge_connectivity(&g), 2);
+        assert!(is_k_vertex_connected(&g, 2));
+        assert!(!is_k_vertex_connected(&g, 3));
+        assert!(is_k_edge_connected(&g, 2));
+        assert!(!is_k_edge_connected(&g, 3));
+    }
+
+    #[test]
+    fn path_is_exactly_1_connected() {
+        let g = path(5);
+        assert_eq!(vertex_connectivity(&g), 1);
+        assert_eq!(edge_connectivity(&g), 1);
+    }
+
+    #[test]
+    fn complete_graph_connectivity_is_n_minus_1() {
+        for n in 2..=6 {
+            let g = complete(n);
+            assert_eq!(vertex_connectivity(&g), n - 1, "K_{n}");
+            assert_eq!(edge_connectivity(&g), n - 1, "K_{n}");
+            assert!(is_k_vertex_connected(&g, n - 1));
+            assert!(!is_k_vertex_connected(&g, n));
+        }
+    }
+
+    #[test]
+    fn disconnected_graph_has_zero_connectivity() {
+        let g = Graph::with_nodes(4);
+        assert_eq!(vertex_connectivity(&g), 0);
+        assert_eq!(edge_connectivity(&g), 0);
+        assert!(!is_k_vertex_connected(&g, 1));
+        assert!(!is_k_edge_connected(&g, 1));
+    }
+
+    #[test]
+    fn trivial_graphs() {
+        assert_eq!(vertex_connectivity(&Graph::new()), 0);
+        assert_eq!(vertex_connectivity(&Graph::with_nodes(1)), 0);
+        assert!(is_k_vertex_connected(&Graph::with_nodes(1), 0));
+        assert!(!is_k_vertex_connected(&Graph::with_nodes(1), 1));
+    }
+
+    #[test]
+    fn two_triangles_sharing_a_vertex_has_kappa_1_lambda_2() {
+        let g = Graph::from_edges(
+            0,
+            [
+                (NodeId(0), NodeId(1)),
+                (NodeId(1), NodeId(2)),
+                (NodeId(0), NodeId(2)),
+                (NodeId(2), NodeId(3)),
+                (NodeId(3), NodeId(4)),
+                (NodeId(2), NodeId(4)),
+            ],
+        );
+        assert_eq!(vertex_connectivity(&g), 1);
+        assert_eq!(edge_connectivity(&g), 2);
+        assert_eq!(min_vertex_cut(&g), Some(vec![NodeId(2)]));
+    }
+
+    #[test]
+    fn complete_bipartite_k33() {
+        // K_{3,3}: κ = λ = 3.
+        let mut g = Graph::with_nodes(6);
+        for i in 0..3 {
+            for j in 3..6 {
+                g.add_edge(NodeId(i), NodeId(j));
+            }
+        }
+        assert_eq!(vertex_connectivity(&g), 3);
+        assert_eq!(edge_connectivity(&g), 3);
+        let cut = min_vertex_cut(&g).unwrap();
+        assert_eq!(cut.len(), 3);
+    }
+
+    #[test]
+    fn petersen_graph_is_3_connected() {
+        // Petersen graph: κ = λ = 3, 3-regular.
+        let outer = [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)];
+        let spokes = [(0, 5), (1, 6), (2, 7), (3, 8), (4, 9)];
+        let inner = [(5, 7), (7, 9), (9, 6), (6, 8), (8, 5)];
+        let mut g = Graph::with_nodes(10);
+        for (a, b) in outer.iter().chain(&spokes).chain(&inner) {
+            g.add_edge(NodeId(*a), NodeId(*b));
+        }
+        assert_eq!(vertex_connectivity(&g), 3);
+        assert_eq!(edge_connectivity(&g), 3);
+        assert!(is_k_vertex_connected(&g, 3));
+        assert!(!is_k_vertex_connected(&g, 4));
+    }
+
+    #[test]
+    fn local_edge_connectivity_on_cycle_is_2() {
+        let g = cycle(6);
+        assert_eq!(local_edge_connectivity(&g, NodeId(0), NodeId(3), None), 2);
+        assert_eq!(
+            local_edge_connectivity(&g, NodeId(0), NodeId(3), Some(1)),
+            1
+        );
+    }
+
+    #[test]
+    fn local_vertex_connectivity_on_cycle_is_2() {
+        let g = cycle(6);
+        assert_eq!(local_vertex_connectivity(&g, NodeId(0), NodeId(3), None), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-adjacent")]
+    fn local_vertex_connectivity_rejects_adjacent() {
+        let g = cycle(4);
+        let _ = local_vertex_connectivity(&g, NodeId(0), NodeId(1), None);
+    }
+
+    #[test]
+    fn min_edge_cut_on_barbell_is_the_bridge() {
+        let g = Graph::from_edges(
+            0,
+            [
+                (NodeId(0), NodeId(1)),
+                (NodeId(1), NodeId(2)),
+                (NodeId(0), NodeId(2)),
+                (NodeId(2), NodeId(3)),
+                (NodeId(3), NodeId(4)),
+                (NodeId(4), NodeId(5)),
+                (NodeId(3), NodeId(5)),
+            ],
+        );
+        assert_eq!(
+            min_edge_cut(&g),
+            Some(vec![Edge::new(NodeId(2), NodeId(3))])
+        );
+    }
+
+    #[test]
+    fn min_cut_removal_disconnects() {
+        use crate::subgraph::SubgraphView;
+        let g = cycle(7);
+        let vcut = min_vertex_cut(&g).unwrap();
+        assert_eq!(vcut.len(), 2);
+        let view = SubgraphView::without_nodes(&g, vcut.iter().copied());
+        assert!(!view.is_live_connected());
+
+        let ecut = min_edge_cut(&g).unwrap();
+        assert_eq!(ecut.len(), 2);
+        let view = SubgraphView::without_edges(&g, ecut.iter().copied());
+        assert!(!view.is_live_connected());
+    }
+
+    #[test]
+    fn min_cut_of_complete_graph_is_none() {
+        assert_eq!(min_vertex_cut(&complete(4)), None);
+        assert!(
+            min_edge_cut(&complete(4)).is_some(),
+            "edge cuts exist for K_n"
+        );
+        assert_eq!(min_edge_cut(&complete(4)).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn min_cut_of_disconnected_graph_is_empty() {
+        let g = Graph::with_nodes(3);
+        assert_eq!(min_vertex_cut(&g), Some(Vec::new()));
+        assert_eq!(min_edge_cut(&g), Some(Vec::new()));
+    }
+
+    #[test]
+    fn star_graph_connectivity() {
+        let mut g = Graph::with_nodes(6);
+        for i in 1..6 {
+            g.add_edge(NodeId(0), NodeId(i));
+        }
+        assert_eq!(vertex_connectivity(&g), 1);
+        assert_eq!(edge_connectivity(&g), 1);
+        assert_eq!(min_vertex_cut(&g), Some(vec![NodeId(0)]));
+    }
+
+    #[test]
+    fn hypercube_q3_is_3_connected() {
+        let mut g = Graph::with_nodes(8);
+        for v in 0..8usize {
+            for bit in 0..3 {
+                let w = v ^ (1 << bit);
+                if v < w {
+                    g.add_edge(NodeId(v), NodeId(w));
+                }
+            }
+        }
+        assert_eq!(vertex_connectivity(&g), 3);
+        assert_eq!(edge_connectivity(&g), 3);
+    }
+
+    #[test]
+    fn is_complete_detects() {
+        assert!(is_complete(&complete(4)));
+        assert!(!is_complete(&cycle(4)));
+        assert!(is_complete(&Graph::new()));
+        assert!(is_complete(&Graph::with_nodes(1)));
+    }
+}

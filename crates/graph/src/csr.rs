@@ -1,0 +1,191 @@
+//! Immutable compressed-sparse-row (CSR) snapshot of a graph.
+
+use crate::{Graph, NodeId};
+
+/// Immutable CSR adjacency snapshot.
+///
+/// The flooding simulator and the all-pairs BFS sweeps run millions of
+/// neighbor scans; a CSR layout keeps those scans cache-friendly and free of
+/// per-node allocation. Build one with [`CsrGraph::from_graph`] (or
+/// `From<&Graph>`) once the topology is final.
+///
+/// Neighbor lists are sorted ascending, mirroring [`Graph`]'s deterministic
+/// iteration order.
+///
+/// # Example
+///
+/// ```
+/// use lhg_graph::{CsrGraph, Graph, NodeId};
+///
+/// let mut g = Graph::with_nodes(3);
+/// g.add_edge(NodeId(0), NodeId(1));
+/// g.add_edge(NodeId(1), NodeId(2));
+/// let csr = CsrGraph::from_graph(&g);
+/// assert_eq!(csr.neighbors(NodeId(1)), &[NodeId(0), NodeId(2)]);
+/// assert_eq!(csr.degree(NodeId(1)), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct CsrGraph {
+    offsets: Vec<usize>,
+    targets: Vec<NodeId>,
+    edge_count: usize,
+}
+
+impl CsrGraph {
+    /// Builds a CSR snapshot of `graph`.
+    #[must_use]
+    pub fn from_graph(graph: &Graph) -> Self {
+        let n = graph.node_count();
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut targets = Vec::with_capacity(2 * graph.edge_count());
+        offsets.push(0);
+        for v in graph.nodes() {
+            targets.extend(graph.neighbors(v));
+            offsets.push(targets.len());
+        }
+        CsrGraph {
+            offsets,
+            targets,
+            edge_count: graph.edge_count(),
+        }
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of undirected edges.
+    #[must_use]
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Sorted neighbor slice of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of bounds.
+    #[must_use]
+    pub fn neighbors(&self, node: NodeId) -> &[NodeId] {
+        let i = node.index();
+        assert!(i < self.node_count(), "node {node} out of bounds");
+        &self.targets[self.offsets[i]..self.offsets[i + 1]]
+    }
+
+    /// Degree of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of bounds.
+    #[must_use]
+    pub fn degree(&self, node: NodeId) -> usize {
+        self.neighbors(node).len()
+    }
+
+    /// Returns `true` if the edge `(a, b)` exists (binary search).
+    #[must_use]
+    pub fn has_edge(&self, a: NodeId, b: NodeId) -> bool {
+        a.index() < self.node_count()
+            && b.index() < self.node_count()
+            && self.neighbors(a).binary_search(&b).is_ok()
+    }
+
+    /// Iterator over all node ids.
+    pub fn nodes(&self) -> impl DoubleEndedIterator<Item = NodeId> + ExactSizeIterator {
+        (0..self.node_count()).map(NodeId)
+    }
+
+    /// Reconstructs a mutable [`Graph`] with identical topology.
+    #[must_use]
+    pub fn to_graph(&self) -> Graph {
+        let mut g = Graph::with_nodes(self.node_count());
+        for v in self.nodes() {
+            for &w in self.neighbors(v) {
+                if v < w {
+                    g.add_edge(v, w);
+                }
+            }
+        }
+        g
+    }
+}
+
+impl From<&Graph> for CsrGraph {
+    fn from(graph: &Graph) -> Self {
+        CsrGraph::from_graph(graph)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Graph {
+        Graph::from_edges(
+            0,
+            [
+                (NodeId(0), NodeId(1)),
+                (NodeId(0), NodeId(2)),
+                (NodeId(1), NodeId(2)),
+                (NodeId(2), NodeId(3)),
+            ],
+        )
+    }
+
+    #[test]
+    fn counts_match_source() {
+        let g = sample();
+        let csr = CsrGraph::from_graph(&g);
+        assert_eq!(csr.node_count(), g.node_count());
+        assert_eq!(csr.edge_count(), g.edge_count());
+    }
+
+    #[test]
+    fn neighbors_match_source_and_are_sorted() {
+        let g = sample();
+        let csr = CsrGraph::from_graph(&g);
+        for v in g.nodes() {
+            let want: Vec<_> = g.neighbors(v).collect();
+            assert_eq!(csr.neighbors(v), want.as_slice());
+            assert!(csr.neighbors(v).windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn has_edge_agrees_with_source() {
+        let g = sample();
+        let csr = CsrGraph::from_graph(&g);
+        for a in g.nodes() {
+            for b in g.nodes() {
+                assert_eq!(csr.has_edge(a, b), g.has_edge(a, b), "({a}, {b})");
+            }
+        }
+        assert!(!csr.has_edge(NodeId(0), NodeId(99)));
+    }
+
+    #[test]
+    fn round_trip_to_graph() {
+        let g = sample();
+        let back = CsrGraph::from_graph(&g).to_graph();
+        assert_eq!(g, back);
+    }
+
+    #[test]
+    fn empty_graph_round_trips() {
+        let g = Graph::new();
+        let csr = CsrGraph::from_graph(&g);
+        assert_eq!(csr.node_count(), 0);
+        assert_eq!(csr.edge_count(), 0);
+        assert_eq!(csr.to_graph(), g);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn neighbors_panics_out_of_bounds() {
+        let csr = CsrGraph::from_graph(&Graph::with_nodes(1));
+        let _ = csr.neighbors(NodeId(1));
+    }
+}

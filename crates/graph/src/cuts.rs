@@ -1,0 +1,243 @@
+//! Articulation points and bridges (Tarjan low-link, iterative).
+//!
+//! These give fast answers to "is the graph 2-node-connected / 2-edge-
+//! connected", which the LHG validators use as a cheap screen before the
+//! flow-based exact connectivity computations.
+
+use crate::graph::Edge;
+use crate::traversal::Adjacency;
+use crate::NodeId;
+
+/// Result of a single low-link sweep.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CutReport {
+    /// Articulation points (cut vertices), ascending.
+    pub articulation_points: Vec<NodeId>,
+    /// Bridges (cut edges), normalized and sorted.
+    pub bridges: Vec<Edge>,
+}
+
+/// Computes articulation points and bridges of `adj` in one iterative DFS.
+#[must_use]
+pub fn cut_report<A: Adjacency + ?Sized>(adj: &A) -> CutReport {
+    let n = adj.node_count();
+    let mut disc = vec![0u32; n]; // 0 = unvisited; otherwise discovery time + 1
+    let mut low = vec![0u32; n];
+    let mut parent: Vec<Option<NodeId>> = vec![None; n];
+    let mut is_cut = vec![false; n];
+    let mut bridges = Vec::new();
+    let mut timer: u32 = 0;
+
+    // Iterative DFS frame: (node, neighbor list, next index, root child count).
+    for root in 0..n {
+        if disc[root] != 0 {
+            continue;
+        }
+        let mut root_children = 0usize;
+        timer += 1;
+        disc[root] = timer;
+        low[root] = timer;
+        let mut stack: Vec<(NodeId, Vec<NodeId>, usize)> = Vec::new();
+        let mut ns = Vec::new();
+        adj.for_each_neighbor(NodeId(root), &mut |w| ns.push(w));
+        stack.push((NodeId(root), ns, 0));
+
+        while let Some((v, ns, i)) = stack.last_mut() {
+            let v = *v;
+            if *i < ns.len() {
+                let w = ns[*i];
+                *i += 1;
+                if disc[w.index()] == 0 {
+                    // Tree edge.
+                    if v.index() == root {
+                        root_children += 1;
+                    }
+                    parent[w.index()] = Some(v);
+                    timer += 1;
+                    disc[w.index()] = timer;
+                    low[w.index()] = timer;
+                    let mut wns = Vec::new();
+                    adj.for_each_neighbor(w, &mut |x| wns.push(x));
+                    stack.push((w, wns, 0));
+                } else if Some(w) != parent[v.index()] {
+                    // Back edge (simple graph: at most one edge to parent).
+                    low[v.index()] = low[v.index()].min(disc[w.index()]);
+                }
+            } else {
+                stack.pop();
+                if let Some((p, _, _)) = stack.last() {
+                    let p = *p;
+                    low[p.index()] = low[p.index()].min(low[v.index()]);
+                    if low[v.index()] > disc[p.index()] {
+                        bridges.push(Edge::new(p, v));
+                    }
+                    if p.index() != root && low[v.index()] >= disc[p.index()] {
+                        is_cut[p.index()] = true;
+                    }
+                }
+            }
+        }
+        if root_children > 1 {
+            is_cut[root] = true;
+        }
+    }
+
+    let articulation_points = is_cut
+        .iter()
+        .enumerate()
+        .filter(|(_, &c)| c)
+        .map(|(i, _)| NodeId(i))
+        .collect();
+    bridges.sort();
+    CutReport {
+        articulation_points,
+        bridges,
+    }
+}
+
+/// Returns `true` if the connected graph has no articulation point
+/// (2-node-connected for n ≥ 3).
+#[must_use]
+pub fn is_biconnected<A: Adjacency + ?Sized>(adj: &A) -> bool {
+    crate::components::is_connected(adj) && cut_report(adj).articulation_points.is_empty()
+}
+
+/// Returns `true` if the connected graph has no bridge (2-edge-connected).
+#[must_use]
+pub fn is_bridgeless<A: Adjacency + ?Sized>(adj: &A) -> bool {
+    crate::components::is_connected(adj) && cut_report(adj).bridges.is_empty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Graph;
+
+    fn path(n: usize) -> Graph {
+        let mut g = Graph::with_nodes(n);
+        for i in 1..n {
+            g.add_edge(NodeId(i - 1), NodeId(i));
+        }
+        g
+    }
+
+    fn cycle(n: usize) -> Graph {
+        let mut g = path(n);
+        g.add_edge(NodeId(n - 1), NodeId(0));
+        g
+    }
+
+    #[test]
+    fn path_interior_nodes_are_cut_vertices_and_all_edges_bridges() {
+        let g = path(4);
+        let r = cut_report(&g);
+        assert_eq!(r.articulation_points, vec![NodeId(1), NodeId(2)]);
+        assert_eq!(r.bridges.len(), 3);
+        assert!(!is_biconnected(&g));
+        assert!(!is_bridgeless(&g));
+    }
+
+    #[test]
+    fn cycle_has_no_cuts() {
+        let g = cycle(5);
+        let r = cut_report(&g);
+        assert!(r.articulation_points.is_empty());
+        assert!(r.bridges.is_empty());
+        assert!(is_biconnected(&g));
+        assert!(is_bridgeless(&g));
+    }
+
+    #[test]
+    fn two_triangles_sharing_a_vertex() {
+        // Triangles {0,1,2} and {2,3,4}: node 2 is the articulation point.
+        let g = Graph::from_edges(
+            0,
+            [
+                (NodeId(0), NodeId(1)),
+                (NodeId(1), NodeId(2)),
+                (NodeId(0), NodeId(2)),
+                (NodeId(2), NodeId(3)),
+                (NodeId(3), NodeId(4)),
+                (NodeId(2), NodeId(4)),
+            ],
+        );
+        let r = cut_report(&g);
+        assert_eq!(r.articulation_points, vec![NodeId(2)]);
+        assert!(r.bridges.is_empty());
+    }
+
+    #[test]
+    fn barbell_bridge() {
+        // Triangle - bridge - triangle.
+        let g = Graph::from_edges(
+            0,
+            [
+                (NodeId(0), NodeId(1)),
+                (NodeId(1), NodeId(2)),
+                (NodeId(0), NodeId(2)),
+                (NodeId(2), NodeId(3)),
+                (NodeId(3), NodeId(4)),
+                (NodeId(4), NodeId(5)),
+                (NodeId(3), NodeId(5)),
+            ],
+        );
+        let r = cut_report(&g);
+        assert_eq!(r.bridges, vec![Edge::new(NodeId(2), NodeId(3))]);
+        assert_eq!(r.articulation_points, vec![NodeId(2), NodeId(3)]);
+    }
+
+    #[test]
+    fn star_center_is_cut_vertex() {
+        let mut g = Graph::with_nodes(5);
+        for i in 1..5 {
+            g.add_edge(NodeId(0), NodeId(i));
+        }
+        let r = cut_report(&g);
+        assert_eq!(r.articulation_points, vec![NodeId(0)]);
+        assert_eq!(r.bridges.len(), 4);
+    }
+
+    #[test]
+    fn disconnected_graph_reports_per_component() {
+        // Path 0-1-2 plus isolated triangle 3-4-5.
+        let g = Graph::from_edges(
+            0,
+            [
+                (NodeId(0), NodeId(1)),
+                (NodeId(1), NodeId(2)),
+                (NodeId(3), NodeId(4)),
+                (NodeId(4), NodeId(5)),
+                (NodeId(3), NodeId(5)),
+            ],
+        );
+        let r = cut_report(&g);
+        assert_eq!(r.articulation_points, vec![NodeId(1)]);
+        assert_eq!(r.bridges.len(), 2);
+        assert!(
+            !is_biconnected(&g),
+            "disconnected graphs are not biconnected"
+        );
+    }
+
+    #[test]
+    fn complete_graph_has_no_cuts() {
+        let mut g = Graph::with_nodes(5);
+        for i in 0..5 {
+            for j in (i + 1)..5 {
+                g.add_edge(NodeId(i), NodeId(j));
+            }
+        }
+        let r = cut_report(&g);
+        assert!(r.articulation_points.is_empty());
+        assert!(r.bridges.is_empty());
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        assert!(is_biconnected(&Graph::new()));
+        assert!(is_biconnected(&Graph::with_nodes(1)));
+        let r = cut_report(&Graph::with_nodes(1));
+        assert!(r.articulation_points.is_empty());
+        assert!(r.bridges.is_empty());
+    }
+}

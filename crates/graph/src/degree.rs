@@ -1,0 +1,183 @@
+//! Degree statistics, regularity, and density.
+//!
+//! LHG property P5 is *k-regularity*: every node has degree exactly `k`. A
+//! k-regular k-connected graph meets the ⌈kn/2⌉ edge lower bound, i.e. it
+//! floods with the minimum possible number of messages.
+
+use crate::Graph;
+
+/// Summary of a graph's degree distribution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DegreeStats {
+    /// Smallest degree (0 for the empty graph).
+    pub min: usize,
+    /// Largest degree (0 for the empty graph).
+    pub max: usize,
+    /// Total degree (= 2 · #edges).
+    pub sum: usize,
+    /// Number of nodes.
+    pub nodes: usize,
+}
+
+impl DegreeStats {
+    /// Mean degree; 0.0 for the empty graph.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.nodes == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.nodes as f64
+        }
+    }
+
+    /// Returns `true` if all nodes share one degree (vacuously true when
+    /// empty).
+    #[must_use]
+    pub fn is_regular(&self) -> bool {
+        self.min == self.max
+    }
+}
+
+/// Computes degree statistics for `g`.
+#[must_use]
+pub fn degree_stats(g: &Graph) -> DegreeStats {
+    let mut min = usize::MAX;
+    let mut max = 0;
+    let mut sum = 0;
+    for v in g.nodes() {
+        let d = g.degree(v);
+        min = min.min(d);
+        max = max.max(d);
+        sum += d;
+    }
+    if g.node_count() == 0 {
+        min = 0;
+    }
+    DegreeStats {
+        min,
+        max,
+        sum,
+        nodes: g.node_count(),
+    }
+}
+
+/// Sorted (ascending) degree sequence.
+#[must_use]
+pub fn degree_sequence(g: &Graph) -> Vec<usize> {
+    let mut seq: Vec<usize> = g.nodes().map(|v| g.degree(v)).collect();
+    seq.sort_unstable();
+    seq
+}
+
+/// Returns `true` if every node has degree exactly `k`.
+#[must_use]
+pub fn is_k_regular(g: &Graph, k: usize) -> bool {
+    g.nodes().all(|v| g.degree(v) == k)
+}
+
+/// Minimum number of edges any k-connected graph on `n` nodes must have:
+/// ⌈k·n / 2⌉ (each node needs degree ≥ k).
+#[must_use]
+pub fn harary_edge_lower_bound(n: usize, k: usize) -> usize {
+    (k * n).div_ceil(2)
+}
+
+/// Edge density: `2m / (n(n-1))`; 0.0 for graphs with fewer than 2 nodes.
+#[must_use]
+pub fn density(g: &Graph) -> f64 {
+    let n = g.node_count();
+    if n < 2 {
+        return 0.0;
+    }
+    2.0 * g.edge_count() as f64 / (n as f64 * (n as f64 - 1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NodeId;
+
+    fn cycle(n: usize) -> Graph {
+        let mut g = Graph::with_nodes(n);
+        for i in 0..n {
+            g.add_edge(NodeId(i), NodeId((i + 1) % n));
+        }
+        g
+    }
+
+    #[test]
+    fn cycle_is_2_regular() {
+        let g = cycle(5);
+        let s = degree_stats(&g);
+        assert_eq!(
+            s,
+            DegreeStats {
+                min: 2,
+                max: 2,
+                sum: 10,
+                nodes: 5
+            }
+        );
+        assert!(s.is_regular());
+        assert!(is_k_regular(&g, 2));
+        assert!(!is_k_regular(&g, 3));
+        assert_eq!(s.mean(), 2.0);
+    }
+
+    #[test]
+    fn star_stats() {
+        let mut g = Graph::with_nodes(5);
+        for i in 1..5 {
+            g.add_edge(NodeId(0), NodeId(i));
+        }
+        let s = degree_stats(&g);
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 4);
+        assert!(!s.is_regular());
+        assert_eq!(degree_sequence(&g), vec![1, 1, 1, 1, 4]);
+    }
+
+    #[test]
+    fn empty_graph_stats() {
+        let s = degree_stats(&Graph::new());
+        assert_eq!(
+            s,
+            DegreeStats {
+                min: 0,
+                max: 0,
+                sum: 0,
+                nodes: 0
+            }
+        );
+        assert!(s.is_regular());
+        assert_eq!(s.mean(), 0.0);
+        assert!(is_k_regular(&Graph::new(), 7), "vacuously regular");
+    }
+
+    #[test]
+    fn lower_bound_matches_harary() {
+        // H(k,n) has exactly ceil(kn/2) edges.
+        assert_eq!(harary_edge_lower_bound(8, 3), 12);
+        assert_eq!(harary_edge_lower_bound(7, 3), 11);
+        assert_eq!(harary_edge_lower_bound(6, 4), 12);
+        assert_eq!(harary_edge_lower_bound(0, 3), 0);
+    }
+
+    #[test]
+    fn density_of_complete_graph_is_one() {
+        let mut g = Graph::with_nodes(4);
+        for i in 0..4 {
+            for j in (i + 1)..4 {
+                g.add_edge(NodeId(i), NodeId(j));
+            }
+        }
+        assert!((density(&g) - 1.0).abs() < 1e-12);
+        assert_eq!(density(&Graph::with_nodes(1)), 0.0);
+    }
+
+    #[test]
+    fn degree_sum_is_twice_edges() {
+        let g = cycle(9);
+        assert_eq!(degree_stats(&g).sum, 2 * g.edge_count());
+    }
+}

@@ -1,0 +1,97 @@
+//! Error type for graph construction and queries.
+
+use core::fmt;
+
+use crate::NodeId;
+
+/// Errors produced by fallible graph operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// A node id referenced a node that does not exist in the graph.
+    NodeOutOfBounds {
+        /// The offending id.
+        node: NodeId,
+        /// Number of nodes currently in the graph.
+        node_count: usize,
+    },
+    /// A self-loop was requested; the substrate models simple graphs only.
+    SelfLoop {
+        /// The node on which the loop was requested.
+        node: NodeId,
+    },
+    /// The referenced edge does not exist.
+    MissingEdge {
+        /// First endpoint.
+        a: NodeId,
+        /// Second endpoint.
+        b: NodeId,
+    },
+    /// A textual graph representation could not be parsed.
+    Parse {
+        /// 1-based line number of the offending input line.
+        line: usize,
+        /// Human-readable description of the problem.
+        message: String,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfBounds { node, node_count } => {
+                write!(
+                    f,
+                    "node {node} out of bounds for graph with {node_count} nodes"
+                )
+            }
+            GraphError::SelfLoop { node } => {
+                write!(f, "self-loop on {node} not allowed in a simple graph")
+            }
+            GraphError::MissingEdge { a, b } => write!(f, "edge ({a}, {b}) does not exist"),
+            GraphError::Parse { line, message } => {
+                write!(f, "parse error on line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let err = GraphError::NodeOutOfBounds {
+            node: NodeId(9),
+            node_count: 4,
+        };
+        assert_eq!(
+            err.to_string(),
+            "node n9 out of bounds for graph with 4 nodes"
+        );
+
+        let err = GraphError::SelfLoop { node: NodeId(2) };
+        assert!(err.to_string().contains("self-loop"));
+
+        let err = GraphError::MissingEdge {
+            a: NodeId(0),
+            b: NodeId(1),
+        };
+        assert!(err.to_string().contains("does not exist"));
+
+        let err = GraphError::Parse {
+            line: 3,
+            message: "bad token".into(),
+        };
+        assert!(err.to_string().contains("line 3"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GraphError>();
+    }
+}

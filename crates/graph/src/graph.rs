@@ -1,0 +1,500 @@
+//! Mutable undirected simple graph over dense node ids.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use crate::{GraphError, NodeId};
+
+/// An undirected edge, stored with its endpoints in ascending order.
+///
+/// `Edge::new(a, b)` normalizes the endpoint order so that edges compare and
+/// hash consistently regardless of insertion direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Edge {
+    /// Smaller endpoint.
+    pub a: NodeId,
+    /// Larger endpoint.
+    pub b: NodeId,
+}
+
+impl Edge {
+    /// Creates a normalized edge between `a` and `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a == b`; the substrate models simple graphs.
+    #[must_use]
+    pub fn new(a: NodeId, b: NodeId) -> Self {
+        assert_ne!(a, b, "self-loop edges are not representable");
+        if a < b {
+            Edge { a, b }
+        } else {
+            Edge { a: b, b: a }
+        }
+    }
+
+    /// Returns the endpoint opposite to `node`, or `None` if `node` is not
+    /// an endpoint of this edge.
+    #[must_use]
+    pub fn other(&self, node: NodeId) -> Option<NodeId> {
+        if node == self.a {
+            Some(self.b)
+        } else if node == self.b {
+            Some(self.a)
+        } else {
+            None
+        }
+    }
+}
+
+impl fmt::Display for Edge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.a, self.b)
+    }
+}
+
+/// Mutable undirected simple graph.
+///
+/// Nodes are dense indices `0..node_count()`. Adjacency is stored as one
+/// sorted set per node, so neighbor iteration is deterministic (ascending by
+/// id) — a property the LHG constructions and the flooding simulator rely on
+/// for reproducible runs.
+///
+/// # Example
+///
+/// ```
+/// use lhg_graph::{Graph, NodeId};
+///
+/// let mut g = Graph::new();
+/// let a = g.add_node();
+/// let b = g.add_node();
+/// g.add_edge(a, b);
+/// assert!(g.has_edge(a, b));
+/// assert_eq!(g.degree(a), 1);
+/// ```
+#[derive(Clone, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Graph {
+    adjacency: Vec<BTreeSet<NodeId>>,
+    edge_count: usize,
+}
+
+impl Graph {
+    /// Creates an empty graph with no nodes.
+    #[must_use]
+    pub fn new() -> Self {
+        Graph::default()
+    }
+
+    /// Creates a graph with `n` isolated nodes `0..n`.
+    #[must_use]
+    pub fn with_nodes(n: usize) -> Self {
+        Graph {
+            adjacency: vec![BTreeSet::new(); n],
+            edge_count: 0,
+        }
+    }
+
+    /// Builds a graph from an edge iterator; the node count is
+    /// `max endpoint + 1` (or `min_nodes`, whichever is larger).
+    ///
+    /// Duplicate edges are ignored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any edge is a self-loop.
+    #[must_use]
+    pub fn from_edges<I>(min_nodes: usize, edges: I) -> Self
+    where
+        I: IntoIterator<Item = (NodeId, NodeId)>,
+    {
+        let mut g = Graph::with_nodes(min_nodes);
+        for (a, b) in edges {
+            let needed = a.index().max(b.index()) + 1;
+            while g.node_count() < needed {
+                g.add_node();
+            }
+            g.add_edge(a, b);
+        }
+        g
+    }
+
+    /// Adds a new isolated node and returns its id.
+    pub fn add_node(&mut self) -> NodeId {
+        let id = NodeId(self.adjacency.len());
+        self.adjacency.push(BTreeSet::new());
+        id
+    }
+
+    /// Adds `count` new isolated nodes, returning their ids in order.
+    pub fn add_nodes(&mut self, count: usize) -> Vec<NodeId> {
+        (0..count).map(|_| self.add_node()).collect()
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.adjacency.len()
+    }
+
+    /// Number of edges.
+    #[must_use]
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Returns `true` if the graph has no nodes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.adjacency.is_empty()
+    }
+
+    /// Returns `true` if `node` is a valid id for this graph.
+    #[must_use]
+    pub fn contains_node(&self, node: NodeId) -> bool {
+        node.index() < self.adjacency.len()
+    }
+
+    fn check_node(&self, node: NodeId) -> Result<(), GraphError> {
+        if self.contains_node(node) {
+            Ok(())
+        } else {
+            Err(GraphError::NodeOutOfBounds {
+                node,
+                node_count: self.node_count(),
+            })
+        }
+    }
+
+    /// Adds the undirected edge `(a, b)`. Returns `true` if the edge was new.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is out of bounds or if `a == b`. Use
+    /// [`Graph::try_add_edge`] for a fallible variant.
+    pub fn add_edge(&mut self, a: NodeId, b: NodeId) -> bool {
+        self.try_add_edge(a, b).expect("invalid edge")
+    }
+
+    /// Adds the undirected edge `(a, b)`. Returns `Ok(true)` if the edge was
+    /// new, `Ok(false)` if it already existed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::NodeOutOfBounds`] if either endpoint does not
+    /// exist, and [`GraphError::SelfLoop`] if `a == b`.
+    pub fn try_add_edge(&mut self, a: NodeId, b: NodeId) -> Result<bool, GraphError> {
+        self.check_node(a)?;
+        self.check_node(b)?;
+        if a == b {
+            return Err(GraphError::SelfLoop { node: a });
+        }
+        let inserted = self.adjacency[a.index()].insert(b);
+        if inserted {
+            self.adjacency[b.index()].insert(a);
+            self.edge_count += 1;
+        }
+        Ok(inserted)
+    }
+
+    /// Removes the edge `(a, b)` if present; returns whether it existed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is out of bounds.
+    pub fn remove_edge(&mut self, a: NodeId, b: NodeId) -> bool {
+        self.check_node(a).expect("invalid endpoint");
+        self.check_node(b).expect("invalid endpoint");
+        let removed = self.adjacency[a.index()].remove(&b);
+        if removed {
+            self.adjacency[b.index()].remove(&a);
+            self.edge_count -= 1;
+        }
+        removed
+    }
+
+    /// Returns `true` if the edge `(a, b)` exists.
+    #[must_use]
+    pub fn has_edge(&self, a: NodeId, b: NodeId) -> bool {
+        self.contains_node(a) && self.contains_node(b) && self.adjacency[a.index()].contains(&b)
+    }
+
+    /// Degree of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of bounds.
+    #[must_use]
+    pub fn degree(&self, node: NodeId) -> usize {
+        self.check_node(node).expect("invalid node");
+        self.adjacency[node.index()].len()
+    }
+
+    /// Iterator over all node ids in ascending order.
+    pub fn nodes(&self) -> impl DoubleEndedIterator<Item = NodeId> + ExactSizeIterator + '_ {
+        (0..self.adjacency.len()).map(NodeId)
+    }
+
+    /// Iterator over the neighbors of `node` in ascending id order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of bounds.
+    pub fn neighbors(&self, node: NodeId) -> impl DoubleEndedIterator<Item = NodeId> + '_ {
+        self.check_node(node).expect("invalid node");
+        self.adjacency[node.index()].iter().copied()
+    }
+
+    /// Iterator over all edges, each reported once with `a < b`, in
+    /// lexicographic order.
+    pub fn edges(&self) -> impl Iterator<Item = Edge> + '_ {
+        self.adjacency.iter().enumerate().flat_map(|(i, set)| {
+            let a = NodeId(i);
+            set.iter()
+                .copied()
+                .filter(move |&b| a < b)
+                .map(move |b| Edge { a, b })
+        })
+    }
+
+    /// Sum of all degrees; by the handshake lemma this equals `2 * edge_count`.
+    #[must_use]
+    pub fn degree_sum(&self) -> usize {
+        self.adjacency.iter().map(BTreeSet::len).sum()
+    }
+
+    /// A stable 64-bit fingerprint of the labelled graph (node count plus
+    /// sorted edge list). Two graphs compare equal iff they have the same
+    /// fingerprint-input; this is *not* an isomorphism hash.
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        // FNV-1a over the canonical byte stream: deterministic across runs
+        // and platforms, unlike `DefaultHasher`.
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut eat = |x: u64| {
+            for byte in x.to_le_bytes() {
+                h ^= u64::from(byte);
+                h = h.wrapping_mul(PRIME);
+            }
+        };
+        eat(self.node_count() as u64);
+        for e in self.edges() {
+            eat(e.a.index() as u64);
+            eat(e.b.index() as u64);
+        }
+        h
+    }
+}
+
+impl fmt::Debug for Graph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Graph")
+            .field("nodes", &self.node_count())
+            .field("edges", &self.edge_count())
+            .finish()
+    }
+}
+
+impl fmt::Display for Graph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "graph with {} nodes, {} edges",
+            self.node_count(),
+            self.edge_count()
+        )?;
+        for e in self.edges() {
+            writeln!(f, "  {e}")?;
+        }
+        Ok(())
+    }
+}
+
+impl Extend<(NodeId, NodeId)> for Graph {
+    fn extend<T: IntoIterator<Item = (NodeId, NodeId)>>(&mut self, iter: T) {
+        for (a, b) in iter {
+            let needed = a.index().max(b.index()) + 1;
+            while self.node_count() < needed {
+                self.add_node();
+            }
+            self.add_edge(a, b);
+        }
+    }
+}
+
+impl FromIterator<(NodeId, NodeId)> for Graph {
+    fn from_iter<T: IntoIterator<Item = (NodeId, NodeId)>>(iter: T) -> Self {
+        let mut g = Graph::new();
+        g.extend(iter);
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path3() -> Graph {
+        Graph::from_edges(0, [(NodeId(0), NodeId(1)), (NodeId(1), NodeId(2))])
+    }
+
+    #[test]
+    fn empty_graph_has_no_nodes_or_edges() {
+        let g = Graph::new();
+        assert!(g.is_empty());
+        assert_eq!(g.node_count(), 0);
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.edges().count(), 0);
+    }
+
+    #[test]
+    fn add_node_assigns_dense_ids() {
+        let mut g = Graph::new();
+        assert_eq!(g.add_node(), NodeId(0));
+        assert_eq!(g.add_node(), NodeId(1));
+        assert_eq!(g.add_nodes(3), vec![NodeId(2), NodeId(3), NodeId(4)]);
+        assert_eq!(g.node_count(), 5);
+    }
+
+    #[test]
+    fn add_edge_is_undirected_and_idempotent() {
+        let mut g = Graph::with_nodes(2);
+        assert!(g.add_edge(NodeId(0), NodeId(1)));
+        assert!(!g.add_edge(NodeId(1), NodeId(0)));
+        assert_eq!(g.edge_count(), 1);
+        assert!(g.has_edge(NodeId(0), NodeId(1)));
+        assert!(g.has_edge(NodeId(1), NodeId(0)));
+    }
+
+    #[test]
+    fn try_add_edge_rejects_self_loop() {
+        let mut g = Graph::with_nodes(1);
+        assert_eq!(
+            g.try_add_edge(NodeId(0), NodeId(0)),
+            Err(GraphError::SelfLoop { node: NodeId(0) })
+        );
+    }
+
+    #[test]
+    fn try_add_edge_rejects_out_of_bounds() {
+        let mut g = Graph::with_nodes(1);
+        assert!(matches!(
+            g.try_add_edge(NodeId(0), NodeId(5)),
+            Err(GraphError::NodeOutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid edge")]
+    fn add_edge_panics_on_out_of_bounds() {
+        let mut g = Graph::with_nodes(1);
+        g.add_edge(NodeId(0), NodeId(3));
+    }
+
+    #[test]
+    fn remove_edge_round_trips() {
+        let mut g = path3();
+        assert!(g.remove_edge(NodeId(1), NodeId(0)));
+        assert!(!g.remove_edge(NodeId(0), NodeId(1)));
+        assert_eq!(g.edge_count(), 1);
+        assert!(!g.has_edge(NodeId(0), NodeId(1)));
+        assert!(g.has_edge(NodeId(1), NodeId(2)));
+    }
+
+    #[test]
+    fn neighbors_are_sorted() {
+        let mut g = Graph::with_nodes(4);
+        g.add_edge(NodeId(2), NodeId(3));
+        g.add_edge(NodeId(2), NodeId(0));
+        g.add_edge(NodeId(2), NodeId(1));
+        let ns: Vec<_> = g.neighbors(NodeId(2)).collect();
+        assert_eq!(ns, vec![NodeId(0), NodeId(1), NodeId(3)]);
+    }
+
+    #[test]
+    fn edges_reported_once_in_order() {
+        let g = Graph::from_edges(
+            0,
+            [
+                (NodeId(1), NodeId(0)),
+                (NodeId(2), NodeId(1)),
+                (NodeId(0), NodeId(2)),
+            ],
+        );
+        let es: Vec<_> = g.edges().collect();
+        assert_eq!(
+            es,
+            vec![
+                Edge::new(NodeId(0), NodeId(1)),
+                Edge::new(NodeId(0), NodeId(2)),
+                Edge::new(NodeId(1), NodeId(2)),
+            ]
+        );
+    }
+
+    #[test]
+    fn handshake_lemma_holds() {
+        let g = path3();
+        assert_eq!(g.degree_sum(), 2 * g.edge_count());
+    }
+
+    #[test]
+    fn from_edges_grows_to_fit() {
+        let g = Graph::from_edges(2, [(NodeId(0), NodeId(5))]);
+        assert_eq!(g.node_count(), 6);
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn edge_normalizes_order() {
+        let e = Edge::new(NodeId(5), NodeId(2));
+        assert_eq!(e.a, NodeId(2));
+        assert_eq!(e.b, NodeId(5));
+        assert_eq!(e.other(NodeId(2)), Some(NodeId(5)));
+        assert_eq!(e.other(NodeId(5)), Some(NodeId(2)));
+        assert_eq!(e.other(NodeId(9)), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn edge_rejects_self_loop() {
+        let _ = Edge::new(NodeId(1), NodeId(1));
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_graphs_and_is_stable() {
+        let g1 = path3();
+        let g2 = path3();
+        assert_eq!(g1.fingerprint(), g2.fingerprint());
+
+        let mut g3 = path3();
+        g3.add_edge(NodeId(0), NodeId(2));
+        assert_ne!(g1.fingerprint(), g3.fingerprint());
+    }
+
+    #[test]
+    fn collect_from_iterator() {
+        let g: Graph = [(NodeId(0), NodeId(1)), (NodeId(1), NodeId(2))]
+            .into_iter()
+            .collect();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 2);
+    }
+
+    #[test]
+    fn display_lists_edges() {
+        let g = path3();
+        let s = g.to_string();
+        assert!(s.contains("3 nodes"));
+        assert!(s.contains("(n0, n1)"));
+    }
+
+    #[test]
+    fn graph_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Graph>();
+    }
+}

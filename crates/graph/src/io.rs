@@ -1,0 +1,197 @@
+//! Text serialization: Graphviz DOT export and a plain edge-list format.
+//!
+//! The edge-list format is line-oriented:
+//!
+//! ```text
+//! # comments and blank lines are ignored
+//! nodes 6
+//! 0 1
+//! 0 2
+//! 1 2
+//! ```
+//!
+//! The `nodes <n>` header is optional; without it the node count is inferred
+//! as `max endpoint + 1`.
+
+use std::fmt::Write as _;
+
+use crate::{Graph, GraphError, NodeId};
+
+/// Renders `g` in Graphviz DOT format (undirected, `graph { .. }`).
+///
+/// `name` becomes the graph identifier; non-alphanumeric characters are
+/// replaced by underscores so the output always parses.
+#[must_use]
+pub fn to_dot(g: &Graph, name: &str) -> String {
+    let safe: String = name
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect();
+    let mut out = String::new();
+    let _ = writeln!(out, "graph {safe} {{");
+    for v in g.nodes() {
+        let _ = writeln!(out, "  {};", v.index());
+    }
+    for e in g.edges() {
+        let _ = writeln!(out, "  {} -- {};", e.a.index(), e.b.index());
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Serializes `g` as an edge list with a `nodes` header (round-trips through
+/// [`from_edge_list`], preserving isolated nodes).
+#[must_use]
+pub fn to_edge_list(g: &Graph) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "nodes {}", g.node_count());
+    for e in g.edges() {
+        let _ = writeln!(out, "{} {}", e.a.index(), e.b.index());
+    }
+    out
+}
+
+/// Parses the edge-list format described in the module docs.
+///
+/// # Errors
+///
+/// Returns [`GraphError::Parse`] for malformed lines, and propagates
+/// [`GraphError::SelfLoop`] / [`GraphError::NodeOutOfBounds`] for invalid
+/// edges (the latter only when a `nodes` header under-declares the count).
+pub fn from_edge_list(text: &str) -> Result<Graph, GraphError> {
+    let mut g = Graph::new();
+    let mut declared: Option<usize> = None;
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        let lineno = lineno + 1;
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("nodes") {
+            let n: usize = rest.trim().parse().map_err(|_| GraphError::Parse {
+                line: lineno,
+                message: format!("invalid node count {:?}", rest.trim()),
+            })?;
+            declared = Some(n);
+            while g.node_count() < n {
+                g.add_node();
+            }
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let (Some(a), Some(b), None) = (parts.next(), parts.next(), parts.next()) else {
+            return Err(GraphError::Parse {
+                line: lineno,
+                message: format!("expected two endpoints, got {line:?}"),
+            });
+        };
+        let a: usize = a.parse().map_err(|_| GraphError::Parse {
+            line: lineno,
+            message: format!("invalid endpoint {a:?}"),
+        })?;
+        let b: usize = b.parse().map_err(|_| GraphError::Parse {
+            line: lineno,
+            message: format!("invalid endpoint {b:?}"),
+        })?;
+        if declared.is_none() {
+            let needed = a.max(b) + 1;
+            while g.node_count() < needed {
+                g.add_node();
+            }
+        }
+        g.try_add_edge(NodeId(a), NodeId(b))?;
+    }
+    Ok(g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle_plus_isolated() -> Graph {
+        let mut g = Graph::with_nodes(4);
+        g.add_edge(NodeId(0), NodeId(1));
+        g.add_edge(NodeId(1), NodeId(2));
+        g.add_edge(NodeId(0), NodeId(2));
+        g
+    }
+
+    #[test]
+    fn dot_contains_all_nodes_and_edges() {
+        let g = triangle_plus_isolated();
+        let dot = to_dot(&g, "tri");
+        assert!(dot.starts_with("graph tri {"));
+        assert!(dot.contains("0 -- 1;"));
+        assert!(dot.contains("0 -- 2;"));
+        assert!(dot.contains("1 -- 2;"));
+        assert!(dot.contains("  3;"), "isolated node listed");
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn dot_sanitizes_name() {
+        let g = Graph::with_nodes(1);
+        let dot = to_dot(&g, "k-tree (6,3)");
+        assert!(dot.starts_with("graph k_tree__6_3_ {"));
+    }
+
+    #[test]
+    fn edge_list_round_trip_preserves_isolated_nodes() {
+        let g = triangle_plus_isolated();
+        let text = to_edge_list(&g);
+        let back = from_edge_list(&text).unwrap();
+        assert_eq!(g, back);
+    }
+
+    #[test]
+    fn parse_without_header_infers_node_count() {
+        let g = from_edge_list("0 1\n1 4\n").unwrap();
+        assert_eq!(g.node_count(), 5);
+        assert_eq!(g.edge_count(), 2);
+    }
+
+    #[test]
+    fn parse_skips_comments_and_blanks() {
+        let g = from_edge_list("# a comment\n\nnodes 3\n0 1\n# trailing\n").unwrap();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn parse_rejects_bad_lines() {
+        assert!(matches!(
+            from_edge_list("0\n"),
+            Err(GraphError::Parse { line: 1, .. })
+        ));
+        assert!(matches!(
+            from_edge_list("0 1 2\n"),
+            Err(GraphError::Parse { line: 1, .. })
+        ));
+        assert!(matches!(
+            from_edge_list("a b\n"),
+            Err(GraphError::Parse { line: 1, .. })
+        ));
+        assert!(matches!(
+            from_edge_list("nodes x\n"),
+            Err(GraphError::Parse { line: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn parse_rejects_self_loops_and_out_of_bounds() {
+        assert!(matches!(
+            from_edge_list("1 1\n"),
+            Err(GraphError::SelfLoop { .. })
+        ));
+        assert!(matches!(
+            from_edge_list("nodes 2\n0 5\n"),
+            Err(GraphError::NodeOutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn header_line_number_in_errors_is_accurate() {
+        let err = from_edge_list("# c\n0 1\nbroken line here\n").unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 3, .. }));
+    }
+}

@@ -1,0 +1,223 @@
+//! Exact graph isomorphism for small graphs (backtracking with degree and
+//! neighborhood pruning).
+//!
+//! Used by the reproduction's golden tests to assert that constructed
+//! graphs match their paper descriptions up to relabeling — e.g. the
+//! smallest K-TREE graph (6,3) *is* K_{3,3} and every k=2 construction at a
+//! regular point *is* a cycle. Intended for graphs up to a few dozen nodes;
+//! the search is exponential in the worst case.
+
+use crate::Graph;
+
+/// Returns `true` if `a` and `b` are isomorphic (equal up to node
+/// relabeling).
+///
+/// Runs a degree-pruned backtracking search; fine for the small graphs the
+/// tests compare, unsuitable for large instances.
+#[must_use]
+pub fn are_isomorphic(a: &Graph, b: &Graph) -> bool {
+    isomorphism(a, b).is_some()
+}
+
+/// Finds an isomorphism `a → b` as a mapping vector (`map[i]` is the b-node
+/// matched to a-node `i`), or `None` if the graphs are not isomorphic.
+#[must_use]
+pub fn isomorphism(a: &Graph, b: &Graph) -> Option<Vec<usize>> {
+    let n = a.node_count();
+    if n != b.node_count() || a.edge_count() != b.edge_count() {
+        return None;
+    }
+    if n == 0 {
+        return Some(Vec::new());
+    }
+
+    // Quick reject: sorted degree sequences must match.
+    let deg_a: Vec<usize> = (0..n).map(|v| a.degree(crate::NodeId(v))).collect();
+    let deg_b: Vec<usize> = (0..n).map(|v| b.degree(crate::NodeId(v))).collect();
+    let mut sa = deg_a.clone();
+    let mut sb = deg_b.clone();
+    sa.sort_unstable();
+    sb.sort_unstable();
+    if sa != sb {
+        return None;
+    }
+
+    // Adjacency bitsets for O(1) edge checks.
+    let adj = |g: &Graph| -> Vec<Vec<bool>> {
+        let mut m = vec![vec![false; n]; n];
+        for e in g.edges() {
+            m[e.a.index()][e.b.index()] = true;
+            m[e.b.index()][e.a.index()] = true;
+        }
+        m
+    };
+    let adj_a = adj(a);
+    let adj_b = adj(b);
+
+    // Order a-nodes by descending degree (most constrained first).
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by_key(|&v| std::cmp::Reverse(deg_a[v]));
+
+    let mut map = vec![usize::MAX; n]; // a -> b
+    let mut used = vec![false; n]; // b side
+    if backtrack(
+        0, &order, &deg_a, &deg_b, &adj_a, &adj_b, &mut map, &mut used,
+    ) {
+        Some(map)
+    } else {
+        None
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn backtrack(
+    depth: usize,
+    order: &[usize],
+    deg_a: &[usize],
+    deg_b: &[usize],
+    adj_a: &[Vec<bool>],
+    adj_b: &[Vec<bool>],
+    map: &mut Vec<usize>,
+    used: &mut Vec<bool>,
+) -> bool {
+    if depth == order.len() {
+        return true;
+    }
+    let v = order[depth];
+    for w in 0..deg_b.len() {
+        if used[w] || deg_a[v] != deg_b[w] {
+            continue;
+        }
+        // Consistency with already-mapped nodes.
+        let consistent = order[..depth]
+            .iter()
+            .all(|&u| adj_a[v][u] == adj_b[w][map[u]]);
+        if !consistent {
+            continue;
+        }
+        map[v] = w;
+        used[w] = true;
+        if backtrack(depth + 1, order, deg_a, deg_b, adj_a, adj_b, map, used) {
+            return true;
+        }
+        map[v] = usize::MAX;
+        used[w] = false;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NodeId;
+
+    fn cycle(n: usize) -> Graph {
+        let mut g = Graph::with_nodes(n);
+        for i in 0..n {
+            g.add_edge(NodeId(i), NodeId((i + 1) % n));
+        }
+        g
+    }
+
+    fn relabel(g: &Graph, perm: &[usize]) -> Graph {
+        let mut h = Graph::with_nodes(g.node_count());
+        for e in g.edges() {
+            h.add_edge(NodeId(perm[e.a.index()]), NodeId(perm[e.b.index()]));
+        }
+        h
+    }
+
+    #[test]
+    fn graph_is_isomorphic_to_its_relabeling() {
+        let g = cycle(7);
+        let h = relabel(&g, &[3, 5, 0, 6, 1, 4, 2]);
+        assert!(are_isomorphic(&g, &h));
+        let map = isomorphism(&g, &h).unwrap();
+        // The map must preserve adjacency.
+        for e in g.edges() {
+            assert!(h.has_edge(NodeId(map[e.a.index()]), NodeId(map[e.b.index()])));
+        }
+    }
+
+    #[test]
+    fn different_sizes_are_not_isomorphic() {
+        assert!(!are_isomorphic(&cycle(5), &cycle(6)));
+        assert!(!are_isomorphic(
+            &Graph::with_nodes(3),
+            &Graph::with_nodes(4)
+        ));
+    }
+
+    #[test]
+    fn same_degree_sequence_different_structure() {
+        // C_6 vs two triangles: both 2-regular on 6 nodes.
+        let c6 = cycle(6);
+        let mut tri2 = Graph::with_nodes(6);
+        for (a, b) in [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)] {
+            tri2.add_edge(NodeId(a), NodeId(b));
+        }
+        assert!(!are_isomorphic(&c6, &tri2));
+    }
+
+    #[test]
+    fn k33_detection() {
+        // K_{3,3} with two different labelings.
+        let mut a = Graph::with_nodes(6);
+        for i in 0..3 {
+            for j in 3..6 {
+                a.add_edge(NodeId(i), NodeId(j));
+            }
+        }
+        let b = relabel(&a, &[0, 2, 4, 1, 3, 5]);
+        assert!(are_isomorphic(&a, &b));
+        // K_{3,3} vs the 3-prism (both 3-regular on 6 nodes): not isomorphic
+        // (the prism has triangles).
+        let mut prism = Graph::with_nodes(6);
+        for (x, y) in [
+            (0, 1),
+            (1, 2),
+            (0, 2),
+            (3, 4),
+            (4, 5),
+            (3, 5),
+            (0, 3),
+            (1, 4),
+            (2, 5),
+        ] {
+            prism.add_edge(NodeId(x), NodeId(y));
+        }
+        assert!(!are_isomorphic(&a, &prism));
+    }
+
+    #[test]
+    fn empty_graphs_are_isomorphic() {
+        assert!(are_isomorphic(&Graph::new(), &Graph::new()));
+        assert!(are_isomorphic(&Graph::with_nodes(3), &Graph::with_nodes(3)));
+    }
+
+    #[test]
+    fn petersen_is_isomorphic_to_kneser_5_2() {
+        // Petersen standard drawing vs Kneser graph K(5,2) construction:
+        // vertices = 2-subsets of {0..4}, edges between disjoint subsets.
+        let outer = [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)];
+        let spokes = [(0, 5), (1, 6), (2, 7), (3, 8), (4, 9)];
+        let inner = [(5, 7), (7, 9), (9, 6), (6, 8), (8, 5)];
+        let mut pet = Graph::with_nodes(10);
+        for (a, b) in outer.iter().chain(&spokes).chain(&inner) {
+            pet.add_edge(NodeId(*a), NodeId(*b));
+        }
+
+        let subsets: Vec<(usize, usize)> = (0..5)
+            .flat_map(|i| ((i + 1)..5).map(move |j| (i, j)))
+            .collect();
+        let mut kneser = Graph::with_nodes(10);
+        for (i, &(a1, a2)) in subsets.iter().enumerate() {
+            for (j, &(b1, b2)) in subsets.iter().enumerate().skip(i + 1) {
+                if a1 != b1 && a1 != b2 && a2 != b1 && a2 != b2 {
+                    kneser.add_edge(NodeId(i), NodeId(j));
+                }
+            }
+        }
+        assert!(are_isomorphic(&pet, &kneser));
+    }
+}

@@ -1,0 +1,221 @@
+//! Structural metrics: triangles, clustering, bipartiteness, girth.
+//!
+//! These distinguish the constructions qualitatively: K-TREE graphs are
+//! triangle-free (copies only meet at leaves), while every K-DIAMOND
+//! unshared leaf contributes a k-clique; Harary circulants are dense in
+//! short cycles. The metrics feed the structural-comparison experiment.
+
+use std::collections::VecDeque;
+
+use crate::{Graph, NodeId};
+
+/// Number of triangles (3-cycles) in the graph.
+#[must_use]
+pub fn triangle_count(g: &Graph) -> usize {
+    // For each edge (u, v) with u < v, count common neighbors w > v.
+    let mut count = 0;
+    for e in g.edges() {
+        for w in g.neighbors(e.b) {
+            if w > e.b && g.has_edge(e.a, w) {
+                count += 1;
+            }
+        }
+    }
+    count
+}
+
+/// Local clustering coefficient of `node`: fraction of neighbor pairs that
+/// are themselves adjacent. 0.0 for degree < 2.
+///
+/// # Panics
+///
+/// Panics if `node` is out of bounds.
+#[must_use]
+pub fn local_clustering(g: &Graph, node: NodeId) -> f64 {
+    let ns: Vec<NodeId> = g.neighbors(node).collect();
+    let d = ns.len();
+    if d < 2 {
+        return 0.0;
+    }
+    let mut links = 0;
+    for (i, &u) in ns.iter().enumerate() {
+        for &w in &ns[i + 1..] {
+            if g.has_edge(u, w) {
+                links += 1;
+            }
+        }
+    }
+    2.0 * links as f64 / (d as f64 * (d as f64 - 1.0))
+}
+
+/// Average of the local clustering coefficients over all nodes (0.0 for
+/// the empty graph).
+#[must_use]
+pub fn average_clustering(g: &Graph) -> f64 {
+    let n = g.node_count();
+    if n == 0 {
+        return 0.0;
+    }
+    g.nodes().map(|v| local_clustering(g, v)).sum::<f64>() / n as f64
+}
+
+/// Returns a 2-coloring if the graph is bipartite, `None` otherwise.
+#[must_use]
+pub fn bipartition(g: &Graph) -> Option<Vec<bool>> {
+    let n = g.node_count();
+    let mut color: Vec<Option<bool>> = vec![None; n];
+    for start in 0..n {
+        if color[start].is_some() {
+            continue;
+        }
+        color[start] = Some(false);
+        let mut q = VecDeque::from([NodeId(start)]);
+        while let Some(v) = q.pop_front() {
+            let cv = color[v.index()].expect("queued nodes are colored");
+            for w in g.neighbors(v) {
+                match color[w.index()] {
+                    None => {
+                        color[w.index()] = Some(!cv);
+                        q.push_back(w);
+                    }
+                    Some(cw) if cw == cv => return None,
+                    Some(_) => {}
+                }
+            }
+        }
+    }
+    Some(color.into_iter().map(|c| c.unwrap_or(false)).collect())
+}
+
+/// Returns `true` if the graph has no odd cycle.
+#[must_use]
+pub fn is_bipartite(g: &Graph) -> bool {
+    bipartition(g).is_some()
+}
+
+/// Girth: length of the shortest cycle, or `None` for forests.
+///
+/// BFS from every node; when a visited vertex is seen again at the BFS
+/// frontier the cycle length is `dist(u) + dist(w) + 1`.
+#[must_use]
+pub fn girth(g: &Graph) -> Option<u32> {
+    let n = g.node_count();
+    let mut best: Option<u32> = None;
+    for s in 0..n {
+        let mut dist = vec![u32::MAX; n];
+        let mut parent = vec![usize::MAX; n];
+        dist[s] = 0;
+        let mut q = VecDeque::from([s]);
+        while let Some(v) = q.pop_front() {
+            for w in g.neighbors(NodeId(v)) {
+                let w = w.index();
+                if dist[w] == u32::MAX {
+                    dist[w] = dist[v] + 1;
+                    parent[w] = v;
+                    q.push_back(w);
+                } else if parent[v] != w && w != v {
+                    // Non-tree edge: cycle through s of length d(v)+d(w)+1.
+                    let len = dist[v] + dist[w] + 1;
+                    if best.is_none_or(|b| len < b) {
+                        best = Some(len);
+                    }
+                }
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cycle(n: usize) -> Graph {
+        let mut g = Graph::with_nodes(n);
+        for i in 0..n {
+            g.add_edge(NodeId(i), NodeId((i + 1) % n));
+        }
+        g
+    }
+
+    fn complete(n: usize) -> Graph {
+        let mut g = Graph::with_nodes(n);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                g.add_edge(NodeId(i), NodeId(j));
+            }
+        }
+        g
+    }
+
+    #[test]
+    fn triangle_counts() {
+        assert_eq!(triangle_count(&complete(3)), 1);
+        assert_eq!(triangle_count(&complete(4)), 4);
+        assert_eq!(triangle_count(&complete(5)), 10);
+        assert_eq!(triangle_count(&cycle(5)), 0);
+        assert_eq!(triangle_count(&Graph::with_nodes(3)), 0);
+    }
+
+    #[test]
+    fn clustering_of_complete_graph_is_one() {
+        let g = complete(5);
+        for v in g.nodes() {
+            assert!((local_clustering(&g, v) - 1.0).abs() < 1e-12);
+        }
+        assert!((average_clustering(&g) - 1.0).abs() < 1e-12);
+        assert_eq!(average_clustering(&cycle(6)), 0.0);
+    }
+
+    #[test]
+    fn clustering_of_low_degree_nodes_is_zero() {
+        let mut g = Graph::with_nodes(2);
+        g.add_edge(NodeId(0), NodeId(1));
+        assert_eq!(local_clustering(&g, NodeId(0)), 0.0);
+    }
+
+    #[test]
+    fn bipartite_detection() {
+        assert!(is_bipartite(&cycle(6)));
+        assert!(!is_bipartite(&cycle(5)));
+        assert!(!is_bipartite(&complete(3)));
+        assert!(is_bipartite(&Graph::with_nodes(4)));
+
+        let coloring = bipartition(&cycle(6)).unwrap();
+        let g = cycle(6);
+        for e in g.edges() {
+            assert_ne!(coloring[e.a.index()], coloring[e.b.index()]);
+        }
+    }
+
+    #[test]
+    fn girth_values() {
+        assert_eq!(girth(&cycle(5)), Some(5));
+        assert_eq!(girth(&cycle(8)), Some(8));
+        assert_eq!(girth(&complete(4)), Some(3));
+        let mut tree = Graph::with_nodes(4);
+        tree.add_edge(NodeId(0), NodeId(1));
+        tree.add_edge(NodeId(0), NodeId(2));
+        tree.add_edge(NodeId(0), NodeId(3));
+        assert_eq!(girth(&tree), None);
+    }
+
+    #[test]
+    fn girth_of_petersen_is_5() {
+        let outer = [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)];
+        let spokes = [(0, 5), (1, 6), (2, 7), (3, 8), (4, 9)];
+        let inner = [(5, 7), (7, 9), (9, 6), (6, 8), (8, 5)];
+        let mut g = Graph::with_nodes(10);
+        for (a, b) in outer.iter().chain(&spokes).chain(&inner) {
+            g.add_edge(NodeId(*a), NodeId(*b));
+        }
+        assert_eq!(girth(&g), Some(5));
+    }
+
+    #[test]
+    fn girth_even_cycle_with_chord() {
+        let mut g = cycle(8);
+        g.add_edge(NodeId(0), NodeId(3));
+        assert_eq!(girth(&g), Some(4));
+    }
+}

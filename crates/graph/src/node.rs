@@ -1,0 +1,89 @@
+//! Dense node identifiers.
+
+use core::fmt;
+
+/// Identifier of a node in a [`Graph`](crate::Graph).
+///
+/// Node ids are dense indices `0..n`; they are assigned in creation order by
+/// [`Graph::add_node`](crate::Graph::add_node) and never reused. The newtype
+/// keeps node indices from being confused with counts, degrees or other
+/// `usize` quantities flowing through the algorithms.
+///
+/// # Example
+///
+/// ```
+/// use lhg_graph::NodeId;
+///
+/// let a = NodeId(3);
+/// assert_eq!(a.index(), 3);
+/// assert_eq!(a.to_string(), "n3");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[cfg_attr(feature = "serde", serde(transparent))]
+pub struct NodeId(pub usize);
+
+impl NodeId {
+    /// Returns the underlying dense index.
+    #[inline]
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl From<usize> for NodeId {
+    #[inline]
+    fn from(index: usize) -> Self {
+        NodeId(index)
+    }
+}
+
+impl From<NodeId> for usize {
+    #[inline]
+    fn from(id: NodeId) -> Self {
+        id.0
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "NodeId({})", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_round_trips() {
+        let id = NodeId(42);
+        assert_eq!(id.index(), 42);
+        assert_eq!(usize::from(id), 42);
+        assert_eq!(NodeId::from(42usize), id);
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(NodeId(1) < NodeId(2));
+        assert_eq!(NodeId(7), NodeId(7));
+    }
+
+    #[test]
+    fn display_and_debug_are_nonempty() {
+        assert_eq!(NodeId(5).to_string(), "n5");
+        assert_eq!(format!("{:?}", NodeId(5)), "NodeId(5)");
+    }
+
+    #[test]
+    fn default_is_zero() {
+        assert_eq!(NodeId::default(), NodeId(0));
+    }
+}

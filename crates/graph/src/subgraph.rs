@@ -1,0 +1,263 @@
+//! Deletion views: run any algorithm on "the graph minus these nodes/edges"
+//! without copying the graph.
+//!
+//! The LHG properties P1–P3 quantify over node and link removals ("the
+//! removal of any subset of at most k−1 nodes will not disconnect G"), and
+//! the flooding simulator injects crash and link failures. Both use
+//! [`SubgraphView`], which masks nodes and edges of an underlying adjacency
+//! source while keeping the original (dense) node ids, so results are
+//! directly comparable with the intact graph.
+
+use std::collections::BTreeSet;
+
+use crate::graph::Edge;
+use crate::traversal::Adjacency;
+use crate::NodeId;
+
+/// A view of an adjacency source with some nodes and/or edges removed.
+///
+/// Removed nodes stay present as ids but expose no incident edges, and they
+/// are excluded from connectivity semantics via [`SubgraphView::live_nodes`].
+///
+/// # Example
+///
+/// ```
+/// use lhg_graph::{Graph, NodeId};
+/// use lhg_graph::subgraph::SubgraphView;
+/// use lhg_graph::components::is_connected;
+///
+/// // A path 0-1-2; removing the middle node disconnects it.
+/// let mut g = Graph::with_nodes(3);
+/// g.add_edge(NodeId(0), NodeId(1));
+/// g.add_edge(NodeId(1), NodeId(2));
+///
+/// let view = SubgraphView::without_nodes(&g, [NodeId(1)]);
+/// assert!(!view.is_live_connected());
+/// assert!(is_connected(&g));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SubgraphView<'a, A: Adjacency + ?Sized> {
+    base: &'a A,
+    removed_nodes: BTreeSet<NodeId>,
+    removed_edges: BTreeSet<Edge>,
+}
+
+impl<'a, A: Adjacency + ?Sized> SubgraphView<'a, A> {
+    /// A view with nothing removed.
+    #[must_use]
+    pub fn new(base: &'a A) -> Self {
+        SubgraphView {
+            base,
+            removed_nodes: BTreeSet::new(),
+            removed_edges: BTreeSet::new(),
+        }
+    }
+
+    /// A view with the given nodes removed.
+    #[must_use]
+    pub fn without_nodes<I: IntoIterator<Item = NodeId>>(base: &'a A, nodes: I) -> Self {
+        let mut v = SubgraphView::new(base);
+        v.remove_nodes(nodes);
+        v
+    }
+
+    /// A view with the given edges removed.
+    #[must_use]
+    pub fn without_edges<I: IntoIterator<Item = Edge>>(base: &'a A, edges: I) -> Self {
+        let mut v = SubgraphView::new(base);
+        v.remove_edges(edges);
+        v
+    }
+
+    /// Marks additional nodes as removed.
+    pub fn remove_nodes<I: IntoIterator<Item = NodeId>>(&mut self, nodes: I) {
+        for node in nodes {
+            assert!(
+                node.index() < self.base.node_count(),
+                "removed node {node} out of bounds"
+            );
+            self.removed_nodes.insert(node);
+        }
+    }
+
+    /// Marks additional edges as removed.
+    pub fn remove_edges<I: IntoIterator<Item = Edge>>(&mut self, edges: I) {
+        self.removed_edges.extend(edges);
+    }
+
+    /// Returns `true` if `node` has been removed.
+    #[must_use]
+    pub fn is_removed_node(&self, node: NodeId) -> bool {
+        self.removed_nodes.contains(&node)
+    }
+
+    /// Returns `true` if `edge` has been removed (including edges incident
+    /// to removed nodes).
+    #[must_use]
+    pub fn is_removed_edge(&self, edge: Edge) -> bool {
+        self.removed_edges.contains(&edge)
+            || self.removed_nodes.contains(&edge.a)
+            || self.removed_nodes.contains(&edge.b)
+    }
+
+    /// Ids of nodes that are still present, ascending.
+    #[must_use]
+    pub fn live_nodes(&self) -> Vec<NodeId> {
+        (0..self.base.node_count())
+            .map(NodeId)
+            .filter(|v| !self.removed_nodes.contains(v))
+            .collect()
+    }
+
+    /// Number of live nodes.
+    #[must_use]
+    pub fn live_node_count(&self) -> usize {
+        self.base.node_count() - self.removed_nodes.len()
+    }
+
+    /// Connectivity over *live* nodes only: `true` if every live node can
+    /// reach every other live node. Vacuously `true` with fewer than two
+    /// live nodes.
+    ///
+    /// This is the notion of "does not disconnect G" used by LHG properties
+    /// P1 and P2: removed nodes do not count as disconnection witnesses.
+    #[must_use]
+    pub fn is_live_connected(&self) -> bool {
+        let live = self.live_nodes();
+        if live.len() <= 1 {
+            return true;
+        }
+        let order = crate::traversal::bfs_order(self, live[0]);
+        order.len() == live.len()
+    }
+}
+
+impl<A: Adjacency + ?Sized> Adjacency for SubgraphView<'_, A> {
+    fn node_count(&self) -> usize {
+        self.base.node_count()
+    }
+
+    fn for_each_neighbor(&self, node: NodeId, visit: &mut dyn FnMut(NodeId)) {
+        if self.removed_nodes.contains(&node) {
+            return;
+        }
+        self.base.for_each_neighbor(node, &mut |w| {
+            if !self.removed_nodes.contains(&w) && !self.removed_edges.contains(&Edge::new(node, w))
+            {
+                visit(w);
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::components::is_connected;
+    use crate::traversal::bfs_distances;
+    use crate::Graph;
+
+    fn cycle(n: usize) -> Graph {
+        let mut g = Graph::with_nodes(n);
+        for i in 0..n {
+            g.add_edge(NodeId(i), NodeId((i + 1) % n));
+        }
+        g
+    }
+
+    #[test]
+    fn empty_view_matches_base() {
+        let g = cycle(5);
+        let v = SubgraphView::new(&g);
+        assert_eq!(bfs_distances(&v, NodeId(0)), bfs_distances(&g, NodeId(0)));
+        assert!(v.is_live_connected());
+        assert_eq!(v.live_node_count(), 5);
+    }
+
+    #[test]
+    fn removing_one_cycle_node_keeps_live_connectivity() {
+        let g = cycle(5);
+        let v = SubgraphView::without_nodes(&g, [NodeId(2)]);
+        assert!(v.is_live_connected());
+        assert_eq!(v.live_node_count(), 4);
+        assert_eq!(
+            v.live_nodes(),
+            vec![NodeId(0), NodeId(1), NodeId(3), NodeId(4)]
+        );
+    }
+
+    #[test]
+    fn removing_two_cycle_nodes_can_disconnect() {
+        // Cycle 0..5; removing 1 and 4 separates {0,5?}.. use n=6: remove 1 and 4
+        // leaves 0,2,3,5 with edges 2-3 and 5-0 -> two components.
+        let g = cycle(6);
+        let v = SubgraphView::without_nodes(&g, [NodeId(1), NodeId(4)]);
+        assert!(!v.is_live_connected());
+    }
+
+    #[test]
+    fn removing_edges_masks_them_both_directions() {
+        let g = cycle(4);
+        let v = SubgraphView::without_edges(&g, [Edge::new(NodeId(1), NodeId(0))]);
+        let mut ns = Vec::new();
+        v.for_each_neighbor(NodeId(0), &mut |w| ns.push(w));
+        assert_eq!(ns, vec![NodeId(3)]);
+        let mut ns = Vec::new();
+        v.for_each_neighbor(NodeId(1), &mut |w| ns.push(w));
+        assert_eq!(ns, vec![NodeId(2)]);
+        assert!(v.is_live_connected(), "cycle minus one edge is a path");
+    }
+
+    #[test]
+    fn removing_two_edges_disconnects_cycle() {
+        let g = cycle(4);
+        let v = SubgraphView::without_edges(
+            &g,
+            [
+                Edge::new(NodeId(0), NodeId(1)),
+                Edge::new(NodeId(2), NodeId(3)),
+            ],
+        );
+        assert!(!v.is_live_connected());
+    }
+
+    #[test]
+    fn removed_node_has_no_neighbors_and_is_invisible() {
+        let g = cycle(4);
+        let v = SubgraphView::without_nodes(&g, [NodeId(0)]);
+        let mut ns = Vec::new();
+        v.for_each_neighbor(NodeId(0), &mut |w| ns.push(w));
+        assert!(ns.is_empty());
+        // Neighbors of 1 no longer include 0.
+        let mut ns = Vec::new();
+        v.for_each_neighbor(NodeId(1), &mut |w| ns.push(w));
+        assert_eq!(ns, vec![NodeId(2)]);
+        assert!(v.is_removed_node(NodeId(0)));
+        assert!(v.is_removed_edge(Edge::new(NodeId(0), NodeId(1))));
+    }
+
+    #[test]
+    fn view_of_view_semantics_by_stacking_removals() {
+        let g = cycle(6);
+        let mut v = SubgraphView::new(&g);
+        v.remove_nodes([NodeId(1)]);
+        assert!(v.is_live_connected());
+        v.remove_nodes([NodeId(4)]);
+        assert!(!v.is_live_connected());
+    }
+
+    #[test]
+    fn base_graph_is_untouched() {
+        let g = cycle(4);
+        let _v = SubgraphView::without_nodes(&g, [NodeId(0)]);
+        assert!(is_connected(&g));
+        assert_eq!(g.edge_count(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn removing_unknown_node_panics() {
+        let g = cycle(3);
+        let _ = SubgraphView::without_nodes(&g, [NodeId(9)]);
+    }
+}

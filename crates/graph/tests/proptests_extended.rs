@@ -1,0 +1,177 @@
+//! Property tests for the extended graph modules: disjoint paths,
+//! betweenness, metrics and spectral estimates.
+
+use proptest::prelude::*;
+
+use lhg_graph::betweenness::betweenness;
+use lhg_graph::connectivity::local_edge_connectivity;
+use lhg_graph::degree::degree_stats;
+use lhg_graph::disjoint_paths::{edge_disjoint_paths, verify_disjoint, vertex_disjoint_paths};
+use lhg_graph::isomorphism::are_isomorphic;
+use lhg_graph::metrics::{bipartition, girth, is_bipartite, local_clustering, triangle_count};
+use lhg_graph::spectral::slem_estimate;
+use lhg_graph::{Graph, NodeId};
+
+fn arb_graph(max_n: usize) -> impl Strategy<Value = Graph> {
+    (2..=max_n).prop_flat_map(|n| {
+        proptest::collection::vec((0..n, 0..n), 0..=3 * n).prop_map(move |pairs| {
+            let mut g = Graph::with_nodes(n);
+            for (a, b) in pairs {
+                if a != b {
+                    g.add_edge(NodeId(a), NodeId(b));
+                }
+            }
+            g
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn edge_disjoint_path_count_matches_flow(g in arb_graph(14)) {
+        let s = NodeId(0);
+        let t = NodeId(g.node_count() - 1);
+        if s != t {
+            let paths = edge_disjoint_paths(&g, s, t);
+            prop_assert_eq!(paths.len(), local_edge_connectivity(&g, s, t, None));
+            prop_assert!(verify_disjoint(&g, s, t, &paths, false));
+        }
+    }
+
+    #[test]
+    fn vertex_disjoint_paths_verify_and_bound_edge_disjoint(g in arb_graph(14)) {
+        let s = NodeId(0);
+        let t = NodeId(g.node_count() - 1);
+        if s != t {
+            let vps = vertex_disjoint_paths(&g, s, t);
+            prop_assert!(verify_disjoint(&g, s, t, &vps, true));
+            let eps = edge_disjoint_paths(&g, s, t);
+            prop_assert!(vps.len() <= eps.len(), "κ-paths {} > λ-paths {}", vps.len(), eps.len());
+        }
+    }
+
+    #[test]
+    fn triangle_count_matches_clustering_identity(g in arb_graph(16)) {
+        // Σ_v clustering(v)·C(deg v, 2) counts each triangle three times.
+        let weighted: f64 = g
+            .nodes()
+            .map(|v| {
+                let d = g.degree(v) as f64;
+                local_clustering(&g, v) * d * (d - 1.0) / 2.0
+            })
+            .sum();
+        let triangles = triangle_count(&g) as f64;
+        prop_assert!((weighted - 3.0 * triangles).abs() < 1e-6,
+            "{weighted} vs 3·{triangles}");
+    }
+
+    #[test]
+    fn bipartition_is_a_proper_coloring(g in arb_graph(18)) {
+        match bipartition(&g) {
+            Some(coloring) => {
+                for e in g.edges() {
+                    prop_assert_ne!(coloring[e.a.index()], coloring[e.b.index()]);
+                }
+                // Bipartite graphs have no odd girth.
+                if let Some(gi) = girth(&g) {
+                    prop_assert_eq!(gi % 2, 0, "bipartite graph with odd girth {}", gi);
+                }
+            }
+            None => {
+                // Non-bipartite: an odd cycle exists, so girth is odd or an
+                // odd cycle longer than the girth exists; at minimum the
+                // graph has a cycle.
+                prop_assert!(girth(&g).is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn triangle_free_iff_girth_above_3(g in arb_graph(16)) {
+        let t = triangle_count(&g);
+        match girth(&g) {
+            Some(3) => prop_assert!(t > 0),
+            _ => prop_assert_eq!(t, 0),
+        }
+    }
+
+    #[test]
+    fn bipartite_graphs_are_triangle_free(g in arb_graph(16)) {
+        if is_bipartite(&g) {
+            prop_assert_eq!(triangle_count(&g), 0);
+        }
+    }
+
+    #[test]
+    fn betweenness_is_nonnegative_and_zero_on_leaves(g in arb_graph(16)) {
+        let c = betweenness(&g);
+        for (v, &x) in c.iter().enumerate() {
+            prop_assert!(x >= -1e-9, "node {v}: {x}");
+            if g.degree(NodeId(v)) <= 1 {
+                prop_assert!(x.abs() < 1e-9, "leaf {v} with betweenness {x}");
+            }
+        }
+    }
+
+    #[test]
+    fn betweenness_total_counts_internal_pair_hops(g in arb_graph(12)) {
+        // Σ betweenness = Σ over connected pairs of (d(s,t) − 1): each pair
+        // contributes one unit per interior node of its shortest paths
+        // (weighted fractionally).
+        use lhg_graph::traversal::bfs_distances;
+        let total: f64 = betweenness(&g).iter().sum();
+        let mut expect = 0.0;
+        let n = g.node_count();
+        for s in 0..n {
+            let dist = bfs_distances(&g, NodeId(s));
+            for d in dist.iter().skip(s + 1).flatten() {
+                expect += f64::from(d.saturating_sub(1));
+            }
+        }
+        prop_assert!((total - expect).abs() < 1e-6, "{total} vs {expect}");
+    }
+
+    #[test]
+    fn slem_is_within_unit_interval(g in arb_graph(16)) {
+        let est = slem_estimate(&g, 100);
+        prop_assert!((0.0..=1.0).contains(&est.slem), "{}", est.slem);
+        prop_assert!((est.gap - (1.0 - est.slem)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn multi_component_graphs_have_slem_one(g in arb_graph(14)) {
+        // Isolated vertices carry no stationary weight, so the walk only
+        // sees components with edges; require at least two of those.
+        let comps = lhg_graph::components::connected_components(&g);
+        let mut with_edges = std::collections::HashSet::new();
+        for e in g.edges() {
+            with_edges.insert(comps.label(e.a));
+        }
+        if with_edges.len() >= 2 {
+            let est = slem_estimate(&g, 400);
+            prop_assert!(est.slem > 0.95, "multi-component slem {}", est.slem);
+        }
+    }
+
+    #[test]
+    fn isomorphism_respects_relabeling(g in arb_graph(10), seed in 0u64..1000) {
+        // Build a permutation from the seed.
+        let n = g.node_count();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut state = seed;
+        for i in (1..n).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let j = (state >> 33) as usize % (i + 1);
+            perm.swap(i, j);
+        }
+        let mut h = Graph::with_nodes(n);
+        for e in g.edges() {
+            h.add_edge(NodeId(perm[e.a.index()]), NodeId(perm[e.b.index()]));
+        }
+        prop_assert!(are_isomorphic(&g, &h));
+        // Degree stats are isomorphism-invariant.
+        prop_assert_eq!(degree_stats(&g), degree_stats(&h));
+    }
+}

@@ -1,0 +1,61 @@
+//! Serde round-trip tests for the data structures (C-SERDE).
+//!
+//! `serde_json` is a dev-dependency only: exercising `Serialize` /
+//! `Deserialize` impls requires a concrete format, and JSON keeps the
+//! fixtures human-readable.
+
+use lhg_graph::{CsrGraph, Edge, Graph, NodeId};
+
+fn sample() -> Graph {
+    Graph::from_edges(
+        5,
+        [
+            (NodeId(0), NodeId(1)),
+            (NodeId(1), NodeId(2)),
+            (NodeId(0), NodeId(2)),
+            (NodeId(2), NodeId(3)),
+        ],
+    )
+}
+
+#[test]
+fn node_id_is_transparent() {
+    let json = serde_json::to_string(&NodeId(7)).unwrap();
+    assert_eq!(json, "7");
+    let back: NodeId = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, NodeId(7));
+}
+
+#[test]
+fn edge_round_trips() {
+    let e = Edge::new(NodeId(3), NodeId(1));
+    let json = serde_json::to_string(&e).unwrap();
+    let back: Edge = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, e);
+}
+
+#[test]
+fn graph_round_trips_with_isolated_nodes() {
+    let g = sample();
+    let json = serde_json::to_string(&g).unwrap();
+    let back: Graph = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, g);
+    assert_eq!(back.node_count(), 5, "isolated node 4 preserved");
+    assert_eq!(back.fingerprint(), g.fingerprint());
+}
+
+#[test]
+fn csr_round_trips() {
+    let csr = CsrGraph::from_graph(&sample());
+    let json = serde_json::to_string(&csr).unwrap();
+    let back: CsrGraph = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, csr);
+    assert_eq!(back.to_graph(), sample());
+}
+
+#[test]
+fn empty_graph_round_trips() {
+    let g = Graph::new();
+    let back: Graph = serde_json::from_str(&serde_json::to_string(&g).unwrap()).unwrap();
+    assert_eq!(back, g);
+}

@@ -1,0 +1,255 @@
+//! Reliable broadcast by flooding over an overlay — the protocol the LHG
+//! topologies exist to serve, as a [`Process`] for the discrete-event
+//! simulator.
+//!
+//! Each process forwards every broadcast it has not seen before to all
+//! neighbors except the one it arrived from, and delivers it locally once.
+//! Over a k-connected overlay this delivers to every correct process
+//! despite up to k−1 fail-stop processes (experiment E15).
+
+use std::collections::HashSet;
+
+use bytes::Bytes;
+
+use lhg_graph::{Graph, NodeId};
+
+use crate::message::Message;
+use crate::sim::{Context, LinkModel, Process, SimReport, Simulation, Time};
+
+/// Flooding reliable-broadcast process.
+pub struct FloodProcess {
+    /// Broadcast this process originates at time 0, if any.
+    originate: Option<(u64, Bytes)>,
+    seen: HashSet<u64>,
+}
+
+impl FloodProcess {
+    /// A process that only relays.
+    #[must_use]
+    pub fn relay() -> Self {
+        FloodProcess {
+            originate: None,
+            seen: HashSet::new(),
+        }
+    }
+
+    /// A process that originates broadcast `id` with `payload` at time 0.
+    #[must_use]
+    pub fn origin(id: u64, payload: Bytes) -> Self {
+        FloodProcess {
+            originate: Some((id, payload)),
+            seen: HashSet::new(),
+        }
+    }
+}
+
+impl Process for FloodProcess {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        if let Some((id, payload)) = self.originate.take() {
+            self.seen.insert(id);
+            let msg = Message::new(id, ctx.id().index() as u32, payload);
+            ctx.deliver(msg.clone());
+            for &w in &ctx.neighbors().to_vec() {
+                ctx.send(w, msg.clone());
+            }
+        }
+    }
+
+    fn on_message(&mut self, from: NodeId, msg: Message, ctx: &mut Context<'_>) {
+        if !self.seen.insert(msg.broadcast_id) {
+            return; // duplicate
+        }
+        ctx.deliver(msg.clone());
+        let fwd = msg.forwarded();
+        for &w in &ctx.neighbors().to_vec() {
+            if w != from {
+                ctx.send(w, fwd.clone());
+            }
+        }
+    }
+}
+
+/// Outcome of a full broadcast run over an overlay.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BroadcastReport {
+    /// The raw simulator report.
+    pub sim: SimReport,
+    /// First delivery time per node (`None` = never delivered).
+    pub first_delivery: Vec<Option<Time>>,
+    /// Nodes that never crashed.
+    pub correct_nodes: usize,
+    /// Correct nodes that delivered.
+    pub correct_delivered: usize,
+}
+
+impl BroadcastReport {
+    /// `true` if every correct node delivered the broadcast.
+    #[must_use]
+    pub fn all_correct_delivered(&self) -> bool {
+        self.correct_delivered == self.correct_nodes
+    }
+
+    /// Latest delivery time among correct nodes (0 when only the origin).
+    #[must_use]
+    pub fn latency(&self) -> Time {
+        self.first_delivery
+            .iter()
+            .flatten()
+            .copied()
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// Runs one flooding broadcast from `origin` over `graph` with the given
+/// link model, crashing `crashes` (node, time) pairs.
+///
+/// # Panics
+///
+/// Panics if `origin` is out of bounds or crashes at time 0.
+#[must_use]
+pub fn run_overlay_broadcast(
+    graph: &Graph,
+    origin: NodeId,
+    payload: Bytes,
+    link: LinkModel,
+    crashes: &[(NodeId, Time)],
+    seed: u64,
+) -> BroadcastReport {
+    let n = graph.node_count();
+    assert!(origin.index() < n, "origin {origin} out of bounds");
+    let mut sim = Simulation::new(graph, link, seed);
+    let mut crashed = vec![false; n];
+    for &(v, t) in crashes {
+        assert!(!(v == origin && t == 0), "origin must be live at time 0");
+        sim.crash_at(v, t);
+        crashed[v.index()] = true;
+    }
+    let processes: Vec<Box<dyn Process>> = (0..n)
+        .map(|v| -> Box<dyn Process> {
+            if NodeId(v) == origin {
+                Box::new(FloodProcess::origin(1, payload.clone()))
+            } else {
+                Box::new(FloodProcess::relay())
+            }
+        })
+        .collect();
+    let report = sim.run(processes, Time::MAX);
+    let first_delivery = report.first_delivery_times(n);
+    let mut correct_nodes = 0;
+    let mut correct_delivered = 0;
+    for v in 0..n {
+        if !crashed[v] {
+            correct_nodes += 1;
+            if first_delivery[v].is_some() {
+                correct_delivered += 1;
+            }
+        }
+    }
+    BroadcastReport {
+        sim: report,
+        first_delivery,
+        correct_nodes,
+        correct_delivered,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cycle(n: usize) -> Graph {
+        let mut g = Graph::with_nodes(n);
+        for i in 0..n {
+            g.add_edge(NodeId(i), NodeId((i + 1) % n));
+        }
+        g
+    }
+
+    fn no_jitter() -> LinkModel {
+        LinkModel {
+            base_latency_us: 100,
+            jitter_us: 0,
+        }
+    }
+
+    #[test]
+    fn broadcast_covers_cycle() {
+        let g = cycle(8);
+        let r = run_overlay_broadcast(&g, NodeId(0), Bytes::from_static(b"m"), no_jitter(), &[], 0);
+        assert!(r.all_correct_delivered());
+        // Farthest node is 4 hops away: latency = 400µs without jitter.
+        assert_eq!(r.latency(), 400);
+        assert_eq!(r.first_delivery[4], Some(400));
+    }
+
+    #[test]
+    fn latency_tracks_hops_times_link_latency() {
+        let g = cycle(12);
+        let r = run_overlay_broadcast(&g, NodeId(0), Bytes::new(), no_jitter(), &[], 0);
+        for v in 0..12usize {
+            let hops = v.min(12 - v) as u64;
+            assert_eq!(r.first_delivery[v], Some(hops * 100), "node {v}");
+        }
+    }
+
+    #[test]
+    fn one_crash_on_2_connected_overlay_is_tolerated() {
+        let g = cycle(9);
+        let r = run_overlay_broadcast(
+            &g,
+            NodeId(0),
+            Bytes::new(),
+            no_jitter(),
+            &[(NodeId(4), 0)],
+            0,
+        );
+        assert!(r.all_correct_delivered());
+        assert_eq!(r.correct_nodes, 8);
+    }
+
+    #[test]
+    fn two_crashes_split_the_cycle() {
+        let g = cycle(9);
+        let r = run_overlay_broadcast(
+            &g,
+            NodeId(0),
+            Bytes::new(),
+            no_jitter(),
+            &[(NodeId(2), 0), (NodeId(7), 0)],
+            0,
+        );
+        assert!(!r.all_correct_delivered());
+        assert!(r.correct_delivered < r.correct_nodes);
+    }
+
+    #[test]
+    fn dedup_keeps_message_count_linear_in_edges() {
+        let g = cycle(10);
+        let r = run_overlay_broadcast(&g, NodeId(0), Bytes::new(), no_jitter(), &[], 0);
+        // Flooding sends at most 2 messages per edge.
+        assert!(r.sim.messages_sent <= 2 * g.edge_count() as u64);
+        assert!(r.sim.messages_sent >= g.edge_count() as u64 - 1);
+    }
+
+    #[test]
+    fn deliveries_happen_once_per_node() {
+        let g = cycle(6);
+        let r = run_overlay_broadcast(&g, NodeId(0), Bytes::new(), no_jitter(), &[], 0);
+        assert_eq!(r.sim.deliveries.len(), 6, "exactly one delivery per node");
+    }
+
+    #[test]
+    #[should_panic(expected = "origin must be live")]
+    fn crashing_origin_at_zero_is_rejected() {
+        let g = cycle(4);
+        let _ = run_overlay_broadcast(
+            &g,
+            NodeId(0),
+            Bytes::new(),
+            no_jitter(),
+            &[(NodeId(0), 0)],
+            0,
+        );
+    }
+}

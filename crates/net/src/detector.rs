@@ -1,0 +1,321 @@
+//! Heartbeat failure detection over the overlay.
+//!
+//! Flooding tolerates k−1 *silent* crashes, but a long-lived overlay also
+//! wants to know **who** crashed (e.g. to trigger the membership
+//! maintenance in `lhg-core::overlay`). This module implements the classic
+//! heartbeat detector on the timer-capable simulator: every process
+//! heartbeats its overlay neighbors each `period` and suspects a neighbor
+//! it has not heard from within `timeout`.
+//!
+//! With `timeout > period + max network delay` the detector is **accurate**
+//! (never suspects a live neighbor) and **complete** (every neighbor of a
+//! crashed process eventually suspects it) — both properties are tested.
+//!
+//! Detector output travels through the simulator's delivery stream as
+//! tagged pseudo-messages; [`DetectorEvent::from_delivery`] decodes them.
+
+use std::collections::{HashMap, HashSet};
+
+use bytes::Bytes;
+
+use lhg_graph::NodeId;
+
+use crate::message::Message;
+use crate::sim::{Context, Delivery, Process, Time};
+
+/// Tag bit marking heartbeat wire messages.
+const HEARTBEAT_TAG: u64 = 1 << 60;
+/// Tag bit marking suspicion events in the delivery stream.
+const SUSPECT_TAG: u64 = 1 << 61;
+/// Tag bit marking trust-restored events in the delivery stream.
+const RESTORE_TAG: u64 = 1 << 62;
+/// Timer token for the heartbeat tick.
+const TICK: u64 = 1;
+
+/// Timing parameters of the detector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HeartbeatConfig {
+    /// Interval between heartbeats (µs).
+    pub period: Time,
+    /// Silence threshold before suspecting a neighbor (µs).
+    pub timeout: Time,
+}
+
+impl Default for HeartbeatConfig {
+    fn default() -> Self {
+        // 1 ms heartbeats, 3.5 ms patience: accurate for links ≤ 2.5 ms.
+        HeartbeatConfig {
+            period: 1_000,
+            timeout: 3_500,
+        }
+    }
+}
+
+/// A decoded detector output event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DetectorEvent {
+    /// `monitor` started suspecting `suspect` at `time`.
+    Suspect {
+        /// The process doing the suspecting.
+        monitor: NodeId,
+        /// The neighbor now suspected.
+        suspect: NodeId,
+        /// Simulated time of the state change.
+        time: Time,
+    },
+    /// `monitor` trusts `suspect` again (a late heartbeat arrived).
+    Restore {
+        /// The process restoring trust.
+        monitor: NodeId,
+        /// The neighbor trusted again.
+        suspect: NodeId,
+        /// Simulated time of the state change.
+        time: Time,
+    },
+}
+
+impl DetectorEvent {
+    /// Decodes a delivery-stream record produced by [`HeartbeatProcess`];
+    /// `None` for ordinary application deliveries.
+    #[must_use]
+    pub fn from_delivery(d: &Delivery) -> Option<DetectorEvent> {
+        let suspect = NodeId((d.broadcast_id & 0xFFFF_FFFF) as usize);
+        if d.broadcast_id & SUSPECT_TAG != 0 {
+            Some(DetectorEvent::Suspect {
+                monitor: d.node,
+                suspect,
+                time: d.time,
+            })
+        } else if d.broadcast_id & RESTORE_TAG != 0 {
+            Some(DetectorEvent::Restore {
+                monitor: d.node,
+                suspect,
+                time: d.time,
+            })
+        } else {
+            None
+        }
+    }
+}
+
+/// Heartbeat failure-detector process (monitors overlay neighbors only).
+pub struct HeartbeatProcess {
+    config: HeartbeatConfig,
+    last_heard: HashMap<NodeId, Time>,
+    suspected: HashSet<NodeId>,
+}
+
+impl HeartbeatProcess {
+    /// Creates a detector with the given timing.
+    #[must_use]
+    pub fn new(config: HeartbeatConfig) -> Self {
+        HeartbeatProcess {
+            config,
+            last_heard: HashMap::new(),
+            suspected: HashSet::new(),
+        }
+    }
+
+    fn beat(&self, ctx: &mut Context<'_>) {
+        let me = ctx.id().index() as u32;
+        for &w in &ctx.neighbors().to_vec() {
+            ctx.send(
+                w,
+                Message::new(HEARTBEAT_TAG | u64::from(me), me, Bytes::new()),
+            );
+        }
+    }
+
+    fn check(&mut self, ctx: &mut Context<'_>) {
+        let now = ctx.now();
+        for &w in &ctx.neighbors().to_vec() {
+            let heard = self.last_heard.get(&w).copied().unwrap_or(0);
+            if now.saturating_sub(heard) > self.config.timeout && self.suspected.insert(w) {
+                let me = ctx.id().index() as u32;
+                ctx.deliver(Message::new(
+                    SUSPECT_TAG | w.index() as u64,
+                    me,
+                    Bytes::new(),
+                ));
+            }
+        }
+    }
+}
+
+impl Process for HeartbeatProcess {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        // Grace: treat time 0 as "heard from everyone".
+        for &w in ctx.neighbors() {
+            self.last_heard.insert(w, 0);
+        }
+        self.beat(ctx);
+        ctx.set_timer(self.config.period, TICK);
+    }
+
+    fn on_message(&mut self, from: NodeId, msg: Message, ctx: &mut Context<'_>) {
+        if msg.broadcast_id & HEARTBEAT_TAG != 0 {
+            self.last_heard.insert(from, ctx.now());
+            if self.suspected.remove(&from) {
+                let me = ctx.id().index() as u32;
+                ctx.deliver(Message::new(
+                    RESTORE_TAG | from.index() as u64,
+                    me,
+                    Bytes::new(),
+                ));
+            }
+        }
+    }
+
+    fn on_timer(&mut self, token: u64, ctx: &mut Context<'_>) {
+        debug_assert_eq!(token, TICK);
+        self.beat(ctx);
+        self.check(ctx);
+        ctx.set_timer(self.config.period, TICK);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::{LinkModel, Simulation};
+    use lhg_graph::Graph;
+
+    fn cycle(n: usize) -> Graph {
+        let mut g = Graph::with_nodes(n);
+        for i in 0..n {
+            g.add_edge(NodeId(i), NodeId((i + 1) % n));
+        }
+        g
+    }
+
+    fn detectors(n: usize, config: HeartbeatConfig) -> Vec<Box<dyn Process>> {
+        (0..n)
+            .map(|_| -> Box<dyn Process> { Box::new(HeartbeatProcess::new(config)) })
+            .collect()
+    }
+
+    fn events(report: &crate::sim::SimReport) -> Vec<DetectorEvent> {
+        report
+            .deliveries
+            .iter()
+            .filter_map(DetectorEvent::from_delivery)
+            .collect()
+    }
+
+    #[test]
+    fn no_failures_no_suspicions() {
+        let g = cycle(8);
+        let config = HeartbeatConfig::default();
+        let mut sim = Simulation::new(
+            &g,
+            LinkModel {
+                base_latency_us: 500,
+                jitter_us: 200,
+            },
+            3,
+        );
+        let report = sim.run(detectors(8, config), 50_000);
+        assert!(
+            events(&report).is_empty(),
+            "accuracy: {:?}",
+            events(&report)
+        );
+        assert!(report.messages_sent > 8 * 2 * 40, "heartbeats kept flowing");
+    }
+
+    #[test]
+    fn crashed_node_is_suspected_by_both_neighbors() {
+        let g = cycle(8);
+        let config = HeartbeatConfig::default();
+        let crash_time = 10_000;
+        let mut sim = Simulation::new(
+            &g,
+            LinkModel {
+                base_latency_us: 500,
+                jitter_us: 0,
+            },
+            3,
+        );
+        sim.crash_at(NodeId(3), crash_time);
+        let report = sim.run(detectors(8, config), 60_000);
+        let evs = events(&report);
+        let suspects: Vec<(NodeId, NodeId, Time)> = evs
+            .iter()
+            .filter_map(|e| match e {
+                DetectorEvent::Suspect {
+                    monitor,
+                    suspect,
+                    time,
+                } => Some((*monitor, *suspect, *time)),
+                DetectorEvent::Restore { .. } => None,
+            })
+            .collect();
+        // Completeness: both neighbors of node 3 suspect it...
+        let monitors: std::collections::BTreeSet<NodeId> =
+            suspects.iter().map(|(m, _, _)| *m).collect();
+        assert_eq!(
+            monitors,
+            [NodeId(2), NodeId(4)].into_iter().collect(),
+            "{suspects:?}"
+        );
+        // ...and nobody else is ever suspected (accuracy).
+        assert!(
+            suspects.iter().all(|(_, s, _)| *s == NodeId(3)),
+            "{suspects:?}"
+        );
+        // Detection happens after the crash but within timeout + 2 periods.
+        for (_, _, t) in &suspects {
+            assert!(*t > crash_time, "suspected before crash at {t}");
+            assert!(
+                *t <= crash_time + config.timeout + 2 * config.period,
+                "slow detection at {t}"
+            );
+        }
+        // No restores in fail-stop.
+        assert!(evs
+            .iter()
+            .all(|e| matches!(e, DetectorEvent::Suspect { .. })));
+    }
+
+    #[test]
+    fn too_aggressive_timeout_breaks_accuracy() {
+        // Checks run at tick time; with heartbeats landing at k·period+100,
+        // the observed silence at each check is period−100 = 900 > timeout.
+        let g = cycle(6);
+        let config = HeartbeatConfig {
+            period: 1_000,
+            timeout: 800,
+        };
+        let mut sim = Simulation::new(
+            &g,
+            LinkModel {
+                base_latency_us: 100,
+                jitter_us: 0,
+            },
+            1,
+        );
+        let report = sim.run(detectors(6, config), 20_000);
+        let evs = events(&report);
+        assert!(
+            evs.iter()
+                .any(|e| matches!(e, DetectorEvent::Suspect { .. })),
+            "an under-provisioned timeout must produce false suspicions"
+        );
+        assert!(
+            evs.iter()
+                .any(|e| matches!(e, DetectorEvent::Restore { .. })),
+            "late heartbeats then restore trust"
+        );
+    }
+
+    #[test]
+    fn decode_ignores_ordinary_deliveries() {
+        let d = Delivery {
+            node: NodeId(1),
+            time: 5,
+            hops: 0,
+            broadcast_id: 42,
+        };
+        assert_eq!(DetectorEvent::from_delivery(&d), None);
+    }
+}

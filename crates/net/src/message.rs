@@ -1,0 +1,142 @@
+//! Wire messages: a minimal binary format over [`bytes::Bytes`].
+//!
+//! Layout (big-endian):
+//!
+//! ```text
+//! 8 bytes  broadcast id
+//! 4 bytes  origin node id
+//! 4 bytes  hop count
+//! 4 bytes  payload length L
+//! L bytes  payload
+//! ```
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// A broadcast message as it travels the simulated network.
+///
+/// Cloning is cheap: the payload is a reference-counted [`Bytes`] slice.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Message {
+    /// Identifier of the broadcast this message belongs to (for dedup).
+    pub broadcast_id: u64,
+    /// Node that originated the broadcast.
+    pub origin: u32,
+    /// Hops travelled so far (incremented on each forward).
+    pub hops: u32,
+    /// Application payload.
+    pub payload: Bytes,
+}
+
+impl Message {
+    /// Creates a fresh (0-hop) broadcast message.
+    #[must_use]
+    pub fn new(broadcast_id: u64, origin: u32, payload: Bytes) -> Self {
+        Message {
+            broadcast_id,
+            origin,
+            hops: 0,
+            payload,
+        }
+    }
+
+    /// A copy with the hop count incremented (what a forwarder sends).
+    #[must_use]
+    pub fn forwarded(&self) -> Self {
+        Message {
+            hops: self.hops + 1,
+            ..self.clone()
+        }
+    }
+
+    /// Serialized size in bytes.
+    #[must_use]
+    pub fn encoded_len(&self) -> usize {
+        8 + 4 + 4 + 4 + self.payload.len()
+    }
+
+    /// Encodes to the wire format.
+    #[must_use]
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(self.encoded_len());
+        buf.put_u64(self.broadcast_id);
+        buf.put_u32(self.origin);
+        buf.put_u32(self.hops);
+        buf.put_u32(self.payload.len() as u32);
+        buf.put_slice(&self.payload);
+        buf.freeze()
+    }
+
+    /// Decodes from the wire format.
+    ///
+    /// Returns `None` on truncated or over-long input.
+    #[must_use]
+    pub fn decode(mut raw: Bytes) -> Option<Self> {
+        if raw.len() < 20 {
+            return None;
+        }
+        let broadcast_id = raw.get_u64();
+        let origin = raw.get_u32();
+        let hops = raw.get_u32();
+        let len = raw.get_u32() as usize;
+        if raw.len() != len {
+            return None;
+        }
+        Some(Message {
+            broadcast_id,
+            origin,
+            hops,
+            payload: raw,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let m = Message::new(42, 7, Bytes::from_static(b"hello overlay"));
+        let decoded = Message::decode(m.encode()).unwrap();
+        assert_eq!(decoded, m);
+    }
+
+    #[test]
+    fn empty_payload_round_trips() {
+        let m = Message::new(1, 0, Bytes::new());
+        assert_eq!(Message::decode(m.encode()), Some(m));
+    }
+
+    #[test]
+    fn forwarded_increments_hops_only() {
+        let m = Message::new(9, 3, Bytes::from_static(b"x"));
+        let f = m.forwarded();
+        assert_eq!(f.hops, 1);
+        assert_eq!(f.forwarded().hops, 2);
+        assert_eq!(f.broadcast_id, 9);
+        assert_eq!(f.origin, 3);
+        assert_eq!(f.payload, m.payload);
+    }
+
+    #[test]
+    fn decode_rejects_truncated() {
+        assert_eq!(Message::decode(Bytes::from_static(b"short")), None);
+        let m = Message::new(1, 2, Bytes::from_static(b"abcdef"));
+        let enc = m.encode();
+        assert_eq!(Message::decode(enc.slice(0..enc.len() - 1)), None);
+    }
+
+    #[test]
+    fn decode_rejects_trailing_garbage() {
+        let m = Message::new(1, 2, Bytes::from_static(b"abc"));
+        let mut enc = bytes::BytesMut::from(&m.encode()[..]);
+        enc.put_u8(0xFF);
+        assert_eq!(Message::decode(enc.freeze()), None);
+    }
+
+    #[test]
+    fn encoded_len_matches() {
+        let m = Message::new(5, 1, Bytes::from_static(b"12345"));
+        assert_eq!(m.encode().len(), m.encoded_len());
+    }
+}

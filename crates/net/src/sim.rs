@@ -1,0 +1,488 @@
+//! Deterministic discrete-event network simulator.
+//!
+//! Processes sit on the nodes of an overlay topology; links carry messages
+//! with a configurable base latency plus seeded jitter. Events are processed
+//! in (time, sequence) order, so runs are bit-for-bit reproducible for a
+//! given seed. Crash times model fail-stop processes.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use lhg_graph::{CsrGraph, Graph, NodeId};
+
+use crate::message::Message;
+
+/// Simulated time in microseconds.
+pub type Time = u64;
+
+/// Link timing model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkModel {
+    /// Fixed per-hop latency (µs).
+    pub base_latency_us: u64,
+    /// Additional uniform jitter in `0..jitter_us` (µs); 0 disables jitter.
+    pub jitter_us: u64,
+}
+
+impl Default for LinkModel {
+    fn default() -> Self {
+        LinkModel {
+            base_latency_us: 1_000,
+            jitter_us: 200,
+        }
+    }
+}
+
+/// What a process may do while handling an event.
+pub struct Context<'a> {
+    now: Time,
+    self_id: NodeId,
+    neighbors: &'a [NodeId],
+    outbox: Vec<(NodeId, Message)>,
+    delivered: Vec<Message>,
+    timers: Vec<(Time, u64)>,
+}
+
+impl Context<'_> {
+    /// Current simulated time.
+    #[must_use]
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// This process's node id.
+    #[must_use]
+    pub fn id(&self) -> NodeId {
+        self.self_id
+    }
+
+    /// Overlay neighbors of this process.
+    #[must_use]
+    pub fn neighbors(&self) -> &[NodeId] {
+        self.neighbors
+    }
+
+    /// Sends `msg` to `to` over the overlay.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `to` is not a neighbor — the overlay is the only network.
+    pub fn send(&mut self, to: NodeId, msg: Message) {
+        assert!(
+            self.neighbors.contains(&to),
+            "{to} is not a neighbor of {}",
+            self.self_id
+        );
+        self.outbox.push((to, msg));
+    }
+
+    /// Delivers `msg` to the local application (records the delivery).
+    pub fn deliver(&mut self, msg: Message) {
+        self.delivered.push(msg);
+    }
+
+    /// Schedules [`Process::on_timer`] to fire on this process after
+    /// `delay` (relative to now). `token` is handed back on expiry so one
+    /// process can keep several timers apart.
+    pub fn set_timer(&mut self, delay: Time, token: u64) {
+        self.timers.push((self.now + delay, token));
+    }
+}
+
+/// A process hosted on one overlay node.
+pub trait Process {
+    /// Called once at time 0.
+    fn on_start(&mut self, ctx: &mut Context<'_>);
+    /// Called on each message arrival.
+    fn on_message(&mut self, from: NodeId, msg: Message, ctx: &mut Context<'_>);
+    /// Called when a timer scheduled via [`Context::set_timer`] expires.
+    /// Default: ignored.
+    fn on_timer(&mut self, token: u64, ctx: &mut Context<'_>) {
+        let _ = (token, ctx);
+    }
+}
+
+/// Per-node delivery record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Delivery {
+    /// Receiving node.
+    pub node: NodeId,
+    /// Simulated time of the application-level delivery.
+    pub time: Time,
+    /// Hop count of the delivered copy.
+    pub hops: u32,
+    /// Broadcast id delivered.
+    pub broadcast_id: u64,
+}
+
+/// Result of one simulation run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimReport {
+    /// All application-level deliveries in time order.
+    pub deliveries: Vec<Delivery>,
+    /// Total messages put on links.
+    pub messages_sent: u64,
+    /// Time of the last processed event.
+    pub end_time: Time,
+}
+
+impl SimReport {
+    /// First delivery time per node (index = node id), `None` if never.
+    #[must_use]
+    pub fn first_delivery_times(&self, n: usize) -> Vec<Option<Time>> {
+        let mut out = vec![None; n];
+        for d in &self.deliveries {
+            let slot = &mut out[d.node.index()];
+            if slot.is_none() {
+                *slot = Some(d.time);
+            }
+        }
+        out
+    }
+}
+
+/// The discrete-event simulator.
+pub struct Simulation {
+    topology: CsrGraph,
+    link: LinkModel,
+    crash_at: Vec<Option<Time>>,
+    rng: StdRng,
+}
+
+impl Simulation {
+    /// Creates a simulation over `graph` with the given link model and seed.
+    #[must_use]
+    pub fn new(graph: &Graph, link: LinkModel, seed: u64) -> Self {
+        Simulation {
+            topology: CsrGraph::from_graph(graph),
+            link,
+            crash_at: vec![None; graph.node_count()],
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Fail-stops `node` at `time` (events at or after `time` are dropped).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of bounds.
+    pub fn crash_at(&mut self, node: NodeId, time: Time) -> &mut Self {
+        assert!(
+            node.index() < self.topology.node_count(),
+            "{node} out of bounds"
+        );
+        let slot = &mut self.crash_at[node.index()];
+        *slot = Some(slot.map_or(time, |t| t.min(time)));
+        self
+    }
+
+    fn is_crashed(&self, node: NodeId, time: Time) -> bool {
+        self.crash_at[node.index()].is_some_and(|t| time >= t)
+    }
+
+    /// Runs the simulation with one boxed process per node until the event
+    /// queue drains or `max_time` passes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `processes.len()` differs from the node count.
+    pub fn run(&mut self, mut processes: Vec<Box<dyn Process>>, max_time: Time) -> SimReport {
+        let n = self.topology.node_count();
+        assert_eq!(processes.len(), n, "one process per node required");
+
+        // Event payloads live in `events`; the heap orders (time, seq, node,
+        // payload-slot). A payload is either an in-flight message or an
+        // armed timer token.
+        enum EventKind {
+            Message { from: NodeId, msg: Message },
+            Timer { token: u64 },
+        }
+        let mut queue: BinaryHeap<Reverse<(Time, u64, usize, usize)>> = BinaryHeap::new();
+        let mut events: Vec<EventKind> = Vec::new();
+        let mut seq: u64 = 0;
+        let mut messages_sent: u64 = 0;
+        let mut deliveries = Vec::new();
+        let mut end_time = 0;
+
+        // Drains a handled context into the report and the event queue.
+        let mut flush = |ctx: Context<'_>,
+                         at: NodeId,
+                         time: Time,
+                         rng_latency: &mut dyn FnMut() -> Time,
+                         queue: &mut BinaryHeap<Reverse<(Time, u64, usize, usize)>>,
+                         events: &mut Vec<EventKind>,
+                         seq: &mut u64| {
+            for d in ctx.delivered {
+                deliveries.push(Delivery {
+                    node: at,
+                    time,
+                    hops: d.hops,
+                    broadcast_id: d.broadcast_id,
+                });
+            }
+            for (to, msg) in ctx.outbox {
+                messages_sent += 1;
+                let latency = rng_latency();
+                let slot = events.len();
+                events.push(EventKind::Message { from: at, msg });
+                queue.push(Reverse((time + latency, *seq, to.index(), slot)));
+                *seq += 1;
+            }
+            for (fire_at, token) in ctx.timers {
+                let slot = events.len();
+                events.push(EventKind::Timer { token });
+                queue.push(Reverse((fire_at, *seq, at.index(), slot)));
+                *seq += 1;
+            }
+        };
+
+        // Start every live process at time 0.
+        for (v, process) in processes.iter_mut().enumerate() {
+            if self.is_crashed(NodeId(v), 0) {
+                continue;
+            }
+            let mut ctx = Context {
+                now: 0,
+                self_id: NodeId(v),
+                neighbors: self.topology.neighbors(NodeId(v)),
+                outbox: Vec::new(),
+                delivered: Vec::new(),
+                timers: Vec::new(),
+            };
+            process.on_start(&mut ctx);
+            let link = self.link;
+            let rng = &mut self.rng;
+            flush(
+                ctx,
+                NodeId(v),
+                0,
+                &mut || sample_latency_with(link, rng),
+                &mut queue,
+                &mut events,
+                &mut seq,
+            );
+        }
+
+        while let Some(Reverse((time, _, node, slot))) = queue.pop() {
+            if time > max_time {
+                break;
+            }
+            end_time = end_time.max(time);
+            let node_id = NodeId(node);
+            if self.is_crashed(node_id, time) {
+                continue;
+            }
+            let mut ctx = Context {
+                now: time,
+                self_id: node_id,
+                neighbors: self.topology.neighbors(node_id),
+                outbox: Vec::new(),
+                delivered: Vec::new(),
+                timers: Vec::new(),
+            };
+            match &events[slot] {
+                EventKind::Message { from, msg } => {
+                    let (from, msg) = (*from, msg.clone());
+                    processes[node].on_message(from, msg, &mut ctx);
+                }
+                EventKind::Timer { token } => {
+                    let token = *token;
+                    processes[node].on_timer(token, &mut ctx);
+                }
+            }
+            let link = self.link;
+            let rng = &mut self.rng;
+            flush(
+                ctx,
+                node_id,
+                time,
+                &mut || sample_latency_with(link, rng),
+                &mut queue,
+                &mut events,
+                &mut seq,
+            );
+        }
+
+        SimReport {
+            deliveries,
+            messages_sent,
+            end_time,
+        }
+    }
+}
+
+/// Samples one link latency from `link` using `rng`.
+fn sample_latency_with(link: LinkModel, rng: &mut StdRng) -> Time {
+    let jitter = if link.jitter_us == 0 {
+        0
+    } else {
+        rng.random_range(0..link.jitter_us)
+    };
+    link.base_latency_us + jitter
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+
+    /// Echoes nothing; origin sends one message to each neighbor at start.
+    struct Pinger {
+        is_origin: bool,
+    }
+
+    impl Process for Pinger {
+        fn on_start(&mut self, ctx: &mut Context<'_>) {
+            if self.is_origin {
+                for &w in &ctx.neighbors().to_vec() {
+                    ctx.send(w, Message::new(1, ctx.id().index() as u32, Bytes::new()));
+                }
+            }
+        }
+        fn on_message(&mut self, _from: NodeId, msg: Message, ctx: &mut Context<'_>) {
+            ctx.deliver(msg);
+        }
+    }
+
+    fn path(n: usize) -> Graph {
+        let mut g = Graph::with_nodes(n);
+        for i in 1..n {
+            g.add_edge(NodeId(i - 1), NodeId(i));
+        }
+        g
+    }
+
+    fn no_jitter() -> LinkModel {
+        LinkModel {
+            base_latency_us: 100,
+            jitter_us: 0,
+        }
+    }
+
+    #[test]
+    fn ping_reaches_neighbors_at_base_latency() {
+        let g = path(3);
+        let mut sim = Simulation::new(&g, no_jitter(), 0);
+        let procs: Vec<Box<dyn Process>> = vec![
+            Box::new(Pinger { is_origin: false }),
+            Box::new(Pinger { is_origin: true }),
+            Box::new(Pinger { is_origin: false }),
+        ];
+        let report = sim.run(procs, 1_000_000);
+        assert_eq!(report.messages_sent, 2);
+        assert_eq!(report.deliveries.len(), 2);
+        assert!(report.deliveries.iter().all(|d| d.time == 100));
+        let firsts = report.first_delivery_times(3);
+        assert_eq!(firsts, vec![Some(100), None, Some(100)]);
+    }
+
+    #[test]
+    fn crashed_receiver_drops_message() {
+        let g = path(2);
+        let mut sim = Simulation::new(&g, no_jitter(), 0);
+        sim.crash_at(NodeId(1), 50);
+        let procs: Vec<Box<dyn Process>> = vec![
+            Box::new(Pinger { is_origin: true }),
+            Box::new(Pinger { is_origin: false }),
+        ];
+        let report = sim.run(procs, 1_000_000);
+        assert_eq!(report.messages_sent, 1);
+        assert!(
+            report.deliveries.is_empty(),
+            "receiver crashed before arrival"
+        );
+    }
+
+    #[test]
+    fn crash_after_arrival_does_not_drop() {
+        let g = path(2);
+        let mut sim = Simulation::new(&g, no_jitter(), 0);
+        sim.crash_at(NodeId(1), 101);
+        let procs: Vec<Box<dyn Process>> = vec![
+            Box::new(Pinger { is_origin: true }),
+            Box::new(Pinger { is_origin: false }),
+        ];
+        let report = sim.run(procs, 1_000_000);
+        assert_eq!(report.deliveries.len(), 1);
+    }
+
+    #[test]
+    fn earliest_crash_time_wins() {
+        let g = path(2);
+        let mut sim = Simulation::new(&g, no_jitter(), 0);
+        sim.crash_at(NodeId(1), 500)
+            .crash_at(NodeId(1), 50)
+            .crash_at(NodeId(1), 700);
+        let procs: Vec<Box<dyn Process>> = vec![
+            Box::new(Pinger { is_origin: true }),
+            Box::new(Pinger { is_origin: false }),
+        ];
+        let report = sim.run(procs, 1_000_000);
+        assert!(report.deliveries.is_empty());
+    }
+
+    #[test]
+    fn max_time_cuts_the_run() {
+        let g = path(2);
+        let mut sim = Simulation::new(&g, no_jitter(), 0);
+        let procs: Vec<Box<dyn Process>> = vec![
+            Box::new(Pinger { is_origin: true }),
+            Box::new(Pinger { is_origin: false }),
+        ];
+        let report = sim.run(procs, 10);
+        assert!(
+            report.deliveries.is_empty(),
+            "latency 100 exceeds max_time 10"
+        );
+    }
+
+    #[test]
+    fn jitter_is_seed_deterministic() {
+        let g = path(3);
+        let model = LinkModel {
+            base_latency_us: 100,
+            jitter_us: 50,
+        };
+        let run = |seed| {
+            let mut sim = Simulation::new(&g, model, seed);
+            let procs: Vec<Box<dyn Process>> = vec![
+                Box::new(Pinger { is_origin: false }),
+                Box::new(Pinger { is_origin: true }),
+                Box::new(Pinger { is_origin: false }),
+            ];
+            sim.run(procs, 1_000_000)
+        };
+        assert_eq!(run(7), run(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "is not a neighbor")]
+    fn send_to_non_neighbor_is_rejected() {
+        struct Bad;
+        impl Process for Bad {
+            fn on_start(&mut self, ctx: &mut Context<'_>) {
+                ctx.send(NodeId(2), Message::new(0, 0, Bytes::new()));
+            }
+            fn on_message(&mut self, _: NodeId, _: Message, _: &mut Context<'_>) {}
+        }
+        let g = path(3); // 0-1-2: node 0 cannot reach 2 directly
+        let mut sim = Simulation::new(&g, no_jitter(), 0);
+        let procs: Vec<Box<dyn Process>> = vec![
+            Box::new(Bad),
+            Box::new(Pinger { is_origin: false }),
+            Box::new(Pinger { is_origin: false }),
+        ];
+        let _ = sim.run(procs, 1_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "one process per node")]
+    fn process_count_mismatch_is_rejected() {
+        let g = path(2);
+        let mut sim = Simulation::new(&g, no_jitter(), 0);
+        let _ = sim.run(vec![], 1_000);
+    }
+}

@@ -1,0 +1,190 @@
+//! Thread-per-process runner: the same flooding protocol executed on real
+//! OS threads with crossbeam channels as links.
+//!
+//! The discrete-event simulator ([`crate::sim`]) is the measurement tool;
+//! this runner demonstrates that the protocol logic is concurrency-safe
+//! outside the simulator: n threads, one unbounded channel per process,
+//! fan-out on first receipt, termination by idle timeout.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+
+use lhg_graph::{Graph, NodeId};
+
+use crate::message::Message;
+
+/// Outcome of a threaded broadcast run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ThreadedReport {
+    /// Whether each node delivered the broadcast.
+    pub delivered: Vec<bool>,
+    /// Total messages sent across all channels.
+    pub messages_sent: u64,
+}
+
+impl ThreadedReport {
+    /// `true` if every node delivered.
+    #[must_use]
+    pub fn all_delivered(&self) -> bool {
+        self.delivered.iter().all(|&d| d)
+    }
+
+    /// Number of nodes that delivered.
+    #[must_use]
+    pub fn delivered_count(&self) -> usize {
+        self.delivered.iter().filter(|&&d| d).count()
+    }
+}
+
+/// Runs one flooding broadcast from `origin` over `graph`, with one OS
+/// thread per node. `idle_timeout` is how long a process waits for traffic
+/// before concluding the flood has quiesced.
+///
+/// `crashed` nodes never start; their channels silently swallow messages —
+/// the fail-stop model.
+///
+/// # Panics
+///
+/// Panics if `origin` is out of bounds or listed in `crashed`.
+#[must_use]
+pub fn run_threaded_broadcast(
+    graph: &Graph,
+    origin: NodeId,
+    payload: Bytes,
+    crashed: &[NodeId],
+    idle_timeout: Duration,
+) -> ThreadedReport {
+    let n = graph.node_count();
+    assert!(origin.index() < n, "origin {origin} out of bounds");
+    assert!(!crashed.contains(&origin), "origin must not be crashed");
+
+    let mut senders: Vec<Sender<(usize, Message)>> = Vec::with_capacity(n);
+    let mut receivers: Vec<Option<Receiver<(usize, Message)>>> = Vec::with_capacity(n);
+    for _ in 0..n {
+        let (tx, rx) = unbounded();
+        senders.push(tx);
+        receivers.push(Some(rx));
+    }
+
+    let delivered: Arc<Mutex<Vec<bool>>> = Arc::new(Mutex::new(vec![false; n]));
+    let messages_sent = Arc::new(AtomicU64::new(0));
+    let is_crashed: Vec<bool> = {
+        let mut v = vec![false; n];
+        for &c in crashed {
+            v[c.index()] = true;
+        }
+        v
+    };
+
+    let mut handles = Vec::new();
+    for v in 0..n {
+        if is_crashed[v] {
+            continue; // fail-stop: never runs; its channel absorbs sends
+        }
+        let rx = receivers[v].take().expect("receiver present");
+        let neighbor_txs: Vec<(usize, Sender<(usize, Message)>)> = graph
+            .neighbors(NodeId(v))
+            .map(|w| (w.index(), senders[w.index()].clone()))
+            .collect();
+        let delivered = Arc::clone(&delivered);
+        let messages_sent = Arc::clone(&messages_sent);
+        let start_payload =
+            (v == origin.index()).then(|| Message::new(1, v as u32, payload.clone()));
+        handles.push(std::thread::spawn(move || {
+            let mut seen = std::collections::HashSet::new();
+            if let Some(msg) = start_payload {
+                seen.insert(msg.broadcast_id);
+                delivered.lock()[v] = true;
+                for (_, tx) in &neighbor_txs {
+                    messages_sent.fetch_add(1, Ordering::Relaxed);
+                    let _ = tx.send((v, msg.clone()));
+                }
+            }
+            while let Ok((from, msg)) = rx.recv_timeout(idle_timeout) {
+                if !seen.insert(msg.broadcast_id) {
+                    continue;
+                }
+                delivered.lock()[v] = true;
+                let fwd = msg.forwarded();
+                for (w, tx) in &neighbor_txs {
+                    if *w != from {
+                        messages_sent.fetch_add(1, Ordering::Relaxed);
+                        let _ = tx.send((v, fwd.clone()));
+                    }
+                }
+            }
+        }));
+    }
+    // Drop our copies so channels close once threads exit.
+    drop(senders);
+    for h in handles {
+        h.join().expect("worker thread panicked");
+    }
+
+    let delivered = Arc::try_unwrap(delivered)
+        .expect("all threads joined")
+        .into_inner();
+    ThreadedReport {
+        delivered,
+        messages_sent: messages_sent.load(Ordering::Relaxed),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cycle(n: usize) -> Graph {
+        let mut g = Graph::with_nodes(n);
+        for i in 0..n {
+            g.add_edge(NodeId(i), NodeId((i + 1) % n));
+        }
+        g
+    }
+
+    fn timeout() -> Duration {
+        Duration::from_millis(200)
+    }
+
+    #[test]
+    fn threaded_flood_covers_cycle() {
+        let g = cycle(8);
+        let r = run_threaded_broadcast(&g, NodeId(0), Bytes::from_static(b"hi"), &[], timeout());
+        assert!(r.all_delivered());
+        assert!(r.messages_sent >= 8, "at least one traversal of the cycle");
+    }
+
+    #[test]
+    fn threaded_flood_tolerates_one_crash() {
+        let g = cycle(8);
+        let r = run_threaded_broadcast(&g, NodeId(0), Bytes::new(), &[NodeId(4)], timeout());
+        assert_eq!(r.delivered_count(), 7, "all correct nodes deliver");
+        assert!(!r.delivered[4]);
+    }
+
+    #[test]
+    fn threaded_flood_splits_under_two_crashes() {
+        let g = cycle(8);
+        let r = run_threaded_broadcast(
+            &g,
+            NodeId(0),
+            Bytes::new(),
+            &[NodeId(2), NodeId(6)],
+            timeout(),
+        );
+        assert!(!r.all_delivered());
+        assert_eq!(r.delivered_count(), 3, "only 7,0,1 reachable");
+    }
+
+    #[test]
+    #[should_panic(expected = "origin must not be crashed")]
+    fn crashed_origin_rejected() {
+        let g = cycle(4);
+        let _ = run_threaded_broadcast(&g, NodeId(0), Bytes::new(), &[NodeId(0)], timeout());
+    }
+}

@@ -1,0 +1,52 @@
+//! Robustness tests for the wire codec: decoding must never panic and the
+//! encode/decode pair must round-trip arbitrary payloads.
+
+use bytes::Bytes;
+use proptest::prelude::*;
+
+use lhg_net::fifo::{fifo_id, fifo_parts};
+use lhg_net::message::Message;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn decode_never_panics_on_arbitrary_bytes(raw in proptest::collection::vec(any::<u8>(), 0..128)) {
+        // Success or failure are both fine; panics are not.
+        let _ = Message::decode(Bytes::from(raw));
+    }
+
+    #[test]
+    fn encode_decode_round_trips(
+        id in any::<u64>(),
+        origin in any::<u32>(),
+        hops in any::<u32>(),
+        payload in proptest::collection::vec(any::<u8>(), 0..256),
+    ) {
+        let msg = Message {
+            broadcast_id: id,
+            origin,
+            hops,
+            payload: Bytes::from(payload),
+        };
+        let decoded = Message::decode(msg.encode()).expect("own encoding decodes");
+        prop_assert_eq!(decoded, msg);
+    }
+
+    #[test]
+    fn truncated_encodings_are_rejected(
+        payload in proptest::collection::vec(any::<u8>(), 0..64),
+        cut in 1usize..16,
+    ) {
+        let msg = Message::new(7, 3, Bytes::from(payload));
+        let enc = msg.encode();
+        let cut = cut.min(enc.len());
+        let truncated = enc.slice(0..enc.len() - cut);
+        prop_assert_eq!(Message::decode(truncated), None);
+    }
+
+    #[test]
+    fn fifo_id_round_trips(origin in any::<u32>(), seq in any::<u32>()) {
+        prop_assert_eq!(fifo_parts(fifo_id(origin, seq)), (origin, seq));
+    }
+}

@@ -1,0 +1,60 @@
+//! Dynamic membership: an LHG overlay absorbing joins and leaves while a
+//! broadcast keeps working after every change.
+//!
+//! Run with: `cargo run --example churn_overlay`
+
+use lhg::core::overlay::DynamicOverlay;
+use lhg::core::Constraint;
+use lhg::flood::engine::Protocol;
+use lhg::flood::experiment::{run_trials, FailureMode};
+use lhg::graph::connectivity::vertex_connectivity;
+use lhg::graph::paths::diameter;
+
+fn main() -> Result<(), lhg::core::LhgError> {
+    let k = 3;
+    let mut overlay = DynamicOverlay::bootstrap(Constraint::KDiamond, 20, k)?;
+    println!("== K-DIAMOND overlay under churn (k={k}) ==\n");
+    println!(
+        "{:<26} {:>5} {:>7} {:>9} {:>7} {:>12}",
+        "event", "n", "edges", "diameter", "κ", "links moved"
+    );
+
+    let report = |label: &str, o: &DynamicOverlay, churn: usize| {
+        println!(
+            "{label:<26} {:>5} {:>7} {:>9} {:>7} {:>12}",
+            o.len(),
+            o.graph().edge_count(),
+            diameter(o.graph()).expect("connected"),
+            vertex_connectivity(o.graph()),
+            churn,
+        );
+    };
+    report("bootstrap", &overlay, 0);
+
+    for _ in 0..4 {
+        let (id, churn) = overlay.join()?;
+        report(&format!("join (member {id})"), &overlay, churn.total());
+    }
+    for victim in [3, 11, 17] {
+        let churn = overlay.leave(victim)?;
+        report(&format!("leave (member {victim})"), &overlay, churn.total());
+    }
+
+    // The overlay still floods reliably with k-1 crashes after all that.
+    let stats = run_trials(
+        overlay.graph(),
+        Protocol::Flood,
+        FailureMode::RandomNodes { count: k - 1 },
+        30,
+        5,
+    );
+    println!(
+        "\nafter churn: flooding reliability with {} random crashes = {:.3} \
+         (mean {:.1} rounds)",
+        k - 1,
+        stats.reliability,
+        stats.mean_rounds
+    );
+    assert_eq!(stats.reliability, 1.0);
+    Ok(())
+}

@@ -1,0 +1,31 @@
+//! Regenerates the papers' example figures as Graphviz DOT.
+//!
+//! Fig. 2 (K-TREE): (6,3), (9,3), (10,3). Fig. 3 (K-DIAMOND): (7,3), (8,3),
+//! (13,3), (14,3). Pipe any block into `dot -Tpng` to render.
+//!
+//! Run with: `cargo run --example export_dot`
+
+use lhg::core::kdiamond::build_kdiamond;
+use lhg::core::ktree::build_ktree;
+use lhg::core::LhgGraph;
+use lhg::graph::io::to_dot;
+
+fn show(label: &str, lhg: &LhgGraph) {
+    println!("// {label}: {lhg}");
+    print!("{}", to_dot(lhg.graph(), label));
+    println!();
+}
+
+fn main() -> Result<(), lhg::core::LhgError> {
+    println!("// Figure 2 — graphs satisfying K-TREE");
+    show("fig2a (6,3)", &build_ktree(6, 3)?);
+    show("fig2b (9,3)", &build_ktree(9, 3)?);
+    show("fig2c (10,3)", &build_ktree(10, 3)?);
+
+    println!("// Figure 3 — graphs satisfying K-DIAMOND");
+    show("fig3a (7,3)", &build_kdiamond(7, 3)?);
+    show("fig3b (8,3)", &build_kdiamond(8, 3)?);
+    show("fig3c (13,3)", &build_kdiamond(13, 3)?);
+    show("fig3d (14,3)", &build_kdiamond(14, 3)?);
+    Ok(())
+}

@@ -1,0 +1,35 @@
+//! Menger witnesses: the k disjoint paths behind the k-connectivity claim,
+//! extracted explicitly (the constructive content of the correctness proof).
+//!
+//! Run with: `cargo run --example menger_witness`
+
+use lhg::core::kdiamond::build_kdiamond;
+use lhg::core::witness::{menger_witness, verify_menger};
+use lhg::graph::NodeId;
+
+fn main() -> Result<(), lhg::core::LhgError> {
+    let (n, k) = (20, 3);
+    let lhg = build_kdiamond(n, k)?;
+    println!("== Menger witnesses on a K-DIAMOND ({n},{k}) overlay ==\n");
+
+    // Show the actual disjoint paths for one pair.
+    let (s, t) = (NodeId(0), NodeId(n - 1));
+    let w = menger_witness(&lhg, s, t);
+    println!(
+        "between {s} and {t}: {} internally vertex-disjoint paths",
+        w.width()
+    );
+    for (i, path) in w.paths.iter().enumerate() {
+        let rendered: Vec<String> = path.iter().map(ToString::to_string).collect();
+        println!("  path {}: {}", i + 1, rendered.join(" -> "));
+    }
+
+    // Verify the lemma over every pair.
+    let summary = verify_menger(&lhg, 1);
+    println!(
+        "\nall {} pairs verified: minimum witness width {} (= k), longest path {} hops",
+        summary.pairs, summary.min_width, summary.max_hops
+    );
+    assert!(summary.min_width >= k);
+    Ok(())
+}

@@ -1,0 +1,51 @@
+//! Quickstart: build an LHG, validate every defining property, and compare
+//! it against the classic Harary graph on the same (n, k).
+//!
+//! Run with: `cargo run --example quickstart`
+
+use lhg::baselines::harary::harary_graph;
+use lhg::core::kdiamond::build_kdiamond;
+use lhg::core::ktree::build_ktree;
+use lhg::core::properties::validate;
+use lhg::graph::paths::diameter;
+
+fn main() -> Result<(), lhg::core::LhgError> {
+    let (n, k) = (62, 4);
+
+    println!("== Logarithmic Harary Graphs: quickstart (n={n}, k={k}) ==\n");
+
+    for (name, lhg) in [
+        ("K-TREE", build_ktree(n, k)?),
+        ("K-DIAMOND", build_kdiamond(n, k)?),
+    ] {
+        let report = validate(lhg.graph(), k);
+        println!("{name} construction: {lhg}");
+        println!("  P1 k-node connectivity : {}", report.node_connectivity_ok);
+        println!("  P2 k-link connectivity : {}", report.link_connectivity_ok);
+        println!("  P3 link minimality     : {}", report.link_minimal);
+        println!(
+            "  P4 log diameter        : {} (diameter {:?} <= bound {:.1})",
+            report.logarithmic_diameter, report.diameter, report.diameter_bound
+        );
+        println!(
+            "  P5 k-regularity        : {} ({} edges, lower bound {})",
+            report.regular, report.edge_count, report.edge_lower_bound
+        );
+        println!("  => is an LHG: {}\n", report.is_lhg());
+    }
+
+    // The motivating contrast: same n, k as a classic Harary graph.
+    let h = harary_graph(n, k);
+    println!(
+        "Classic Harary H({k},{n}): {} edges, diameter {:?} (linear in n)",
+        h.edge_count(),
+        diameter(&h)
+    );
+    let lhg = build_kdiamond(n, k)?;
+    println!(
+        "K-DIAMOND LHG ({n},{k}) : {} edges, diameter {:?} (logarithmic in n)",
+        lhg.graph().edge_count(),
+        diameter(lhg.graph())
+    );
+    Ok(())
+}

@@ -1,0 +1,70 @@
+//! Topology census: the existence (EX) and regularity (REG) landscape.
+//!
+//! Prints, for k = 3, which n admit each construction and which admit a
+//! k-regular one — the core claims of the existence/regularity study — and
+//! the (n, k) pairs where the JD operational rule has gaps that K-TREE
+//! fills.
+//!
+//! Run with: `cargo run --example topology_census`
+
+use lhg::core::existence::{ex_jd, ex_ktree};
+use lhg::core::regularity::{reg_kdiamond, reg_ktree, theorem7_witnesses};
+use lhg::core::theory::run_all;
+
+fn cell(b: bool) -> &'static str {
+    if b {
+        "x"
+    } else {
+        "."
+    }
+}
+
+fn main() {
+    let k = 3;
+    let ns: Vec<usize> = (4..=30).collect();
+
+    println!("== Existence & regularity census (k={k}) ==\n");
+    println!(
+        "{:<22} {}",
+        "n =",
+        ns.iter().map(|n| format!("{n:>3}")).collect::<String>()
+    );
+    let row = |label: &str, f: &dyn Fn(usize) -> bool| {
+        println!(
+            "{label:<22} {}",
+            ns.iter()
+                .map(|&n| format!("{:>3}", cell(f(n))))
+                .collect::<String>()
+        );
+    };
+    row("EX JD", &|n| ex_jd(n, k));
+    row("EX K-TREE/K-DIAMOND", &|n| ex_ktree(n, k));
+    row("REG K-TREE", &|n| reg_ktree(n, k));
+    row("REG K-DIAMOND", &|n| reg_kdiamond(n, k));
+
+    println!("\nJD gaps filled by K-TREE (first ten):");
+    let gaps: Vec<usize> = (4..200)
+        .filter(|&n| ex_ktree(n, k) && !ex_jd(n, k))
+        .take(10)
+        .collect();
+    println!("  n = {gaps:?}");
+
+    println!("\nTheorem 7 witnesses (k-regular under K-DIAMOND only):");
+    for k in 3..=5 {
+        let w: Vec<usize> = theorem7_witnesses(k, 5)
+            .into_iter()
+            .map(|(n, _)| n)
+            .collect();
+        println!("  k={k}: n = {w:?}");
+    }
+
+    println!("\nExecutable theorem suite (k in {{3,4}}, spans of 12):");
+    for check in run_all(&[3, 4], 12) {
+        println!(
+            "  {:<45} {} ({} cases)",
+            check.name,
+            if check.holds() { "HOLDS" } else { "FAILS" },
+            check.cases
+        );
+    }
+}

@@ -1,0 +1,99 @@
+//! Cross-family consistency: for every topology family in the workspace,
+//! flooding reliability under f random crashes is exactly predicted by the
+//! family's vertex connectivity — the theory and the simulator agree
+//! everywhere, not just on LHGs.
+
+use lhg::baselines::catalog::ALL_FAMILIES;
+use lhg::baselines::expander::hamiltonian_expander;
+use lhg::baselines::structured::{balanced_tree, butterfly, torus};
+use lhg::core::kdiamond::build_kdiamond;
+use lhg::core::ktree::build_ktree;
+use lhg::flood::engine::Protocol;
+use lhg::flood::experiment::{run_trials, FailureMode};
+use lhg::graph::connectivity::vertex_connectivity;
+use lhg::graph::Graph;
+
+/// Flooding with fewer crashes than κ must always cover; with enough trials
+/// at κ crashes on these small graphs, some split shows up.
+fn assert_reliability_tracks_connectivity(name: &str, g: &Graph) {
+    let kappa = vertex_connectivity(g);
+    assert!(kappa >= 1, "{name}: disconnected");
+    if kappa >= 2 {
+        let below = run_trials(
+            g,
+            Protocol::Flood,
+            FailureMode::RandomNodes { count: kappa - 1 },
+            30,
+            7,
+        );
+        assert_eq!(
+            below.reliability, 1.0,
+            "{name}: κ−1 crashes must be tolerated"
+        );
+    }
+    // Adversarial full-cut failures must break coverage — provided the
+    // whole cut is applicable (the plan never crashes the flood origin, so
+    // a cut containing node 0 cannot be applied in full).
+    let full_cut_applicable =
+        lhg::flood::failure::adversarial_node_failures(g, kappa, lhg::graph::NodeId(0))
+            .is_some_and(|plan| plan.crashed_count() == kappa);
+    if full_cut_applicable {
+        let at = run_trials(
+            g,
+            Protocol::Flood,
+            FailureMode::AdversarialNodes { count: kappa },
+            3,
+            7,
+        );
+        assert!(
+            at.reliability < 1.0,
+            "{name}: removing a full minimum cut must split (κ={kappa})"
+        );
+    }
+}
+
+#[test]
+fn all_catalog_families_track_their_connectivity() {
+    for family in ALL_FAMILIES {
+        for (n, k) in [(16usize, 3usize), (16, 4), (27, 3)] {
+            if let Some(g) = (family.build)(n, k) {
+                assert_reliability_tracks_connectivity(family.name, &g);
+            }
+        }
+    }
+}
+
+#[test]
+fn structured_topologies_track_their_connectivity() {
+    let cases: Vec<(&str, Graph)> = vec![
+        ("torus 4x5", torus(4, 5)),
+        ("butterfly d=3", butterfly(3)),
+        ("expander n=30 d=2", hamiltonian_expander(30, 2, 3)),
+        ("K-TREE (18,3)", build_ktree(18, 3).unwrap().into_graph()),
+        (
+            "K-DIAMOND (17,3)",
+            build_kdiamond(17, 3).unwrap().into_graph(),
+        ),
+        (
+            "K-DIAMOND (20,4)",
+            build_kdiamond(20, 4).unwrap().into_graph(),
+        ),
+    ];
+    for (name, g) in &cases {
+        assert_reliability_tracks_connectivity(name, g);
+    }
+}
+
+#[test]
+fn trees_fail_at_a_single_crash() {
+    let g = balanced_tree(20, 2);
+    let stats = run_trials(
+        &g,
+        Protocol::Flood,
+        FailureMode::RandomNodes { count: 1 },
+        60,
+        3,
+    );
+    assert!(stats.reliability < 1.0, "some crash hits an interior node");
+    assert!(stats.reliability > 0.0, "some crash hits a leaf");
+}

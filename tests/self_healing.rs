@@ -1,0 +1,113 @@
+//! Capstone integration: a self-healing LHG overlay.
+//!
+//! Detection → repair → verified recovery, across four crates: the
+//! heartbeat detector (`lhg-net`) notices a crashed process on a K-DIAMOND
+//! overlay, its identification feeds the membership maintenance
+//! (`lhg-core::overlay`), and the rebuilt topology is re-validated
+//! (`lhg-core::properties`) and re-flooded (`lhg-flood`) at full
+//! reliability.
+
+use lhg::core::overlay::DynamicOverlay;
+use lhg::core::properties::validate;
+use lhg::core::Constraint;
+use lhg::flood::engine::Protocol;
+use lhg::flood::experiment::{run_trials, FailureMode};
+use lhg::graph::NodeId;
+use lhg::net::detector::{DetectorEvent, HeartbeatConfig, HeartbeatProcess};
+use lhg::net::sim::{LinkModel, Process, Simulation};
+
+#[test]
+fn detect_repair_reflood() {
+    let k = 3;
+    let mut overlay = DynamicOverlay::bootstrap(Constraint::KDiamond, 24, k).unwrap();
+
+    // --- Detect: run heartbeat detectors; crash the process at node 7. ---
+    let victim_node = NodeId(7);
+    let victim_member = overlay.members()[victim_node.index()];
+    let config = HeartbeatConfig {
+        period: 1_000,
+        timeout: 3_500,
+    };
+    let mut sim = Simulation::new(
+        overlay.graph(),
+        LinkModel {
+            base_latency_us: 500,
+            jitter_us: 100,
+        },
+        11,
+    );
+    sim.crash_at(victim_node, 8_000);
+    let processes: Vec<Box<dyn Process>> = (0..overlay.len())
+        .map(|_| -> Box<dyn Process> { Box::new(HeartbeatProcess::new(config)) })
+        .collect();
+    let report = sim.run(processes, 30_000);
+
+    // Every overlay neighbor of the victim must have suspected it, and
+    // nobody else was suspected.
+    let mut suspected_by = std::collections::BTreeSet::new();
+    for d in &report.deliveries {
+        if let Some(DetectorEvent::Suspect {
+            monitor, suspect, ..
+        }) = DetectorEvent::from_delivery(d)
+        {
+            assert_eq!(
+                suspect, victim_node,
+                "accuracy violated: {suspect} suspected"
+            );
+            suspected_by.insert(monitor);
+        }
+    }
+    let neighbors: std::collections::BTreeSet<NodeId> =
+        overlay.graph().neighbors(victim_node).collect();
+    assert_eq!(
+        suspected_by, neighbors,
+        "completeness: all neighbors detect"
+    );
+
+    // --- Repair: evict the suspected member and rebuild. ---
+    let churn = overlay.leave(victim_member).unwrap();
+    assert!(churn.total() > 0);
+    assert_eq!(overlay.len(), 23);
+    assert!(!overlay.members().contains(&victim_member));
+
+    // --- Verify: the rebuilt overlay is a full LHG again... ---
+    let report = validate(overlay.graph(), k);
+    assert!(report.is_lhg(), "{report:?}");
+
+    // ...and floods at reliability 1.0 under fresh k−1 crashes.
+    let stats = run_trials(
+        overlay.graph(),
+        Protocol::Flood,
+        FailureMode::RandomNodes { count: k - 1 },
+        40,
+        99,
+    );
+    assert_eq!(stats.reliability, 1.0);
+    assert_eq!(stats.mean_coverage, 1.0);
+}
+
+#[test]
+fn flooding_rounds_equal_origin_eccentricity() {
+    // Cross-module consistency: failure-free flooding from node 0 finishes
+    // in exactly ecc(0) rounds on every constraint.
+    use lhg::core::kdiamond::build_kdiamond;
+    use lhg::core::ktree::build_ktree;
+    use lhg::flood::engine::run_broadcast;
+    use lhg::flood::failure::FailurePlan;
+    use lhg::graph::paths::eccentricity;
+    use lhg::graph::CsrGraph;
+
+    for (n, k) in [(18usize, 3usize), (26, 3), (24, 4)] {
+        for overlay in [build_ktree(n, k).unwrap(), build_kdiamond(n, k).unwrap()] {
+            let ecc = eccentricity(overlay.graph(), NodeId(0)).unwrap();
+            let out = run_broadcast(
+                &CsrGraph::from_graph(overlay.graph()),
+                NodeId(0),
+                &FailurePlan::none(),
+                Protocol::Flood,
+                0,
+            );
+            assert_eq!(out.last_informed_round(), ecc, "(n={n},k={k})");
+        }
+    }
+}
