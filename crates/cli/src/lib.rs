@@ -8,6 +8,7 @@
 //! lhg plan      --n N --f F                   # topology recommendation
 //! lhg flood     --n N --k K [--failures F] [--trials T] [--constraint C]
 //! lhg census    --k K [--max-n N]             # EX/REG table
+//! lhg cluster   --nodes N --k K [--kill F]    # real-socket self-healing run
 //! ```
 //!
 //! All logic lives in [`run`], which writes to any `io::Write` — the tests
@@ -28,6 +29,7 @@ use lhg_core::ktree::build_ktree;
 use lhg_core::planner::plan;
 use lhg_core::properties::validate;
 use lhg_core::regularity::{reg_kdiamond, reg_ktree};
+use lhg_core::Constraint;
 use lhg_flood::engine::Protocol;
 use lhg_flood::experiment::{run_trials, FailureMode};
 use lhg_graph::io::{from_edge_list, to_dot, to_edge_list};
@@ -65,7 +67,9 @@ impl Options {
         let mut flags = BTreeMap::new();
         let mut it = args.iter();
         while let Some(arg) = it.next() {
-            let Some(key) = arg.strip_prefix("--") else {
+            // `--key value` canonically; a single-dash short form (`-k 3`)
+            // is accepted as the same key.
+            let Some(key) = arg.strip_prefix("--").or_else(|| arg.strip_prefix('-')) else {
                 return Err(err(format!("unexpected positional argument {arg:?}")));
             };
             let value = it
@@ -133,6 +137,7 @@ USAGE:
   lhg plan     --n N --f F
   lhg flood    --n N --k K [--failures F] [--trials T] [--constraint C] [--seed S]
   lhg census   --k K [--max-n N]
+  lhg cluster  --nodes N --k K [--kill F] [--constraint ktree|kdiamond|jd] [--metrics full|summary|off]
   lhg help
 ";
 
@@ -278,8 +283,178 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
             }
             Ok(())
         }
+        "cluster" => {
+            let opts = Options::parse(rest)?;
+            let n: usize = opts.required("nodes")?;
+            let k: usize = opts.required("k")?;
+            let kill: usize = opts.optional("kill", 0)?;
+            // kdiamond by default (like generate/flood): it exists at every
+            // n ≥ 2k, so healing never lands on a non-constructible size —
+            // JD sizes have gaps.
+            let constraint = match opts.string("constraint", "kdiamond").as_str() {
+                "jd" => Constraint::Jd,
+                "ktree" => Constraint::KTree,
+                "kdiamond" => Constraint::KDiamond,
+                other => {
+                    return Err(err(format!(
+                        "unknown constraint {other:?} (expected ktree, kdiamond or jd)"
+                    )))
+                }
+            };
+            if k >= 2 && kill >= k {
+                return Err(err(format!(
+                    "--kill {kill} violates the fail-stop model: an LHG at k={k} \
+                     tolerates at most k-1 = {} crashes",
+                    k - 1
+                )));
+            }
+            if n < 2 * k + kill {
+                return Err(err(format!(
+                    "--nodes {n} too small: healing after {kill} crashes needs \
+                     n - {kill} ≥ 2k = {}",
+                    2 * k
+                )));
+            }
+            let metrics_mode = opts.string("metrics", "full");
+            run_cluster(n, k, kill, constraint, &metrics_mode, out)
+        }
         other => Err(err(format!("unknown command {other:?}\n{USAGE}"))),
     }
+}
+
+/// Drives one `lhg cluster` run: boot a real-socket cluster, broadcast,
+/// fail-stop `kill` nodes, await detection + self-healing, verify the healed
+/// topology, broadcast again, and dump metrics.
+fn run_cluster(
+    n: usize,
+    k: usize,
+    kill: usize,
+    constraint: Constraint,
+    metrics_mode: &str,
+    out: &mut dyn Write,
+) -> Result<(), CliError> {
+    use std::time::Duration;
+
+    use lhg_graph::connectivity::is_k_vertex_connected;
+    use lhg_runtime::{Cluster, RuntimeConfig};
+
+    if !matches!(metrics_mode, "full" | "summary" | "off") {
+        return Err(err(format!(
+            "unknown metrics mode {metrics_mode:?} (expected full, summary or off)"
+        )));
+    }
+    let io_err = |e: std::io::Error| err(format!("write failed: {e}"));
+    let delivery_window = Duration::from_secs(15);
+    let heal_window = Duration::from_secs(30);
+
+    writeln!(
+        out,
+        "launching {n}-node {constraint} cluster at k={k} on loopback TCP"
+    )
+    .map_err(io_err)?;
+    let mut c = Cluster::launch(constraint, n, k, RuntimeConfig::default())
+        .map_err(|e| err(format!("launch failed: {e}")))?;
+    writeln!(out, "mesh up: every overlay link has a live TCP connection").map_err(io_err)?;
+
+    let id = c
+        .broadcast(0, bytes::Bytes::from_static(b"cluster payload #1"))
+        .map_err(|e| err(e.to_string()))?;
+    if !c.await_delivery(id, delivery_window) {
+        return Err(err("initial broadcast was not delivered everywhere"));
+    }
+    writeln!(out, "broadcast {id:#x}: delivered by all {n} nodes").map_err(io_err)?;
+
+    // Fail-stop the highest member ids (never 0, the broadcast origin).
+    let victims: Vec<_> = c.members().into_iter().rev().take(kill).collect();
+    for &v in &victims {
+        c.kill(v).map_err(|e| err(e.to_string()))?;
+        writeln!(out, "killed node {v} (fail-stop, no goodbye)").map_err(io_err)?;
+    }
+
+    if kill > 0 {
+        if !c.await_heal(heal_window) {
+            return Err(err(
+                "survivors did not converge on a healed overlay in time",
+            ));
+        }
+        let survivors = c.survivors();
+        let all_flagged = survivors.iter().all(|&s| {
+            let applied = c.node(s).map(|h| h.crashes_applied()).unwrap_or_default();
+            victims.iter().all(|v| applied.contains(v))
+        });
+        if !all_flagged {
+            return Err(err("failure detector missed a crash on some survivor"));
+        }
+        writeln!(
+            out,
+            "failure detector: all {} survivors flagged crashed nodes {victims:?}",
+            survivors.len()
+        )
+        .map_err(io_err)?;
+        if !c.overlays_agree() {
+            return Err(err("survivor overlay replicas diverged"));
+        }
+        let g = c
+            .survivor_graph()
+            .ok_or_else(|| err("no survivors left to inspect"))?;
+        if !is_k_vertex_connected(&g, k) {
+            return Err(err(format!(
+                "healed overlay is NOT {k}-node-connected (n={})",
+                g.node_count()
+            )));
+        }
+        writeln!(
+            out,
+            "healed overlay: n={}, agreed by all survivors, {k}-node-connected: true",
+            g.node_count()
+        )
+        .map_err(io_err)?;
+
+        let id2 = c
+            .broadcast(0, bytes::Bytes::from_static(b"cluster payload #2"))
+            .map_err(|e| err(e.to_string()))?;
+        if !c.await_delivery(id2, delivery_window) {
+            return Err(err(
+                "post-heal broadcast was not delivered to every survivor",
+            ));
+        }
+        writeln!(
+            out,
+            "broadcast {id2:#x}: delivered by all {} survivors",
+            survivors.len()
+        )
+        .map_err(io_err)?;
+    }
+
+    match metrics_mode {
+        "off" => {}
+        "full" => writeln!(out, "{}", c.metrics_json()).map_err(io_err)?,
+        _ => {
+            let lat = c
+                .metrics()
+                .histogram("runtime.delivery_latency_us")
+                .summary();
+            let rec = c.metrics().histogram("runtime.reconnect_time_us").summary();
+            writeln!(
+                out,
+                "metrics: deliveries={} messages={} bytes={} suspects={} heals={} \
+                 dials={} | delivery latency µs p50≈{} p99≈{} | reconnect µs p50≈{} max≈{}",
+                c.metrics().counter("runtime.deliveries").get(),
+                c.metrics().counter("runtime.messages_sent").get(),
+                c.metrics().counter("runtime.bytes_sent").get(),
+                c.metrics().counter("runtime.suspects").get(),
+                c.metrics().counter("runtime.heals").get(),
+                c.metrics().counter("runtime.dials").get(),
+                lat.p50,
+                lat.p99,
+                rec.p50,
+                rec.max
+            )
+            .map_err(io_err)?;
+        }
+    }
+    c.shutdown();
+    Ok(())
 }
 
 #[cfg(test)]
@@ -412,6 +587,35 @@ mod tests {
         let out = run_to_string(&["census", "--k", "3", "--max-n", "12"]).unwrap();
         assert!(out.lines().count() >= 9);
         assert!(out.contains("REG(K-DIAMOND)"));
+    }
+
+    #[test]
+    fn cluster_runs_end_to_end_with_one_crash() {
+        let out = run_to_string(&[
+            "cluster",
+            "--nodes",
+            "7",
+            "-k",
+            "2",
+            "--kill",
+            "1",
+            "--metrics",
+            "summary",
+        ])
+        .unwrap();
+        assert!(out.contains("delivered by all 7 nodes"), "{out}");
+        assert!(out.contains("killed node 6"), "{out}");
+        assert!(out.contains("2-node-connected: true"), "{out}");
+        assert!(out.contains("delivered by all 6 survivors"), "{out}");
+        assert!(out.contains("metrics:"), "{out}");
+    }
+
+    #[test]
+    fn cluster_rejects_model_violations() {
+        let e = run_to_string(&["cluster", "--nodes", "8", "-k", "2", "--kill", "2"]).unwrap_err();
+        assert!(e.message.contains("fail-stop model"), "{e}");
+        let e = run_to_string(&["cluster", "--nodes", "5", "-k", "3"]).unwrap_err();
+        assert!(e.message.contains("too small"), "{e}");
     }
 
     #[test]

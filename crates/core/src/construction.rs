@@ -10,7 +10,6 @@ use crate::template::TemplateTree;
 
 /// Which graph constraint a built LHG satisfies.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Constraint {
     /// The Jenkins–Demers operational rule (the target paper's construction).
     Jd,
@@ -37,6 +36,34 @@ impl Constraint {
 impl fmt::Display for Constraint {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(self.name())
+    }
+}
+
+// Externally tagged: unit variants serialize as their names.
+#[cfg(feature = "serde")]
+impl serde::Serialize for Constraint {
+    fn to_value(&self) -> serde::Value {
+        let name = match self {
+            Constraint::Jd => "Jd",
+            Constraint::KTree => "KTree",
+            Constraint::KDiamond => "KDiamond",
+        };
+        serde::Value::Str(name.to_owned())
+    }
+}
+
+#[cfg(feature = "serde")]
+impl serde::Deserialize for Constraint {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        match value.as_str() {
+            Some("Jd") => Ok(Constraint::Jd),
+            Some("KTree") => Ok(Constraint::KTree),
+            Some("KDiamond") => Ok(Constraint::KDiamond),
+            Some(other) => Err(serde::Error::new(format!(
+                "unknown Constraint variant `{other}`"
+            ))),
+            None => Err(serde::Error::expected("Constraint variant", value)),
+        }
     }
 }
 

@@ -16,7 +16,6 @@ use crate::template::{TemplateTree, TplId, TplKind};
 
 /// The role a graph vertex plays in the pasted-trees structure.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum NodeRole {
     /// Copy `copy` of a branch template node (`tpl == 0` is the root).
     Branch {
@@ -57,6 +56,69 @@ impl NodeRole {
             | NodeRole::SharedLeaf { tpl, .. }
             | NodeRole::UnsharedMember { tpl, .. } => tpl,
         }
+    }
+}
+
+// Externally tagged: every variant has fields, so each serializes as a
+// single-key object wrapping a field map.
+#[cfg(feature = "serde")]
+impl serde::Serialize for NodeRole {
+    fn to_value(&self) -> serde::Value {
+        let (tag, fields) = match *self {
+            NodeRole::Branch { tpl, copy } => (
+                "Branch",
+                vec![
+                    ("tpl".to_owned(), serde::Value::U64(tpl as u64)),
+                    ("copy".to_owned(), serde::Value::U64(copy as u64)),
+                ],
+            ),
+            NodeRole::SharedLeaf { tpl, added } => (
+                "SharedLeaf",
+                vec![
+                    ("tpl".to_owned(), serde::Value::U64(tpl as u64)),
+                    ("added".to_owned(), serde::Value::Bool(added)),
+                ],
+            ),
+            NodeRole::UnsharedMember { tpl, member } => (
+                "UnsharedMember",
+                vec![
+                    ("tpl".to_owned(), serde::Value::U64(tpl as u64)),
+                    ("member".to_owned(), serde::Value::U64(member as u64)),
+                ],
+            ),
+        };
+        serde::Value::Obj(vec![(tag.to_owned(), serde::Value::Obj(fields))])
+    }
+}
+
+#[cfg(feature = "serde")]
+impl serde::Deserialize for NodeRole {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        fn get<T: serde::Deserialize>(body: &serde::Value, name: &str) -> Result<T, serde::Error> {
+            let field = body
+                .field(name)
+                .ok_or_else(|| serde::Error::new(format!("missing field `{name}`")))?;
+            T::from_value(field)
+        }
+        if let Some(body) = value.field("Branch") {
+            return Ok(NodeRole::Branch {
+                tpl: get(body, "tpl")?,
+                copy: get(body, "copy")?,
+            });
+        }
+        if let Some(body) = value.field("SharedLeaf") {
+            return Ok(NodeRole::SharedLeaf {
+                tpl: get(body, "tpl")?,
+                added: get(body, "added")?,
+            });
+        }
+        if let Some(body) = value.field("UnsharedMember") {
+            return Ok(NodeRole::UnsharedMember {
+                tpl: get(body, "tpl")?,
+                member: get(body, "member")?,
+            });
+        }
+        Err(serde::Error::expected("NodeRole variant", value))
     }
 }
 

@@ -35,6 +35,30 @@ impl ChurnReport {
     pub fn total(&self) -> usize {
         self.added.len() + self.removed.len()
     }
+
+    /// Peers `member` must newly connect to.
+    pub fn added_for(&self, member: MemberId) -> impl Iterator<Item = MemberId> + '_ {
+        self.added
+            .iter()
+            .filter_map(move |&(a, b)| pair_other(a, b, member))
+    }
+
+    /// Peers `member` must disconnect from.
+    pub fn removed_for(&self, member: MemberId) -> impl Iterator<Item = MemberId> + '_ {
+        self.removed
+            .iter()
+            .filter_map(move |&(a, b)| pair_other(a, b, member))
+    }
+}
+
+fn pair_other(a: MemberId, b: MemberId, member: MemberId) -> Option<MemberId> {
+    if a == member {
+        Some(b)
+    } else if b == member {
+        Some(a)
+    } else {
+        None
+    }
 }
 
 /// An LHG overlay maintained across membership changes.
@@ -96,6 +120,32 @@ impl DynamicOverlay {
         self.k
     }
 
+    /// `true` if `member` is currently part of the overlay.
+    #[must_use]
+    pub fn contains(&self, member: MemberId) -> bool {
+        self.members.contains(&member)
+    }
+
+    /// The current topology's links as normalized member-id pairs
+    /// (`(min, max)` per undirected link).
+    #[must_use]
+    pub fn links(&self) -> BTreeSet<(MemberId, MemberId)> {
+        self.link_set()
+    }
+
+    /// Overlay neighbors of `member` (by stable id), or `None` if unknown.
+    #[must_use]
+    pub fn neighbors_of(&self, member: MemberId) -> Option<Vec<MemberId>> {
+        let pos = self.members.iter().position(|&m| m == member)?;
+        Some(
+            self.current
+                .graph()
+                .neighbors(lhg_graph::NodeId(pos))
+                .map(|w| self.members[w.index()])
+                .collect(),
+        )
+    }
+
     /// Member-id link set of the current topology.
     fn link_set(&self) -> BTreeSet<(MemberId, MemberId)> {
         self.current
@@ -109,31 +159,33 @@ impl DynamicOverlay {
             .collect()
     }
 
-    /// Rebuilds the topology at the current membership; `before` is the
-    /// link set captured **before** the membership was mutated (the member
-    /// list and the old graph must be read together).
-    fn rebuild(&mut self, before: BTreeSet<(MemberId, MemberId)>) -> Result<ChurnReport, LhgError> {
-        self.current = build(self.constraint, self.members.len(), self.k)?;
+    /// Installs a freshly built topology; `before` is the link set captured
+    /// while members and graph were still consistent. Infallible: all
+    /// fallible work (the build) happens before any mutation, so a failed
+    /// membership change can never leave the replica torn.
+    fn apply(&mut self, next: LhgGraph, before: &BTreeSet<(MemberId, MemberId)>) -> ChurnReport {
+        self.current = next;
         let after = self.link_set();
-        Ok(ChurnReport {
-            added: after.difference(&before).copied().collect(),
+        ChurnReport {
+            added: after.difference(before).copied().collect(),
             removed: before.difference(&after).copied().collect(),
-        })
+        }
     }
 
     /// Admits a new member; returns its id and the link churn.
     ///
     /// # Errors
     ///
-    /// Never fails once bootstrapped (n only grows), but propagates builder
-    /// errors defensively.
+    /// Propagates builder errors — under the JD constraint some sizes do
+    /// not exist (the follow-up constraints K-TREE and K-DIAMOND cover
+    /// every n ≥ 2k). The overlay is untouched on error.
     pub fn join(&mut self) -> Result<(MemberId, ChurnReport), LhgError> {
+        let next = build(self.constraint, self.members.len() + 1, self.k)?;
         let before = self.link_set();
         let id = self.next_id;
         self.next_id += 1;
         self.members.push(id);
-        let churn = self.rebuild(before)?;
-        Ok((id, churn))
+        Ok((id, self.apply(next, &before)))
     }
 
     /// Removes `member`; returns the link churn.
@@ -142,7 +194,8 @@ impl DynamicOverlay {
     ///
     /// [`LhgError::InvalidParams`] if `member` is unknown, or
     /// [`LhgError::NotConstructible`] if the membership would drop below
-    /// the 2k floor.
+    /// the 2k floor or the constraint has no graph at the smaller size.
+    /// The overlay is untouched on error.
     pub fn leave(&mut self, member: MemberId) -> Result<ChurnReport, LhgError> {
         let Some(pos) = self.members.iter().position(|&m| m == member) else {
             return Err(LhgError::InvalidParams {
@@ -158,9 +211,48 @@ impl DynamicOverlay {
                 constraint: self.constraint.name(),
             });
         }
+        let next = build(self.constraint, self.members.len() - 1, self.k)?;
         let before = self.link_set();
         self.members.swap_remove(pos);
-        self.rebuild(before)
+        Ok(self.apply(next, &before))
+    }
+
+    /// Removes several members at once with a **single** rebuild — the
+    /// self-healing path after a failure detector flags a batch of crashed
+    /// processes. Duplicates in `crashed` are ignored.
+    ///
+    /// The membership is untouched when an error is returned.
+    ///
+    /// # Errors
+    ///
+    /// [`LhgError::InvalidParams`] if any id is unknown, or
+    /// [`LhgError::NotConstructible`] if the surviving membership would drop
+    /// below the 2k floor or the constraint has no graph at the surviving
+    /// size (possible under JD, whose sizes have gaps).
+    pub fn crash_many(&mut self, crashed: &[MemberId]) -> Result<ChurnReport, LhgError> {
+        let unique: BTreeSet<MemberId> = crashed.iter().copied().collect();
+        if unique.is_empty() {
+            return Ok(ChurnReport::default());
+        }
+        if unique.iter().any(|&m| !self.contains(m)) {
+            return Err(LhgError::InvalidParams {
+                n: self.members.len(),
+                k: self.k,
+                reason: "unknown member id",
+            });
+        }
+        let survivors = self.members.len() - unique.len();
+        if survivors < 2 * self.k {
+            return Err(LhgError::NotConstructible {
+                n: survivors,
+                k: self.k,
+                constraint: self.constraint.name(),
+            });
+        }
+        let next = build(self.constraint, survivors, self.k)?;
+        let before = self.link_set();
+        self.members.retain(|m| !unique.contains(m));
+        Ok(self.apply(next, &before))
     }
 }
 
@@ -244,6 +336,120 @@ mod tests {
         let _ = o.leave(id).unwrap();
         assert_eq!(o.len(), 12);
         assert_eq!(vertex_connectivity(o.graph()), 3);
+    }
+
+    #[test]
+    fn crash_many_heals_with_one_rebuild() {
+        let mut o = DynamicOverlay::bootstrap(Constraint::KTree, 14, 3).unwrap();
+        let before = o.links();
+        let churn = o.crash_many(&[3, 9]).unwrap();
+        assert_eq!(o.len(), 12);
+        assert!(!o.contains(3) && !o.contains(9));
+        assert_eq!(
+            vertex_connectivity(o.graph()),
+            3,
+            "healed overlay is 3-connected"
+        );
+        // The diff transforms the old link set into the new one.
+        let mut reconstructed = before;
+        for r in &churn.removed {
+            assert!(reconstructed.remove(r), "removed link {r:?} was present");
+        }
+        for a in &churn.added {
+            assert!(reconstructed.insert(*a), "added link {a:?} was absent");
+        }
+        assert_eq!(reconstructed, o.links());
+        // No surviving link may touch a crashed member.
+        assert!(o
+            .links()
+            .iter()
+            .all(|&(a, b)| ![a, b].contains(&3) && ![a, b].contains(&9)));
+    }
+
+    #[test]
+    fn crash_many_handles_duplicates_and_empty() {
+        let mut o = DynamicOverlay::bootstrap(Constraint::KDiamond, 12, 3).unwrap();
+        assert_eq!(o.crash_many(&[]).unwrap(), ChurnReport::default());
+        let _ = o.crash_many(&[4, 4, 4]).unwrap();
+        assert_eq!(o.len(), 11);
+    }
+
+    #[test]
+    fn crash_many_rejects_floor_violation_atomically() {
+        let mut o = DynamicOverlay::bootstrap(Constraint::KTree, 8, 3).unwrap();
+        // 8 - 3 = 5 < 6 = 2k: must refuse and leave membership untouched.
+        assert!(matches!(
+            o.crash_many(&[0, 1, 2]),
+            Err(LhgError::NotConstructible { .. })
+        ));
+        assert_eq!(o.len(), 8);
+        assert!(o.contains(0));
+    }
+
+    #[test]
+    fn failed_rebuild_leaves_overlay_consistent() {
+        // JD has no graph at (n=9, k=3): crashing one member of a 10-node
+        // JD overlay must fail cleanly, leaving members and graph paired.
+        let mut o = DynamicOverlay::bootstrap(Constraint::Jd, 10, 3).unwrap();
+        let links_before = o.links();
+        assert!(matches!(
+            o.crash_many(&[4]),
+            Err(LhgError::NotConstructible { .. })
+        ));
+        assert!(matches!(o.leave(4), Err(LhgError::NotConstructible { .. })));
+        assert_eq!(o.len(), 10, "membership untouched");
+        assert_eq!(o.links(), links_before, "topology untouched");
+        assert_eq!(
+            o.neighbors_of(9).map(|v| v.len() >= 3),
+            Some(true),
+            "replica still internally consistent"
+        );
+        // The K-TREE/K-DIAMOND constraints have no such gaps: same crash
+        // heals fine there.
+        let mut o = DynamicOverlay::bootstrap(Constraint::KDiamond, 10, 3).unwrap();
+        assert!(o.crash_many(&[4]).is_ok());
+        assert_eq!(o.len(), 9);
+    }
+
+    #[test]
+    fn crash_many_rejects_unknown_members() {
+        let mut o = DynamicOverlay::bootstrap(Constraint::KTree, 12, 3).unwrap();
+        assert!(matches!(
+            o.crash_many(&[2, 77]),
+            Err(LhgError::InvalidParams { .. })
+        ));
+        assert_eq!(o.len(), 12, "membership unchanged on failure");
+    }
+
+    #[test]
+    fn churn_per_member_views_partition_the_diff() {
+        let mut o = DynamicOverlay::bootstrap(Constraint::KDiamond, 10, 3).unwrap();
+        let (id, churn) = o.join().unwrap();
+        let dials: Vec<MemberId> = churn.added_for(id).collect();
+        assert!(!dials.is_empty(), "newcomer has links to establish");
+        for peer in dials {
+            assert!(
+                churn.added.contains(&(id.min(peer), id.max(peer)))
+                    || churn.added.contains(&(peer.min(id), peer.max(id)))
+            );
+        }
+        // A member not in any removed pair sees nothing to drop.
+        let untouched: Vec<MemberId> = churn.removed_for(9999).collect();
+        assert!(untouched.is_empty());
+    }
+
+    #[test]
+    fn neighbors_of_matches_link_set() {
+        let o = DynamicOverlay::bootstrap(Constraint::KTree, 12, 3).unwrap();
+        let links = o.links();
+        for &m in o.members() {
+            let nbrs = o.neighbors_of(m).unwrap();
+            assert!(nbrs.len() >= o.k(), "degree at least k");
+            for p in nbrs {
+                assert!(links.contains(&(m.min(p), m.max(p))));
+            }
+        }
+        assert!(o.neighbors_of(555).is_none());
     }
 
     #[test]

@@ -21,7 +21,6 @@ pub type TplId = usize;
 
 /// How a template node expands into the final graph.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum TplKind {
     /// Root or internal node: `k` copies, one per tree.
     Branch,
@@ -56,7 +55,6 @@ impl TplKind {
 
 /// One node of the template tree.
 #[derive(Debug, Clone, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct TplNode {
     /// Expansion kind.
     pub kind: TplKind,
@@ -74,10 +72,60 @@ pub struct TplNode {
 /// [`TemplateTree::add_child`] and the conversion operations; the
 /// constraint checkers and the expansion read it back.
 #[derive(Debug, Clone, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct TemplateTree {
     nodes: Vec<TplNode>,
 }
+
+// Externally tagged, matching the shape a serde derive would produce:
+// unit variants as strings, struct variants as single-key objects.
+#[cfg(feature = "serde")]
+impl serde::Serialize for TplKind {
+    fn to_value(&self) -> serde::Value {
+        match self {
+            TplKind::Branch => serde::Value::Str("Branch".to_owned()),
+            TplKind::SharedLeaf { added } => serde::Value::Obj(vec![(
+                "SharedLeaf".to_owned(),
+                serde::Value::Obj(vec![("added".to_owned(), serde::Value::Bool(*added))]),
+            )]),
+            TplKind::UnsharedGroup => serde::Value::Str("UnsharedGroup".to_owned()),
+        }
+    }
+}
+
+#[cfg(feature = "serde")]
+impl serde::Deserialize for TplKind {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        match value.as_str() {
+            Some("Branch") => return Ok(TplKind::Branch),
+            Some("UnsharedGroup") => return Ok(TplKind::UnsharedGroup),
+            Some(other) => {
+                return Err(serde::Error::new(format!(
+                    "unknown TplKind variant `{other}`"
+                )))
+            }
+            None => {}
+        }
+        if let Some(body) = value.field("SharedLeaf") {
+            let added = body
+                .field("added")
+                .ok_or_else(|| serde::Error::new("missing field `added`"))?;
+            return <bool as serde::Deserialize>::from_value(added)
+                .map(|added| TplKind::SharedLeaf { added });
+        }
+        Err(serde::Error::expected("TplKind variant", value))
+    }
+}
+
+#[cfg(feature = "serde")]
+serde::impl_serde_struct!(TplNode {
+    kind: TplKind,
+    parent: Option<TplId>,
+    children: Vec<TplId>,
+    depth: u32
+});
+
+#[cfg(feature = "serde")]
+serde::impl_serde_struct!(TemplateTree { nodes: Vec<TplNode> });
 
 impl TemplateTree {
     /// A template containing only the root.

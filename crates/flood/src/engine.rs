@@ -98,6 +98,32 @@ impl FloodOutcome {
             .unwrap_or(0)
     }
 
+    /// Records this outcome into `metrics` so round-synchronous floods
+    /// export the same JSON shape as the event-driven and TCP runtimes:
+    /// counters `flood.runs` / `flood.messages_sent`, gauges
+    /// `flood.correct_nodes` / `flood.correct_informed`, histograms
+    /// `flood.inform_round` (one sample per informed node) and
+    /// `flood.quiescence_round`.
+    pub fn record_into(&self, metrics: &lhg_net::metrics::MetricsRegistry) {
+        metrics.counter("flood.runs").inc();
+        metrics
+            .counter("flood.messages_sent")
+            .add(self.messages_sent);
+        metrics
+            .gauge("flood.correct_nodes")
+            .set(self.correct_nodes as i64);
+        metrics
+            .gauge("flood.correct_informed")
+            .set(self.correct_informed as i64);
+        let inform = metrics.histogram("flood.inform_round");
+        for r in self.informed_at.iter().flatten() {
+            inform.record(u64::from(*r));
+        }
+        metrics
+            .histogram("flood.quiescence_round")
+            .record(u64::from(self.quiescence_round));
+    }
+
     /// Coverage curve: for each round `r = 0..=last`, the fraction of
     /// correct nodes informed by the end of round `r`. The figure-style
     /// series experiment E18 plots.
@@ -518,6 +544,20 @@ mod tests {
         let t = csr_path(3);
         let out = run_broadcast(&t, NodeId(0), &FailurePlan::none(), Protocol::Flood, 0);
         assert!(out.quiescence_round >= out.last_informed_round());
+    }
+
+    #[test]
+    fn outcomes_record_into_metrics() {
+        let t = csr_cycle(8);
+        let out = run_broadcast(&t, NodeId(0), &FailurePlan::none(), Protocol::Flood, 0);
+        let reg = lhg_net::metrics::MetricsRegistry::new();
+        out.record_into(&reg);
+        assert_eq!(reg.counter("flood.runs").get(), 1);
+        assert_eq!(reg.counter("flood.messages_sent").get(), out.messages_sent);
+        assert_eq!(reg.gauge("flood.correct_informed").get(), 8);
+        assert_eq!(reg.histogram("flood.inform_round").count(), 8);
+        let json = reg.snapshot_json();
+        assert!(json.contains("flood.quiescence_round"));
     }
 
     #[test]

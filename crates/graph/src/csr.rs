@@ -25,12 +25,18 @@ use crate::{Graph, NodeId};
 /// assert_eq!(csr.degree(NodeId(1)), 2);
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct CsrGraph {
     offsets: Vec<usize>,
     targets: Vec<NodeId>,
     edge_count: usize,
 }
+
+#[cfg(feature = "serde")]
+serde::impl_serde_struct!(CsrGraph {
+    offsets: Vec<usize>,
+    targets: Vec<NodeId>,
+    edge_count: usize
+});
 
 impl CsrGraph {
     /// Builds a CSR snapshot of `graph`.

@@ -10,7 +10,6 @@ use crate::{GraphError, NodeId};
 /// `Edge::new(a, b)` normalizes the endpoint order so that edges compare and
 /// hash consistently regardless of insertion direction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Edge {
     /// Smaller endpoint.
     pub a: NodeId,
@@ -74,11 +73,22 @@ impl fmt::Display for Edge {
 /// assert_eq!(g.degree(a), 1);
 /// ```
 #[derive(Clone, Default, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Graph {
     adjacency: Vec<BTreeSet<NodeId>>,
     edge_count: usize,
 }
+
+#[cfg(feature = "serde")]
+serde::impl_serde_struct!(Edge {
+    a: NodeId,
+    b: NodeId
+});
+
+#[cfg(feature = "serde")]
+serde::impl_serde_struct!(Graph {
+    adjacency: Vec<BTreeSet<NodeId>>,
+    edge_count: usize
+});
 
 impl Graph {
     /// Creates an empty graph with no nodes.

@@ -19,9 +19,10 @@ use core::fmt;
 /// assert_eq!(a.to_string(), "n3");
 /// ```
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
-#[cfg_attr(feature = "serde", serde(transparent))]
 pub struct NodeId(pub usize);
+
+#[cfg(feature = "serde")]
+serde::impl_serde_transparent!(NodeId, usize);
 
 impl NodeId {
     /// Returns the underlying dense index.

@@ -11,6 +11,8 @@
 //!
 //! * [`message`] — the wire format ([`message::Message`], encoded over
 //!   [`bytes::Bytes`]);
+//! * [`codec`] — length-prefixed framing of messages over byte streams,
+//!   shared by the threaded runner and the `lhg-runtime` TCP runtime;
 //! * [`sim`] — the deterministic discrete-event simulator
 //!   ([`sim::Simulation`], the [`sim::Process`] trait);
 //! * [`broadcast`] — flooding reliable broadcast as a process
@@ -45,8 +47,10 @@
 #![warn(missing_docs)]
 
 pub mod broadcast;
+pub mod codec;
 pub mod detector;
 pub mod fifo;
 pub mod message;
+pub mod metrics;
 pub mod sim;
 pub mod threaded;

@@ -1,0 +1,399 @@
+//! Lock-light metrics registry shared by the simulators and the TCP
+//! runtime.
+//!
+//! Three instrument kinds cover what the experiments need:
+//!
+//! * [`Counter`] — monotone event counts (messages sent, bytes on wire,
+//!   reconnects);
+//! * [`Gauge`] — instantaneous values that move both ways (open
+//!   connections, live members);
+//! * [`Histogram`] — latency distributions in log₂ buckets (broadcast
+//!   delivery time, reconnect time), with approximate percentiles.
+//!
+//! Instruments are plain atomics behind `Arc`s, so recording never takes a
+//! lock; the registry's `parking_lot::RwLock` maps are touched only on
+//! first registration and on snapshot. [`MetricsRegistry::snapshot`]
+//! renders everything into a [`serde::Value`] tree, which
+//! `serde_json::to_string_pretty` turns into the JSON the CLI and the
+//! examples print.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+/// A monotonically increasing event count.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Adds `n` to the counter.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds 1 to the counter.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// An instantaneous value that can move in both directions.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    /// Sets the gauge to `v`.
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `delta` (may be negative).
+    pub fn add(&self, delta: i64) {
+        self.value.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of log₂ buckets: values up to 2⁶³ land in a bucket.
+const BUCKETS: usize = 64;
+
+/// A latency/size distribution in log₂ buckets.
+///
+/// `record(v)` files `v` under bucket `⌈log₂(v+1)⌉`; percentiles are
+/// reported as the upper bound of the bucket containing the rank, which is
+/// within 2× of the true value — plenty for the order-of-magnitude
+/// comparisons the experiments make.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: [(); BUCKETS].map(|()| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    fn bucket_index(value: u64) -> usize {
+        (u64::BITS - value.leading_zeros()) as usize
+    }
+
+    /// Upper bound of bucket `i` (inclusive).
+    fn bucket_upper(i: usize) -> u64 {
+        if i == 0 {
+            0
+        } else {
+            (1u64 << i).wrapping_sub(1).max(1)
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&self, value: u64) {
+        self.buckets[Self::bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.min.fetch_min(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Number of observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// A consistent-enough point-in-time summary.
+    #[must_use]
+    pub fn summary(&self) -> HistogramSummary {
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let count: u64 = counts.iter().sum();
+        let sum = self.sum.load(Ordering::Relaxed);
+        let percentile = |q: f64| -> u64 {
+            if count == 0 {
+                return 0;
+            }
+            let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
+            let mut seen = 0;
+            for (i, &c) in counts.iter().enumerate() {
+                seen += c;
+                if seen >= rank {
+                    return Self::bucket_upper(i);
+                }
+            }
+            Self::bucket_upper(BUCKETS - 1)
+        };
+        HistogramSummary {
+            count,
+            sum,
+            min: if count == 0 {
+                0
+            } else {
+                self.min.load(Ordering::Relaxed)
+            },
+            max: self.max.load(Ordering::Relaxed),
+            mean: if count == 0 {
+                0.0
+            } else {
+                sum as f64 / count as f64
+            },
+            p50: percentile(0.50),
+            p90: percentile(0.90),
+            p99: percentile(0.99),
+        }
+    }
+}
+
+/// Point-in-time summary of a [`Histogram`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSummary {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: u64,
+    /// Smallest observation (0 when empty).
+    pub min: u64,
+    /// Largest observation.
+    pub max: u64,
+    /// Arithmetic mean (0 when empty).
+    pub mean: f64,
+    /// Approximate 50th percentile (bucket upper bound).
+    pub p50: u64,
+    /// Approximate 90th percentile (bucket upper bound).
+    pub p90: u64,
+    /// Approximate 99th percentile (bucket upper bound).
+    pub p99: u64,
+}
+
+/// Registry of named instruments.
+///
+/// Clone the `Arc`-wrapped instruments out of the registry once and record
+/// through them on hot paths; `get-or-create` takes the write lock only on
+/// first use of a name.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    counters: RwLock<BTreeMap<String, Arc<Counter>>>,
+    gauges: RwLock<BTreeMap<String, Arc<Gauge>>>,
+    histograms: RwLock<BTreeMap<String, Arc<Histogram>>>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// The counter named `name`, created on first use.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        if let Some(c) = self.counters.read().get(name) {
+            return Arc::clone(c);
+        }
+        Arc::clone(
+            self.counters
+                .write()
+                .entry(name.to_owned())
+                .or_insert_with(|| Arc::new(Counter::default())),
+        )
+    }
+
+    /// The gauge named `name`, created on first use.
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        if let Some(g) = self.gauges.read().get(name) {
+            return Arc::clone(g);
+        }
+        Arc::clone(
+            self.gauges
+                .write()
+                .entry(name.to_owned())
+                .or_insert_with(|| Arc::new(Gauge::default())),
+        )
+    }
+
+    /// The histogram named `name`, created on first use.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        if let Some(h) = self.histograms.read().get(name) {
+            return Arc::clone(h);
+        }
+        Arc::clone(
+            self.histograms
+                .write()
+                .entry(name.to_owned())
+                .or_insert_with(|| Arc::new(Histogram::default())),
+        )
+    }
+
+    /// Renders every instrument into a JSON-ready value tree:
+    /// `{"counters": {..}, "gauges": {..}, "histograms": {name: summary}}`.
+    #[must_use]
+    pub fn snapshot(&self) -> serde::Value {
+        let counters: Vec<(String, serde::Value)> = self
+            .counters
+            .read()
+            .iter()
+            .map(|(k, v)| (k.clone(), serde::Value::U64(v.get())))
+            .collect();
+        let gauges: Vec<(String, serde::Value)> = self
+            .gauges
+            .read()
+            .iter()
+            .map(|(k, v)| {
+                let g = v.get();
+                let val = if g >= 0 {
+                    serde::Value::U64(g as u64)
+                } else {
+                    serde::Value::I64(g)
+                };
+                (k.clone(), val)
+            })
+            .collect();
+        let histograms: Vec<(String, serde::Value)> = self
+            .histograms
+            .read()
+            .iter()
+            .map(|(k, v)| {
+                let s = v.summary();
+                (
+                    k.clone(),
+                    serde::Value::Obj(vec![
+                        ("count".to_owned(), serde::Value::U64(s.count)),
+                        ("sum".to_owned(), serde::Value::U64(s.sum)),
+                        ("min".to_owned(), serde::Value::U64(s.min)),
+                        ("max".to_owned(), serde::Value::U64(s.max)),
+                        ("mean".to_owned(), serde::Value::F64(s.mean)),
+                        ("p50".to_owned(), serde::Value::U64(s.p50)),
+                        ("p90".to_owned(), serde::Value::U64(s.p90)),
+                        ("p99".to_owned(), serde::Value::U64(s.p99)),
+                    ]),
+                )
+            })
+            .collect();
+        serde::Value::Obj(vec![
+            ("counters".to_owned(), serde::Value::Obj(counters)),
+            ("gauges".to_owned(), serde::Value::Obj(gauges)),
+            ("histograms".to_owned(), serde::Value::Obj(histograms)),
+        ])
+    }
+
+    /// The snapshot as pretty-printed JSON.
+    #[must_use]
+    pub fn snapshot_json(&self) -> String {
+        serde_json::to_string_pretty(&self.snapshot()).expect("value trees always render")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_accumulate() {
+        let reg = MetricsRegistry::new();
+        reg.counter("msgs").add(3);
+        reg.counter("msgs").inc();
+        assert_eq!(reg.counter("msgs").get(), 4);
+        reg.gauge("links").set(5);
+        reg.gauge("links").add(-2);
+        assert_eq!(reg.gauge("links").get(), 3);
+    }
+
+    #[test]
+    fn instruments_are_shared_not_replaced() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter("x");
+        let b = reg.counter("x");
+        a.inc();
+        assert_eq!(b.get(), 1);
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn histogram_summary_tracks_distribution() {
+        let h = Histogram::default();
+        for v in [1u64, 2, 3, 100, 1000] {
+            h.record(v);
+        }
+        let s = h.summary();
+        assert_eq!(s.count, 5);
+        assert_eq!(s.sum, 1106);
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 1000);
+        assert!((s.mean - 221.2).abs() < 1e-9);
+        assert!(s.p50 >= 3, "median bucket covers 3, got {}", s.p50);
+        assert!(s.p99 >= 1000, "p99 bucket covers max, got {}", s.p99);
+    }
+
+    #[test]
+    fn empty_histogram_summary_is_zeroed() {
+        let s = Histogram::default().summary();
+        assert_eq!(
+            s,
+            HistogramSummary {
+                count: 0,
+                sum: 0,
+                min: 0,
+                max: 0,
+                mean: 0.0,
+                p50: 0,
+                p90: 0,
+                p99: 0
+            }
+        );
+    }
+
+    #[test]
+    fn zero_observation_lands_in_bucket_zero() {
+        let h = Histogram::default();
+        h.record(0);
+        let s = h.summary();
+        assert_eq!((s.min, s.max, s.p50), (0, 0, 0));
+    }
+
+    #[test]
+    fn snapshot_renders_json() {
+        let reg = MetricsRegistry::new();
+        reg.counter("sent").add(2);
+        reg.gauge("open").set(-1);
+        reg.histogram("lat_us").record(42);
+        let json = reg.snapshot_json();
+        assert!(json.contains("\"sent\": 2"));
+        assert!(json.contains("\"open\": -1"));
+        assert!(json.contains("\"count\": 1"));
+        // Round-trips through the JSON parser.
+        assert!(serde_json::from_str::<serde::Value>(&json).is_ok());
+    }
+}

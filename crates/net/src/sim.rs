@@ -7,6 +7,7 @@
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::sync::Arc;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -14,6 +15,7 @@ use rand::{Rng, SeedableRng};
 use lhg_graph::{CsrGraph, Graph, NodeId};
 
 use crate::message::Message;
+use crate::metrics::MetricsRegistry;
 
 /// Simulated time in microseconds.
 pub type Time = u64;
@@ -150,6 +152,7 @@ pub struct Simulation {
     link: LinkModel,
     crash_at: Vec<Option<Time>>,
     rng: StdRng,
+    metrics: Option<Arc<MetricsRegistry>>,
 }
 
 impl Simulation {
@@ -161,7 +164,16 @@ impl Simulation {
             link,
             crash_at: vec![None; graph.node_count()],
             rng: StdRng::seed_from_u64(seed),
+            metrics: None,
         }
+    }
+
+    /// Attaches a metrics registry; the run records counters
+    /// `sim.messages_sent` / `sim.bytes_sent` / `sim.deliveries` and
+    /// histogram `sim.delivery_latency_us` (simulated µs from time 0).
+    pub fn with_metrics(&mut self, metrics: Arc<MetricsRegistry>) -> &mut Self {
+        self.metrics = Some(metrics);
+        self
     }
 
     /// Fail-stops `node` at `time` (events at or after `time` are dropped).
@@ -207,6 +219,17 @@ impl Simulation {
         let mut deliveries = Vec::new();
         let mut end_time = 0;
 
+        let m_msgs = self
+            .metrics
+            .as_ref()
+            .map(|m| m.counter("sim.messages_sent"));
+        let m_bytes = self.metrics.as_ref().map(|m| m.counter("sim.bytes_sent"));
+        let m_delivs = self.metrics.as_ref().map(|m| m.counter("sim.deliveries"));
+        let m_latency = self
+            .metrics
+            .as_ref()
+            .map(|m| m.histogram("sim.delivery_latency_us"));
+
         // Drains a handled context into the report and the event queue.
         let mut flush = |ctx: Context<'_>,
                          at: NodeId,
@@ -216,6 +239,12 @@ impl Simulation {
                          events: &mut Vec<EventKind>,
                          seq: &mut u64| {
             for d in ctx.delivered {
+                if let Some(c) = &m_delivs {
+                    c.inc();
+                }
+                if let Some(h) = &m_latency {
+                    h.record(time);
+                }
                 deliveries.push(Delivery {
                     node: at,
                     time,
@@ -225,6 +254,12 @@ impl Simulation {
             }
             for (to, msg) in ctx.outbox {
                 messages_sent += 1;
+                if let Some(c) = &m_msgs {
+                    c.inc();
+                }
+                if let Some(c) = &m_bytes {
+                    c.add(msg.encoded_len() as u64);
+                }
                 let latency = rng_latency();
                 let slot = events.len();
                 events.push(EventKind::Message { from: at, msg });
@@ -456,6 +491,29 @@ mod tests {
             sim.run(procs, 1_000_000)
         };
         assert_eq!(run(7), run(7));
+    }
+
+    #[test]
+    fn metrics_record_traffic_and_latency() {
+        let g = path(3);
+        let reg = Arc::new(MetricsRegistry::new());
+        let mut sim = Simulation::new(&g, no_jitter(), 0);
+        sim.with_metrics(Arc::clone(&reg));
+        let procs: Vec<Box<dyn Process>> = vec![
+            Box::new(Pinger { is_origin: false }),
+            Box::new(Pinger { is_origin: true }),
+            Box::new(Pinger { is_origin: false }),
+        ];
+        let report = sim.run(procs, 1_000_000);
+        assert_eq!(reg.counter("sim.messages_sent").get(), report.messages_sent);
+        assert_eq!(
+            reg.counter("sim.deliveries").get(),
+            report.deliveries.len() as u64
+        );
+        let lat = reg.histogram("sim.delivery_latency_us").summary();
+        assert_eq!(lat.count, 2);
+        assert_eq!(lat.min, 100);
+        assert!(reg.counter("sim.bytes_sent").get() >= 2 * 20);
     }
 
     #[test]

@@ -5,6 +5,10 @@
 //! this runner demonstrates that the protocol logic is concurrency-safe
 //! outside the simulator: n threads, one unbounded channel per process,
 //! fan-out on first receipt, termination by idle timeout.
+//!
+//! Channels carry **encoded frames** ([`crate::codec`]), not `Message`
+//! values: every hop round-trips through the same length-prefixed wire
+//! format the TCP runtime uses, so the codec is exercised on every edge.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -16,7 +20,9 @@ use parking_lot::Mutex;
 
 use lhg_graph::{Graph, NodeId};
 
+use crate::codec::{decode_frame, encode_frame};
 use crate::message::Message;
+use crate::metrics::MetricsRegistry;
 
 /// Outcome of a threaded broadcast run.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -25,6 +31,8 @@ pub struct ThreadedReport {
     pub delivered: Vec<bool>,
     /// Total messages sent across all channels.
     pub messages_sent: u64,
+    /// Total encoded bytes moved across all channels (frames incl. prefix).
+    pub bytes_sent: u64,
 }
 
 impl ThreadedReport {
@@ -59,12 +67,38 @@ pub fn run_threaded_broadcast(
     crashed: &[NodeId],
     idle_timeout: Duration,
 ) -> ThreadedReport {
+    run_threaded_broadcast_with_metrics(
+        graph,
+        origin,
+        payload,
+        crashed,
+        idle_timeout,
+        &MetricsRegistry::new(),
+    )
+}
+
+/// Like [`run_threaded_broadcast`], additionally recording into `metrics`:
+/// counters `threaded.messages_sent` / `threaded.bytes_sent` and histogram
+/// `threaded.frame_bytes`.
+///
+/// # Panics
+///
+/// Panics if `origin` is out of bounds or listed in `crashed`.
+#[must_use]
+pub fn run_threaded_broadcast_with_metrics(
+    graph: &Graph,
+    origin: NodeId,
+    payload: Bytes,
+    crashed: &[NodeId],
+    idle_timeout: Duration,
+    metrics: &MetricsRegistry,
+) -> ThreadedReport {
     let n = graph.node_count();
     assert!(origin.index() < n, "origin {origin} out of bounds");
     assert!(!crashed.contains(&origin), "origin must not be crashed");
 
-    let mut senders: Vec<Sender<(usize, Message)>> = Vec::with_capacity(n);
-    let mut receivers: Vec<Option<Receiver<(usize, Message)>>> = Vec::with_capacity(n);
+    let mut senders: Vec<Sender<(usize, Bytes)>> = Vec::with_capacity(n);
+    let mut receivers: Vec<Option<Receiver<(usize, Bytes)>>> = Vec::with_capacity(n);
     for _ in 0..n {
         let (tx, rx) = unbounded();
         senders.push(tx);
@@ -73,6 +107,8 @@ pub fn run_threaded_broadcast(
 
     let delivered: Arc<Mutex<Vec<bool>>> = Arc::new(Mutex::new(vec![false; n]));
     let messages_sent = Arc::new(AtomicU64::new(0));
+    let bytes_sent = Arc::new(AtomicU64::new(0));
+    let frame_bytes_hist = metrics.histogram("threaded.frame_bytes");
     let is_crashed: Vec<bool> = {
         let mut v = vec![false; n];
         for &c in crashed {
@@ -87,34 +123,42 @@ pub fn run_threaded_broadcast(
             continue; // fail-stop: never runs; its channel absorbs sends
         }
         let rx = receivers[v].take().expect("receiver present");
-        let neighbor_txs: Vec<(usize, Sender<(usize, Message)>)> = graph
+        let neighbor_txs: Vec<(usize, Sender<(usize, Bytes)>)> = graph
             .neighbors(NodeId(v))
             .map(|w| (w.index(), senders[w.index()].clone()))
             .collect();
         let delivered = Arc::clone(&delivered);
         let messages_sent = Arc::clone(&messages_sent);
+        let bytes_sent = Arc::clone(&bytes_sent);
+        let frame_bytes_hist = Arc::clone(&frame_bytes_hist);
         let start_payload =
             (v == origin.index()).then(|| Message::new(1, v as u32, payload.clone()));
         handles.push(std::thread::spawn(move || {
             let mut seen = std::collections::HashSet::new();
+            let send_to = |w_from: usize, frame: &Bytes, tx: &Sender<(usize, Bytes)>| {
+                messages_sent.fetch_add(1, Ordering::Relaxed);
+                bytes_sent.fetch_add(frame.len() as u64, Ordering::Relaxed);
+                frame_bytes_hist.record(frame.len() as u64);
+                let _ = tx.send((w_from, frame.clone()));
+            };
             if let Some(msg) = start_payload {
                 seen.insert(msg.broadcast_id);
                 delivered.lock()[v] = true;
+                let frame = encode_frame(&msg);
                 for (_, tx) in &neighbor_txs {
-                    messages_sent.fetch_add(1, Ordering::Relaxed);
-                    let _ = tx.send((v, msg.clone()));
+                    send_to(v, &frame, tx);
                 }
             }
-            while let Ok((from, msg)) = rx.recv_timeout(idle_timeout) {
+            while let Ok((from, frame)) = rx.recv_timeout(idle_timeout) {
+                let msg = decode_frame(&frame).expect("peers only send valid frames");
                 if !seen.insert(msg.broadcast_id) {
                     continue;
                 }
                 delivered.lock()[v] = true;
-                let fwd = msg.forwarded();
+                let fwd = encode_frame(&msg.forwarded());
                 for (w, tx) in &neighbor_txs {
                     if *w != from {
-                        messages_sent.fetch_add(1, Ordering::Relaxed);
-                        let _ = tx.send((v, fwd.clone()));
+                        send_to(v, &fwd, tx);
                     }
                 }
             }
@@ -129,9 +173,14 @@ pub fn run_threaded_broadcast(
     let delivered = Arc::try_unwrap(delivered)
         .expect("all threads joined")
         .into_inner();
+    let messages_sent = messages_sent.load(Ordering::Relaxed);
+    let bytes_sent = bytes_sent.load(Ordering::Relaxed);
+    metrics.counter("threaded.messages_sent").add(messages_sent);
+    metrics.counter("threaded.bytes_sent").add(bytes_sent);
     ThreadedReport {
         delivered,
-        messages_sent: messages_sent.load(Ordering::Relaxed),
+        messages_sent,
+        bytes_sent,
     }
 }
 
@@ -179,6 +228,29 @@ mod tests {
         );
         assert!(!r.all_delivered());
         assert_eq!(r.delivered_count(), 3, "only 7,0,1 reachable");
+    }
+
+    #[test]
+    fn metrics_capture_wire_traffic() {
+        let g = cycle(6);
+        let reg = MetricsRegistry::new();
+        let r = run_threaded_broadcast_with_metrics(
+            &g,
+            NodeId(0),
+            Bytes::from_static(b"pay"),
+            &[],
+            timeout(),
+            &reg,
+        );
+        assert!(r.all_delivered());
+        assert_eq!(reg.counter("threaded.messages_sent").get(), r.messages_sent);
+        assert_eq!(reg.counter("threaded.bytes_sent").get(), r.bytes_sent);
+        assert_eq!(
+            reg.histogram("threaded.frame_bytes").count(),
+            r.messages_sent
+        );
+        // Every frame carries at least the length prefix plus a 20-byte header.
+        assert!(r.bytes_sent >= r.messages_sent * 24);
     }
 
     #[test]

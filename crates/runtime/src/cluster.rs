@@ -1,0 +1,371 @@
+//! Cluster orchestration: boot n nodes on loopback, drive broadcasts,
+//! inject fail-stop crashes, and await convergence.
+//!
+//! The [`Cluster`] is a test-harness-shaped front door: it owns the address
+//! [`Directory`], the shared [`MetricsRegistry`], and a handle per node. It
+//! observes node state through [`NodeShared`] snapshots — the data plane
+//! (frames, heartbeats, healing) runs entirely over TCP between the nodes.
+
+use std::collections::{BTreeSet, HashMap};
+use std::fmt;
+use std::net::TcpListener;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+use parking_lot::RwLock;
+
+use lhg_core::overlay::{DynamicOverlay, MemberId};
+use lhg_core::Constraint;
+use lhg_core::LhgError;
+use lhg_graph::Graph;
+use lhg_net::fifo::fifo_id;
+use lhg_net::message::Message;
+use lhg_net::metrics::MetricsRegistry;
+
+use crate::node::{spawn_node, BroadcastClock, Directory, Event, NodeHandle, NodeShared};
+use crate::wire::MAX_MEMBERS;
+use crate::RuntimeConfig;
+
+/// Errors from cluster orchestration.
+#[derive(Debug)]
+pub enum ClusterError {
+    /// The overlay builder rejected (n, k) or a membership change.
+    Overlay(LhgError),
+    /// A socket operation failed while booting the cluster.
+    Io(std::io::Error),
+    /// The initial topology did not fully connect within the launch timeout.
+    LaunchTimeout,
+    /// An operation referenced a member that is unknown or already dead.
+    NoSuchMember(MemberId),
+}
+
+impl fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusterError::Overlay(e) => write!(f, "overlay error: {e}"),
+            ClusterError::Io(e) => write!(f, "socket error: {e}"),
+            ClusterError::LaunchTimeout => {
+                f.write_str("cluster links did not converge within the launch timeout")
+            }
+            ClusterError::NoSuchMember(m) => write!(f, "no live member {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
+
+impl From<LhgError> for ClusterError {
+    fn from(e: LhgError) -> Self {
+        ClusterError::Overlay(e)
+    }
+}
+
+impl From<std::io::Error> for ClusterError {
+    fn from(e: std::io::Error) -> Self {
+        ClusterError::Io(e)
+    }
+}
+
+/// A running loopback cluster of LHG overlay nodes.
+pub struct Cluster {
+    config: RuntimeConfig,
+    metrics: Arc<MetricsRegistry>,
+    clock: BroadcastClock,
+    nodes: HashMap<MemberId, NodeHandle>,
+    killed: BTreeSet<MemberId>,
+    next_seq: u32,
+}
+
+impl Cluster {
+    /// Boots `n` nodes with a `constraint`-built k-connected LHG overlay and
+    /// blocks until every overlay link has a live TCP connection.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::Overlay`] when (n, k) is out of the builder's domain,
+    /// [`ClusterError::Io`] when listeners cannot bind, and
+    /// [`ClusterError::LaunchTimeout`] when the mesh does not come up within
+    /// [`RuntimeConfig::launch_timeout`].
+    pub fn launch(
+        constraint: Constraint,
+        n: usize,
+        k: usize,
+        config: RuntimeConfig,
+    ) -> Result<Self, ClusterError> {
+        assert!(
+            (n as u64) < MAX_MEMBERS,
+            "member ids must stay below 2^25 to avoid wire tag bits"
+        );
+        let overlay = DynamicOverlay::bootstrap(constraint, n, k)?;
+
+        let directory: Directory = Arc::new(RwLock::new(HashMap::new()));
+        let mut listeners = Vec::with_capacity(n);
+        for member in overlay.members().to_vec() {
+            let listener = TcpListener::bind("127.0.0.1:0")?;
+            directory.write().insert(member, listener.local_addr()?);
+            listeners.push((member, listener));
+        }
+
+        let metrics = Arc::new(MetricsRegistry::new());
+        let clock: BroadcastClock = Arc::new(RwLock::new(HashMap::new()));
+        let mut nodes = HashMap::with_capacity(n);
+        for (member, listener) in listeners {
+            let handle = spawn_node(
+                member,
+                overlay.clone(),
+                listener,
+                Arc::clone(&directory),
+                config.clone(),
+                Arc::clone(&metrics),
+                Arc::clone(&clock),
+            )?;
+            nodes.insert(member, handle);
+        }
+
+        let cluster = Cluster {
+            config,
+            metrics,
+            clock,
+            nodes,
+            killed: BTreeSet::new(),
+            next_seq: 0,
+        };
+        if !cluster.await_links(cluster.config.launch_timeout) {
+            cluster.shutdown();
+            return Err(ClusterError::LaunchTimeout);
+        }
+        Ok(cluster)
+    }
+
+    /// The shared metrics registry.
+    #[must_use]
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// Pretty-printed JSON snapshot of every metric.
+    #[must_use]
+    pub fn metrics_json(&self) -> String {
+        self.metrics.snapshot_json()
+    }
+
+    /// All member ids ever launched, in id order.
+    #[must_use]
+    pub fn members(&self) -> Vec<MemberId> {
+        let mut m: Vec<MemberId> = self.nodes.keys().copied().collect();
+        m.sort_unstable();
+        m
+    }
+
+    /// Members not yet killed, in id order.
+    #[must_use]
+    pub fn survivors(&self) -> Vec<MemberId> {
+        self.members()
+            .into_iter()
+            .filter(|m| !self.killed.contains(m))
+            .collect()
+    }
+
+    /// Observable state of `member`, if it was ever launched.
+    #[must_use]
+    pub fn node(&self, member: MemberId) -> Option<&Arc<NodeShared>> {
+        self.nodes.get(&member).map(|h| &h.shared)
+    }
+
+    /// Originates a broadcast at `origin`; returns the broadcast id.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::NoSuchMember`] if `origin` is unknown or dead.
+    pub fn broadcast(&mut self, origin: MemberId, payload: Bytes) -> Result<u64, ClusterError> {
+        if self.killed.contains(&origin) {
+            return Err(ClusterError::NoSuchMember(origin));
+        }
+        let handle = self
+            .nodes
+            .get(&origin)
+            .ok_or(ClusterError::NoSuchMember(origin))?;
+        self.next_seq += 1;
+        let id = fifo_id(origin as u32, self.next_seq);
+        self.clock.write().insert(id, Instant::now());
+        self.metrics.counter("runtime.broadcasts").inc();
+        let msg = Message::new(id, origin as u32, payload);
+        handle
+            .tx
+            .send(Event::Broadcast { msg })
+            .map_err(|_| ClusterError::NoSuchMember(origin))?;
+        Ok(id)
+    }
+
+    /// Fail-stop crash: the node slams every socket shut and stops, without
+    /// any goodbye. Survivors must detect it via heartbeat silence.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::NoSuchMember`] if `member` is unknown or already dead.
+    pub fn kill(&mut self, member: MemberId) -> Result<(), ClusterError> {
+        if self.killed.contains(&member) {
+            return Err(ClusterError::NoSuchMember(member));
+        }
+        let handle = self
+            .nodes
+            .get_mut(&member)
+            .ok_or(ClusterError::NoSuchMember(member))?;
+        let _ = handle.tx.send(Event::Kill);
+        if let Some(main) = handle.main.take() {
+            let _ = main.join();
+        }
+        self.killed.insert(member);
+        self.metrics.counter("runtime.kills").inc();
+        Ok(())
+    }
+
+    /// Waits until every survivor has delivered broadcast `id` (or the
+    /// timeout passes); returns whether delivery completed.
+    #[must_use]
+    pub fn await_delivery(&self, id: u64, timeout: Duration) -> bool {
+        self.poll_until(timeout, || {
+            self.live_shared().all(|s| s.delivered_ids().contains(&id))
+        })
+    }
+
+    /// Waits until every survivor has (a) applied every kill, (b) converged
+    /// its overlay replica onto exactly the survivor set, and (c) has a live
+    /// TCP link for each overlay neighbor. Returns whether healing finished.
+    #[must_use]
+    pub fn await_heal(&self, timeout: Duration) -> bool {
+        let survivors: BTreeSet<MemberId> = self.survivors().into_iter().collect();
+        self.poll_until(timeout, || {
+            self.live_shared().all(|s| {
+                let applied = s.crashes_applied();
+                let members: BTreeSet<MemberId> =
+                    s.overlay_snapshot().members().iter().copied().collect();
+                self.killed.iter().all(|k| applied.contains(k))
+                    && members == survivors
+                    && s.desired_neighbors().is_subset(&s.links_up())
+            })
+        })
+    }
+
+    /// Waits until every node's TCP links cover its desired neighbor set.
+    #[must_use]
+    pub fn await_links(&self, timeout: Duration) -> bool {
+        self.poll_until(timeout, || {
+            self.live_shared()
+                .all(|s| s.desired_neighbors().is_subset(&s.links_up()))
+        })
+    }
+
+    /// `true` if all survivors hold identical overlay link sets.
+    #[must_use]
+    pub fn overlays_agree(&self) -> bool {
+        let mut sets = self.live_shared().map(|s| s.overlay_snapshot().links());
+        let Some(first) = sets.next() else {
+            return true;
+        };
+        sets.all(|l| l == first)
+    }
+
+    /// The healed topology as seen by one survivor (they agree once
+    /// [`Self::await_heal`] returns `true`).
+    #[must_use]
+    pub fn survivor_graph(&self) -> Option<Graph> {
+        self.live_shared()
+            .next()
+            .map(|s| s.overlay_snapshot().graph().clone())
+    }
+
+    /// Broadcast ids delivered by `member`, in delivery order.
+    #[must_use]
+    pub fn delivered_ids(&self, member: MemberId) -> Vec<u64> {
+        self.nodes
+            .get(&member)
+            .map(|h| h.shared.delivered_ids())
+            .unwrap_or_default()
+    }
+
+    /// Stops every remaining node and joins their main threads.
+    pub fn shutdown(mut self) {
+        let members = self.members();
+        for member in members {
+            if let Some(handle) = self.nodes.get_mut(&member) {
+                let _ = handle.tx.send(Event::Kill);
+                if let Some(main) = handle.main.take() {
+                    let _ = main.join();
+                }
+            }
+        }
+    }
+
+    fn live_shared(&self) -> impl Iterator<Item = &Arc<NodeShared>> {
+        self.nodes
+            .values()
+            .filter(|h| !self.killed.contains(&h.shared.id))
+            .map(|h| &h.shared)
+    }
+
+    /// Polls `cond` every few milliseconds until it holds or `timeout`
+    /// elapses; returns the final verdict.
+    fn poll_until(&self, timeout: Duration, cond: impl Fn() -> bool) -> bool {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if cond() {
+                return true;
+            }
+            if Instant::now() >= deadline {
+                return cond();
+            }
+            std::thread::sleep(self.config.tick.min(Duration::from_millis(5)));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> RuntimeConfig {
+        RuntimeConfig::default()
+    }
+
+    #[test]
+    fn small_cluster_boots_and_broadcasts() {
+        let mut c = Cluster::launch(Constraint::Jd, 6, 2, cfg()).expect("launch");
+        let id = c.broadcast(0, Bytes::from_static(b"ping")).expect("send");
+        assert!(c.await_delivery(id, Duration::from_secs(5)));
+        for m in c.members() {
+            assert_eq!(c.delivered_ids(m), vec![id]);
+        }
+        assert!(c.metrics().counter("runtime.deliveries").get() >= 6);
+        c.shutdown();
+    }
+
+    #[test]
+    fn crash_is_detected_and_healed() {
+        let mut c = Cluster::launch(Constraint::Jd, 7, 2, cfg()).expect("launch");
+        c.kill(3).expect("kill");
+        assert!(c.await_heal(Duration::from_secs(10)), "survivors heal");
+        assert!(c.overlays_agree());
+        let g = c.survivor_graph().expect("graph");
+        assert_eq!(g.node_count(), 6);
+        assert!(lhg_graph::connectivity::is_k_vertex_connected(&g, 2));
+        // Post-heal broadcasts still reach every survivor.
+        let id = c.broadcast(0, Bytes::from_static(b"after")).expect("send");
+        assert!(c.await_delivery(id, Duration::from_secs(5)));
+        assert!(c.metrics().counter("runtime.suspects").get() >= 1);
+        c.shutdown();
+    }
+
+    #[test]
+    fn broadcast_from_dead_member_is_rejected() {
+        let mut c = Cluster::launch(Constraint::Jd, 6, 2, cfg()).expect("launch");
+        c.kill(5).expect("kill");
+        assert!(matches!(
+            c.broadcast(5, Bytes::new()),
+            Err(ClusterError::NoSuchMember(5))
+        ));
+        assert!(matches!(c.kill(5), Err(ClusterError::NoSuchMember(5))));
+        c.shutdown();
+    }
+}

@@ -1,0 +1,90 @@
+//! lhg-runtime: a self-healing LHG overlay over real TCP sockets.
+//!
+//! Where [`lhg_net::sim`] measures the flooding protocol in a discrete-event
+//! simulator and [`lhg_net::threaded`] runs it over in-process channels,
+//! this crate runs it over the real thing: each node is a set of OS threads
+//! owning a loopback [`std::net::TcpListener`], links are TCP connections,
+//! and frames are the same length-prefixed [`lhg_net::message::Message`]
+//! encoding ([`lhg_net::codec`]) used everywhere else in the workspace.
+//!
+//! The runtime stacks five layers (bottom to top):
+//!
+//! 1. **Connection manager** ([`node`]) — dials and tears down TCP links so
+//!    the live socket set tracks the current LHG topology (the smaller
+//!    member id dials, the larger accepts).
+//! 2. **Reliable broadcast** — flooding with per-broadcast dedup; with a
+//!    k-connected topology and at most k−1 crashed nodes, every correct
+//!    node delivers (LHG property P1).
+//! 3. **Failure detection** — periodic heartbeats on every link; a
+//!    configurable silence window marks a neighbor crashed (fail-stop
+//!    model: crashed nodes never speak again, so suspicion is permanent).
+//! 4. **Self-healing** — a detected crash is flooded as an announcement;
+//!    every survivor applies it to its
+//!    [`lhg_core::overlay::DynamicOverlay`] replica via `crash_many` and
+//!    applies the returned churn (dial added links, drop removed ones),
+//!    restoring k-connectivity at the smaller n. Replicas converge because
+//!    rebuilds are deterministic in the surviving membership.
+//! 5. **Metrics** ([`lhg_net::metrics`]) — counters, gauges and latency
+//!    histograms shared by the whole cluster, exportable as JSON.
+//!
+//! [`Cluster`] wires it all together for experiments and tests:
+//!
+//! ```no_run
+//! use lhg_runtime::{Cluster, RuntimeConfig};
+//! use lhg_core::Constraint;
+//! use std::time::Duration;
+//!
+//! let mut c = Cluster::launch(Constraint::Jd, 12, 3, RuntimeConfig::default()).unwrap();
+//! let id = c.broadcast(0, bytes::Bytes::from_static(b"hello")).unwrap();
+//! assert!(c.await_delivery(id, Duration::from_secs(5)));
+//! c.kill(7).unwrap();
+//! assert!(c.await_heal(Duration::from_secs(10)));
+//! println!("{}", c.metrics_json());
+//! c.shutdown();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::Duration;
+
+pub mod cluster;
+pub mod node;
+pub mod wire;
+
+pub use cluster::{Cluster, ClusterError};
+pub use lhg_net::metrics::{HistogramSummary, MetricsRegistry};
+pub use node::{Directory, NodeShared};
+
+/// Timing knobs for the runtime. Defaults suit loopback tests: fast
+/// heartbeats, a timeout an order of magnitude above the period.
+#[derive(Debug, Clone)]
+pub struct RuntimeConfig {
+    /// Interval between heartbeats on every live link.
+    pub heartbeat_period: Duration,
+    /// Silence window after which a neighbor is declared crashed. Must
+    /// comfortably exceed `heartbeat_period` to avoid false suspicion.
+    pub heartbeat_timeout: Duration,
+    /// Minimum wait between redial attempts to the same peer.
+    pub dial_backoff: Duration,
+    /// Per-attempt TCP connect timeout.
+    pub dial_timeout: Duration,
+    /// Main-loop wakeup granularity (heartbeat emission, suspicion checks,
+    /// link reconciliation all run at this cadence when traffic is quiet).
+    pub tick: Duration,
+    /// How long [`Cluster::launch`] waits for the initial mesh.
+    pub launch_timeout: Duration,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig {
+            heartbeat_period: Duration::from_millis(25),
+            heartbeat_timeout: Duration::from_millis(300),
+            dial_backoff: Duration::from_millis(20),
+            dial_timeout: Duration::from_millis(250),
+            tick: Duration::from_millis(5),
+            launch_timeout: Duration::from_secs(10),
+        }
+    }
+}

@@ -1,0 +1,541 @@
+//! One overlay node: real sockets, real threads.
+//!
+//! A node owns a loopback [`TcpListener`] and runs three kinds of threads:
+//!
+//! * an **acceptor** polling the listener; each accepted connection performs
+//!   a hello handshake, then gets a dedicated **reader** thread that decodes
+//!   length-prefixed frames ([`lhg_net::codec::read_frame`]) into the node's
+//!   event channel;
+//! * a **main loop** owning all connection write halves and every piece of
+//!   protocol state: flooding with dedup, heartbeat emission, failure
+//!   suspicion, and self-healing via
+//!   [`DynamicOverlay::crash_many`](lhg_core::overlay::DynamicOverlay::crash_many).
+//!
+//! Link ownership is asymmetric to avoid duplicate connections: the member
+//! with the **smaller id dials**, the larger one accepts. Both sides monitor
+//! the link with heartbeats once it is up.
+
+use std::collections::{BTreeSet, HashMap, HashSet};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use parking_lot::{Mutex, RwLock};
+
+use lhg_core::overlay::{DynamicOverlay, MemberId};
+use lhg_net::codec::{read_frame, write_frame};
+use lhg_net::message::Message;
+use lhg_net::metrics::MetricsRegistry;
+
+use crate::wire::{self, FrameKind};
+use crate::RuntimeConfig;
+
+/// Shared loopback address book: member id → listener address. Stands in
+/// for out-of-band discovery (DNS, a tracker, a membership service).
+pub type Directory = Arc<RwLock<HashMap<MemberId, SocketAddr>>>;
+
+/// Broadcast start instants, shared cluster-wide so deliveries can record
+/// end-to-end latency into the metrics registry.
+pub(crate) type BroadcastClock = Arc<RwLock<HashMap<u64, Instant>>>;
+
+/// Events feeding a node's main loop.
+pub(crate) enum Event {
+    /// A decoded frame arrived from connected peer `from`.
+    Frame { from: MemberId, msg: Message },
+    /// The acceptor finished a handshake; `writer` is the write half.
+    Accepted { peer: MemberId, writer: TcpStream },
+    /// A connection died (EOF or I/O error on the read side).
+    PeerClosed { peer: MemberId },
+    /// Originate a broadcast from this node.
+    Broadcast { msg: Message },
+    /// Fail-stop: abandon everything immediately, no goodbyes.
+    Kill,
+}
+
+/// Node state observable by the [`crate::Cluster`] orchestrator. All fields
+/// are written by the node's own threads and only read (cheap snapshots)
+/// from outside.
+pub struct NodeShared {
+    /// This node's stable member id.
+    pub id: MemberId,
+    alive: AtomicBool,
+    delivered: Mutex<Vec<Message>>,
+    overlay: Mutex<DynamicOverlay>,
+    links_up: Mutex<BTreeSet<MemberId>>,
+    crashes_applied: Mutex<BTreeSet<MemberId>>,
+}
+
+impl NodeShared {
+    /// `false` once the node was killed (or shut down) — fail-stop.
+    #[must_use]
+    pub fn is_alive(&self) -> bool {
+        self.alive.load(Ordering::SeqCst)
+    }
+
+    /// Broadcast ids of application messages delivered so far, in delivery
+    /// order.
+    #[must_use]
+    pub fn delivered_ids(&self) -> Vec<u64> {
+        self.delivered
+            .lock()
+            .iter()
+            .map(|m| m.broadcast_id)
+            .collect()
+    }
+
+    /// Application messages delivered so far.
+    #[must_use]
+    pub fn delivered_messages(&self) -> Vec<Message> {
+        self.delivered.lock().clone()
+    }
+
+    /// A snapshot of this node's overlay replica.
+    #[must_use]
+    pub fn overlay_snapshot(&self) -> DynamicOverlay {
+        self.overlay.lock().clone()
+    }
+
+    /// Peers with an established TCP connection right now.
+    #[must_use]
+    pub fn links_up(&self) -> BTreeSet<MemberId> {
+        self.links_up.lock().clone()
+    }
+
+    /// Members this node has declared crashed and healed around.
+    #[must_use]
+    pub fn crashes_applied(&self) -> BTreeSet<MemberId> {
+        self.crashes_applied.lock().clone()
+    }
+
+    /// Overlay neighbors this node currently wants links to.
+    #[must_use]
+    pub fn desired_neighbors(&self) -> BTreeSet<MemberId> {
+        self.overlay
+            .lock()
+            .neighbors_of(self.id)
+            .unwrap_or_default()
+            .into_iter()
+            .collect()
+    }
+}
+
+/// A spawned node: its observable state plus the orchestrator's handles.
+pub(crate) struct NodeHandle {
+    pub shared: Arc<NodeShared>,
+    pub tx: Sender<Event>,
+    pub main: Option<JoinHandle<()>>,
+    #[allow(dead_code)]
+    pub addr: SocketAddr,
+}
+
+/// Boots a node: binds threads around `listener` and returns immediately.
+/// The node dials its overlay neighbors from its first loop iteration.
+pub(crate) fn spawn_node(
+    id: MemberId,
+    overlay: DynamicOverlay,
+    listener: TcpListener,
+    directory: Directory,
+    config: RuntimeConfig,
+    metrics: Arc<MetricsRegistry>,
+    clock: BroadcastClock,
+) -> std::io::Result<NodeHandle> {
+    let addr = listener.local_addr()?;
+    listener.set_nonblocking(true)?;
+    let (tx, rx) = unbounded();
+
+    let shared = Arc::new(NodeShared {
+        id,
+        alive: AtomicBool::new(true),
+        delivered: Mutex::new(Vec::new()),
+        overlay: Mutex::new(overlay),
+        links_up: Mutex::new(BTreeSet::new()),
+        crashes_applied: Mutex::new(BTreeSet::new()),
+    });
+
+    // Acceptor: poll-accept so the thread can observe the kill flag.
+    {
+        let shared = Arc::clone(&shared);
+        let tx = tx.clone();
+        let poll = config.tick.min(Duration::from_millis(2));
+        std::thread::spawn(move || loop {
+            if !shared.is_alive() {
+                return; // listener drops, port closes
+            }
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    let _ = stream.set_nonblocking(false);
+                    let _ = stream.set_nodelay(true);
+                    spawn_handshake_reader(stream, tx.clone());
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(poll);
+                }
+                Err(_) => return,
+            }
+        });
+    }
+
+    // Main loop.
+    let main = {
+        let runtime = NodeRuntime {
+            id,
+            shared: Arc::clone(&shared),
+            config,
+            directory,
+            metrics,
+            clock,
+            tx: tx.clone(),
+            writers: HashMap::new(),
+            seen: HashSet::new(),
+            last_seen: HashMap::new(),
+            next_dial: HashMap::new(),
+            healing_since: None,
+        };
+        std::thread::spawn(move || runtime.run(&rx))
+    };
+
+    Ok(NodeHandle {
+        shared,
+        tx,
+        main: Some(main),
+        addr,
+    })
+}
+
+/// Reads the hello frame off a freshly accepted connection, registers the
+/// write half with the main loop, then settles into the plain reader loop.
+fn spawn_handshake_reader(mut stream: TcpStream, tx: Sender<Event>) {
+    std::thread::spawn(move || {
+        let peer = match read_frame(&mut stream) {
+            Ok(Some(msg)) => match wire::classify(msg.broadcast_id) {
+                FrameKind::Hello(peer) => peer,
+                _ => return, // protocol violation: first frame must be hello
+            },
+            _ => return,
+        };
+        let Ok(writer) = stream.try_clone() else {
+            return;
+        };
+        if tx.send(Event::Accepted { peer, writer }).is_err() {
+            return;
+        }
+        reader_loop(peer, &mut stream, &tx);
+    });
+}
+
+/// Decodes frames until EOF/error, forwarding each into the main loop.
+fn reader_loop(peer: MemberId, stream: &mut TcpStream, tx: &Sender<Event>) {
+    loop {
+        match read_frame(stream) {
+            Ok(Some(msg)) => {
+                if tx.send(Event::Frame { from: peer, msg }).is_err() {
+                    return; // node is gone
+                }
+            }
+            Ok(None) | Err(_) => {
+                let _ = tx.send(Event::PeerClosed { peer });
+                return;
+            }
+        }
+    }
+}
+
+/// The main loop's owned state. Everything here is single-threaded; shared
+/// observability goes through [`NodeShared`].
+struct NodeRuntime {
+    id: MemberId,
+    shared: Arc<NodeShared>,
+    config: RuntimeConfig,
+    directory: Directory,
+    metrics: Arc<MetricsRegistry>,
+    clock: BroadcastClock,
+    /// Cloned into reader threads spawned for dialed connections.
+    tx: Sender<Event>,
+    /// Write halves of every live connection, keyed by peer id.
+    writers: HashMap<MemberId, TcpStream>,
+    /// Flooding dedup: broadcast ids already processed.
+    seen: HashSet<u64>,
+    /// Last time each monitored peer produced any frame.
+    last_seen: HashMap<MemberId, Instant>,
+    /// Dial backoff: no redial before the recorded instant.
+    next_dial: HashMap<MemberId, Instant>,
+    /// Set when a crash is first applied; cleared (and timed) once every
+    /// desired link is re-established.
+    healing_since: Option<Instant>,
+}
+
+impl NodeRuntime {
+    fn run(mut self, rx: &Receiver<Event>) {
+        self.reconcile();
+        let mut next_beat = Instant::now() + self.config.heartbeat_period;
+        while self.shared.is_alive() {
+            match rx.recv_timeout(self.config.tick) {
+                Ok(ev) => self.handle(ev),
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => break,
+            }
+            if !self.shared.is_alive() {
+                break;
+            }
+            let now = Instant::now();
+            if now >= next_beat {
+                self.send_heartbeats();
+                next_beat = now + self.config.heartbeat_period;
+            }
+            self.check_suspicions(now);
+            self.reconcile();
+        }
+        // Fail-stop: slam every socket shut so peers see EOF, not silence.
+        self.shared.alive.store(false, Ordering::SeqCst);
+        for (_, s) in self.writers.drain() {
+            let _ = s.shutdown(Shutdown::Both);
+        }
+    }
+
+    fn handle(&mut self, ev: Event) {
+        match ev {
+            Event::Frame { from, msg } => self.on_frame(from, &msg),
+            Event::Accepted { peer, writer } => {
+                if let Some(old) = self.writers.insert(peer, writer) {
+                    let _ = old.shutdown(Shutdown::Both);
+                }
+                self.last_seen.insert(peer, Instant::now());
+                self.metrics.counter("runtime.accepts").inc();
+            }
+            Event::PeerClosed { peer } => self.drop_link(peer),
+            Event::Broadcast { msg } => {
+                self.seen.insert(msg.broadcast_id);
+                self.deliver(&msg);
+                self.flood(&msg, None);
+            }
+            Event::Kill => {
+                self.shared.alive.store(false, Ordering::SeqCst);
+            }
+        }
+    }
+
+    fn on_frame(&mut self, from: MemberId, msg: &Message) {
+        self.last_seen.insert(from, Instant::now());
+        match wire::classify(msg.broadcast_id) {
+            FrameKind::Heartbeat(_) => {} // liveness recorded above
+            FrameKind::Hello(_) => {}     // handshakes never reach the loop
+            FrameKind::Crash(victim) => {
+                if self.seen.insert(msg.broadcast_id) {
+                    self.flood(&msg.forwarded(), Some(from));
+                    self.apply_crash(victim);
+                }
+            }
+            FrameKind::Data => {
+                if self.seen.insert(msg.broadcast_id) {
+                    self.deliver(msg);
+                    self.flood(&msg.forwarded(), Some(from));
+                }
+            }
+        }
+    }
+
+    /// Records an application delivery (and its end-to-end latency, if the
+    /// broadcast's start instant is known).
+    fn deliver(&mut self, msg: &Message) {
+        self.metrics.counter("runtime.deliveries").inc();
+        if let Some(t0) = self.clock.read().get(&msg.broadcast_id) {
+            let us = u64::try_from(t0.elapsed().as_micros()).unwrap_or(u64::MAX);
+            self.metrics
+                .histogram("runtime.delivery_latency_us")
+                .record(us);
+        }
+        self.shared.delivered.lock().push(msg.clone());
+    }
+
+    /// Sends `msg` to every connected peer except `except`.
+    fn flood(&mut self, msg: &Message, except: Option<MemberId>) {
+        let peers: Vec<MemberId> = self.writers.keys().copied().collect();
+        for peer in peers {
+            if Some(peer) != except {
+                self.send_to(peer, msg);
+            }
+        }
+    }
+
+    /// Writes one frame to `peer`; a failed write tears the link down (the
+    /// reconcile pass will redial if the link is still wanted).
+    fn send_to(&mut self, peer: MemberId, msg: &Message) -> bool {
+        let res = match self.writers.get_mut(&peer) {
+            Some(stream) => write_frame(stream, msg),
+            None => return false,
+        };
+        match res {
+            Ok(n) => {
+                self.metrics.counter("runtime.messages_sent").inc();
+                self.metrics.counter("runtime.bytes_sent").add(n as u64);
+                true
+            }
+            Err(_) => {
+                self.drop_link(peer);
+                false
+            }
+        }
+    }
+
+    fn send_heartbeats(&mut self) {
+        let msg = Message::new(wire::heartbeat_id(self.id), self.id as u32, Bytes::new());
+        self.flood(&msg, None);
+    }
+
+    /// Declares crashed any monitored neighbor silent past the timeout.
+    fn check_suspicions(&mut self, now: Instant) {
+        let crashed = self.shared.crashes_applied.lock().clone();
+        let mut suspects = Vec::new();
+        for peer in self.shared.desired_neighbors() {
+            if crashed.contains(&peer) {
+                continue;
+            }
+            // A peer we have never heard from starts its grace period now;
+            // this also covers crash-before-connect (dials keep failing).
+            let seen_at = *self.last_seen.entry(peer).or_insert(now);
+            if now.duration_since(seen_at) > self.config.heartbeat_timeout {
+                suspects.push(peer);
+            }
+        }
+        for peer in suspects {
+            self.suspect(peer);
+        }
+    }
+
+    /// Local suspicion: announce the crash to the cluster, then heal.
+    fn suspect(&mut self, victim: MemberId) {
+        self.metrics.counter("runtime.suspects").inc();
+        let id = wire::crash_id(victim);
+        self.seen.insert(id);
+        let msg = Message::new(id, self.id as u32, Bytes::new());
+        self.flood(&msg, None);
+        self.apply_crash(victim);
+    }
+
+    /// Removes `victim` from the overlay replica and applies the resulting
+    /// churn: drop removed links, dial added ones. Idempotent per victim.
+    fn apply_crash(&mut self, victim: MemberId) {
+        if !self.shared.crashes_applied.lock().insert(victim) {
+            return;
+        }
+        self.metrics.counter("runtime.crashes_applied").inc();
+        if self.healing_since.is_none() {
+            self.healing_since = Some(Instant::now());
+        }
+        let churn = {
+            let mut ov = self.shared.overlay.lock();
+            if ov.contains(victim) {
+                // A below-floor heal is refused atomically; we then keep the
+                // stale topology minus the dead links. Defensive: the failure
+                // model promises at most k-1 crashes, which never hits the
+                // 2k membership floor from n ≥ 2k + (k-1) launches.
+                ov.crash_many(&[victim]).ok()
+            } else {
+                None
+            }
+        };
+        self.drop_link(victim);
+        self.last_seen.remove(&victim);
+        self.next_dial.remove(&victim);
+        if let Some(report) = churn {
+            for peer in report.removed_for(self.id).collect::<Vec<_>>() {
+                self.drop_link(peer);
+                self.metrics.counter("runtime.links_dropped").inc();
+            }
+            for peer in report.added_for(self.id).collect::<Vec<_>>() {
+                if self.id < peer {
+                    self.dial(peer);
+                }
+            }
+        }
+        self.reconcile();
+    }
+
+    /// Converges connections toward the overlay's desired neighbor set:
+    /// tears down links the dialer side no longer wants, dials missing ones
+    /// (with backoff), and closes the healing stopwatch when done.
+    fn reconcile(&mut self) {
+        let desired = self.shared.desired_neighbors();
+        let crashed = self.shared.crashes_applied.lock().clone();
+
+        // Teardown is dialer-driven so a link is never closed by a node
+        // that merely hasn't healed yet; connections to crashed members go
+        // unconditionally.
+        let current: Vec<MemberId> = self.writers.keys().copied().collect();
+        for peer in current {
+            if crashed.contains(&peer) || (self.id < peer && !desired.contains(&peer)) {
+                self.drop_link(peer);
+                self.metrics.counter("runtime.links_dropped").inc();
+            }
+        }
+
+        let now = Instant::now();
+        for &peer in &desired {
+            if self.id < peer && !self.writers.contains_key(&peer) && !crashed.contains(&peer) {
+                let due = self.next_dial.get(&peer).is_none_or(|&t| now >= t);
+                if due {
+                    self.dial(peer);
+                }
+            }
+        }
+
+        *self.shared.links_up.lock() = self.writers.keys().copied().collect();
+
+        if let Some(t0) = self.healing_since {
+            if desired.iter().all(|p| self.writers.contains_key(p)) {
+                let us = u64::try_from(t0.elapsed().as_micros()).unwrap_or(u64::MAX);
+                self.metrics
+                    .histogram("runtime.reconnect_time_us")
+                    .record(us);
+                self.metrics.counter("runtime.heals").inc();
+                self.healing_since = None;
+            }
+        }
+    }
+
+    /// Dials `peer`, performs the hello handshake, and spawns its reader.
+    fn dial(&mut self, peer: MemberId) {
+        let addr = self.directory.read().get(&peer).copied();
+        let stream =
+            addr.and_then(|a| TcpStream::connect_timeout(&a, self.config.dial_timeout).ok());
+        let Some(mut stream) = stream else {
+            self.metrics.counter("runtime.dial_failures").inc();
+            self.next_dial
+                .insert(peer, Instant::now() + self.config.dial_backoff);
+            return;
+        };
+        let _ = stream.set_nodelay(true);
+        let hello = Message::new(wire::hello_id(self.id), self.id as u32, Bytes::new());
+        let reader = match write_frame(&mut stream, &hello).and(stream.try_clone()) {
+            Ok(s) => s,
+            Err(_) => {
+                self.metrics.counter("runtime.dial_failures").inc();
+                self.next_dial
+                    .insert(peer, Instant::now() + self.config.dial_backoff);
+                return;
+            }
+        };
+        let tx = self.tx.clone();
+        std::thread::spawn(move || {
+            let mut reader = reader;
+            reader_loop(peer, &mut reader, &tx);
+        });
+        self.writers.insert(peer, stream);
+        self.last_seen.insert(peer, Instant::now());
+        self.next_dial.remove(&peer);
+        self.metrics.counter("runtime.dials").inc();
+    }
+
+    /// Closes and forgets the connection to `peer` (if any).
+    fn drop_link(&mut self, peer: MemberId) {
+        if let Some(s) = self.writers.remove(&peer) {
+            let _ = s.shutdown(Shutdown::Both);
+            *self.shared.links_up.lock() = self.writers.keys().copied().collect();
+        }
+        self.last_seen.remove(&peer);
+    }
+}

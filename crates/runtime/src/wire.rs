@@ -1,0 +1,103 @@
+//! Frame tagging for the runtime's control plane.
+//!
+//! Everything on the wire is a [`lhg_net::message::Message`] inside a
+//! length-prefixed frame ([`lhg_net::codec`]). The `broadcast_id` carries a
+//! tag in its upper bits that distinguishes control frames from application
+//! data; the member id a control frame refers to sits in the low 32 bits.
+//!
+//! Application data ids come from [`lhg_net::fifo::fifo_id`] (origin id in
+//! bits 32..64). Loopback clusters have tiny member ids, so bits 57+ are
+//! never set by data traffic; [`crate::Cluster`] enforces the ceiling at
+//! launch ([`MAX_MEMBERS`]).
+
+use lhg_core::overlay::MemberId;
+
+/// Tag bit of a handshake frame: the first frame a dialer sends, announcing
+/// its member id so the acceptor can key the connection.
+pub const HELLO_TAG: u64 = 1 << 57;
+/// Tag bit of a point-to-point liveness probe. Never forwarded, never
+/// deduplicated (the same id repeats every period).
+pub const HEARTBEAT_TAG: u64 = 1 << 58;
+/// Tag bit of a flooded crash announcement. One id per crashed member, so
+/// announcements from independent detectors deduplicate into one wave.
+pub const CRASH_TAG: u64 = 1 << 59;
+
+const TAG_MASK: u64 = HELLO_TAG | HEARTBEAT_TAG | CRASH_TAG;
+const MEMBER_MASK: u64 = u32::MAX as u64;
+
+/// Largest member id representable in a tagged frame without colliding with
+/// the tag bits (also bounds `fifo_id` origins well below bit 57).
+pub const MAX_MEMBERS: u64 = 1 << 25;
+
+/// What a received frame is, according to its tagged `broadcast_id`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameKind {
+    /// Handshake from the given dialer.
+    Hello(MemberId),
+    /// Liveness probe from the given member.
+    Heartbeat(MemberId),
+    /// Announcement that the given member crashed.
+    Crash(MemberId),
+    /// Application broadcast data.
+    Data,
+}
+
+/// Classifies a `broadcast_id` into its [`FrameKind`].
+#[must_use]
+pub fn classify(broadcast_id: u64) -> FrameKind {
+    let member = broadcast_id & MEMBER_MASK;
+    match broadcast_id & TAG_MASK {
+        HELLO_TAG => FrameKind::Hello(member),
+        HEARTBEAT_TAG => FrameKind::Heartbeat(member),
+        CRASH_TAG => FrameKind::Crash(member),
+        _ => FrameKind::Data,
+    }
+}
+
+/// Broadcast id of a handshake frame from `member`.
+#[must_use]
+pub fn hello_id(member: MemberId) -> u64 {
+    debug_assert!(member < MAX_MEMBERS);
+    HELLO_TAG | member
+}
+
+/// Broadcast id of a heartbeat from `member`.
+#[must_use]
+pub fn heartbeat_id(member: MemberId) -> u64 {
+    debug_assert!(member < MAX_MEMBERS);
+    HEARTBEAT_TAG | member
+}
+
+/// Broadcast id announcing that `member` crashed.
+#[must_use]
+pub fn crash_id(member: MemberId) -> u64 {
+    debug_assert!(member < MAX_MEMBERS);
+    CRASH_TAG | member
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lhg_net::fifo::fifo_id;
+
+    #[test]
+    fn tags_round_trip_through_classify() {
+        assert_eq!(classify(hello_id(7)), FrameKind::Hello(7));
+        assert_eq!(classify(heartbeat_id(0)), FrameKind::Heartbeat(0));
+        assert_eq!(classify(crash_id(11)), FrameKind::Crash(11));
+    }
+
+    #[test]
+    fn fifo_data_ids_stay_untagged() {
+        let id = fifo_id((MAX_MEMBERS - 1) as u32, u32::MAX);
+        assert_eq!(classify(id), FrameKind::Data);
+        assert_eq!(classify(0), FrameKind::Data);
+    }
+
+    #[test]
+    fn distinct_members_get_distinct_control_ids() {
+        assert_ne!(crash_id(1), crash_id(2));
+        assert_ne!(crash_id(1), heartbeat_id(1));
+        assert_ne!(heartbeat_id(1), hello_id(1));
+    }
+}

@@ -1,0 +1,109 @@
+//! End-to-end self-healing over real sockets: a k=3 LHG of 12 nodes on
+//! loopback TCP, one broadcast, two fail-stop crashes, then the survivors
+//! must detect, heal back to a 3-connected overlay, and keep delivering.
+
+use std::collections::BTreeSet;
+use std::time::Duration;
+
+use bytes::Bytes;
+use lhg_core::overlay::MemberId;
+use lhg_core::Constraint;
+use lhg_graph::connectivity::is_k_vertex_connected;
+use lhg_runtime::{Cluster, RuntimeConfig};
+
+const N: usize = 12;
+const K: usize = 3;
+
+#[test]
+fn twelve_node_cluster_survives_two_crashes() {
+    let mut c = Cluster::launch(Constraint::Jd, N, K, RuntimeConfig::default())
+        .expect("cluster boots and fully connects");
+
+    // Phase 1: a broadcast reaches every node over TCP.
+    let id1 = c
+        .broadcast(0, Bytes::from_static(b"before the crashes"))
+        .expect("origin is alive");
+    assert!(
+        c.await_delivery(id1, Duration::from_secs(15)),
+        "all 12 nodes deliver the first broadcast"
+    );
+
+    // Phase 2: fail-stop k-1 = 2 nodes, no goodbye messages.
+    let victims: [MemberId; 2] = [7, 11];
+    for v in victims {
+        c.kill(v).expect("victim was alive");
+    }
+
+    // Phase 3: heartbeat silence flags both crashes everywhere, and every
+    // survivor converges onto the same rebuilt overlay with live links.
+    assert!(
+        c.await_heal(Duration::from_secs(30)),
+        "survivors detect both crashes and re-establish the healed mesh"
+    );
+    let survivors = c.survivors();
+    assert_eq!(survivors.len(), N - victims.len());
+    for &s in &survivors {
+        let flagged = c.node(s).expect("known member").crashes_applied();
+        for v in victims {
+            assert!(flagged.contains(&v), "survivor {s} flagged crash of {v}");
+        }
+    }
+
+    // Phase 4: the healed topology is again a k-connected LHG, and all
+    // replicas agree on it.
+    assert!(c.overlays_agree(), "survivor replicas converged");
+    let g = c.survivor_graph().expect("survivors exist");
+    assert_eq!(g.node_count(), N - victims.len());
+    assert!(
+        is_k_vertex_connected(&g, K),
+        "healed overlay is {K}-node-connected"
+    );
+    let healed_members: BTreeSet<MemberId> = c
+        .node(survivors[0])
+        .expect("known member")
+        .overlay_snapshot()
+        .members()
+        .iter()
+        .copied()
+        .collect();
+    assert_eq!(
+        healed_members,
+        survivors.iter().copied().collect::<BTreeSet<_>>(),
+        "healed membership is exactly the survivor set"
+    );
+
+    // Phase 5: post-heal broadcasts still reach every correct node.
+    let id2 = c
+        .broadcast(survivors[1], Bytes::from_static(b"after the heal"))
+        .expect("survivor originates");
+    assert!(
+        c.await_delivery(id2, Duration::from_secs(15)),
+        "all correct nodes deliver the post-heal broadcast"
+    );
+    for &s in &survivors {
+        let ids = c.delivered_ids(s);
+        assert!(
+            ids.contains(&id1) && ids.contains(&id2),
+            "node {s} has both"
+        );
+    }
+    // The dead never deliver the second broadcast (they stopped first).
+    for v in victims {
+        assert!(!c.delivered_ids(v).contains(&id2));
+    }
+
+    // Metrics captured the story: suspicions, heals, latencies, reconnects.
+    let m = c.metrics();
+    assert!(
+        m.counter("runtime.suspects").get() >= 1,
+        "someone suspected"
+    );
+    assert!(
+        m.counter("runtime.crashes_applied").get() >= (survivors.len() as u64),
+        "every survivor applied at least one crash"
+    );
+    assert!(m.histogram("runtime.delivery_latency_us").count() >= 20);
+    assert!(m.histogram("runtime.reconnect_time_us").count() >= 1);
+
+    c.shutdown();
+}

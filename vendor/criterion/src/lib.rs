@@ -1,0 +1,294 @@
+//! Workspace-local stand-in for the `criterion` crate.
+//!
+//! Supports the bench files' API — `criterion_group!` / `criterion_main!`,
+//! `Criterion::benchmark_group`, `bench_function` / `bench_with_input`,
+//! `Bencher::iter` / `iter_batched`, `Throughput`, `BenchmarkId`,
+//! `sample_size` — with a simple wall-clock measurement loop instead of
+//! criterion's statistical machinery. Each benchmark warms up once, runs a
+//! fixed number of timed iterations, and prints mean ns/iter (plus
+//! throughput when configured).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Opaque value sink preventing the optimizer from deleting benched code.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id combining a function name and a parameter value.
+    #[must_use]
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{parameter}", function_name.into()),
+        }
+    }
+
+    /// An id carrying only a parameter value.
+    #[must_use]
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Units processed per iteration, for derived throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements per iteration.
+    Elements(u64),
+    /// Bytes per iteration.
+    Bytes(u64),
+}
+
+/// How batches are sized in [`Bencher::iter_batched`] (advisory only here).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration state.
+    SmallInput,
+    /// Large per-iteration state.
+    LargeInput,
+    /// One batch per iteration.
+    PerIteration,
+}
+
+/// Drives the timed iterations of one benchmark.
+pub struct Bencher {
+    samples: u64,
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    fn new(samples: u64) -> Self {
+        Bencher {
+            samples,
+            elapsed: Duration::ZERO,
+            iters: 0,
+        }
+    }
+
+    /// Times `routine` over the sample budget.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        let _warmup = black_box(routine());
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+        self.iters = self.samples;
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; setup time is excluded.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        let _warmup = black_box(routine(setup()));
+        let mut total = Duration::ZERO;
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+        self.iters = self.samples;
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: u64,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-iteration work units used for throughput output.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Sets how many timed iterations each benchmark runs.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1) as u64;
+        self
+    }
+
+    /// Advisory in this stand-in (kept for API parity).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl fmt::Display,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id);
+        self.criterion
+            .run_one(&label, self.sample_size, self.throughput, f);
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (output is already flushed per benchmark).
+    pub fn finish(self) {}
+}
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    default_samples: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_samples: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// API-parity hook; command-line options are ignored in this stand-in.
+    #[must_use]
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.default_samples;
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+            sample_size,
+        }
+    }
+
+    /// Runs one ungrouped benchmark.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        self.run_one(name, self.default_samples, None, f);
+        self
+    }
+
+    fn run_one(
+        &mut self,
+        label: &str,
+        samples: u64,
+        throughput: Option<Throughput>,
+        mut f: impl FnMut(&mut Bencher),
+    ) {
+        let mut bencher = Bencher::new(samples);
+        f(&mut bencher);
+        if bencher.iters == 0 {
+            println!("{label}: no iterations recorded");
+            return;
+        }
+        let ns_per_iter = bencher.elapsed.as_nanos() as f64 / bencher.iters as f64;
+        match throughput {
+            Some(Throughput::Elements(n)) => {
+                let per_sec = n as f64 * 1e9 / ns_per_iter;
+                println!("{label}: {ns_per_iter:.0} ns/iter, {per_sec:.0} elem/s");
+            }
+            Some(Throughput::Bytes(n)) => {
+                let per_sec = n as f64 * 1e9 / ns_per_iter;
+                println!("{label}: {ns_per_iter:.0} ns/iter, {per_sec:.0} B/s");
+            }
+            None => println!("{label}: {ns_per_iter:.0} ns/iter"),
+        }
+    }
+}
+
+/// Bundles benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emits `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_run_and_measure() {
+        let mut c = Criterion::default();
+        let mut ran = 0u32;
+        {
+            let mut group = c.benchmark_group("g");
+            group.throughput(Throughput::Elements(4));
+            group.sample_size(3);
+            group.bench_with_input(BenchmarkId::new("sum", 4), &[1u64, 2, 3, 4][..], |b, xs| {
+                b.iter(|| xs.iter().sum::<u64>());
+                ran += 1;
+            });
+            group.bench_function("batched", |b| {
+                b.iter_batched(|| vec![1u8; 64], |v| v.len(), BatchSize::SmallInput);
+                ran += 1;
+            });
+            group.finish();
+        }
+        c.bench_function("plain", |b| {
+            b.iter(|| black_box(2 + 2));
+            ran += 1;
+        });
+        assert_eq!(ran, 3);
+    }
+
+    #[test]
+    fn macros_compose() {
+        fn bench_a(c: &mut Criterion) {
+            c.bench_function("a", |b| b.iter(|| 1 + 1));
+        }
+        criterion_group!(benches, bench_a);
+        benches();
+    }
+}

@@ -1,0 +1,475 @@
+//! Workspace-local stand-in for the `serde` crate.
+//!
+//! The real serde's zero-copy, format-agnostic architecture is far more than
+//! this workspace needs, and the build environment cannot fetch it. This
+//! stand-in keeps the two-trait shape — [`Serialize`] / [`Deserialize`] —
+//! but routes everything through an owned JSON-like [`Value`] tree. The
+//! companion `serde_json` stand-in renders and parses that tree as JSON
+//! text.
+//!
+//! Instead of a proc-macro derive, implementations are written with the
+//! declarative helpers [`impl_serde_struct!`] and [`impl_serde_transparent!`]
+//! (enums are implemented by hand — the workspace has three).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::fmt;
+
+/// An owned JSON-like value tree: the single data model every `Serialize` /
+/// `Deserialize` implementation maps through.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Non-negative integer.
+    U64(u64),
+    /// Negative integer (always `< 0`; non-negatives normalize to [`Value::U64`]).
+    I64(i64),
+    /// Floating-point number.
+    F64(f64),
+    /// JSON string.
+    Str(String),
+    /// JSON array.
+    Arr(Vec<Value>),
+    /// JSON object, insertion-ordered.
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Builds an object value from key/value pairs.
+    #[must_use]
+    pub fn object(fields: Vec<(String, Value)>) -> Value {
+        Value::Obj(fields)
+    }
+
+    /// Looks up a field in an object value.
+    #[must_use]
+    pub fn field(&self, name: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(fields) => fields.iter().find(|(k, _)| k == name).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Returns the u64 payload if this is a non-negative integer.
+    #[must_use]
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Value::U64(u) => Some(u),
+            Value::I64(i) if i >= 0 => Some(i as u64),
+            _ => None,
+        }
+    }
+
+    /// Returns the string payload if this is a string.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns the array payload if this is an array.
+    #[must_use]
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// A short name of the value's kind, for error messages.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::U64(_) | Value::I64(_) | Value::F64(_) => "number",
+            Value::Str(_) => "string",
+            Value::Arr(_) => "array",
+            Value::Obj(_) => "object",
+        }
+    }
+}
+
+/// Deserialization failure: what was expected and what was found.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    /// Creates an error with the given message.
+    #[must_use]
+    pub fn new(message: impl Into<String>) -> Self {
+        Error {
+            message: message.into(),
+        }
+    }
+
+    /// Convenience: "expected X, found Y" for a mismatched value.
+    #[must_use]
+    pub fn expected(what: &str, found: &Value) -> Self {
+        Error::new(format!("expected {what}, found {}", found.kind()))
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types that can render themselves into a [`Value`] tree.
+pub trait Serialize {
+    /// Converts `self` into the data-model tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can rebuild themselves from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Parses an instance out of the data-model tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error`] when the tree's shape does not match the type.
+    fn from_value(value: &Value) -> Result<Self, Error>;
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        Ok(value.clone())
+    }
+}
+
+// --- primitive impls -----------------------------------------------------
+
+macro_rules! impl_serde_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let raw = value
+                    .as_u64()
+                    .ok_or_else(|| Error::expected("unsigned integer", value))?;
+                <$t>::try_from(raw)
+                    .map_err(|_| Error::new(format!("{raw} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_serde_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_serde_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let v = *self as i64;
+                if v >= 0 { Value::U64(v as u64) } else { Value::I64(v) }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let raw = match *value {
+                    Value::I64(i) => i,
+                    Value::U64(u) => i64::try_from(u)
+                        .map_err(|_| Error::new(format!("{u} out of i64 range")))?,
+                    _ => return Err(Error::expected("integer", value)),
+                };
+                <$t>::try_from(raw)
+                    .map_err(|_| Error::new(format!("{raw} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_serde_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(Error::expected("bool", value)),
+        }
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match *value {
+            Value::F64(f) => Ok(f),
+            Value::U64(u) => Ok(u as f64),
+            Value::I64(i) => Ok(i as f64),
+            _ => Err(Error::expected("number", value)),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_str()
+            .map(str::to_owned)
+            .ok_or_else(|| Error::expected("string", value))
+    }
+}
+
+impl Serialize for &str {
+    fn to_value(&self) -> Value {
+        Value::Str((*self).to_owned())
+    }
+}
+
+// --- container impls -----------------------------------------------------
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(v) => v.to_value(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_array()
+            .ok_or_else(|| Error::expected("array", value))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize + Ord> Serialize for BTreeSet<T> {
+    fn to_value(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for BTreeSet<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_array()
+            .ok_or_else(|| Error::expected("array", value))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn to_value(&self) -> Value {
+        Value::Obj(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Obj(fields) => fields
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::from_value(v)?)))
+                .collect(),
+            _ => Err(Error::expected("object", value)),
+        }
+    }
+}
+
+impl<V: Serialize> Serialize for HashMap<String, V> {
+    fn to_value(&self) -> Value {
+        // Sort keys so output is deterministic.
+        let mut fields: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| (k.clone(), v.to_value()))
+            .collect();
+        fields.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Obj(fields)
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_value(&self) -> Value {
+        Value::Arr(vec![self.0.to_value(), self.1.to_value()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value.as_array() {
+            Some([a, b]) => Ok((A::from_value(a)?, B::from_value(b)?)),
+            _ => Err(Error::expected("2-element array", value)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (*self).to_value()
+    }
+}
+
+// --- impl helpers --------------------------------------------------------
+
+/// Implements `Serialize`/`Deserialize` for a struct with named fields,
+/// mapping it to a JSON object keyed by field name (the same shape real
+/// serde derives). Must be invoked where the fields are visible.
+///
+/// ```ignore
+/// impl_serde_struct!(Graph { adjacency: Vec<BTreeSet<NodeId>>, edge_count: usize });
+/// ```
+#[macro_export]
+macro_rules! impl_serde_struct {
+    ($ty:ident { $($field:ident : $fty:ty),+ $(,)? }) => {
+        impl $crate::Serialize for $ty {
+            fn to_value(&self) -> $crate::Value {
+                $crate::Value::Obj(vec![
+                    $( (stringify!($field).to_owned(), $crate::Serialize::to_value(&self.$field)) ),+
+                ])
+            }
+        }
+        impl $crate::Deserialize for $ty {
+            fn from_value(value: &$crate::Value) -> Result<Self, $crate::Error> {
+                Ok($ty {
+                    $( $field: <$fty as $crate::Deserialize>::from_value(
+                        value.field(stringify!($field)).ok_or_else(|| $crate::Error::new(
+                            concat!("missing field `", stringify!($field), "`")))?
+                    )? ),+
+                })
+            }
+        }
+    };
+}
+
+/// Implements `Serialize`/`Deserialize` for a newtype struct serialized as
+/// its inner value (serde's `#[serde(transparent)]`).
+///
+/// ```ignore
+/// impl_serde_transparent!(NodeId, usize);
+/// ```
+#[macro_export]
+macro_rules! impl_serde_transparent {
+    ($ty:ident, $inner:ty) => {
+        impl $crate::Serialize for $ty {
+            fn to_value(&self) -> $crate::Value {
+                $crate::Serialize::to_value(&self.0)
+            }
+        }
+        impl $crate::Deserialize for $ty {
+            fn from_value(value: &$crate::Value) -> Result<Self, $crate::Error> {
+                <$inner as $crate::Deserialize>::from_value(value).map($ty)
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(usize::from_value(&42usize.to_value()), Ok(42));
+        assert_eq!(i64::from_value(&(-3i64).to_value()), Ok(-3));
+        assert_eq!(bool::from_value(&true.to_value()), Ok(true));
+        assert_eq!(
+            String::from_value(&"hi".to_string().to_value()),
+            Ok("hi".to_string())
+        );
+        assert_eq!(Option::<u32>::from_value(&Value::Null), Ok(None));
+        assert_eq!(Option::<u32>::from_value(&Value::U64(5)), Ok(Some(5)));
+    }
+
+    #[test]
+    fn collections_round_trip() {
+        let v = vec![1usize, 2, 3];
+        assert_eq!(Vec::<usize>::from_value(&v.to_value()), Ok(v));
+        let s: BTreeSet<u32> = [3, 1, 2].into_iter().collect();
+        assert_eq!(BTreeSet::<u32>::from_value(&s.to_value()), Ok(s));
+        let pair = (7usize, true);
+        assert_eq!(<(usize, bool)>::from_value(&pair.to_value()), Ok(pair));
+    }
+
+    #[test]
+    fn shape_mismatches_are_reported() {
+        assert!(usize::from_value(&Value::Str("x".into())).is_err());
+        assert!(bool::from_value(&Value::U64(1)).is_err());
+        assert!(Vec::<usize>::from_value(&Value::Bool(false)).is_err());
+        assert!(u8::from_value(&Value::U64(300)).is_err());
+    }
+
+    #[test]
+    fn struct_macro_round_trips() {
+        #[derive(Debug, PartialEq)]
+        struct P {
+            x: usize,
+            tag: Option<String>,
+        }
+        impl_serde_struct!(P { x: usize, tag: Option<String> });
+
+        let p = P {
+            x: 9,
+            tag: Some("hi".into()),
+        };
+        let v = p.to_value();
+        assert_eq!(v.field("x"), Some(&Value::U64(9)));
+        assert_eq!(P::from_value(&v), Ok(p));
+        assert!(P::from_value(&Value::Obj(vec![])).is_err(), "missing field");
+    }
+}
