@@ -1,0 +1,96 @@
+//! Observability overhead: the flight-recorder append hot path, and the
+//! threaded broadcast engine with tracing off vs on. The paired broadcast
+//! benchmarks are the "within 10%" check from the observability acceptance
+//! criteria — compare `threaded_broadcast/plain` against
+//! `threaded_broadcast/traced` in the printed output.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use lhg_core::kdiamond::build_kdiamond;
+use lhg_graph::NodeId;
+use lhg_net::metrics::MetricsRegistry;
+use lhg_net::threaded::{run_threaded_broadcast_traced, run_threaded_broadcast_with_metrics};
+use lhg_trace::{EventKind, FlightRecorder, PathRecord, TraceCollector};
+
+fn bench_trace(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trace");
+
+    // The append hot path: one fetch_add plus one uncontended slot write.
+    let recorder = FlightRecorder::with_capacity(0, 4096, Instant::now());
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("recorder_append", |b| {
+        b.iter(|| {
+            recorder.record(black_box(EventKind::FrameTx { peer: 7, bytes: 64 }));
+        });
+    });
+
+    // Path-record collection: one short mutex push per delivery.
+    let collector = TraceCollector::new();
+    group.bench_function("collector_record", |b| {
+        b.iter(|| {
+            collector.record(black_box(PathRecord {
+                trace_id: 1,
+                node: 3,
+                parent: Some(2),
+                hops: 4,
+                at_us: 99,
+            }));
+        });
+    });
+
+    // Whole-broadcast overhead over in-process channels: every frame of the
+    // traced run carries the 9-byte trace extension and every delivery
+    // records a path record. Throughput should stay within ~10% of plain.
+    let k = 3;
+    let idle = Duration::from_millis(200);
+    for n in [16usize, 48] {
+        let overlay = build_kdiamond(n, k).unwrap().into_graph();
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(
+            BenchmarkId::new("threaded_broadcast/plain", n),
+            &overlay,
+            |b, g| {
+                let metrics = MetricsRegistry::new();
+                b.iter(|| {
+                    run_threaded_broadcast_with_metrics(
+                        black_box(g),
+                        NodeId(0),
+                        Bytes::from_static(b"bench"),
+                        &[],
+                        idle,
+                        &metrics,
+                    )
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("threaded_broadcast/traced", n),
+            &overlay,
+            |b, g| {
+                let metrics = MetricsRegistry::new();
+                let tracer = Arc::new(TraceCollector::new());
+                b.iter(|| {
+                    run_threaded_broadcast_traced(
+                        black_box(g),
+                        NodeId(0),
+                        Bytes::from_static(b"bench"),
+                        &[],
+                        idle,
+                        &metrics,
+                        42,
+                        &tracer,
+                    )
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_trace);
+criterion_main!(benches);

@@ -9,6 +9,7 @@
 //! lhg flood     --n N --k K [--failures F] [--trials T] [--constraint C]
 //! lhg census    --k K [--max-n N]             # EX/REG table
 //! lhg cluster   --nodes N --k K [--kill F]    # real-socket self-healing run
+//! lhg observe   --nodes N --k K [--kill F]    # traced run: timeline + hop report
 //! ```
 //!
 //! All logic lives in [`run`], which writes to any `io::Write` — the tests
@@ -138,6 +139,7 @@ USAGE:
   lhg flood    --n N --k K [--failures F] [--trials T] [--constraint C] [--seed S]
   lhg census   --k K [--max-n N]
   lhg cluster  --nodes N --k K [--kill F] [--constraint ktree|kdiamond|jd] [--metrics full|summary|off]
+  lhg observe  --nodes N --k K [--kill F] [--broadcasts B] [--constraint C] [--format human|json] [--events PATH]
   lhg help
 ";
 
@@ -288,38 +290,76 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
             let n: usize = opts.required("nodes")?;
             let k: usize = opts.required("k")?;
             let kill: usize = opts.optional("kill", 0)?;
-            // kdiamond by default (like generate/flood): it exists at every
-            // n ≥ 2k, so healing never lands on a non-constructible size —
-            // JD sizes have gaps.
-            let constraint = match opts.string("constraint", "kdiamond").as_str() {
-                "jd" => Constraint::Jd,
-                "ktree" => Constraint::KTree,
-                "kdiamond" => Constraint::KDiamond,
-                other => {
-                    return Err(err(format!(
-                        "unknown constraint {other:?} (expected ktree, kdiamond or jd)"
-                    )))
-                }
-            };
-            if k >= 2 && kill >= k {
-                return Err(err(format!(
-                    "--kill {kill} violates the fail-stop model: an LHG at k={k} \
-                     tolerates at most k-1 = {} crashes",
-                    k - 1
-                )));
-            }
-            if n < 2 * k + kill {
-                return Err(err(format!(
-                    "--nodes {n} too small: healing after {kill} crashes needs \
-                     n - {kill} ≥ 2k = {}",
-                    2 * k
-                )));
-            }
+            let constraint = runtime_constraint(&opts.string("constraint", "kdiamond"))?;
+            check_failure_model(n, k, kill)?;
             let metrics_mode = opts.string("metrics", "full");
             run_cluster(n, k, kill, constraint, &metrics_mode, out)
         }
+        "observe" => {
+            let opts = Options::parse(rest)?;
+            let n: usize = opts.required("nodes")?;
+            let k: usize = opts.required("k")?;
+            let kill: usize = opts.optional("kill", 0)?;
+            let broadcasts: usize = opts.optional("broadcasts", 1)?;
+            let constraint = runtime_constraint(&opts.string("constraint", "kdiamond"))?;
+            check_failure_model(n, k, kill)?;
+            if broadcasts == 0 {
+                return Err(err("--broadcasts must be at least 1"));
+            }
+            let format = opts.string("format", "human");
+            if !matches!(format.as_str(), "human" | "json") {
+                return Err(err(format!(
+                    "unknown format {format:?} (expected human or json)"
+                )));
+            }
+            let events_path = opts.flags.get("events").cloned();
+            run_observe(
+                n,
+                k,
+                kill,
+                broadcasts,
+                constraint,
+                &format,
+                events_path.as_deref(),
+                out,
+            )
+        }
         other => Err(err(format!("unknown command {other:?}\n{USAGE}"))),
     }
+}
+
+/// Parses a runtime-capable constraint name. kdiamond is the recommended
+/// default (like generate/flood): it exists at every n ≥ 2k, so healing
+/// never lands on a non-constructible size — JD sizes have gaps.
+fn runtime_constraint(name: &str) -> Result<Constraint, CliError> {
+    match name {
+        "jd" => Ok(Constraint::Jd),
+        "ktree" => Ok(Constraint::KTree),
+        "kdiamond" => Ok(Constraint::KDiamond),
+        other => Err(err(format!(
+            "unknown constraint {other:?} (expected ktree, kdiamond or jd)"
+        ))),
+    }
+}
+
+/// Rejects runs outside the paper's fail-stop model: at most k−1 crashes,
+/// and enough membership left for the overlay to heal.
+fn check_failure_model(n: usize, k: usize, kill: usize) -> Result<(), CliError> {
+    if k >= 2 && kill >= k {
+        return Err(err(format!(
+            "--kill {kill} violates the fail-stop model: an LHG at k={k} \
+             tolerates at most k-1 = {} crashes",
+            k - 1
+        )));
+    }
+    if n < 2 * k + kill {
+        return Err(err(format!(
+            "--nodes {n} too small: healing after {kill} crashes needs \
+             n - {kill} ≥ 2k = {}",
+            2 * k
+        )));
+    }
+    Ok(())
 }
 
 /// Drives one `lhg cluster` run: boot a real-socket cluster, broadcast,
@@ -455,6 +495,145 @@ fn run_cluster(
     }
     c.shutdown();
     Ok(())
+}
+
+/// Drives one `lhg observe` run: a traced real-socket cluster lifecycle
+/// (broadcasts, fail-stop crashes, healing, a post-heal broadcast), then
+/// renders the flight-recorder timeline and the per-broadcast hop report.
+/// Fails — the binary exits 1 — when any broadcast's realized dissemination
+/// tree does not span the survivors or exceeds the theoretical hop bound.
+#[allow(clippy::too_many_arguments)]
+fn run_observe(
+    n: usize,
+    k: usize,
+    kill: usize,
+    broadcasts: usize,
+    constraint: Constraint,
+    format: &str,
+    events_path: Option<&str>,
+    out: &mut dyn Write,
+) -> Result<(), CliError> {
+    use std::collections::BTreeSet;
+    use std::time::Duration;
+
+    use lhg_core::properties::p4_diameter_bound;
+    use lhg_runtime::{Cluster, RuntimeConfig};
+
+    let io_err = |e: std::io::Error| err(format!("write failed: {e}"));
+    let delivery_window = Duration::from_secs(15);
+    let heal_window = Duration::from_secs(30);
+
+    let mut c = Cluster::launch(constraint, n, k, RuntimeConfig::default())
+        .map_err(|e| err(format!("launch failed: {e}")))?;
+    let members = c.members();
+
+    // Pre-crash broadcasts rotate origins so traces exercise distinct trees;
+    // each must span the full membership within the n-node bound.
+    let mut expectations: Vec<(u64, BTreeSet<u32>, f64)> = Vec::new();
+    let all: BTreeSet<u32> = members.iter().map(|&m| m as u32).collect();
+    for b in 0..broadcasts {
+        let origin = members[b % members.len()];
+        let id = c
+            .broadcast(origin, bytes::Bytes::from(format!("observe #{b}")))
+            .map_err(|e| err(e.to_string()))?;
+        if !c.await_delivery(id, delivery_window) {
+            return Err(err(format!(
+                "broadcast {id:#x} was not delivered everywhere"
+            )));
+        }
+        expectations.push((id, all.clone(), p4_diameter_bound(n, k)));
+    }
+
+    // Fail-stop the highest member ids (never 0, the post-heal origin).
+    let victims: Vec<_> = members.iter().rev().copied().take(kill).collect();
+    for &v in &victims {
+        c.kill(v).map_err(|e| err(e.to_string()))?;
+    }
+    if kill > 0 {
+        if !c.await_heal(heal_window) {
+            return Err(err(
+                "survivors did not converge on a healed overlay in time",
+            ));
+        }
+        // The post-heal broadcast must span exactly the survivors, within
+        // the bound at the smaller membership.
+        let survivors: BTreeSet<u32> = c.survivors().iter().map(|&m| m as u32).collect();
+        let id = c
+            .broadcast(0, bytes::Bytes::from_static(b"observe post-heal"))
+            .map_err(|e| err(e.to_string()))?;
+        if !c.await_delivery(id, delivery_window) {
+            return Err(err(
+                "post-heal broadcast was not delivered to every survivor",
+            ));
+        }
+        expectations.push((id, survivors, p4_diameter_bound(n - kill, k)));
+    }
+
+    let events = c.events();
+    let reports: Vec<lhg_trace::HopReport> = expectations
+        .iter()
+        .map(|(id, expected, bound)| {
+            c.tracer().trace(*id).map_or_else(
+                || lhg_trace::BroadcastTrace::empty(*id).report(expected, *bound),
+                |t| t.report(expected, *bound),
+            )
+        })
+        .collect();
+
+    if let Some(path) = events_path {
+        c.dump_events(std::path::Path::new(path))
+            .map_err(|e| err(format!("cannot write {path}: {e}")))?;
+    }
+
+    match format {
+        "json" => {
+            let events_json: Vec<String> = events.iter().map(|e| e.to_json()).collect();
+            let reports_json: Vec<String> = reports.iter().map(|r| r.to_json()).collect();
+            writeln!(
+                out,
+                "{{\"nodes\":{n},\"k\":{k},\"killed\":[{}],\"events\":[{}],\"reports\":[{}]}}",
+                victims
+                    .iter()
+                    .map(|v| v.to_string())
+                    .collect::<Vec<_>>()
+                    .join(","),
+                events_json.join(","),
+                reports_json.join(",")
+            )
+            .map_err(io_err)?;
+        }
+        _ => {
+            writeln!(
+                out,
+                "timeline ({} events recorded; frame/heartbeat traffic hidden):",
+                events.len()
+            )
+            .map_err(io_err)?;
+            for e in events.iter().filter(|e| !e.kind.is_traffic()) {
+                writeln!(out, "{e}").map_err(io_err)?;
+            }
+            writeln!(out, "\nper-broadcast hop report:").map_err(io_err)?;
+            writeln!(out, "{}", lhg_trace::HopReport::table_header()).map_err(io_err)?;
+            for r in &reports {
+                writeln!(out, "{}", r.table_row()).map_err(io_err)?;
+            }
+        }
+    }
+    c.shutdown();
+
+    let violations: Vec<u64> = reports
+        .iter()
+        .filter(|r| !r.within_bound())
+        .map(|r| r.trace_id)
+        .collect();
+    if violations.is_empty() {
+        Ok(())
+    } else {
+        Err(err(format!(
+            "{} broadcast(s) violated the spanning/hop-bound check: {violations:#x?}",
+            violations.len()
+        )))
+    }
 }
 
 #[cfg(test)]
@@ -608,6 +787,77 @@ mod tests {
         assert!(out.contains("2-node-connected: true"), "{out}");
         assert!(out.contains("delivered by all 6 survivors"), "{out}");
         assert!(out.contains("metrics:"), "{out}");
+    }
+
+    #[test]
+    fn observe_reports_spanning_broadcasts_with_one_crash() {
+        let events = std::env::temp_dir().join("lhg_cli_observe_test.jsonl");
+        let out = run_to_string(&[
+            "observe",
+            "--nodes",
+            "7",
+            "-k",
+            "2",
+            "--kill",
+            "1",
+            "--events",
+            events.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(out.contains("timeline"), "{out}");
+        assert!(out.contains("broadcast_accept"), "{out}");
+        assert!(out.contains("suspicion"), "{out}");
+        assert!(out.contains("heal_end"), "{out}");
+        assert!(out.contains("per-broadcast hop report"), "{out}");
+        // Two report rows: one pre-crash, one post-heal; both spanning.
+        let rows = out
+            .lines()
+            .filter(|l| l.trim_start().starts_with("0x"))
+            .count();
+        assert_eq!(rows, 2, "{out}");
+        assert!(!out.contains("false"), "no spanning violations: {out}");
+        // The --events dump holds the full unfiltered timeline.
+        let dump = std::fs::read_to_string(&events).unwrap();
+        assert!(dump.lines().count() > 50, "traffic included");
+        assert!(dump.contains("\"event\":\"heartbeat\""));
+        std::fs::remove_file(&events).ok();
+    }
+
+    #[test]
+    fn observe_json_emits_events_and_reports() {
+        let out = run_to_string(&[
+            "observe",
+            "--nodes",
+            "6",
+            "-k",
+            "2",
+            "--format",
+            "json",
+            "--broadcasts",
+            "2",
+        ])
+        .unwrap();
+        assert!(
+            out.starts_with("{\"nodes\":6,\"k\":2,\"killed\":[]"),
+            "{out}"
+        );
+        assert!(out.contains("\"events\":[{"), "{out}");
+        assert!(out.contains("\"reports\":[{"), "{out}");
+        assert_eq!(out.matches("\"max_hops\"").count(), 2, "{out}");
+        assert!(out.contains("\"spanning\":true"), "{out}");
+        assert!(!out.contains("\"spanning\":false"), "{out}");
+    }
+
+    #[test]
+    fn observe_rejects_bad_options() {
+        let e = run_to_string(&["observe", "--nodes", "8", "-k", "2", "--kill", "2"]).unwrap_err();
+        assert!(e.message.contains("fail-stop model"), "{e}");
+        let e =
+            run_to_string(&["observe", "--nodes", "6", "-k", "2", "--format", "xml"]).unwrap_err();
+        assert!(e.message.contains("unknown format"), "{e}");
+        let e = run_to_string(&["observe", "--nodes", "6", "-k", "2", "--broadcasts", "0"])
+            .unwrap_err();
+        assert!(e.message.contains("at least 1"), "{e}");
     }
 
     #[test]

@@ -57,6 +57,9 @@ pub enum Protocol {
 pub struct FloodOutcome {
     /// Round at which each node was informed (`None` = never).
     pub informed_at: Vec<Option<u32>>,
+    /// The neighbor each node was first informed by (`None` for the origin
+    /// and for never-informed nodes) — the realized dissemination tree.
+    pub parents: Vec<Option<NodeId>>,
     /// Total messages sent (each transmission attempt counts, including
     /// attempts onto failed links and to crashed nodes — the sender cannot
     /// know).
@@ -122,6 +125,23 @@ impl FloodOutcome {
         metrics
             .histogram("flood.quiescence_round")
             .record(u64::from(self.quiescence_round));
+    }
+
+    /// Contributes one [`lhg_trace::PathRecord`] per informed node to
+    /// `tracer` under `trace_id`, so round-synchronous floods feed the same
+    /// spanning-tree reconstruction as the event-driven and TCP runtimes.
+    /// Rounds stand in for both hop count and time (`at_us` = round).
+    pub fn record_trace(&self, trace_id: u64, tracer: &lhg_trace::TraceCollector) {
+        for (v, informed) in self.informed_at.iter().enumerate() {
+            let Some(round) = informed else { continue };
+            tracer.record(lhg_trace::PathRecord {
+                trace_id,
+                node: v as u32,
+                parent: self.parents[v].map(|p| p.index() as u32),
+                hops: *round,
+                at_us: u64::from(*round),
+            });
+        }
     }
 
     /// Coverage curve: for each round `r = 0..=last`, the fraction of
@@ -284,7 +304,7 @@ pub fn run_broadcast_lossy(
         }
     }
 
-    finish(informed_at, messages_sent, round, plan)
+    finish(informed_at, first_sender, messages_sent, round, plan)
 }
 
 /// Push–pull anti-entropy loop: every live node contacts `fanout` random
@@ -301,12 +321,13 @@ fn run_push_pull(
     let n = topology.node_count();
     let mut rng = StdRng::seed_from_u64(seed);
     let mut informed_at: Vec<Option<u32>> = vec![None; n];
+    let mut first_sender: Vec<Option<NodeId>> = vec![None; n];
     informed_at[origin.index()] = Some(0);
     let mut messages_sent: u64 = 0;
 
     for round in 1..=rounds {
         let informed_snapshot: Vec<bool> = informed_at.iter().map(Option::is_some).collect();
-        let mut to_inform: Vec<usize> = Vec::new();
+        let mut to_inform: Vec<(usize, NodeId)> = Vec::new(); // (node, informer)
         for v in 0..n {
             if plan.is_crashed(NodeId(v), round) {
                 continue;
@@ -327,24 +348,26 @@ fn run_push_pull(
                     continue;
                 }
                 match (informed_snapshot[v], informed_snapshot[w.index()]) {
-                    (true, false) => to_inform.push(w.index()),
-                    (false, true) => to_inform.push(v),
+                    (true, false) => to_inform.push((w.index(), NodeId(v))),
+                    (false, true) => to_inform.push((v, w)),
                     _ => {}
                 }
             }
         }
-        for v in to_inform {
+        for (v, informer) in to_inform {
             if informed_at[v].is_none() {
                 informed_at[v] = Some(round);
+                first_sender[v] = Some(informer);
             }
         }
     }
 
-    finish(informed_at, messages_sent, rounds, plan)
+    finish(informed_at, first_sender, messages_sent, rounds, plan)
 }
 
 fn finish(
     informed_at: Vec<Option<u32>>,
+    parents: Vec<Option<NodeId>>,
     messages_sent: u64,
     quiescence_round: u32,
     plan: &FailurePlan,
@@ -361,6 +384,7 @@ fn finish(
     }
     FloodOutcome {
         informed_at,
+        parents,
         messages_sent,
         quiescence_round,
         correct_nodes,
@@ -558,6 +582,56 @@ mod tests {
         assert_eq!(reg.histogram("flood.inform_round").count(), 8);
         let json = reg.snapshot_json();
         assert!(json.contains("flood.quiescence_round"));
+    }
+
+    #[test]
+    fn parents_form_the_dissemination_tree() {
+        let t = csr_path(4);
+        let out = run_broadcast(&t, NodeId(0), &FailurePlan::none(), Protocol::Flood, 0);
+        assert_eq!(
+            out.parents,
+            vec![None, Some(NodeId(0)), Some(NodeId(1)), Some(NodeId(2))]
+        );
+    }
+
+    #[test]
+    fn record_trace_reconstructs_spanning_tree() {
+        use std::collections::BTreeSet;
+
+        let t = csr_cycle(8);
+        let mut plan = FailurePlan::none();
+        plan.crash_node(NodeId(3), 0);
+        let out = run_broadcast(&t, NodeId(0), &plan, Protocol::Flood, 0);
+        let tracer = lhg_trace::TraceCollector::new();
+        out.record_trace(11, &tracer);
+        let trace = tracer.trace(11).expect("trace recorded");
+        assert_eq!(trace.origin(), Some(0));
+        let survivors: BTreeSet<u32> = (0..8u32).filter(|&v| v != 3).collect();
+        assert!(trace.is_spanning(&survivors));
+        // Node 2 is a dead end past the crash: 0-1-2 one way, 0-7-6-5-4 the
+        // other; realized depth is 4.
+        assert_eq!(trace.max_hops(), 4);
+        assert_eq!(trace.path_from_origin(4), Some(vec![0, 7, 6, 5, 4]));
+    }
+
+    #[test]
+    fn push_pull_records_informers_as_parents() {
+        let t = csr_cycle(6);
+        let out = run_broadcast(
+            &t,
+            NodeId(0),
+            &FailurePlan::none(),
+            Protocol::GossipPushPull {
+                fanout: 2,
+                rounds: 12,
+            },
+            3,
+        );
+        assert!(out.full_coverage());
+        assert_eq!(out.parents[0], None, "origin has no parent");
+        for v in 1..6 {
+            assert!(out.parents[v].is_some(), "node {v} knows its informer");
+        }
     }
 
     #[test]

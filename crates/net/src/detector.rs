@@ -315,6 +315,8 @@ mod tests {
             time: 5,
             hops: 0,
             broadcast_id: 42,
+            parent: None,
+            trace: None,
         };
         assert_eq!(DetectorEvent::from_delivery(&d), None);
     }

@@ -8,9 +8,24 @@
 //! 4 bytes  hop count
 //! 4 bytes  payload length L
 //! L bytes  payload
+//! --- optional trace extension (versioned by its flag byte) ---
+//! 1 byte   extension flag (0x01 = trace id follows)
+//! 8 bytes  trace id
 //! ```
+//!
+//! The extension block is strictly optional: a frame that ends right after
+//! the payload is a **legacy frame** and decodes with `trace = None`, so
+//! old and new peers interoperate. The flag byte doubles as a version
+//! marker — decoders reject flags they do not understand rather than
+//! silently misparse, and future extensions claim new flag values.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Extension flag announcing an 8-byte trace id.
+pub const TRACE_EXT_FLAG: u8 = 0x01;
+
+/// Encoded size of the trace extension block (flag + trace id).
+pub const TRACE_EXT_LEN: usize = 1 + 8;
 
 /// A broadcast message as it travels the simulated network.
 ///
@@ -25,10 +40,13 @@ pub struct Message {
     pub hops: u32,
     /// Application payload.
     pub payload: Bytes,
+    /// Causal-trace id carried end to end, if the origin enabled tracing.
+    /// `None` on legacy frames and untraced control traffic.
+    pub trace: Option<u64>,
 }
 
 impl Message {
-    /// Creates a fresh (0-hop) broadcast message.
+    /// Creates a fresh (0-hop, untraced) broadcast message.
     #[must_use]
     pub fn new(broadcast_id: u64, origin: u32, payload: Bytes) -> Self {
         Message {
@@ -36,10 +54,19 @@ impl Message {
             origin,
             hops: 0,
             payload,
+            trace: None,
         }
     }
 
+    /// The same message carrying `trace_id` in its trace extension.
+    #[must_use]
+    pub fn with_trace(mut self, trace_id: u64) -> Self {
+        self.trace = Some(trace_id);
+        self
+    }
+
     /// A copy with the hop count incremented (what a forwarder sends).
+    /// The trace id, if any, rides along unchanged.
     #[must_use]
     pub fn forwarded(&self) -> Self {
         Message {
@@ -51,10 +78,19 @@ impl Message {
     /// Serialized size in bytes.
     #[must_use]
     pub fn encoded_len(&self) -> usize {
-        8 + 4 + 4 + 4 + self.payload.len()
+        8 + 4
+            + 4
+            + 4
+            + self.payload.len()
+            + if self.trace.is_some() {
+                TRACE_EXT_LEN
+            } else {
+                0
+            }
     }
 
-    /// Encodes to the wire format.
+    /// Encodes to the wire format. Untraced messages produce byte-identical
+    /// legacy frames; traced ones append the extension block.
     #[must_use]
     pub fn encode(&self) -> Bytes {
         let mut buf = BytesMut::with_capacity(self.encoded_len());
@@ -63,12 +99,18 @@ impl Message {
         buf.put_u32(self.hops);
         buf.put_u32(self.payload.len() as u32);
         buf.put_slice(&self.payload);
+        if let Some(trace_id) = self.trace {
+            buf.put_u8(TRACE_EXT_FLAG);
+            buf.put_u64(trace_id);
+        }
         buf.freeze()
     }
 
     /// Decodes from the wire format.
     ///
-    /// Returns `None` on truncated or over-long input.
+    /// Returns `None` on truncated input, unknown extension flags, or
+    /// trailing garbage. A frame ending right after the payload decodes as
+    /// legacy (`trace = None`).
     #[must_use]
     pub fn decode(mut raw: Bytes) -> Option<Self> {
         if raw.len() < 20 {
@@ -78,14 +120,25 @@ impl Message {
         let origin = raw.get_u32();
         let hops = raw.get_u32();
         let len = raw.get_u32() as usize;
-        if raw.len() != len {
+        if raw.len() < len {
             return None;
         }
+        let payload = raw.slice(0..len);
+        let mut ext = raw.slice(len..raw.len());
+        let trace = match ext.len() {
+            0 => None,
+            TRACE_EXT_LEN if ext[0] == TRACE_EXT_FLAG => {
+                ext.get_u8();
+                Some(ext.get_u64())
+            }
+            _ => return None,
+        };
         Some(Message {
             broadcast_id,
             origin,
             hops,
-            payload: raw,
+            payload,
+            trace,
         })
     }
 }
@@ -108,14 +161,45 @@ mod tests {
     }
 
     #[test]
+    fn traced_round_trip() {
+        let m = Message::new(42, 7, Bytes::from_static(b"traced")).with_trace(0xDEAD_BEEF);
+        assert_eq!(m.trace, Some(0xDEAD_BEEF));
+        let decoded = Message::decode(m.encode()).unwrap();
+        assert_eq!(decoded, m);
+        assert_eq!(decoded.trace, Some(0xDEAD_BEEF));
+    }
+
+    #[test]
+    fn legacy_frames_decode_without_trace() {
+        // A hand-built frame with no extension block must decode as legacy.
+        let traced = Message::new(9, 1, Bytes::from_static(b"pay")).with_trace(5);
+        let enc = traced.encode();
+        let legacy = enc.slice(0..enc.len() - TRACE_EXT_LEN);
+        let decoded = Message::decode(legacy).unwrap();
+        assert_eq!(decoded.trace, None);
+        assert_eq!(decoded.payload, traced.payload);
+        assert_eq!(decoded.broadcast_id, 9);
+    }
+
+    #[test]
+    fn unknown_extension_flag_is_rejected() {
+        let m = Message::new(1, 2, Bytes::from_static(b"abc"));
+        let mut enc = BytesMut::from(&m.encode()[..]);
+        enc.put_u8(0x7E); // not TRACE_EXT_FLAG
+        enc.put_u64(123);
+        assert_eq!(Message::decode(enc.freeze()), None);
+    }
+
+    #[test]
     fn forwarded_increments_hops_only() {
-        let m = Message::new(9, 3, Bytes::from_static(b"x"));
+        let m = Message::new(9, 3, Bytes::from_static(b"x")).with_trace(77);
         let f = m.forwarded();
         assert_eq!(f.hops, 1);
         assert_eq!(f.forwarded().hops, 2);
         assert_eq!(f.broadcast_id, 9);
         assert_eq!(f.origin, 3);
         assert_eq!(f.payload, m.payload);
+        assert_eq!(f.trace, Some(77), "trace id rides along on forwards");
     }
 
     #[test]
@@ -124,12 +208,23 @@ mod tests {
         let m = Message::new(1, 2, Bytes::from_static(b"abcdef"));
         let enc = m.encode();
         assert_eq!(Message::decode(enc.slice(0..enc.len() - 1)), None);
+        let t = m.with_trace(1);
+        let enc = t.encode();
+        assert_eq!(
+            Message::decode(enc.slice(0..enc.len() - 1)),
+            None,
+            "truncated extension block"
+        );
     }
 
     #[test]
     fn decode_rejects_trailing_garbage() {
         let m = Message::new(1, 2, Bytes::from_static(b"abc"));
-        let mut enc = bytes::BytesMut::from(&m.encode()[..]);
+        let mut enc = BytesMut::from(&m.encode()[..]);
+        enc.put_u8(0xFF);
+        assert_eq!(Message::decode(enc.freeze()), None);
+        let t = Message::new(1, 2, Bytes::from_static(b"abc")).with_trace(4);
+        let mut enc = BytesMut::from(&t.encode()[..]);
         enc.put_u8(0xFF);
         assert_eq!(Message::decode(enc.freeze()), None);
     }
@@ -138,5 +233,8 @@ mod tests {
     fn encoded_len_matches() {
         let m = Message::new(5, 1, Bytes::from_static(b"12345"));
         assert_eq!(m.encode().len(), m.encoded_len());
+        let t = m.with_trace(9);
+        assert_eq!(t.encode().len(), t.encoded_len());
+        assert_eq!(t.encoded_len(), 20 + 5 + TRACE_EXT_LEN);
     }
 }

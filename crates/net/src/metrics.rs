@@ -103,7 +103,9 @@ impl Default for Histogram {
 
 impl Histogram {
     fn bucket_index(value: u64) -> usize {
-        (u64::BITS - value.leading_zeros()) as usize
+        // `u64::MAX` has no leading zeros, which would index one past the
+        // last bucket — saturate into it instead of panicking.
+        ((u64::BITS - value.leading_zeros()) as usize).min(BUCKETS - 1)
     }
 
     /// Upper bound of bucket `i` (inclusive).
@@ -140,6 +142,15 @@ impl Histogram {
             .collect();
         let count: u64 = counts.iter().sum();
         let sum = self.sum.load(Ordering::Relaxed);
+        let min = if count == 0 {
+            0
+        } else {
+            self.min.load(Ordering::Relaxed)
+        };
+        let max = self.max.load(Ordering::Relaxed);
+        // A percentile can never fall outside the observed range, so clamp
+        // the bucket upper bound into [min, max]: a single recorded 0 yields
+        // p50 = 0 (not the phantom bucket edge), and a single 5 yields 5.
         let percentile = |q: f64| -> u64 {
             if count == 0 {
                 return 0;
@@ -149,20 +160,16 @@ impl Histogram {
             for (i, &c) in counts.iter().enumerate() {
                 seen += c;
                 if seen >= rank {
-                    return Self::bucket_upper(i);
+                    return Self::bucket_upper(i).clamp(min, max);
                 }
             }
-            Self::bucket_upper(BUCKETS - 1)
+            max
         };
         HistogramSummary {
             count,
             sum,
-            min: if count == 0 {
-                0
-            } else {
-                self.min.load(Ordering::Relaxed)
-            },
-            max: self.max.load(Ordering::Relaxed),
+            min,
+            max,
             mean: if count == 0 {
                 0.0
             } else {
@@ -314,6 +321,45 @@ impl MetricsRegistry {
     pub fn snapshot_json(&self) -> String {
         serde_json::to_string_pretty(&self.snapshot()).expect("value trees always render")
     }
+
+    /// Renders every instrument in the Prometheus text exposition format
+    /// (version 0.0.4): counters and gauges as single samples, histograms
+    /// as summary-typed quantile series plus `_sum`/`_count`. Metric names
+    /// are prefixed with `lhg_` and sanitized to `[a-zA-Z0-9_:]`.
+    #[must_use]
+    pub fn prometheus_text(&self) -> String {
+        fn sanitize(name: &str) -> String {
+            let mut out = String::with_capacity(name.len() + 4);
+            out.push_str("lhg_");
+            for c in name.chars() {
+                if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                    out.push(c);
+                } else {
+                    out.push('_');
+                }
+            }
+            out
+        }
+        let mut out = String::new();
+        for (name, c) in self.counters.read().iter() {
+            let n = sanitize(name);
+            out.push_str(&format!("# TYPE {n} counter\n{n} {}\n", c.get()));
+        }
+        for (name, g) in self.gauges.read().iter() {
+            let n = sanitize(name);
+            out.push_str(&format!("# TYPE {n} gauge\n{n} {}\n", g.get()));
+        }
+        for (name, h) in self.histograms.read().iter() {
+            let n = sanitize(name);
+            let s = h.summary();
+            out.push_str(&format!("# TYPE {n} summary\n"));
+            for (q, v) in [("0.5", s.p50), ("0.9", s.p90), ("0.99", s.p99)] {
+                out.push_str(&format!("{n}{{quantile=\"{q}\"}} {v}\n"));
+            }
+            out.push_str(&format!("{n}_sum {}\n{n}_count {}\n", s.sum, s.count));
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -381,6 +427,63 @@ mod tests {
         h.record(0);
         let s = h.summary();
         assert_eq!((s.min, s.max, s.p50), (0, 0, 0));
+        assert_eq!((s.p90, s.p99), (0, 0), "all percentiles of a single 0");
+    }
+
+    #[test]
+    fn single_value_percentiles_report_the_value() {
+        let h = Histogram::default();
+        h.record(5);
+        let s = h.summary();
+        // Bucket upper bound is 7; percentiles must clamp to the observed
+        // range rather than report a phantom bucket edge.
+        assert_eq!((s.p50, s.p90, s.p99), (5, 5, 5));
+        assert_eq!((s.min, s.max), (5, 5));
+    }
+
+    #[test]
+    fn max_value_saturates_into_last_bucket() {
+        let h = Histogram::default();
+        h.record(u64::MAX); // must not index out of bounds
+        h.record(u64::MAX);
+        let s = h.summary();
+        assert_eq!(s.count, 2);
+        assert_eq!(s.max, u64::MAX);
+        assert_eq!(s.p99, u64::MAX, "clamped to observed max");
+        assert_eq!(s.sum, u64::MAX.wrapping_mul(2), "sum wraps, by design");
+    }
+
+    #[test]
+    fn percentiles_stay_within_observed_range() {
+        let h = Histogram::default();
+        for v in [10u64, 11, 12, 13] {
+            h.record(v);
+        }
+        let s = h.summary();
+        for p in [s.p50, s.p90, s.p99] {
+            assert!((10..=13).contains(&p), "percentile {p} outside range");
+        }
+    }
+
+    #[test]
+    fn prometheus_text_renders_all_instrument_kinds() {
+        let reg = MetricsRegistry::new();
+        reg.counter("runtime.deliveries").add(7);
+        reg.gauge("runtime.open-links").set(-2);
+        reg.histogram("runtime.delivery_latency_us").record(100);
+        let text = reg.prometheus_text();
+        assert!(text.contains("# TYPE lhg_runtime_deliveries counter\n"));
+        assert!(text.contains("lhg_runtime_deliveries 7\n"));
+        assert!(text.contains("# TYPE lhg_runtime_open_links gauge\n"));
+        assert!(text.contains("lhg_runtime_open_links -2\n"));
+        assert!(text.contains("# TYPE lhg_runtime_delivery_latency_us summary\n"));
+        assert!(text.contains("lhg_runtime_delivery_latency_us{quantile=\"0.5\"} 100\n"));
+        assert!(text.contains("lhg_runtime_delivery_latency_us_sum 100\n"));
+        assert!(text.contains("lhg_runtime_delivery_latency_us_count 1\n"));
+        // Every non-comment line is `name[{labels}] value`.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            assert_eq!(line.split(' ').count(), 2, "bad exposition line: {line}");
+        }
     }
 
     #[test]

@@ -13,6 +13,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use lhg_graph::{CsrGraph, Graph, NodeId};
+use lhg_trace::{PathRecord, TraceCollector};
 
 use crate::message::Message;
 use crate::metrics::MetricsRegistry;
@@ -118,6 +119,12 @@ pub struct Delivery {
     pub hops: u32,
     /// Broadcast id delivered.
     pub broadcast_id: u64,
+    /// The neighbor the delivered copy arrived from; `None` when the node
+    /// delivered its own broadcast (origin) or delivered from a timer.
+    pub parent: Option<NodeId>,
+    /// Trace id carried by the delivered copy, if the origin enabled
+    /// tracing.
+    pub trace: Option<u64>,
 }
 
 /// Result of one simulation run.
@@ -153,6 +160,7 @@ pub struct Simulation {
     crash_at: Vec<Option<Time>>,
     rng: StdRng,
     metrics: Option<Arc<MetricsRegistry>>,
+    tracer: Option<Arc<TraceCollector>>,
 }
 
 impl Simulation {
@@ -165,6 +173,7 @@ impl Simulation {
             crash_at: vec![None; graph.node_count()],
             rng: StdRng::seed_from_u64(seed),
             metrics: None,
+            tracer: None,
         }
     }
 
@@ -173,6 +182,15 @@ impl Simulation {
     /// histogram `sim.delivery_latency_us` (simulated µs from time 0).
     pub fn with_metrics(&mut self, metrics: Arc<MetricsRegistry>) -> &mut Self {
         self.metrics = Some(metrics);
+        self
+    }
+
+    /// Attaches a trace collector: every delivery of a message whose
+    /// [`Message::trace`] is set contributes a [`PathRecord`] (parent =
+    /// the neighbor the copy arrived from, timestamped with virtual time),
+    /// from which the collector reconstructs the realized spanning tree.
+    pub fn with_trace(&mut self, tracer: Arc<TraceCollector>) -> &mut Self {
+        self.tracer = Some(tracer);
         self
     }
 
@@ -230,9 +248,12 @@ impl Simulation {
             .as_ref()
             .map(|m| m.histogram("sim.delivery_latency_us"));
 
+        let tracer = self.tracer.clone();
         // Drains a handled context into the report and the event queue.
+        // `parent` is the neighbor whose message was being handled, if any.
         let mut flush = |ctx: Context<'_>,
                          at: NodeId,
+                         parent: Option<NodeId>,
                          time: Time,
                          rng_latency: &mut dyn FnMut() -> Time,
                          queue: &mut BinaryHeap<Reverse<(Time, u64, usize, usize)>>,
@@ -245,11 +266,22 @@ impl Simulation {
                 if let Some(h) = &m_latency {
                     h.record(time);
                 }
+                if let (Some(t), Some(trace_id)) = (&tracer, d.trace) {
+                    t.record(PathRecord {
+                        trace_id,
+                        node: at.index() as u32,
+                        parent: parent.map(|p| p.index() as u32),
+                        hops: d.hops,
+                        at_us: time,
+                    });
+                }
                 deliveries.push(Delivery {
                     node: at,
                     time,
                     hops: d.hops,
                     broadcast_id: d.broadcast_id,
+                    parent,
+                    trace: d.trace,
                 });
             }
             for (to, msg) in ctx.outbox {
@@ -293,6 +325,7 @@ impl Simulation {
             flush(
                 ctx,
                 NodeId(v),
+                None,
                 0,
                 &mut || sample_latency_with(link, rng),
                 &mut queue,
@@ -318,21 +351,24 @@ impl Simulation {
                 delivered: Vec::new(),
                 timers: Vec::new(),
             };
-            match &events[slot] {
+            let parent = match &events[slot] {
                 EventKind::Message { from, msg } => {
                     let (from, msg) = (*from, msg.clone());
                     processes[node].on_message(from, msg, &mut ctx);
+                    Some(from)
                 }
                 EventKind::Timer { token } => {
                     let token = *token;
                     processes[node].on_timer(token, &mut ctx);
+                    None
                 }
-            }
+            };
             let link = self.link;
             let rng = &mut self.rng;
             flush(
                 ctx,
                 node_id,
+                parent,
                 time,
                 &mut || sample_latency_with(link, rng),
                 &mut queue,
@@ -514,6 +550,69 @@ mod tests {
         assert_eq!(lat.count, 2);
         assert_eq!(lat.min, 100);
         assert!(reg.counter("sim.bytes_sent").get() >= 2 * 20);
+    }
+
+    #[test]
+    fn traced_flood_reconstructs_spanning_tree() {
+        use std::collections::BTreeSet;
+
+        const TRACE_ID: u64 = 0xFEED;
+
+        /// Floods one traced broadcast: deliver + forward on first receipt.
+        struct Flooder {
+            is_origin: bool,
+            seen: bool,
+        }
+        impl Process for Flooder {
+            fn on_start(&mut self, ctx: &mut Context<'_>) {
+                if self.is_origin {
+                    self.seen = true;
+                    let msg =
+                        Message::new(1, ctx.id().index() as u32, Bytes::new()).with_trace(TRACE_ID);
+                    ctx.deliver(msg.clone());
+                    for &w in &ctx.neighbors().to_vec() {
+                        ctx.send(w, msg.forwarded());
+                    }
+                }
+            }
+            fn on_message(&mut self, from: NodeId, msg: Message, ctx: &mut Context<'_>) {
+                if self.seen {
+                    return;
+                }
+                self.seen = true;
+                ctx.deliver(msg.clone());
+                for &w in &ctx.neighbors().to_vec() {
+                    if w != from {
+                        ctx.send(w, msg.forwarded());
+                    }
+                }
+            }
+        }
+
+        let g = path(4); // 0-1-2-3, origin 0 → chain tree
+        let tracer = Arc::new(TraceCollector::new());
+        let mut sim = Simulation::new(&g, no_jitter(), 0);
+        sim.with_trace(Arc::clone(&tracer));
+        let procs: Vec<Box<dyn Process>> = (0..4)
+            .map(|v| {
+                Box::new(Flooder {
+                    is_origin: v == 0,
+                    seen: false,
+                }) as Box<dyn Process>
+            })
+            .collect();
+        let report = sim.run(procs, 1_000_000);
+        assert_eq!(report.deliveries.len(), 4);
+        assert_eq!(report.deliveries[0].parent, None, "origin has no parent");
+        assert!(report.deliveries[1..].iter().all(|d| d.parent.is_some()));
+        assert!(report.deliveries.iter().all(|d| d.trace == Some(TRACE_ID)));
+
+        let trace = tracer.trace(TRACE_ID).expect("trace collected");
+        assert_eq!(trace.origin(), Some(0));
+        assert!(trace.is_spanning(&BTreeSet::from([0, 1, 2, 3])));
+        assert_eq!(trace.path_from_origin(3), Some(vec![0, 1, 2, 3]));
+        assert_eq!(trace.max_hops(), 3);
+        assert_eq!(trace.eccentricity_us(), 300, "3 hops × 100µs");
     }
 
     #[test]

@@ -12,13 +12,14 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 
 use lhg_graph::{Graph, NodeId};
+use lhg_trace::{PathRecord, TraceCollector};
 
 use crate::codec::{decode_frame, encode_frame};
 use crate::message::Message;
@@ -93,6 +94,50 @@ pub fn run_threaded_broadcast_with_metrics(
     idle_timeout: Duration,
     metrics: &MetricsRegistry,
 ) -> ThreadedReport {
+    run_inner(graph, origin, payload, crashed, idle_timeout, metrics, None)
+}
+
+/// Like [`run_threaded_broadcast_with_metrics`], additionally stamping the
+/// broadcast with `trace_id` on the wire (frames cross every channel with
+/// the trace extension encoded) and contributing one [`PathRecord`] per
+/// delivery to `tracer`, so the realized dissemination tree of the run can
+/// be reconstructed afterwards.
+///
+/// # Panics
+///
+/// Panics if `origin` is out of bounds or listed in `crashed`.
+#[must_use]
+#[allow(clippy::too_many_arguments)]
+pub fn run_threaded_broadcast_traced(
+    graph: &Graph,
+    origin: NodeId,
+    payload: Bytes,
+    crashed: &[NodeId],
+    idle_timeout: Duration,
+    metrics: &MetricsRegistry,
+    trace_id: u64,
+    tracer: &Arc<TraceCollector>,
+) -> ThreadedReport {
+    run_inner(
+        graph,
+        origin,
+        payload,
+        crashed,
+        idle_timeout,
+        metrics,
+        Some((trace_id, Arc::clone(tracer))),
+    )
+}
+
+fn run_inner(
+    graph: &Graph,
+    origin: NodeId,
+    payload: Bytes,
+    crashed: &[NodeId],
+    idle_timeout: Duration,
+    metrics: &MetricsRegistry,
+    tracing: Option<(u64, Arc<TraceCollector>)>,
+) -> ThreadedReport {
     let n = graph.node_count();
     assert!(origin.index() < n, "origin {origin} out of bounds");
     assert!(!crashed.contains(&origin), "origin must not be crashed");
@@ -106,6 +151,7 @@ pub fn run_threaded_broadcast_with_metrics(
     }
 
     let delivered: Arc<Mutex<Vec<bool>>> = Arc::new(Mutex::new(vec![false; n]));
+    let epoch = Instant::now(); // shared time zero for all PathRecords
     let messages_sent = Arc::new(AtomicU64::new(0));
     let bytes_sent = Arc::new(AtomicU64::new(0));
     let frame_bytes_hist = metrics.histogram("threaded.frame_bytes");
@@ -131,8 +177,14 @@ pub fn run_threaded_broadcast_with_metrics(
         let messages_sent = Arc::clone(&messages_sent);
         let bytes_sent = Arc::clone(&bytes_sent);
         let frame_bytes_hist = Arc::clone(&frame_bytes_hist);
-        let start_payload =
-            (v == origin.index()).then(|| Message::new(1, v as u32, payload.clone()));
+        let tracing = tracing.clone();
+        let start_payload = (v == origin.index()).then(|| {
+            let msg = Message::new(1, v as u32, payload.clone());
+            match &tracing {
+                Some((trace_id, _)) => msg.with_trace(*trace_id),
+                None => msg,
+            }
+        });
         handles.push(std::thread::spawn(move || {
             let mut seen = std::collections::HashSet::new();
             let send_to = |w_from: usize, frame: &Bytes, tx: &Sender<(usize, Bytes)>| {
@@ -141,10 +193,24 @@ pub fn run_threaded_broadcast_with_metrics(
                 frame_bytes_hist.record(frame.len() as u64);
                 let _ = tx.send((w_from, frame.clone()));
             };
+            let record_delivery = |parent: Option<u32>, hops: u32, trace: Option<u64>| {
+                if let (Some((_, tracer)), Some(trace_id)) = (&tracing, trace) {
+                    tracer.record(PathRecord {
+                        trace_id,
+                        node: v as u32,
+                        parent,
+                        hops,
+                        at_us: u64::try_from(epoch.elapsed().as_micros()).unwrap_or(u64::MAX),
+                    });
+                }
+            };
             if let Some(msg) = start_payload {
                 seen.insert(msg.broadcast_id);
                 delivered.lock()[v] = true;
-                let frame = encode_frame(&msg);
+                record_delivery(None, 0, msg.trace);
+                // Send the hop-incremented copy so a receiver's `hops` field
+                // equals the number of edges the copy travelled.
+                let frame = encode_frame(&msg.forwarded());
                 for (_, tx) in &neighbor_txs {
                     send_to(v, &frame, tx);
                 }
@@ -155,6 +221,7 @@ pub fn run_threaded_broadcast_with_metrics(
                     continue;
                 }
                 delivered.lock()[v] = true;
+                record_delivery(Some(from as u32), msg.hops, msg.trace);
                 let fwd = encode_frame(&msg.forwarded());
                 for (w, tx) in &neighbor_txs {
                     if *w != from {
@@ -251,6 +318,35 @@ mod tests {
         );
         // Every frame carries at least the length prefix plus a 20-byte header.
         assert!(r.bytes_sent >= r.messages_sent * 24);
+    }
+
+    #[test]
+    fn traced_run_reconstructs_spanning_tree_across_real_threads() {
+        use std::collections::BTreeSet;
+
+        let g = cycle(8);
+        let reg = MetricsRegistry::new();
+        let tracer = Arc::new(TraceCollector::new());
+        let r = run_threaded_broadcast_traced(
+            &g,
+            NodeId(0),
+            Bytes::from_static(b"traced"),
+            &[NodeId(5)],
+            timeout(),
+            &reg,
+            0xAB,
+            &tracer,
+        );
+        assert_eq!(r.delivered_count(), 7);
+        let trace = tracer.trace(0xAB).expect("trace collected");
+        assert_eq!(trace.origin(), Some(0));
+        let survivors: BTreeSet<u32> = (0..8u32).filter(|&v| v != 5).collect();
+        assert!(trace.is_spanning(&survivors), "tree spans all survivors");
+        // On a cycle with node 5 down, node 4 is only reachable the long
+        // way round: 0-1-2-3-4 (4 hops).
+        assert_eq!(trace.max_hops(), 4);
+        // Trace extension crossed the wire: frames are 9 bytes longer.
+        assert!(r.bytes_sent >= r.messages_sent * (24 + 9));
     }
 
     #[test]

@@ -1,11 +1,13 @@
-//! Robustness tests for the wire codec: decoding must never panic and the
-//! encode/decode pair must round-trip arbitrary payloads.
+//! Robustness tests for the wire codec: decoding must never panic, the
+//! encode/decode pair must round-trip arbitrary payloads (with or without
+//! the trace extension), and legacy frames must keep decoding unchanged.
 
-use bytes::Bytes;
+use bytes::{BufMut, Bytes, BytesMut};
 use proptest::prelude::*;
 
+use lhg_net::codec::{decode_frame, encode_frame};
 use lhg_net::fifo::{fifo_id, fifo_parts};
-use lhg_net::message::Message;
+use lhg_net::message::{Message, TRACE_EXT_FLAG, TRACE_EXT_LEN};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(256))]
@@ -22,25 +24,84 @@ proptest! {
         origin in any::<u32>(),
         hops in any::<u32>(),
         payload in proptest::collection::vec(any::<u8>(), 0..256),
+        traced in any::<bool>(),
+        trace_id in any::<u64>(),
     ) {
         let msg = Message {
             broadcast_id: id,
             origin,
             hops,
             payload: Bytes::from(payload),
+            trace: traced.then_some(trace_id),
         };
         let decoded = Message::decode(msg.encode()).expect("own encoding decodes");
         prop_assert_eq!(decoded, msg);
     }
 
     #[test]
+    fn traced_frames_round_trip_through_codec(
+        id in any::<u64>(),
+        trace_id in any::<u64>(),
+        payload in proptest::collection::vec(any::<u8>(), 0..256),
+    ) {
+        let msg = Message::new(id, 3, Bytes::from(payload)).with_trace(trace_id);
+        let frame = encode_frame(&msg);
+        let decoded = decode_frame(&frame).expect("framed encoding decodes");
+        prop_assert_eq!(decoded.trace, Some(trace_id));
+        prop_assert_eq!(decoded, msg);
+    }
+
+    #[test]
+    fn legacy_frames_without_extension_still_decode(
+        id in any::<u64>(),
+        origin in any::<u32>(),
+        hops in any::<u32>(),
+        payload in proptest::collection::vec(any::<u8>(), 0..256),
+    ) {
+        // Build the pre-extension wire image by hand: header + payload only.
+        let mut raw = BytesMut::with_capacity(20 + payload.len());
+        raw.put_u64(id);
+        raw.put_u32(origin);
+        raw.put_u32(hops);
+        raw.put_u32(payload.len() as u32);
+        raw.put_slice(&payload);
+        let decoded = Message::decode(raw.freeze()).expect("legacy frame decodes");
+        prop_assert_eq!(decoded.trace, None);
+        prop_assert_eq!(decoded.broadcast_id, id);
+        prop_assert_eq!(decoded.payload, Bytes::from(payload));
+    }
+
+    #[test]
+    fn unknown_extension_flags_are_rejected(
+        payload in proptest::collection::vec(any::<u8>(), 0..64),
+        flag in any::<u8>(),
+        ext_id in any::<u64>(),
+    ) {
+        // Force a flag value other than TRACE_EXT_FLAG (0x01): setting bit 1
+        // keeps the full range of "wrong" flags without a rejection filter.
+        let flag = flag | 0x02;
+        assert_ne!(flag, TRACE_EXT_FLAG);
+        let msg = Message::new(11, 2, Bytes::from(payload));
+        let mut raw = BytesMut::from(&msg.encode()[..]);
+        raw.put_u8(flag);
+        raw.put_u64(ext_id);
+        prop_assert_eq!(Message::decode(raw.freeze()), None);
+    }
+
+    #[test]
     fn truncated_encodings_are_rejected(
         payload in proptest::collection::vec(any::<u8>(), 0..64),
+        traced in any::<bool>(),
         cut in 1usize..16,
     ) {
-        let msg = Message::new(7, 3, Bytes::from(payload));
+        let mut msg = Message::new(7, 3, Bytes::from(payload));
+        if traced {
+            msg = msg.with_trace(99);
+        }
         let enc = msg.encode();
-        let cut = cut.min(enc.len());
+        // Cutting the full extension off a traced frame would yield a valid
+        // legacy frame, so stop one byte short of that.
+        let cut = cut.min(if traced { TRACE_EXT_LEN - 1 } else { enc.len() });
         let truncated = enc.slice(0..enc.len() - cut);
         prop_assert_eq!(Message::decode(truncated), None);
     }

@@ -1,5 +1,7 @@
 //! A 10-node loopback cluster: broadcast, one injected crash, self-heal,
-//! broadcast again, then print the metrics snapshot as JSON.
+//! broadcast again, then print the metrics snapshot as JSON. On teardown
+//! (and on failure) the cluster's flight-recorder timeline is persisted as
+//! JSONL next to the system temp dir for postmortem reading.
 //!
 //! Run with: `cargo run -p lhg-runtime --example cluster_broadcast`
 
@@ -8,6 +10,25 @@ use std::time::Duration;
 use bytes::Bytes;
 use lhg_core::Constraint;
 use lhg_runtime::{Cluster, RuntimeConfig};
+
+/// Persists the flight-recorder timeline; called on success and, via the
+/// checkpoint helper, before any failing assertion aborts the run.
+fn dump_timeline(cluster: &Cluster) {
+    let path = std::env::temp_dir().join("cluster_broadcast_events.jsonl");
+    match cluster.dump_events(&path) {
+        Ok(()) => eprintln!("flight-recorder timeline -> {}", path.display()),
+        Err(e) => eprintln!("timeline dump failed: {e}"),
+    }
+}
+
+/// Asserts `ok`, dumping the event timeline first when it does not hold so
+/// the failure leaves its evidence behind.
+fn checkpoint(cluster: &Cluster, ok: bool, what: &str) {
+    if !ok {
+        dump_timeline(cluster);
+        panic!("{what}");
+    }
+}
 
 fn main() {
     let n = 10;
@@ -21,18 +42,20 @@ fn main() {
     let id = cluster
         .broadcast(0, Bytes::from_static(b"hello, overlay"))
         .expect("origin alive");
-    assert!(
+    checkpoint(
+        &cluster,
         cluster.await_delivery(id, Duration::from_secs(10)),
-        "every node delivers"
+        "every node delivers",
     );
     eprintln!("broadcast {id:#x} delivered by all {n} nodes");
 
     let victim = 4;
     cluster.kill(victim).expect("victim alive");
     eprintln!("injected fail-stop crash of node {victim}");
-    assert!(
+    checkpoint(
+        &cluster,
         cluster.await_heal(Duration::from_secs(20)),
-        "survivors heal around the crash"
+        "survivors heal around the crash",
     );
     eprintln!(
         "healed: {} survivors agree on a k-connected overlay",
@@ -42,11 +65,25 @@ fn main() {
     let id2 = cluster
         .broadcast(1, Bytes::from_static(b"still here"))
         .expect("survivor originates");
-    assert!(
+    checkpoint(
+        &cluster,
         cluster.await_delivery(id2, Duration::from_secs(10)),
-        "every survivor delivers"
+        "every survivor delivers",
     );
-    eprintln!("post-heal broadcast {id2:#x} delivered by all survivors\n");
+    eprintln!("post-heal broadcast {id2:#x} delivered by all survivors");
+
+    // Both broadcasts were traced: print their realized dissemination trees.
+    for trace in cluster.traces() {
+        eprintln!(
+            "trace {:#x}: origin {:?}, {} deliveries, max {} hops, {} µs end-to-end",
+            trace.trace_id,
+            trace.origin(),
+            trace.delivered_nodes().len(),
+            trace.max_hops(),
+            trace.eccentricity_us()
+        );
+    }
+    dump_timeline(&cluster);
 
     // The metrics snapshot goes to stdout as JSON (pipe it to a file or jq).
     println!("{}", cluster.metrics_json());

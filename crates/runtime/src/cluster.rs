@@ -22,6 +22,7 @@ use lhg_graph::Graph;
 use lhg_net::fifo::fifo_id;
 use lhg_net::message::Message;
 use lhg_net::metrics::MetricsRegistry;
+use lhg_trace::{merge_timelines, BroadcastTrace, FlightRecorder, TraceCollector};
 
 use crate::node::{spawn_node, BroadcastClock, Directory, Event, NodeHandle, NodeShared};
 use crate::wire::MAX_MEMBERS;
@@ -75,6 +76,11 @@ pub struct Cluster {
     nodes: HashMap<MemberId, NodeHandle>,
     killed: BTreeSet<MemberId>,
     next_seq: u32,
+    /// One flight recorder per node, all sharing one epoch so their
+    /// timelines merge into a single cluster-wide chronology.
+    recorders: HashMap<MemberId, Arc<FlightRecorder>>,
+    /// Cluster-wide sink of per-broadcast delivery path records.
+    tracer: Arc<TraceCollector>,
 }
 
 impl Cluster {
@@ -109,8 +115,17 @@ impl Cluster {
 
         let metrics = Arc::new(MetricsRegistry::new());
         let clock: BroadcastClock = Arc::new(RwLock::new(HashMap::new()));
+        let tracer = Arc::new(TraceCollector::new());
+        let epoch = Instant::now(); // shared so per-node timelines merge
+        let mut recorders = HashMap::with_capacity(n);
         let mut nodes = HashMap::with_capacity(n);
         for (member, listener) in listeners {
+            let recorder = Arc::new(FlightRecorder::with_capacity(
+                member as u32,
+                config.recorder_capacity,
+                epoch,
+            ));
+            recorders.insert(member, Arc::clone(&recorder));
             let handle = spawn_node(
                 member,
                 overlay.clone(),
@@ -119,6 +134,8 @@ impl Cluster {
                 config.clone(),
                 Arc::clone(&metrics),
                 Arc::clone(&clock),
+                recorder,
+                Arc::clone(&tracer),
             )?;
             nodes.insert(member, handle);
         }
@@ -130,6 +147,8 @@ impl Cluster {
             nodes,
             killed: BTreeSet::new(),
             next_seq: 0,
+            recorders,
+            tracer,
         };
         if !cluster.await_links(cluster.config.launch_timeout) {
             cluster.shutdown();
@@ -148,6 +167,61 @@ impl Cluster {
     #[must_use]
     pub fn metrics_json(&self) -> String {
         self.metrics.snapshot_json()
+    }
+
+    /// Prometheus text-exposition snapshot of every metric.
+    #[must_use]
+    pub fn metrics_prometheus(&self) -> String {
+        self.metrics.prometheus_text()
+    }
+
+    /// The flight recorder of `member`, if it was ever launched.
+    #[must_use]
+    pub fn recorder(&self, member: MemberId) -> Option<&Arc<FlightRecorder>> {
+        self.recorders.get(&member)
+    }
+
+    /// The cluster-wide causal trace collector.
+    #[must_use]
+    pub fn tracer(&self) -> &Arc<TraceCollector> {
+        &self.tracer
+    }
+
+    /// Every broadcast's reconstructed dissemination tree, one
+    /// [`BroadcastTrace`] per trace id, ordered by trace id.
+    #[must_use]
+    pub fn traces(&self) -> Vec<BroadcastTrace> {
+        self.tracer.traces()
+    }
+
+    /// All nodes' retained flight-recorder events merged into one
+    /// cluster-wide timeline (timestamp order; recorders share an epoch).
+    #[must_use]
+    pub fn events(&self) -> Vec<lhg_trace::Event> {
+        merge_timelines(self.recorders.values().map(Arc::as_ref))
+    }
+
+    /// The merged cluster timeline as JSONL (one event object per line).
+    #[must_use]
+    pub fn events_jsonl(&self) -> String {
+        let mut s = String::new();
+        for e in self.events() {
+            s.push_str(&e.to_json());
+            s.push('\n');
+        }
+        s
+    }
+
+    /// Writes the merged cluster timeline as JSONL to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file creation and write errors.
+    pub fn dump_events(&self, path: &std::path::Path) -> std::io::Result<()> {
+        use std::io::Write;
+        let mut f = std::fs::File::create(path)?;
+        f.write_all(self.events_jsonl().as_bytes())?;
+        f.flush()
     }
 
     /// All member ids ever launched, in id order.
@@ -190,7 +264,9 @@ impl Cluster {
         let id = fifo_id(origin as u32, self.next_seq);
         self.clock.write().insert(id, Instant::now());
         self.metrics.counter("runtime.broadcasts").inc();
-        let msg = Message::new(id, origin as u32, payload);
+        // The broadcast id doubles as the trace id: every delivery of this
+        // message records its path into the cluster's TraceCollector.
+        let msg = Message::new(id, origin as u32, payload).with_trace(id);
         handle
             .tx
             .send(Event::Broadcast { msg })
@@ -354,6 +430,52 @@ mod tests {
         let id = c.broadcast(0, Bytes::from_static(b"after")).expect("send");
         assert!(c.await_delivery(id, Duration::from_secs(5)));
         assert!(c.metrics().counter("runtime.suspects").get() >= 1);
+        c.shutdown();
+    }
+
+    #[test]
+    fn broadcast_is_traced_and_events_are_recorded() {
+        let mut c = Cluster::launch(Constraint::Jd, 6, 2, cfg()).expect("launch");
+        let id = c.broadcast(2, Bytes::from_static(b"traced")).expect("send");
+        assert!(c.await_delivery(id, Duration::from_secs(5)));
+
+        let traces = c.traces();
+        assert_eq!(traces.len(), 1);
+        let trace = &traces[0];
+        assert_eq!(trace.trace_id, id);
+        assert_eq!(trace.origin(), Some(2));
+        let expected: BTreeSet<u32> = c.members().iter().map(|&m| m as u32).collect();
+        assert!(trace.is_spanning(&expected), "all 6 nodes on the tree");
+        for m in c.members() {
+            let path = trace.path_from_origin(m as u32).expect("path");
+            assert_eq!(path.first(), Some(&2));
+            assert_eq!(path.last(), Some(&(m as u32)));
+        }
+
+        let events = c.events();
+        assert!(events
+            .iter()
+            .any(|e| matches!(e.kind, lhg_trace::EventKind::Connect { .. })));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e.kind, lhg_trace::EventKind::BroadcastAccept { trace_id } if trace_id == id)));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e.kind, lhg_trace::EventKind::BroadcastDeliver { trace_id, .. } if trace_id == id)));
+        // Timeline is time-ordered.
+        assert!(events.windows(2).all(|w| w[0].at_us <= w[1].at_us));
+
+        // JSONL dump round-trips through the filesystem.
+        let path = std::env::temp_dir().join("lhg_cluster_events_test.jsonl");
+        c.dump_events(&path).expect("dump");
+        let text = std::fs::read_to_string(&path).expect("read back");
+        assert!(text.lines().count() >= events.len().min(1));
+        assert!(text.contains("\"event\":\"broadcast_accept\""));
+        std::fs::remove_file(&path).ok();
+
+        // The suspicion sweep keeps per-peer heartbeat-age gauges fresh.
+        let snapshot = c.metrics_json();
+        assert!(snapshot.contains("runtime.heartbeat_age_us.n0.p"));
         c.shutdown();
     }
 

@@ -25,7 +25,14 @@
 //!    restoring k-connectivity at the smaller n. Replicas converge because
 //!    rebuilds are deterministic in the surviving membership.
 //! 5. **Metrics** ([`lhg_net::metrics`]) — counters, gauges and latency
-//!    histograms shared by the whole cluster, exportable as JSON.
+//!    histograms shared by the whole cluster, exportable as JSON and as
+//!    Prometheus text exposition.
+//! 6. **Observability** ([`lhg_trace`]) — every node feeds a per-node
+//!    [`lhg_trace::FlightRecorder`] (connect/disconnect, frames,
+//!    heartbeats, suspicion, crash reports, healing, broadcast
+//!    accept/forward/deliver) dumpable as JSONL, and every broadcast
+//!    carries a trace id so a shared [`lhg_trace::TraceCollector`]
+//!    reconstructs the realized dissemination tree per broadcast.
 //!
 //! [`Cluster`] wires it all together for experiments and tests:
 //!
@@ -74,6 +81,9 @@ pub struct RuntimeConfig {
     pub tick: Duration,
     /// How long [`Cluster::launch`] waits for the initial mesh.
     pub launch_timeout: Duration,
+    /// Per-node flight-recorder ring capacity (events retained before the
+    /// oldest are overwritten). See [`lhg_trace::FlightRecorder`].
+    pub recorder_capacity: usize,
 }
 
 impl Default for RuntimeConfig {
@@ -85,6 +95,7 @@ impl Default for RuntimeConfig {
             dial_timeout: Duration::from_millis(250),
             tick: Duration::from_millis(5),
             launch_timeout: Duration::from_secs(10),
+            recorder_capacity: lhg_trace::DEFAULT_CAPACITY,
         }
     }
 }

@@ -29,7 +29,8 @@ use parking_lot::{Mutex, RwLock};
 use lhg_core::overlay::{DynamicOverlay, MemberId};
 use lhg_net::codec::{read_frame, write_frame};
 use lhg_net::message::Message;
-use lhg_net::metrics::MetricsRegistry;
+use lhg_net::metrics::{Gauge, MetricsRegistry};
+use lhg_trace::{EventKind, FlightRecorder, PathRecord, TraceCollector};
 
 use crate::wire::{self, FrameKind};
 use crate::RuntimeConfig;
@@ -134,6 +135,7 @@ pub(crate) struct NodeHandle {
 
 /// Boots a node: binds threads around `listener` and returns immediately.
 /// The node dials its overlay neighbors from its first loop iteration.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn spawn_node(
     id: MemberId,
     overlay: DynamicOverlay,
@@ -142,6 +144,8 @@ pub(crate) fn spawn_node(
     config: RuntimeConfig,
     metrics: Arc<MetricsRegistry>,
     clock: BroadcastClock,
+    recorder: Arc<FlightRecorder>,
+    tracer: Arc<TraceCollector>,
 ) -> std::io::Result<NodeHandle> {
     let addr = listener.local_addr()?;
     listener.set_nonblocking(true)?;
@@ -188,12 +192,15 @@ pub(crate) fn spawn_node(
             directory,
             metrics,
             clock,
+            recorder,
+            tracer,
             tx: tx.clone(),
             writers: HashMap::new(),
             seen: HashSet::new(),
             last_seen: HashMap::new(),
             next_dial: HashMap::new(),
             healing_since: None,
+            hb_age_gauges: HashMap::new(),
         };
         std::thread::spawn(move || runtime.run(&rx))
     };
@@ -253,6 +260,10 @@ struct NodeRuntime {
     directory: Directory,
     metrics: Arc<MetricsRegistry>,
     clock: BroadcastClock,
+    /// This node's flight recorder (shared epoch with the whole cluster).
+    recorder: Arc<FlightRecorder>,
+    /// Cluster-wide sink for per-delivery path records.
+    tracer: Arc<TraceCollector>,
     /// Cloned into reader threads spawned for dialed connections.
     tx: Sender<Event>,
     /// Write halves of every live connection, keyed by peer id.
@@ -266,6 +277,9 @@ struct NodeRuntime {
     /// Set when a crash is first applied; cleared (and timed) once every
     /// desired link is re-established.
     healing_since: Option<Instant>,
+    /// Cached per-peer heartbeat-age gauges (µs since last frame), updated
+    /// every suspicion sweep so snapshots read a fresh value.
+    hb_age_gauges: HashMap<MemberId, Arc<Gauge>>,
 }
 
 impl NodeRuntime {
@@ -305,12 +319,27 @@ impl NodeRuntime {
                 }
                 self.last_seen.insert(peer, Instant::now());
                 self.metrics.counter("runtime.accepts").inc();
+                self.recorder
+                    .record(EventKind::Connect { peer: peer as u32 });
             }
             Event::PeerClosed { peer } => self.drop_link(peer),
             Event::Broadcast { msg } => {
                 self.seen.insert(msg.broadcast_id);
+                if let Some(trace_id) = msg.trace {
+                    self.recorder
+                        .record(EventKind::BroadcastAccept { trace_id });
+                    self.tracer.record(PathRecord {
+                        trace_id,
+                        node: self.id as u32,
+                        parent: None,
+                        hops: 0,
+                        at_us: self.recorder.now_us(),
+                    });
+                }
                 self.deliver(&msg);
-                self.flood(&msg, None);
+                // Send the hop-incremented copy so a receiver's `hops` field
+                // counts the edges the copy travelled.
+                self.flood(&msg.forwarded(), None);
             }
             Event::Kill => {
                 self.shared.alive.store(false, Ordering::SeqCst);
@@ -320,18 +349,50 @@ impl NodeRuntime {
 
     fn on_frame(&mut self, from: MemberId, msg: &Message) {
         self.last_seen.insert(from, Instant::now());
+        self.recorder.record(EventKind::FrameRx {
+            peer: from as u32,
+            bytes: (msg.encoded_len() + lhg_net::codec::LEN_PREFIX) as u32,
+        });
         match wire::classify(msg.broadcast_id) {
-            FrameKind::Heartbeat(_) => {} // liveness recorded above
-            FrameKind::Hello(_) => {}     // handshakes never reach the loop
+            FrameKind::Heartbeat(_) => {
+                // Liveness recorded above; keep the probe in the timeline.
+                self.recorder
+                    .record(EventKind::Heartbeat { peer: from as u32 });
+            }
+            FrameKind::Hello(_) => {} // handshakes never reach the loop
             FrameKind::Crash(victim) => {
                 if self.seen.insert(msg.broadcast_id) {
+                    self.recorder.record(EventKind::CrashReport {
+                        victim: victim as u32,
+                        via: from as u32,
+                    });
                     self.flood(&msg.forwarded(), Some(from));
                     self.apply_crash(victim);
                 }
             }
             FrameKind::Data => {
                 if self.seen.insert(msg.broadcast_id) {
+                    if let Some(trace_id) = msg.trace {
+                        self.recorder.record(EventKind::BroadcastDeliver {
+                            trace_id,
+                            from: from as u32,
+                            hops: msg.hops,
+                        });
+                        self.tracer.record(PathRecord {
+                            trace_id,
+                            node: self.id as u32,
+                            parent: Some(from as u32),
+                            hops: msg.hops,
+                            at_us: self.recorder.now_us(),
+                        });
+                    }
                     self.deliver(msg);
+                    if let Some(trace_id) = msg.trace {
+                        self.recorder.record(EventKind::BroadcastForward {
+                            trace_id,
+                            hops: msg.hops + 1,
+                        });
+                    }
                     self.flood(&msg.forwarded(), Some(from));
                 }
             }
@@ -372,6 +433,10 @@ impl NodeRuntime {
             Ok(n) => {
                 self.metrics.counter("runtime.messages_sent").inc();
                 self.metrics.counter("runtime.bytes_sent").add(n as u64);
+                self.recorder.record(EventKind::FrameTx {
+                    peer: peer as u32,
+                    bytes: n as u32,
+                });
                 true
             }
             Err(_) => {
@@ -386,7 +451,8 @@ impl NodeRuntime {
         self.flood(&msg, None);
     }
 
-    /// Declares crashed any monitored neighbor silent past the timeout.
+    /// Declares crashed any monitored neighbor silent past the timeout;
+    /// refreshes the per-peer heartbeat-age gauges along the way.
     fn check_suspicions(&mut self, now: Instant) {
         let crashed = self.shared.crashes_applied.lock().clone();
         let mut suspects = Vec::new();
@@ -397,7 +463,10 @@ impl NodeRuntime {
             // A peer we have never heard from starts its grace period now;
             // this also covers crash-before-connect (dials keep failing).
             let seen_at = *self.last_seen.entry(peer).or_insert(now);
-            if now.duration_since(seen_at) > self.config.heartbeat_timeout {
+            let age = now.duration_since(seen_at);
+            self.hb_age_gauge(peer)
+                .set(i64::try_from(age.as_micros()).unwrap_or(i64::MAX));
+            if age > self.config.heartbeat_timeout {
                 suspects.push(peer);
             }
         }
@@ -406,9 +475,28 @@ impl NodeRuntime {
         }
     }
 
+    /// The cached gauge `runtime.heartbeat_age_us.n<id>.p<peer>` — the µs
+    /// since this node last heard from `peer`, fresh as of the latest
+    /// suspicion sweep (every main-loop tick).
+    fn hb_age_gauge(&mut self, peer: MemberId) -> Arc<Gauge> {
+        let (id, metrics) = (self.id, &self.metrics);
+        Arc::clone(
+            self.hb_age_gauges.entry(peer).or_insert_with(|| {
+                metrics.gauge(&format!("runtime.heartbeat_age_us.n{id}.p{peer}"))
+            }),
+        )
+    }
+
     /// Local suspicion: announce the crash to the cluster, then heal.
     fn suspect(&mut self, victim: MemberId) {
         self.metrics.counter("runtime.suspects").inc();
+        self.recorder.record(EventKind::Suspicion {
+            peer: victim as u32,
+        });
+        self.recorder.record(EventKind::CrashReport {
+            victim: victim as u32,
+            via: self.id as u32,
+        });
         let id = wire::crash_id(victim);
         self.seen.insert(id);
         let msg = Message::new(id, self.id as u32, Bytes::new());
@@ -425,6 +513,9 @@ impl NodeRuntime {
         self.metrics.counter("runtime.crashes_applied").inc();
         if self.healing_since.is_none() {
             self.healing_since = Some(Instant::now());
+            self.recorder.record(EventKind::HealBegin {
+                victim: victim as u32,
+            });
         }
         let churn = {
             let mut ov = self.shared.overlay.lock();
@@ -492,6 +583,7 @@ impl NodeRuntime {
                     .histogram("runtime.reconnect_time_us")
                     .record(us);
                 self.metrics.counter("runtime.heals").inc();
+                self.recorder.record(EventKind::HealEnd { took_us: us });
                 self.healing_since = None;
             }
         }
@@ -528,6 +620,8 @@ impl NodeRuntime {
         self.last_seen.insert(peer, Instant::now());
         self.next_dial.remove(&peer);
         self.metrics.counter("runtime.dials").inc();
+        self.recorder
+            .record(EventKind::Connect { peer: peer as u32 });
     }
 
     /// Closes and forgets the connection to `peer` (if any).
@@ -535,6 +629,8 @@ impl NodeRuntime {
         if let Some(s) = self.writers.remove(&peer) {
             let _ = s.shutdown(Shutdown::Both);
             *self.shared.links_up.lock() = self.writers.keys().copied().collect();
+            self.recorder
+                .record(EventKind::Disconnect { peer: peer as u32 });
         }
         self.last_seen.remove(&peer);
     }

@@ -1,0 +1,136 @@
+//! Observability acceptance: a 12-node k=3 cluster with 2 fail-stop crashes
+//! must leave behind (a) a JSONL flight-recorder timeline covering the whole
+//! lifecycle — connect, broadcast, suspicion, crash report, healing — and
+//! (b) a causal trace per broadcast whose reconstructed dissemination tree
+//! spans every survivor within the paper's O(log n) hop bound.
+
+use std::collections::BTreeSet;
+use std::time::Duration;
+
+use bytes::Bytes;
+use lhg_core::overlay::MemberId;
+use lhg_core::properties::p4_diameter_bound;
+use lhg_core::Constraint;
+use lhg_runtime::{Cluster, RuntimeConfig};
+use lhg_trace::EventKind;
+
+const N: usize = 12;
+const K: usize = 3;
+
+/// Dumps the merged timeline to a temp file so a failing run leaves its
+/// evidence behind, then panics with the message.
+fn fail_with_dump(c: &Cluster, msg: &str) -> ! {
+    let path = std::env::temp_dir().join("lhg_observe_trace_failure.jsonl");
+    let hint = match c.dump_events(&path) {
+        Ok(()) => format!("timeline dumped to {}", path.display()),
+        Err(e) => format!("timeline dump failed: {e}"),
+    };
+    panic!("{msg} ({hint})");
+}
+
+#[test]
+fn traced_lifecycle_spans_survivors_within_hop_bound() {
+    let mut c = Cluster::launch(Constraint::Jd, N, K, RuntimeConfig::default())
+        .expect("cluster boots and fully connects");
+    let all: BTreeSet<u32> = c.members().iter().map(|&m| m as u32).collect();
+
+    // Pre-crash broadcast: traced across the full 12-node overlay.
+    let id1 = c
+        .broadcast(0, Bytes::from_static(b"traced, before crashes"))
+        .expect("origin alive");
+    if !c.await_delivery(id1, Duration::from_secs(15)) {
+        fail_with_dump(&c, "first broadcast not delivered everywhere");
+    }
+
+    // Two fail-stop crashes (k-1), then healing.
+    let victims: [MemberId; 2] = [5, 10];
+    for v in victims {
+        c.kill(v).expect("victim alive");
+    }
+    if !c.await_heal(Duration::from_secs(30)) {
+        fail_with_dump(&c, "survivors did not heal in time");
+    }
+
+    // Post-heal broadcast: traced across exactly the survivors.
+    let survivors: BTreeSet<u32> = c.survivors().iter().map(|&m| m as u32).collect();
+    let id2 = c
+        .broadcast(0, Bytes::from_static(b"traced, after the heal"))
+        .expect("origin alive");
+    if !c.await_delivery(id2, Duration::from_secs(15)) {
+        fail_with_dump(&c, "post-heal broadcast not delivered to survivors");
+    }
+
+    // --- Causal traces: realized trees span the right sets within bound ---
+    let t1 = c.tracer().trace(id1).expect("first broadcast was traced");
+    let r1 = t1.report(&all, p4_diameter_bound(N, K));
+    assert_eq!(t1.origin(), Some(0));
+    assert!(r1.spanning, "pre-crash tree spans all 12 nodes: {r1:?}");
+    assert!(r1.within_bound(), "pre-crash hops within bound: {r1:?}");
+    for &m in &all {
+        let path = t1.path_from_origin(m).expect("path reconstructs");
+        assert_eq!(path.first(), Some(&0));
+        assert_eq!(path.len() as u32 - 1, t1.delivery(m).unwrap().hops);
+    }
+
+    let t2 = c.tracer().trace(id2).expect("second broadcast was traced");
+    let r2 = t2.report(&survivors, p4_diameter_bound(N - victims.len(), K));
+    assert!(r2.spanning, "post-heal tree spans all survivors: {r2:?}");
+    assert!(r2.within_bound(), "post-heal hops within bound: {r2:?}");
+    for v in victims {
+        assert!(
+            t2.delivery(v as u32).is_none(),
+            "the dead are not on the post-heal tree"
+        );
+    }
+
+    // --- Flight recorder: the JSONL timeline covers the full lifecycle ---
+    let events = c.events();
+    let has = |pred: &dyn Fn(&EventKind) -> bool| events.iter().any(|e| pred(&e.kind));
+    assert!(has(&|k| matches!(k, EventKind::Connect { .. })));
+    assert!(has(
+        &|k| matches!(k, EventKind::BroadcastAccept { trace_id } if *trace_id == id1)
+    ));
+    assert!(has(
+        &|k| matches!(k, EventKind::BroadcastDeliver { trace_id, .. } if *trace_id == id2)
+    ));
+    assert!(has(&|k| matches!(k, EventKind::Suspicion { .. })));
+    for v in victims {
+        assert!(
+            has(&|k| matches!(k, EventKind::CrashReport { victim, .. } if *victim == v as u32)),
+            "crash of {v} reported somewhere"
+        );
+    }
+    assert!(has(&|k| matches!(k, EventKind::HealBegin { .. })));
+    assert!(has(&|k| matches!(k, EventKind::HealEnd { .. })));
+    // Merged timeline is time-ordered (shared epoch across recorders).
+    assert!(events.windows(2).all(|w| w[0].at_us <= w[1].at_us));
+
+    // The JSONL rendering names every lifecycle stage.
+    let jsonl = c.events_jsonl();
+    for stage in [
+        "\"event\":\"connect\"",
+        "\"event\":\"broadcast_accept\"",
+        "\"event\":\"broadcast_deliver\"",
+        "\"event\":\"suspicion\"",
+        "\"event\":\"crash_report\"",
+        "\"event\":\"heal_begin\"",
+        "\"event\":\"heal_end\"",
+    ] {
+        assert!(jsonl.contains(stage), "timeline covers {stage}");
+    }
+
+    // dump_events persists exactly that timeline.
+    let path = std::env::temp_dir().join("lhg_observe_trace_dump.jsonl");
+    c.dump_events(&path).expect("dump succeeds");
+    let on_disk = std::fs::read_to_string(&path).expect("read back");
+    assert!(!on_disk.is_empty());
+    for line in on_disk.lines() {
+        assert!(
+            line.starts_with('{') && line.ends_with('}'),
+            "JSONL: {line}"
+        );
+    }
+    std::fs::remove_file(&path).ok();
+
+    c.shutdown();
+}

@@ -1,0 +1,476 @@
+//! Causal broadcast tracing: collect per-delivery path records and
+//! reconstruct the realized spanning tree of every broadcast.
+//!
+//! Each transport reports one [`PathRecord`] per application-level
+//! delivery: which node delivered, which neighbor the winning copy arrived
+//! from (`parent`), how many hops it had travelled, and when. Grouping
+//! records by trace id yields a [`BroadcastTrace`] — parent pointers form
+//! the realized dissemination tree, which the paper's latency claims are
+//! about: its depth must stay within the O(log n) LHG diameter bound even
+//! while crashes are being healed around.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Mutex;
+
+/// One application-level delivery of a traced broadcast.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PathRecord {
+    /// The broadcast's trace id (frames carry it end to end).
+    pub trace_id: u64,
+    /// The delivering node.
+    pub node: u32,
+    /// The neighbor the winning copy arrived from; `None` at the origin.
+    pub parent: Option<u32>,
+    /// Hops the winning copy travelled (0 at the origin).
+    pub hops: u32,
+    /// Delivery time in µs since the shared epoch (virtual time in
+    /// simulators, monotonic wall clock in the TCP runtime).
+    pub at_us: u64,
+}
+
+impl PathRecord {
+    /// Renders the record as one JSON object.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let parent = self
+            .parent
+            .map_or_else(|| "null".to_owned(), |p| p.to_string());
+        format!(
+            "{{\"trace_id\":{},\"node\":{},\"parent\":{},\"hops\":{},\"at_us\":{}}}",
+            self.trace_id, self.node, parent, self.hops, self.at_us
+        )
+    }
+}
+
+/// Thread-safe sink for [`PathRecord`]s, shared by every node of a run.
+///
+/// Recording is one short mutex-protected push per *delivery* (not per
+/// frame), so contention is negligible next to the socket work around it.
+#[derive(Debug, Default)]
+pub struct TraceCollector {
+    records: Mutex<Vec<PathRecord>>,
+}
+
+impl TraceCollector {
+    /// Creates an empty collector.
+    #[must_use]
+    pub fn new() -> Self {
+        TraceCollector::default()
+    }
+
+    /// Appends one delivery record.
+    pub fn record(&self, record: PathRecord) {
+        if let Ok(mut guard) = self.records.lock() {
+            guard.push(record);
+        }
+    }
+
+    /// Number of records collected so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.records.lock().map(|g| g.len()).unwrap_or(0)
+    }
+
+    /// `true` if nothing was recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A copy of every record, in arrival order.
+    #[must_use]
+    pub fn records(&self) -> Vec<PathRecord> {
+        self.records.lock().map(|g| g.clone()).unwrap_or_default()
+    }
+
+    /// Groups the records into one [`BroadcastTrace`] per trace id, in
+    /// trace-id order. Duplicate records for a node keep the earliest.
+    #[must_use]
+    pub fn traces(&self) -> Vec<BroadcastTrace> {
+        let mut by_id: BTreeMap<u64, BroadcastTrace> = BTreeMap::new();
+        for r in self.records() {
+            let t = by_id
+                .entry(r.trace_id)
+                .or_insert_with(|| BroadcastTrace::new(r.trace_id));
+            t.add(r);
+        }
+        by_id.into_values().collect()
+    }
+
+    /// The trace with the given id, if any record carried it.
+    #[must_use]
+    pub fn trace(&self, trace_id: u64) -> Option<BroadcastTrace> {
+        self.traces().into_iter().find(|t| t.trace_id == trace_id)
+    }
+}
+
+/// The realized dissemination tree of one broadcast.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BroadcastTrace {
+    /// The broadcast's trace id.
+    pub trace_id: u64,
+    /// First delivery per node, keyed by node id.
+    deliveries: BTreeMap<u32, PathRecord>,
+}
+
+impl BroadcastTrace {
+    fn new(trace_id: u64) -> Self {
+        BroadcastTrace {
+            trace_id,
+            deliveries: BTreeMap::new(),
+        }
+    }
+
+    /// An empty trace (no deliveries recorded). Useful as the placeholder
+    /// for a broadcast that produced no records: it reports as non-spanning
+    /// against any non-empty expected set.
+    #[must_use]
+    pub fn empty(trace_id: u64) -> Self {
+        BroadcastTrace::new(trace_id)
+    }
+
+    fn add(&mut self, r: PathRecord) {
+        match self.deliveries.get(&r.node) {
+            Some(existing) if existing.at_us <= r.at_us => {}
+            _ => {
+                self.deliveries.insert(r.node, r);
+            }
+        }
+    }
+
+    /// The origin node (the delivery with no parent), if recorded.
+    #[must_use]
+    pub fn origin(&self) -> Option<u32> {
+        self.deliveries
+            .values()
+            .find(|r| r.parent.is_none())
+            .map(|r| r.node)
+    }
+
+    /// Nodes that delivered this broadcast.
+    #[must_use]
+    pub fn delivered_nodes(&self) -> BTreeSet<u32> {
+        self.deliveries.keys().copied().collect()
+    }
+
+    /// The delivery record of `node`, if it delivered.
+    #[must_use]
+    pub fn delivery(&self, node: u32) -> Option<&PathRecord> {
+        self.deliveries.get(&node)
+    }
+
+    /// Largest hop count over all deliveries (the realized eccentricity of
+    /// the origin in hops).
+    #[must_use]
+    pub fn max_hops(&self) -> u32 {
+        self.deliveries.values().map(|r| r.hops).max().unwrap_or(0)
+    }
+
+    /// The realized path from the origin to `node`, origin first, following
+    /// parent pointers backwards. `None` if `node` did not deliver or its
+    /// parent chain does not close at the origin (lost records or a cycle).
+    #[must_use]
+    pub fn path_from_origin(&self, node: u32) -> Option<Vec<u32>> {
+        let mut path = vec![node];
+        let mut seen = BTreeSet::from([node]);
+        let mut cursor = node;
+        loop {
+            let record = self.deliveries.get(&cursor)?;
+            match record.parent {
+                None => {
+                    path.reverse();
+                    return Some(path);
+                }
+                Some(parent) => {
+                    if !seen.insert(parent) {
+                        return None; // cycle: records are inconsistent
+                    }
+                    path.push(parent);
+                    cursor = parent;
+                }
+            }
+        }
+    }
+
+    /// Depth of the reconstructed tree: the longest origin→leaf path, in
+    /// edges. Unresolvable chains are skipped.
+    #[must_use]
+    pub fn tree_depth(&self) -> u32 {
+        self.deliveries
+            .keys()
+            .filter_map(|&v| self.path_from_origin(v))
+            .map(|p| (p.len() - 1) as u32)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// `true` when every node in `expected` delivered **and** has a
+    /// reconstructable path back to the origin — i.e. the records form a
+    /// spanning tree over `expected`.
+    #[must_use]
+    pub fn is_spanning(&self, expected: &BTreeSet<u32>) -> bool {
+        expected.iter().all(|&v| self.path_from_origin(v).is_some())
+    }
+
+    /// Per-hop latencies in µs: for every delivery whose parent also
+    /// delivered, `child.at_us − parent.at_us`.
+    #[must_use]
+    pub fn per_hop_latencies_us(&self) -> Vec<u64> {
+        self.deliveries
+            .values()
+            .filter_map(|r| {
+                let parent = self.deliveries.get(&r.parent?)?;
+                Some(r.at_us.saturating_sub(parent.at_us))
+            })
+            .collect()
+    }
+
+    /// End-to-end latency in µs: last delivery minus origin delivery.
+    #[must_use]
+    pub fn eccentricity_us(&self) -> u64 {
+        let origin_at = self
+            .origin()
+            .and_then(|o| self.deliveries.get(&o))
+            .map_or(0, |r| r.at_us);
+        let last = self.deliveries.values().map(|r| r.at_us).max().unwrap_or(0);
+        last.saturating_sub(origin_at)
+    }
+
+    /// Summarizes the trace against the survivor set it should span and the
+    /// theoretical hop bound it should respect.
+    #[must_use]
+    pub fn report(&self, expected: &BTreeSet<u32>, hop_bound: f64) -> HopReport {
+        let latencies = self.per_hop_latencies_us();
+        let hop_latency_max_us = latencies.iter().copied().max().unwrap_or(0);
+        let hop_latency_mean_us = if latencies.is_empty() {
+            0.0
+        } else {
+            latencies.iter().sum::<u64>() as f64 / latencies.len() as f64
+        };
+        HopReport {
+            trace_id: self.trace_id,
+            origin: self.origin(),
+            delivered: self.deliveries.len(),
+            expected: expected.len(),
+            max_hops: self.max_hops(),
+            tree_depth: self.tree_depth(),
+            hop_bound,
+            spanning: self.is_spanning(expected),
+            eccentricity_us: self.eccentricity_us(),
+            hop_latency_mean_us,
+            hop_latency_max_us,
+        }
+    }
+}
+
+/// Per-broadcast summary produced by [`BroadcastTrace::report`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct HopReport {
+    /// The broadcast's trace id.
+    pub trace_id: u64,
+    /// The origin node, if its record was collected.
+    pub origin: Option<u32>,
+    /// Nodes that delivered.
+    pub delivered: usize,
+    /// Nodes that were expected to deliver (the survivor set).
+    pub expected: usize,
+    /// Largest recorded hop count.
+    pub max_hops: u32,
+    /// Depth of the reconstructed spanning tree.
+    pub tree_depth: u32,
+    /// Theoretical hop bound the trace is checked against.
+    pub hop_bound: f64,
+    /// Whether the records form a spanning tree over the expected nodes.
+    pub spanning: bool,
+    /// End-to-end µs from origin delivery to last delivery.
+    pub eccentricity_us: u64,
+    /// Mean per-hop µs over resolvable parent/child pairs.
+    pub hop_latency_mean_us: f64,
+    /// Max per-hop µs over resolvable parent/child pairs.
+    pub hop_latency_max_us: u64,
+}
+
+impl HopReport {
+    /// `true` when the realized tree spans the survivors within the bound —
+    /// the paper's "flooding stays logarithmic under failures" check.
+    #[must_use]
+    pub fn within_bound(&self) -> bool {
+        self.spanning && f64::from(self.max_hops) <= self.hop_bound
+    }
+
+    /// Renders the report as one JSON object.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let origin = self
+            .origin
+            .map_or_else(|| "null".to_owned(), |o| o.to_string());
+        format!(
+            "{{\"trace_id\":{},\"origin\":{origin},\"delivered\":{},\"expected\":{},\
+             \"max_hops\":{},\"tree_depth\":{},\"hop_bound\":{:.2},\"spanning\":{},\
+             \"eccentricity_us\":{},\"hop_latency_mean_us\":{:.1},\"hop_latency_max_us\":{}}}",
+            self.trace_id,
+            self.delivered,
+            self.expected,
+            self.max_hops,
+            self.tree_depth,
+            self.hop_bound,
+            self.spanning,
+            self.eccentricity_us,
+            self.hop_latency_mean_us,
+            self.hop_latency_max_us
+        )
+    }
+
+    /// Header row matching [`HopReport::table_row`].
+    #[must_use]
+    pub fn table_header() -> String {
+        format!(
+            "{:>18} {:>6} {:>11} {:>8} {:>6} {:>8} {:>12} {:>12}",
+            "trace", "origin", "delivered", "maxhops", "bound", "spanning", "e2e µs", "hop µs(max)"
+        )
+    }
+
+    /// One aligned human-readable table row.
+    #[must_use]
+    pub fn table_row(&self) -> String {
+        format!(
+            "{:>#18x} {:>6} {:>5}/{:<5} {:>8} {:>6.1} {:>8} {:>12} {:>12}",
+            self.trace_id,
+            self.origin
+                .map_or_else(|| "?".to_owned(), |o| o.to_string()),
+            self.delivered,
+            self.expected,
+            self.max_hops,
+            self.hop_bound,
+            self.spanning,
+            self.eccentricity_us,
+            self.hop_latency_max_us
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(trace_id: u64, node: u32, parent: Option<u32>, hops: u32, at_us: u64) -> PathRecord {
+        PathRecord {
+            trace_id,
+            node,
+            parent,
+            hops,
+            at_us,
+        }
+    }
+
+    /// A 4-node star broadcast: 0 → {1, 2}, 1 → 3.
+    fn star_trace() -> BroadcastTrace {
+        let c = TraceCollector::new();
+        c.record(rec(7, 0, None, 0, 0));
+        c.record(rec(7, 1, Some(0), 1, 100));
+        c.record(rec(7, 2, Some(0), 1, 150));
+        c.record(rec(7, 3, Some(1), 2, 260));
+        c.trace(7).unwrap()
+    }
+
+    #[test]
+    fn tree_reconstruction_finds_origin_and_paths() {
+        let t = star_trace();
+        assert_eq!(t.origin(), Some(0));
+        assert_eq!(t.delivered_nodes(), BTreeSet::from([0, 1, 2, 3]));
+        assert_eq!(t.path_from_origin(3), Some(vec![0, 1, 3]));
+        assert_eq!(t.path_from_origin(2), Some(vec![0, 2]));
+        assert_eq!(t.path_from_origin(0), Some(vec![0]));
+        assert_eq!(t.path_from_origin(9), None, "node 9 never delivered");
+        assert_eq!(t.max_hops(), 2);
+        assert_eq!(t.tree_depth(), 2);
+    }
+
+    #[test]
+    fn spanning_check_tracks_expected_set() {
+        let t = star_trace();
+        assert!(t.is_spanning(&BTreeSet::from([0, 1, 2, 3])));
+        assert!(t.is_spanning(&BTreeSet::from([0, 3])));
+        assert!(!t.is_spanning(&BTreeSet::from([0, 1, 4])), "4 missing");
+    }
+
+    #[test]
+    fn latency_summaries() {
+        let t = star_trace();
+        let mut hops = t.per_hop_latencies_us();
+        hops.sort_unstable();
+        assert_eq!(hops, vec![100, 150, 160]);
+        assert_eq!(t.eccentricity_us(), 260);
+    }
+
+    #[test]
+    fn duplicate_records_keep_the_earliest() {
+        let c = TraceCollector::new();
+        c.record(rec(1, 0, None, 0, 0));
+        c.record(rec(1, 1, Some(0), 1, 300));
+        c.record(rec(1, 1, Some(0), 4, 100)); // earlier copy wins
+        let t = c.trace(1).unwrap();
+        assert_eq!(t.delivery(1).unwrap().at_us, 100);
+        assert_eq!(t.max_hops(), 4);
+    }
+
+    #[test]
+    fn cyclic_parent_chains_are_rejected_not_looped() {
+        let c = TraceCollector::new();
+        c.record(rec(2, 1, Some(2), 1, 10));
+        c.record(rec(2, 2, Some(1), 1, 10));
+        let t = c.trace(2).unwrap();
+        assert_eq!(t.path_from_origin(1), None);
+        assert!(!t.is_spanning(&BTreeSet::from([1, 2])));
+    }
+
+    #[test]
+    fn traces_group_by_id() {
+        let c = TraceCollector::new();
+        c.record(rec(5, 0, None, 0, 0));
+        c.record(rec(9, 3, None, 0, 50));
+        c.record(rec(5, 1, Some(0), 1, 90));
+        let traces = c.traces();
+        assert_eq!(traces.len(), 2);
+        assert_eq!(traces[0].trace_id, 5);
+        assert_eq!(traces[0].delivered_nodes().len(), 2);
+        assert_eq!(traces[1].trace_id, 9);
+        assert_eq!(c.len(), 3);
+        assert!(!c.is_empty());
+    }
+
+    #[test]
+    fn report_flags_bound_violations() {
+        let t = star_trace();
+        let all = BTreeSet::from([0, 1, 2, 3]);
+        let ok = t.report(&all, 3.0);
+        assert!(ok.within_bound());
+        assert_eq!(ok.delivered, 4);
+        assert_eq!(ok.max_hops, 2);
+        let tight = t.report(&all, 1.5);
+        assert!(!tight.within_bound(), "max_hops 2 exceeds bound 1.5");
+        let missing = t.report(&BTreeSet::from([0, 1, 2, 3, 4]), 10.0);
+        assert!(!missing.within_bound(), "not spanning");
+    }
+
+    #[test]
+    fn json_rendering_round_trips_key_fields() {
+        let t = star_trace();
+        let json = t.report(&BTreeSet::from([0, 1, 2, 3]), 5.0).to_json();
+        assert!(json.contains("\"trace_id\":7"));
+        assert!(json.contains("\"origin\":0"));
+        assert!(json.contains("\"spanning\":true"));
+        assert!(json.contains("\"max_hops\":2"));
+        let r = rec(7, 1, None, 0, 3);
+        assert!(r.to_json().contains("\"parent\":null"));
+    }
+
+    #[test]
+    fn table_rows_align_with_header() {
+        let t = star_trace();
+        let header = HopReport::table_header();
+        let row = t.report(&BTreeSet::from([0, 1, 2, 3]), 5.0).table_row();
+        assert!(!header.is_empty() && !row.is_empty());
+        assert!(row.contains("0x7"));
+    }
+}

@@ -1,0 +1,30 @@
+//! Flight recorder and causal broadcast tracing for the LHG runtime.
+//!
+//! Two complementary observability primitives for the overlays of
+//! Jenkins & Demers' *Logarithmic Harary Graphs*:
+//!
+//! * **Flight recorder** ([`FlightRecorder`]): a per-node, fixed-capacity
+//!   ring of structured [`Event`]s — link lifecycle, wire traffic, failure
+//!   detection, healing, and broadcast delivery — appended with a single
+//!   atomic plus one uncontended per-slot lock, and dumpable as JSONL.
+//! * **Causal tracing** ([`TraceCollector`]): every traced broadcast
+//!   carries a trace id on the wire; each delivery contributes a
+//!   [`PathRecord`] naming the parent the winning copy arrived from. The
+//!   collector reconstructs the realized dissemination tree per broadcast
+//!   ([`BroadcastTrace`]) and checks it against the paper's guarantees:
+//!   spanning over the survivors, hop count within the O(log n) diameter
+//!   bound ([`HopReport`]).
+//!
+//! The crate is deliberately dependency-free so it can sit under every
+//! other crate in the workspace (net, runtime, flood, cli) without cycles.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod collector;
+mod event;
+mod recorder;
+
+pub use collector::{BroadcastTrace, HopReport, PathRecord, TraceCollector};
+pub use event::{Event, EventKind};
+pub use recorder::{merge_timelines, FlightRecorder, DEFAULT_CAPACITY};

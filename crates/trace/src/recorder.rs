@@ -1,0 +1,292 @@
+//! The flight recorder: a fixed-capacity ring buffer of [`Event`]s.
+//!
+//! Append is the hot path — it runs on every frame a node sends or
+//! receives — so it is a single `fetch_add` on the ring head plus one
+//! uncontended per-slot mutex write (each slot has its own lock, and two
+//! appends only meet on a slot after a full lap of the ring). There is no
+//! global lock, no allocation, and no I/O; reading the buffer back is the
+//! cold path used by dumps and reports.
+//!
+//! When the ring is full the oldest events are overwritten — a flight
+//! recorder keeps the *recent* past, and [`FlightRecorder::dropped`]
+//! reports how much history was lost.
+
+use std::io::Write;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use crate::event::{Event, EventKind};
+
+/// Default ring capacity: enough for the full lifecycle of the test-sized
+/// clusters (heartbeats included) without unbounded growth.
+pub const DEFAULT_CAPACITY: usize = 4096;
+
+/// One ring slot: the sequence stamp tells readers whether the slot holds a
+/// fresh or an overwritten-generation event.
+struct Slot {
+    event: Mutex<Option<Event>>,
+}
+
+/// A per-node, fixed-capacity, lock-light event ring.
+pub struct FlightRecorder {
+    node: u32,
+    epoch: Instant,
+    head: AtomicU64,
+    slots: Box<[Slot]>,
+}
+
+impl FlightRecorder {
+    /// Creates a recorder for `node` with [`DEFAULT_CAPACITY`] slots; the
+    /// epoch (time zero of `at_us`) is `Instant::now()`.
+    #[must_use]
+    pub fn new(node: u32) -> Self {
+        FlightRecorder::with_capacity(node, DEFAULT_CAPACITY, Instant::now())
+    }
+
+    /// Creates a recorder with an explicit capacity and epoch. Recorders
+    /// that will be merged (one per cluster node) must share the epoch so
+    /// their timestamps are comparable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn with_capacity(node: u32, capacity: usize, epoch: Instant) -> Self {
+        assert!(capacity > 0, "flight recorder needs at least one slot");
+        let slots = (0..capacity)
+            .map(|_| Slot {
+                event: Mutex::new(None),
+            })
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        FlightRecorder {
+            node,
+            epoch,
+            head: AtomicU64::new(0),
+            slots,
+        }
+    }
+
+    /// The recording node's member id.
+    #[must_use]
+    pub fn node(&self) -> u32 {
+        self.node
+    }
+
+    /// Microseconds elapsed since the recorder's epoch.
+    #[must_use]
+    pub fn now_us(&self) -> u64 {
+        u64::try_from(self.epoch.elapsed().as_micros()).unwrap_or(u64::MAX)
+    }
+
+    /// Records one event, stamped with the current time.
+    pub fn record(&self, kind: EventKind) {
+        self.record_at(self.now_us(), kind);
+    }
+
+    /// Records one event with an explicit timestamp (simulators pass
+    /// virtual time).
+    pub fn record_at(&self, at_us: u64, kind: EventKind) {
+        let seq = self.head.fetch_add(1, Ordering::Relaxed);
+        let slot = &self.slots[(seq % self.slots.len() as u64) as usize];
+        // Uncontended except when two appends race a full ring lap apart;
+        // a poisoned lock (panicking recorder elsewhere) just drops the event.
+        if let Ok(mut guard) = slot.event.lock() {
+            *guard = Some(Event {
+                seq,
+                at_us,
+                node: self.node,
+                kind,
+            });
+        }
+    }
+
+    /// Total events ever appended (including overwritten ones).
+    #[must_use]
+    pub fn appended(&self) -> u64 {
+        self.head.load(Ordering::Relaxed)
+    }
+
+    /// Events lost to ring overwrites so far.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.appended().saturating_sub(self.slots.len() as u64)
+    }
+
+    /// The retained events in append order (oldest surviving first).
+    ///
+    /// Concurrent appends may overwrite slots mid-read; the snapshot is
+    /// consistent per event (each slot is read under its lock) and ordered
+    /// by sequence number.
+    #[must_use]
+    pub fn events(&self) -> Vec<Event> {
+        let mut out: Vec<Event> = self
+            .slots
+            .iter()
+            .filter_map(|s| s.event.lock().ok().and_then(|g| *g))
+            .collect();
+        out.sort_unstable_by_key(|e| e.seq);
+        out
+    }
+
+    /// The retained events as JSONL (one JSON object per line).
+    #[must_use]
+    pub fn events_jsonl(&self) -> String {
+        let mut s = String::new();
+        for e in self.events() {
+            s.push_str(&e.to_json());
+            s.push('\n');
+        }
+        s
+    }
+
+    /// Writes the retained events as JSONL to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file creation and write errors.
+    pub fn dump_jsonl(&self, path: &Path) -> std::io::Result<()> {
+        let mut f = std::fs::File::create(path)?;
+        f.write_all(self.events_jsonl().as_bytes())?;
+        f.flush()
+    }
+}
+
+impl std::fmt::Debug for FlightRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FlightRecorder")
+            .field("node", &self.node)
+            .field("capacity", &self.slots.len())
+            .field("appended", &self.appended())
+            .finish_non_exhaustive()
+    }
+}
+
+/// Merges events from several recorders (sharing an epoch) into one
+/// timeline, ordered by timestamp with (node, seq) tie-breaks.
+#[must_use]
+pub fn merge_timelines<'a>(recorders: impl IntoIterator<Item = &'a FlightRecorder>) -> Vec<Event> {
+    let mut out: Vec<Event> = recorders.into_iter().flat_map(|r| r.events()).collect();
+    out.sort_unstable_by_key(|e| (e.at_us, e.node, e.seq));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_in_order() {
+        let r = FlightRecorder::new(3);
+        for peer in 0..5 {
+            r.record(EventKind::Connect { peer });
+        }
+        let events = r.events();
+        assert_eq!(events.len(), 5);
+        assert_eq!(r.appended(), 5);
+        assert_eq!(r.dropped(), 0);
+        for (i, e) in events.iter().enumerate() {
+            assert_eq!(e.seq, i as u64);
+            assert_eq!(e.node, 3);
+            assert_eq!(e.kind, EventKind::Connect { peer: i as u32 });
+        }
+    }
+
+    #[test]
+    fn ring_overwrites_oldest() {
+        let r = FlightRecorder::with_capacity(0, 4, Instant::now());
+        for peer in 0..10u32 {
+            r.record(EventKind::Heartbeat { peer });
+        }
+        let events = r.events();
+        assert_eq!(events.len(), 4);
+        assert_eq!(r.dropped(), 6);
+        let peers: Vec<u32> = events
+            .iter()
+            .map(|e| match e.kind {
+                EventKind::Heartbeat { peer } => peer,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(peers, vec![6, 7, 8, 9], "only the newest survive");
+    }
+
+    #[test]
+    fn timestamps_are_monotone() {
+        let r = FlightRecorder::new(0);
+        r.record(EventKind::Connect { peer: 1 });
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        r.record(EventKind::Disconnect { peer: 1 });
+        let e = r.events();
+        assert!(e[1].at_us >= e[0].at_us + 1_000, "≥1ms apart");
+    }
+
+    #[test]
+    fn concurrent_appends_lose_nothing_within_capacity() {
+        let r = std::sync::Arc::new(FlightRecorder::with_capacity(0, 4096, Instant::now()));
+        let threads: Vec<_> = (0..8)
+            .map(|t| {
+                let r = std::sync::Arc::clone(&r);
+                std::thread::spawn(move || {
+                    for i in 0..256u32 {
+                        r.record(EventKind::FrameTx { peer: t, bytes: i });
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(r.appended(), 8 * 256);
+        assert_eq!(r.events().len(), 8 * 256, "capacity was never exceeded");
+        // All sequence numbers distinct.
+        let mut seqs: Vec<u64> = r.events().iter().map(|e| e.seq).collect();
+        seqs.dedup();
+        assert_eq!(seqs.len(), 8 * 256);
+    }
+
+    #[test]
+    fn jsonl_has_one_object_per_line() {
+        let r = FlightRecorder::new(1);
+        r.record(EventKind::Connect { peer: 2 });
+        r.record(EventKind::Suspicion { peer: 2 });
+        let jsonl = r.events_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with('{') && lines[0].ends_with('}'));
+        assert!(lines[1].contains("\"event\":\"suspicion\""));
+    }
+
+    #[test]
+    fn dump_writes_the_file() {
+        let r = FlightRecorder::new(0);
+        r.record(EventKind::HealEnd { took_us: 99 });
+        let path = std::env::temp_dir().join("lhg_trace_recorder_dump_test.jsonl");
+        r.dump_jsonl(&path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"took_us\":99"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn merged_timeline_is_time_ordered() {
+        let epoch = Instant::now();
+        let a = FlightRecorder::with_capacity(0, 16, epoch);
+        let b = FlightRecorder::with_capacity(1, 16, epoch);
+        a.record_at(30, EventKind::Connect { peer: 1 });
+        b.record_at(10, EventKind::Connect { peer: 0 });
+        a.record_at(20, EventKind::Heartbeat { peer: 1 });
+        let merged = merge_timelines([&a, &b]);
+        let times: Vec<u64> = merged.iter().map(|e| e.at_us).collect();
+        assert_eq!(times, vec![10, 20, 30]);
+        assert_eq!(merged[0].node, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one slot")]
+    fn zero_capacity_is_rejected() {
+        let _ = FlightRecorder::with_capacity(0, 0, Instant::now());
+    }
+}

@@ -17,7 +17,10 @@
 //! * [`flood`] — round-synchronous flooding/gossip simulator with failure
 //!   injection;
 //! * [`net`] — discrete-event message-passing substrate and reliable
-//!   broadcast over LHG overlays.
+//!   broadcast over LHG overlays;
+//! * [`trace`] — observability: per-node flight recorders (structured
+//!   lifecycle events, JSONL timelines) and causal broadcast tracing
+//!   (realized dissemination trees checked against the O(log n) bound).
 //!
 //! # Quickstart
 //!
@@ -51,3 +54,4 @@ pub use lhg_core as core;
 pub use lhg_flood as flood;
 pub use lhg_graph as graph;
 pub use lhg_net as net;
+pub use lhg_trace as trace;
