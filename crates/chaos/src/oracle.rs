@@ -1,0 +1,201 @@
+//! Invariants checked against a chaos run, and the report they produce.
+//!
+//! The oracle is deliberately conservative: it only asserts properties the
+//! paper's failure model actually guarantees. Strict delivery ("every
+//! correct node delivers every broadcast from a correct origin") is
+//! demanded only for *lossless* plans — with message loss and no
+//! retransmission layer, best-effort flooding cannot promise delivery, so
+//! lossy runs are held to termination, dedup, and convergence instead.
+
+use std::fmt;
+
+use crate::plan::Family;
+
+/// One observed violation of a chaos invariant.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Violation {
+    /// A correct node failed to deliver a broadcast from a correct origin
+    /// on a lossless run.
+    DeliveryMissed {
+        /// Broadcast id that went missing.
+        broadcast_id: u64,
+        /// The node that should have delivered it.
+        node: u32,
+    },
+    /// A node delivered the same broadcast id twice (dedup must make
+    /// delivery exactly-once per node, even under duplication faults).
+    DuplicateDelivery {
+        /// The doubly-delivered broadcast id.
+        broadcast_id: u64,
+        /// The offending node.
+        node: u32,
+    },
+    /// A delivery's hop count exceeded the engine-appropriate bound
+    /// (the P4 logarithmic bound on calibration runs, n−1 always).
+    HopBoundExceeded {
+        /// Broadcast id of the offending delivery.
+        broadcast_id: u64,
+        /// The node that delivered it.
+        node: u32,
+        /// Observed hop count.
+        hops: u32,
+        /// The bound that was exceeded.
+        bound: u32,
+    },
+    /// After applying the plan's crash set, the surviving overlay is not
+    /// k-vertex-connected (the structural P1 guarantee was lost).
+    NotKConnected {
+        /// Number of crashed nodes applied.
+        crashed: usize,
+    },
+    /// Two live replicas disagree about the membership after the run
+    /// settled (crash/join waves must converge).
+    ReplicaDivergence {
+        /// One of the disagreeing replicas.
+        node: u32,
+        /// A description of the disagreement.
+        detail: String,
+    },
+    /// A run phase failed to complete within its deadline.
+    Timeout {
+        /// Which phase stalled (e.g. `"heal"`, `"reconverge"`).
+        phase: String,
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::DeliveryMissed { broadcast_id, node } => {
+                write!(f, "node {node} never delivered broadcast {broadcast_id:#x}")
+            }
+            Violation::DuplicateDelivery { broadcast_id, node } => {
+                write!(f, "node {node} delivered broadcast {broadcast_id:#x} twice")
+            }
+            Violation::HopBoundExceeded {
+                broadcast_id,
+                node,
+                hops,
+                bound,
+            } => write!(
+                f,
+                "broadcast {broadcast_id:#x} reached node {node} in {hops} hops (bound {bound})"
+            ),
+            Violation::NotKConnected { crashed } => write!(
+                f,
+                "survivor overlay lost k-connectivity after {crashed} crash(es)"
+            ),
+            Violation::ReplicaDivergence { node, detail } => {
+                write!(f, "replica {node} diverged: {detail}")
+            }
+            Violation::Timeout { phase } => write!(f, "phase '{phase}' timed out"),
+        }
+    }
+}
+
+/// Which engine executed a chaos run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Engine {
+    /// Deterministic discrete-event simulator (virtual time).
+    Sim,
+    /// Real TCP runtime over loopback sockets (wall-clock time).
+    Tcp,
+}
+
+impl fmt::Display for Engine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Engine::Sim => "sim",
+            Engine::Tcp => "tcp",
+        })
+    }
+}
+
+/// The outcome of executing one [`crate::plan::FaultPlan`] on one engine.
+#[derive(Debug)]
+pub struct ChaosReport {
+    /// The reproducing seed.
+    pub seed: u64,
+    /// Engine that ran the plan.
+    pub engine: Engine,
+    /// The plan's fault family.
+    pub family: Family,
+    /// Cluster size of the run.
+    pub n: usize,
+    /// Connectivity parameter of the run.
+    pub k: usize,
+    /// Every invariant violation observed (empty means the run passed).
+    pub violations: Vec<Violation>,
+    /// Virtual or wall-clock end time of the run, µs from start.
+    pub end_time_us: u64,
+    /// Total deliveries observed across all nodes.
+    pub deliveries: usize,
+    /// JSONL trace/event dump captured on failure (TCP engine only);
+    /// written to disk by the CLI when `--events` is given.
+    pub events_jsonl: Option<String>,
+}
+
+impl ChaosReport {
+    /// True when no invariant was violated.
+    #[must_use]
+    pub fn passed(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// One-line summary for the chaos runner's console output.
+    #[must_use]
+    pub fn summary(&self) -> String {
+        format!(
+            "seed={} engine={} family={} n={} k={} deliveries={} {}",
+            self.seed,
+            self.engine,
+            self.family.name(),
+            self.n,
+            self.k,
+            self.deliveries,
+            if self.passed() {
+                "ok".to_string()
+            } else {
+                format!("FAILED ({} violation(s))", self.violations.len())
+            }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn violations_render_human_readable() {
+        let v = Violation::DeliveryMissed {
+            broadcast_id: 0x10,
+            node: 3,
+        };
+        assert!(v.to_string().contains("node 3"));
+        let t = Violation::Timeout {
+            phase: "heal".into(),
+        };
+        assert!(t.to_string().contains("heal"));
+    }
+
+    #[test]
+    fn report_summary_flags_failures() {
+        let mut r = ChaosReport {
+            seed: 42,
+            engine: Engine::Sim,
+            family: Family::Crash,
+            n: 8,
+            k: 3,
+            violations: Vec::new(),
+            end_time_us: 1_000,
+            deliveries: 24,
+            events_jsonl: None,
+        };
+        assert!(r.passed());
+        assert!(r.summary().contains("ok"));
+        r.violations.push(Violation::NotKConnected { crashed: 2 });
+        assert!(!r.passed());
+        assert!(r.summary().contains("FAILED"));
+    }
+}

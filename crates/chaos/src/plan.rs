@@ -1,0 +1,394 @@
+//! Seeded fault-plan DSL.
+//!
+//! A [`FaultPlan`] is the declarative input to a chaos run: which topology
+//! to build, which faults to inject when, and which broadcasts to originate.
+//! Plans are *pure data* derived deterministically from one `u64` seed
+//! ([`FaultPlan::random`]), so any failing run is reproducible by replaying
+//! the printed seed. The same plan drives every engine: the discrete-event
+//! simulator executes it in virtual time, the TCP runtime in wall-clock
+//! time (microsecond schedules map 1:1 onto wall-clock microseconds).
+
+use std::collections::BTreeSet;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use lhg_core::Constraint;
+use lhg_net::fault::{FaultInjector, LinkFaults, Partition};
+
+/// Which fault archetype a seed exercises. Chaos runs cycle through the
+/// three families so every seed range covers the whole failure model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Family {
+    /// Fail-stop crashes (≤ k−1) with optional recovery. Links stay clean,
+    /// so the oracle demands strict delivery among always-up nodes.
+    Crash,
+    /// A time-windowed network partition that isolates a minority of at
+    /// most k−1 nodes, then heals. Links stay clean.
+    Partition,
+    /// Lossy links: drops, duplicates, reorders, extra delay. No delivery
+    /// guarantee — the oracle checks termination and dedup invariants.
+    Lossy,
+}
+
+impl Family {
+    /// Deterministic family for a seed (cycles through all three).
+    #[must_use]
+    pub fn of_seed(seed: u64) -> Family {
+        match seed % 3 {
+            0 => Family::Crash,
+            1 => Family::Partition,
+            _ => Family::Lossy,
+        }
+    }
+
+    /// Short stable name for reports.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            Family::Crash => "crash",
+            Family::Partition => "partition",
+            Family::Lossy => "lossy",
+        }
+    }
+}
+
+/// One scheduled fail-stop crash, optionally followed by a recovery
+/// (rejoin on the TCP engine, end of the down window in the simulator).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashSpec {
+    /// The node that crashes.
+    pub node: u32,
+    /// Crash time (µs from run start).
+    pub at_us: u64,
+    /// Recovery time, or `None` for a permanent crash.
+    pub recover_at_us: Option<u64>,
+}
+
+/// One scheduled partition: `minority` against everyone else.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartitionSpec {
+    /// The isolated side (at most k−1 nodes, so the majority can heal).
+    pub minority: Vec<u32>,
+    /// Activation time (µs from run start).
+    pub from_us: u64,
+    /// Healing time (µs from run start).
+    pub until_us: u64,
+    /// When true only minority → majority traffic is cut.
+    pub directed: bool,
+}
+
+/// One scheduled application broadcast.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BroadcastSpec {
+    /// Originating node (always a node that is up at `at_us`).
+    pub origin: u32,
+    /// Origination time (µs from run start).
+    pub at_us: u64,
+}
+
+/// A complete seeded chaos schedule. See the module docs for semantics.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    /// The generating seed: printing it reproduces the plan exactly.
+    pub seed: u64,
+    /// The plan's fault archetype.
+    pub family: Family,
+    /// Cluster size.
+    pub n: usize,
+    /// Overlay connectivity parameter.
+    pub k: usize,
+    /// LHG construction to build.
+    pub constraint: Constraint,
+    /// Fault rates applied to every link without an override.
+    pub default_rates: LinkFaults,
+    /// Per-link `(from, to, rates)` overrides.
+    pub link_overrides: Vec<(u32, u32, LinkFaults)>,
+    /// Scheduled partitions.
+    pub partitions: Vec<PartitionSpec>,
+    /// Scheduled crashes.
+    pub crashes: Vec<CrashSpec>,
+    /// Scheduled broadcasts.
+    pub broadcasts: Vec<BroadcastSpec>,
+    /// Virtual-time horizon: every schedule entry fits well inside it.
+    pub horizon_us: u64,
+}
+
+impl FaultPlan {
+    /// Generates the deterministic plan for `seed`. `quick` shrinks the
+    /// cluster (CI smoke runs); the schedule shape is otherwise identical.
+    #[must_use]
+    pub fn random(seed: u64, quick: bool) -> FaultPlan {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let family = Family::of_seed(seed);
+        let k = rng.random_range(2usize..=3);
+        // Keep n − crashes ≥ 2k so healing never hits the membership floor.
+        let n = if quick {
+            rng.random_range((2 * k + 2)..=8)
+        } else {
+            rng.random_range((2 * k + 2)..=12)
+        };
+        // Only the gap-free constructions: JD cannot build some sizes
+        // (§4.4 gaps), so a heal or rejoin passing through a gap size would
+        // be refused and the run would stall through no fault of the
+        // runtime. K-TREE and K-DIAMOND cover every n ≥ 2k.
+        let constraint = if rng.random_bool(0.5) {
+            Constraint::KDiamond
+        } else {
+            Constraint::KTree
+        };
+        let horizon_us = 2_000_000;
+
+        let mut plan = FaultPlan {
+            seed,
+            family,
+            n,
+            k,
+            constraint,
+            default_rates: LinkFaults::default(),
+            link_overrides: Vec::new(),
+            partitions: Vec::new(),
+            crashes: Vec::new(),
+            broadcasts: Vec::new(),
+            horizon_us,
+        };
+
+        match family {
+            Family::Crash => {
+                let crashes = rng.random_range(1..=k - 1);
+                let mut victims = BTreeSet::new();
+                while victims.len() < crashes {
+                    victims.insert(rng.random_range(0..n as u32));
+                }
+                for &node in &victims {
+                    let at_us = rng.random_range(150_000u64..=400_000);
+                    let recover_at_us = if rng.random_bool(0.5) {
+                        Some(at_us + rng.random_range(300_000u64..=600_000))
+                    } else {
+                        None
+                    };
+                    plan.crashes.push(CrashSpec {
+                        node,
+                        at_us,
+                        recover_at_us,
+                    });
+                }
+                // One broadcast before, one amid, one after the crash wave;
+                // origins are always-up nodes so strict delivery applies.
+                for at_us in [10_000u64, 500_000, 1_100_000] {
+                    let origin = plan.pick_correct_origin(&mut rng);
+                    plan.broadcasts.push(BroadcastSpec { origin, at_us });
+                }
+            }
+            Family::Partition => {
+                let m = rng.random_range(1..=k - 1);
+                let mut minority = BTreeSet::new();
+                while minority.len() < m {
+                    minority.insert(rng.random_range(0..n as u32));
+                }
+                plan.partitions.push(PartitionSpec {
+                    minority: minority.into_iter().collect(),
+                    from_us: 200_000,
+                    until_us: 500_000,
+                    directed: rng.random_bool(0.25),
+                });
+                // Pre-partition and post-heal broadcasts must reach all n
+                // nodes; nothing is originated while the cut is active.
+                for at_us in [10_000u64, 700_000, 900_000] {
+                    let origin = rng.random_range(0..n as u32);
+                    plan.broadcasts.push(BroadcastSpec { origin, at_us });
+                }
+            }
+            Family::Lossy => {
+                plan.default_rates = LinkFaults {
+                    drop: rng.random_range(5u64..=25) as f64 / 100.0,
+                    duplicate: rng.random_range(0u64..=20) as f64 / 100.0,
+                    extra_delay_us: rng.random_range(0u64..=2_000),
+                    reorder: rng.random_range(0u64..=30) as f64 / 100.0,
+                    reorder_window_us: 5_000,
+                };
+                if rng.random_bool(0.3) {
+                    // One fully dead directed link: k-connectivity must
+                    // route around it.
+                    let from = rng.random_range(0..n as u32);
+                    let mut to = rng.random_range(0..n as u32);
+                    if to == from {
+                        to = (to + 1) % n as u32;
+                    }
+                    plan.link_overrides.push((
+                        from,
+                        to,
+                        LinkFaults {
+                            drop: 1.0,
+                            ..LinkFaults::default()
+                        },
+                    ));
+                }
+                for _ in 0..5 {
+                    plan.broadcasts.push(BroadcastSpec {
+                        origin: rng.random_range(0..n as u32),
+                        at_us: rng.random_range(10_000u64..=800_000),
+                    });
+                }
+            }
+        }
+        plan.broadcasts.sort_by_key(|b| b.at_us);
+        plan
+    }
+
+    /// A random node that is never down during the run.
+    fn pick_correct_origin(&self, rng: &mut StdRng) -> u32 {
+        let correct = self.correct_nodes();
+        correct[rng.random_range(0..correct.len())]
+    }
+
+    /// Nodes with no scheduled crash at all — the nodes a lossless oracle
+    /// may demand delivery from and to.
+    #[must_use]
+    pub fn correct_nodes(&self) -> Vec<u32> {
+        let crashed: BTreeSet<u32> = self.crashes.iter().map(|c| c.node).collect();
+        (0..self.n as u32)
+            .filter(|v| !crashed.contains(v))
+            .collect()
+    }
+
+    /// `true` when links neither drop nor corrupt traffic (the delivery
+    /// oracle is strict only for lossless plans).
+    #[must_use]
+    pub fn is_lossless(&self) -> bool {
+        self.default_rates.drop == 0.0 && self.link_overrides.is_empty()
+    }
+
+    /// Compiles the full plan — rates, partitions, **and** node down
+    /// windows — into a [`FaultInjector`] for the virtual-time engines.
+    #[must_use]
+    pub fn compile(&self) -> FaultInjector {
+        let mut inj = self.compile_rates_only();
+        for p in &self.partitions {
+            inj.add_partition(Partition {
+                a: p.minority.iter().copied().collect(),
+                b: BTreeSet::new(), // wildcard: everyone else
+                from_us: p.from_us,
+                until_us: p.until_us,
+                directed: p.directed,
+            });
+        }
+        for c in &self.crashes {
+            inj.set_node_down(c.node, c.at_us, c.recover_at_us.unwrap_or(u64::MAX));
+        }
+        inj
+    }
+
+    /// Compiles only the link-rate part of the plan. The TCP runner uses
+    /// this and orchestrates partitions/crashes itself in wall-clock time
+    /// (precompiled windows would start ticking during cluster launch).
+    #[must_use]
+    pub fn compile_rates_only(&self) -> FaultInjector {
+        let mut inj = FaultInjector::new(self.seed);
+        inj.set_default_rates(self.default_rates);
+        for &(from, to, rates) in &self.link_overrides {
+            inj.set_link(from, to, rates);
+        }
+        inj
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plans_are_seed_deterministic() {
+        for seed in 0..30u64 {
+            let a = FaultPlan::random(seed, false);
+            let b = FaultPlan::random(seed, false);
+            assert_eq!(a.n, b.n);
+            assert_eq!(a.k, b.k);
+            assert_eq!(a.crashes, b.crashes);
+            assert_eq!(a.partitions, b.partitions);
+            assert_eq!(a.broadcasts, b.broadcasts);
+            assert_eq!(a.default_rates, b.default_rates);
+        }
+    }
+
+    #[test]
+    fn families_cycle_and_respect_budgets() {
+        for seed in 0..60u64 {
+            let plan = FaultPlan::random(seed, false);
+            assert_eq!(plan.family, Family::of_seed(seed));
+            assert!(plan.n >= 2 * plan.k + 2);
+            match plan.family {
+                Family::Crash => {
+                    assert!(!plan.crashes.is_empty());
+                    assert!(plan.crashes.len() < plan.k, "crash budget");
+                    assert!(plan.is_lossless());
+                    let correct = plan.correct_nodes();
+                    for b in &plan.broadcasts {
+                        assert!(correct.contains(&b.origin), "origin must be correct");
+                    }
+                }
+                Family::Partition => {
+                    assert_eq!(plan.partitions.len(), 1);
+                    assert!(plan.partitions[0].minority.len() < plan.k);
+                    assert!(plan.is_lossless());
+                    for b in &plan.broadcasts {
+                        let p = &plan.partitions[0];
+                        assert!(
+                            b.at_us < p.from_us.saturating_sub(50_000)
+                                || b.at_us >= p.until_us + 100_000,
+                            "broadcasts avoid the active cut"
+                        );
+                    }
+                }
+                Family::Lossy => {
+                    assert!(plan.default_rates.drop > 0.0);
+                    assert!(plan.crashes.is_empty());
+                    assert!(plan.partitions.is_empty());
+                }
+            }
+            for b in &plan.broadcasts {
+                assert!(
+                    b.at_us + 500_000 <= plan.horizon_us,
+                    "headroom for the flood"
+                );
+                assert!((b.origin as usize) < plan.n);
+            }
+        }
+    }
+
+    #[test]
+    fn compile_reflects_schedule() {
+        // Seed 0 is the crash family; its injector must carry down windows.
+        let plan = FaultPlan::random(0, false);
+        let inj = plan.compile();
+        let c = &plan.crashes[0];
+        assert!(!inj.down_windows(c.node).is_empty());
+        assert!(inj.node_down(c.node, c.at_us));
+        // Rates-only compilation never carries windows or partitions.
+        let tcp = plan.compile_rates_only();
+        assert!(tcp.down_windows(c.node).is_empty());
+        assert!(!tcp.blocked(0, 1, c.at_us));
+    }
+
+    #[test]
+    fn partition_compiles_to_wildcard_cut() {
+        // Seed 1 is the partition family.
+        let plan = FaultPlan::random(1, false);
+        let inj = plan.compile();
+        let p = &plan.partitions[0];
+        let inside = p.minority[0];
+        let outside = (0..plan.n as u32)
+            .find(|v| !p.minority.contains(v))
+            .unwrap();
+        let mid = (p.from_us + p.until_us) / 2;
+        assert!(inj.blocked(inside, outside, mid));
+        assert!(!inj.blocked(inside, outside, p.until_us));
+    }
+
+    #[test]
+    fn quick_plans_stay_small() {
+        for seed in 0..30u64 {
+            assert!(FaultPlan::random(seed, true).n <= 8);
+        }
+    }
+}

@@ -1,0 +1,700 @@
+//! Executes fault plans on the simulator and on the TCP runtime.
+//!
+//! One [`FaultPlan`] drives both engines. The simulator run is fully
+//! deterministic (virtual time, seeded jitter, seeded fault decisions); the
+//! TCP run is wall-clock and therefore only *statistically* reproducible,
+//! but every probabilistic decision inside it — fault verdicts, dial
+//! jitter — still derives from the plan seed, so a failing seed reliably
+//! re-exercises the same schedule shape.
+//!
+//! The TCP engine applies the plan's **default** link rates only: a
+//! per-link total blackhole (the sim-only `link_overrides` refinement)
+//! would starve heartbeats on one directed link forever and wedge the
+//! cluster in perpetual suspicion churn, which is not the property under
+//! test. Partitions and crashes are orchestrated in wall-clock time
+//! (kill/rejoin calls, shared-injector partition toggles) rather than
+//! precompiled, because the injector epoch starts before the cluster
+//! finishes launching.
+
+use std::collections::{BTreeSet, HashSet};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+
+use lhg_core::overlay::{DynamicOverlay, MemberId};
+use lhg_core::properties::p4_diameter_bound;
+use lhg_graph::connectivity::is_k_vertex_connected;
+use lhg_graph::NodeId;
+use lhg_net::fault::{FaultInjector, Partition};
+use lhg_net::message::Message;
+use lhg_net::sim::{Context, LinkModel, Process, SimReport, Simulation};
+use lhg_runtime::{Cluster, RuntimeConfig};
+
+use crate::oracle::{ChaosReport, Engine, Violation};
+use crate::plan::{BroadcastSpec, Family, FaultPlan};
+
+/// Broadcast ids used by the sim engine: `CHAOS_BCAST_BASE + index` into
+/// [`FaultPlan::broadcasts`].
+pub const CHAOS_BCAST_BASE: u64 = 0x1000;
+
+/// At most this many violations of each kind are reported per run; a
+/// systemic failure produces thousands of identical entries otherwise.
+const MAX_VIOLATIONS_PER_CHECK: usize = 8;
+
+/// The flooding process chaos runs host on every sim node: originate the
+/// plan's broadcasts from their scheduled origins, deliver + forward on
+/// first receipt, drop duplicates.
+struct ChaosFlooder {
+    /// The full broadcast schedule; each node arms timers for its own.
+    broadcasts: Vec<BroadcastSpec>,
+    seen: HashSet<u64>,
+}
+
+impl Process for ChaosFlooder {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        // All origination timers are armed up front: a chained-timer design
+        // would die silently if a tick landed inside a down window, whereas
+        // plans guarantee origins are up at origination time itself.
+        for (idx, b) in self.broadcasts.iter().enumerate() {
+            if b.origin as usize == ctx.id().index() {
+                ctx.set_timer(b.at_us, idx as u64);
+            }
+        }
+    }
+
+    fn on_timer(&mut self, token: u64, ctx: &mut Context<'_>) {
+        let id = CHAOS_BCAST_BASE + token;
+        if !self.seen.insert(id) {
+            return;
+        }
+        let msg = Message::new(id, ctx.id().index() as u32, Bytes::new());
+        ctx.deliver(msg.clone());
+        for &w in &ctx.neighbors().to_vec() {
+            ctx.send(w, msg.forwarded());
+        }
+    }
+
+    fn on_message(&mut self, from: NodeId, msg: Message, ctx: &mut Context<'_>) {
+        if !self.seen.insert(msg.broadcast_id) {
+            return;
+        }
+        ctx.deliver(msg.clone());
+        for &w in &ctx.neighbors().to_vec() {
+            if w != from {
+                ctx.send(w, msg.forwarded());
+            }
+        }
+    }
+}
+
+fn flooders(n: usize, broadcasts: &[BroadcastSpec]) -> Vec<Box<dyn Process>> {
+    (0..n)
+        .map(|_| {
+            Box::new(ChaosFlooder {
+                broadcasts: broadcasts.to_vec(),
+                seen: HashSet::new(),
+            }) as Box<dyn Process>
+        })
+        .collect()
+}
+
+/// Runs `plan` on the discrete-event simulator and checks the oracle.
+///
+/// The run is bit-for-bit deterministic in the plan seed. A preliminary
+/// *calibration* pass (clean links, zero jitter) checks the P4 hop bound —
+/// with equal link latencies, first-receipt hop counts equal BFS distance,
+/// so they must stay within the paper's logarithmic diameter bound.
+///
+/// # Panics
+///
+/// Panics if the plan's `(n, k, constraint)` is outside the overlay
+/// builder's domain — [`FaultPlan::random`] never generates such plans.
+#[must_use]
+pub fn run_sim_chaos(plan: &FaultPlan) -> ChaosReport {
+    let overlay = DynamicOverlay::bootstrap(plan.constraint, plan.n, plan.k)
+        .expect("generated plans stay in the builder domain");
+    let graph = overlay.graph().clone();
+    let mut violations = Vec::new();
+
+    // Calibration: hop counts of a clean zero-jitter flood are BFS
+    // distances and must respect the logarithmic diameter bound.
+    let bound = p4_diameter_bound(plan.n, plan.k).ceil() as u32;
+    let calibration = {
+        let mut sim = Simulation::new(
+            &graph,
+            LinkModel {
+                base_latency_us: 1_000,
+                jitter_us: 0,
+            },
+            plan.seed,
+        );
+        sim.run(
+            flooders(
+                plan.n,
+                &[BroadcastSpec {
+                    origin: 0,
+                    at_us: 0,
+                }],
+            ),
+            1_000_000,
+        )
+    };
+    for d in &calibration.deliveries {
+        if d.hops > bound && violations.len() < MAX_VIOLATIONS_PER_CHECK {
+            violations.push(Violation::HopBoundExceeded {
+                broadcast_id: d.broadcast_id,
+                node: d.node.index() as u32,
+                hops: d.hops,
+                bound,
+            });
+        }
+    }
+
+    // The chaos run proper.
+    let mut sim = Simulation::new(&graph, LinkModel::default(), plan.seed);
+    sim.with_faults(Arc::new(plan.compile()));
+    let report = sim.run(flooders(plan.n, &plan.broadcasts), plan.horizon_us);
+    check_sim_report(plan, &report, &mut violations);
+
+    // Structural P1 check for the crash family: the membership that
+    // survives every scheduled crash must still form a k-connected overlay.
+    if plan.family == Family::Crash {
+        let victims: Vec<MemberId> = plan.crashes.iter().map(|c| c.node as MemberId).collect();
+        let mut survivors = overlay;
+        if survivors.crash_many(&victims).is_err()
+            || !is_k_vertex_connected(survivors.graph(), plan.k)
+        {
+            violations.push(Violation::NotKConnected {
+                crashed: victims.len(),
+            });
+        }
+    }
+
+    ChaosReport {
+        seed: plan.seed,
+        engine: Engine::Sim,
+        family: plan.family,
+        n: plan.n,
+        k: plan.k,
+        violations,
+        end_time_us: report.end_time,
+        deliveries: report.deliveries.len(),
+        events_jsonl: None,
+    }
+}
+
+/// Delivery, dedup, hop-sanity, and termination checks on a sim report.
+fn check_sim_report(plan: &FaultPlan, report: &SimReport, violations: &mut Vec<Violation>) {
+    if report.end_time > plan.horizon_us {
+        violations.push(Violation::Timeout {
+            phase: "virtual-time horizon".into(),
+        });
+    }
+
+    let mut delivered: HashSet<(u32, u64)> = HashSet::new();
+    let mut dups = 0;
+    let mut hop_overruns = 0;
+    for d in &report.deliveries {
+        let node = d.node.index() as u32;
+        if !delivered.insert((node, d.broadcast_id)) && dups < MAX_VIOLATIONS_PER_CHECK {
+            dups += 1;
+            violations.push(Violation::DuplicateDelivery {
+                broadcast_id: d.broadcast_id,
+                node,
+            });
+        }
+        // Flooding forwards only on first receipt, so no delivered copy can
+        // have crossed more than n−1 edges — under any fault schedule.
+        if d.hops >= plan.n as u32 && hop_overruns < MAX_VIOLATIONS_PER_CHECK {
+            hop_overruns += 1;
+            violations.push(Violation::HopBoundExceeded {
+                broadcast_id: d.broadcast_id,
+                node,
+                hops: d.hops,
+                bound: plan.n as u32 - 1,
+            });
+        }
+    }
+
+    // Strict delivery holds only when links are lossless: every broadcast
+    // from a correct origin reaches every correct node (LHG property P1).
+    if plan.is_lossless() {
+        let correct = plan.correct_nodes();
+        let mut missed = 0;
+        for (idx, _) in plan.broadcasts.iter().enumerate() {
+            let id = CHAOS_BCAST_BASE + idx as u64;
+            for &v in &correct {
+                if !delivered.contains(&(v, id)) && missed < MAX_VIOLATIONS_PER_CHECK {
+                    missed += 1;
+                    violations.push(Violation::DeliveryMissed {
+                        broadcast_id: id,
+                        node: v,
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// The aggressive-timing [`RuntimeConfig`] chaos runs use on the TCP
+/// engine: fast heartbeats and dials keep a full kill/heal/rejoin cycle
+/// within a couple of wall-clock seconds. The suspicion timeout is kept
+/// generous relative to the heartbeat period (25 missed beats) so that
+/// scheduler stalls on a loaded machine — e.g. a 100-seed sweep running
+/// back to back with other jobs — don't fire spurious suspicions outside
+/// the injected fault schedule and push a replica past the k−1 budget.
+#[must_use]
+pub fn tcp_chaos_config(seed: u64, faults: Arc<FaultInjector>) -> RuntimeConfig {
+    RuntimeConfig {
+        heartbeat_period: Duration::from_millis(10),
+        heartbeat_timeout: Duration::from_millis(250),
+        dial_backoff: Duration::from_millis(5),
+        dial_backoff_cap: Duration::from_millis(80),
+        dial_max_attempts: 8,
+        dial_timeout: Duration::from_millis(100),
+        tick: Duration::from_millis(2),
+        launch_timeout: Duration::from_secs(10),
+        rng_seed: seed,
+        // Deep per-node event rings: a failing run's postmortem JSONL
+        // should cover the whole run, not just its quiescent tail.
+        recorder_capacity: 1 << 16,
+        faults: Some(faults),
+    }
+}
+
+/// Runs `plan` on the real TCP runtime and checks the oracle.
+///
+/// Crash-family plans exercise kill → heal → rejoin; partition plans cut a
+/// minority off via the shared injector, heal, and demand full
+/// re-convergence (membership agreement, no degraded stragglers, links
+/// re-established); lossy plans run best-effort floods under the default
+/// drop/duplicate rates and demand only the unconditional invariants
+/// (origin self-delivery, per-node exactly-once). On failure the cluster's
+/// merged JSONL event timeline is captured into the report.
+#[must_use]
+pub fn run_tcp_chaos(plan: &FaultPlan) -> ChaosReport {
+    let started = Instant::now();
+    let mut violations = Vec::new();
+
+    let mut inj = FaultInjector::new(plan.seed);
+    inj.set_default_rates(plan.default_rates);
+    let inj = Arc::new(inj);
+
+    let cluster = Cluster::launch(
+        plan.constraint,
+        plan.n,
+        plan.k,
+        tcp_chaos_config(plan.seed, Arc::clone(&inj)),
+    );
+    let mut cluster = match cluster {
+        Ok(c) => c,
+        Err(e) => {
+            violations.push(Violation::Timeout {
+                phase: format!("launch ({e})"),
+            });
+            return ChaosReport {
+                seed: plan.seed,
+                engine: Engine::Tcp,
+                family: plan.family,
+                n: plan.n,
+                k: plan.k,
+                violations,
+                end_time_us: elapsed_us(started),
+                deliveries: 0,
+                events_jsonl: None,
+            };
+        }
+    };
+
+    match plan.family {
+        Family::Crash => tcp_crash_schedule(plan, &mut cluster, &mut violations),
+        Family::Partition => tcp_partition_schedule(plan, &mut cluster, &inj, &mut violations),
+        Family::Lossy => tcp_lossy_schedule(plan, &mut cluster, &mut violations),
+    }
+    check_no_duplicate_deliveries(&cluster, &mut violations);
+
+    let deliveries = cluster
+        .members()
+        .iter()
+        .map(|&m| cluster.delivered_ids(m).len())
+        .sum();
+    let events_jsonl = (!violations.is_empty()).then(|| cluster.events_jsonl());
+    cluster.shutdown();
+
+    ChaosReport {
+        seed: plan.seed,
+        engine: Engine::Tcp,
+        family: plan.family,
+        n: plan.n,
+        k: plan.k,
+        violations,
+        end_time_us: elapsed_us(started),
+        deliveries,
+        events_jsonl,
+    }
+}
+
+fn elapsed_us(since: Instant) -> u64 {
+    u64::try_from(since.elapsed().as_micros()).unwrap_or(u64::MAX)
+}
+
+/// Broadcasts from `origin` and requires delivery by `members` within
+/// `timeout`, reporting each member that missed it.
+fn tcp_broadcast_expect(
+    cluster: &mut Cluster,
+    origin: u32,
+    members: &[MemberId],
+    timeout: Duration,
+    violations: &mut Vec<Violation>,
+) {
+    let Ok(id) = cluster.broadcast(origin as MemberId, Bytes::from_static(b"chaos")) else {
+        violations.push(Violation::Timeout {
+            phase: format!("broadcast from {origin}"),
+        });
+        return;
+    };
+    if cluster.await_delivery_by(id, members, timeout) {
+        return;
+    }
+    for &m in members.iter() {
+        if !cluster.delivered_ids(m).contains(&id) && violations.len() < MAX_VIOLATIONS_PER_CHECK {
+            violations.push(Violation::DeliveryMissed {
+                broadcast_id: id,
+                node: m as u32,
+            });
+        }
+    }
+}
+
+/// Crash family on TCP: broadcast → kill the scheduled victims → heal →
+/// broadcast among survivors → rejoin the recovering victims → heal →
+/// broadcast to everyone (revenants included).
+fn tcp_crash_schedule(plan: &FaultPlan, cluster: &mut Cluster, violations: &mut Vec<Violation>) {
+    let specs = &plan.broadcasts;
+    tcp_broadcast_expect(
+        cluster,
+        specs[0].origin,
+        &cluster.survivors(),
+        Duration::from_secs(5),
+        violations,
+    );
+
+    let mut crashes = plan.crashes.clone();
+    crashes.sort_by_key(|c| c.at_us);
+    for c in &crashes {
+        if cluster.kill(c.node as MemberId).is_err() {
+            violations.push(Violation::Timeout {
+                phase: format!("kill {}", c.node),
+            });
+        }
+    }
+    if !cluster.await_heal(Duration::from_secs(8)) {
+        violations.push(Violation::Timeout {
+            phase: "heal after crashes".into(),
+        });
+        return; // everything downstream would cascade off the stuck heal
+    }
+    if !cluster.overlays_agree() {
+        violations.push(Violation::ReplicaDivergence {
+            node: cluster.survivors().first().map_or(0, |&m| m as u32),
+            detail: "survivor overlay replicas differ after heal".into(),
+        });
+    }
+    if let Some(g) = cluster.survivor_graph() {
+        if !is_k_vertex_connected(&g, plan.k) {
+            violations.push(Violation::NotKConnected {
+                crashed: crashes.len(),
+            });
+        }
+    }
+    tcp_broadcast_expect(
+        cluster,
+        specs[1].origin,
+        &cluster.survivors(),
+        Duration::from_secs(5),
+        violations,
+    );
+
+    let recovering: Vec<MemberId> = crashes
+        .iter()
+        .filter(|c| c.recover_at_us.is_some())
+        .map(|c| c.node as MemberId)
+        .collect();
+    for &m in &recovering {
+        if cluster.rejoin(m).is_err() {
+            violations.push(Violation::Timeout {
+                phase: format!("rejoin {m}"),
+            });
+        }
+    }
+    if !recovering.is_empty() && !cluster.await_heal(Duration::from_secs(8)) {
+        violations.push(Violation::Timeout {
+            phase: "reconverge after rejoin".into(),
+        });
+        return;
+    }
+    // The final broadcast must reach every survivor — the revenants too.
+    tcp_broadcast_expect(
+        cluster,
+        specs[2].origin,
+        &cluster.survivors(),
+        Duration::from_secs(5),
+        violations,
+    );
+}
+
+/// Partition family on TCP: broadcast → activate the cut through the
+/// shared injector → let suspicion and excommunication fire → heal the cut
+/// → demand full re-convergence → post-heal broadcasts to all n nodes.
+fn tcp_partition_schedule(
+    plan: &FaultPlan,
+    cluster: &mut Cluster,
+    inj: &Arc<FaultInjector>,
+    violations: &mut Vec<Violation>,
+) {
+    let specs = &plan.broadcasts;
+    let all = cluster.members();
+    tcp_broadcast_expect(
+        cluster,
+        specs[0].origin,
+        &all,
+        Duration::from_secs(5),
+        violations,
+    );
+
+    let p = &plan.partitions[0];
+    inj.add_partition_shared(Partition {
+        a: p.minority.iter().copied().collect(),
+        b: BTreeSet::new(), // wildcard: the rest of the cluster
+        from_us: 0,
+        until_us: u64::MAX,
+        directed: p.directed,
+    });
+    // Hold the cut for several suspicion windows so the majority
+    // excommunicates the minority (and an isolated minority degrades).
+    std::thread::sleep(Duration::from_millis(700));
+    inj.clear_partitions();
+
+    // Re-convergence: every replica back to full membership, all replicas
+    // identical, nobody stuck degraded, every desired link re-established.
+    // The deadline is deliberately slack: re-convergence itself takes well
+    // under a second, but chaos sweeps share the machine with whatever else
+    // is running and a wall-clock deadline is the one place scheduling
+    // noise can masquerade as a protocol bug.
+    let everyone: BTreeSet<MemberId> = all.iter().copied().collect();
+    let converged = poll_until(Duration::from_secs(20), || {
+        cluster.degraded_members().is_empty()
+            && all.iter().all(|&m| {
+                cluster.node(m).is_some_and(|s| {
+                    s.overlay_snapshot()
+                        .members()
+                        .iter()
+                        .copied()
+                        .collect::<BTreeSet<_>>()
+                        == everyone
+                })
+            })
+            && cluster.overlays_agree()
+    }) && cluster.await_links(Duration::from_secs(10));
+    if !converged {
+        violations.push(Violation::Timeout {
+            phase: "reconverge after partition heal".into(),
+        });
+        return;
+    }
+    for spec in &specs[1..] {
+        tcp_broadcast_expect(
+            cluster,
+            spec.origin,
+            &all,
+            Duration::from_secs(5),
+            violations,
+        );
+    }
+}
+
+/// Lossy family on TCP: best-effort floods under the default drop and
+/// duplicate rates. Loss makes remote delivery unguaranteed, so only the
+/// unconditional invariants are demanded: the origin always delivers its
+/// own broadcast, and (checked afterwards) nobody delivers anything twice.
+fn tcp_lossy_schedule(plan: &FaultPlan, cluster: &mut Cluster, violations: &mut Vec<Violation>) {
+    for spec in &plan.broadcasts {
+        tcp_broadcast_expect(
+            cluster,
+            spec.origin,
+            &[spec.origin as MemberId],
+            Duration::from_secs(2),
+            violations,
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    // Let in-flight floods (and injected duplicates) drain before the
+    // exactly-once sweep.
+    std::thread::sleep(Duration::from_millis(300));
+}
+
+/// Per-node exactly-once: no member's delivery log repeats a broadcast id,
+/// under any fault schedule (duplication faults included — dedup absorbs
+/// them; rejoin keeps data ids in the dedup set).
+fn check_no_duplicate_deliveries(cluster: &Cluster, violations: &mut Vec<Violation>) {
+    let mut reported = 0;
+    for m in cluster.members() {
+        let mut seen = HashSet::new();
+        for id in cluster.delivered_ids(m) {
+            if !seen.insert(id) && reported < MAX_VIOLATIONS_PER_CHECK {
+                reported += 1;
+                violations.push(Violation::DuplicateDelivery {
+                    broadcast_id: id,
+                    node: m as u32,
+                });
+            }
+        }
+    }
+}
+
+fn poll_until(timeout: Duration, mut cond: impl FnMut() -> bool) -> bool {
+    let deadline = Instant::now() + timeout;
+    loop {
+        if cond() {
+            return true;
+        }
+        if Instant::now() >= deadline {
+            return cond();
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+/// The outcome of a seed sweep: one [`ChaosReport`] per (seed, engine).
+#[derive(Debug)]
+pub struct SuiteOutcome {
+    /// Every report, in execution order.
+    pub reports: Vec<ChaosReport>,
+}
+
+impl SuiteOutcome {
+    /// True when every run passed.
+    #[must_use]
+    pub fn passed(&self) -> bool {
+        self.reports.iter().all(ChaosReport::passed)
+    }
+
+    /// The failing reports, in execution order.
+    pub fn failures(&self) -> impl Iterator<Item = &ChaosReport> {
+        self.reports.iter().filter(|r| !r.passed())
+    }
+}
+
+/// Sweeps `count` consecutive seeds starting at `base_seed`, running each
+/// plan on every engine in `engines` and invoking `on_report` after each
+/// run (the CLI prints progress through it).
+pub fn run_suite(
+    engines: &[Engine],
+    base_seed: u64,
+    count: u64,
+    quick: bool,
+    mut on_report: impl FnMut(&ChaosReport),
+) -> SuiteOutcome {
+    let mut reports = Vec::new();
+    for seed in base_seed..base_seed.saturating_add(count) {
+        let plan = FaultPlan::random(seed, quick);
+        for &engine in engines {
+            let report = match engine {
+                Engine::Sim => run_sim_chaos(&plan),
+                Engine::Tcp => run_tcp_chaos(&plan),
+            };
+            on_report(&report);
+            reports.push(report);
+        }
+    }
+    SuiteOutcome { reports }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sim_chaos_passes_all_three_families() {
+        for seed in 0..6u64 {
+            let plan = FaultPlan::random(seed, true);
+            let report = run_sim_chaos(&plan);
+            assert!(
+                report.passed(),
+                "seed {seed} ({}) violations: {:?}",
+                plan.family.name(),
+                report.violations
+            );
+            assert!(report.deliveries > 0, "seed {seed} delivered nothing");
+            assert!(report.end_time_us <= plan.horizon_us);
+        }
+    }
+
+    #[test]
+    fn sim_chaos_is_deterministic() {
+        let plan = FaultPlan::random(5, true); // lossy: the faultiest family
+        let a = run_sim_chaos(&plan);
+        let b = run_sim_chaos(&plan);
+        assert_eq!(a.deliveries, b.deliveries);
+        assert_eq!(a.end_time_us, b.end_time_us);
+        assert_eq!(a.violations, b.violations);
+    }
+
+    #[test]
+    fn sim_oracle_catches_missing_deliveries() {
+        // Sabotage: a lossless plan whose only broadcast originates at a
+        // node that the schedule immediately crashes — the oracle must
+        // notice that correct nodes never deliver.
+        let mut plan = FaultPlan::random(0, true); // crash family
+        plan.crashes.clear();
+        plan.crashes.push(crate::plan::CrashSpec {
+            node: 0,
+            at_us: 0,
+            recover_at_us: None,
+        });
+        plan.broadcasts.clear();
+        plan.broadcasts.push(BroadcastSpec {
+            origin: 0, // down from t=0: the flood never starts
+            at_us: 10_000,
+        });
+        let report = run_sim_chaos(&plan);
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::DeliveryMissed { .. })));
+    }
+
+    #[test]
+    fn tcp_chaos_crash_family_smoke() {
+        let plan = FaultPlan::random(0, true); // seed 0 → crash family
+        let report = run_tcp_chaos(&plan);
+        assert!(
+            report.passed(),
+            "violations: {:?}\n(events captured: {})",
+            report.violations,
+            report.events_jsonl.is_some()
+        );
+        assert!(report.deliveries >= plan.n, "every node delivers something");
+    }
+
+    #[test]
+    fn tcp_chaos_lossy_family_smoke() {
+        let plan = FaultPlan::random(2, true); // seed 2 → lossy family
+        let report = run_tcp_chaos(&plan);
+        assert!(report.passed(), "violations: {:?}", report.violations);
+    }
+
+    #[test]
+    fn suite_sweeps_seeds_and_reports() {
+        let mut seen = 0;
+        let outcome = run_suite(&[Engine::Sim], 0, 3, true, |_| seen += 1);
+        assert_eq!(outcome.reports.len(), 3);
+        assert_eq!(seen, 3);
+        assert!(
+            outcome.passed(),
+            "failures: {:?}",
+            outcome.failures().count()
+        );
+    }
+}

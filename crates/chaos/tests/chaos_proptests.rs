@@ -1,0 +1,44 @@
+//! Property tests: random fault plans never deadlock the simulator and
+//! never violate the chaos oracle.
+//!
+//! Each case generates a [`FaultPlan`] from a random seed and executes it
+//! on the discrete-event engine. Termination is implied by `run_sim_chaos`
+//! returning at all (the event queue must drain or hit the horizon), and
+//! the report certifies it stayed within the virtual-time horizon.
+
+use lhg_chaos::{run_sim_chaos, FaultPlan, Violation};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn random_fault_plans_terminate_within_horizon(seed in 0u64..1_000_000) {
+        let plan = FaultPlan::random(seed, true);
+        let report = run_sim_chaos(&plan);
+        prop_assert!(
+            report.end_time_us <= plan.horizon_us,
+            "seed {} ran past its horizon: {} > {}",
+            seed, report.end_time_us, plan.horizon_us
+        );
+        prop_assert!(
+            report.passed(),
+            "seed {} ({}) violated the oracle: {:?}",
+            seed, plan.family.name(), report.violations
+        );
+    }
+
+    #[test]
+    fn duplicate_faults_never_double_deliver(seed in 0u64..1_000_000) {
+        // Force the lossy family (seed ≡ 2 mod 3): heavy duplication and
+        // reordering must still never produce a second delivery anywhere.
+        let seed = seed - seed % 3 + 2;
+        let plan = FaultPlan::random(seed, true);
+        let report = run_sim_chaos(&plan);
+        prop_assert!(
+            !report.violations.iter().any(|v| matches!(v, Violation::DuplicateDelivery { .. })),
+            "seed {} double-delivered: {:?}",
+            seed, report.violations
+        );
+    }
+}

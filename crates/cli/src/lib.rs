@@ -10,6 +10,7 @@
 //! lhg census    --k K [--max-n N]             # EX/REG table
 //! lhg cluster   --nodes N --k K [--kill F]    # real-socket self-healing run
 //! lhg observe   --nodes N --k K [--kill F]    # traced run: timeline + hop report
+//! lhg chaos     --seeds N [--engine E]        # seeded fault-injection sweep
 //! ```
 //!
 //! All logic lives in [`run`], which writes to any `io::Write` — the tests
@@ -65,6 +66,12 @@ struct Options {
 
 impl Options {
     fn parse(args: &[String]) -> Result<Options, CliError> {
+        Options::parse_with_switches(args, &[])
+    }
+
+    /// Like [`Options::parse`], but keys listed in `switches` are bare
+    /// boolean flags (`--quick`) that take no value and parse as `true`.
+    fn parse_with_switches(args: &[String], switches: &[&str]) -> Result<Options, CliError> {
         let mut flags = BTreeMap::new();
         let mut it = args.iter();
         while let Some(arg) = it.next() {
@@ -73,6 +80,10 @@ impl Options {
             let Some(key) = arg.strip_prefix("--").or_else(|| arg.strip_prefix('-')) else {
                 return Err(err(format!("unexpected positional argument {arg:?}")));
             };
+            if switches.contains(&key) {
+                flags.insert(key.to_string(), "true".to_string());
+                continue;
+            }
             let value = it
                 .next()
                 .ok_or_else(|| err(format!("--{key} requires a value")))?;
@@ -140,6 +151,7 @@ USAGE:
   lhg census   --k K [--max-n N]
   lhg cluster  --nodes N --k K [--kill F] [--constraint ktree|kdiamond|jd] [--metrics full|summary|off]
   lhg observe  --nodes N --k K [--kill F] [--broadcasts B] [--constraint C] [--format human|json] [--events PATH]
+  lhg chaos    [--seeds N] [--seed BASE] [--engine sim|tcp|both] [--quick] [--events PATH]
   lhg help
 ";
 
@@ -324,8 +336,108 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
                 out,
             )
         }
+        "chaos" => {
+            let opts = Options::parse_with_switches(rest, &["quick"])?;
+            let seeds: u64 = opts.optional("seeds", 10)?;
+            let base_seed: u64 = opts.optional("seed", 0)?;
+            let quick: bool = opts.optional("quick", false)?;
+            if seeds == 0 {
+                return Err(err("--seeds must be at least 1"));
+            }
+            let engines: Vec<lhg_chaos::Engine> = match opts.string("engine", "both").as_str() {
+                "sim" => vec![lhg_chaos::Engine::Sim],
+                "tcp" => vec![lhg_chaos::Engine::Tcp],
+                "both" => vec![lhg_chaos::Engine::Sim, lhg_chaos::Engine::Tcp],
+                other => {
+                    return Err(err(format!(
+                        "unknown engine {other:?} (expected sim, tcp or both)"
+                    )))
+                }
+            };
+            let events_path = opts.flags.get("events").cloned();
+            run_chaos(
+                &engines,
+                base_seed,
+                seeds,
+                quick,
+                events_path.as_deref(),
+                out,
+            )
+        }
         other => Err(err(format!("unknown command {other:?}\n{USAGE}"))),
     }
+}
+
+/// Drives one `lhg chaos` sweep: `seeds` consecutive fault plans starting
+/// at `base_seed`, each executed on every requested engine under the
+/// invariant oracle. Prints one summary line per run; on any violation it
+/// lists the details, dumps the captured event timeline to `--events` (when
+/// given), and fails with the exact command line that reproduces the first
+/// failing run.
+fn run_chaos(
+    engines: &[lhg_chaos::Engine],
+    base_seed: u64,
+    seeds: u64,
+    quick: bool,
+    events_path: Option<&str>,
+    out: &mut dyn Write,
+) -> Result<(), CliError> {
+    let io_err = |e: std::io::Error| err(format!("write failed: {e}"));
+    let mut write_err: Option<std::io::Error> = None;
+    let outcome = lhg_chaos::run_suite(engines, base_seed, seeds, quick, |report| {
+        if write_err.is_none() {
+            if let Err(e) = writeln!(out, "{}", report.summary()) {
+                write_err = Some(e);
+            }
+        }
+    });
+    if let Some(e) = write_err {
+        return Err(io_err(e));
+    }
+
+    if outcome.passed() {
+        writeln!(
+            out,
+            "chaos: all {} run(s) over {} seed(s) passed",
+            outcome.reports.len(),
+            seeds
+        )
+        .map_err(io_err)?;
+        return Ok(());
+    }
+
+    for failure in outcome.failures() {
+        writeln!(
+            out,
+            "chaos violation at seed={} engine={} family={}:",
+            failure.seed,
+            failure.engine,
+            failure.family.name()
+        )
+        .map_err(io_err)?;
+        for v in &failure.violations {
+            writeln!(out, "  - {v}").map_err(io_err)?;
+        }
+    }
+    if let Some(path) = events_path {
+        if let Some(dump) = outcome.failures().find_map(|f| f.events_jsonl.as_ref()) {
+            std::fs::write(path, dump).map_err(|e| err(format!("cannot write {path}: {e}")))?;
+            writeln!(out, "event timeline of the failing run written to {path}").map_err(io_err)?;
+        }
+    }
+    let first = outcome
+        .failures()
+        .next()
+        .expect("failures is non-empty when the outcome did not pass");
+    Err(err(format!(
+        "{} of {} chaos run(s) violated an invariant; reproduce with: \
+         lhg chaos --seed {} --seeds 1 --engine {}{}",
+        outcome.failures().count(),
+        outcome.reports.len(),
+        first.seed,
+        first.engine,
+        if quick { " --quick" } else { "" }
+    )))
 }
 
 /// Parses a runtime-capable constraint name. kdiamond is the recommended
@@ -866,6 +978,30 @@ mod tests {
         assert!(e.message.contains("fail-stop model"), "{e}");
         let e = run_to_string(&["cluster", "--nodes", "5", "-k", "3"]).unwrap_err();
         assert!(e.message.contains("too small"), "{e}");
+    }
+
+    #[test]
+    fn chaos_sim_sweep_passes_and_prints_summaries() {
+        let out = run_to_string(&["chaos", "--seeds", "3", "--engine", "sim", "--quick"]).unwrap();
+        assert_eq!(out.matches("engine=sim").count(), 3, "{out}");
+        assert_eq!(out.matches(" ok").count(), 3, "{out}");
+        assert!(out.contains("all 3 run(s) over 3 seed(s) passed"), "{out}");
+    }
+
+    #[test]
+    fn chaos_both_engines_run_one_seed() {
+        let out = run_to_string(&["chaos", "--seeds", "1", "--quick"]).unwrap();
+        assert!(out.contains("engine=sim"), "{out}");
+        assert!(out.contains("engine=tcp"), "{out}");
+        assert!(out.contains("all 2 run(s) over 1 seed(s) passed"), "{out}");
+    }
+
+    #[test]
+    fn chaos_rejects_bad_options() {
+        let e = run_to_string(&["chaos", "--engine", "quantum"]).unwrap_err();
+        assert!(e.message.contains("unknown engine"), "{e}");
+        let e = run_to_string(&["chaos", "--seeds", "0"]).unwrap_err();
+        assert!(e.message.contains("at least 1"), "{e}");
     }
 
     #[test]

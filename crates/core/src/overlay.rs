@@ -120,6 +120,12 @@ impl DynamicOverlay {
         self.k
     }
 
+    /// The construction constraint this overlay rebuilds with.
+    #[must_use]
+    pub fn constraint(&self) -> Constraint {
+        self.constraint
+    }
+
     /// `true` if `member` is currently part of the overlay.
     #[must_use]
     pub fn contains(&self, member: MemberId) -> bool {
@@ -186,6 +192,66 @@ impl DynamicOverlay {
         self.next_id += 1;
         self.members.push(id);
         Ok((id, self.apply(next, &before)))
+    }
+
+    /// Reconstructs an overlay replica from an explicit member list — the
+    /// receiving side of a membership sync (a rejoining node installing a
+    /// snapshot served by a live peer). `members` must be in the serving
+    /// replica's order so both replicas map graph positions identically.
+    ///
+    /// # Errors
+    ///
+    /// [`LhgError::InvalidParams`] if `members` contains duplicates;
+    /// builder errors if the constraint has no graph at this size.
+    pub fn from_parts(
+        constraint: Constraint,
+        k: usize,
+        members: Vec<MemberId>,
+    ) -> Result<Self, LhgError> {
+        let unique: BTreeSet<MemberId> = members.iter().copied().collect();
+        if unique.len() != members.len() {
+            return Err(LhgError::InvalidParams {
+                n: members.len(),
+                k,
+                reason: "duplicate member id",
+            });
+        }
+        let current = build(constraint, members.len(), k)?;
+        let next_id = members.iter().copied().max().map_or(0, |m| m + 1);
+        Ok(DynamicOverlay {
+            k,
+            constraint,
+            members,
+            next_id,
+            current,
+        })
+    }
+
+    /// Admits `member` under its **existing** id — the rejoin path, where
+    /// every replica must converge on the same membership order without
+    /// coordination. The newcomer is spliced in at the canonical position
+    /// `partition_point(m < member)`, so replicas holding identical member
+    /// lists place it identically regardless of when they process the join.
+    ///
+    /// # Errors
+    ///
+    /// [`LhgError::InvalidParams`] if `member` is already present; builder
+    /// errors if the constraint has no graph at the larger size. The
+    /// overlay is untouched on error.
+    pub fn admit(&mut self, member: MemberId) -> Result<ChurnReport, LhgError> {
+        if self.contains(member) {
+            return Err(LhgError::InvalidParams {
+                n: self.members.len(),
+                k: self.k,
+                reason: "member already present",
+            });
+        }
+        let next = build(self.constraint, self.members.len() + 1, self.k)?;
+        let before = self.link_set();
+        let pos = self.members.partition_point(|&m| m < member);
+        self.members.insert(pos, member);
+        self.next_id = self.next_id.max(member + 1);
+        Ok(self.apply(next, &before))
     }
 
     /// Removes `member`; returns the link churn.
@@ -450,6 +516,76 @@ mod tests {
             }
         }
         assert!(o.neighbors_of(555).is_none());
+    }
+
+    #[test]
+    fn admit_restores_a_crashed_member_at_its_canonical_position() {
+        let mut o = DynamicOverlay::bootstrap(Constraint::KDiamond, 12, 3).unwrap();
+        let _ = o.crash_many(&[5]).unwrap();
+        assert!(!o.contains(5));
+        let churn = o.admit(5).unwrap();
+        assert!(o.contains(5));
+        assert_eq!(o.len(), 12);
+        assert_eq!(
+            o.members(),
+            (0..12).collect::<Vec<MemberId>>().as_slice(),
+            "rejoin lands back at the sorted position"
+        );
+        assert!(churn.added.iter().any(|&(a, b)| a == 5 || b == 5));
+        assert_eq!(vertex_connectivity(o.graph()), 3);
+    }
+
+    #[test]
+    fn admit_converges_across_replicas_regardless_of_history() {
+        // Two replicas that agree on membership must agree on the overlay
+        // after admitting the same member, even with different histories.
+        let mut a = DynamicOverlay::bootstrap(Constraint::KTree, 13, 3).unwrap();
+        let _ = a.crash_many(&[4, 9]).unwrap();
+        let mut b = DynamicOverlay::bootstrap(Constraint::KTree, 13, 3).unwrap();
+        let _ = b.crash_many(&[9]).unwrap();
+        let _ = b.crash_many(&[4]).unwrap();
+        assert_eq!(a.members(), b.members());
+        let _ = a.admit(9).unwrap();
+        let _ = b.admit(9).unwrap();
+        assert_eq!(a.members(), b.members());
+        assert_eq!(a.links(), b.links());
+    }
+
+    #[test]
+    fn admit_rejects_present_member_and_keeps_state() {
+        let mut o = DynamicOverlay::bootstrap(Constraint::KTree, 10, 3).unwrap();
+        let links = o.links();
+        assert!(matches!(o.admit(7), Err(LhgError::InvalidParams { .. })));
+        assert_eq!(o.len(), 10);
+        assert_eq!(o.links(), links);
+    }
+
+    #[test]
+    fn admit_bumps_next_id_past_the_admitted_member() {
+        let mut o = DynamicOverlay::bootstrap(Constraint::KDiamond, 10, 3).unwrap();
+        o.admit(50).unwrap();
+        let (id, _) = o.join().unwrap();
+        assert_eq!(id, 51, "fresh ids never collide with admitted ones");
+    }
+
+    #[test]
+    fn from_parts_matches_a_served_snapshot() {
+        let mut server = DynamicOverlay::bootstrap(Constraint::KDiamond, 12, 3).unwrap();
+        let _ = server.crash_many(&[2, 7]).unwrap();
+        let replica =
+            DynamicOverlay::from_parts(server.constraint(), server.k(), server.members().to_vec())
+                .unwrap();
+        assert_eq!(replica.members(), server.members());
+        assert_eq!(replica.links(), server.links());
+        assert_eq!(replica.constraint(), Constraint::KDiamond);
+    }
+
+    #[test]
+    fn from_parts_rejects_duplicates() {
+        assert!(matches!(
+            DynamicOverlay::from_parts(Constraint::KTree, 3, vec![0, 1, 2, 3, 4, 5, 5, 6]),
+            Err(LhgError::InvalidParams { .. })
+        ));
     }
 
     #[test]

@@ -1,0 +1,176 @@
+//! Jittered exponential backoff for connection retry.
+//!
+//! Replaces the runtime's original fixed dial backoff: each failed attempt
+//! doubles the delay (clamped to a cap), then jitters it uniformly into
+//! `[delay/2, delay]` so a cohort of dialers that failed together does not
+//! retry in lockstep. After `max_attempts` consecutive failures
+//! [`Backoff::next_delay`] returns `None`, letting the caller switch to a
+//! low-frequency probation probe instead of hammering a dead peer.
+
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Tunable backoff parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BackoffPolicy {
+    /// Delay before the first retry (pre-jitter).
+    pub base: Duration,
+    /// Upper bound on the pre-jitter delay.
+    pub cap: Duration,
+    /// Consecutive failures after which `next_delay` returns `None`.
+    pub max_attempts: u32,
+}
+
+impl Default for BackoffPolicy {
+    fn default() -> Self {
+        BackoffPolicy {
+            base: Duration::from_millis(10),
+            cap: Duration::from_millis(500),
+            max_attempts: 10,
+        }
+    }
+}
+
+/// Per-peer retry state driven by a [`BackoffPolicy`].
+#[derive(Debug, Clone)]
+pub struct Backoff {
+    policy: BackoffPolicy,
+    attempts: u32,
+}
+
+impl Backoff {
+    /// Fresh state: the next failure is attempt 1.
+    pub fn new(policy: BackoffPolicy) -> Self {
+        Backoff {
+            policy,
+            attempts: 0,
+        }
+    }
+
+    /// Records a failure and returns how long to wait before retrying, or
+    /// `None` once `max_attempts` consecutive failures have accumulated.
+    ///
+    /// The pre-jitter delay for attempt `i` (1-based) is
+    /// `min(base * 2^(i-1), cap)`; the returned delay is uniform in
+    /// `[delay/2, delay]`.
+    pub fn next_delay(&mut self, rng: &mut StdRng) -> Option<Duration> {
+        if self.attempts >= self.policy.max_attempts {
+            return None;
+        }
+        self.attempts += 1;
+        let exp = self
+            .policy
+            .base
+            .saturating_mul(1u32 << (self.attempts - 1).min(20))
+            .min(self.policy.cap);
+        let upper = exp.as_micros() as u64;
+        let lower = upper / 2;
+        let jittered = if upper > lower {
+            rng.random_range(lower..=upper)
+        } else {
+            upper
+        };
+        Some(Duration::from_micros(jittered))
+    }
+
+    /// Clears the failure streak after a successful connection.
+    pub fn reset(&mut self) {
+        self.attempts = 0;
+    }
+
+    /// Consecutive failures recorded since the last reset.
+    pub fn attempts(&self) -> u32 {
+        self.attempts
+    }
+
+    /// The policy this state was built with.
+    pub fn policy(&self) -> BackoffPolicy {
+        self.policy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn policy() -> BackoffPolicy {
+        BackoffPolicy {
+            base: Duration::from_millis(10),
+            cap: Duration::from_millis(160),
+            max_attempts: 6,
+        }
+    }
+
+    #[test]
+    fn delays_grow_exponentially_within_jitter_bounds() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut b = Backoff::new(policy());
+        // Pre-jitter schedule: 10, 20, 40, 80, 160, 160 (capped).
+        let expected_ms = [10u64, 20, 40, 80, 160, 160];
+        for (i, &exp_ms) in expected_ms.iter().enumerate() {
+            let d = b
+                .next_delay(&mut rng)
+                .unwrap_or_else(|| panic!("attempt {} should still retry", i + 1));
+            let exp = Duration::from_millis(exp_ms);
+            assert!(
+                d >= exp / 2 && d <= exp,
+                "attempt {}: delay {d:?} outside [{:?}, {exp:?}]",
+                i + 1,
+                exp / 2,
+            );
+        }
+    }
+
+    #[test]
+    fn gives_up_after_max_attempts() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut b = Backoff::new(policy());
+        for _ in 0..6 {
+            assert!(b.next_delay(&mut rng).is_some());
+        }
+        assert_eq!(b.attempts(), 6);
+        assert!(b.next_delay(&mut rng).is_none());
+        assert!(b.next_delay(&mut rng).is_none(), "stays exhausted");
+    }
+
+    #[test]
+    fn reset_restarts_the_schedule() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut b = Backoff::new(policy());
+        for _ in 0..6 {
+            b.next_delay(&mut rng);
+        }
+        assert!(b.next_delay(&mut rng).is_none());
+        b.reset();
+        assert_eq!(b.attempts(), 0);
+        let d = b.next_delay(&mut rng).expect("retries again after reset");
+        assert!(d <= Duration::from_millis(10), "back to the base rung");
+    }
+
+    #[test]
+    fn jitter_is_deterministic_under_a_fixed_seed() {
+        let run = || {
+            let mut rng = StdRng::seed_from_u64(1234);
+            let mut b = Backoff::new(policy());
+            let mut out = Vec::new();
+            while let Some(d) = b.next_delay(&mut rng) {
+                out.push(d);
+            }
+            out
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn jitter_actually_varies_across_seeds() {
+        let sample = |seed: u64| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            Backoff::new(policy()).next_delay(&mut rng).unwrap()
+        };
+        let distinct: std::collections::BTreeSet<Duration> = (0..16).map(sample).collect();
+        assert!(distinct.len() > 1, "jitter should depend on the RNG");
+    }
+}

@@ -46,9 +46,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backoff;
 pub mod broadcast;
 pub mod codec;
 pub mod detector;
+pub mod fault;
 pub mod fifo;
 pub mod message;
 pub mod metrics;

@@ -15,6 +15,7 @@ use rand::{Rng, SeedableRng};
 use lhg_graph::{CsrGraph, Graph, NodeId};
 use lhg_trace::{PathRecord, TraceCollector};
 
+use crate::fault::FaultInjector;
 use crate::message::Message;
 use crate::metrics::MetricsRegistry;
 
@@ -134,6 +135,8 @@ pub struct SimReport {
     pub deliveries: Vec<Delivery>,
     /// Total messages put on links.
     pub messages_sent: u64,
+    /// Messages removed by fault injection (drops and partition cuts).
+    pub messages_dropped: u64,
     /// Time of the last processed event.
     pub end_time: Time,
 }
@@ -157,10 +160,11 @@ impl SimReport {
 pub struct Simulation {
     topology: CsrGraph,
     link: LinkModel,
-    crash_at: Vec<Option<Time>>,
+    down: Vec<Vec<(Time, Time)>>,
     rng: StdRng,
     metrics: Option<Arc<MetricsRegistry>>,
     tracer: Option<Arc<TraceCollector>>,
+    faults: Option<Arc<FaultInjector>>,
 }
 
 impl Simulation {
@@ -170,10 +174,11 @@ impl Simulation {
         Simulation {
             topology: CsrGraph::from_graph(graph),
             link,
-            crash_at: vec![None; graph.node_count()],
+            down: vec![Vec::new(); graph.node_count()],
             rng: StdRng::seed_from_u64(seed),
             metrics: None,
             tracer: None,
+            faults: None,
         }
     }
 
@@ -194,23 +199,51 @@ impl Simulation {
         self
     }
 
+    /// Attaches a fault injector: every outbound message consults
+    /// [`FaultInjector::decide`] (with virtual time as the clock), so
+    /// drops, duplicates, extra delays, reorders, and partitions apply.
+    /// The injector's node down windows are also merged into the
+    /// simulation's own (see [`Simulation::down_between`]).
+    pub fn with_faults(&mut self, faults: Arc<FaultInjector>) -> &mut Self {
+        for v in 0..self.topology.node_count() {
+            for &(from, until) in faults.down_windows(v as u32) {
+                self.down[v].push((from, until));
+            }
+        }
+        self.faults = Some(faults);
+        self
+    }
+
     /// Fail-stops `node` at `time` (events at or after `time` are dropped).
     ///
     /// # Panics
     ///
     /// Panics if `node` is out of bounds.
     pub fn crash_at(&mut self, node: NodeId, time: Time) -> &mut Self {
+        self.down_between(node, time, Time::MAX)
+    }
+
+    /// Takes `node` offline for `[from, until)`: events addressed to it in
+    /// that window are dropped, and it neither sends nor handles timers.
+    /// Process state survives the outage — this models a network-detached
+    /// (fail-recover) node, not an amnesiac restart.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of bounds.
+    pub fn down_between(&mut self, node: NodeId, from: Time, until: Time) -> &mut Self {
         assert!(
             node.index() < self.topology.node_count(),
             "{node} out of bounds"
         );
-        let slot = &mut self.crash_at[node.index()];
-        *slot = Some(slot.map_or(time, |t| t.min(time)));
+        self.down[node.index()].push((from, until));
         self
     }
 
-    fn is_crashed(&self, node: NodeId, time: Time) -> bool {
-        self.crash_at[node.index()].is_some_and(|t| time >= t)
+    fn is_down(&self, node: NodeId, time: Time) -> bool {
+        self.down[node.index()]
+            .iter()
+            .any(|&(f, u)| time >= f && time < u)
     }
 
     /// Runs the simulation with one boxed process per node until the event
@@ -233,7 +266,9 @@ impl Simulation {
         let mut queue: BinaryHeap<Reverse<(Time, u64, usize, usize)>> = BinaryHeap::new();
         let mut events: Vec<EventKind> = Vec::new();
         let mut seq: u64 = 0;
+        let mut fault_seq: u64 = 0;
         let mut messages_sent: u64 = 0;
+        let mut messages_dropped: u64 = 0;
         let mut deliveries = Vec::new();
         let mut end_time = 0;
 
@@ -243,12 +278,17 @@ impl Simulation {
             .map(|m| m.counter("sim.messages_sent"));
         let m_bytes = self.metrics.as_ref().map(|m| m.counter("sim.bytes_sent"));
         let m_delivs = self.metrics.as_ref().map(|m| m.counter("sim.deliveries"));
+        let m_dropped = self
+            .metrics
+            .as_ref()
+            .map(|m| m.counter("sim.messages_dropped"));
         let m_latency = self
             .metrics
             .as_ref()
             .map(|m| m.histogram("sim.delivery_latency_us"));
 
         let tracer = self.tracer.clone();
+        let faults = self.faults.clone();
         // Drains a handled context into the report and the event queue.
         // `parent` is the neighbor whose message was being handled, if any.
         let mut flush = |ctx: Context<'_>,
@@ -285,18 +325,41 @@ impl Simulation {
                 });
             }
             for (to, msg) in ctx.outbox {
-                messages_sent += 1;
-                if let Some(c) = &m_msgs {
-                    c.inc();
+                // Fault decisions key on a per-message counter that advances
+                // even for dropped frames, so a plan's verdicts line up
+                // run-to-run regardless of what earlier faults removed.
+                let copies = match &faults {
+                    Some(f) => {
+                        let c = f.decide(at.index() as u32, to.index() as u32, time, fault_seq);
+                        fault_seq += 1;
+                        c
+                    }
+                    None => vec![0],
+                };
+                if copies.is_empty() {
+                    messages_dropped += 1;
+                    if let Some(c) = &m_dropped {
+                        c.inc();
+                    }
+                    continue;
                 }
-                if let Some(c) = &m_bytes {
-                    c.add(msg.encoded_len() as u64);
+                for extra in copies {
+                    messages_sent += 1;
+                    if let Some(c) = &m_msgs {
+                        c.inc();
+                    }
+                    if let Some(c) = &m_bytes {
+                        c.add(msg.encoded_len() as u64);
+                    }
+                    let latency = rng_latency() + extra;
+                    let slot = events.len();
+                    events.push(EventKind::Message {
+                        from: at,
+                        msg: msg.clone(),
+                    });
+                    queue.push(Reverse((time + latency, *seq, to.index(), slot)));
+                    *seq += 1;
                 }
-                let latency = rng_latency();
-                let slot = events.len();
-                events.push(EventKind::Message { from: at, msg });
-                queue.push(Reverse((time + latency, *seq, to.index(), slot)));
-                *seq += 1;
             }
             for (fire_at, token) in ctx.timers {
                 let slot = events.len();
@@ -308,7 +371,7 @@ impl Simulation {
 
         // Start every live process at time 0.
         for (v, process) in processes.iter_mut().enumerate() {
-            if self.is_crashed(NodeId(v), 0) {
+            if self.is_down(NodeId(v), 0) {
                 continue;
             }
             let mut ctx = Context {
@@ -340,7 +403,7 @@ impl Simulation {
             }
             end_time = end_time.max(time);
             let node_id = NodeId(node);
-            if self.is_crashed(node_id, time) {
+            if self.is_down(node_id, time) {
                 continue;
             }
             let mut ctx = Context {
@@ -380,6 +443,7 @@ impl Simulation {
         SimReport {
             deliveries,
             messages_sent,
+            messages_dropped,
             end_time,
         }
     }
@@ -613,6 +677,116 @@ mod tests {
         assert_eq!(trace.path_from_origin(3), Some(vec![0, 1, 2, 3]));
         assert_eq!(trace.max_hops(), 3);
         assert_eq!(trace.eccentricity_us(), 300, "3 hops × 100µs");
+    }
+
+    #[test]
+    fn fault_injector_drops_everything() {
+        use crate::fault::{FaultInjector, LinkFaults};
+
+        let g = path(2);
+        let mut inj = FaultInjector::new(1);
+        inj.set_default_rates(LinkFaults {
+            drop: 1.0,
+            ..LinkFaults::default()
+        });
+        let mut sim = Simulation::new(&g, no_jitter(), 0);
+        sim.with_faults(Arc::new(inj));
+        let procs: Vec<Box<dyn Process>> = vec![
+            Box::new(Pinger { is_origin: true }),
+            Box::new(Pinger { is_origin: false }),
+        ];
+        let report = sim.run(procs, 1_000_000);
+        assert_eq!(report.messages_sent, 0);
+        assert_eq!(report.messages_dropped, 1);
+        assert!(report.deliveries.is_empty());
+    }
+
+    #[test]
+    fn fault_injector_duplicates_deliver_twice() {
+        use crate::fault::{FaultInjector, LinkFaults};
+
+        let g = path(2);
+        let mut inj = FaultInjector::new(1);
+        inj.set_default_rates(LinkFaults {
+            duplicate: 1.0,
+            ..LinkFaults::default()
+        });
+        let mut sim = Simulation::new(&g, no_jitter(), 0);
+        sim.with_faults(Arc::new(inj));
+        let procs: Vec<Box<dyn Process>> = vec![
+            Box::new(Pinger { is_origin: true }),
+            Box::new(Pinger { is_origin: false }),
+        ];
+        let report = sim.run(procs, 1_000_000);
+        assert_eq!(report.messages_sent, 2, "original plus duplicate");
+        assert_eq!(report.deliveries.len(), 2);
+    }
+
+    #[test]
+    fn down_window_detaches_then_recovers() {
+        /// Origin pings its neighbor at start and again at t = 10_000.
+        struct TwoShot {
+            is_origin: bool,
+        }
+        impl Process for TwoShot {
+            fn on_start(&mut self, ctx: &mut Context<'_>) {
+                if self.is_origin {
+                    for &w in &ctx.neighbors().to_vec() {
+                        ctx.send(w, Message::new(1, 0, Bytes::new()));
+                    }
+                    ctx.set_timer(10_000, 0);
+                }
+            }
+            fn on_message(&mut self, _from: NodeId, msg: Message, ctx: &mut Context<'_>) {
+                ctx.deliver(msg);
+            }
+            fn on_timer(&mut self, _token: u64, ctx: &mut Context<'_>) {
+                for &w in &ctx.neighbors().to_vec() {
+                    ctx.send(w, Message::new(2, 0, Bytes::new()));
+                }
+            }
+        }
+
+        let g = path(2);
+        let mut sim = Simulation::new(&g, no_jitter(), 0);
+        sim.down_between(NodeId(1), 0, 5_000);
+        let procs: Vec<Box<dyn Process>> = vec![
+            Box::new(TwoShot { is_origin: true }),
+            Box::new(TwoShot { is_origin: false }),
+        ];
+        let report = sim.run(procs, 1_000_000);
+        assert_eq!(
+            report.deliveries.len(),
+            1,
+            "first ping lands in the outage; the second arrives after recovery"
+        );
+        assert_eq!(report.deliveries[0].broadcast_id, 2);
+        assert_eq!(report.deliveries[0].time, 10_100);
+    }
+
+    #[test]
+    fn faulted_runs_are_seed_deterministic() {
+        use crate::fault::{FaultInjector, LinkFaults};
+
+        let g = path(4);
+        let run = || {
+            let mut inj = FaultInjector::new(33);
+            inj.set_default_rates(LinkFaults {
+                drop: 0.4,
+                duplicate: 0.2,
+                ..LinkFaults::default()
+            });
+            let mut sim = Simulation::new(&g, no_jitter(), 5);
+            sim.with_faults(Arc::new(inj));
+            let procs: Vec<Box<dyn Process>> = vec![
+                Box::new(Pinger { is_origin: true }),
+                Box::new(Pinger { is_origin: false }),
+                Box::new(Pinger { is_origin: false }),
+                Box::new(Pinger { is_origin: false }),
+            ];
+            sim.run(procs, 1_000_000)
+        };
+        assert_eq!(run(), run());
     }
 
     #[test]

@@ -22,6 +22,7 @@ use lhg_graph::{Graph, NodeId};
 use lhg_trace::{PathRecord, TraceCollector};
 
 use crate::codec::{decode_frame, encode_frame};
+use crate::fault::FaultInjector;
 use crate::message::Message;
 use crate::metrics::MetricsRegistry;
 
@@ -32,6 +33,8 @@ pub struct ThreadedReport {
     pub delivered: Vec<bool>,
     /// Total messages sent across all channels.
     pub messages_sent: u64,
+    /// Messages removed by fault injection (drops and partition cuts).
+    pub messages_dropped: u64,
     /// Total encoded bytes moved across all channels (frames incl. prefix).
     pub bytes_sent: u64,
 }
@@ -94,7 +97,16 @@ pub fn run_threaded_broadcast_with_metrics(
     idle_timeout: Duration,
     metrics: &MetricsRegistry,
 ) -> ThreadedReport {
-    run_inner(graph, origin, payload, crashed, idle_timeout, metrics, None)
+    run_inner(
+        graph,
+        origin,
+        payload,
+        crashed,
+        idle_timeout,
+        metrics,
+        None,
+        None,
+    )
 }
 
 /// Like [`run_threaded_broadcast_with_metrics`], additionally stamping the
@@ -126,9 +138,43 @@ pub fn run_threaded_broadcast_traced(
         idle_timeout,
         metrics,
         Some((trace_id, Arc::clone(tracer))),
+        None,
     )
 }
 
+/// Like [`run_threaded_broadcast_with_metrics`] with a [`FaultInjector`]
+/// consulted on every channel send: drops, duplicates, and partitions
+/// apply per-frame (keyed on a process-wide send counter, wall-clock µs
+/// since the run started for partition windows). Extra-delay and reorder
+/// rates are ignored here — real channels are FIFO and the runner has no
+/// timer wheel; use the simulator or the TCP runtime to exercise those.
+///
+/// # Panics
+///
+/// Panics if `origin` is out of bounds or listed in `crashed`.
+#[must_use]
+pub fn run_threaded_broadcast_chaos(
+    graph: &Graph,
+    origin: NodeId,
+    payload: Bytes,
+    crashed: &[NodeId],
+    idle_timeout: Duration,
+    metrics: &MetricsRegistry,
+    faults: &Arc<FaultInjector>,
+) -> ThreadedReport {
+    run_inner(
+        graph,
+        origin,
+        payload,
+        crashed,
+        idle_timeout,
+        metrics,
+        None,
+        Some(Arc::clone(faults)),
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
 fn run_inner(
     graph: &Graph,
     origin: NodeId,
@@ -137,6 +183,7 @@ fn run_inner(
     idle_timeout: Duration,
     metrics: &MetricsRegistry,
     tracing: Option<(u64, Arc<TraceCollector>)>,
+    faults: Option<Arc<FaultInjector>>,
 ) -> ThreadedReport {
     let n = graph.node_count();
     assert!(origin.index() < n, "origin {origin} out of bounds");
@@ -153,6 +200,8 @@ fn run_inner(
     let delivered: Arc<Mutex<Vec<bool>>> = Arc::new(Mutex::new(vec![false; n]));
     let epoch = Instant::now(); // shared time zero for all PathRecords
     let messages_sent = Arc::new(AtomicU64::new(0));
+    let messages_dropped = Arc::new(AtomicU64::new(0));
+    let fault_seq = Arc::new(AtomicU64::new(0));
     let bytes_sent = Arc::new(AtomicU64::new(0));
     let frame_bytes_hist = metrics.histogram("threaded.frame_bytes");
     let is_crashed: Vec<bool> = {
@@ -175,9 +224,12 @@ fn run_inner(
             .collect();
         let delivered = Arc::clone(&delivered);
         let messages_sent = Arc::clone(&messages_sent);
+        let messages_dropped = Arc::clone(&messages_dropped);
+        let fault_seq = Arc::clone(&fault_seq);
         let bytes_sent = Arc::clone(&bytes_sent);
         let frame_bytes_hist = Arc::clone(&frame_bytes_hist);
         let tracing = tracing.clone();
+        let faults = faults.clone();
         let start_payload = (v == origin.index()).then(|| {
             let msg = Message::new(1, v as u32, payload.clone());
             match &tracing {
@@ -187,11 +239,26 @@ fn run_inner(
         });
         handles.push(std::thread::spawn(move || {
             let mut seen = std::collections::HashSet::new();
-            let send_to = |w_from: usize, frame: &Bytes, tx: &Sender<(usize, Bytes)>| {
-                messages_sent.fetch_add(1, Ordering::Relaxed);
-                bytes_sent.fetch_add(frame.len() as u64, Ordering::Relaxed);
-                frame_bytes_hist.record(frame.len() as u64);
-                let _ = tx.send((w_from, frame.clone()));
+            let send_to = |to: usize, frame: &Bytes, tx: &Sender<(usize, Bytes)>| {
+                let copies = match &faults {
+                    Some(f) => f.decide(
+                        v as u32,
+                        to as u32,
+                        f.elapsed_us(),
+                        fault_seq.fetch_add(1, Ordering::Relaxed),
+                    ),
+                    None => vec![0],
+                };
+                if copies.is_empty() {
+                    messages_dropped.fetch_add(1, Ordering::Relaxed);
+                    return;
+                }
+                for _ in &copies {
+                    messages_sent.fetch_add(1, Ordering::Relaxed);
+                    bytes_sent.fetch_add(frame.len() as u64, Ordering::Relaxed);
+                    frame_bytes_hist.record(frame.len() as u64);
+                    let _ = tx.send((v, frame.clone()));
+                }
             };
             let record_delivery = |parent: Option<u32>, hops: u32, trace: Option<u64>| {
                 if let (Some((_, tracer)), Some(trace_id)) = (&tracing, trace) {
@@ -211,8 +278,8 @@ fn run_inner(
                 // Send the hop-incremented copy so a receiver's `hops` field
                 // equals the number of edges the copy travelled.
                 let frame = encode_frame(&msg.forwarded());
-                for (_, tx) in &neighbor_txs {
-                    send_to(v, &frame, tx);
+                for (w, tx) in &neighbor_txs {
+                    send_to(*w, &frame, tx);
                 }
             }
             while let Ok((from, frame)) = rx.recv_timeout(idle_timeout) {
@@ -225,7 +292,7 @@ fn run_inner(
                 let fwd = encode_frame(&msg.forwarded());
                 for (w, tx) in &neighbor_txs {
                     if *w != from {
-                        send_to(v, &fwd, tx);
+                        send_to(*w, &fwd, tx);
                     }
                 }
             }
@@ -241,12 +308,17 @@ fn run_inner(
         .expect("all threads joined")
         .into_inner();
     let messages_sent = messages_sent.load(Ordering::Relaxed);
+    let messages_dropped = messages_dropped.load(Ordering::Relaxed);
     let bytes_sent = bytes_sent.load(Ordering::Relaxed);
     metrics.counter("threaded.messages_sent").add(messages_sent);
+    metrics
+        .counter("threaded.messages_dropped")
+        .add(messages_dropped);
     metrics.counter("threaded.bytes_sent").add(bytes_sent);
     ThreadedReport {
         delivered,
         messages_sent,
+        messages_dropped,
         bytes_sent,
     }
 }
@@ -347,6 +419,60 @@ mod tests {
         assert_eq!(trace.max_hops(), 4);
         // Trace extension crossed the wire: frames are 9 bytes longer.
         assert!(r.bytes_sent >= r.messages_sent * (24 + 9));
+    }
+
+    #[test]
+    fn chaos_partition_blocks_half_the_ring() {
+        use crate::fault::{FaultInjector, Partition};
+        use std::collections::BTreeSet;
+
+        // Cut {0..3} from {4..7} on an 8-cycle: the flood cannot leave the
+        // origin's side.
+        let g = cycle(8);
+        let mut inj = FaultInjector::new(9);
+        inj.add_partition(Partition {
+            a: BTreeSet::from([0, 1, 2, 3]),
+            b: BTreeSet::from([4, 5, 6, 7]),
+            from_us: 0,
+            until_us: u64::MAX,
+            directed: false,
+        });
+        let reg = MetricsRegistry::new();
+        let r = run_threaded_broadcast_chaos(
+            &g,
+            NodeId(0),
+            Bytes::from_static(b"cut"),
+            &[],
+            timeout(),
+            &reg,
+            &Arc::new(inj),
+        );
+        assert_eq!(r.delivered_count(), 4, "only the origin side delivers");
+        assert!((0..4).all(|v| r.delivered[v]));
+        assert!((4..8).all(|v| !r.delivered[v]));
+        assert!(r.messages_dropped >= 2, "both cut edges dropped frames");
+        assert_eq!(
+            reg.counter("threaded.messages_dropped").get(),
+            r.messages_dropped
+        );
+    }
+
+    #[test]
+    fn chaos_clean_injector_changes_nothing() {
+        let g = cycle(6);
+        let reg = MetricsRegistry::new();
+        let inj = Arc::new(crate::fault::FaultInjector::new(4));
+        let r = run_threaded_broadcast_chaos(
+            &g,
+            NodeId(0),
+            Bytes::from_static(b"ok"),
+            &[],
+            timeout(),
+            &reg,
+            &inj,
+        );
+        assert!(r.all_delivered());
+        assert_eq!(r.messages_dropped, 0);
     }
 
     #[test]

@@ -24,7 +24,7 @@ use lhg_net::message::Message;
 use lhg_net::metrics::MetricsRegistry;
 use lhg_trace::{merge_timelines, BroadcastTrace, FlightRecorder, TraceCollector};
 
-use crate::node::{spawn_node, BroadcastClock, Directory, Event, NodeHandle, NodeShared};
+use crate::node::{spawn_node, BootOpts, BroadcastClock, Directory, Event, NodeHandle, NodeShared};
 use crate::wire::MAX_MEMBERS;
 use crate::RuntimeConfig;
 
@@ -39,6 +39,12 @@ pub enum ClusterError {
     LaunchTimeout,
     /// An operation referenced a member that is unknown or already dead.
     NoSuchMember(MemberId),
+    /// [`Cluster::kill`] targeted a member that was already killed —
+    /// distinct from [`ClusterError::NoSuchMember`] so a chaos schedule can
+    /// tell "double kill" apart from "never existed".
+    AlreadyKilled(MemberId),
+    /// [`Cluster::rejoin`] targeted a member that is still alive.
+    NotKilled(MemberId),
 }
 
 impl fmt::Display for ClusterError {
@@ -50,6 +56,8 @@ impl fmt::Display for ClusterError {
                 f.write_str("cluster links did not converge within the launch timeout")
             }
             ClusterError::NoSuchMember(m) => write!(f, "no live member {m}"),
+            ClusterError::AlreadyKilled(m) => write!(f, "member {m} was already killed"),
+            ClusterError::NotKilled(m) => write!(f, "member {m} is not killed"),
         }
     }
 }
@@ -73,9 +81,13 @@ pub struct Cluster {
     config: RuntimeConfig,
     metrics: Arc<MetricsRegistry>,
     clock: BroadcastClock,
+    directory: Directory,
     nodes: HashMap<MemberId, NodeHandle>,
     killed: BTreeSet<MemberId>,
     next_seq: u32,
+    /// Next node-life ordinal: initial boots take 0..n, every rejoin takes
+    /// a fresh one, so control-wave nonces never collide across lives.
+    next_life: u32,
     /// One flight recorder per node, all sharing one epoch so their
     /// timelines merge into a single cluster-wide chronology.
     recorders: HashMap<MemberId, Arc<FlightRecorder>>,
@@ -119,6 +131,7 @@ impl Cluster {
         let epoch = Instant::now(); // shared so per-node timelines merge
         let mut recorders = HashMap::with_capacity(n);
         let mut nodes = HashMap::with_capacity(n);
+        let mut next_life = 0u32;
         for (member, listener) in listeners {
             let recorder = Arc::new(FlightRecorder::with_capacity(
                 member as u32,
@@ -136,7 +149,12 @@ impl Cluster {
                 Arc::clone(&clock),
                 recorder,
                 Arc::clone(&tracer),
+                BootOpts {
+                    life: next_life,
+                    ..BootOpts::default()
+                },
             )?;
+            next_life += 1;
             nodes.insert(member, handle);
         }
 
@@ -144,9 +162,11 @@ impl Cluster {
             config,
             metrics,
             clock,
+            directory,
             nodes,
             killed: BTreeSet::new(),
             next_seq: 0,
+            next_life,
             recorders,
             tracer,
         };
@@ -277,12 +297,19 @@ impl Cluster {
     /// Fail-stop crash: the node slams every socket shut and stops, without
     /// any goodbye. Survivors must detect it via heartbeat silence.
     ///
+    /// The LHG failure model (property P1) guarantees convergent healing
+    /// only while **at most k−1 members are concurrently dead**. Killing a
+    /// k-th member is allowed — chaos runs do it deliberately — but then
+    /// survivors enter degraded mode ([`NodeShared::is_degraded`]) instead
+    /// of healing, until rejoins bring the count back within budget.
+    ///
     /// # Errors
     ///
-    /// [`ClusterError::NoSuchMember`] if `member` is unknown or already dead.
+    /// [`ClusterError::AlreadyKilled`] if `member` was already killed, and
+    /// [`ClusterError::NoSuchMember`] if it was never launched.
     pub fn kill(&mut self, member: MemberId) -> Result<(), ClusterError> {
         if self.killed.contains(&member) {
-            return Err(ClusterError::NoSuchMember(member));
+            return Err(ClusterError::AlreadyKilled(member));
         }
         let handle = self
             .nodes
@@ -297,6 +324,75 @@ impl Cluster {
         Ok(())
     }
 
+    /// Restarts a previously killed member: a fresh listener is bound (the
+    /// old port is gone), the directory is updated, and the node boots from
+    /// a survivor's overlay snapshot with a pending `JOIN` announcement.
+    /// Survivors re-admit it when the announcement floods through —
+    /// converging because every replica admits at the same sorted position.
+    ///
+    /// Use [`Cluster::await_heal`] afterwards to block until every replica
+    /// (including the revenant's) has converged back onto the survivor set.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::NoSuchMember`] if `member` was never launched,
+    /// [`ClusterError::NotKilled`] if it is still alive, and
+    /// [`ClusterError::Io`] if the new listener cannot bind.
+    pub fn rejoin(&mut self, member: MemberId) -> Result<(), ClusterError> {
+        if !self.nodes.contains_key(&member) {
+            return Err(ClusterError::NoSuchMember(member));
+        }
+        if !self.killed.contains(&member) {
+            return Err(ClusterError::NotKilled(member));
+        }
+        // Boot from the freshest survivor view available; the revenant
+        // re-admits itself if the survivors already excommunicated it.
+        let mut overlay = self
+            .live_shared()
+            .next()
+            .map(|s| s.overlay_snapshot())
+            .ok_or(ClusterError::NoSuchMember(member))?;
+        if !overlay.contains(member) {
+            overlay.admit(member)?;
+        }
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        self.directory
+            .write()
+            .insert(member, listener.local_addr()?);
+        let recorder = self
+            .recorders
+            .get(&member)
+            .cloned()
+            .expect("recorder outlives its node");
+        let initial_crashes: BTreeSet<MemberId> = self
+            .killed
+            .iter()
+            .copied()
+            .filter(|&m| m != member)
+            .collect();
+        let handle = spawn_node(
+            member,
+            overlay,
+            listener,
+            Arc::clone(&self.directory),
+            self.config.clone(),
+            Arc::clone(&self.metrics),
+            Arc::clone(&self.clock),
+            recorder,
+            Arc::clone(&self.tracer),
+            BootOpts {
+                announce_join: true,
+                initial_crashes,
+                life: self.next_life,
+            },
+        )?;
+        self.next_life += 1;
+        self.nodes.insert(member, handle);
+        self.killed.remove(&member);
+        self.metrics.counter("runtime.rejoins").inc();
+        Ok(())
+    }
+
     /// Waits until every survivor has delivered broadcast `id` (or the
     /// timeout passes); returns whether delivery completed.
     #[must_use]
@@ -304,6 +400,33 @@ impl Cluster {
         self.poll_until(timeout, || {
             self.live_shared().all(|s| s.delivered_ids().contains(&id))
         })
+    }
+
+    /// Waits until each of `members` has delivered broadcast `id` (or the
+    /// timeout passes). Lets chaos oracles scope the delivery requirement
+    /// to the nodes that were reachable, instead of all survivors.
+    #[must_use]
+    pub fn await_delivery_by(&self, id: u64, members: &[MemberId], timeout: Duration) -> bool {
+        self.poll_until(timeout, || {
+            members.iter().all(|m| {
+                self.nodes
+                    .get(m)
+                    .is_some_and(|h| h.shared.delivered_ids().contains(&id))
+            })
+        })
+    }
+
+    /// Live members currently reporting degraded mode (suspected failures
+    /// at or above the k−1 budget), in id order.
+    #[must_use]
+    pub fn degraded_members(&self) -> Vec<MemberId> {
+        let mut m: Vec<MemberId> = self
+            .live_shared()
+            .filter(|s| s.is_degraded())
+            .map(|s| s.id)
+            .collect();
+        m.sort_unstable();
+        m
     }
 
     /// Waits until every survivor has (a) applied every kill, (b) converged
@@ -487,7 +610,10 @@ mod tests {
             c.broadcast(5, Bytes::new()),
             Err(ClusterError::NoSuchMember(5))
         ));
-        assert!(matches!(c.kill(5), Err(ClusterError::NoSuchMember(5))));
+        // A second kill is a *distinct* error from an unknown member.
+        assert!(matches!(c.kill(5), Err(ClusterError::AlreadyKilled(5))));
+        assert!(matches!(c.kill(99), Err(ClusterError::NoSuchMember(99))));
+        assert!(matches!(c.rejoin(0), Err(ClusterError::NotKilled(0))));
         c.shutdown();
     }
 }

@@ -72,8 +72,16 @@ pub struct RuntimeConfig {
     /// Silence window after which a neighbor is declared crashed. Must
     /// comfortably exceed `heartbeat_period` to avoid false suspicion.
     pub heartbeat_timeout: Duration,
-    /// Minimum wait between redial attempts to the same peer.
+    /// Base delay of the jittered exponential redial backoff (the first
+    /// retry waits roughly this long; see [`lhg_net::backoff`]).
     pub dial_backoff: Duration,
+    /// Cap on the exponential redial delay.
+    pub dial_backoff_cap: Duration,
+    /// Consecutive dial failures to one peer before it is put on
+    /// probation (periodic low-frequency probes instead of the
+    /// exponential schedule). Never gives up permanently — a healed
+    /// partition must eventually reconnect.
+    pub dial_max_attempts: u32,
     /// Per-attempt TCP connect timeout.
     pub dial_timeout: Duration,
     /// Main-loop wakeup granularity (heartbeat emission, suspicion checks,
@@ -84,6 +92,12 @@ pub struct RuntimeConfig {
     /// Per-node flight-recorder ring capacity (events retained before the
     /// oldest are overwritten). See [`lhg_trace::FlightRecorder`].
     pub recorder_capacity: usize,
+    /// Seed deriving each node's private RNG (dial jitter). Distinct nodes
+    /// mix their member id in, so one seed drives the whole cluster.
+    pub rng_seed: u64,
+    /// Fault injector consulted on every frame write, frame read, and dial
+    /// (chaos runs). `None` — the default — injects nothing.
+    pub faults: Option<std::sync::Arc<lhg_net::fault::FaultInjector>>,
 }
 
 impl Default for RuntimeConfig {
@@ -92,10 +106,14 @@ impl Default for RuntimeConfig {
             heartbeat_period: Duration::from_millis(25),
             heartbeat_timeout: Duration::from_millis(300),
             dial_backoff: Duration::from_millis(20),
+            dial_backoff_cap: Duration::from_millis(320),
+            dial_max_attempts: 12,
             dial_timeout: Duration::from_millis(250),
             tick: Duration::from_millis(5),
             launch_timeout: Duration::from_secs(10),
             recorder_capacity: lhg_trace::DEFAULT_CAPACITY,
+            rng_seed: 0x4C_48_47, // "LHG"
+            faults: None,
         }
     }
 }

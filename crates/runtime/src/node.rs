@@ -14,10 +14,36 @@
 //! Link ownership is asymmetric to avoid duplicate connections: the member
 //! with the **smaller id dials**, the larger one accepts. Both sides monitor
 //! the link with heartbeats once it is up.
+//!
+//! # Fault model and recovery
+//!
+//! The runtime promises convergence under **at most k−1 fail-stop crashes**
+//! (LHG property P1). Three mechanisms extend behaviour beyond that budget:
+//!
+//! * **Fault injection** — when [`crate::RuntimeConfig::faults`] carries a
+//!   [`lhg_net::fault::FaultInjector`], every frame write, frame read, and
+//!   dial consults it,
+//!   so chaos runs can drop/duplicate frames and cut partitions without
+//!   touching kernel state. Extra-delay rates are ignored here (TCP has no
+//!   timer wheel); the simulator honours them.
+//! * **Degraded mode** — once a node has excommunicated ≥ k suspects it
+//!   stops healing (a rebuild below the membership floor, or on a minority
+//!   partition side, would diverge) and instead probes every known member
+//!   until membership knowledge is repaired. The state is observable via
+//!   [`NodeShared::is_degraded`], the `runtime.degraded.n<id>` gauge and
+//!   [`EventKind::Degraded`] events.
+//! * **Rejoin** — a node that learns it was excommunicated (a peer answers
+//!   its traffic with a direct `CRASH(self)` *dead notice*) either floods a
+//!   `JOIN` announcement (its replica is healthy — the peer was simply
+//!   wrong) or requests a membership `SYNC` snapshot, rebuilds its replica
+//!   with [`DynamicOverlay::from_parts`] +
+//!   [`admit`](lhg_core::overlay::DynamicOverlay::admit), and then floods
+//!   the `JOIN`. Survivors admit joiners at a canonical sorted position, so
+//!   replicas converge regardless of announcement order.
 
 use std::collections::{BTreeSet, HashMap, HashSet};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -25,8 +51,11 @@ use std::time::{Duration, Instant};
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use parking_lot::{Mutex, RwLock};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 
-use lhg_core::overlay::{DynamicOverlay, MemberId};
+use lhg_core::overlay::{ChurnReport, DynamicOverlay, MemberId};
+use lhg_net::backoff::{Backoff, BackoffPolicy};
 use lhg_net::codec::{read_frame, write_frame};
 use lhg_net::message::Message;
 use lhg_net::metrics::{Gauge, MetricsRegistry};
@@ -47,14 +76,37 @@ pub(crate) type BroadcastClock = Arc<RwLock<HashMap<u64, Instant>>>;
 pub(crate) enum Event {
     /// A decoded frame arrived from connected peer `from`.
     Frame { from: MemberId, msg: Message },
-    /// The acceptor finished a handshake; `writer` is the write half.
-    Accepted { peer: MemberId, writer: TcpStream },
-    /// A connection died (EOF or I/O error on the read side).
-    PeerClosed { peer: MemberId },
+    /// The acceptor finished a handshake; `writer` is the write half and
+    /// `conn` the connection's node-local generation id.
+    Accepted {
+        peer: MemberId,
+        conn: u64,
+        writer: TcpStream,
+    },
+    /// Connection `conn` to `peer` died (EOF or I/O error on the read
+    /// side). The generation id lets the main loop ignore EOFs from
+    /// superseded connections: during a rejoin both sides may briefly hold
+    /// two sockets to the same peer, and the stale one's death must not
+    /// tear down its healthy replacement.
+    PeerClosed { peer: MemberId, conn: u64 },
     /// Originate a broadcast from this node.
     Broadcast { msg: Message },
     /// Fail-stop: abandon everything immediately, no goodbyes.
     Kill,
+}
+
+/// How a node enters the cluster: fresh boot or rejoin after a kill.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct BootOpts {
+    /// Flood a `JOIN` announcement once the first link is up (rejoin path).
+    pub announce_join: bool,
+    /// Members this node should treat as already crashed at boot (the other
+    /// kills that happened while it was down).
+    pub initial_crashes: BTreeSet<MemberId>,
+    /// Cluster-global ordinal of this node *life* (initial boots and every
+    /// rejoin each get a fresh one). Seeds the wave-nonce space so control
+    /// waves from different lives of the same member never share an id.
+    pub life: u32,
 }
 
 /// Node state observable by the [`crate::Cluster`] orchestrator. All fields
@@ -64,6 +116,7 @@ pub struct NodeShared {
     /// This node's stable member id.
     pub id: MemberId,
     alive: AtomicBool,
+    degraded: AtomicBool,
     delivered: Mutex<Vec<Message>>,
     overlay: Mutex<DynamicOverlay>,
     links_up: Mutex<BTreeSet<MemberId>>,
@@ -75,6 +128,14 @@ impl NodeShared {
     #[must_use]
     pub fn is_alive(&self) -> bool {
         self.alive.load(Ordering::SeqCst)
+    }
+
+    /// `true` while the node has excommunicated ≥ k suspects and has
+    /// therefore suspended healing (graceful degradation instead of an
+    /// inconsistent rebuild).
+    #[must_use]
+    pub fn is_degraded(&self) -> bool {
+        self.degraded.load(Ordering::SeqCst)
     }
 
     /// Broadcast ids of application messages delivered so far, in delivery
@@ -146,24 +207,32 @@ pub(crate) fn spawn_node(
     clock: BroadcastClock,
     recorder: Arc<FlightRecorder>,
     tracer: Arc<TraceCollector>,
+    opts: BootOpts,
 ) -> std::io::Result<NodeHandle> {
     let addr = listener.local_addr()?;
     listener.set_nonblocking(true)?;
     let (tx, rx) = unbounded();
 
+    let k = overlay.k();
     let shared = Arc::new(NodeShared {
         id,
         alive: AtomicBool::new(true),
+        degraded: AtomicBool::new(false),
         delivered: Mutex::new(Vec::new()),
         overlay: Mutex::new(overlay),
         links_up: Mutex::new(BTreeSet::new()),
-        crashes_applied: Mutex::new(BTreeSet::new()),
+        crashes_applied: Mutex::new(opts.initial_crashes.clone()),
     });
+
+    // Node-local connection generation counter, shared by the acceptor and
+    // the main loop's dialer so every socket gets a unique id.
+    let conns = Arc::new(AtomicU64::new(0));
 
     // Acceptor: poll-accept so the thread can observe the kill flag.
     {
         let shared = Arc::clone(&shared);
         let tx = tx.clone();
+        let conns = Arc::clone(&conns);
         let poll = config.tick.min(Duration::from_millis(2));
         std::thread::spawn(move || loop {
             if !shared.is_alive() {
@@ -173,7 +242,7 @@ pub(crate) fn spawn_node(
                 Ok((stream, _)) => {
                     let _ = stream.set_nonblocking(false);
                     let _ = stream.set_nodelay(true);
-                    spawn_handshake_reader(stream, tx.clone());
+                    spawn_handshake_reader(stream, tx.clone(), Arc::clone(&conns));
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                     std::thread::sleep(poll);
@@ -185,8 +254,12 @@ pub(crate) fn spawn_node(
 
     // Main loop.
     let main = {
+        // Each node jitters independently, but the whole cluster is still
+        // driven by the one configured seed (reproducible chaos runs).
+        let rng = StdRng::seed_from_u64(config.rng_seed ^ id.wrapping_mul(0x9E37_79B9_7F4A_7C15));
         let runtime = NodeRuntime {
             id,
+            k,
             shared: Arc::clone(&shared),
             config,
             directory,
@@ -196,9 +269,22 @@ pub(crate) fn spawn_node(
             tracer,
             tx: tx.clone(),
             writers: HashMap::new(),
+            conn_ids: HashMap::new(),
+            conns,
             seen: HashSet::new(),
+            life: opts.life,
+            wave_seq: 0,
             last_seen: HashMap::new(),
             next_dial: HashMap::new(),
+            backoffs: HashMap::new(),
+            rng,
+            fault_seqs: HashMap::new(),
+            revenant_grace: HashMap::new(),
+            revenant_since: HashMap::new(),
+            notice_sent: HashMap::new(),
+            awaiting_sync: None,
+            rejoin_cooldown: None,
+            pending_join_announce: opts.announce_join,
             healing_since: None,
             hb_age_gauges: HashMap::new(),
         };
@@ -215,7 +301,7 @@ pub(crate) fn spawn_node(
 
 /// Reads the hello frame off a freshly accepted connection, registers the
 /// write half with the main loop, then settles into the plain reader loop.
-fn spawn_handshake_reader(mut stream: TcpStream, tx: Sender<Event>) {
+fn spawn_handshake_reader(mut stream: TcpStream, tx: Sender<Event>, conns: Arc<AtomicU64>) {
     std::thread::spawn(move || {
         let peer = match read_frame(&mut stream) {
             Ok(Some(msg)) => match wire::classify(msg.broadcast_id) {
@@ -227,15 +313,16 @@ fn spawn_handshake_reader(mut stream: TcpStream, tx: Sender<Event>) {
         let Ok(writer) = stream.try_clone() else {
             return;
         };
-        if tx.send(Event::Accepted { peer, writer }).is_err() {
+        let conn = conns.fetch_add(1, Ordering::Relaxed);
+        if tx.send(Event::Accepted { peer, conn, writer }).is_err() {
             return;
         }
-        reader_loop(peer, &mut stream, &tx);
+        reader_loop(peer, conn, &mut stream, &tx);
     });
 }
 
 /// Decodes frames until EOF/error, forwarding each into the main loop.
-fn reader_loop(peer: MemberId, stream: &mut TcpStream, tx: &Sender<Event>) {
+fn reader_loop(peer: MemberId, conn: u64, stream: &mut TcpStream, tx: &Sender<Event>) {
     loop {
         match read_frame(stream) {
             Ok(Some(msg)) => {
@@ -244,7 +331,7 @@ fn reader_loop(peer: MemberId, stream: &mut TcpStream, tx: &Sender<Event>) {
                 }
             }
             Ok(None) | Err(_) => {
-                let _ = tx.send(Event::PeerClosed { peer });
+                let _ = tx.send(Event::PeerClosed { peer, conn });
                 return;
             }
         }
@@ -255,6 +342,9 @@ fn reader_loop(peer: MemberId, stream: &mut TcpStream, tx: &Sender<Event>) {
 /// observability goes through [`NodeShared`].
 struct NodeRuntime {
     id: MemberId,
+    /// The overlay's connectivity parameter, cached at boot: ≥ k applied
+    /// crashes means the failure budget is blown and healing must stop.
+    k: usize,
     shared: Arc<NodeShared>,
     config: RuntimeConfig,
     directory: Directory,
@@ -268,12 +358,49 @@ struct NodeRuntime {
     tx: Sender<Event>,
     /// Write halves of every live connection, keyed by peer id.
     writers: HashMap<MemberId, TcpStream>,
-    /// Flooding dedup: broadcast ids already processed.
+    /// Generation id of the connection currently backing each writer. A
+    /// `PeerClosed` whose id does not match is a stale socket's EOF and
+    /// must not tear the current link down.
+    conn_ids: HashMap<MemberId, u64>,
+    /// Source of connection generation ids (shared with the acceptor).
+    conns: Arc<AtomicU64>,
+    /// Flooding dedup: broadcast ids already processed. Entries are never
+    /// removed — every control wave floods under a fresh nonce, so a stale
+    /// copy of an old wave is permanently absorbed here instead of being
+    /// re-applied (re-arming dedup per membership flip is how crash/join
+    /// waves used to chase each other into a churn livelock).
     seen: HashSet<u64>,
+    /// This node-life's ordinal, unique across the cluster ([`BootOpts`]).
+    life: u32,
+    /// Per-life wave counter; with `life` it forms each wave's nonce.
+    wave_seq: u16,
     /// Last time each monitored peer produced any frame.
     last_seen: HashMap<MemberId, Instant>,
     /// Dial backoff: no redial before the recorded instant.
     next_dial: HashMap<MemberId, Instant>,
+    /// Per-peer jittered exponential retry state behind `next_dial`.
+    backoffs: HashMap<MemberId, Backoff>,
+    /// Private RNG driving dial jitter (seeded from the config seed).
+    rng: StdRng,
+    /// Per-peer outbound frame counters keying fault-injection decisions.
+    fault_seqs: HashMap<MemberId, u64>,
+    /// Excommunicated peers heard from recently: keep their link open until
+    /// the recorded deadline so the rejoin handshake can complete.
+    revenant_grace: HashMap<MemberId, Instant>,
+    /// When each excommunicated peer's current unbroken run of frames
+    /// began; drives degraded-mode re-admission by observation
+    /// ([`Self::readmit_by_observation`]).
+    revenant_since: HashMap<MemberId, Instant>,
+    /// Last time a dead notice was sent to each revenant (rate limiting).
+    notice_sent: HashMap<MemberId, Instant>,
+    /// Set while a membership `SYNC` request is outstanding; cleared on the
+    /// reply or after a timeout (so the request can be retried).
+    awaiting_sync: Option<Instant>,
+    /// After announcing or requesting a rejoin, ignore further dead notices
+    /// until this instant (they are echoes of the state being repaired).
+    rejoin_cooldown: Option<Instant>,
+    /// Flood a `JOIN` announcement as soon as at least one link is up.
+    pending_join_announce: bool,
     /// Set when a crash is first applied; cleared (and timed) once every
     /// desired link is re-established.
     healing_since: Option<Instant>,
@@ -300,8 +427,17 @@ impl NodeRuntime {
                 self.send_heartbeats();
                 next_beat = now + self.config.heartbeat_period;
             }
+            if self
+                .awaiting_sync
+                .is_some_and(|t| now.duration_since(t) > self.config.heartbeat_timeout)
+            {
+                // The snapshot never came (dropped frame, dead server):
+                // allow the next dead notice to trigger a fresh request.
+                self.awaiting_sync = None;
+            }
             self.check_suspicions(now);
             self.reconcile();
+            self.try_announce_join();
         }
         // Fail-stop: slam every socket shut so peers see EOF, not silence.
         self.shared.alive.store(false, Ordering::SeqCst);
@@ -313,16 +449,29 @@ impl NodeRuntime {
     fn handle(&mut self, ev: Event) {
         match ev {
             Event::Frame { from, msg } => self.on_frame(from, &msg),
-            Event::Accepted { peer, writer } => {
+            Event::Accepted { peer, conn, writer } => {
                 if let Some(old) = self.writers.insert(peer, writer) {
                     let _ = old.shutdown(Shutdown::Both);
                 }
+                self.conn_ids.insert(peer, conn);
                 self.last_seen.insert(peer, Instant::now());
+                if self.shared.crashes_applied.lock().contains(&peer) {
+                    // An excommunicated peer dialed back in: hold the link
+                    // open long enough for the rejoin handshake.
+                    self.revenant_grace
+                        .insert(peer, Instant::now() + self.config.heartbeat_timeout);
+                }
                 self.metrics.counter("runtime.accepts").inc();
                 self.recorder
                     .record(EventKind::Connect { peer: peer as u32 });
             }
-            Event::PeerClosed { peer } => self.drop_link(peer),
+            Event::PeerClosed { peer, conn } => {
+                // Only the current connection's death is a link failure;
+                // EOFs from superseded sockets are expected churn.
+                if self.conn_ids.get(&peer) == Some(&conn) {
+                    self.drop_link(peer);
+                }
+            }
             Event::Broadcast { msg } => {
                 self.seen.insert(msg.broadcast_id);
                 if let Some(trace_id) = msg.trace {
@@ -348,7 +497,26 @@ impl NodeRuntime {
     }
 
     fn on_frame(&mut self, from: MemberId, msg: &Message) {
-        self.last_seen.insert(from, Instant::now());
+        if let Some(f) = self.config.faults.clone() {
+            // Read-side partition check: frames already in flight when a
+            // cut activates must not leak through it.
+            if f.blocked(from as u32, self.id as u32, f.elapsed_us()) {
+                self.metrics.counter("runtime.chaos_frames_blocked").inc();
+                return;
+            }
+        }
+        let now = Instant::now();
+        let mut excommunicated = self.shared.crashes_applied.lock().contains(&from);
+        if excommunicated {
+            self.revenant_grace
+                .insert(from, now + self.config.heartbeat_timeout);
+            if self.readmit_by_observation(from, now) {
+                excommunicated = false;
+            } else {
+                self.maybe_send_dead_notice(from);
+            }
+        }
+        self.last_seen.insert(from, now);
         self.recorder.record(EventKind::FrameRx {
             peer: from as u32,
             bytes: (msg.encoded_len() + lhg_net::codec::LEN_PREFIX) as u32,
@@ -358,16 +526,47 @@ impl NodeRuntime {
                 // Liveness recorded above; keep the probe in the timeline.
                 self.recorder
                     .record(EventKind::Heartbeat { peer: from as u32 });
+                if !excommunicated && !self.shared.overlay.lock().contains(from) {
+                    // A live peer our replica does not know: its JOIN flood
+                    // must have been missed. Heartbeats are ground truth.
+                    self.apply_join(from);
+                }
             }
             FrameKind::Hello(_) => {} // handshakes never reach the loop
             FrameKind::Crash(victim) => {
-                if self.seen.insert(msg.broadcast_id) {
+                if victim == self.id {
+                    // A dead notice: the sender excommunicated *us*. Never
+                    // flooded, never applied — it starts the rejoin path.
+                    self.on_excommunication_notice(from);
+                } else if excommunicated {
+                    // Crash gossip from a node we excommunicated could be
+                    // poison (its replica is stale); drop it until the
+                    // sender has rejoined.
+                } else if self.seen.insert(msg.broadcast_id) {
                     self.recorder.record(EventKind::CrashReport {
                         victim: victim as u32,
                         via: from as u32,
                     });
                     self.flood(&msg.forwarded(), Some(from));
                     self.apply_crash(victim);
+                }
+            }
+            FrameKind::Join(member) => {
+                if excommunicated && member != from {
+                    // A revenant may only announce itself.
+                } else if self.seen.insert(msg.broadcast_id) {
+                    self.recorder.record(EventKind::JoinAnnounce {
+                        member: member as u32,
+                    });
+                    self.flood(&msg.forwarded(), Some(from));
+                    self.apply_join(member);
+                }
+            }
+            FrameKind::Sync(_) => {
+                if msg.payload.is_empty() {
+                    self.serve_sync(from);
+                } else if self.awaiting_sync.is_some() {
+                    self.install_sync(from, &msg.payload);
                 }
             }
             FrameKind::Data => {
@@ -399,6 +598,182 @@ impl NodeRuntime {
         }
     }
 
+    /// Degraded-mode ground truth: re-admits an excommunicated peer that
+    /// has been observably alive — frames arriving without a gap — for a
+    /// full suspicion timeout, returning `true` when it does.
+    ///
+    /// This is the only exit from **mutual degradation**: when every node
+    /// has blown its k−1 budget (false suspicions during churn stack on
+    /// real crashes), dead notices turn into `SYNC` requests that no node
+    /// will serve — a deadlock where all links are up and everyone can see
+    /// everyone alive, yet nobody's state machine moves. A degraded
+    /// replica is already untrusted, so direct observation outranks the
+    /// missing join/sync handshake; each node independently re-admits the
+    /// live peers it excommunicated, drops below the budget, exits
+    /// degradation, and then serves syncs to the rest. Healthy nodes never
+    /// take this path — for them the dead-notice → `JOIN` dance works and
+    /// keeps admissions announced cluster-wide.
+    fn readmit_by_observation(&mut self, from: MemberId, now: Instant) -> bool {
+        let timeout = self.config.heartbeat_timeout;
+        // A silent gap longer than the suspicion timeout restarts the
+        // observation window: "continuously alive" must be earned.
+        let gap = self
+            .last_seen
+            .get(&from)
+            .is_none_or(|&t| now.duration_since(t) > timeout);
+        let since = *self
+            .revenant_since
+            .entry(from)
+            .and_modify(|s| {
+                if gap {
+                    *s = now;
+                }
+            })
+            .or_insert(now);
+        if !self.shared.is_degraded() || now.duration_since(since) < timeout {
+            return false;
+        }
+        self.metrics.counter("runtime.observed_readmits").inc();
+        self.apply_join(from);
+        true
+    }
+
+    /// Reacts to a direct `CRASH(self)` dead notice from `from`: flood a
+    /// `JOIN` when our replica is healthy (the notifier is simply wrong
+    /// about us), or request a membership snapshot when it is not (we are
+    /// degraded, or already resyncing — our own view cannot be trusted).
+    fn on_excommunication_notice(&mut self, from: MemberId) {
+        let now = Instant::now();
+        if self.rejoin_cooldown.is_some_and(|t| now < t) {
+            return; // an earlier notice already started the repair
+        }
+        self.rejoin_cooldown = Some(now + self.config.heartbeat_timeout);
+        if self.shared.is_degraded() || self.awaiting_sync.is_some() {
+            self.awaiting_sync = Some(now);
+            self.metrics.counter("runtime.sync_requests").inc();
+            let req = Message::new(wire::sync_id(self.id), self.id as u32, Bytes::new());
+            self.send_to(from, &req);
+        } else {
+            // Reply with a direct JOIN; the notifier floods it onward and
+            // re-admits us into its replica.
+            self.pending_join_announce = true;
+            let id = wire::join_id(self.id, self.fresh_wave_nonce());
+            self.seen.insert(id);
+            let msg = Message::new(id, self.id as u32, Bytes::new());
+            self.send_to(from, &msg);
+            self.try_announce_join();
+        }
+    }
+
+    /// Answers a membership `SYNC` request with a snapshot of our replica —
+    /// but only while that replica is trustworthy (not degraded, not itself
+    /// waiting on a snapshot).
+    fn serve_sync(&mut self, from: MemberId) {
+        if self.shared.is_degraded() || self.awaiting_sync.is_some() {
+            return;
+        }
+        let payload = wire::encode_membership(&self.shared.overlay.lock());
+        let reply = Message::new(wire::sync_id(self.id), self.id as u32, payload);
+        if self.send_to(from, &reply) {
+            self.metrics.counter("runtime.syncs_served").inc();
+        }
+    }
+
+    /// Installs a membership snapshot served by `via`: rebuild the replica,
+    /// admit ourselves, clear all suspicion state, and schedule the `JOIN`
+    /// announcement that tells everyone else.
+    fn install_sync(&mut self, via: MemberId, payload: &Bytes) {
+        let Some((constraint, k, members)) = wire::decode_membership(payload) else {
+            return;
+        };
+        if k != self.k {
+            return; // a replica from some other cluster generation
+        }
+        let Ok(mut replica) = DynamicOverlay::from_parts(constraint, k, members) else {
+            return;
+        };
+        if !replica.contains(self.id) && replica.admit(self.id).is_err() {
+            return;
+        }
+        if self.shared.degraded.swap(false, Ordering::SeqCst) {
+            self.recorder.record(EventKind::DegradedExit);
+            self.metrics.counter("runtime.degraded_exits").inc();
+            self.degraded_gauge().set(0);
+        }
+        *self.shared.overlay.lock() = replica;
+        self.shared.crashes_applied.lock().clear();
+        // Dedup state survives wholesale: wave nonces guarantee that any
+        // wave newer than the snapshot floods under an unseen id, while
+        // stale copies of pre-sync waves stay absorbed.
+        self.last_seen.clear();
+        self.next_dial.clear();
+        self.backoffs.clear();
+        self.revenant_grace.clear();
+        self.revenant_since.clear();
+        self.notice_sent.clear();
+        self.awaiting_sync = None;
+        self.rejoin_cooldown = Some(Instant::now() + self.config.heartbeat_timeout);
+        self.pending_join_announce = true;
+        self.metrics.counter("runtime.sync_rejoins").inc();
+        self.recorder
+            .record(EventKind::SyncRejoin { via: via as u32 });
+        self.reconcile();
+        self.try_announce_join();
+    }
+
+    /// Floods this node's own `JOIN` announcement once at least one link is
+    /// up (flooding into the void would announce to nobody).
+    fn try_announce_join(&mut self) {
+        if !self.pending_join_announce || self.writers.is_empty() {
+            return;
+        }
+        self.pending_join_announce = false;
+        let id = wire::join_id(self.id, self.fresh_wave_nonce());
+        self.seen.insert(id);
+        self.metrics.counter("runtime.join_announces").inc();
+        self.recorder.record(EventKind::JoinAnnounce {
+            member: self.id as u32,
+        });
+        let msg = Message::new(id, self.id as u32, Bytes::new());
+        self.flood(&msg, None);
+    }
+
+    /// The next control-wave nonce: this life's cluster-unique ordinal in
+    /// the high half, a per-life counter in the low half. No two waves any
+    /// node ever floods share a nonce (until a single life emits 2^16
+    /// waves, by which time the copies of wave 0 are long drained).
+    fn fresh_wave_nonce(&mut self) -> u32 {
+        let nonce = (self.life << 16) | u32::from(self.wave_seq);
+        self.wave_seq = self.wave_seq.wrapping_add(1);
+        nonce
+    }
+
+    /// Applies a (re)join of `member`: clear its crash state, admit it into
+    /// the overlay at the canonical sorted position, and apply the churn.
+    fn apply_join(&mut self, member: MemberId) {
+        self.shared.crashes_applied.lock().remove(&member);
+        self.revenant_grace.remove(&member);
+        self.revenant_since.remove(&member);
+        self.notice_sent.remove(&member);
+        self.backoffs.remove(&member);
+        self.next_dial.remove(&member);
+        self.last_seen.insert(member, Instant::now());
+        let churn = {
+            let mut ov = self.shared.overlay.lock();
+            if ov.contains(member) {
+                None
+            } else {
+                ov.admit(member).ok()
+            }
+        };
+        if let Some(report) = churn {
+            self.metrics.counter("runtime.joins_applied").inc();
+            self.apply_churn(&report);
+        }
+        self.maybe_exit_degraded();
+        self.reconcile();
+    }
+
     /// Records an application delivery (and its end-to-end latency, if the
     /// broadcast's start instant is known).
     fn deliver(&mut self, msg: &Message) {
@@ -422,9 +797,37 @@ impl NodeRuntime {
         }
     }
 
+    /// Sends one frame to `peer` through the fault injector (if any): the
+    /// frame may be swallowed (counted, not a link failure) or written more
+    /// than once (duplicate injection). Injected extra delays are ignored —
+    /// TCP ordering makes per-frame delay infeasible without a timer wheel.
+    fn send_to(&mut self, peer: MemberId, msg: &Message) -> bool {
+        if let Some(f) = self.config.faults.clone() {
+            let seq = self.fault_seqs.entry(peer).or_insert(0);
+            let this_seq = *seq;
+            *seq += 1;
+            let copies = f.decide(self.id as u32, peer as u32, f.elapsed_us(), this_seq);
+            if copies.is_empty() {
+                self.metrics.counter("runtime.chaos_frames_dropped").inc();
+                self.recorder
+                    .record(EventKind::FaultDrop { peer: peer as u32 });
+                return true; // the network ate it; the link is fine
+            }
+            let mut ok = true;
+            for _ in copies {
+                ok = self.write_frame_to(peer, msg);
+                if !ok {
+                    break;
+                }
+            }
+            return ok;
+        }
+        self.write_frame_to(peer, msg)
+    }
+
     /// Writes one frame to `peer`; a failed write tears the link down (the
     /// reconcile pass will redial if the link is still wanted).
-    fn send_to(&mut self, peer: MemberId, msg: &Message) -> bool {
+    fn write_frame_to(&mut self, peer: MemberId, msg: &Message) -> bool {
         let res = match self.writers.get_mut(&peer) {
             Some(stream) => write_frame(stream, msg),
             None => return false,
@@ -449,6 +852,28 @@ impl NodeRuntime {
     fn send_heartbeats(&mut self) {
         let msg = Message::new(wire::heartbeat_id(self.id), self.id as u32, Bytes::new());
         self.flood(&msg, None);
+    }
+
+    /// Sends a direct `CRASH(peer)` *to* `peer`: "you are excommunicated
+    /// here". Rate-limited so a chatty revenant gets one notice per
+    /// half-timeout, not one per frame.
+    fn maybe_send_dead_notice(&mut self, peer: MemberId) {
+        let now = Instant::now();
+        let interval = self.config.heartbeat_timeout / 2;
+        let due = self
+            .notice_sent
+            .get(&peer)
+            .is_none_or(|&t| now.duration_since(t) >= interval);
+        if !due {
+            return;
+        }
+        self.notice_sent.insert(peer, now);
+        self.metrics.counter("runtime.dead_notices").inc();
+        // Dead notices are point-to-point and never deduplicated, but a
+        // fresh nonce keeps them out of any wave's identity space.
+        let id = wire::crash_id(peer, self.fresh_wave_nonce());
+        let msg = Message::new(id, self.id as u32, Bytes::new());
+        self.send_to(peer, &msg);
     }
 
     /// Declares crashed any monitored neighbor silent past the timeout;
@@ -487,6 +912,12 @@ impl NodeRuntime {
         )
     }
 
+    /// The gauge `runtime.degraded.n<id>`: 1 while this node is degraded.
+    fn degraded_gauge(&self) -> Arc<Gauge> {
+        self.metrics
+            .gauge(&format!("runtime.degraded.n{}", self.id))
+    }
+
     /// Local suspicion: announce the crash to the cluster, then heal.
     fn suspect(&mut self, victim: MemberId) {
         self.metrics.counter("runtime.suspects").inc();
@@ -497,7 +928,7 @@ impl NodeRuntime {
             victim: victim as u32,
             via: self.id as u32,
         });
-        let id = wire::crash_id(victim);
+        let id = wire::crash_id(victim, self.fresh_wave_nonce());
         self.seen.insert(id);
         let msg = Message::new(id, self.id as u32, Bytes::new());
         self.flood(&msg, None);
@@ -506,16 +937,43 @@ impl NodeRuntime {
 
     /// Removes `victim` from the overlay replica and applies the resulting
     /// churn: drop removed links, dial added ones. Idempotent per victim.
+    ///
+    /// When this crash pushes the suspect count to ≥ k, the node **stops
+    /// healing** and degrades instead: below the k−1 budget LHG guarantees
+    /// a consistent rebuild, above it a rebuild could partition the replica
+    /// set (e.g. on the minority side of a network split). Degraded nodes
+    /// keep probing every known member until joins bring the count back
+    /// within budget ([`Self::maybe_exit_degraded`]) or a membership sync
+    /// replaces their replica wholesale.
     fn apply_crash(&mut self, victim: MemberId) {
+        if victim == self.id {
+            return; // dead notices are handled before classification
+        }
         if !self.shared.crashes_applied.lock().insert(victim) {
             return;
         }
         self.metrics.counter("runtime.crashes_applied").inc();
+        // A fresh crash record must not inherit a prior observation run.
+        self.revenant_since.remove(&victim);
         if self.healing_since.is_none() {
             self.healing_since = Some(Instant::now());
             self.recorder.record(EventKind::HealBegin {
                 victim: victim as u32,
             });
+        }
+        let active = self.shared.crashes_applied.lock().len();
+        if active >= self.k {
+            if !self.shared.degraded.swap(true, Ordering::SeqCst) {
+                self.metrics.counter("runtime.degraded_entries").inc();
+                self.recorder.record(EventKind::Degraded {
+                    active: active as u32,
+                });
+                self.degraded_gauge().set(1);
+            }
+            self.drop_link(victim);
+            self.next_dial.remove(&victim);
+            self.reconcile();
+            return;
         }
         let churn = {
             let mut ov = self.shared.overlay.lock();
@@ -533,43 +991,131 @@ impl NodeRuntime {
         self.last_seen.remove(&victim);
         self.next_dial.remove(&victim);
         if let Some(report) = churn {
-            for peer in report.removed_for(self.id).collect::<Vec<_>>() {
-                self.drop_link(peer);
-                self.metrics.counter("runtime.links_dropped").inc();
-            }
-            for peer in report.added_for(self.id).collect::<Vec<_>>() {
-                if self.id < peer {
-                    self.dial(peer);
-                }
-            }
+            self.apply_churn(&report);
         }
         self.reconcile();
+    }
+
+    /// Leaves degraded mode once joins have brought the suspect count back
+    /// within the k−1 budget, then applies the heals deferred while the
+    /// budget was blown.
+    fn maybe_exit_degraded(&mut self) {
+        if !self.shared.is_degraded() {
+            return;
+        }
+        let remaining: Vec<MemberId> = self.shared.crashes_applied.lock().iter().copied().collect();
+        if remaining.len() >= self.k {
+            return;
+        }
+        self.shared.degraded.store(false, Ordering::SeqCst);
+        self.metrics.counter("runtime.degraded_exits").inc();
+        self.recorder.record(EventKind::DegradedExit);
+        self.degraded_gauge().set(0);
+        let churn = {
+            let mut ov = self.shared.overlay.lock();
+            let stale: Vec<MemberId> = remaining.into_iter().filter(|&m| ov.contains(m)).collect();
+            if stale.is_empty() {
+                None
+            } else {
+                ov.crash_many(&stale).ok()
+            }
+        };
+        if let Some(report) = churn {
+            self.apply_churn(&report);
+        }
+        self.reconcile();
+    }
+
+    /// Applies one churn report: drop removed links, dial added ones (on
+    /// the dialer side).
+    fn apply_churn(&mut self, report: &ChurnReport) {
+        for peer in report.removed_for(self.id).collect::<Vec<_>>() {
+            self.drop_link(peer);
+            self.metrics.counter("runtime.links_dropped").inc();
+        }
+        for peer in report.added_for(self.id).collect::<Vec<_>>() {
+            if self.id < peer {
+                self.dial(peer);
+            }
+        }
     }
 
     /// Converges connections toward the overlay's desired neighbor set:
     /// tears down links the dialer side no longer wants, dials missing ones
     /// (with backoff), and closes the healing stopwatch when done.
+    ///
+    /// While the node is repairing membership knowledge (degraded, waiting
+    /// on a sync, or holding an unannounced join) it probes **every** known
+    /// member instead — its notion of "desired" cannot be trusted, and any
+    /// live peer is a way back in.
     fn reconcile(&mut self) {
         let desired = self.shared.desired_neighbors();
         let crashed = self.shared.crashes_applied.lock().clone();
+        let probe_all =
+            self.shared.is_degraded() || self.pending_join_announce || self.awaiting_sync.is_some();
+        let now = Instant::now();
+        self.revenant_grace
+            .retain(|_, &mut deadline| now < deadline);
 
         // Teardown is dialer-driven so a link is never closed by a node
         // that merely hasn't healed yet; connections to crashed members go
-        // unconditionally.
+        // down too, unless the peer is a revenant mid-rejoin.
         let current: Vec<MemberId> = self.writers.keys().copied().collect();
         for peer in current {
-            if crashed.contains(&peer) || (self.id < peer && !desired.contains(&peer)) {
+            let revenant = self.revenant_grace.contains_key(&peer);
+            let unwanted = if crashed.contains(&peer) {
+                !probe_all && !revenant
+            } else {
+                !probe_all && self.id < peer && !desired.contains(&peer)
+            };
+            if unwanted {
                 self.drop_link(peer);
                 self.metrics.counter("runtime.links_dropped").inc();
             }
         }
 
-        let now = Instant::now();
-        for &peer in &desired {
-            if self.id < peer && !self.writers.contains_key(&peer) && !crashed.contains(&peer) {
-                let due = self.next_dial.get(&peer).is_none_or(|&t| now >= t);
-                if due {
-                    self.dial(peer);
+        let targets: Vec<MemberId> = if probe_all {
+            let dir = self.directory.read();
+            dir.keys().copied().filter(|&p| p != self.id).collect()
+        } else {
+            desired.iter().copied().collect()
+        };
+        for peer in targets {
+            if self.writers.contains_key(&peer) {
+                continue;
+            }
+            let may_dial = probe_all || (self.id < peer && !crashed.contains(&peer));
+            if !may_dial {
+                continue;
+            }
+            if self.next_dial.get(&peer).is_none_or(|&t| now >= t) {
+                self.dial(peer);
+            }
+        }
+
+        // Grave probing: periodically dial the members this replica
+        // believes crashed. A genuinely dead member refuses instantly and
+        // costs one backed-off connect; a live one is a stale exclusion
+        // this node might otherwise never learn about — e.g. a late first
+        // receipt of an old crash wave for a **non-neighbor**, where no
+        // link exists over which the usual dead-notice → `JOIN` repair
+        // could run. On contact, send the dead notice straight away: even
+        // if the probe link is torn down by the peer's own reconcile pass,
+        // a healthy peer answers with a flooded `JOIN` wave that reaches
+        // us through the mesh. (Degraded nodes already probe everything.)
+        if !probe_all {
+            for peer in crashed {
+                if self.writers.contains_key(&peer)
+                    || self.next_dial.get(&peer).is_some_and(|&t| now < t)
+                {
+                    continue;
+                }
+                self.dial(peer);
+                if self.writers.contains_key(&peer) {
+                    self.metrics.counter("runtime.grave_probes_hit").inc();
+                    self.revenant_grace
+                        .insert(peer, now + self.config.heartbeat_timeout);
+                    self.maybe_send_dead_notice(peer);
                 }
             }
         }
@@ -590,14 +1136,20 @@ impl NodeRuntime {
     }
 
     /// Dials `peer`, performs the hello handshake, and spawns its reader.
+    /// Fault-injected partitions block dialing too — a cut that only
+    /// dropped frames could be bypassed by reconnecting through it.
     fn dial(&mut self, peer: MemberId) {
+        if let Some(f) = self.config.faults.clone() {
+            if f.blocked(self.id as u32, peer as u32, f.elapsed_us()) {
+                self.dial_failed(peer);
+                return;
+            }
+        }
         let addr = self.directory.read().get(&peer).copied();
         let stream =
             addr.and_then(|a| TcpStream::connect_timeout(&a, self.config.dial_timeout).ok());
         let Some(mut stream) = stream else {
-            self.metrics.counter("runtime.dial_failures").inc();
-            self.next_dial
-                .insert(peer, Instant::now() + self.config.dial_backoff);
+            self.dial_failed(peer);
             return;
         };
         let _ = stream.set_nodelay(true);
@@ -605,23 +1157,54 @@ impl NodeRuntime {
         let reader = match write_frame(&mut stream, &hello).and(stream.try_clone()) {
             Ok(s) => s,
             Err(_) => {
-                self.metrics.counter("runtime.dial_failures").inc();
-                self.next_dial
-                    .insert(peer, Instant::now() + self.config.dial_backoff);
+                self.dial_failed(peer);
                 return;
             }
         };
         let tx = self.tx.clone();
+        let conn = self.conns.fetch_add(1, Ordering::Relaxed);
         std::thread::spawn(move || {
             let mut reader = reader;
-            reader_loop(peer, &mut reader, &tx);
+            reader_loop(peer, conn, &mut reader, &tx);
         });
-        self.writers.insert(peer, stream);
+        if let Some(old) = self.writers.insert(peer, stream) {
+            let _ = old.shutdown(Shutdown::Both);
+        }
+        self.conn_ids.insert(peer, conn);
         self.last_seen.insert(peer, Instant::now());
         self.next_dial.remove(&peer);
+        self.backoffs.remove(&peer);
         self.metrics.counter("runtime.dials").inc();
         self.recorder
             .record(EventKind::Connect { peer: peer as u32 });
+    }
+
+    /// Schedules the next dial attempt to `peer` on the jittered exponential
+    /// backoff. After `dial_max_attempts` consecutive failures the peer goes
+    /// on low-frequency probation instead — never permanent abandonment,
+    /// because a healed partition must eventually reconnect.
+    fn dial_failed(&mut self, peer: MemberId) {
+        self.metrics.counter("runtime.dial_failures").inc();
+        let policy = BackoffPolicy {
+            base: self.config.dial_backoff,
+            cap: self.config.dial_backoff_cap,
+            max_attempts: self.config.dial_max_attempts,
+        };
+        let backoff = self
+            .backoffs
+            .entry(peer)
+            .or_insert_with(|| Backoff::new(policy));
+        match backoff.next_delay(&mut self.rng) {
+            Some(delay) => {
+                self.next_dial.insert(peer, Instant::now() + delay);
+            }
+            None => {
+                backoff.reset();
+                self.metrics.counter("runtime.dial_probations").inc();
+                self.next_dial
+                    .insert(peer, Instant::now() + self.config.dial_backoff_cap * 8);
+            }
+        }
     }
 
     /// Closes and forgets the connection to `peer` (if any).
@@ -632,6 +1215,7 @@ impl NodeRuntime {
             self.recorder
                 .record(EventKind::Disconnect { peer: peer as u32 });
         }
+        self.conn_ids.remove(&peer);
         self.last_seen.remove(&peer);
     }
 }

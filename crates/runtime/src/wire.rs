@@ -3,14 +3,25 @@
 //! Everything on the wire is a [`lhg_net::message::Message`] inside a
 //! length-prefixed frame ([`lhg_net::codec`]). The `broadcast_id` carries a
 //! tag in its upper bits that distinguishes control frames from application
-//! data; the member id a control frame refers to sits in the low 32 bits.
+//! data; the member id a control frame refers to sits in the low 25 bits,
+//! and flooded control waves (crash, join) carry a 32-bit **wave nonce** in
+//! bits 25..57 so every wave gets a fresh id.
+//!
+//! The nonce is what makes crash/join gossip safe to deduplicate forever:
+//! a re-crash or re-join floods under a *new* id, so stale copies of an
+//! old wave still circulating in socket buffers can never be mistaken for
+//! news. (With fixed per-member ids, re-arming the dedup entry on each
+//! membership flip let an old crash wave and an old join wave chase each
+//! other through the mesh indefinitely — a churn livelock.)
 //!
 //! Application data ids come from [`lhg_net::fifo::fifo_id`] (origin id in
 //! bits 32..64). Loopback clusters have tiny member ids, so bits 57+ are
 //! never set by data traffic; [`crate::Cluster`] enforces the ceiling at
 //! launch ([`MAX_MEMBERS`]).
 
-use lhg_core::overlay::MemberId;
+use bytes::{BufMut, Bytes, BytesMut};
+use lhg_core::overlay::{DynamicOverlay, MemberId};
+use lhg_core::Constraint;
 
 /// Tag bit of a handshake frame: the first frame a dialer sends, announcing
 /// its member id so the acceptor can key the connection.
@@ -18,16 +29,27 @@ pub const HELLO_TAG: u64 = 1 << 57;
 /// Tag bit of a point-to-point liveness probe. Never forwarded, never
 /// deduplicated (the same id repeats every period).
 pub const HEARTBEAT_TAG: u64 = 1 << 58;
-/// Tag bit of a flooded crash announcement. One id per crashed member, so
-/// announcements from independent detectors deduplicate into one wave.
+/// Tag bit of a flooded crash announcement: the member in the low bits
+/// crashed. Each detection floods under a fresh wave nonce; applying a
+/// crash is idempotent, so concurrent detectors' waves coexist harmlessly.
 pub const CRASH_TAG: u64 = 1 << 59;
+/// Tag bit of a flooded (re)join announcement: the member in the low bits
+/// is (back) in the overlay and every replica must admit it.
+pub const JOIN_TAG: u64 = 1 << 60;
+/// Tag bit of the membership-sync handshake. An empty payload is a request
+/// (from a node that learned it was excommunicated); a non-empty payload is
+/// the serving replica's snapshot ([`encode_membership`]).
+pub const SYNC_TAG: u64 = 1 << 61;
 
-const TAG_MASK: u64 = HELLO_TAG | HEARTBEAT_TAG | CRASH_TAG;
-const MEMBER_MASK: u64 = u32::MAX as u64;
+const TAG_MASK: u64 = HELLO_TAG | HEARTBEAT_TAG | CRASH_TAG | JOIN_TAG | SYNC_TAG;
 
 /// Largest member id representable in a tagged frame without colliding with
-/// the tag bits (also bounds `fifo_id` origins well below bit 57).
+/// the wave-nonce bits (also bounds `fifo_id` origins well below bit 57).
 pub const MAX_MEMBERS: u64 = 1 << 25;
+
+const MEMBER_MASK: u64 = MAX_MEMBERS - 1;
+/// Wave nonces sit between the member id and the tag bits: 32 bits wide.
+const NONCE_SHIFT: u64 = 25;
 
 /// What a received frame is, according to its tagged `broadcast_id`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -38,6 +60,11 @@ pub enum FrameKind {
     Heartbeat(MemberId),
     /// Announcement that the given member crashed.
     Crash(MemberId),
+    /// Flooded announcement that the given member (re)joined.
+    Join(MemberId),
+    /// Membership sync frame from the given member: request when the
+    /// payload is empty, snapshot reply otherwise.
+    Sync(MemberId),
     /// Application broadcast data.
     Data,
 }
@@ -50,6 +77,8 @@ pub fn classify(broadcast_id: u64) -> FrameKind {
         HELLO_TAG => FrameKind::Hello(member),
         HEARTBEAT_TAG => FrameKind::Heartbeat(member),
         CRASH_TAG => FrameKind::Crash(member),
+        JOIN_TAG => FrameKind::Join(member),
+        SYNC_TAG => FrameKind::Sync(member),
         _ => FrameKind::Data,
     }
 }
@@ -68,11 +97,80 @@ pub fn heartbeat_id(member: MemberId) -> u64 {
     HEARTBEAT_TAG | member
 }
 
-/// Broadcast id announcing that `member` crashed.
+/// Broadcast id of one crash-announcement wave for `member`. The `nonce`
+/// makes the wave's id unique, so dedup state never needs re-arming: a
+/// later re-crash floods under a different id.
 #[must_use]
-pub fn crash_id(member: MemberId) -> u64 {
+pub fn crash_id(member: MemberId, nonce: u32) -> u64 {
     debug_assert!(member < MAX_MEMBERS);
-    CRASH_TAG | member
+    CRASH_TAG | (u64::from(nonce) << NONCE_SHIFT) | member
+}
+
+/// Broadcast id of one (re)join-announcement wave for `member`; `nonce` as
+/// in [`crash_id`].
+#[must_use]
+pub fn join_id(member: MemberId, nonce: u32) -> u64 {
+    debug_assert!(member < MAX_MEMBERS);
+    JOIN_TAG | (u64::from(nonce) << NONCE_SHIFT) | member
+}
+
+/// Broadcast id of a membership-sync frame sent by `member`.
+#[must_use]
+pub fn sync_id(member: MemberId) -> u64 {
+    debug_assert!(member < MAX_MEMBERS);
+    SYNC_TAG | member
+}
+
+/// `true` for ids whose tag marks runtime control traffic (as opposed to
+/// application data from [`lhg_net::fifo::fifo_id`]).
+#[must_use]
+pub fn is_control_id(broadcast_id: u64) -> bool {
+    broadcast_id & TAG_MASK != 0
+}
+
+/// Serializes an overlay's membership for a sync reply: constraint code,
+/// k, member count, then the member ids **in the serving replica's order**
+/// so [`lhg_core::overlay::DynamicOverlay::from_parts`] reproduces the
+/// identical graph-position mapping.
+#[must_use]
+pub fn encode_membership(overlay: &DynamicOverlay) -> Bytes {
+    let members = overlay.members();
+    let mut buf = BytesMut::with_capacity(2 + 4 + members.len() * 8);
+    buf.put_u8(match overlay.constraint() {
+        Constraint::KTree => 0,
+        Constraint::KDiamond => 1,
+        Constraint::Jd => 2,
+    });
+    buf.put_u8(overlay.k() as u8);
+    buf.put_u32(members.len() as u32);
+    for &m in members {
+        buf.put_u64(m);
+    }
+    buf.freeze()
+}
+
+/// Parses an [`encode_membership`] payload; `None` on any malformation.
+#[must_use]
+pub fn decode_membership(payload: &Bytes) -> Option<(Constraint, usize, Vec<MemberId>)> {
+    let b = payload.as_ref();
+    if b.len() < 6 {
+        return None;
+    }
+    let constraint = match b[0] {
+        0 => Constraint::KTree,
+        1 => Constraint::KDiamond,
+        2 => Constraint::Jd,
+        _ => return None,
+    };
+    let k = b[1] as usize;
+    let count = u32::from_be_bytes(b[2..6].try_into().ok()?) as usize;
+    if b.len() != 6 + count * 8 {
+        return None;
+    }
+    let members = (0..count)
+        .map(|i| u64::from_be_bytes(b[6 + i * 8..14 + i * 8].try_into().unwrap()))
+        .collect();
+    Some((constraint, k, members))
 }
 
 #[cfg(test)]
@@ -84,7 +182,9 @@ mod tests {
     fn tags_round_trip_through_classify() {
         assert_eq!(classify(hello_id(7)), FrameKind::Hello(7));
         assert_eq!(classify(heartbeat_id(0)), FrameKind::Heartbeat(0));
-        assert_eq!(classify(crash_id(11)), FrameKind::Crash(11));
+        assert_eq!(classify(crash_id(11, 0)), FrameKind::Crash(11));
+        assert_eq!(classify(join_id(5, 0)), FrameKind::Join(5));
+        assert_eq!(classify(sync_id(3)), FrameKind::Sync(3));
     }
 
     #[test]
@@ -92,12 +192,56 @@ mod tests {
         let id = fifo_id((MAX_MEMBERS - 1) as u32, u32::MAX);
         assert_eq!(classify(id), FrameKind::Data);
         assert_eq!(classify(0), FrameKind::Data);
+        assert!(!is_control_id(id));
+        assert!(is_control_id(join_id(0, 0)));
+        assert!(is_control_id(crash_id(0, 0)));
     }
 
     #[test]
     fn distinct_members_get_distinct_control_ids() {
-        assert_ne!(crash_id(1), crash_id(2));
-        assert_ne!(crash_id(1), heartbeat_id(1));
+        assert_ne!(crash_id(1, 0), crash_id(2, 0));
+        assert_ne!(crash_id(1, 0), heartbeat_id(1));
         assert_ne!(heartbeat_id(1), hello_id(1));
+        assert_ne!(join_id(1, 0), crash_id(1, 0));
+        assert_ne!(sync_id(1), join_id(1, 0));
+    }
+
+    #[test]
+    fn wave_nonces_make_fresh_ids_that_classify_identically() {
+        // Distinct waves for the same member never collide (stale-copy
+        // immunity) and never leak into the member or tag bits.
+        assert_ne!(crash_id(4, 1), crash_id(4, 2));
+        assert_ne!(join_id(4, 1), join_id(4, 2));
+        assert_eq!(classify(crash_id(4, u32::MAX)), FrameKind::Crash(4));
+        assert_eq!(
+            classify(join_id((MAX_MEMBERS - 1) as MemberId, u32::MAX)),
+            FrameKind::Join((MAX_MEMBERS - 1) as MemberId)
+        );
+    }
+
+    #[test]
+    fn membership_codec_round_trips() {
+        use lhg_core::overlay::DynamicOverlay;
+        use lhg_core::Constraint;
+
+        let mut o = DynamicOverlay::bootstrap(Constraint::KDiamond, 12, 3).unwrap();
+        let _ = o.crash_many(&[2, 9]).unwrap();
+        let payload = encode_membership(&o);
+        let (constraint, k, members) = decode_membership(&payload).unwrap();
+        assert_eq!(constraint, Constraint::KDiamond);
+        assert_eq!(k, 3);
+        assert_eq!(members, o.members());
+        let replica = DynamicOverlay::from_parts(constraint, k, members).unwrap();
+        assert_eq!(replica.links(), o.links());
+    }
+
+    #[test]
+    fn membership_decode_rejects_malformed_payloads() {
+        use bytes::Bytes;
+
+        assert!(decode_membership(&Bytes::new()).is_none());
+        assert!(decode_membership(&Bytes::from_static(&[9, 3, 0, 0, 0, 0])).is_none());
+        // Truncated member list.
+        assert!(decode_membership(&Bytes::from_static(&[0, 3, 0, 0, 0, 2, 0, 0])).is_none());
     }
 }

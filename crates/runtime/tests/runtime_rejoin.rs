@@ -1,0 +1,102 @@
+//! Fail-stop, heal, rejoin: a killed node restarts, re-dials, is
+//! re-admitted by the survivors, and delivers subsequent broadcasts —
+//! the end-to-end crash-recovery story over real sockets.
+
+use std::collections::HashSet;
+use std::time::Duration;
+
+use bytes::Bytes;
+use lhg_core::overlay::MemberId;
+use lhg_core::Constraint;
+use lhg_runtime::{Cluster, ClusterError, RuntimeConfig};
+
+const N: usize = 10;
+const K: usize = 3;
+const VICTIM: MemberId = 9;
+
+fn fast_config() -> RuntimeConfig {
+    RuntimeConfig {
+        heartbeat_period: Duration::from_millis(10),
+        heartbeat_timeout: Duration::from_millis(250),
+        dial_backoff: Duration::from_millis(5),
+        dial_backoff_cap: Duration::from_millis(80),
+        dial_timeout: Duration::from_millis(100),
+        tick: Duration::from_millis(2),
+        launch_timeout: Duration::from_secs(10),
+        ..RuntimeConfig::default()
+    }
+}
+
+#[test]
+fn killed_node_rejoins_and_delivers_broadcasts() {
+    let mut c = Cluster::launch(Constraint::KDiamond, N, K, fast_config())
+        .expect("cluster boots and fully connects");
+
+    // Phase 1: baseline broadcast over the intact overlay.
+    let id1 = c
+        .broadcast(0, Bytes::from_static(b"all ten alive"))
+        .expect("origin is alive");
+    assert!(
+        c.await_delivery(id1, Duration::from_secs(10)),
+        "all 10 nodes deliver"
+    );
+
+    // Phase 2: fail-stop one node; killing it again is a distinct error.
+    c.kill(VICTIM).expect("victim was alive");
+    assert!(matches!(
+        c.kill(VICTIM),
+        Err(ClusterError::AlreadyKilled(VICTIM))
+    ));
+    assert!(
+        c.await_heal(Duration::from_secs(15)),
+        "survivors excommunicate the victim and heal to n=9"
+    );
+    let id2 = c
+        .broadcast(0, Bytes::from_static(b"nine survivors"))
+        .expect("origin is alive");
+    assert!(
+        c.await_delivery(id2, Duration::from_secs(10)),
+        "all 9 survivors deliver"
+    );
+
+    // Phase 3: the victim rejoins — fresh port, JOIN announcement, and the
+    // survivors re-admit it at the original membership slot.
+    c.rejoin(VICTIM).expect("victim restarts");
+    assert!(
+        c.await_heal(Duration::from_secs(15)),
+        "every replica, including the revenant's, converges back to n=10"
+    );
+    assert!(c.overlays_agree(), "replicas agree after the rejoin");
+
+    // Phase 4: broadcasts now span the revenant — both as a receiver and
+    // as an origin.
+    let id3 = c
+        .broadcast(0, Bytes::from_static(b"welcome back"))
+        .expect("origin is alive");
+    assert!(
+        c.await_delivery(id3, Duration::from_secs(10)),
+        "all 10 nodes, revenant included, deliver"
+    );
+    assert!(
+        c.delivered_ids(VICTIM).contains(&id3),
+        "the revenant delivered the post-rejoin broadcast"
+    );
+    let id4 = c
+        .broadcast(VICTIM, Bytes::from_static(b"revenant speaks"))
+        .expect("revenant originates");
+    assert!(
+        c.await_delivery(id4, Duration::from_secs(10)),
+        "a revenant-originated broadcast reaches everyone"
+    );
+
+    // The revenant never saw the broadcast sent while it was dead, and no
+    // node delivered anything twice across the kill/rejoin cycle.
+    assert!(!c.delivered_ids(VICTIM).contains(&id2));
+    for m in c.members() {
+        let ids = c.delivered_ids(m);
+        let unique: HashSet<u64> = ids.iter().copied().collect();
+        assert_eq!(unique.len(), ids.len(), "node {m} double-delivered");
+    }
+
+    c.shutdown();
+}

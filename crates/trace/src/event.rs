@@ -87,6 +87,32 @@ pub enum EventKind {
         /// Hops the winning copy travelled.
         hops: u32,
     },
+    /// `member` announced itself (back) into the overlay; this node
+    /// admitted it and is flooding the join onward.
+    JoinAnnounce {
+        /// The joining member.
+        member: u32,
+    },
+    /// Suspected failures exceeded k−1: the node stopped healing and
+    /// entered degraded mode with `active` suspected crashes outstanding.
+    Degraded {
+        /// Suspected crash count when degradation began.
+        active: u32,
+    },
+    /// Suspected failures fell back within the k−1 budget; normal healing
+    /// resumed.
+    DegradedExit,
+    /// This node rebuilt its overlay from a membership sync served by
+    /// `via` and re-admitted itself (the rejoin handshake).
+    SyncRejoin {
+        /// The member that served the membership snapshot.
+        via: u32,
+    },
+    /// Fault injection removed an outbound frame to `peer` (chaos runs).
+    FaultDrop {
+        /// The intended recipient.
+        peer: u32,
+    },
 }
 
 impl EventKind {
@@ -106,6 +132,11 @@ impl EventKind {
             EventKind::BroadcastAccept { .. } => "broadcast_accept",
             EventKind::BroadcastForward { .. } => "broadcast_forward",
             EventKind::BroadcastDeliver { .. } => "broadcast_deliver",
+            EventKind::JoinAnnounce { .. } => "join_announce",
+            EventKind::Degraded { .. } => "degraded",
+            EventKind::DegradedExit => "degraded_exit",
+            EventKind::SyncRejoin { .. } => "sync_rejoin",
+            EventKind::FaultDrop { .. } => "fault_drop",
         }
     }
 
@@ -115,7 +146,10 @@ impl EventKind {
     pub fn is_traffic(&self) -> bool {
         matches!(
             self,
-            EventKind::FrameTx { .. } | EventKind::FrameRx { .. } | EventKind::Heartbeat { .. }
+            EventKind::FrameTx { .. }
+                | EventKind::FrameRx { .. }
+                | EventKind::Heartbeat { .. }
+                | EventKind::FaultDrop { .. }
         )
     }
 
@@ -148,6 +182,11 @@ impl EventKind {
                 ("from", u64::from(from)),
                 ("hops", u64::from(hops)),
             ],
+            EventKind::JoinAnnounce { member } => vec![("member", u64::from(member))],
+            EventKind::Degraded { active } => vec![("active", u64::from(active))],
+            EventKind::DegradedExit => Vec::new(),
+            EventKind::SyncRejoin { via } => vec![("via", u64::from(via))],
+            EventKind::FaultDrop { peer } => vec![("peer", u64::from(peer))],
         }
     }
 }
@@ -227,6 +266,11 @@ mod tests {
                 from: 2,
                 hops: 3,
             },
+            EventKind::JoinAnnounce { member: 4 },
+            EventKind::Degraded { active: 3 },
+            EventKind::DegradedExit,
+            EventKind::SyncRejoin { via: 2 },
+            EventKind::FaultDrop { peer: 6 },
         ];
         for k in kinds {
             assert!(!k.name().is_empty());
@@ -240,6 +284,10 @@ mod tests {
         assert!(EventKind::Heartbeat { peer: 0 }.is_traffic());
         assert!(!EventKind::Suspicion { peer: 0 }.is_traffic());
         assert!(!EventKind::BroadcastAccept { trace_id: 0 }.is_traffic());
+        assert!(EventKind::FaultDrop { peer: 0 }.is_traffic());
+        assert!(!EventKind::Degraded { active: 2 }.is_traffic());
+        assert!(!EventKind::SyncRejoin { via: 1 }.is_traffic());
+        assert!(!EventKind::JoinAnnounce { member: 1 }.is_traffic());
     }
 
     #[test]

@@ -20,7 +20,10 @@
 //!   broadcast over LHG overlays;
 //! * [`trace`] — observability: per-node flight recorders (structured
 //!   lifecycle events, JSONL timelines) and causal broadcast tracing
-//!   (realized dissemination trees checked against the O(log n) bound).
+//!   (realized dissemination trees checked against the O(log n) bound);
+//! * [`chaos`] — deterministic chaos engine: seeded fault plans (loss,
+//!   duplication, reordering, partitions, crash/rejoin schedules) executed
+//!   on the simulator and the TCP runtime under an invariant oracle.
 //!
 //! # Quickstart
 //!
@@ -50,6 +53,7 @@
 #![warn(missing_docs)]
 
 pub use lhg_baselines as baselines;
+pub use lhg_chaos as chaos;
 pub use lhg_core as core;
 pub use lhg_flood as flood;
 pub use lhg_graph as graph;
