@@ -30,4 +30,4 @@ pub mod runner;
 
 pub use oracle::{ChaosReport, Engine, Violation};
 pub use plan::{BroadcastSpec, CrashSpec, Family, FaultPlan, PartitionSpec};
-pub use runner::{run_sim_chaos, run_suite, run_tcp_chaos, SuiteOutcome};
+pub use runner::{run_sim_chaos, run_suite, run_suite_filtered, run_tcp_chaos, SuiteOutcome};

@@ -1,11 +1,14 @@
 //! Invariants checked against a chaos run, and the report they produce.
 //!
-//! The oracle is deliberately conservative: it only asserts properties the
-//! paper's failure model actually guarantees. Strict delivery ("every
-//! correct node delivers every broadcast from a correct origin") is
-//! demanded only for *lossless* plans — with message loss and no
-//! retransmission layer, best-effort flooding cannot promise delivery, so
-//! lossy runs are held to termination, dedup, and convergence instead.
+//! The oracle asserts exactly what the stack promises — and since the
+//! reliable link layer ([`lhg_net::reliable`]: per-link ack/retransmit
+//! plus anti-entropy repair) sits under flooding on both engines, that
+//! promise includes **strict exactly-once delivery on lossy runs**: every
+//! correct node delivers every broadcast from a correct origin, whether
+//! links are clean, dropping two frames in five, duplicating, or
+//! reordering. There is no lossless-only carve-out; loss costs latency,
+//! never delivery. Termination, dedup, hop-sanity, and convergence checks
+//! apply to every family on top.
 
 use std::fmt;
 
@@ -15,7 +18,8 @@ use crate::plan::Family;
 #[derive(Debug, Clone, PartialEq)]
 pub enum Violation {
     /// A correct node failed to deliver a broadcast from a correct origin
-    /// on a lossless run.
+    /// — on any run, lossy ones included (the reliable layer must repair
+    /// loss).
     DeliveryMissed {
         /// Broadcast id that went missing.
         broadcast_id: u64,
@@ -142,6 +146,46 @@ impl ChaosReport {
         self.violations.is_empty()
     }
 
+    /// One JSON object per run, for machine consumption (`lhg chaos
+    /// --json`). Hand-rolled — the chaos crate carries no JSON dependency
+    /// — so the schema is fixed here: scalar run coordinates, a `passed`
+    /// flag, and the violations as rendered strings.
+    #[must_use]
+    pub fn to_json_line(&self) -> String {
+        let mut out = String::with_capacity(160);
+        out.push_str(&format!(
+            "{{\"seed\":{},\"engine\":\"{}\",\"family\":\"{}\",\"n\":{},\"k\":{},\
+             \"passed\":{},\"end_time_us\":{},\"deliveries\":{},\"violations\":[",
+            self.seed,
+            self.engine,
+            self.family.name(),
+            self.n,
+            self.k,
+            self.passed(),
+            self.end_time_us,
+            self.deliveries,
+        ));
+        for (i, v) in self.violations.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('"');
+            for c in v.to_string().chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    '\t' => out.push_str("\\t"),
+                    c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                    c => out.push(c),
+                }
+            }
+            out.push('"');
+        }
+        out.push_str("]}");
+        out
+    }
+
     /// One-line summary for the chaos runner's console output.
     #[must_use]
     pub fn summary(&self) -> String {
@@ -197,5 +241,34 @@ mod tests {
         r.violations.push(Violation::NotKConnected { crashed: 2 });
         assert!(!r.passed());
         assert!(r.summary().contains("FAILED"));
+    }
+
+    #[test]
+    fn json_line_is_well_formed() {
+        let mut r = ChaosReport {
+            seed: 7,
+            engine: Engine::Tcp,
+            family: Family::Lossy,
+            n: 10,
+            k: 4,
+            violations: Vec::new(),
+            end_time_us: 2_500,
+            deliveries: 30,
+            events_jsonl: None,
+        };
+        let line = r.to_json_line();
+        assert_eq!(
+            line,
+            "{\"seed\":7,\"engine\":\"tcp\",\"family\":\"lossy\",\"n\":10,\"k\":4,\
+             \"passed\":true,\"end_time_us\":2500,\"deliveries\":30,\"violations\":[]}"
+        );
+        r.violations.push(Violation::ReplicaDivergence {
+            node: 2,
+            detail: "said \"no\"".into(),
+        });
+        let line = r.to_json_line();
+        assert!(line.contains("\"passed\":false"));
+        assert!(line.contains("said \\\"no\\\""), "escaping: {line}");
+        assert!(!line.contains('\n'));
     }
 }

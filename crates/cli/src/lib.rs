@@ -151,7 +151,8 @@ USAGE:
   lhg census   --k K [--max-n N]
   lhg cluster  --nodes N --k K [--kill F] [--constraint ktree|kdiamond|jd] [--metrics full|summary|off]
   lhg observe  --nodes N --k K [--kill F] [--broadcasts B] [--constraint C] [--format human|json] [--events PATH]
-  lhg chaos    [--seeds N] [--seed BASE] [--engine sim|tcp|both] [--quick] [--events PATH]
+  lhg chaos    [--seeds N] [--seed BASE] [--engine sim|tcp|both] [--family crash|partition|lossy]
+               [--quick] [--events PATH] [--json PATH]
   lhg help
 ";
 
@@ -354,13 +355,27 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
                     )))
                 }
             };
+            let family = match opts.flags.get("family").map(String::as_str) {
+                None => None,
+                Some("crash") => Some(lhg_chaos::Family::Crash),
+                Some("partition") => Some(lhg_chaos::Family::Partition),
+                Some("lossy") => Some(lhg_chaos::Family::Lossy),
+                Some(other) => {
+                    return Err(err(format!(
+                        "unknown family {other:?} (expected crash, partition or lossy)"
+                    )))
+                }
+            };
             let events_path = opts.flags.get("events").cloned();
+            let json_path = opts.flags.get("json").cloned();
             run_chaos(
                 &engines,
                 base_seed,
                 seeds,
                 quick,
+                family,
                 events_path.as_deref(),
+                json_path.as_deref(),
                 out,
             )
         }
@@ -368,31 +383,46 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     }
 }
 
-/// Drives one `lhg chaos` sweep: `seeds` consecutive fault plans starting
-/// at `base_seed`, each executed on every requested engine under the
-/// invariant oracle. Prints one summary line per run; on any violation it
-/// lists the details, dumps the captured event timeline to `--events` (when
-/// given), and fails with the exact command line that reproduces the first
-/// failing run.
+/// Drives one `lhg chaos` sweep: `seeds` fault plans starting at
+/// `base_seed` (consecutive, or — with `--family` — scanning upward for
+/// seeds of that family), each executed on every requested engine under
+/// the invariant oracle. Prints one summary line per run; `--json PATH`
+/// additionally writes one machine-readable JSON object per run (JSONL).
+/// On any violation it lists the details, dumps the captured event
+/// timeline to `--events` (when given), and fails with the exact command
+/// line that reproduces the first failing run.
+#[allow(clippy::too_many_arguments)]
 fn run_chaos(
     engines: &[lhg_chaos::Engine],
     base_seed: u64,
     seeds: u64,
     quick: bool,
+    family: Option<lhg_chaos::Family>,
     events_path: Option<&str>,
+    json_path: Option<&str>,
     out: &mut dyn Write,
 ) -> Result<(), CliError> {
     let io_err = |e: std::io::Error| err(format!("write failed: {e}"));
     let mut write_err: Option<std::io::Error> = None;
-    let outcome = lhg_chaos::run_suite(engines, base_seed, seeds, quick, |report| {
-        if write_err.is_none() {
-            if let Err(e) = writeln!(out, "{}", report.summary()) {
-                write_err = Some(e);
+    let mut json_lines = String::new();
+    let outcome =
+        lhg_chaos::run_suite_filtered(engines, base_seed, seeds, quick, family, |report| {
+            if json_path.is_some() {
+                json_lines.push_str(&report.to_json_line());
+                json_lines.push('\n');
             }
-        }
-    });
+            if write_err.is_none() {
+                if let Err(e) = writeln!(out, "{}", report.summary()) {
+                    write_err = Some(e);
+                }
+            }
+        });
     if let Some(e) = write_err {
         return Err(io_err(e));
+    }
+    if let Some(path) = json_path {
+        std::fs::write(path, &json_lines).map_err(|e| err(format!("cannot write {path}: {e}")))?;
+        writeln!(out, "per-run JSON summaries written to {path}").map_err(io_err)?;
     }
 
     if outcome.passed() {
@@ -1002,6 +1032,42 @@ mod tests {
         assert!(e.message.contains("unknown engine"), "{e}");
         let e = run_to_string(&["chaos", "--seeds", "0"]).unwrap_err();
         assert!(e.message.contains("at least 1"), "{e}");
+        let e = run_to_string(&["chaos", "--family", "cosmic-rays"]).unwrap_err();
+        assert!(e.message.contains("unknown family"), "{e}");
+    }
+
+    #[test]
+    fn chaos_family_filter_runs_only_that_family() {
+        let out = run_to_string(&[
+            "chaos", "--seeds", "2", "--engine", "sim", "--family", "lossy", "--quick",
+        ])
+        .unwrap();
+        assert_eq!(out.matches("family=lossy").count(), 2, "{out}");
+        assert!(!out.contains("family=crash"), "{out}");
+        assert!(!out.contains("family=partition"), "{out}");
+        assert!(out.contains("all 2 run(s) over 2 seed(s) passed"), "{out}");
+    }
+
+    #[test]
+    fn chaos_json_writes_one_object_per_run() {
+        let path =
+            std::env::temp_dir().join(format!("lhg-chaos-json-{}.jsonl", std::process::id()));
+        let path_str = path.to_str().unwrap().to_string();
+        let out = run_to_string(&[
+            "chaos", "--seeds", "2", "--engine", "sim", "--quick", "--json", &path_str,
+        ])
+        .unwrap();
+        assert!(out.contains("JSON summaries written"), "{out}");
+        let body = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        let lines: Vec<&str> = body.lines().collect();
+        assert_eq!(lines.len(), 2, "{body}");
+        for line in lines {
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+            assert!(line.contains("\"engine\":\"sim\""), "{line}");
+            assert!(line.contains("\"passed\":true"), "{line}");
+            assert!(line.contains("\"violations\":[]"), "{line}");
+        }
     }
 
     #[test]

@@ -6,8 +6,16 @@
 //! retry in lockstep. After `max_attempts` consecutive failures
 //! [`Backoff::next_delay`] returns `None`, letting the caller switch to a
 //! low-frequency probation probe instead of hammering a dead peer.
+//!
+//! A successful connection does **not** clear the failure streak by itself:
+//! a flapping peer that accepts the handshake and dies a moment later would
+//! otherwise reset the schedule to the base rung on every flap, turning the
+//! exponential backoff into a fixed-rate hammer. Instead the caller reports
+//! [`Backoff::connected`] / [`Backoff::disconnected`] transitions, and
+//! [`Backoff::maybe_reset`] clears the streak only after the link has been
+//! continuously healthy for a full [`BackoffPolicy::probation_window`].
 
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use rand::rngs::StdRng;
 use rand::Rng;
@@ -21,6 +29,10 @@ pub struct BackoffPolicy {
     pub cap: Duration,
     /// Consecutive failures after which `next_delay` returns `None`.
     pub max_attempts: u32,
+    /// How long a connection must stay continuously healthy before
+    /// [`Backoff::maybe_reset`] clears the failure streak. A single
+    /// successful dial inside this window keeps the escalated schedule.
+    pub probation_window: Duration,
 }
 
 impl Default for BackoffPolicy {
@@ -29,6 +41,7 @@ impl Default for BackoffPolicy {
             base: Duration::from_millis(10),
             cap: Duration::from_millis(500),
             max_attempts: 10,
+            probation_window: Duration::from_secs(2),
         }
     }
 }
@@ -38,6 +51,8 @@ impl Default for BackoffPolicy {
 pub struct Backoff {
     policy: BackoffPolicy,
     attempts: u32,
+    /// When the current unbroken healthy stretch began, if connected.
+    healthy_since: Option<Instant>,
 }
 
 impl Backoff {
@@ -46,6 +61,7 @@ impl Backoff {
         Backoff {
             policy,
             attempts: 0,
+            healthy_since: None,
         }
     }
 
@@ -56,6 +72,7 @@ impl Backoff {
     /// `min(base * 2^(i-1), cap)`; the returned delay is uniform in
     /// `[delay/2, delay]`.
     pub fn next_delay(&mut self, rng: &mut StdRng) -> Option<Duration> {
+        self.healthy_since = None; // a failure breaks any healthy stretch
         if self.attempts >= self.policy.max_attempts {
             return None;
         }
@@ -75,9 +92,39 @@ impl Backoff {
         Some(Duration::from_micros(jittered))
     }
 
-    /// Clears the failure streak after a successful connection.
+    /// Clears the failure streak unconditionally. Callers that want the
+    /// flap-resistant behaviour should report [`Backoff::connected`] and
+    /// poll [`Backoff::maybe_reset`] instead.
     pub fn reset(&mut self) {
         self.attempts = 0;
+        self.healthy_since = None;
+    }
+
+    /// Marks the link healthy as of `now`. An already-running healthy
+    /// stretch is preserved (reconnection bookkeeping may report the same
+    /// connection more than once).
+    pub fn connected(&mut self, now: Instant) {
+        self.healthy_since.get_or_insert(now);
+    }
+
+    /// Marks the link down: any healthy stretch in progress is voided, so
+    /// the escalated schedule survives a connect-then-die flap even if the
+    /// teardown is noticed before the next dial failure.
+    pub fn disconnected(&mut self) {
+        self.healthy_since = None;
+    }
+
+    /// Clears the failure streak — and returns `true` — only once the link
+    /// has been continuously healthy for the policy's probation window.
+    /// Until then the escalated delay schedule stays in force.
+    pub fn maybe_reset(&mut self, now: Instant) -> bool {
+        let earned = self
+            .healthy_since
+            .is_some_and(|t| now.duration_since(t) >= self.policy.probation_window);
+        if earned {
+            self.reset();
+        }
+        earned
     }
 
     /// Consecutive failures recorded since the last reset.
@@ -101,6 +148,7 @@ mod tests {
             base: Duration::from_millis(10),
             cap: Duration::from_millis(160),
             max_attempts: 6,
+            probation_window: Duration::from_millis(500),
         }
     }
 
@@ -162,6 +210,67 @@ mod tests {
             out
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn single_dial_success_does_not_reset_the_schedule() {
+        // Regression: a flapping peer used to get the base delay back after
+        // every momentary connect, defeating the exponential schedule.
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut b = Backoff::new(policy());
+        for _ in 0..4 {
+            b.next_delay(&mut rng);
+        }
+        assert_eq!(b.attempts(), 4);
+        let t0 = Instant::now();
+        b.connected(t0);
+        assert!(
+            !b.maybe_reset(t0 + Duration::from_millis(100)),
+            "inside the probation window the streak must survive"
+        );
+        assert_eq!(b.attempts(), 4);
+        // The flap: next failure continues on the escalated rung (attempt 5
+        // → pre-jitter 160ms, far above the 10ms base).
+        let d = b.next_delay(&mut rng).unwrap();
+        assert!(
+            d >= Duration::from_millis(80),
+            "delay {d:?} fell back toward the base rung after one flap"
+        );
+    }
+
+    #[test]
+    fn full_probation_window_earns_the_reset() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut b = Backoff::new(policy());
+        for _ in 0..5 {
+            b.next_delay(&mut rng);
+        }
+        let t0 = Instant::now();
+        b.connected(t0);
+        // connected() again mid-window must not restart the stretch.
+        b.connected(t0 + Duration::from_millis(400));
+        assert!(b.maybe_reset(t0 + Duration::from_millis(500)));
+        assert_eq!(b.attempts(), 0);
+        let d = b.next_delay(&mut rng).unwrap();
+        assert!(d <= Duration::from_millis(10), "back to the base rung");
+    }
+
+    #[test]
+    fn disconnect_voids_the_healthy_stretch() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut b = Backoff::new(policy());
+        b.next_delay(&mut rng);
+        let t0 = Instant::now();
+        b.connected(t0);
+        b.disconnected();
+        assert!(
+            !b.maybe_reset(t0 + Duration::from_secs(10)),
+            "a voided stretch never earns the reset, however much time passes"
+        );
+        // Reconnecting starts a fresh stretch from its own instant.
+        b.connected(t0 + Duration::from_secs(10));
+        assert!(!b.maybe_reset(t0 + Duration::from_secs(10) + Duration::from_millis(499)));
+        assert!(b.maybe_reset(t0 + Duration::from_secs(10) + Duration::from_millis(500)));
     }
 
     #[test]

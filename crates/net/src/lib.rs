@@ -17,6 +17,10 @@
 //!   ([`sim::Simulation`], the [`sim::Process`] trait);
 //! * [`broadcast`] — flooding reliable broadcast as a process
 //!   ([`broadcast::FloodProcess`], [`broadcast::run_overlay_broadcast`]);
+//! * [`reliable`] — per-link reliability (sequence numbers, cumulative
+//!   ack + selective NACK, retransmit-on-timeout, backpressure) and
+//!   anti-entropy summaries, so flooding's delivery guarantee survives
+//!   lossy links ([`reliable::LinkSender`], [`reliable::ReliableFlooder`]);
 //! * [`threaded`] — the same protocol on real OS threads with crossbeam
 //!   channels, demonstrating the logic outside the simulator.
 //!
@@ -54,5 +58,6 @@ pub mod fault;
 pub mod fifo;
 pub mod message;
 pub mod metrics;
+pub mod reliable;
 pub mod sim;
 pub mod threaded;

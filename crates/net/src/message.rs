@@ -8,21 +8,31 @@
 //! 4 bytes  hop count
 //! 4 bytes  payload length L
 //! L bytes  payload
-//! --- optional trace extension (versioned by its flag byte) ---
-//! 1 byte   extension flag (0x01 = trace id follows)
-//! 8 bytes  trace id
+//! --- optional extension block (versioned by its flag byte) ---
+//! 1 byte   extension flags (bitmask: 0x01 = trace id, 0x02 = link seq)
+//! 8 bytes  trace id        (present iff flag bit 0x01 set)
+//! 8 bytes  link sequence   (present iff flag bit 0x02 set)
 //! ```
 //!
 //! The extension block is strictly optional: a frame that ends right after
-//! the payload is a **legacy frame** and decodes with `trace = None`, so
-//! old and new peers interoperate. The flag byte doubles as a version
-//! marker — decoders reject flags they do not understand rather than
-//! silently misparse, and future extensions claim new flag values.
+//! the payload is a **legacy frame** and decodes with `trace = None` and
+//! `link_seq = None`, so old and new peers interoperate. The flag byte is a
+//! bitmask of known extensions in a fixed field order — decoders reject
+//! flag bits they do not understand rather than silently misparse, and
+//! future extensions claim new bits. A trace-only frame is byte-identical
+//! to the pre-link-seq format.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
-/// Extension flag announcing an 8-byte trace id.
+/// Extension flag bit announcing an 8-byte trace id.
 pub const TRACE_EXT_FLAG: u8 = 0x01;
+
+/// Extension flag bit announcing an 8-byte per-link sequence number
+/// (see [`crate::reliable`]).
+pub const SEQ_EXT_FLAG: u8 = 0x02;
+
+/// All extension flag bits this decoder understands.
+pub const KNOWN_EXT_FLAGS: u8 = TRACE_EXT_FLAG | SEQ_EXT_FLAG;
 
 /// Encoded size of the trace extension block (flag + trace id).
 pub const TRACE_EXT_LEN: usize = 1 + 8;
@@ -43,6 +53,11 @@ pub struct Message {
     /// Causal-trace id carried end to end, if the origin enabled tracing.
     /// `None` on legacy frames and untraced control traffic.
     pub trace: Option<u64>,
+    /// Per-link sequence number stamped by the reliable layer at send
+    /// time (see [`crate::reliable`]). Unlike `trace`, this is hop-local:
+    /// it is assigned per (sender, receiver) link and stripped on forward.
+    /// `None` on legacy frames and best-effort traffic.
+    pub link_seq: Option<u64>,
 }
 
 impl Message {
@@ -55,6 +70,7 @@ impl Message {
             hops: 0,
             payload,
             trace: None,
+            link_seq: None,
         }
     }
 
@@ -65,12 +81,21 @@ impl Message {
         self
     }
 
+    /// The same message stamped with a per-link sequence number.
+    #[must_use]
+    pub fn with_link_seq(mut self, seq: u64) -> Self {
+        self.link_seq = Some(seq);
+        self
+    }
+
     /// A copy with the hop count incremented (what a forwarder sends).
-    /// The trace id, if any, rides along unchanged.
+    /// The trace id, if any, rides along unchanged; the link sequence is
+    /// stripped because it only ever names the hop it arrived on.
     #[must_use]
     pub fn forwarded(&self) -> Self {
         Message {
             hops: self.hops + 1,
+            link_seq: None,
             ..self.clone()
         }
     }
@@ -78,19 +103,17 @@ impl Message {
     /// Serialized size in bytes.
     #[must_use]
     pub fn encoded_len(&self) -> usize {
-        8 + 4
-            + 4
-            + 4
-            + self.payload.len()
-            + if self.trace.is_some() {
-                TRACE_EXT_LEN
-            } else {
-                0
-            }
+        let ext = match (self.trace.is_some(), self.link_seq.is_some()) {
+            (false, false) => 0,
+            (true, false) | (false, true) => 1 + 8,
+            (true, true) => 1 + 8 + 8,
+        };
+        8 + 4 + 4 + 4 + self.payload.len() + ext
     }
 
-    /// Encodes to the wire format. Untraced messages produce byte-identical
-    /// legacy frames; traced ones append the extension block.
+    /// Encodes to the wire format. Messages with no extensions produce
+    /// byte-identical legacy frames; trace-only messages produce frames
+    /// identical to the pre-link-seq format.
     #[must_use]
     pub fn encode(&self) -> Bytes {
         let mut buf = BytesMut::with_capacity(self.encoded_len());
@@ -99,18 +122,30 @@ impl Message {
         buf.put_u32(self.hops);
         buf.put_u32(self.payload.len() as u32);
         buf.put_slice(&self.payload);
-        if let Some(trace_id) = self.trace {
-            buf.put_u8(TRACE_EXT_FLAG);
-            buf.put_u64(trace_id);
+        let mut flags = 0u8;
+        if self.trace.is_some() {
+            flags |= TRACE_EXT_FLAG;
+        }
+        if self.link_seq.is_some() {
+            flags |= SEQ_EXT_FLAG;
+        }
+        if flags != 0 {
+            buf.put_u8(flags);
+            if let Some(trace_id) = self.trace {
+                buf.put_u64(trace_id);
+            }
+            if let Some(seq) = self.link_seq {
+                buf.put_u64(seq);
+            }
         }
         buf.freeze()
     }
 
     /// Decodes from the wire format.
     ///
-    /// Returns `None` on truncated input, unknown extension flags, or
+    /// Returns `None` on truncated input, unknown extension flag bits, or
     /// trailing garbage. A frame ending right after the payload decodes as
-    /// legacy (`trace = None`).
+    /// legacy (`trace = None`, `link_seq = None`).
     #[must_use]
     pub fn decode(mut raw: Bytes) -> Option<Self> {
         if raw.len() < 20 {
@@ -125,13 +160,21 @@ impl Message {
         }
         let payload = raw.slice(0..len);
         let mut ext = raw.slice(len..raw.len());
-        let trace = match ext.len() {
-            0 => None,
-            TRACE_EXT_LEN if ext[0] == TRACE_EXT_FLAG => {
-                ext.get_u8();
-                Some(ext.get_u64())
+        let (trace, link_seq) = if ext.is_empty() {
+            (None, None)
+        } else {
+            let flags = ext.get_u8();
+            if flags == 0 || flags & !KNOWN_EXT_FLAGS != 0 {
+                return None;
             }
-            _ => return None,
+            let want = 8 * usize::from(flags & TRACE_EXT_FLAG != 0)
+                + 8 * usize::from(flags & SEQ_EXT_FLAG != 0);
+            if ext.len() != want {
+                return None;
+            }
+            let trace = (flags & TRACE_EXT_FLAG != 0).then(|| ext.get_u64());
+            let link_seq = (flags & SEQ_EXT_FLAG != 0).then(|| ext.get_u64());
+            (trace, link_seq)
         };
         Some(Message {
             broadcast_id,
@@ -139,6 +182,7 @@ impl Message {
             hops,
             payload,
             trace,
+            link_seq,
         })
     }
 }
@@ -167,6 +211,54 @@ mod tests {
         let decoded = Message::decode(m.encode()).unwrap();
         assert_eq!(decoded, m);
         assert_eq!(decoded.trace, Some(0xDEAD_BEEF));
+    }
+
+    #[test]
+    fn link_seq_round_trip() {
+        let m = Message::new(3, 1, Bytes::from_static(b"seq")).with_link_seq(17);
+        let decoded = Message::decode(m.encode()).unwrap();
+        assert_eq!(decoded, m);
+        assert_eq!(decoded.link_seq, Some(17));
+        assert_eq!(decoded.trace, None);
+    }
+
+    #[test]
+    fn trace_and_link_seq_round_trip() {
+        let m = Message::new(3, 1, Bytes::from_static(b"both"))
+            .with_trace(0xAA)
+            .with_link_seq(u64::MAX);
+        let decoded = Message::decode(m.encode()).unwrap();
+        assert_eq!(decoded.trace, Some(0xAA));
+        assert_eq!(decoded.link_seq, Some(u64::MAX));
+    }
+
+    #[test]
+    fn trace_only_encoding_matches_pre_link_seq_format() {
+        // The old format was: flag byte 0x01 followed by the trace id.
+        // Trace-only frames must stay byte-identical so old peers decode.
+        let m = Message::new(9, 2, Bytes::from_static(b"pay")).with_trace(0x0102_0304);
+        let enc = m.encode();
+        let ext = &enc[enc.len() - TRACE_EXT_LEN..];
+        assert_eq!(ext[0], TRACE_EXT_FLAG);
+        assert_eq!(&ext[1..], 0x0102_0304u64.to_be_bytes());
+    }
+
+    #[test]
+    fn forwarded_strips_link_seq() {
+        let m = Message::new(9, 3, Bytes::from_static(b"x"))
+            .with_trace(77)
+            .with_link_seq(5);
+        let f = m.forwarded();
+        assert_eq!(f.link_seq, None, "link seqs are hop-local");
+        assert_eq!(f.trace, Some(77));
+    }
+
+    #[test]
+    fn zero_flag_byte_is_rejected() {
+        let m = Message::new(1, 2, Bytes::from_static(b"abc"));
+        let mut enc = BytesMut::from(&m.encode()[..]);
+        enc.put_u8(0x00);
+        assert_eq!(Message::decode(enc.freeze()), None);
     }
 
     #[test]

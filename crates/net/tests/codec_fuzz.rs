@@ -7,7 +7,7 @@ use proptest::prelude::*;
 
 use lhg_net::codec::{decode_frame, encode_frame};
 use lhg_net::fifo::{fifo_id, fifo_parts};
-use lhg_net::message::{Message, TRACE_EXT_FLAG, TRACE_EXT_LEN};
+use lhg_net::message::{Message, TRACE_EXT_LEN};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(256))]
@@ -26,6 +26,8 @@ proptest! {
         payload in proptest::collection::vec(any::<u8>(), 0..256),
         traced in any::<bool>(),
         trace_id in any::<u64>(),
+        sequenced in any::<bool>(),
+        seq in any::<u64>(),
     ) {
         let msg = Message {
             broadcast_id: id,
@@ -33,6 +35,7 @@ proptest! {
             hops,
             payload: Bytes::from(payload),
             trace: traced.then_some(trace_id),
+            link_seq: sequenced.then_some(seq),
         };
         let decoded = Message::decode(msg.encode()).expect("own encoding decodes");
         prop_assert_eq!(decoded, msg);
@@ -77,10 +80,11 @@ proptest! {
         flag in any::<u8>(),
         ext_id in any::<u64>(),
     ) {
-        // Force a flag value other than TRACE_EXT_FLAG (0x01): setting bit 1
-        // keeps the full range of "wrong" flags without a rejection filter.
-        let flag = flag | 0x02;
-        assert_ne!(flag, TRACE_EXT_FLAG);
+        // Force a flag with an unknown bit: setting bit 2 keeps the full
+        // range of "wrong" flags without a rejection filter (bits 0 and 1
+        // are the known trace and link-seq extensions).
+        let flag = flag | 0x04;
+        assert!(flag & !lhg_net::message::KNOWN_EXT_FLAGS != 0);
         let msg = Message::new(11, 2, Bytes::from(payload));
         let mut raw = BytesMut::from(&msg.encode()[..]);
         raw.put_u8(flag);

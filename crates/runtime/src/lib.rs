@@ -7,27 +7,33 @@
 //! and frames are the same length-prefixed [`lhg_net::message::Message`]
 //! encoding ([`lhg_net::codec`]) used everywhere else in the workspace.
 //!
-//! The runtime stacks five layers (bottom to top):
+//! The runtime stacks seven layers (bottom to top):
 //!
 //! 1. **Connection manager** ([`node`]) — dials and tears down TCP links so
 //!    the live socket set tracks the current LHG topology (the smaller
 //!    member id dials, the larger accepts).
-//! 2. **Reliable broadcast** — flooding with per-broadcast dedup; with a
+//! 2. **Reliable links** ([`lhg_net::reliable`]) — data frames carry
+//!    per-link sequence numbers; cumulative acks with selective NACKs drive
+//!    bounded-window retransmission, and a periodic anti-entropy pass
+//!    (summaries of recently-seen broadcast ids on the heartbeat cadence,
+//!    gaps answered by pulls) repairs whatever per-link retries could not,
+//!    so delivery survives links that drop, duplicate, or reorder frames.
+//! 3. **Reliable broadcast** — flooding with per-broadcast dedup; with a
 //!    k-connected topology and at most k−1 crashed nodes, every correct
 //!    node delivers (LHG property P1).
-//! 3. **Failure detection** — periodic heartbeats on every link; a
+//! 4. **Failure detection** — periodic heartbeats on every link; a
 //!    configurable silence window marks a neighbor crashed (fail-stop
 //!    model: crashed nodes never speak again, so suspicion is permanent).
-//! 4. **Self-healing** — a detected crash is flooded as an announcement;
+//! 5. **Self-healing** — a detected crash is flooded as an announcement;
 //!    every survivor applies it to its
 //!    [`lhg_core::overlay::DynamicOverlay`] replica via `crash_many` and
 //!    applies the returned churn (dial added links, drop removed ones),
 //!    restoring k-connectivity at the smaller n. Replicas converge because
 //!    rebuilds are deterministic in the surviving membership.
-//! 5. **Metrics** ([`lhg_net::metrics`]) — counters, gauges and latency
+//! 6. **Metrics** ([`lhg_net::metrics`]) — counters, gauges and latency
 //!    histograms shared by the whole cluster, exportable as JSON and as
 //!    Prometheus text exposition.
-//! 6. **Observability** ([`lhg_trace`]) — every node feeds a per-node
+//! 7. **Observability** ([`lhg_trace`]) — every node feeds a per-node
 //!    [`lhg_trace::FlightRecorder`] (connect/disconnect, frames,
 //!    heartbeats, suspicion, crash reports, healing, broadcast
 //!    accept/forward/deliver) dumpable as JSONL, and every broadcast
@@ -98,6 +104,13 @@ pub struct RuntimeConfig {
     /// Fault injector consulted on every frame write, frame read, and dial
     /// (chaos runs). `None` — the default — injects nothing.
     pub faults: Option<std::sync::Arc<lhg_net::fault::FaultInjector>>,
+    /// Per-link reliability knobs ([`lhg_net::reliable`]): retransmit
+    /// window/timeout/budget, backpressure queue bound, anti-entropy store
+    /// size, and — via `summary_every`, reinterpreted as *heartbeat periods
+    /// per summary* — the anti-entropy cadence. Retransmit sweeps and ack
+    /// emission run on the main-loop [`RuntimeConfig::tick`]; `tick_us` is
+    /// ignored here (it paces the simulator's [`lhg_net::reliable::ReliableFlooder`]).
+    pub reliable: lhg_net::reliable::ReliableConfig,
 }
 
 impl Default for RuntimeConfig {
@@ -114,6 +127,7 @@ impl Default for RuntimeConfig {
             recorder_capacity: lhg_trace::DEFAULT_CAPACITY,
             rng_seed: 0x4C_48_47, // "LHG"
             faults: None,
+            reliable: lhg_net::reliable::ReliableConfig::default(),
         }
     }
 }

@@ -15,6 +15,23 @@
 //! with the **smaller id dials**, the larger one accepts. Both sides monitor
 //! the link with heartbeats once it is up.
 //!
+//! # Reliable delivery
+//!
+//! Data frames ride the reliable layer from [`lhg_net::reliable`]: each
+//! directed link stamps them with per-link sequence numbers
+//! ([`LinkSender`]), the receiving side acks cumulatively and NACKs holes
+//! ([`LinkReceiver`]), and retransmit sweeps run on the main-loop tick.
+//! Sequence spaces are **per connection**: every new socket (dial or
+//! accept) resets both halves, and frames a torn-down link never delivered
+//! are re-sent over the replacement. On the heartbeat cadence each node
+//! additionally floods anti-entropy *summaries* of its recently-delivered
+//! broadcast ids; a peer that spots a gap pulls the missing broadcasts, so
+//! even a frame lost on every copy (or a node that was down when it
+//! flooded past) is repaired through any surviving path. Control frames
+//! (hello/heartbeat/crash/join/sync and the ack/summary frames themselves)
+//! stay best-effort: they are periodic, idempotent, or answered, so their
+//! loss only costs latency.
+//!
 //! # Fault model and recovery
 //!
 //! The runtime promises convergence under **at most k−1 fail-stop crashes**
@@ -41,7 +58,7 @@
 //!   the `JOIN`. Survivors admit joiners at a canonical sorted position, so
 //!   replicas converge regardless of announcement order.
 
-use std::collections::{BTreeSet, HashMap, HashSet};
+use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -59,6 +76,7 @@ use lhg_net::backoff::{Backoff, BackoffPolicy};
 use lhg_net::codec::{read_frame, write_frame};
 use lhg_net::message::Message;
 use lhg_net::metrics::{Gauge, MetricsRegistry};
+use lhg_net::reliable::{self, LinkReceiver, LinkSender, MAX_SUMMARY_IDS};
 use lhg_trace::{EventKind, FlightRecorder, PathRecord, TraceCollector};
 
 use crate::wire::{self, FrameKind};
@@ -74,8 +92,15 @@ pub(crate) type BroadcastClock = Arc<RwLock<HashMap<u64, Instant>>>;
 
 /// Events feeding a node's main loop.
 pub(crate) enum Event {
-    /// A decoded frame arrived from connected peer `from`.
-    Frame { from: MemberId, msg: Message },
+    /// A decoded frame arrived from connected peer `from` over connection
+    /// generation `conn`. Frames from superseded connections are discarded
+    /// by the main loop — their link sequence numbers belong to a dead
+    /// sequence space and must not pollute the current one.
+    Frame {
+        from: MemberId,
+        conn: u64,
+        msg: Message,
+    },
     /// The acceptor finished a handshake; `writer` is the write half and
     /// `conn` the connection's node-local generation id.
     Accepted {
@@ -287,6 +312,11 @@ pub(crate) fn spawn_node(
             pending_join_announce: opts.announce_join,
             healing_since: None,
             hb_age_gauges: HashMap::new(),
+            link_tx: HashMap::new(),
+            link_rx: HashMap::new(),
+            pending_relay: HashMap::new(),
+            store: HashMap::new(),
+            recent: VecDeque::new(),
         };
         std::thread::spawn(move || runtime.run(&rx))
     };
@@ -326,7 +356,14 @@ fn reader_loop(peer: MemberId, conn: u64, stream: &mut TcpStream, tx: &Sender<Ev
     loop {
         match read_frame(stream) {
             Ok(Some(msg)) => {
-                if tx.send(Event::Frame { from: peer, msg }).is_err() {
+                if tx
+                    .send(Event::Frame {
+                        from: peer,
+                        conn,
+                        msg,
+                    })
+                    .is_err()
+                {
                     return; // node is gone
                 }
             }
@@ -407,12 +444,34 @@ struct NodeRuntime {
     /// Cached per-peer heartbeat-age gauges (µs since last frame), updated
     /// every suspicion sweep so snapshots read a fresh value.
     hb_age_gauges: HashMap<MemberId, Arc<Gauge>>,
+    /// Sender half of each peer's reliable link (data frames only). Reset
+    /// whenever the backing connection is replaced ([`Self::reset_link`]).
+    link_tx: HashMap<MemberId, LinkSender>,
+    /// Receiver half of each peer's reliable link.
+    link_rx: HashMap<MemberId, LinkReceiver>,
+    /// Data frames a torn-down link never delivered, parked until a
+    /// replacement connection to the same peer comes up.
+    pending_relay: HashMap<MemberId, Vec<Message>>,
+    /// Recently-delivered data messages retained for anti-entropy pull
+    /// serving, with the insertion-ordered id window backing summaries and
+    /// eviction (bounded by the reliable config's `store_cap`).
+    store: HashMap<u64, Message>,
+    recent: VecDeque<u64>,
 }
 
 impl NodeRuntime {
     fn run(mut self, rx: &Receiver<Event>) {
         self.reconcile();
         let mut next_beat = Instant::now() + self.config.heartbeat_period;
+        // Anti-entropy cadence: `summary_every` heartbeat periods per
+        // summary flood (the reliable config reinterprets its tick-based
+        // knob for the runtime's heartbeat-driven clock).
+        let summary_period = self
+            .config
+            .heartbeat_period
+            .saturating_mul(u32::try_from(self.config.reliable.summary_every.max(1)).unwrap_or(5));
+        let mut next_summary = Instant::now() + summary_period;
+        let mut next_sweep = Instant::now() + self.config.tick;
         while self.shared.is_alive() {
             match rx.recv_timeout(self.config.tick) {
                 Ok(ev) => self.handle(ev),
@@ -427,6 +486,14 @@ impl NodeRuntime {
                 self.send_heartbeats();
                 next_beat = now + self.config.heartbeat_period;
             }
+            if now >= next_summary {
+                self.send_summaries();
+                next_summary = now + summary_period;
+            }
+            if now >= next_sweep {
+                self.reliable_tick();
+                next_sweep = now + self.config.tick;
+            }
             if self
                 .awaiting_sync
                 .is_some_and(|t| now.duration_since(t) > self.config.heartbeat_timeout)
@@ -436,6 +503,7 @@ impl NodeRuntime {
                 self.awaiting_sync = None;
             }
             self.check_suspicions(now);
+            self.settle_backoffs(now);
             self.reconcile();
             self.try_announce_join();
         }
@@ -448,13 +516,26 @@ impl NodeRuntime {
 
     fn handle(&mut self, ev: Event) {
         match ev {
-            Event::Frame { from, msg } => self.on_frame(from, &msg),
+            Event::Frame { from, conn, msg } => {
+                // A superseded connection's leftovers carry sequence
+                // numbers from a dead link-sequence space; processing them
+                // would poison the replacement link's receiver state.
+                if self.conn_ids.get(&from) == Some(&conn) {
+                    self.on_frame(from, &msg);
+                } else {
+                    self.metrics.counter("runtime.stale_conn_frames").inc();
+                }
+            }
             Event::Accepted { peer, conn, writer } => {
                 if let Some(old) = self.writers.insert(peer, writer) {
                     let _ = old.shutdown(Shutdown::Both);
                 }
                 self.conn_ids.insert(peer, conn);
                 self.last_seen.insert(peer, Instant::now());
+                self.reset_link(peer);
+                if let Some(b) = self.backoffs.get_mut(&peer) {
+                    b.connected(Instant::now());
+                }
                 if self.shared.crashes_applied.lock().contains(&peer) {
                     // An excommunicated peer dialed back in: hold the link
                     // open long enough for the rejoin handshake.
@@ -464,6 +545,7 @@ impl NodeRuntime {
                 self.metrics.counter("runtime.accepts").inc();
                 self.recorder
                     .record(EventKind::Connect { peer: peer as u32 });
+                self.flush_pending(peer);
             }
             Event::PeerClosed { peer, conn } => {
                 // Only the current connection's death is a link failure;
@@ -569,7 +651,31 @@ impl NodeRuntime {
                     self.install_sync(from, &msg.payload);
                 }
             }
+            FrameKind::Ack(_) => {
+                if let Some((cum, nacks)) = reliable::decode_ack_payload(msg.payload.clone()) {
+                    let now_us = self.recorder.now_us();
+                    let cfg = self.config.reliable;
+                    let frames = match self.link_tx.get_mut(&from) {
+                        Some(tx) => tx.on_ack(cum, &nacks, &cfg, now_us),
+                        None => Vec::new(),
+                    };
+                    for frame in frames {
+                        self.send_to(from, &frame);
+                    }
+                }
+            }
+            FrameKind::Summary(_) => self.on_summary(from, msg),
             FrameKind::Data => {
+                // Link-level dedup first: a retransmitted copy whose
+                // original arrived is dropped here (the ack it re-earns
+                // goes out on the next sweep), keeping the flooding dedup
+                // set's exactly-once accounting untouched.
+                if let Some(seq) = msg.link_seq {
+                    if !self.link_rx.entry(from).or_default().on_frame(seq) {
+                        self.metrics.counter("runtime.link_dups").inc();
+                        return;
+                    }
+                }
                 if self.seen.insert(msg.broadcast_id) {
                     if let Some(trace_id) = msg.trace {
                         self.recorder.record(EventKind::BroadcastDeliver {
@@ -775,7 +881,8 @@ impl NodeRuntime {
     }
 
     /// Records an application delivery (and its end-to-end latency, if the
-    /// broadcast's start instant is known).
+    /// broadcast's start instant is known), retaining the message for
+    /// anti-entropy pull serving.
     fn deliver(&mut self, msg: &Message) {
         self.metrics.counter("runtime.deliveries").inc();
         if let Some(t0) = self.clock.read().get(&msg.broadcast_id) {
@@ -784,17 +891,190 @@ impl NodeRuntime {
                 .histogram("runtime.delivery_latency_us")
                 .record(us);
         }
+        self.remember(msg);
         self.shared.delivered.lock().push(msg.clone());
     }
 
-    /// Sends `msg` to every connected peer except `except`.
+    /// Retains a delivered data message (link stamp stripped) for
+    /// anti-entropy summaries and pull serving, evicting the oldest entry
+    /// past the configured store capacity.
+    fn remember(&mut self, msg: &Message) {
+        if self.recent.len() >= self.config.reliable.store_cap {
+            if let Some(old) = self.recent.pop_front() {
+                self.store.remove(&old);
+            }
+        }
+        self.recent.push_back(msg.broadcast_id);
+        let mut kept = msg.clone();
+        kept.link_seq = None;
+        self.store.insert(msg.broadcast_id, kept);
+    }
+
+    /// Sends `msg` to every connected peer except `except`. Data frames go
+    /// through the per-link reliable layer; control frames stay
+    /// best-effort.
     fn flood(&mut self, msg: &Message, except: Option<MemberId>) {
+        let is_data = matches!(wire::classify(msg.broadcast_id), FrameKind::Data);
         let peers: Vec<MemberId> = self.writers.keys().copied().collect();
         for peer in peers {
             if Some(peer) != except {
-                self.send_to(peer, msg);
+                if is_data {
+                    self.reliable_send_to(peer, msg.clone());
+                } else {
+                    self.send_to(peer, msg);
+                }
             }
         }
+    }
+
+    /// Hands a data frame to `peer`'s [`LinkSender`] and writes whatever
+    /// the window admits right now; the rest is queued (backpressure) and
+    /// surfaces from later acks or sweeps.
+    fn reliable_send_to(&mut self, peer: MemberId, msg: Message) {
+        let now_us = self.recorder.now_us();
+        let cfg = self.config.reliable;
+        let stamped = self
+            .link_tx
+            .entry(peer)
+            .or_default()
+            .send(msg, &cfg, now_us);
+        if let Some(stamped) = stamped {
+            self.send_to(peer, &stamped);
+        }
+    }
+
+    /// Retransmit sweep + ack emission for every live link, run on the
+    /// main-loop tick cadence.
+    fn reliable_tick(&mut self) {
+        let now_us = self.recorder.now_us();
+        let cfg = self.config.reliable;
+        let peers: Vec<MemberId> = self.writers.keys().copied().collect();
+        for peer in peers {
+            let frames = match self.link_tx.get_mut(&peer) {
+                Some(tx) => tx.sweep(&cfg, now_us),
+                None => Vec::new(),
+            };
+            if !frames.is_empty() {
+                self.metrics
+                    .counter("runtime.retransmits")
+                    .add(frames.len() as u64);
+            }
+            for frame in &frames {
+                self.send_to(peer, frame);
+            }
+            let owed = match self.link_rx.get_mut(&peer) {
+                Some(rx) if rx.dirty() => Some(rx.ack_payload()),
+                _ => None,
+            };
+            if let Some((cum, nacks)) = owed {
+                let ack = Message::new(
+                    wire::ack_id(self.id),
+                    self.id as u32,
+                    reliable::encode_ack_payload(cum, &nacks),
+                );
+                self.metrics.counter("runtime.acks_sent").inc();
+                self.send_to(peer, &ack);
+            }
+        }
+    }
+
+    /// Floods an anti-entropy summary of recently-delivered broadcast ids
+    /// to every connected peer (heartbeat-cadence repair channel).
+    fn send_summaries(&mut self) {
+        if self.recent.is_empty() || self.writers.is_empty() {
+            return;
+        }
+        let ids: Vec<u64> = self
+            .recent
+            .iter()
+            .rev()
+            .take(MAX_SUMMARY_IDS)
+            .copied()
+            .collect();
+        let msg = Message::new(
+            wire::summary_id(self.id),
+            self.id as u32,
+            reliable::encode_summary_payload(false, &ids),
+        );
+        self.metrics.counter("runtime.summaries_sent").inc();
+        self.flood(&msg, None);
+    }
+
+    /// Reacts to an anti-entropy summary from `from`: an advertisement is
+    /// diffed against our dedup set and any gap answered with a pull; a
+    /// pull is served from the recent-message store over the reliable
+    /// layer. Served copies keep their stored hop count — repair traffic
+    /// is not part of the dissemination tree.
+    fn on_summary(&mut self, from: MemberId, msg: &Message) {
+        match reliable::decode_summary_payload(msg.payload.clone()) {
+            Some((false, ids)) => {
+                let missing: Vec<u64> = ids
+                    .into_iter()
+                    .filter(|id| !self.seen.contains(id))
+                    .collect();
+                if !missing.is_empty() {
+                    self.metrics.counter("runtime.pulls_sent").inc();
+                    let pull = Message::new(
+                        wire::summary_id(self.id),
+                        self.id as u32,
+                        reliable::encode_summary_payload(true, &missing),
+                    );
+                    self.send_to(from, &pull);
+                }
+            }
+            Some((true, ids)) => {
+                for id in ids {
+                    if let Some(kept) = self.store.get(&id).cloned() {
+                        self.metrics.counter("runtime.pulls_served").inc();
+                        self.reliable_send_to(from, kept);
+                    }
+                }
+            }
+            None => {}
+        }
+    }
+
+    /// Resets `peer`'s link-sequence spaces for a fresh connection, parking
+    /// whatever the old sender never got acknowledged so
+    /// [`Self::flush_pending`] can re-send it.
+    fn reset_link(&mut self, peer: MemberId) {
+        self.link_rx.remove(&peer);
+        if let Some(mut tx) = self.link_tx.remove(&peer) {
+            let undelivered = tx.take_undelivered();
+            if !undelivered.is_empty() {
+                let parked = self.pending_relay.entry(peer).or_default();
+                parked.extend(undelivered);
+                // The park is bounded like the sender queue: a peer that
+                // stays down long enough to overflow it is left to
+                // anti-entropy repair.
+                let cap = self.config.reliable.queue_cap;
+                let excess = parked.len().saturating_sub(cap);
+                if excess > 0 {
+                    parked.drain(..excess);
+                }
+            }
+        }
+    }
+
+    /// Re-sends data frames parked by a previous teardown now that a
+    /// connection to `peer` is up again. Duplicates are harmless: the
+    /// peer's flooding dedup absorbs anything it already has.
+    fn flush_pending(&mut self, peer: MemberId) {
+        let Some(parked) = self.pending_relay.remove(&peer) else {
+            return;
+        };
+        for msg in parked {
+            self.reliable_send_to(peer, msg);
+        }
+    }
+
+    /// Clears dial-backoff streaks for peers whose connection has stayed
+    /// healthy for a full probation window (a single momentary connect is
+    /// not enough — see [`lhg_net::backoff`]).
+    fn settle_backoffs(&mut self, now: Instant) {
+        let writers = &self.writers;
+        self.backoffs
+            .retain(|peer, b| !(writers.contains_key(peer) && b.maybe_reset(now)));
     }
 
     /// Sends one frame to `peer` through the fault injector (if any): the
@@ -972,6 +1252,7 @@ impl NodeRuntime {
             }
             self.drop_link(victim);
             self.next_dial.remove(&victim);
+            self.pending_relay.remove(&victim);
             self.reconcile();
             return;
         }
@@ -990,6 +1271,9 @@ impl NodeRuntime {
         self.drop_link(victim);
         self.last_seen.remove(&victim);
         self.next_dial.remove(&victim);
+        // Frames parked for an excommunicated peer are abandoned; if it
+        // ever rejoins, anti-entropy summaries catch it up instead.
+        self.pending_relay.remove(&victim);
         if let Some(report) = churn {
             self.apply_churn(&report);
         }
@@ -1173,10 +1457,17 @@ impl NodeRuntime {
         self.conn_ids.insert(peer, conn);
         self.last_seen.insert(peer, Instant::now());
         self.next_dial.remove(&peer);
-        self.backoffs.remove(&peer);
+        self.reset_link(peer);
+        // The success alone does not forgive the failure streak: the
+        // escalated schedule stays until the link survives a full
+        // probation window ([`Self::settle_backoffs`]).
+        if let Some(b) = self.backoffs.get_mut(&peer) {
+            b.connected(Instant::now());
+        }
         self.metrics.counter("runtime.dials").inc();
         self.recorder
             .record(EventKind::Connect { peer: peer as u32 });
+        self.flush_pending(peer);
     }
 
     /// Schedules the next dial attempt to `peer` on the jittered exponential
@@ -1189,6 +1480,9 @@ impl NodeRuntime {
             base: self.config.dial_backoff,
             cap: self.config.dial_backoff_cap,
             max_attempts: self.config.dial_max_attempts,
+            // A link healthy for a full suspicion window is genuinely
+            // healthy; anything shorter may be one beat of a flap.
+            probation_window: self.config.heartbeat_timeout,
         };
         let backoff = self
             .backoffs
@@ -1207,7 +1501,8 @@ impl NodeRuntime {
         }
     }
 
-    /// Closes and forgets the connection to `peer` (if any).
+    /// Closes and forgets the connection to `peer` (if any), parking the
+    /// reliable layer's undelivered frames for the replacement link.
     fn drop_link(&mut self, peer: MemberId) {
         if let Some(s) = self.writers.remove(&peer) {
             let _ = s.shutdown(Shutdown::Both);
@@ -1217,5 +1512,9 @@ impl NodeRuntime {
         }
         self.conn_ids.remove(&peer);
         self.last_seen.remove(&peer);
+        self.reset_link(peer);
+        if let Some(b) = self.backoffs.get_mut(&peer) {
+            b.disconnected();
+        }
     }
 }

@@ -23,6 +23,10 @@ use bytes::{BufMut, Bytes, BytesMut};
 use lhg_core::overlay::{DynamicOverlay, MemberId};
 use lhg_core::Constraint;
 
+pub use lhg_net::reliable::{
+    decode_ack_payload, decode_summary_payload, encode_ack_payload, encode_summary_payload,
+};
+
 /// Tag bit of a handshake frame: the first frame a dialer sends, announcing
 /// its member id so the acceptor can key the connection.
 pub const HELLO_TAG: u64 = 1 << 57;
@@ -40,8 +44,18 @@ pub const JOIN_TAG: u64 = 1 << 60;
 /// (from a node that learned it was excommunicated); a non-empty payload is
 /// the serving replica's snapshot ([`encode_membership`]).
 pub const SYNC_TAG: u64 = 1 << 61;
+/// Tag bit of a point-to-point link-level ack (cumulative ack + selective
+/// NACK list in the payload, see [`lhg_net::reliable`]). Never forwarded,
+/// never deduplicated. The numeric value is [`lhg_net::reliable::ACK_TAG`]
+/// so all engines share one tag space.
+pub const ACK_TAG: u64 = lhg_net::reliable::ACK_TAG;
+/// Tag bit of a point-to-point anti-entropy summary (advertisement of
+/// recently-seen broadcast ids, or a pull request for missing ones — the
+/// payload's mode byte distinguishes). Never forwarded, never deduplicated.
+pub const SUMMARY_TAG: u64 = lhg_net::reliable::SUMMARY_TAG;
 
-const TAG_MASK: u64 = HELLO_TAG | HEARTBEAT_TAG | CRASH_TAG | JOIN_TAG | SYNC_TAG;
+const TAG_MASK: u64 =
+    HELLO_TAG | HEARTBEAT_TAG | CRASH_TAG | JOIN_TAG | SYNC_TAG | ACK_TAG | SUMMARY_TAG;
 
 /// Largest member id representable in a tagged frame without colliding with
 /// the wave-nonce bits (also bounds `fifo_id` origins well below bit 57).
@@ -65,6 +79,10 @@ pub enum FrameKind {
     /// Membership sync frame from the given member: request when the
     /// payload is empty, snapshot reply otherwise.
     Sync(MemberId),
+    /// Link-level cumulative ack + NACK list from the given member.
+    Ack(MemberId),
+    /// Anti-entropy summary (advertisement or pull) from the given member.
+    Summary(MemberId),
     /// Application broadcast data.
     Data,
 }
@@ -79,6 +97,8 @@ pub fn classify(broadcast_id: u64) -> FrameKind {
         CRASH_TAG => FrameKind::Crash(member),
         JOIN_TAG => FrameKind::Join(member),
         SYNC_TAG => FrameKind::Sync(member),
+        ACK_TAG => FrameKind::Ack(member),
+        SUMMARY_TAG => FrameKind::Summary(member),
         _ => FrameKind::Data,
     }
 }
@@ -119,6 +139,20 @@ pub fn join_id(member: MemberId, nonce: u32) -> u64 {
 pub fn sync_id(member: MemberId) -> u64 {
     debug_assert!(member < MAX_MEMBERS);
     SYNC_TAG | member
+}
+
+/// Broadcast id of a link-level ack frame sent by `member`.
+#[must_use]
+pub fn ack_id(member: MemberId) -> u64 {
+    debug_assert!(member < MAX_MEMBERS);
+    ACK_TAG | member
+}
+
+/// Broadcast id of an anti-entropy summary frame sent by `member`.
+#[must_use]
+pub fn summary_id(member: MemberId) -> u64 {
+    debug_assert!(member < MAX_MEMBERS);
+    SUMMARY_TAG | member
 }
 
 /// `true` for ids whose tag marks runtime control traffic (as opposed to
@@ -185,6 +219,8 @@ mod tests {
         assert_eq!(classify(crash_id(11, 0)), FrameKind::Crash(11));
         assert_eq!(classify(join_id(5, 0)), FrameKind::Join(5));
         assert_eq!(classify(sync_id(3)), FrameKind::Sync(3));
+        assert_eq!(classify(ack_id(9)), FrameKind::Ack(9));
+        assert_eq!(classify(summary_id(2)), FrameKind::Summary(2));
     }
 
     #[test]
@@ -204,6 +240,9 @@ mod tests {
         assert_ne!(heartbeat_id(1), hello_id(1));
         assert_ne!(join_id(1, 0), crash_id(1, 0));
         assert_ne!(sync_id(1), join_id(1, 0));
+        assert_ne!(ack_id(1), sync_id(1));
+        assert_ne!(summary_id(1), ack_id(1));
+        assert_ne!(ack_id(1), ack_id(2));
     }
 
     #[test]
@@ -243,5 +282,136 @@ mod tests {
         assert!(decode_membership(&Bytes::from_static(&[9, 3, 0, 0, 0, 0])).is_none());
         // Truncated member list.
         assert!(decode_membership(&Bytes::from_static(&[0, 3, 0, 0, 0, 2, 0, 0])).is_none());
+    }
+
+    mod reliable_frames {
+        //! Property tests for the reliable-layer frames: ack/NACK and
+        //! anti-entropy summary payloads must survive the payload codec,
+        //! the full [`Message`] frame codec, and classification — and
+        //! legacy frames (no extension block) must keep decoding as
+        //! before, since a reliable node can receive them from a peer
+        //! that never stamped a link sequence number.
+
+        use super::*;
+        use lhg_net::message::Message;
+        use lhg_net::reliable::{MAX_NACKS, MAX_SUMMARY_IDS};
+        use proptest::prelude::*;
+
+        fn arb_member() -> impl Strategy<Value = MemberId> {
+            0..MAX_MEMBERS
+        }
+
+        proptest! {
+            #[test]
+            fn ack_payloads_round_trip(
+                member in arb_member(),
+                cum in any::<u64>(),
+                nacks in proptest::collection::vec(any::<u64>(), 0..MAX_NACKS),
+            ) {
+                let msg = Message::new(
+                    ack_id(member),
+                    member as u32,
+                    encode_ack_payload(cum, &nacks),
+                );
+                let decoded = Message::decode(msg.encode()).expect("frame decodes");
+                prop_assert_eq!(classify(decoded.broadcast_id), FrameKind::Ack(member));
+                let (got_cum, got_nacks) =
+                    decode_ack_payload(decoded.payload).expect("payload decodes");
+                prop_assert_eq!(got_cum, cum);
+                prop_assert_eq!(got_nacks, nacks);
+            }
+
+            #[test]
+            fn summary_payloads_round_trip(
+                member in arb_member(),
+                pull in any::<bool>(),
+                ids in proptest::collection::vec(any::<u64>(), 0..MAX_SUMMARY_IDS),
+            ) {
+                let msg = Message::new(
+                    summary_id(member),
+                    member as u32,
+                    encode_summary_payload(pull, &ids),
+                );
+                let decoded = Message::decode(msg.encode()).expect("frame decodes");
+                prop_assert_eq!(classify(decoded.broadcast_id), FrameKind::Summary(member));
+                let (got_pull, got_ids) =
+                    decode_summary_payload(decoded.payload).expect("payload decodes");
+                prop_assert_eq!(got_pull, pull);
+                prop_assert_eq!(got_ids, ids);
+            }
+
+            /// Oversized NACK / id lists are truncated by the encoder, not
+            /// rejected by the decoder — a sender with a huge hole list
+            /// still produces a valid frame carrying the head of it.
+            #[test]
+            fn oversized_lists_encode_to_valid_truncated_frames(
+                cum in any::<u64>(),
+                extra in 1usize..40,
+            ) {
+                let nacks: Vec<u64> = (0..(MAX_NACKS + extra) as u64).collect();
+                let (got_cum, got_nacks) =
+                    decode_ack_payload(encode_ack_payload(cum, &nacks)).expect("decodes");
+                prop_assert_eq!(got_cum, cum);
+                prop_assert_eq!(got_nacks.as_slice(), &nacks[..MAX_NACKS]);
+
+                let ids: Vec<u64> = (0..(MAX_SUMMARY_IDS + extra) as u64).collect();
+                let (_, got_ids) =
+                    decode_summary_payload(encode_summary_payload(true, &ids)).expect("decodes");
+                prop_assert_eq!(got_ids.as_slice(), &ids[..MAX_SUMMARY_IDS]);
+            }
+
+            /// A pre-reliable peer's frame — no extension block at all —
+            /// must decode as legacy (`link_seq = None`) and classify by
+            /// tag exactly as a stamped frame would.
+            #[test]
+            fn legacy_unstamped_frames_classify_unchanged(
+                member in arb_member(),
+                cum in any::<u64>(),
+            ) {
+                let msg = Message::new(
+                    heartbeat_id(member),
+                    member as u32,
+                    encode_ack_payload(cum, &[]),
+                );
+                // `Message::new` emits no extension when trace and
+                // link_seq are both unset, which is byte-identical to the
+                // legacy encoding.
+                prop_assert!(msg.trace.is_none() && msg.link_seq.is_none());
+                let decoded = Message::decode(msg.encode()).expect("legacy frame decodes");
+                prop_assert_eq!(decoded.link_seq, None);
+                prop_assert_eq!(
+                    classify(decoded.broadcast_id),
+                    FrameKind::Heartbeat(member)
+                );
+
+                // And a stamped copy of the same frame still classifies
+                // identically: the link seq rides the extension block,
+                // never the broadcast id.
+                let mut stamped = msg;
+                stamped.link_seq = Some(7);
+                let decoded = Message::decode(stamped.encode()).expect("stamped frame decodes");
+                prop_assert_eq!(decoded.link_seq, Some(7));
+                prop_assert_eq!(
+                    classify(decoded.broadcast_id),
+                    FrameKind::Heartbeat(member)
+                );
+            }
+
+            /// Malformed reliable payloads never panic the decoders.
+            #[test]
+            fn malformed_payloads_are_rejected_not_panicked(
+                raw in proptest::collection::vec(any::<u8>(), 0..64),
+            ) {
+                let bytes = Bytes::from(raw);
+                // Either decode succeeds with consistent lengths or
+                // returns None — both fine; panics are the only failure.
+                if let Some((_, nacks)) = decode_ack_payload(bytes.clone()) {
+                    prop_assert!(nacks.len() <= MAX_NACKS);
+                }
+                if let Some((_, ids)) = decode_summary_payload(bytes) {
+                    prop_assert!(ids.len() <= MAX_SUMMARY_IDS);
+                }
+            }
+        }
     }
 }
