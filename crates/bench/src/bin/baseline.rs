@@ -1,0 +1,9 @@
+//! Regenerates the recorded broadcast baseline:
+//! `cargo run --release -p lhg-bench --bin baseline > BENCH_<pr>.json`
+//!
+//! Measures plain flooding vs Bracha Byzantine broadcast at n ∈ {64, 256}
+//! (see `lhg_bench::baseline` for the workload definition).
+
+fn main() {
+    print!("{}", lhg_bench::baseline::baseline_json(&[64, 256]));
+}

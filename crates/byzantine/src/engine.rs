@@ -1,0 +1,580 @@
+//! The Bracha quorum state machine, independent of any transport.
+//!
+//! A [`BrachaEngine`] holds one quorum-tracking `Instance` per broadcast tag it has
+//! heard about. Feed it gossip frames ([`BrachaEngine::on_gossip`]) and it
+//! returns [`Action`]s: more gossip to flood, and at most one delivery per
+//! instance. The engine never talks to a network — the sim flooder, the
+//! threaded runner and the TCP runtime all wrap this same type, so the
+//! protocol logic is tested once and reused verbatim.
+//!
+//! Validation rules (the "signed-enough" model):
+//!
+//! * `SEND` is accepted only from its claimed origin
+//!   (`witness == tag.origin`) and only when the carried payload matches
+//!   the declared digest. A traitor can still equivocate — send different
+//!   payloads to different neighbors — but cannot impersonate a correct
+//!   origin.
+//! * `ECHO` must carry a payload matching its digest (echoes re-carry the
+//!   payload so late joiners can assemble it from any quorum member).
+//! * `READY` carries no payload and is never rejected; it only counts as
+//!   one witness vote.
+//!
+//! Frames the engine itself emits are absorbed back into its own state
+//! before being returned, so the local node counts as a witness without
+//! the caller having to loop frames back.
+
+use std::collections::{BTreeSet, HashMap, VecDeque};
+
+use bytes::Bytes;
+
+use lhg_net::message::ByzTag;
+
+use crate::frame::{digest, GossipFrame, GossipKind};
+use crate::BrachaConfig;
+
+/// Protocol phase of one broadcast instance at one node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Phase {
+    /// Nothing sent yet for this instance.
+    Init,
+    /// This node has echoed a digest.
+    Echoed,
+    /// This node has readied a digest.
+    Readied,
+    /// This node has delivered the instance payload.
+    Delivered,
+}
+
+/// A delivery decided by the engine: the instance, the certified digest
+/// and the assembled payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ByzDelivery {
+    /// The delivered broadcast instance.
+    pub tag: ByzTag,
+    /// Digest the delivery quorum certified.
+    pub digest: u64,
+    /// The payload matching that digest.
+    pub payload: Bytes,
+}
+
+/// What the caller must do with an engine result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Action {
+    /// Flood this frame to all overlay neighbors.
+    Gossip(GossipFrame),
+    /// Hand this payload to the application, exactly once per instance.
+    Deliver(ByzDelivery),
+}
+
+/// Per-instance quorum state.
+#[derive(Debug, Default)]
+struct Instance {
+    /// Payloads seen for this instance, keyed by their digest.
+    payloads: HashMap<u64, Bytes>,
+    /// Digest this node echoed, if any (first valid SEND wins).
+    echoed: Option<u64>,
+    /// Digest this node readied, if any.
+    readied: Option<u64>,
+    delivered: bool,
+    /// Distinct echo witnesses per digest.
+    echo_witnesses: HashMap<u64, BTreeSet<u32>>,
+    /// Distinct ready witnesses per digest.
+    ready_witnesses: HashMap<u64, BTreeSet<u32>>,
+}
+
+/// One node's Bracha state across all broadcast instances it has seen.
+#[derive(Debug)]
+pub struct BrachaEngine {
+    me: u32,
+    cfg: BrachaConfig,
+    instances: HashMap<ByzTag, Instance>,
+}
+
+impl BrachaEngine {
+    /// Engine for node `me` under quorum config `cfg`.
+    #[must_use]
+    pub fn new(me: u32, cfg: BrachaConfig) -> Self {
+        BrachaEngine {
+            me,
+            cfg,
+            instances: HashMap::new(),
+        }
+    }
+
+    /// The node id this engine acts as.
+    #[must_use]
+    pub fn id(&self) -> u32 {
+        self.me
+    }
+
+    /// The quorum configuration.
+    #[must_use]
+    pub fn config(&self) -> BrachaConfig {
+        self.cfg
+    }
+
+    /// Phase of instance `tag` at this node.
+    #[must_use]
+    pub fn phase(&self, tag: ByzTag) -> Phase {
+        match self.instances.get(&tag) {
+            None => Phase::Init,
+            Some(i) if i.delivered => Phase::Delivered,
+            Some(i) if i.readied.is_some() => Phase::Readied,
+            Some(i) if i.echoed.is_some() => Phase::Echoed,
+            Some(_) => Phase::Init,
+        }
+    }
+
+    /// Originates a broadcast from this node: emits the `SEND` (and the
+    /// follow-on `ECHO`, since the origin is its own first witness).
+    pub fn broadcast(&mut self, nonce: u64, payload: Bytes) -> Vec<Action> {
+        let tag = ByzTag {
+            origin: self.me,
+            nonce,
+        };
+        let send = GossipFrame {
+            kind: GossipKind::Send,
+            witness: self.me,
+            tag,
+            digest: digest(&payload),
+            payload,
+        };
+        // The SEND itself must be flooded too — absorb only returns frames
+        // the engine *reacts* with (the caller is assumed to have relayed
+        // whatever it fed in, which for an origination is this frame).
+        let mut out = vec![Action::Gossip(send.clone())];
+        out.extend(self.absorb(send));
+        out
+    }
+
+    /// Processes one incoming gossip frame; returns frames to flood and
+    /// any delivery it unlocked.
+    pub fn on_gossip(&mut self, frame: &GossipFrame) -> Vec<Action> {
+        self.absorb(frame.clone())
+    }
+
+    /// Runs `first` plus every frame it causes this node to emit, until
+    /// the local cascade settles.
+    fn absorb(&mut self, first: GossipFrame) -> Vec<Action> {
+        let mut out = Vec::new();
+        let mut queue = VecDeque::from([first]);
+        while let Some(frame) = queue.pop_front() {
+            for action in self.step(&frame) {
+                if let Action::Gossip(f) = &action {
+                    queue.push_back(f.clone());
+                }
+                out.push(action);
+            }
+        }
+        out
+    }
+
+    /// Applies a single frame to local state. Emitted gossip is NOT yet
+    /// absorbed — [`Self::absorb`] loops it back.
+    fn step(&mut self, frame: &GossipFrame) -> Vec<Action> {
+        // Validate before touching state.
+        let carries_payload = match frame.kind {
+            GossipKind::Send => {
+                if frame.witness != frame.tag.origin || digest(&frame.payload) != frame.digest {
+                    return Vec::new();
+                }
+                true
+            }
+            GossipKind::Echo => {
+                if digest(&frame.payload) != frame.digest {
+                    return Vec::new();
+                }
+                true
+            }
+            GossipKind::Ready => false,
+        };
+
+        let echo_quorum = self.cfg.echo_quorum();
+        let ready_amplify = self.cfg.ready_amplify();
+        let delivery_quorum = self.cfg.delivery_quorum();
+        let me = self.me;
+
+        let inst = self.instances.entry(frame.tag).or_default();
+        if carries_payload {
+            inst.payloads
+                .entry(frame.digest)
+                .or_insert_with(|| frame.payload.clone());
+        }
+        match frame.kind {
+            GossipKind::Send => {}
+            GossipKind::Echo => {
+                inst.echo_witnesses
+                    .entry(frame.digest)
+                    .or_default()
+                    .insert(frame.witness);
+            }
+            GossipKind::Ready => {
+                inst.ready_witnesses
+                    .entry(frame.digest)
+                    .or_default()
+                    .insert(frame.witness);
+            }
+        }
+
+        let mut actions = Vec::new();
+
+        // Echo the first valid SEND for this instance.
+        if frame.kind == GossipKind::Send && inst.echoed.is_none() {
+            inst.echoed = Some(frame.digest);
+            actions.push(Action::Gossip(GossipFrame {
+                kind: GossipKind::Echo,
+                witness: me,
+                tag: frame.tag,
+                digest: frame.digest,
+                payload: frame.payload.clone(),
+            }));
+        }
+
+        // Ready on echo quorum or ready amplification, once.
+        if inst.readied.is_none() {
+            let ready_digest = inst
+                .echo_witnesses
+                .iter()
+                .find(|(_, w)| w.len() >= echo_quorum)
+                .or_else(|| {
+                    inst.ready_witnesses
+                        .iter()
+                        .find(|(_, w)| w.len() >= ready_amplify)
+                })
+                .map(|(&d, _)| d);
+            if let Some(d) = ready_digest {
+                inst.readied = Some(d);
+                actions.push(Action::Gossip(GossipFrame {
+                    kind: GossipKind::Ready,
+                    witness: me,
+                    tag: frame.tag,
+                    digest: d,
+                    payload: Bytes::new(),
+                }));
+            }
+        }
+
+        // Deliver on ready quorum, once, as soon as the payload is known.
+        if !inst.delivered {
+            let decided = inst
+                .ready_witnesses
+                .iter()
+                .find(|(_, w)| w.len() >= delivery_quorum)
+                .map(|(&d, _)| d);
+            if let Some(d) = decided {
+                if let Some(payload) = inst.payloads.get(&d) {
+                    inst.delivered = true;
+                    actions.push(Action::Deliver(ByzDelivery {
+                        tag: frame.tag,
+                        digest: d,
+                        payload: payload.clone(),
+                    }));
+                }
+            }
+        }
+
+        actions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> BrachaConfig {
+        BrachaConfig::new(8, 1) // echo quorum 5, amplify 2, deliver 3
+    }
+
+    fn tag(origin: u32, nonce: u64) -> ByzTag {
+        ByzTag { origin, nonce }
+    }
+
+    fn gossip_of(actions: &[Action]) -> Vec<&GossipFrame> {
+        actions
+            .iter()
+            .filter_map(|a| match a {
+                Action::Gossip(f) => Some(f),
+                Action::Deliver(_) => None,
+            })
+            .collect()
+    }
+
+    fn deliveries_of(actions: &[Action]) -> Vec<&ByzDelivery> {
+        actions
+            .iter()
+            .filter_map(|a| match a {
+                Action::Deliver(d) => Some(d),
+                Action::Gossip(_) => None,
+            })
+            .collect()
+    }
+
+    /// Drives a full correct-node mesh: every emitted frame is handed to
+    /// every other engine until quiescence. Returns deliveries per node.
+    fn run_mesh(
+        engines: &mut [BrachaEngine],
+        initial: Vec<(usize, GossipFrame)>,
+    ) -> Vec<Vec<ByzDelivery>> {
+        let n = engines.len();
+        let mut delivered: Vec<Vec<ByzDelivery>> = vec![Vec::new(); n];
+        // (recipient, frame) work queue; sender's own absorption already done.
+        let mut queue: VecDeque<(usize, GossipFrame)> = initial.into();
+        while let Some((to, frame)) = queue.pop_front() {
+            for action in engines[to].on_gossip(&frame) {
+                match action {
+                    Action::Gossip(f) => {
+                        for peer in 0..n {
+                            if peer != to {
+                                queue.push_back((peer, f.clone()));
+                            }
+                        }
+                    }
+                    Action::Deliver(d) => delivered[to].push(d),
+                }
+            }
+        }
+        delivered
+    }
+
+    #[test]
+    fn origin_broadcast_emits_send_and_echo() {
+        let mut e = BrachaEngine::new(0, cfg());
+        let actions = e.broadcast(7, Bytes::from_static(b"hi"));
+        let gossip = gossip_of(&actions);
+        assert_eq!(gossip.len(), 2);
+        assert_eq!(gossip[0].kind, GossipKind::Send);
+        assert_eq!(gossip[1].kind, GossipKind::Echo);
+        assert!(deliveries_of(&actions).is_empty());
+        assert_eq!(e.phase(tag(0, 7)), Phase::Echoed);
+    }
+
+    #[test]
+    fn all_correct_mesh_delivers_exactly_once_everywhere() {
+        let n = 8;
+        let mut engines: Vec<BrachaEngine> =
+            (0..n as u32).map(|v| BrachaEngine::new(v, cfg())).collect();
+        let payload = Bytes::from_static(b"agreed value");
+        let mut initial = Vec::new();
+        let mut origin_delivered = Vec::new();
+        for action in engines[0].broadcast(1, payload.clone()) {
+            match action {
+                Action::Gossip(f) => {
+                    for peer in 1..n {
+                        initial.push((peer, f.clone()));
+                    }
+                }
+                Action::Deliver(d) => origin_delivered.push(d),
+            }
+        }
+        let mut delivered = run_mesh(&mut engines, initial);
+        delivered[0].extend(origin_delivered);
+        for (v, d) in delivered.iter().enumerate() {
+            assert_eq!(d.len(), 1, "node {v} delivers exactly once");
+            assert_eq!(d[0].payload, payload);
+            assert_eq!(d[0].tag, tag(0, 1));
+        }
+        for e in &engines {
+            assert_eq!(e.phase(tag(0, 1)), Phase::Delivered);
+        }
+    }
+
+    #[test]
+    fn empty_payload_broadcast_still_delivers() {
+        let n = 8;
+        let mut engines: Vec<BrachaEngine> =
+            (0..n as u32).map(|v| BrachaEngine::new(v, cfg())).collect();
+        let mut initial = Vec::new();
+        for action in engines[3].broadcast(9, Bytes::new()) {
+            if let Action::Gossip(f) = action {
+                for peer in 0..n {
+                    if peer != 3 {
+                        initial.push((peer, f.clone()));
+                    }
+                }
+            }
+        }
+        let delivered = run_mesh(&mut engines, initial);
+        for (v, d) in delivered.iter().enumerate() {
+            if v != 3 {
+                assert_eq!(d.len(), 1, "node {v}");
+                assert!(d[0].payload.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn equivocating_origin_cannot_split_correct_nodes() {
+        // n=8, f=1: node 7 is the traitor origin, sending payload A to
+        // engines 0..3 and payload B to engines 3..7. At most one digest
+        // can gather the echo quorum of 5 among 7 correct nodes — so no
+        // two correct nodes may deliver different payloads.
+        let mut engines: Vec<BrachaEngine> =
+            (0..7u32).map(|v| BrachaEngine::new(v, cfg())).collect();
+        let t = tag(7, 1);
+        let mk = |payload: &'static [u8]| GossipFrame {
+            kind: GossipKind::Send,
+            witness: 7,
+            tag: t,
+            digest: digest(payload),
+            payload: Bytes::from_static(payload),
+        };
+        let mut initial = Vec::new();
+        for peer in 0..3 {
+            initial.push((peer, mk(b"A")));
+        }
+        for peer in 3..7 {
+            initial.push((peer, mk(b"B")));
+        }
+        let delivered = run_mesh(&mut engines, initial);
+        let digests: BTreeSet<u64> = delivered.iter().flatten().map(|d| d.digest).collect();
+        assert!(
+            digests.len() <= 1,
+            "agreement: at most one digest delivered"
+        );
+        // Totality: if any correct node delivered, all did.
+        let any = delivered.iter().any(|d| !d.is_empty());
+        if any {
+            assert!(delivered.iter().all(|d| d.len() == 1));
+        }
+    }
+
+    #[test]
+    fn forged_send_impersonating_correct_origin_is_dropped() {
+        let mut e = BrachaEngine::new(1, cfg());
+        let forged = GossipFrame {
+            kind: GossipKind::Send,
+            witness: 5,     // traitor vouching...
+            tag: tag(0, 1), // ...for an instance it claims node 0 originated
+            digest: digest(b"fake"),
+            payload: Bytes::from_static(b"fake"),
+        };
+        assert!(e.on_gossip(&forged).is_empty());
+        assert_eq!(e.phase(tag(0, 1)), Phase::Init);
+    }
+
+    #[test]
+    fn digest_mismatch_is_dropped() {
+        let mut e = BrachaEngine::new(1, cfg());
+        let bad = GossipFrame {
+            kind: GossipKind::Echo,
+            witness: 2,
+            tag: tag(0, 1),
+            digest: 0xdead,
+            payload: Bytes::from_static(b"does not hash to 0xdead"),
+        };
+        assert!(e.on_gossip(&bad).is_empty());
+    }
+
+    #[test]
+    fn duplicate_witness_votes_count_once() {
+        let mut e = BrachaEngine::new(6, cfg());
+        let t = tag(0, 1);
+        let ready = |w: u32| GossipFrame {
+            kind: GossipKind::Ready,
+            witness: w,
+            tag: t,
+            digest: 42,
+            payload: Bytes::new(),
+        };
+        // The same witness readying twice must not amplify (threshold 2).
+        assert!(e.on_gossip(&ready(3)).is_empty());
+        assert!(e.on_gossip(&ready(3)).is_empty());
+        assert_eq!(e.phase(t), Phase::Init);
+        // A second distinct witness does.
+        let actions = e.on_gossip(&ready(4));
+        let gossip = gossip_of(&actions);
+        assert_eq!(gossip.len(), 1);
+        assert_eq!(gossip[0].kind, GossipKind::Ready);
+        assert_eq!(e.phase(t), Phase::Readied);
+    }
+
+    #[test]
+    fn delivery_waits_for_payload_then_fires_on_arrival() {
+        // Readys can outrun the payload: the node must hold delivery until
+        // an ECHO carrying the payload arrives, then deliver immediately.
+        let mut e = BrachaEngine::new(6, cfg());
+        let t = tag(0, 1);
+        let payload = Bytes::from_static(b"late payload");
+        let d = digest(&payload);
+        for w in 0..3u32 {
+            let ready = GossipFrame {
+                kind: GossipKind::Ready,
+                witness: w,
+                tag: t,
+                digest: d,
+                payload: Bytes::new(),
+            };
+            assert!(deliveries_of(&e.on_gossip(&ready)).is_empty());
+        }
+        assert_eq!(e.phase(t), Phase::Readied, "readied but cannot deliver yet");
+        let echo = GossipFrame {
+            kind: GossipKind::Echo,
+            witness: 3,
+            tag: t,
+            digest: d,
+            payload: payload.clone(),
+        };
+        let actions = e.on_gossip(&echo);
+        let delivered = deliveries_of(&actions);
+        assert_eq!(delivered.len(), 1);
+        assert_eq!(delivered[0].payload, payload);
+        assert_eq!(e.phase(t), Phase::Delivered);
+    }
+
+    #[test]
+    fn over_bound_collusion_forges_a_delivery() {
+        // Bound tightness: the protocol is configured for f=1 (delivery
+        // quorum 3), but THREE traitors collude — witnesses 2, 3, 4 all
+        // echo and ready a forged instance claiming origin 0. The victim
+        // accumulates 3 ready witnesses plus the payload, and delivers a
+        // broadcast node 0 never sent. This is exactly what the chaos
+        // oracle's Integrity check fires on.
+        let mut e = BrachaEngine::new(6, cfg());
+        let t = tag(0, 0xF000);
+        let payload = Bytes::from_static(b"forged");
+        let d = digest(&payload);
+        let mut delivered = Vec::new();
+        for w in [2u32, 3, 4] {
+            let echo = GossipFrame {
+                kind: GossipKind::Echo,
+                witness: w,
+                tag: t,
+                digest: d,
+                payload: payload.clone(),
+            };
+            let ready = GossipFrame {
+                kind: GossipKind::Ready,
+                witness: w,
+                tag: t,
+                digest: d,
+                payload: Bytes::new(),
+            };
+            for a in e.on_gossip(&echo).into_iter().chain(e.on_gossip(&ready)) {
+                if let Action::Deliver(del) = a {
+                    delivered.push(del);
+                }
+            }
+        }
+        assert_eq!(delivered.len(), 1, "victim delivers the forged instance");
+        assert_eq!(delivered[0].tag, t);
+        // Under the bound (a single traitor) the same attack goes nowhere:
+        let mut e2 = BrachaEngine::new(6, cfg());
+        let echo = GossipFrame {
+            kind: GossipKind::Echo,
+            witness: 2,
+            tag: t,
+            digest: d,
+            payload: payload.clone(),
+        };
+        let ready = GossipFrame {
+            kind: GossipKind::Ready,
+            witness: 2,
+            tag: t,
+            digest: d,
+            payload: Bytes::new(),
+        };
+        assert!(e2.on_gossip(&echo).is_empty());
+        assert!(deliveries_of(&e2.on_gossip(&ready)).is_empty());
+        assert_ne!(e2.phase(t), Phase::Delivered);
+    }
+}

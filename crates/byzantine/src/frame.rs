@@ -1,0 +1,249 @@
+//! Gossip frame codec: Bracha protocol messages as flooding broadcasts.
+//!
+//! Every protocol step (SEND / ECHO / READY) is one [`GossipFrame`],
+//! disseminated by flooding it over the LHG overlay like any other
+//! broadcast. A frame rides in a [`Message`] as:
+//!
+//! ```text
+//! broadcast_id : gossip_frame_id(kind, witness, tag, digest) — BYZ-tagged
+//! origin       : the witness (who vouches for this frame)
+//! payload      : [kind u8 | digest u64 | application payload…]
+//! byz ext      : the instance tag (claimed origin + nonce)
+//! ```
+//!
+//! The broadcast id is a deterministic hash of the frame's identifying
+//! tuple with bit 56 ([`BYZ_ID_TAG`]) set, so (a) flooding dedup works on
+//! every engine without extra state, (b) replayed frames are absorbed by
+//! the same dedup, and (c) the TCP runtime's frame classifier can route
+//! byz gossip without decoding payloads.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use lhg_net::message::{ByzTag, Message};
+
+/// Tag bit marking a broadcast id as Byzantine gossip (bit 56 — below the
+/// TCP runtime's control tags in bits 57..64, above its data id space).
+pub const BYZ_ID_TAG: u64 = 1 << 56;
+
+/// Mask selecting the 56 hash bits of a byz gossip id.
+pub const BYZ_ID_MASK: u64 = BYZ_ID_TAG - 1;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a digest of an application payload. Not cryptographic — the
+/// "signed-enough" model assumes attribution is unforgeable, and the
+/// digest only has to distinguish payloads a traitor actually sends.
+#[must_use]
+pub fn digest(payload: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in payload {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// The three Bracha protocol steps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GossipKind {
+    /// The origin's initial dissemination of the payload.
+    Send,
+    /// A witness attests it saw a `SEND` with this digest.
+    Echo,
+    /// A witness attests the digest is echo-certified (or amplified).
+    Ready,
+}
+
+impl GossipKind {
+    fn as_u8(self) -> u8 {
+        match self {
+            GossipKind::Send => 0,
+            GossipKind::Echo => 1,
+            GossipKind::Ready => 2,
+        }
+    }
+
+    fn from_u8(b: u8) -> Option<Self> {
+        match b {
+            0 => Some(GossipKind::Send),
+            1 => Some(GossipKind::Echo),
+            2 => Some(GossipKind::Ready),
+            _ => None,
+        }
+    }
+}
+
+/// Deterministic flooding id of a gossip frame: FNV-1a over the
+/// identifying tuple, masked under [`BYZ_ID_TAG`]. Identical on every
+/// engine, so copies of one frame arriving over different disjoint paths
+/// dedup against each other.
+#[must_use]
+pub fn gossip_frame_id(kind: GossipKind, witness: u32, tag: ByzTag, dig: u64) -> u64 {
+    let mut h = FNV_OFFSET;
+    let mut mix = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+    };
+    mix(&[kind.as_u8()]);
+    mix(&witness.to_be_bytes());
+    mix(&tag.origin.to_be_bytes());
+    mix(&tag.nonce.to_be_bytes());
+    mix(&dig.to_be_bytes());
+    BYZ_ID_TAG | (h & BYZ_ID_MASK)
+}
+
+/// One Bracha protocol message, before wire encoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GossipFrame {
+    /// Protocol step.
+    pub kind: GossipKind,
+    /// The node vouching for this frame (unforgeable for correct nodes).
+    pub witness: u32,
+    /// The broadcast instance this frame is about.
+    pub tag: ByzTag,
+    /// Digest of the instance payload this frame attests to.
+    pub digest: u64,
+    /// Application payload: carried by `SEND` and `ECHO`, empty on `READY`.
+    pub payload: Bytes,
+}
+
+impl GossipFrame {
+    /// The frame's deterministic flooding broadcast id.
+    #[must_use]
+    pub fn id(&self) -> u64 {
+        gossip_frame_id(self.kind, self.witness, self.tag, self.digest)
+    }
+
+    /// Encodes into a wire [`Message`] (byz extension carries the tag).
+    #[must_use]
+    pub fn to_message(&self) -> Message {
+        let mut buf = BytesMut::with_capacity(1 + 8 + self.payload.len());
+        buf.put_u8(self.kind.as_u8());
+        buf.put_u64(self.digest);
+        buf.put_slice(&self.payload);
+        Message::new(self.id(), self.witness, buf.freeze()).with_byz(self.tag)
+    }
+
+    /// Decodes a gossip frame from a wire message; `None` when the message
+    /// has no byz extension or a malformed gossip payload.
+    #[must_use]
+    pub fn from_message(msg: &Message) -> Option<Self> {
+        let tag = msg.byz?;
+        let mut p = msg.payload.clone();
+        if p.len() < 9 {
+            return None;
+        }
+        let kind = GossipKind::from_u8(p.get_u8())?;
+        let dig = p.get_u64();
+        Some(GossipFrame {
+            kind,
+            witness: msg.origin,
+            tag,
+            digest: dig,
+            payload: p,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tag() -> ByzTag {
+        ByzTag {
+            origin: 3,
+            nonce: 0x1000,
+        }
+    }
+
+    #[test]
+    fn digest_is_stable_and_payload_sensitive() {
+        assert_eq!(digest(b"hello"), digest(b"hello"));
+        assert_ne!(digest(b"hello"), digest(b"hellp"));
+        assert_ne!(digest(b""), digest(b"\0"));
+    }
+
+    #[test]
+    fn frame_round_trips_through_message() {
+        let payload = Bytes::from_static(b"byzantine payload");
+        let f = GossipFrame {
+            kind: GossipKind::Echo,
+            witness: 7,
+            tag: tag(),
+            digest: digest(b"byzantine payload"),
+            payload,
+        };
+        let decoded = GossipFrame::from_message(&f.to_message()).unwrap();
+        assert_eq!(decoded, f);
+    }
+
+    #[test]
+    fn ready_frames_round_trip_with_empty_payload() {
+        let f = GossipFrame {
+            kind: GossipKind::Ready,
+            witness: 2,
+            tag: tag(),
+            digest: 99,
+            payload: Bytes::new(),
+        };
+        let m = f.to_message();
+        assert_eq!(GossipFrame::from_message(&m), Some(f));
+    }
+
+    #[test]
+    fn ids_are_byz_tagged_and_distinct_per_tuple_field() {
+        let base = GossipFrame {
+            kind: GossipKind::Echo,
+            witness: 1,
+            tag: tag(),
+            digest: 5,
+            payload: Bytes::new(),
+        };
+        assert_ne!(base.id() & BYZ_ID_TAG, 0, "bit 56 set");
+        assert_eq!(base.id() >> 57, 0, "no control-tag bits");
+        let mut other = base.clone();
+        other.kind = GossipKind::Ready;
+        assert_ne!(base.id(), other.id(), "kind distinguishes");
+        let mut other = base.clone();
+        other.witness = 2;
+        assert_ne!(base.id(), other.id(), "witness distinguishes");
+        let mut other = base.clone();
+        other.tag.nonce += 1;
+        assert_ne!(base.id(), other.id(), "nonce distinguishes");
+        let mut other = base.clone();
+        other.digest += 1;
+        assert_ne!(base.id(), other.id(), "digest distinguishes");
+    }
+
+    #[test]
+    fn replayed_frame_has_identical_id() {
+        // A byte-identical replay maps to the same broadcast id, so
+        // flooding dedup absorbs it — replay resistance for free.
+        let f = GossipFrame {
+            kind: GossipKind::Send,
+            witness: 3,
+            tag: tag(),
+            digest: digest(b"x"),
+            payload: Bytes::from_static(b"x"),
+        };
+        assert_eq!(
+            f.to_message().broadcast_id,
+            f.clone().to_message().broadcast_id
+        );
+    }
+
+    #[test]
+    fn non_byz_messages_do_not_decode() {
+        let m = Message::new(1, 2, Bytes::from_static(b"plain data"));
+        assert_eq!(GossipFrame::from_message(&m), None);
+    }
+
+    #[test]
+    fn truncated_gossip_payload_is_rejected() {
+        let m = Message::new(1, 2, Bytes::from_static(b"short")).with_byz(tag());
+        assert_eq!(GossipFrame::from_message(&m), None);
+    }
+}

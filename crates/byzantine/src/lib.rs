@@ -1,0 +1,179 @@
+//! # lhg-byzantine
+//!
+//! Bracha echo/ready Byzantine reliable broadcast over LHG overlays —
+//! tolerating nodes that *lie*, not just nodes that crash.
+//!
+//! The paper's central property — an LHG on n nodes is k-connected, so
+//! Menger gives k vertex-disjoint paths between any pair — is exactly the
+//! redundancy Byzantine broadcast needs: with at most
+//! f ≤ ⌊(k−1)/2⌋ traitors, every pair of correct nodes keeps
+//! k − f ≥ f + 1 traitor-free disjoint paths, so gossip among correct
+//! nodes is never cut and quorum messages always get through.
+//!
+//! The protocol is Bracha's (1987) echo/ready broadcast, run as gossip
+//! over the LHG overlay:
+//!
+//! 1. the origin floods `SEND(payload)` for instance `(origin, nonce)`;
+//! 2. a correct node echoes the first `SEND` it sees per instance:
+//!    `ECHO(digest, payload)`;
+//! 3. on ⌈(n+f+1)/2⌉ distinct echo witnesses — or f+1 distinct ready
+//!    witnesses (amplification) — it emits `READY(digest)`;
+//! 4. on 2f+1 distinct ready witnesses it delivers, exactly once.
+//!
+//! Every step is a per-broadcast quorum state machine
+//! (init → echoed → readied → delivered, [`engine::Phase`]). Frame
+//! identity is "signed-enough": each gossip frame carries its witness and
+//! the instance tag ([`lhg_net::message::ByzTag`]) in a backward-compatible
+//! wire extension, and the model assumes correct nodes' attributions cannot
+//! be forged — traitors may equivocate, forge *instances*, stay silent, or
+//! replay, but only under their own witness identity.
+//!
+//! * [`frame`] — gossip frame codec over [`lhg_net::message::Message`]
+//!   and the FNV payload digest;
+//! * [`engine`] — the network-agnostic quorum state machine
+//!   ([`engine::BrachaEngine`]): feed gossip in, get gossip + deliveries
+//!   out; shared verbatim by all three engines;
+//! * [`sim`] — [`sim::ByzantineFlooder`] for the discrete-event simulator,
+//!   plus seeded traitor processes ([`sim::ByzantineTraitor`]);
+//! * [`threaded`] — the same protocol on real OS threads.
+//!
+//! The TCP runtime integration lives in `lhg-runtime` (which depends on
+//! this crate), and the adversarial chaos family in `lhg-chaos`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod frame;
+pub mod sim;
+pub mod threaded;
+
+pub use engine::{Action, BrachaEngine, ByzDelivery, Phase};
+pub use frame::{digest, gossip_frame_id, GossipFrame, GossipKind, BYZ_ID_TAG};
+pub use sim::{
+    run_sim_byzantine, ByzantineFlooder, ByzantineTraitor, ScheduledByzBroadcast, TraitorBehavior,
+    EQUIVOCATE_NONCE_BASE, FORGE_NONCE_BASE,
+};
+pub use threaded::{run_threaded_byzantine, ThreadedByzReport};
+
+/// Maximum traitors a k-connected overlay supports with Bracha broadcast:
+/// f ≤ ⌊(k−1)/2⌋.
+///
+/// Derivation: removing the f traitors must leave the correct subgraph
+/// connected (needs f ≤ k−1), *and* every correct pair must keep more
+/// traitor-free disjoint paths than traitor-blocked ones — of the k
+/// vertex-disjoint paths Menger guarantees, at most f pass through a
+/// traitor, so k − f ≥ f + 1, i.e. f ≤ ⌊(k−1)/2⌋ (the stricter bound).
+#[must_use]
+pub fn max_traitors(k: usize) -> usize {
+    k.saturating_sub(1) / 2
+}
+
+/// Quorum parameters of one Bracha instance: total membership `n` and the
+/// traitor budget `f` the protocol is configured to survive.
+///
+/// Soundness needs n ≥ 3f + 1 (asserted); with LHG overlays at
+/// f = [`max_traitors`]`(k)` this holds for every constructible size,
+/// since an LHG needs n ≥ 2k ≥ 4f + 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BrachaConfig {
+    /// Total membership size (correct + traitor).
+    pub n: usize,
+    /// Traitor budget the quorums are sized for.
+    pub f: usize,
+}
+
+impl BrachaConfig {
+    /// Creates a config; panics if `n < 3f + 1` (quorums would be unsound).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `n < 3f + 1`.
+    #[must_use]
+    pub fn new(n: usize, f: usize) -> Self {
+        assert!(n > 3 * f, "Bracha needs n ≥ 3f+1 (n={n}, f={f})");
+        BrachaConfig { n, f }
+    }
+
+    /// Config for an n-node, k-connected LHG overlay at the full traitor
+    /// budget f = ⌊(k−1)/2⌋.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `n < 3f + 1`.
+    #[must_use]
+    pub fn for_overlay(n: usize, k: usize) -> Self {
+        BrachaConfig::new(n, max_traitors(k))
+    }
+
+    /// Echo quorum ⌈(n+f+1)/2⌉: two echo quorums intersect in at least
+    /// f+1 nodes, hence in a correct node — so no two digests of one
+    /// instance can both be echo-certified.
+    #[must_use]
+    pub fn echo_quorum(&self) -> usize {
+        (self.n + self.f + 1).div_ceil(2)
+    }
+
+    /// Ready amplification threshold f+1: among f+1 distinct ready
+    /// witnesses at least one is correct, so readying on its word is safe.
+    #[must_use]
+    pub fn ready_amplify(&self) -> usize {
+        self.f + 1
+    }
+
+    /// Delivery quorum 2f+1: at least f+1 correct witnesses readied, so
+    /// by amplification every correct node eventually readies — delivery
+    /// is total among correct nodes.
+    #[must_use]
+    pub fn delivery_quorum(&self) -> usize {
+        2 * self.f + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn traitor_bound_follows_connectivity() {
+        assert_eq!(max_traitors(1), 0);
+        assert_eq!(max_traitors(2), 0);
+        assert_eq!(max_traitors(3), 1);
+        assert_eq!(max_traitors(4), 1);
+        assert_eq!(max_traitors(5), 2);
+        assert_eq!(max_traitors(7), 3);
+    }
+
+    #[test]
+    fn quorum_sizes_at_small_memberships() {
+        let c = BrachaConfig::new(8, 1);
+        assert_eq!(c.echo_quorum(), 5);
+        assert_eq!(c.ready_amplify(), 2);
+        assert_eq!(c.delivery_quorum(), 3);
+
+        let c = BrachaConfig::new(4, 1);
+        assert_eq!(c.echo_quorum(), 3);
+        assert_eq!(c.delivery_quorum(), 3);
+    }
+
+    #[test]
+    fn echo_quorums_intersect_in_a_correct_node() {
+        for n in 4..=40 {
+            for f in 0..=(n - 1) / 3 {
+                let c = BrachaConfig::new(n, f);
+                let q = c.echo_quorum();
+                // Two quorums overlap in ≥ 2q − n nodes; that overlap must
+                // exceed f so it contains a correct node.
+                assert!(2 * q > n + f, "n={n} f={f}");
+                // And a quorum must be reachable with all traitors silent.
+                assert!(n - f >= q, "n={n} f={f}: correct nodes can echo-certify");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "n ≥ 3f+1")]
+    fn unsound_membership_is_rejected() {
+        let _ = BrachaConfig::new(6, 2);
+    }
+}

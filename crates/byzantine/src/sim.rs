@@ -1,0 +1,576 @@
+//! Bracha broadcast as discrete-event simulator processes, plus seeded
+//! traitor processes implementing the adversarial behaviors the chaos
+//! engine exercises.
+//!
+//! A correct node runs [`ByzantineFlooder`]: flood every gossip frame you
+//! have not seen (so frames cross the overlay on all k disjoint paths),
+//! feed each first-seen frame to a [`BrachaEngine`], flood whatever it
+//! emits, and hand deliveries to the application via `ctx.deliver`.
+//!
+//! A traitor runs [`ByzantineTraitor`]: the same machinery, corrupted in
+//! one seeded way ([`TraitorBehavior`]). Traitors only ever act under
+//! their own witness identity — the "signed-enough" model — so their
+//! power is bounded exactly as the protocol assumes.
+//!
+//! Delivered application messages are shaped for the chaos oracle:
+//! `broadcast_id` is the instance nonce, `origin` the instance origin,
+//! `trace` the certified digest (so agreement is checkable from the
+//! [`lhg_net::sim::Delivery`] record alone), and the byz tag rides along.
+
+use bytes::Bytes;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use lhg_graph::{Graph, NodeId};
+use lhg_net::message::{ByzTag, Message};
+use lhg_net::seen::SeenSet;
+use lhg_net::sim::{Context, LinkModel, Process, SimReport, Simulation, Time};
+
+use crate::engine::{Action, BrachaEngine};
+use crate::frame::{digest, GossipFrame, GossipKind};
+use crate::BrachaConfig;
+
+/// Timer token space for scheduled broadcasts (token = schedule index).
+const SCHEDULE_TOKEN_LIMIT: u64 = 1 << 32;
+/// Token for a traitor's one-shot attack timer.
+const ATTACK_TOKEN: u64 = 1 << 40;
+/// Token for a replay traitor's recurring re-flood timer.
+const REPLAY_TOKEN: u64 = (1 << 40) + 1;
+
+/// Delay before a traitor mounts its attack: late enough that dials and
+/// first frames have propagated, early enough to race real broadcasts.
+const ATTACK_DELAY_US: Time = 20_000;
+/// Replay period for [`TraitorBehavior::Replay`].
+const REPLAY_PERIOD_US: Time = 50_000;
+
+/// Nonce base for equivocation instances a traitor originates itself.
+pub const EQUIVOCATE_NONCE_BASE: u64 = 0xE000_0000;
+/// Nonce base for instances a traitor forges under a correct origin.
+pub const FORGE_NONCE_BASE: u64 = 0xF000_0000;
+
+/// A broadcast a correct node originates at a scheduled time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScheduledByzBroadcast {
+    /// Per-origin instance nonce.
+    pub nonce: u64,
+    /// Application payload.
+    pub payload: Bytes,
+    /// Simulated origination time.
+    pub at_us: Time,
+}
+
+/// The adversarial repertoire: each traitor is corrupted in one way.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TraitorBehavior {
+    /// Originates one instance under its own identity but sends payload A
+    /// to half its neighbors and payload B to the other half.
+    Equivocate,
+    /// Floods `ECHO` + `READY` for an instance a correct origin never
+    /// sent, vouched only by itself.
+    Forge,
+    /// Runs the protocol correctly but forwards gossip only to a seeded
+    /// subset of its neighbors (possibly none).
+    Silent,
+    /// Runs the protocol correctly but stashes every frame it relays and
+    /// periodically re-floods stale copies.
+    Replay,
+}
+
+impl TraitorBehavior {
+    /// All behaviors, in seeding order.
+    pub const ALL: [TraitorBehavior; 4] = [
+        TraitorBehavior::Equivocate,
+        TraitorBehavior::Forge,
+        TraitorBehavior::Silent,
+        TraitorBehavior::Replay,
+    ];
+
+    /// Stable lowercase name (chaos plans and JSON summaries).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            TraitorBehavior::Equivocate => "equivocate",
+            TraitorBehavior::Forge => "forge",
+            TraitorBehavior::Silent => "silent",
+            TraitorBehavior::Replay => "replay",
+        }
+    }
+}
+
+/// A correct node: flood-relay gossip, run the Bracha engine, deliver.
+pub struct ByzantineFlooder {
+    engine: BrachaEngine,
+    seen: SeenSet,
+    schedule: Vec<ScheduledByzBroadcast>,
+}
+
+impl ByzantineFlooder {
+    /// A correct node `me` with quorum config `cfg` that only relays.
+    #[must_use]
+    pub fn new(me: u32, cfg: BrachaConfig) -> Self {
+        ByzantineFlooder {
+            engine: BrachaEngine::new(me, cfg),
+            seen: SeenSet::default(),
+            schedule: Vec::new(),
+        }
+    }
+
+    /// The same node originating `schedule` at the given times.
+    #[must_use]
+    pub fn with_schedule(mut self, schedule: Vec<ScheduledByzBroadcast>) -> Self {
+        assert!((schedule.len() as u64) < SCHEDULE_TOKEN_LIMIT);
+        self.schedule = schedule;
+        self
+    }
+
+    fn apply(&mut self, actions: Vec<Action>, ctx: &mut Context<'_>) {
+        for action in actions {
+            match action {
+                Action::Gossip(frame) => {
+                    let msg = frame.to_message();
+                    self.seen.insert(msg.broadcast_id);
+                    for &w in &ctx.neighbors().to_vec() {
+                        ctx.send(w, msg.clone());
+                    }
+                }
+                Action::Deliver(d) => {
+                    let msg = Message::new(d.tag.nonce, d.tag.origin, d.payload)
+                        .with_trace(d.digest)
+                        .with_byz(d.tag);
+                    ctx.deliver(msg);
+                }
+            }
+        }
+    }
+}
+
+impl Process for ByzantineFlooder {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        for (idx, b) in self.schedule.iter().enumerate() {
+            ctx.set_timer(b.at_us, idx as u64);
+        }
+    }
+
+    fn on_message(&mut self, from: NodeId, msg: Message, ctx: &mut Context<'_>) {
+        if !self.seen.insert(msg.broadcast_id) {
+            return; // duplicate copy on another disjoint path
+        }
+        // Relay first so the frame keeps crossing the overlay even if the
+        // local engine rejects it.
+        let fwd = msg.forwarded();
+        for &w in &ctx.neighbors().to_vec() {
+            if w != from {
+                ctx.send(w, fwd.clone());
+            }
+        }
+        if let Some(frame) = GossipFrame::from_message(&msg) {
+            let actions = self.engine.on_gossip(&frame);
+            self.apply(actions, ctx);
+        }
+    }
+
+    fn on_timer(&mut self, token: u64, ctx: &mut Context<'_>) {
+        if let Some(b) = self.schedule.get(token as usize) {
+            let (nonce, payload) = (b.nonce, b.payload.clone());
+            let actions = self.engine.broadcast(nonce, payload);
+            self.apply(actions, ctx);
+        }
+    }
+}
+
+/// A traitor node: correct-protocol scaffolding corrupted in one seeded
+/// way. All misbehavior happens under the traitor's own witness identity.
+pub struct ByzantineTraitor {
+    me: u32,
+    behavior: TraitorBehavior,
+    engine: BrachaEngine,
+    seen: SeenSet,
+    rng: StdRng,
+    /// Neighbors a Silent traitor deigns to talk to (none: fully mute).
+    allowed: Option<Vec<NodeId>>,
+    /// Frames a Replay traitor has stashed for re-flooding.
+    stash: Vec<Message>,
+}
+
+impl ByzantineTraitor {
+    /// A traitor at node `me` with the given corruption, deterministically
+    /// seeded.
+    #[must_use]
+    pub fn new(me: u32, cfg: BrachaConfig, behavior: TraitorBehavior, seed: u64) -> Self {
+        ByzantineTraitor {
+            me,
+            behavior,
+            engine: BrachaEngine::new(me, cfg),
+            seen: SeenSet::default(),
+            rng: StdRng::seed_from_u64(seed ^ u64::from(me).rotate_left(17)),
+            allowed: None,
+            stash: Vec::new(),
+        }
+    }
+
+    /// The neighbors this traitor currently sends to.
+    fn targets(&self, ctx: &Context<'_>) -> Vec<NodeId> {
+        match &self.allowed {
+            Some(subset) => subset.clone(),
+            None => ctx.neighbors().to_vec(),
+        }
+    }
+
+    fn flood(&mut self, frame: &GossipFrame, ctx: &mut Context<'_>) {
+        let msg = frame.to_message();
+        self.seen.insert(msg.broadcast_id);
+        for w in self.targets(ctx) {
+            ctx.send(w, msg.clone());
+        }
+    }
+
+    /// Split-brain origination: payload A to even-indexed neighbors,
+    /// payload B to odd-indexed ones, same instance tag.
+    fn equivocate(&mut self, ctx: &mut Context<'_>) {
+        let tag = ByzTag {
+            origin: self.me,
+            nonce: EQUIVOCATE_NONCE_BASE + u64::from(self.me),
+        };
+        let mk = |payload: &'static [u8]| GossipFrame {
+            kind: GossipKind::Send,
+            witness: self.me,
+            tag,
+            digest: digest(payload),
+            payload: Bytes::from_static(payload),
+        };
+        let (a, b) = (mk(b"two-faced: A"), mk(b"two-faced: B"));
+        self.seen.insert(a.to_message().broadcast_id);
+        self.seen.insert(b.to_message().broadcast_id);
+        for (i, w) in ctx.neighbors().to_vec().into_iter().enumerate() {
+            let msg = if i % 2 == 0 {
+                a.to_message()
+            } else {
+                b.to_message()
+            };
+            ctx.send(w, msg);
+        }
+    }
+
+    /// Fabricates an instance claiming a correct origin sent it, then
+    /// vouches for it with its own ECHO + READY. Under the bound this is
+    /// one witness where f+1 are needed, so correct nodes ignore it.
+    fn forge(&mut self, ctx: &mut Context<'_>) {
+        let victim = if self.me == 0 { 1 } else { 0 };
+        let tag = ByzTag {
+            origin: victim,
+            nonce: FORGE_NONCE_BASE + u64::from(self.me),
+        };
+        let payload = Bytes::from_static(b"the origin never said this");
+        let d = digest(&payload);
+        let echo = GossipFrame {
+            kind: GossipKind::Echo,
+            witness: self.me,
+            tag,
+            digest: d,
+            payload,
+        };
+        let ready = GossipFrame {
+            kind: GossipKind::Ready,
+            witness: self.me,
+            tag,
+            digest: d,
+            payload: Bytes::new(),
+        };
+        self.flood(&echo, ctx);
+        self.flood(&ready, ctx);
+    }
+}
+
+impl Process for ByzantineTraitor {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        if self.behavior == TraitorBehavior::Silent {
+            // Fully mute, matching the TCP engine's silent traitor: no
+            // relays, no votes. One mute node is within the f budget; over
+            // budget, mute nodes starve the echo quorum and the oracle
+            // fires — which is exactly how the bound's tightness is shown.
+            self.allowed = Some(Vec::new());
+        }
+        match self.behavior {
+            TraitorBehavior::Equivocate | TraitorBehavior::Forge => {
+                ctx.set_timer(ATTACK_DELAY_US, ATTACK_TOKEN);
+            }
+            TraitorBehavior::Replay => ctx.set_timer(REPLAY_PERIOD_US, REPLAY_TOKEN),
+            TraitorBehavior::Silent => {}
+        }
+    }
+
+    fn on_message(&mut self, from: NodeId, msg: Message, ctx: &mut Context<'_>) {
+        if !self.seen.insert(msg.broadcast_id) {
+            return;
+        }
+        if self.behavior == TraitorBehavior::Replay {
+            self.stash.push(msg.clone());
+        }
+        let fwd = msg.forwarded();
+        for w in self.targets(ctx) {
+            if w != from {
+                ctx.send(w, fwd.clone());
+            }
+        }
+        if let Some(frame) = GossipFrame::from_message(&msg) {
+            let actions = self.engine.on_gossip(&frame);
+            for action in actions {
+                if let Action::Gossip(out) = action {
+                    self.flood(&out, ctx);
+                }
+                // Traitor deliveries are not reported: the oracle only
+                // audits correct nodes.
+            }
+        }
+    }
+
+    fn on_timer(&mut self, token: u64, ctx: &mut Context<'_>) {
+        match (token, self.behavior) {
+            (ATTACK_TOKEN, TraitorBehavior::Equivocate) => self.equivocate(ctx),
+            (ATTACK_TOKEN, TraitorBehavior::Forge) => self.forge(ctx),
+            (REPLAY_TOKEN, TraitorBehavior::Replay) => {
+                // Re-flood a few stale stashed frames; correct nodes'
+                // seen-sets must absorb them without double processing.
+                for _ in 0..self.stash.len().min(4) {
+                    let idx = self.rng.random_range(0..self.stash.len());
+                    let stale = self.stash[idx].clone();
+                    for w in self.targets(ctx) {
+                        ctx.send(w, stale.clone());
+                    }
+                }
+                ctx.set_timer(REPLAY_PERIOD_US, REPLAY_TOKEN);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Runs Bracha broadcasts over `graph` (k-connected) with the given
+/// traitors, returning the raw simulator report. Correct nodes listed in
+/// `schedules` originate their broadcasts at the scheduled times.
+///
+/// The protocol runs at the full budget f = ⌊(k−1)/2⌉ regardless of how
+/// many traitors are actually planted — planting more than f demonstrates
+/// the bound is tight (the oracle fires).
+///
+/// # Panics
+///
+/// Panics if a scheduled origin is also listed as a traitor, or if the
+/// quorums would be unsound (n < 3f+1).
+#[must_use]
+pub fn run_sim_byzantine(
+    graph: &Graph,
+    k: usize,
+    schedules: &[(NodeId, Vec<ScheduledByzBroadcast>)],
+    traitors: &[(NodeId, TraitorBehavior)],
+    link: LinkModel,
+    seed: u64,
+    horizon: Time,
+) -> SimReport {
+    let n = graph.node_count();
+    let cfg = BrachaConfig::for_overlay(n, k);
+    for (origin, _) in schedules {
+        assert!(
+            traitors.iter().all(|(t, _)| t != origin),
+            "scheduled origin {origin} is a traitor"
+        );
+    }
+    let mut sim = Simulation::new(graph, link, seed);
+    let processes: Vec<Box<dyn Process>> = (0..n)
+        .map(|v| -> Box<dyn Process> {
+            let id = NodeId(v);
+            if let Some(&(_, behavior)) = traitors.iter().find(|(t, _)| *t == id) {
+                Box::new(ByzantineTraitor::new(v as u32, cfg, behavior, seed))
+            } else {
+                let schedule = schedules
+                    .iter()
+                    .find(|(o, _)| *o == id)
+                    .map(|(_, s)| s.clone())
+                    .unwrap_or_default();
+                Box::new(ByzantineFlooder::new(v as u32, cfg).with_schedule(schedule))
+            }
+        })
+        .collect();
+    sim.run(processes, horizon)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lhg_core::ktree::build_ktree;
+    use std::collections::{BTreeMap, BTreeSet};
+
+    fn no_jitter() -> LinkModel {
+        LinkModel {
+            base_latency_us: 100,
+            jitter_us: 0,
+        }
+    }
+
+    fn overlay(n: usize, k: usize) -> Graph {
+        build_ktree(n, k)
+            .expect("buildable overlay")
+            .graph()
+            .clone()
+    }
+
+    /// Delivered nonces per node, with their digests.
+    fn delivered_by_node(report: &SimReport, n: usize) -> Vec<BTreeMap<u64, u64>> {
+        let mut out = vec![BTreeMap::new(); n];
+        for d in &report.deliveries {
+            let prev = out[d.node.index()].insert(d.broadcast_id, d.trace.unwrap_or(0));
+            assert!(
+                prev.is_none(),
+                "node {} delivered nonce {} twice",
+                d.node,
+                d.broadcast_id
+            );
+        }
+        out
+    }
+
+    fn sched(nonce: u64, at_us: Time) -> ScheduledByzBroadcast {
+        ScheduledByzBroadcast {
+            nonce,
+            payload: Bytes::from_static(b"scheduled payload"),
+            at_us,
+        }
+    }
+
+    #[test]
+    fn all_correct_overlay_delivers_everywhere() {
+        let g = overlay(8, 3);
+        let report = run_sim_byzantine(
+            &g,
+            3,
+            &[(NodeId(0), vec![sched(0x1000, 0)])],
+            &[],
+            no_jitter(),
+            7,
+            2_000_000,
+        );
+        let per_node = delivered_by_node(&report, 8);
+        for (v, d) in per_node.iter().enumerate() {
+            assert!(d.contains_key(&0x1000), "node {v} delivered");
+        }
+    }
+
+    #[test]
+    fn each_traitor_behavior_cannot_break_safety_or_validity() {
+        for behavior in TraitorBehavior::ALL {
+            let g = overlay(8, 3);
+            let report = run_sim_byzantine(
+                &g,
+                3,
+                &[(NodeId(0), vec![sched(0x1000, 10_000)])],
+                &[(NodeId(4), behavior)],
+                no_jitter(),
+                11,
+                2_000_000,
+            );
+            let per_node = delivered_by_node(&report, 8);
+            // Validity: every correct node delivers the scheduled nonce.
+            let mut digests = BTreeSet::new();
+            for (v, d) in per_node.iter().enumerate() {
+                if v == 4 {
+                    continue;
+                }
+                let dig = d
+                    .get(&0x1000)
+                    .unwrap_or_else(|| panic!("{behavior:?}: node {v} missed the broadcast"));
+                digests.insert(*dig);
+                // Integrity: nothing outside the scheduled + traitor-own
+                // instance spaces is delivered.
+                for nonce in d.keys() {
+                    assert!(
+                        *nonce == 0x1000 || *nonce >= EQUIVOCATE_NONCE_BASE,
+                        "{behavior:?}: node {v} delivered forged nonce {nonce:#x}"
+                    );
+                    assert!(
+                        *nonce < FORGE_NONCE_BASE || *nonce >= FORGE_NONCE_BASE + 0x1000_0000,
+                        "{behavior:?}: node {v} delivered a forged instance"
+                    );
+                }
+            }
+            // Agreement on the scheduled broadcast.
+            assert_eq!(digests.len(), 1, "{behavior:?}: digest disagreement");
+            // Agreement on any traitor-originated instance (equivocation):
+            // nodes may or may not deliver it, but never different digests.
+            let mut equiv: BTreeSet<u64> = BTreeSet::new();
+            for (v, d) in per_node.iter().enumerate() {
+                if v == 4 {
+                    continue;
+                }
+                for (nonce, dig) in d {
+                    if *nonce >= EQUIVOCATE_NONCE_BASE && *nonce < FORGE_NONCE_BASE {
+                        equiv.insert(*dig);
+                    }
+                }
+            }
+            assert!(
+                equiv.len() <= 1,
+                "{behavior:?}: equivocation split correct nodes"
+            );
+        }
+    }
+
+    #[test]
+    fn traitor_origin_totality_holds_under_equivocation() {
+        // If ANY correct node delivers the equivocator's instance, ALL
+        // correct nodes must (Bracha totality).
+        let g = overlay(10, 3);
+        let report = run_sim_byzantine(
+            &g,
+            3,
+            &[(NodeId(0), vec![sched(0x1000, 10_000)])],
+            &[(NodeId(5), TraitorBehavior::Equivocate)],
+            no_jitter(),
+            3,
+            2_000_000,
+        );
+        let per_node = delivered_by_node(&report, 10);
+        let equiv_nonce = EQUIVOCATE_NONCE_BASE + 5;
+        let deliverers: Vec<usize> = (0..10)
+            .filter(|&v| v != 5 && per_node[v].contains_key(&equiv_nonce))
+            .collect();
+        assert!(
+            deliverers.is_empty() || deliverers.len() == 9,
+            "totality violated: only {deliverers:?} delivered the equivocated instance"
+        );
+    }
+
+    #[test]
+    fn determinism_same_seed_same_report() {
+        let g = overlay(8, 3);
+        let run = || {
+            run_sim_byzantine(
+                &g,
+                3,
+                &[(NodeId(1), vec![sched(0x1000, 5_000)])],
+                &[(NodeId(6), TraitorBehavior::Replay)],
+                no_jitter(),
+                42,
+                2_000_000,
+            )
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.deliveries, b.deliveries);
+        assert_eq!(a.messages_sent, b.messages_sent);
+    }
+
+    #[test]
+    #[should_panic(expected = "is a traitor")]
+    fn traitor_origin_is_rejected() {
+        let g = overlay(8, 3);
+        let _ = run_sim_byzantine(
+            &g,
+            3,
+            &[(NodeId(4), vec![sched(1, 0)])],
+            &[(NodeId(4), TraitorBehavior::Silent)],
+            no_jitter(),
+            0,
+            1_000,
+        );
+    }
+}

@@ -1,0 +1,341 @@
+//! Bracha broadcast on real OS threads — the same [`BrachaEngine`] the
+//! simulator uses, under genuine concurrency.
+//!
+//! One thread per node, one unbounded crossbeam channel per node, frames
+//! crossing every edge through the length-prefixed wire codec (so the byz
+//! extension is exercised on every hop). Termination is by idle timeout,
+//! like [`lhg_net::threaded::run_threaded_broadcast`].
+//!
+//! Traitor threads implement the same [`TraitorBehavior`] repertoire as
+//! the simulator processes, adapted to the runner's timerless loop:
+//! equivocators and forgers mount their attack at thread start, silent
+//! traitors filter their outgoing edges, and replayers re-flood a stale
+//! stashed frame every few received frames.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use lhg_graph::{Graph, NodeId};
+use lhg_net::codec::{decode_frame, encode_frame};
+use lhg_net::message::ByzTag;
+use lhg_net::seen::SeenSet;
+
+use crate::engine::{Action, BrachaEngine};
+use crate::frame::{digest, GossipFrame, GossipKind};
+use crate::sim::TraitorBehavior;
+use crate::BrachaConfig;
+
+/// Outcome of a threaded Byzantine broadcast run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ThreadedByzReport {
+    /// Digest each node delivered for the broadcast instance (`None` =
+    /// not delivered; traitor slots are always `None`).
+    pub delivered_digest: Vec<Option<u64>>,
+    /// Total frames sent across all channels.
+    pub messages_sent: u64,
+}
+
+impl ThreadedByzReport {
+    /// `true` if every node outside `traitors` delivered the same digest.
+    #[must_use]
+    pub fn correct_nodes_agree(&self, traitors: &[NodeId]) -> bool {
+        let mut agreed: Option<u64> = None;
+        for (v, d) in self.delivered_digest.iter().enumerate() {
+            if traitors.contains(&NodeId(v)) {
+                continue;
+            }
+            match (d, agreed) {
+                (None, _) => return false,
+                (Some(d), None) => agreed = Some(*d),
+                (Some(d), Some(a)) if *d != a => return false,
+                _ => {}
+            }
+        }
+        agreed.is_some()
+    }
+}
+
+/// Runs one Bracha broadcast of `payload` from `origin` over `graph`
+/// (k-connected) on real threads, with the listed traitors planted.
+///
+/// # Panics
+///
+/// Panics if `origin` is out of bounds or listed as a traitor.
+#[must_use]
+#[allow(clippy::too_many_arguments)]
+pub fn run_threaded_byzantine(
+    graph: &Graph,
+    k: usize,
+    origin: NodeId,
+    nonce: u64,
+    payload: Bytes,
+    traitors: &[(NodeId, TraitorBehavior)],
+    idle_timeout: Duration,
+    seed: u64,
+) -> ThreadedByzReport {
+    let n = graph.node_count();
+    assert!(origin.index() < n, "origin {origin} out of bounds");
+    assert!(
+        traitors.iter().all(|(t, _)| *t != origin),
+        "origin {origin} must not be a traitor"
+    );
+    let cfg = BrachaConfig::for_overlay(n, k);
+
+    let mut senders: Vec<Sender<(usize, Bytes)>> = Vec::with_capacity(n);
+    let mut receivers: Vec<Option<Receiver<(usize, Bytes)>>> = Vec::with_capacity(n);
+    for _ in 0..n {
+        let (tx, rx) = unbounded();
+        senders.push(tx);
+        receivers.push(Some(rx));
+    }
+
+    let delivered: Arc<Mutex<Vec<Option<u64>>>> = Arc::new(Mutex::new(vec![None; n]));
+    let messages_sent = Arc::new(AtomicU64::new(0));
+
+    let mut handles = Vec::new();
+    for (v, rx_slot) in receivers.iter_mut().enumerate() {
+        let rx = rx_slot.take().expect("receiver present");
+        let behavior = traitors
+            .iter()
+            .find(|(t, _)| t.index() == v)
+            .map(|(_, b)| *b);
+        let all_txs: Vec<(usize, Sender<(usize, Bytes)>)> = graph
+            .neighbors(NodeId(v))
+            .map(|w| (w.index(), senders[w.index()].clone()))
+            .collect();
+        let delivered = Arc::clone(&delivered);
+        let messages_sent = Arc::clone(&messages_sent);
+        let start = (v == origin.index()).then(|| (nonce, payload.clone()));
+        handles.push(std::thread::spawn(move || {
+            let me = v as u32;
+            let mut engine = BrachaEngine::new(me, cfg);
+            let mut seen = SeenSet::default();
+            let mut rng = StdRng::seed_from_u64(seed ^ (v as u64).rotate_left(23));
+            // Silent traitors talk only to a seeded neighbor subset.
+            let neighbor_txs: Vec<(usize, Sender<(usize, Bytes)>)> =
+                if behavior == Some(TraitorBehavior::Silent) {
+                    all_txs
+                        .iter()
+                        .filter(|_| rng.random_bool(0.5))
+                        .cloned()
+                        .collect()
+                } else {
+                    all_txs.clone()
+                };
+            let send_all = |frame: &Bytes| {
+                for (_, tx) in &neighbor_txs {
+                    messages_sent.fetch_add(1, Ordering::Relaxed);
+                    let _ = tx.send((v, frame.clone()));
+                }
+            };
+            let apply = |actions: Vec<Action>, seen: &mut SeenSet| {
+                for action in actions {
+                    match action {
+                        Action::Gossip(f) => {
+                            let msg = f.to_message();
+                            seen.insert(msg.broadcast_id);
+                            send_all(&encode_frame(&msg));
+                        }
+                        Action::Deliver(d) => {
+                            if behavior.is_none() {
+                                delivered.lock()[v] = Some(d.digest);
+                            }
+                        }
+                    }
+                }
+            };
+            if let Some((nonce, payload)) = start {
+                let actions = engine.broadcast(nonce, payload);
+                apply(actions, &mut seen);
+            }
+            match behavior {
+                Some(TraitorBehavior::Equivocate) => {
+                    let tag = ByzTag {
+                        origin: me,
+                        nonce: crate::sim::EQUIVOCATE_NONCE_BASE + u64::from(me),
+                    };
+                    let mk = |p: &'static [u8]| GossipFrame {
+                        kind: GossipKind::Send,
+                        witness: me,
+                        tag,
+                        digest: digest(p),
+                        payload: Bytes::from_static(p),
+                    };
+                    for (i, (_, tx)) in all_txs.iter().enumerate() {
+                        let f = if i % 2 == 0 {
+                            mk(b"threaded: A")
+                        } else {
+                            mk(b"threaded: B")
+                        };
+                        let msg = f.to_message();
+                        seen.insert(msg.broadcast_id);
+                        messages_sent.fetch_add(1, Ordering::Relaxed);
+                        let _ = tx.send((v, encode_frame(&msg)));
+                    }
+                }
+                Some(TraitorBehavior::Forge) => {
+                    let victim = u32::from(me == 0);
+                    let tag = ByzTag {
+                        origin: victim,
+                        nonce: crate::sim::FORGE_NONCE_BASE + u64::from(me),
+                    };
+                    let p = Bytes::from_static(b"the origin never said this");
+                    let d = digest(&p);
+                    for f in [
+                        GossipFrame {
+                            kind: GossipKind::Echo,
+                            witness: me,
+                            tag,
+                            digest: d,
+                            payload: p.clone(),
+                        },
+                        GossipFrame {
+                            kind: GossipKind::Ready,
+                            witness: me,
+                            tag,
+                            digest: d,
+                            payload: Bytes::new(),
+                        },
+                    ] {
+                        let msg = f.to_message();
+                        seen.insert(msg.broadcast_id);
+                        send_all(&encode_frame(&msg));
+                    }
+                }
+                _ => {}
+            }
+            let mut stash: Vec<Bytes> = Vec::new();
+            let mut received = 0u64;
+            while let Ok((from, frame)) = rx.recv_timeout(idle_timeout) {
+                let msg = decode_frame(&frame).expect("peers only send valid frames");
+                if !seen.insert(msg.broadcast_id) {
+                    continue;
+                }
+                received += 1;
+                if behavior == Some(TraitorBehavior::Replay) {
+                    stash.push(frame.clone());
+                    // Every few fresh frames, re-flood a stale stashed one;
+                    // peers' seen-sets must absorb the duplicate.
+                    if received.is_multiple_of(4) {
+                        let idx = rng.random_range(0..stash.len());
+                        let stale = stash[idx].clone();
+                        send_all(&stale);
+                    }
+                }
+                // Relay so frames keep crossing the overlay.
+                let fwd = encode_frame(&msg.forwarded());
+                for (w, tx) in &neighbor_txs {
+                    if *w != from {
+                        messages_sent.fetch_add(1, Ordering::Relaxed);
+                        let _ = tx.send((v, fwd.clone()));
+                    }
+                }
+                if let Some(gossip) = GossipFrame::from_message(&msg) {
+                    let actions = engine.on_gossip(&gossip);
+                    apply(actions, &mut seen);
+                }
+            }
+        }));
+    }
+    drop(senders);
+    for h in handles {
+        h.join().expect("node thread panicked");
+    }
+
+    ThreadedByzReport {
+        delivered_digest: Arc::try_unwrap(delivered)
+            .expect("all threads joined")
+            .into_inner(),
+        messages_sent: messages_sent.load(Ordering::Relaxed),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lhg_core::ktree::build_ktree;
+
+    fn overlay(n: usize, k: usize) -> Graph {
+        build_ktree(n, k)
+            .expect("buildable overlay")
+            .graph()
+            .clone()
+    }
+
+    #[test]
+    fn threaded_all_correct_delivers_and_agrees() {
+        let g = overlay(8, 3);
+        let r = run_threaded_byzantine(
+            &g,
+            3,
+            NodeId(0),
+            0x1000,
+            Bytes::from_static(b"threads agree"),
+            &[],
+            Duration::from_millis(200),
+            1,
+        );
+        assert!(r.correct_nodes_agree(&[]));
+        assert_eq!(
+            r.delivered_digest[0],
+            Some(digest(b"threads agree")),
+            "digest is the payload digest"
+        );
+    }
+
+    #[test]
+    fn threaded_silent_traitor_cannot_stop_delivery() {
+        let g = overlay(8, 3);
+        let traitors = [(NodeId(4), TraitorBehavior::Silent)];
+        let r = run_threaded_byzantine(
+            &g,
+            3,
+            NodeId(0),
+            0x1000,
+            Bytes::from_static(b"despite silence"),
+            &traitors,
+            Duration::from_millis(200),
+            7,
+        );
+        assert!(
+            r.correct_nodes_agree(&[NodeId(4)]),
+            "disjoint paths route around the silent traitor: {:?}",
+            r.delivered_digest
+        );
+    }
+
+    #[test]
+    fn threaded_forge_and_replay_do_not_corrupt_the_broadcast() {
+        for behavior in [TraitorBehavior::Forge, TraitorBehavior::Replay] {
+            let g = overlay(8, 3);
+            let traitors = [(NodeId(5), behavior)];
+            let r = run_threaded_byzantine(
+                &g,
+                3,
+                NodeId(1),
+                0x2000,
+                Bytes::from_static(b"authentic"),
+                &traitors,
+                Duration::from_millis(200),
+                13,
+            );
+            assert!(
+                r.correct_nodes_agree(&[NodeId(5)]),
+                "{behavior:?}: {:?}",
+                r.delivered_digest
+            );
+            for (v, d) in r.delivered_digest.iter().enumerate() {
+                if v != 5 {
+                    assert_eq!(*d, Some(digest(b"authentic")), "{behavior:?} node {v}");
+                }
+            }
+        }
+    }
+}

@@ -29,5 +29,7 @@ pub mod plan;
 pub mod runner;
 
 pub use oracle::{ChaosReport, Engine, Violation};
-pub use plan::{BroadcastSpec, CrashSpec, Family, FaultPlan, PartitionSpec};
+pub use plan::{
+    BroadcastSpec, CrashSpec, Family, FaultPlan, PartitionSpec, TraitorSpec, CHAOS_BCAST_BASE,
+};
 pub use runner::{run_sim_chaos, run_suite, run_suite_filtered, run_tcp_chaos, SuiteOutcome};

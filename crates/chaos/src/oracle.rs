@@ -65,6 +65,36 @@ pub enum Violation {
         /// Which phase stalled (e.g. `"heal"`, `"reconverge"`).
         phase: String,
     },
+    /// Byzantine agreement broke: two correct nodes certified different
+    /// payload digests for the same broadcast instance — the one thing
+    /// Bracha's echo quorum exists to prevent.
+    AgreementBroken {
+        /// Instance nonce the nodes disagree on.
+        nonce: u64,
+        /// One of the disagreeing correct nodes.
+        node_a: u32,
+        /// The other.
+        node_b: u32,
+    },
+    /// Byzantine validity broke: a correct origin's broadcast was never
+    /// delivered by some correct node, although traitors were within the
+    /// f = ⌊(k−1)/2⌋ budget.
+    ValidityMissed {
+        /// Instance nonce of the missing broadcast.
+        nonce: u64,
+        /// The correct node that never delivered it.
+        node: u32,
+    },
+    /// Byzantine integrity broke: a correct node delivered an instance no
+    /// correct origin broadcast (a forged or equivocated instance reached
+    /// a delivery quorum), or delivered a scheduled instance with the
+    /// wrong payload digest.
+    IntegrityForged {
+        /// Instance nonce of the corrupt delivery.
+        nonce: u64,
+        /// The deceived correct node.
+        node: u32,
+    },
 }
 
 impl fmt::Display for Violation {
@@ -93,6 +123,25 @@ impl fmt::Display for Violation {
                 write!(f, "replica {node} diverged: {detail}")
             }
             Violation::Timeout { phase } => write!(f, "phase '{phase}' timed out"),
+            Violation::AgreementBroken {
+                nonce,
+                node_a,
+                node_b,
+            } => write!(
+                f,
+                "byzantine agreement broken: nodes {node_a} and {node_b} certified \
+                 different digests for instance {nonce:#x}"
+            ),
+            Violation::ValidityMissed { nonce, node } => write!(
+                f,
+                "byzantine validity missed: correct node {node} never delivered \
+                 instance {nonce:#x} from a correct origin"
+            ),
+            Violation::IntegrityForged { nonce, node } => write!(
+                f,
+                "byzantine integrity forged: correct node {node} delivered \
+                 instance {nonce:#x} that no correct origin broadcast"
+            ),
         }
     }
 }

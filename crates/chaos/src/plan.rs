@@ -31,16 +31,23 @@ pub enum Family {
     /// demands strict exactly-once delivery at every correct node, same as
     /// the clean-link families.
     Lossy,
+    /// Byzantine traitors: nodes that equivocate, forge, replay, or fall
+    /// silent while staying connected. Broadcasts run over the Bracha
+    /// echo/ready protocol ([`lhg_byzantine`]); with at most
+    /// f = ⌊(k−1)/2⌋ traitors the oracle demands agreement, validity and
+    /// integrity at every correct node — strictly.
+    Byzantine,
 }
 
 impl Family {
-    /// Deterministic family for a seed (cycles through all three).
+    /// Deterministic family for a seed (cycles through all four).
     #[must_use]
     pub fn of_seed(seed: u64) -> Family {
-        match seed % 3 {
+        match seed % 4 {
             0 => Family::Crash,
             1 => Family::Partition,
-            _ => Family::Lossy,
+            2 => Family::Lossy,
+            _ => Family::Byzantine,
         }
     }
 
@@ -51,6 +58,7 @@ impl Family {
             Family::Crash => "crash",
             Family::Partition => "partition",
             Family::Lossy => "lossy",
+            Family::Byzantine => "byzantine",
         }
     }
 }
@@ -89,6 +97,23 @@ pub struct BroadcastSpec {
     pub at_us: u64,
 }
 
+/// One corrupted node in a byzantine plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraitorSpec {
+    /// The corrupted node. Never an origin of a scheduled broadcast.
+    pub node: u32,
+    /// Its scripted misbehavior.
+    pub behavior: lhg_byzantine::TraitorBehavior,
+}
+
+/// Nonce base for byzantine plans' scheduled broadcast instances: the
+/// i-th scheduled broadcast runs under nonce `CHAOS_BCAST_BASE + i`.
+/// Disjoint from the traitor attack ranges
+/// ([`lhg_byzantine::EQUIVOCATE_NONCE_BASE`],
+/// [`lhg_byzantine::FORGE_NONCE_BASE`]), so the oracle can tell honest
+/// instances from attack debris by nonce alone.
+pub const CHAOS_BCAST_BASE: u64 = 0x1000;
+
 /// A complete seeded chaos schedule. See the module docs for semantics.
 #[derive(Debug, Clone)]
 pub struct FaultPlan {
@@ -110,6 +135,8 @@ pub struct FaultPlan {
     pub partitions: Vec<PartitionSpec>,
     /// Scheduled crashes.
     pub crashes: Vec<CrashSpec>,
+    /// Corrupted nodes (byzantine family only; empty elsewhere).
+    pub traitors: Vec<TraitorSpec>,
     /// Scheduled broadcasts.
     pub broadcasts: Vec<BroadcastSpec>,
     /// Virtual-time horizon: every schedule entry fits well inside it.
@@ -123,7 +150,13 @@ impl FaultPlan {
     pub fn random(seed: u64, quick: bool) -> FaultPlan {
         let mut rng = StdRng::seed_from_u64(seed);
         let family = Family::of_seed(seed);
-        let k = rng.random_range(2usize..=3);
+        // Byzantine plans pin k = 3: f = ⌊(k−1)/2⌋ gives a budget of one
+        // traitor, and at k = 2 the budget is zero — nothing to inject.
+        let k = if family == Family::Byzantine {
+            3
+        } else {
+            rng.random_range(2usize..=3)
+        };
         // Keep n − crashes ≥ 2k so healing never hits the membership floor.
         let n = if quick {
             rng.random_range((2 * k + 2)..=8)
@@ -151,6 +184,7 @@ impl FaultPlan {
             link_overrides: Vec::new(),
             partitions: Vec::new(),
             crashes: Vec::new(),
+            traitors: Vec::new(),
             broadcasts: Vec::new(),
             horizon_us,
         };
@@ -236,6 +270,24 @@ impl FaultPlan {
                     });
                 }
             }
+            Family::Byzantine => {
+                // One traitor — exactly the f = ⌊(k−1)/2⌋ budget at k = 3.
+                // Links stay clean: a traitor's power is lying, not losing
+                // frames, and the oracle must attribute every anomaly to it.
+                let behaviors = lhg_byzantine::TraitorBehavior::ALL;
+                let traitor = rng.random_range(0..n as u32);
+                plan.traitors.push(TraitorSpec {
+                    node: traitor,
+                    behavior: behaviors[rng.random_range(0..behaviors.len())],
+                });
+                // One broadcast early, one amid the attack window, one
+                // late; origins are always correct nodes (a traitor origin
+                // makes validity unfalsifiable).
+                for at_us in [10_000u64, 500_000, 1_100_000] {
+                    let origin = plan.pick_correct_origin(&mut rng);
+                    plan.broadcasts.push(BroadcastSpec { origin, at_us });
+                }
+            }
         }
         plan.broadcasts.sort_by_key(|b| b.at_us);
         plan
@@ -247,13 +299,14 @@ impl FaultPlan {
         correct[rng.random_range(0..correct.len())]
     }
 
-    /// Nodes with no scheduled crash at all — the nodes the delivery
-    /// oracle demands delivery from and to, on every family.
+    /// Nodes with no scheduled crash and no traitor role — the nodes the
+    /// delivery oracle demands delivery from and to, on every family.
     #[must_use]
     pub fn correct_nodes(&self) -> Vec<u32> {
         let crashed: BTreeSet<u32> = self.crashes.iter().map(|c| c.node).collect();
+        let traitors: BTreeSet<u32> = self.traitors.iter().map(|t| t.node).collect();
         (0..self.n as u32)
-            .filter(|v| !crashed.contains(v))
+            .filter(|v| !crashed.contains(v) && !traitors.contains(v))
             .collect()
     }
 
@@ -352,6 +405,21 @@ mod tests {
                     assert!(plan.crashes.is_empty());
                     assert!(plan.partitions.is_empty());
                 }
+                Family::Byzantine => {
+                    assert_eq!(plan.k, 3);
+                    assert_eq!(plan.traitors.len(), 1, "exactly the f budget");
+                    assert!(plan.is_lossless());
+                    assert!(plan.crashes.is_empty());
+                    assert!(plan.partitions.is_empty());
+                    let correct = plan.correct_nodes();
+                    assert!(!correct.contains(&plan.traitors[0].node));
+                    for b in &plan.broadcasts {
+                        assert!(correct.contains(&b.origin), "origins never traitors");
+                    }
+                }
+            }
+            if plan.family != Family::Byzantine {
+                assert!(plan.traitors.is_empty());
             }
             for b in &plan.broadcasts {
                 assert!(

@@ -16,15 +16,19 @@
 //! precompiled, because the injector epoch starts before the cluster
 //! finishes launching.
 
-use std::collections::{BTreeSet, HashSet};
+use std::collections::{BTreeMap, BTreeSet, HashSet};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use bytes::Bytes;
 
+use lhg_byzantine::{
+    run_sim_byzantine, ScheduledByzBroadcast, TraitorBehavior, EQUIVOCATE_NONCE_BASE,
+};
 use lhg_core::overlay::{DynamicOverlay, MemberId};
 use lhg_core::properties::p4_diameter_bound;
 use lhg_graph::connectivity::is_k_vertex_connected;
+use lhg_graph::NodeId;
 use lhg_net::fault::{FaultInjector, Partition};
 use lhg_net::reliable::{ReliableConfig, ReliableFlooder, ScheduledBroadcast};
 use lhg_net::sim::{LinkModel, Process, SimReport, Simulation};
@@ -33,9 +37,7 @@ use lhg_runtime::{Cluster, RuntimeConfig};
 use crate::oracle::{ChaosReport, Engine, Violation};
 use crate::plan::{BroadcastSpec, Family, FaultPlan};
 
-/// Broadcast ids used by the sim engine: `CHAOS_BCAST_BASE + index` into
-/// [`FaultPlan::broadcasts`].
-pub const CHAOS_BCAST_BASE: u64 = 0x1000;
+pub use crate::plan::CHAOS_BCAST_BASE;
 
 /// At most this many violations of each kind are reported per run; a
 /// systemic failure produces thousands of identical entries otherwise.
@@ -79,6 +81,9 @@ fn flooders(n: usize, broadcasts: &[BroadcastSpec], horizon_us: u64) -> Vec<Box<
 /// builder's domain — [`FaultPlan::random`] never generates such plans.
 #[must_use]
 pub fn run_sim_chaos(plan: &FaultPlan) -> ChaosReport {
+    if plan.family == Family::Byzantine {
+        return run_sim_byz_chaos(plan);
+    }
     let overlay = DynamicOverlay::bootstrap(plan.constraint, plan.n, plan.k)
         .expect("generated plans stay in the builder domain");
     let graph = overlay.graph().clone();
@@ -152,6 +157,168 @@ pub fn run_sim_chaos(plan: &FaultPlan) -> ChaosReport {
         end_time_us: report.end_time,
         deliveries: report.deliveries.len(),
         events_jsonl: None,
+    }
+}
+
+/// Payload of the idx-th scheduled byzantine broadcast — shared by both
+/// engines so the oracle can recompute the certified digest.
+fn byz_payload(idx: usize) -> Bytes {
+    Bytes::from(format!("chaos byz {idx}"))
+}
+
+/// Byzantine family on the simulator: every node runs the Bracha
+/// echo/ready engine over LHG gossip ([`lhg_byzantine::run_sim_byzantine`]),
+/// the plan's traitor misbehaves on schedule, and the oracle demands
+/// agreement, validity and integrity at every correct node. The P4
+/// calibration pass is skipped — a Bracha delivery is a quorum event, not
+/// a single flood hop, so first-receipt hop counts do not measure BFS
+/// distance.
+fn run_sim_byz_chaos(plan: &FaultPlan) -> ChaosReport {
+    let overlay = DynamicOverlay::bootstrap(plan.constraint, plan.n, plan.k)
+        .expect("generated plans stay in the builder domain");
+    let graph = overlay.graph().clone();
+    let mut violations = Vec::new();
+
+    let mut schedules: BTreeMap<usize, Vec<ScheduledByzBroadcast>> = BTreeMap::new();
+    for (idx, b) in plan.broadcasts.iter().enumerate() {
+        schedules
+            .entry(b.origin as usize)
+            .or_default()
+            .push(ScheduledByzBroadcast {
+                nonce: CHAOS_BCAST_BASE + idx as u64,
+                payload: byz_payload(idx),
+                at_us: b.at_us,
+            });
+    }
+    let schedules: Vec<(NodeId, Vec<ScheduledByzBroadcast>)> =
+        schedules.into_iter().map(|(v, s)| (NodeId(v), s)).collect();
+    let traitors: Vec<(NodeId, TraitorBehavior)> = plan
+        .traitors
+        .iter()
+        .map(|t| (NodeId(t.node as usize), t.behavior))
+        .collect();
+
+    let report = run_sim_byzantine(
+        &graph,
+        plan.k,
+        &schedules,
+        &traitors,
+        LinkModel::default(),
+        plan.seed,
+        plan.horizon_us,
+    );
+    if report.end_time > plan.horizon_us {
+        violations.push(Violation::Timeout {
+            phase: "virtual-time horizon".into(),
+        });
+    }
+    let records: Vec<(u32, u64, Option<u64>)> = report
+        .deliveries
+        .iter()
+        .map(|d| (d.node.index() as u32, d.broadcast_id, d.trace))
+        .collect();
+    check_byz_deliveries(plan, &records, &mut violations);
+
+    ChaosReport {
+        seed: plan.seed,
+        engine: Engine::Sim,
+        family: plan.family,
+        n: plan.n,
+        k: plan.k,
+        violations,
+        end_time_us: report.end_time,
+        deliveries: report.deliveries.len(),
+        events_jsonl: None,
+    }
+}
+
+/// The Byzantine oracle, shared by both engines. `records` is every byz
+/// delivery observed: `(node, instance nonce, certified digest)`.
+///
+/// * **Validity** — every scheduled instance (a correct origin's
+///   broadcast) is delivered by every correct node, with the digest of
+///   the payload that origin actually sent (else integrity is charged).
+/// * **Agreement** — for any instance, all correct deliverers certify one
+///   digest. Equivocation instances (the traitor's two-faced SENDs, nonce
+///   `EQUIVOCATE_NONCE_BASE + traitor`) *may* legitimately certify —
+///   whichever story wins the echo race — but never both.
+/// * **Integrity** — any other unscheduled instance delivered by a
+///   correct node is a forgery that should have been f voices short of
+///   every quorum.
+/// * **Exactly-once** — no correct node's log repeats an instance.
+fn check_byz_deliveries(
+    plan: &FaultPlan,
+    records: &[(u32, u64, Option<u64>)],
+    violations: &mut Vec<Violation>,
+) {
+    let correct: BTreeSet<u32> = plan.correct_nodes().into_iter().collect();
+    let scheduled = CHAOS_BCAST_BASE..CHAOS_BCAST_BASE + plan.broadcasts.len() as u64;
+
+    let mut dedup: HashSet<(u32, u64)> = HashSet::new();
+    let mut by_nonce: BTreeMap<u64, Vec<(u32, Option<u64>)>> = BTreeMap::new();
+    let mut dups = 0;
+    for &(node, nonce, digest) in records {
+        if !correct.contains(&node) {
+            continue; // a traitor's log carries no promises
+        }
+        if !dedup.insert((node, nonce)) && dups < MAX_VIOLATIONS_PER_CHECK {
+            dups += 1;
+            violations.push(Violation::DuplicateDelivery {
+                broadcast_id: nonce,
+                node,
+            });
+        }
+        by_nonce.entry(nonce).or_default().push((node, digest));
+    }
+
+    // Validity + integrity on the scheduled instances.
+    let mut missed = 0;
+    for idx in 0..plan.broadcasts.len() {
+        let nonce = CHAOS_BCAST_BASE + idx as u64;
+        let expected = lhg_byzantine::digest(&byz_payload(idx));
+        let empty = Vec::new();
+        let deliveries = by_nonce.get(&nonce).unwrap_or(&empty);
+        let deliverers: BTreeSet<u32> = deliveries.iter().map(|&(v, _)| v).collect();
+        for &v in &correct {
+            if !deliverers.contains(&v) && missed < MAX_VIOLATIONS_PER_CHECK {
+                missed += 1;
+                violations.push(Violation::ValidityMissed { nonce, node: v });
+            }
+        }
+        for &(node, digest) in deliveries {
+            if digest != Some(expected) && violations.len() < MAX_VIOLATIONS_PER_CHECK * 4 {
+                violations.push(Violation::IntegrityForged { nonce, node });
+            }
+        }
+    }
+
+    // Unscheduled instances: an equivocator's own instance may certify
+    // (one story or the other), but must agree; anything else is forged.
+    for (&nonce, deliveries) in &by_nonce {
+        if scheduled.contains(&nonce) {
+            continue;
+        }
+        let from_equivocator = plan.traitors.iter().any(|t| {
+            t.behavior == TraitorBehavior::Equivocate
+                && nonce == EQUIVOCATE_NONCE_BASE + u64::from(t.node)
+        });
+        if from_equivocator {
+            let (first_node, first_digest) = deliveries[0];
+            for &(node, digest) in &deliveries[1..] {
+                if digest != first_digest {
+                    violations.push(Violation::AgreementBroken {
+                        nonce,
+                        node_a: first_node,
+                        node_b: node,
+                    });
+                    break;
+                }
+            }
+        } else {
+            for &(node, _) in deliveries.iter().take(MAX_VIOLATIONS_PER_CHECK) {
+                violations.push(Violation::IntegrityForged { nonce, node });
+            }
+        }
     }
 }
 
@@ -236,6 +403,7 @@ pub fn tcp_chaos_config(seed: u64, faults: Arc<FaultInjector>) -> RuntimeConfig 
         // the 10ms heartbeat period above, an anti-entropy summary every
         // 50ms — both comfortably inside the per-broadcast deadlines.
         reliable: lhg_net::reliable::ReliableConfig::default(),
+        byzantine: None,
     }
 }
 
@@ -258,12 +426,18 @@ pub fn run_tcp_chaos(plan: &FaultPlan) -> ChaosReport {
     inj.set_default_rates(plan.default_rates);
     let inj = Arc::new(inj);
 
-    let cluster = Cluster::launch(
-        plan.constraint,
-        plan.n,
-        plan.k,
-        tcp_chaos_config(plan.seed, Arc::clone(&inj)),
-    );
+    let mut config = tcp_chaos_config(plan.seed, Arc::clone(&inj));
+    if plan.family == Family::Byzantine {
+        config.byzantine = Some(lhg_runtime::ByzantineSetup {
+            f: lhg_byzantine::max_traitors(plan.k),
+            traitors: plan
+                .traitors
+                .iter()
+                .map(|t| (u64::from(t.node), t.behavior))
+                .collect(),
+        });
+    }
+    let cluster = Cluster::launch(plan.constraint, plan.n, plan.k, config);
     let mut cluster = match cluster {
         Ok(c) => c,
         Err(e) => {
@@ -288,13 +462,14 @@ pub fn run_tcp_chaos(plan: &FaultPlan) -> ChaosReport {
         Family::Crash => tcp_crash_schedule(plan, &mut cluster, &mut violations),
         Family::Partition => tcp_partition_schedule(plan, &mut cluster, &inj, &mut violations),
         Family::Lossy => tcp_lossy_schedule(plan, &mut cluster, &mut violations),
+        Family::Byzantine => tcp_byzantine_schedule(plan, &mut cluster, &mut violations),
     }
     check_no_duplicate_deliveries(&cluster, &mut violations);
 
     let deliveries = cluster
         .members()
         .iter()
-        .map(|&m| cluster.delivered_ids(m).len())
+        .map(|&m| cluster.delivered_ids(m).len() + cluster.byz_delivered(m).len())
         .sum();
     let events_jsonl = (!violations.is_empty()).then(|| cluster.events_jsonl());
     cluster.shutdown();
@@ -514,6 +689,50 @@ fn tcp_lossy_schedule(plan: &FaultPlan, cluster: &mut Cluster, violations: &mut 
     std::thread::sleep(Duration::from_millis(300));
 }
 
+/// Byzantine family on TCP: every node runs the Bracha engine over byz
+/// gossip frames on real sockets, the plan's traitor misbehaves on
+/// schedule, and the shared [`check_byz_deliveries`] oracle audits the
+/// correct nodes' certified logs afterwards. The await between
+/// broadcasts is pacing only — a miss is charged by the final sweep, not
+/// twice.
+fn tcp_byzantine_schedule(
+    plan: &FaultPlan,
+    cluster: &mut Cluster,
+    violations: &mut Vec<Violation>,
+) {
+    let correct: Vec<MemberId> = plan
+        .correct_nodes()
+        .into_iter()
+        .map(MemberId::from)
+        .collect();
+    for (idx, spec) in plan.broadcasts.iter().enumerate() {
+        let nonce = CHAOS_BCAST_BASE + idx as u64;
+        if cluster
+            .byzantine_broadcast(MemberId::from(spec.origin), nonce, byz_payload(idx))
+            .is_err()
+        {
+            violations.push(Violation::Timeout {
+                phase: format!("byz broadcast from {}", spec.origin),
+            });
+            continue;
+        }
+        let _ = cluster.await_byz_delivery(nonce, &correct, Duration::from_secs(5));
+    }
+    // Let attack debris (equivocation floods, forged votes, replays) and
+    // trailing quorum traffic drain before the audit.
+    std::thread::sleep(Duration::from_millis(300));
+    let records: Vec<(u32, u64, Option<u64>)> = correct
+        .iter()
+        .flat_map(|&m| {
+            cluster
+                .byz_delivered(m)
+                .into_iter()
+                .map(move |d| (m as u32, d.broadcast_id, d.trace))
+        })
+        .collect();
+    check_byz_deliveries(plan, &records, violations);
+}
+
 /// Per-node exactly-once: no member's delivery log repeats a broadcast id,
 /// under any fault schedule (duplication faults included — dedup absorbs
 /// them; rejoin keeps data ids in the dedup set).
@@ -621,8 +840,9 @@ mod tests {
     use super::*;
 
     #[test]
-    fn sim_chaos_passes_all_three_families() {
-        for seed in 0..6u64 {
+    fn sim_chaos_passes_all_four_families() {
+        // Seeds 0..8 cover each family twice (family = seed % 4).
+        for seed in 0..8u64 {
             let plan = FaultPlan::random(seed, true);
             let report = run_sim_chaos(&plan);
             assert!(
@@ -638,12 +858,54 @@ mod tests {
 
     #[test]
     fn sim_chaos_is_deterministic() {
-        let plan = FaultPlan::random(5, true); // lossy: the faultiest family
+        let plan = FaultPlan::random(6, true); // lossy: the faultiest family
+        assert_eq!(plan.family, Family::Lossy);
         let a = run_sim_chaos(&plan);
         let b = run_sim_chaos(&plan);
         assert_eq!(a.deliveries, b.deliveries);
         assert_eq!(a.end_time_us, b.end_time_us);
         assert_eq!(a.violations, b.violations);
+    }
+
+    #[test]
+    fn sim_byzantine_chaos_is_deterministic() {
+        let plan = FaultPlan::random(3, true); // byzantine family
+        assert_eq!(plan.family, Family::Byzantine);
+        let a = run_sim_chaos(&plan);
+        let b = run_sim_chaos(&plan);
+        assert_eq!(a.deliveries, b.deliveries);
+        assert_eq!(a.end_time_us, b.end_time_us);
+        assert_eq!(a.violations, b.violations);
+    }
+
+    #[test]
+    fn sim_byzantine_over_budget_trips_the_oracle() {
+        // Corrupt past the f = ⌊(k−1)/2⌋ = 1 budget: silence half the
+        // cluster. The echo quorum ⌈(n+f+1)/2⌉ becomes unreachable for
+        // every honest instance, validity must break — and the oracle has
+        // to say so rather than quietly accept the stall.
+        let mut plan = FaultPlan::random(3, true); // byzantine family
+        let origins: BTreeSet<u32> = plan.broadcasts.iter().map(|b| b.origin).collect();
+        plan.traitors.clear();
+        let mut node = 0u32;
+        while plan.traitors.len() < plan.n / 2 {
+            if !origins.contains(&node) {
+                plan.traitors.push(crate::plan::TraitorSpec {
+                    node,
+                    behavior: TraitorBehavior::Silent,
+                });
+            }
+            node += 1;
+        }
+        let report = run_sim_chaos(&plan);
+        assert!(
+            report
+                .violations
+                .iter()
+                .any(|v| matches!(v, Violation::ValidityMissed { .. })),
+            "over-budget traitors must surface as validity violations, got: {:?}",
+            report.violations
+        );
     }
 
     #[test]
@@ -688,6 +950,18 @@ mod tests {
         let plan = FaultPlan::random(2, true); // seed 2 → lossy family
         let report = run_tcp_chaos(&plan);
         assert!(report.passed(), "violations: {:?}", report.violations);
+    }
+
+    #[test]
+    fn tcp_chaos_byzantine_family_smoke() {
+        let plan = FaultPlan::random(3, true); // seed 3 → byzantine family
+        assert_eq!(plan.family, Family::Byzantine);
+        let report = run_tcp_chaos(&plan);
+        assert!(report.passed(), "violations: {:?}", report.violations);
+        assert!(
+            report.deliveries >= plan.correct_nodes().len() * plan.broadcasts.len(),
+            "every correct node certifies every scheduled instance"
+        );
     }
 
     #[test]

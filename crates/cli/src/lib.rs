@@ -11,6 +11,7 @@
 //! lhg cluster   --nodes N --k K [--kill F]    # real-socket self-healing run
 //! lhg observe   --nodes N --k K [--kill F]    # traced run: timeline + hop report
 //! lhg chaos     --seeds N [--engine E]        # seeded fault-injection sweep
+//! lhg byzantine --nodes N --k K [--traitor B] # Bracha broadcast vs. a live traitor
 //! ```
 //!
 //! All logic lives in [`run`], which writes to any `io::Write` — the tests
@@ -151,8 +152,9 @@ USAGE:
   lhg census   --k K [--max-n N]
   lhg cluster  --nodes N --k K [--kill F] [--constraint ktree|kdiamond|jd] [--metrics full|summary|off]
   lhg observe  --nodes N --k K [--kill F] [--broadcasts B] [--constraint C] [--format human|json] [--events PATH]
-  lhg chaos    [--seeds N] [--seed BASE] [--engine sim|tcp|both] [--family crash|partition|lossy]
-               [--quick] [--events PATH] [--json PATH]
+  lhg chaos    [--seeds N] [--seed BASE] [--engine sim|tcp|both]
+               [--family crash|partition|lossy|byzantine] [--quick] [--events PATH] [--json PATH]
+  lhg byzantine --nodes N --k K [--traitor none|equivocate|forge|silent|replay] [--seed S] [--constraint C]
   lhg help
 ";
 
@@ -360,9 +362,10 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
                 Some("crash") => Some(lhg_chaos::Family::Crash),
                 Some("partition") => Some(lhg_chaos::Family::Partition),
                 Some("lossy") => Some(lhg_chaos::Family::Lossy),
+                Some("byzantine") => Some(lhg_chaos::Family::Byzantine),
                 Some(other) => {
                     return Err(err(format!(
-                        "unknown family {other:?} (expected crash, partition or lossy)"
+                        "unknown family {other:?} (expected crash, partition, lossy or byzantine)"
                     )))
                 }
             };
@@ -379,6 +382,15 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
                 out,
             )
         }
+        "byzantine" => {
+            let opts = Options::parse(rest)?;
+            let n: usize = opts.required("nodes")?;
+            let k: usize = opts.required("k")?;
+            let seed: u64 = opts.optional("seed", 42)?;
+            let traitor = opts.string("traitor", "forge");
+            let constraint = opts.string("constraint", "kdiamond");
+            run_byzantine_demo(n, k, &traitor, seed, &constraint, out)
+        }
         other => Err(err(format!("unknown command {other:?}\n{USAGE}"))),
     }
 }
@@ -387,10 +399,13 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
 /// `base_seed` (consecutive, or — with `--family` — scanning upward for
 /// seeds of that family), each executed on every requested engine under
 /// the invariant oracle. Prints one summary line per run; `--json PATH`
-/// additionally writes one machine-readable JSON object per run (JSONL).
-/// On any violation it lists the details, dumps the captured event
-/// timeline to `--events` (when given), and fails with the exact command
-/// line that reproduces the first failing run.
+/// additionally writes one machine-readable JSON object per run (JSONL),
+/// appended and flushed as each run finishes — so an oracle-violation
+/// abort or a killed process still leaves every completed run's record
+/// on disk, never a truncated object. On any violation it lists the
+/// details, dumps the captured event timeline to `--events` (when given),
+/// and fails with the exact command line that reproduces the first
+/// failing run.
 #[allow(clippy::too_many_arguments)]
 fn run_chaos(
     engines: &[lhg_chaos::Engine],
@@ -404,12 +419,23 @@ fn run_chaos(
 ) -> Result<(), CliError> {
     let io_err = |e: std::io::Error| err(format!("write failed: {e}"));
     let mut write_err: Option<std::io::Error> = None;
-    let mut json_lines = String::new();
+    let mut json_err: Option<std::io::Error> = None;
+    let mut json_file = match json_path {
+        Some(path) => Some(
+            std::fs::File::create(path).map_err(|e| err(format!("cannot write {path}: {e}")))?,
+        ),
+        None => None,
+    };
     let outcome =
         lhg_chaos::run_suite_filtered(engines, base_seed, seeds, quick, family, |report| {
-            if json_path.is_some() {
-                json_lines.push_str(&report.to_json_line());
-                json_lines.push('\n');
+            // One complete object + newline per run, flushed immediately:
+            // a later abort can cut the sweep short, never a JSON line.
+            if let Some(f) = json_file.as_mut() {
+                if json_err.is_none() {
+                    json_err = writeln!(f, "{}", report.to_json_line())
+                        .and_then(|()| f.flush())
+                        .err();
+                }
             }
             if write_err.is_none() {
                 if let Err(e) = writeln!(out, "{}", report.summary()) {
@@ -421,7 +447,9 @@ fn run_chaos(
         return Err(io_err(e));
     }
     if let Some(path) = json_path {
-        std::fs::write(path, &json_lines).map_err(|e| err(format!("cannot write {path}: {e}")))?;
+        if let Some(e) = json_err {
+            return Err(err(format!("cannot write {path}: {e}")));
+        }
         writeln!(out, "per-run JSON summaries written to {path}").map_err(io_err)?;
     }
 
@@ -778,6 +806,177 @@ fn run_observe(
     }
 }
 
+/// Drives one `lhg byzantine` demo on the discrete-event simulator: build
+/// the overlay, print the Bracha quorum parameters at the full traitor
+/// budget f = ⌊(k−1)/2⌋, plant one traitor (unless `--traitor none`), run
+/// a broadcast from a correct origin, and report what every correct node
+/// delivered. Exits non-zero if the run itself violates agreement,
+/// validity, integrity or exactly-once — the demo doubles as a smoke
+/// check of the protocol.
+fn run_byzantine_demo(
+    n: usize,
+    k: usize,
+    traitor: &str,
+    seed: u64,
+    constraint: &str,
+    out: &mut dyn Write,
+) -> Result<(), CliError> {
+    use std::collections::BTreeSet;
+
+    use lhg_byzantine::{
+        max_traitors, run_sim_byzantine, BrachaConfig, ScheduledByzBroadcast, TraitorBehavior,
+        EQUIVOCATE_NONCE_BASE, FORGE_NONCE_BASE,
+    };
+    use lhg_graph::NodeId;
+    use lhg_net::sim::LinkModel;
+
+    let io_err = |e: std::io::Error| err(format!("write failed: {e}"));
+    let behavior = match traitor {
+        "none" => None,
+        "equivocate" => Some(TraitorBehavior::Equivocate),
+        "forge" => Some(TraitorBehavior::Forge),
+        "silent" => Some(TraitorBehavior::Silent),
+        "replay" => Some(TraitorBehavior::Replay),
+        other => {
+            return Err(err(format!(
+                "unknown traitor behavior {other:?} \
+                 (expected none, equivocate, forge, silent or replay)"
+            )))
+        }
+    };
+    let f = max_traitors(k);
+    if behavior.is_some() && f == 0 {
+        return Err(err(format!(
+            "k={k} tolerates no traitors (f = ⌊(k−1)/2⌋ = 0); \
+             raise --k to 3 or pass --traitor none"
+        )));
+    }
+    let g = build_topology(constraint, n, k)?;
+    let cfg = BrachaConfig::for_overlay(n, k);
+    writeln!(
+        out,
+        "bracha broadcast over a {constraint} overlay: n={n} k={k} f={f} | \
+         echo quorum {} | ready amplify {} | delivery quorum {}",
+        cfg.echo_quorum(),
+        cfg.ready_amplify(),
+        cfg.delivery_quorum()
+    )
+    .map_err(io_err)?;
+
+    // The traitor is the highest node id; the origin is node 0.
+    let traitors: Vec<(NodeId, TraitorBehavior)> =
+        behavior.iter().map(|&b| (NodeId(n - 1), b)).collect();
+    if let Some(b) = behavior {
+        writeln!(out, "traitor: node {} plays {}", n - 1, b.name()).map_err(io_err)?;
+    }
+    const NONCE: u64 = 1;
+    let schedules = vec![(
+        NodeId(0),
+        vec![ScheduledByzBroadcast {
+            nonce: NONCE,
+            payload: bytes::Bytes::from_static(b"byzantine demo payload"),
+            at_us: 10_000,
+        }],
+    )];
+    let report = run_sim_byzantine(
+        &g,
+        k,
+        &schedules,
+        &traitors,
+        LinkModel::default(),
+        seed,
+        2_000_000,
+    );
+
+    // Group correct-node deliveries by instance nonce; `trace` carries the
+    // certified payload digest.
+    let is_correct = |v: usize| behavior.is_none() || v != n - 1;
+    let mut per_instance: BTreeMap<u64, Vec<(u32, Option<u64>)>> = BTreeMap::new();
+    for d in &report.deliveries {
+        if is_correct(d.node.index()) {
+            per_instance
+                .entry(d.broadcast_id)
+                .or_default()
+                .push((d.node.index() as u32, d.trace));
+        }
+    }
+    for (nonce, recs) in &per_instance {
+        let nodes: BTreeSet<u32> = recs.iter().map(|&(v, _)| v).collect();
+        if nodes.len() != recs.len() {
+            return Err(err(format!(
+                "exactly-once broken: a node delivered instance {nonce:#x} twice"
+            )));
+        }
+    }
+
+    let correct_total = n - traitors.len();
+    let delivered = per_instance.get(&NONCE).map_or(0, Vec::len);
+    writeln!(
+        out,
+        "instance {NONCE:#x} from correct origin 0: delivered by {delivered} of \
+         {correct_total} correct nodes"
+    )
+    .map_err(io_err)?;
+    if delivered < correct_total {
+        return Err(err(format!(
+            "validity broken: {} correct node(s) never delivered instance {NONCE:#x}",
+            correct_total - delivered
+        )));
+    }
+
+    match behavior {
+        Some(TraitorBehavior::Equivocate) => {
+            let nonce = EQUIVOCATE_NONCE_BASE + (n - 1) as u64;
+            match per_instance.get(&nonce) {
+                None => writeln!(
+                    out,
+                    "equivocated instance {nonce:#x}: no face reached a delivery quorum"
+                )
+                .map_err(io_err)?,
+                Some(recs) => {
+                    let digests: BTreeSet<Option<u64>> = recs.iter().map(|&(_, d)| d).collect();
+                    if digests.len() > 1 {
+                        return Err(err(format!(
+                            "agreement broken: correct nodes certified both faces of \
+                             instance {nonce:#x}"
+                        )));
+                    }
+                    writeln!(
+                        out,
+                        "equivocated instance {nonce:#x}: {} correct node(s) certified \
+                         the same single face — agreement holds",
+                        recs.len()
+                    )
+                    .map_err(io_err)?;
+                }
+            }
+        }
+        Some(TraitorBehavior::Forge) => {
+            let nonce = FORGE_NONCE_BASE + (n - 1) as u64;
+            if per_instance.contains_key(&nonce) {
+                return Err(err(format!(
+                    "integrity broken: a correct node delivered forged instance {nonce:#x}"
+                )));
+            }
+            writeln!(
+                out,
+                "forged instance {nonce:#x}: rejected by every correct node \
+                 (echo quorum unreachable on one traitor's word)"
+            )
+            .map_err(io_err)?;
+        }
+        _ => {}
+    }
+
+    writeln!(
+        out,
+        "byzantine broadcast ok: agreement, validity, integrity and exactly-once all hold \
+         ({} messages, {} µs virtual time)",
+        report.messages_sent, report.end_time
+    )
+    .map_err(io_err)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1034,6 +1233,7 @@ mod tests {
         assert!(e.message.contains("at least 1"), "{e}");
         let e = run_to_string(&["chaos", "--family", "cosmic-rays"]).unwrap_err();
         assert!(e.message.contains("unknown family"), "{e}");
+        assert!(e.message.contains("byzantine"), "{e}");
     }
 
     #[test]
@@ -1046,6 +1246,67 @@ mod tests {
         assert!(!out.contains("family=crash"), "{out}");
         assert!(!out.contains("family=partition"), "{out}");
         assert!(out.contains("all 2 run(s) over 2 seed(s) passed"), "{out}");
+    }
+
+    #[test]
+    fn chaos_byzantine_family_filter_runs_on_sim() {
+        let out = run_to_string(&[
+            "chaos",
+            "--seeds",
+            "2",
+            "--engine",
+            "sim",
+            "--family",
+            "byzantine",
+            "--quick",
+        ])
+        .unwrap();
+        assert_eq!(out.matches("family=byzantine").count(), 2, "{out}");
+        assert!(out.contains("all 2 run(s) over 2 seed(s) passed"), "{out}");
+    }
+
+    #[test]
+    fn byzantine_demo_survives_every_traitor_behavior() {
+        for traitor in ["none", "equivocate", "forge", "silent", "replay"] {
+            let out = run_to_string(&[
+                "byzantine",
+                "--nodes",
+                "8",
+                "--k",
+                "3",
+                "--traitor",
+                traitor,
+            ])
+            .unwrap_or_else(|e| panic!("traitor {traitor}: {e}"));
+            assert!(out.contains("n=8 k=3 f=1"), "{traitor}: {out}");
+            assert!(
+                out.contains("delivered by 7 of 7 correct nodes")
+                    || out.contains("delivered by 8 of 8 correct nodes"),
+                "{traitor}: {out}"
+            );
+            assert!(out.contains("byzantine broadcast ok"), "{traitor}: {out}");
+        }
+    }
+
+    #[test]
+    fn byzantine_demo_rejects_bad_options() {
+        let e = run_to_string(&["byzantine", "--nodes", "8", "--k", "2"]).unwrap_err();
+        assert!(e.message.contains("tolerates no traitors"), "{e}");
+        let e = run_to_string(&[
+            "byzantine",
+            "--nodes",
+            "8",
+            "--k",
+            "3",
+            "--traitor",
+            "gremlin",
+        ])
+        .unwrap_err();
+        assert!(e.message.contains("unknown traitor behavior"), "{e}");
+        // k=2 with no traitor is legal: f=0, plain quorum broadcast.
+        let out =
+            run_to_string(&["byzantine", "--nodes", "6", "--k", "2", "--traitor", "none"]).unwrap();
+        assert!(out.contains("f=0"), "{out}");
     }
 
     #[test]

@@ -7,20 +7,20 @@
 //! Over a k-connected overlay this delivers to every correct process
 //! despite up to k−1 fail-stop processes (experiment E15).
 
-use std::collections::HashSet;
-
 use bytes::Bytes;
 
 use lhg_graph::{Graph, NodeId};
 
 use crate::message::Message;
+use crate::seen::SeenSet;
 use crate::sim::{Context, LinkModel, Process, SimReport, Simulation, Time};
 
-/// Flooding reliable-broadcast process.
+/// Flooding reliable-broadcast process. Dedup state is bounded by a
+/// [`SeenSet`] so long-lived relays do not grow memory without limit.
 pub struct FloodProcess {
     /// Broadcast this process originates at time 0, if any.
     originate: Option<(u64, Bytes)>,
-    seen: HashSet<u64>,
+    seen: SeenSet,
 }
 
 impl FloodProcess {
@@ -29,7 +29,7 @@ impl FloodProcess {
     pub fn relay() -> Self {
         FloodProcess {
             originate: None,
-            seen: HashSet::new(),
+            seen: SeenSet::default(),
         }
     }
 
@@ -38,7 +38,16 @@ impl FloodProcess {
     pub fn origin(id: u64, payload: Bytes) -> Self {
         FloodProcess {
             originate: Some((id, payload)),
-            seen: HashSet::new(),
+            seen: SeenSet::default(),
+        }
+    }
+
+    /// Like [`FloodProcess::relay`], retaining at most `cap` seen ids.
+    #[must_use]
+    pub fn relay_with_cap(cap: usize) -> Self {
+        FloodProcess {
+            originate: None,
+            seen: SeenSet::new(cap),
         }
     }
 }
@@ -237,6 +246,42 @@ mod tests {
         let g = cycle(6);
         let r = run_overlay_broadcast(&g, NodeId(0), Bytes::new(), no_jitter(), &[], 0);
         assert_eq!(r.sim.deliveries.len(), 6, "exactly one delivery per node");
+    }
+
+    #[test]
+    fn capped_relay_never_double_delivers_within_retention_window() {
+        // The eviction edge: node 0 floods ids 1..=6 at a relay capped to 4
+        // seen ids (1 and 2 fall out of the window), then replays stale
+        // copies of the two *most recent* ids. Those are still inside the
+        // retention window, so the relay must suppress them — six ids, six
+        // deliveries, no duplicates.
+        struct Burst;
+        impl Process for Burst {
+            fn on_start(&mut self, ctx: &mut Context<'_>) {
+                for id in 1..=6u64 {
+                    ctx.send(NodeId(1), Message::new(id, 0, Bytes::new()));
+                }
+                ctx.set_timer(10_000, 0);
+            }
+            fn on_message(&mut self, _: NodeId, _: Message, _: &mut Context<'_>) {}
+            fn on_timer(&mut self, _: u64, ctx: &mut Context<'_>) {
+                ctx.send(NodeId(1), Message::new(5, 0, Bytes::new()));
+                ctx.send(NodeId(1), Message::new(6, 0, Bytes::new()));
+            }
+        }
+        let mut g = Graph::with_nodes(2);
+        g.add_edge(NodeId(0), NodeId(1));
+        let mut sim = Simulation::new(&g, no_jitter(), 0);
+        let procs: Vec<Box<dyn Process>> =
+            vec![Box::new(Burst), Box::new(FloodProcess::relay_with_cap(4))];
+        let report = sim.run(procs, 1_000_000);
+        let mut delivered: Vec<u64> = report.deliveries.iter().map(|d| d.broadcast_id).collect();
+        delivered.sort_unstable();
+        assert_eq!(
+            delivered,
+            vec![1, 2, 3, 4, 5, 6],
+            "each id delivered exactly once"
+        );
     }
 
     #[test]

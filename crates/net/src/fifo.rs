@@ -10,13 +10,14 @@
 //! in isolation; [`FifoProcess`] plugs it into the discrete-event
 //! simulator.
 
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap};
 
 use bytes::Bytes;
 
 use lhg_graph::NodeId;
 
 use crate::message::Message;
+use crate::seen::SeenSet;
 use crate::sim::{Context, Process};
 
 /// Packs an `(origin, seq)` pair into a broadcast id.
@@ -70,7 +71,7 @@ impl FifoOrder {
 pub struct FifoProcess {
     /// Broadcasts this process originates at time 0: (seq, payload).
     originate: Vec<(u32, Bytes)>,
-    seen: HashSet<u64>,
+    seen: SeenSet,
     order: FifoOrder,
 }
 
@@ -80,7 +81,7 @@ impl FifoProcess {
     pub fn relay() -> Self {
         FifoProcess {
             originate: Vec::new(),
-            seen: HashSet::new(),
+            seen: SeenSet::default(),
             order: FifoOrder::new(),
         }
     }
@@ -94,7 +95,7 @@ impl FifoProcess {
                 .enumerate()
                 .map(|(i, p)| (i as u32, p))
                 .collect(),
-            seen: HashSet::new(),
+            seen: SeenSet::default(),
             order: FifoOrder::new(),
         }
     }

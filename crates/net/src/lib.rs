@@ -21,6 +21,8 @@
 //!   ack + selective NACK, retransmit-on-timeout, backpressure) and
 //!   anti-entropy summaries, so flooding's delivery guarantee survives
 //!   lossy links ([`reliable::LinkSender`], [`reliable::ReliableFlooder`]);
+//! * [`seen`] — capacity-capped dedup of seen broadcast ids
+//!   ([`seen::SeenSet`]), bounding flooding state on long-lived nodes;
 //! * [`threaded`] — the same protocol on real OS threads with crossbeam
 //!   channels, demonstrating the logic outside the simulator.
 //!
@@ -59,5 +61,6 @@ pub mod fifo;
 pub mod message;
 pub mod metrics;
 pub mod reliable;
+pub mod seen;
 pub mod sim;
 pub mod threaded;

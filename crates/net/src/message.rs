@@ -9,9 +9,12 @@
 //! 4 bytes  payload length L
 //! L bytes  payload
 //! --- optional extension block (versioned by its flag byte) ---
-//! 1 byte   extension flags (bitmask: 0x01 = trace id, 0x02 = link seq)
+//! 1 byte   extension flags (bitmask: 0x01 = trace id, 0x02 = link seq,
+//!                           0x04 = byzantine witness tag)
 //! 8 bytes  trace id        (present iff flag bit 0x01 set)
 //! 8 bytes  link sequence   (present iff flag bit 0x02 set)
+//! 12 bytes byz tag         (present iff flag bit 0x04 set:
+//!                           4-byte claimed origin + 8-byte instance nonce)
 //! ```
 //!
 //! The extension block is strictly optional: a frame that ends right after
@@ -31,11 +34,34 @@ pub const TRACE_EXT_FLAG: u8 = 0x01;
 /// (see [`crate::reliable`]).
 pub const SEQ_EXT_FLAG: u8 = 0x02;
 
+/// Extension flag bit announcing a 12-byte Byzantine witness tag
+/// (claimed origin + instance nonce) naming the broadcast *instance* a
+/// Bracha echo/ready frame vouches for. "Signed-enough" identity: correct
+/// nodes never emit a tag for an instance they did not witness, so quorum
+/// counting over distinct witnesses is sound up to the traitor budget.
+pub const BYZ_EXT_FLAG: u8 = 0x04;
+
 /// All extension flag bits this decoder understands.
-pub const KNOWN_EXT_FLAGS: u8 = TRACE_EXT_FLAG | SEQ_EXT_FLAG;
+pub const KNOWN_EXT_FLAGS: u8 = TRACE_EXT_FLAG | SEQ_EXT_FLAG | BYZ_EXT_FLAG;
 
 /// Encoded size of the trace extension block (flag + trace id).
 pub const TRACE_EXT_LEN: usize = 1 + 8;
+
+/// Encoded size of the byz tag payload within the extension block
+/// (4-byte origin + 8-byte nonce; the shared flag byte is not counted).
+pub const BYZ_TAG_LEN: usize = 4 + 8;
+
+/// The broadcast-instance identity carried by the byz extension: the
+/// claimed origin plus a per-origin nonce. One `(origin, nonce)` pair
+/// names one Byzantine broadcast instance end to end; every echo/ready
+/// frame vouching for that instance carries the same tag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ByzTag {
+    /// Member id of the claimed broadcast origin.
+    pub origin: u32,
+    /// Per-origin nonce distinguishing broadcast instances.
+    pub nonce: u64,
+}
 
 /// A broadcast message as it travels the simulated network.
 ///
@@ -58,6 +84,10 @@ pub struct Message {
     /// it is assigned per (sender, receiver) link and stripped on forward.
     /// `None` on legacy frames and best-effort traffic.
     pub link_seq: Option<u64>,
+    /// Byzantine witness tag naming the broadcast instance this frame
+    /// vouches for. Like `trace` it rides along end to end on forwards.
+    /// `None` on legacy frames and non-Byzantine traffic.
+    pub byz: Option<ByzTag>,
 }
 
 impl Message {
@@ -71,6 +101,7 @@ impl Message {
             payload,
             trace: None,
             link_seq: None,
+            byz: None,
         }
     }
 
@@ -88,9 +119,17 @@ impl Message {
         self
     }
 
+    /// The same message carrying a Byzantine witness tag.
+    #[must_use]
+    pub fn with_byz(mut self, tag: ByzTag) -> Self {
+        self.byz = Some(tag);
+        self
+    }
+
     /// A copy with the hop count incremented (what a forwarder sends).
-    /// The trace id, if any, rides along unchanged; the link sequence is
-    /// stripped because it only ever names the hop it arrived on.
+    /// The trace id and byz tag, if any, ride along unchanged; the link
+    /// sequence is stripped because it only ever names the hop it arrived
+    /// on.
     #[must_use]
     pub fn forwarded(&self) -> Self {
         Message {
@@ -103,11 +142,19 @@ impl Message {
     /// Serialized size in bytes.
     #[must_use]
     pub fn encoded_len(&self) -> usize {
-        let ext = match (self.trace.is_some(), self.link_seq.is_some()) {
-            (false, false) => 0,
-            (true, false) | (false, true) => 1 + 8,
-            (true, true) => 1 + 8 + 8,
-        };
+        let mut ext = 0;
+        if self.trace.is_some() {
+            ext += 8;
+        }
+        if self.link_seq.is_some() {
+            ext += 8;
+        }
+        if self.byz.is_some() {
+            ext += BYZ_TAG_LEN;
+        }
+        if ext != 0 {
+            ext += 1; // the flag byte
+        }
         8 + 4 + 4 + 4 + self.payload.len() + ext
     }
 
@@ -129,6 +176,9 @@ impl Message {
         if self.link_seq.is_some() {
             flags |= SEQ_EXT_FLAG;
         }
+        if self.byz.is_some() {
+            flags |= BYZ_EXT_FLAG;
+        }
         if flags != 0 {
             buf.put_u8(flags);
             if let Some(trace_id) = self.trace {
@@ -136,6 +186,10 @@ impl Message {
             }
             if let Some(seq) = self.link_seq {
                 buf.put_u64(seq);
+            }
+            if let Some(tag) = self.byz {
+                buf.put_u32(tag.origin);
+                buf.put_u64(tag.nonce);
             }
         }
         buf.freeze()
@@ -160,21 +214,26 @@ impl Message {
         }
         let payload = raw.slice(0..len);
         let mut ext = raw.slice(len..raw.len());
-        let (trace, link_seq) = if ext.is_empty() {
-            (None, None)
+        let (trace, link_seq, byz) = if ext.is_empty() {
+            (None, None, None)
         } else {
             let flags = ext.get_u8();
             if flags == 0 || flags & !KNOWN_EXT_FLAGS != 0 {
                 return None;
             }
             let want = 8 * usize::from(flags & TRACE_EXT_FLAG != 0)
-                + 8 * usize::from(flags & SEQ_EXT_FLAG != 0);
+                + 8 * usize::from(flags & SEQ_EXT_FLAG != 0)
+                + BYZ_TAG_LEN * usize::from(flags & BYZ_EXT_FLAG != 0);
             if ext.len() != want {
                 return None;
             }
             let trace = (flags & TRACE_EXT_FLAG != 0).then(|| ext.get_u64());
             let link_seq = (flags & SEQ_EXT_FLAG != 0).then(|| ext.get_u64());
-            (trace, link_seq)
+            let byz = (flags & BYZ_EXT_FLAG != 0).then(|| ByzTag {
+                origin: ext.get_u32(),
+                nonce: ext.get_u64(),
+            });
+            (trace, link_seq, byz)
         };
         Some(Message {
             broadcast_id,
@@ -183,6 +242,7 @@ impl Message {
             payload,
             trace,
             link_seq,
+            byz,
         })
     }
 }
@@ -241,6 +301,59 @@ mod tests {
         let ext = &enc[enc.len() - TRACE_EXT_LEN..];
         assert_eq!(ext[0], TRACE_EXT_FLAG);
         assert_eq!(&ext[1..], 0x0102_0304u64.to_be_bytes());
+    }
+
+    #[test]
+    fn byz_tag_round_trips() {
+        let tag = ByzTag {
+            origin: 7,
+            nonce: 0x0102_0304_0506,
+        };
+        let m = Message::new(3, 7, Bytes::from_static(b"byz")).with_byz(tag);
+        let decoded = Message::decode(m.encode()).unwrap();
+        assert_eq!(decoded, m);
+        assert_eq!(decoded.byz, Some(tag));
+        assert_eq!(decoded.trace, None);
+        assert_eq!(decoded.link_seq, None);
+    }
+
+    #[test]
+    fn all_three_extensions_round_trip() {
+        let tag = ByzTag {
+            origin: u32::MAX,
+            nonce: u64::MAX,
+        };
+        let m = Message::new(3, 1, Bytes::from_static(b"full"))
+            .with_trace(0xAA)
+            .with_link_seq(17)
+            .with_byz(tag);
+        let decoded = Message::decode(m.encode()).unwrap();
+        assert_eq!(decoded.trace, Some(0xAA));
+        assert_eq!(decoded.link_seq, Some(17));
+        assert_eq!(decoded.byz, Some(tag));
+    }
+
+    #[test]
+    fn forwarded_keeps_byz_tag() {
+        let tag = ByzTag {
+            origin: 2,
+            nonce: 9,
+        };
+        let m = Message::new(9, 3, Bytes::from_static(b"x"))
+            .with_byz(tag)
+            .with_link_seq(5);
+        let f = m.forwarded();
+        assert_eq!(f.byz, Some(tag), "byz tags ride along on forwards");
+        assert_eq!(f.link_seq, None);
+    }
+
+    #[test]
+    fn byz_extension_with_wrong_length_is_rejected() {
+        let m = Message::new(1, 2, Bytes::from_static(b"abc"));
+        let mut enc = BytesMut::from(&m.encode()[..]);
+        enc.put_u8(BYZ_EXT_FLAG);
+        enc.put_u32(7); // origin but no nonce: 4 of the 12 tag bytes
+        assert_eq!(Message::decode(enc.freeze()), None);
     }
 
     #[test]

@@ -39,13 +39,14 @@
 //! absorbed twice: once here (link-level duplicate) and, if it ever slips
 //! past (e.g. after a link reset), again by the dedup set.
 
-use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 use lhg_graph::NodeId;
 
 use crate::message::Message;
+use crate::seen::SeenSet;
 use crate::sim::{Context, Process};
 
 /// Broadcast id of link-level ack frames (cumulative ack + NACK list in
@@ -430,7 +431,7 @@ pub struct ReliableFlooder {
     cfg: ReliableConfig,
     schedule: Vec<ScheduledBroadcast>,
     horizon_us: u64,
-    seen: HashSet<u64>,
+    seen: SeenSet,
     /// Recently-seen data messages retained for pull serving, plus the
     /// insertion-ordered id window backing summaries and eviction.
     store: HashMap<u64, Message>,
@@ -449,7 +450,7 @@ impl ReliableFlooder {
             cfg,
             schedule,
             horizon_us,
-            seen: HashSet::new(),
+            seen: SeenSet::default(),
             store: HashMap::new(),
             recent: VecDeque::new(),
             tx: HashMap::new(),
@@ -575,7 +576,7 @@ impl Process for ReliableFlooder {
                 Some((false, ids)) => {
                     let missing: Vec<u64> = ids
                         .into_iter()
-                        .filter(|id| !self.seen.contains(id))
+                        .filter(|id| !self.seen.contains(*id))
                         .collect();
                     if !missing.is_empty() {
                         let pull = Message::new(

@@ -1,0 +1,168 @@
+//! Capacity-capped dedup set for flooding broadcast ids.
+//!
+//! Every flooding layer in the workspace keeps a "seen broadcast ids" set
+//! to deliver-and-forward exactly once. An unbounded [`std::collections::HashSet`]
+//! grows forever on long-lived nodes, so [`SeenSet`] bounds it with FIFO
+//! eviction: the set remembers the most recent `cap` ids (its *retention
+//! window*) and forgets the oldest beyond that.
+//!
+//! The safety argument for eviction is the same one the reliable layer's
+//! anti-entropy store makes: a broadcast id only needs to be remembered
+//! while copies of that broadcast can still be in flight. Once the flood
+//! has quiesced — bounded by the network diameter times the per-hop
+//! latency, plus retransmit budgets — a re-arrival can only be a replay,
+//! and `cap` is chosen orders of magnitude above the number of broadcasts
+//! in flight during that window. Within the retention window a re-seen id
+//! is always suppressed, so no double delivery occurs (see the tests).
+
+use std::collections::{HashSet, VecDeque};
+
+/// Default retention window for long-lived runtimes: large enough that a
+/// week-long run at thousands of broadcasts per second still retains every
+/// id that could plausibly be in flight, small enough to bound memory
+/// (~tens of MB at 8 bytes + set overhead per id).
+pub const DEFAULT_SEEN_CAP: usize = 1 << 20;
+
+/// A set of recently-seen broadcast ids with FIFO eviction at `cap`.
+#[derive(Debug, Clone)]
+pub struct SeenSet {
+    cap: usize,
+    set: HashSet<u64>,
+    order: VecDeque<u64>,
+}
+
+impl SeenSet {
+    /// Creates a set retaining at most `cap` ids (at least 1).
+    #[must_use]
+    pub fn new(cap: usize) -> Self {
+        let cap = cap.max(1);
+        SeenSet {
+            cap,
+            set: HashSet::new(),
+            order: VecDeque::new(),
+        }
+    }
+
+    /// Inserts `id`; returns `true` iff it was *not* already present —
+    /// i.e. the caller should deliver and forward. At capacity the oldest
+    /// remembered id is evicted first.
+    pub fn insert(&mut self, id: u64) -> bool {
+        if self.set.contains(&id) {
+            return false;
+        }
+        if self.set.len() >= self.cap {
+            if let Some(old) = self.order.pop_front() {
+                self.set.remove(&old);
+            }
+        }
+        self.set.insert(id);
+        self.order.push_back(id);
+        true
+    }
+
+    /// Whether `id` is within the retention window.
+    #[must_use]
+    pub fn contains(&self, id: u64) -> bool {
+        self.set.contains(&id)
+    }
+
+    /// Number of ids currently retained.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.set.len()
+    }
+
+    /// Whether the set is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.set.is_empty()
+    }
+
+    /// The configured retention capacity.
+    #[must_use]
+    pub fn cap(&self) -> usize {
+        self.cap
+    }
+}
+
+impl Default for SeenSet {
+    fn default() -> Self {
+        SeenSet::new(DEFAULT_SEEN_CAP)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_insert_is_fresh_second_is_not() {
+        let mut s = SeenSet::new(8);
+        assert!(s.insert(1));
+        assert!(!s.insert(1));
+        assert!(s.contains(1));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn eviction_is_fifo_at_capacity() {
+        let mut s = SeenSet::new(2);
+        assert!(s.insert(1));
+        assert!(s.insert(2));
+        assert!(s.insert(3), "3 is fresh; evicts 1");
+        assert!(!s.contains(1), "oldest id evicted");
+        assert!(s.contains(2));
+        assert!(s.contains(3));
+        assert_eq!(s.len(), 2, "capacity bound holds");
+    }
+
+    #[test]
+    fn reseen_id_within_retention_window_is_suppressed() {
+        // The eviction edge: ids still inside the window must keep deduping
+        // even while older ids fall out — a replayed copy of a *recent*
+        // broadcast never double-delivers.
+        let mut s = SeenSet::new(4);
+        for id in 0..10 {
+            assert!(s.insert(id));
+            // The most recent `cap` ids are all still suppressed.
+            for recent in id.saturating_sub(3)..=id {
+                assert!(!s.insert(recent), "id {recent} is within the window");
+            }
+        }
+        assert_eq!(s.len(), 4);
+    }
+
+    #[test]
+    fn evicted_id_reads_as_fresh_again() {
+        // Beyond the retention window the set has forgotten the id — the
+        // caller relies on the flood having quiesced by then.
+        let mut s = SeenSet::new(2);
+        s.insert(1);
+        s.insert(2);
+        s.insert(3);
+        assert!(s.insert(1), "1 fell out of the window");
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped_to_one() {
+        let mut s = SeenSet::new(0);
+        assert_eq!(s.cap(), 1);
+        assert!(s.insert(7));
+        assert!(!s.insert(7), "still dedups the single retained id");
+        assert!(s.insert(8));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn duplicate_insert_does_not_advance_eviction() {
+        let mut s = SeenSet::new(2);
+        s.insert(1);
+        s.insert(2);
+        for _ in 0..5 {
+            assert!(!s.insert(1), "re-inserts are pure no-ops");
+        }
+        assert!(s.contains(1));
+        assert!(s.contains(2));
+        assert_eq!(s.len(), 2);
+    }
+}

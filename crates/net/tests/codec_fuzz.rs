@@ -7,7 +7,7 @@ use proptest::prelude::*;
 
 use lhg_net::codec::{decode_frame, encode_frame};
 use lhg_net::fifo::{fifo_id, fifo_parts};
-use lhg_net::message::{Message, TRACE_EXT_LEN};
+use lhg_net::message::{ByzTag, Message, BYZ_TAG_LEN, TRACE_EXT_LEN};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(256))]
@@ -28,6 +28,9 @@ proptest! {
         trace_id in any::<u64>(),
         sequenced in any::<bool>(),
         seq in any::<u64>(),
+        tagged in any::<bool>(),
+        byz_origin in any::<u32>(),
+        byz_nonce in any::<u64>(),
     ) {
         let msg = Message {
             broadcast_id: id,
@@ -36,9 +39,39 @@ proptest! {
             payload: Bytes::from(payload),
             trace: traced.then_some(trace_id),
             link_seq: sequenced.then_some(seq),
+            byz: tagged.then_some(ByzTag { origin: byz_origin, nonce: byz_nonce }),
         };
         let decoded = Message::decode(msg.encode()).expect("own encoding decodes");
         prop_assert_eq!(decoded, msg);
+    }
+
+    #[test]
+    fn byz_tagged_frames_round_trip_through_codec(
+        id in any::<u64>(),
+        byz_origin in any::<u32>(),
+        byz_nonce in any::<u64>(),
+        payload in proptest::collection::vec(any::<u8>(), 0..256),
+    ) {
+        let tag = ByzTag { origin: byz_origin, nonce: byz_nonce };
+        let msg = Message::new(id, 3, Bytes::from(payload)).with_byz(tag);
+        let frame = encode_frame(&msg);
+        let decoded = decode_frame(&frame).expect("framed encoding decodes");
+        prop_assert_eq!(decoded.byz, Some(tag));
+        prop_assert_eq!(decoded, msg);
+    }
+
+    #[test]
+    fn byz_truncated_tags_are_rejected(
+        byz_nonce in any::<u64>(),
+        payload in proptest::collection::vec(any::<u8>(), 0..64),
+        cut in 1usize..BYZ_TAG_LEN,
+    ) {
+        // Any partial byz tag — 1..11 of its 12 bytes missing — must fail
+        // to decode rather than misparse as a shorter extension.
+        let msg = Message::new(5, 1, Bytes::from(payload))
+            .with_byz(ByzTag { origin: 6, nonce: byz_nonce });
+        let enc = msg.encode();
+        prop_assert_eq!(Message::decode(enc.slice(0..enc.len() - cut)), None);
     }
 
     #[test]
@@ -70,6 +103,7 @@ proptest! {
         raw.put_slice(&payload);
         let decoded = Message::decode(raw.freeze()).expect("legacy frame decodes");
         prop_assert_eq!(decoded.trace, None);
+        prop_assert_eq!(decoded.byz, None);
         prop_assert_eq!(decoded.broadcast_id, id);
         prop_assert_eq!(decoded.payload, Bytes::from(payload));
     }
@@ -80,10 +114,10 @@ proptest! {
         flag in any::<u8>(),
         ext_id in any::<u64>(),
     ) {
-        // Force a flag with an unknown bit: setting bit 2 keeps the full
-        // range of "wrong" flags without a rejection filter (bits 0 and 1
-        // are the known trace and link-seq extensions).
-        let flag = flag | 0x04;
+        // Force a flag with an unknown bit: setting bit 3 keeps the full
+        // range of "wrong" flags without a rejection filter (bits 0..2 are
+        // the known trace, link-seq and byz extensions).
+        let flag = flag | 0x08;
         assert!(flag & !lhg_net::message::KNOWN_EXT_FLAGS != 0);
         let msg = Message::new(11, 2, Bytes::from(payload));
         let mut raw = BytesMut::from(&msg.encode()[..]);

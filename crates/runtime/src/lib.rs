@@ -111,6 +111,22 @@ pub struct RuntimeConfig {
     /// emission run on the main-loop [`RuntimeConfig::tick`]; `tick_us` is
     /// ignored here (it paces the simulator's [`lhg_net::reliable::ReliableFlooder`]).
     pub reliable: lhg_net::reliable::ReliableConfig,
+    /// Byzantine broadcast setup: when set, every node runs a Bracha
+    /// echo/ready engine over the gossip frames ([`lhg_byzantine`]), and
+    /// the listed traitor nodes actively misbehave. `None` — the default —
+    /// still relays byz gossip but delivers nothing.
+    pub byzantine: Option<ByzantineSetup>,
+}
+
+/// Byzantine configuration for a cluster run: the traitor budget the
+/// quorums are sized for, and which members (if any) actually misbehave.
+#[derive(Debug, Clone, Default)]
+pub struct ByzantineSetup {
+    /// Traitor budget f the Bracha quorums are sized for. The protocol is
+    /// safe and live while the *actual* traitors number at most f.
+    pub f: usize,
+    /// Members corrupted for this run, with their behavior.
+    pub traitors: Vec<(u64, lhg_byzantine::TraitorBehavior)>,
 }
 
 impl Default for RuntimeConfig {
@@ -128,6 +144,7 @@ impl Default for RuntimeConfig {
             rng_seed: 0x4C_48_47, // "LHG"
             faults: None,
             reliable: lhg_net::reliable::ReliableConfig::default(),
+            byzantine: None,
         }
     }
 }

@@ -58,7 +58,7 @@
 //!   the `JOIN`. Survivors admit joiners at a canonical sorted position, so
 //!   replicas converge regardless of announcement order.
 
-use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
+use std::collections::{BTreeSet, HashMap, VecDeque};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -71,12 +71,17 @@ use parking_lot::{Mutex, RwLock};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use lhg_byzantine::engine::Action as ByzAction;
+use lhg_byzantine::frame::{digest as byz_digest, GossipFrame, GossipKind};
+use lhg_byzantine::sim::{EQUIVOCATE_NONCE_BASE, FORGE_NONCE_BASE};
+use lhg_byzantine::{BrachaConfig, BrachaEngine, TraitorBehavior};
 use lhg_core::overlay::{ChurnReport, DynamicOverlay, MemberId};
 use lhg_net::backoff::{Backoff, BackoffPolicy};
 use lhg_net::codec::{read_frame, write_frame};
-use lhg_net::message::Message;
+use lhg_net::message::{ByzTag, Message};
 use lhg_net::metrics::{Gauge, MetricsRegistry};
 use lhg_net::reliable::{self, LinkReceiver, LinkSender, MAX_SUMMARY_IDS};
+use lhg_net::seen::SeenSet;
 use lhg_trace::{EventKind, FlightRecorder, PathRecord, TraceCollector};
 
 use crate::wire::{self, FrameKind};
@@ -116,6 +121,9 @@ pub(crate) enum Event {
     PeerClosed { peer: MemberId, conn: u64 },
     /// Originate a broadcast from this node.
     Broadcast { msg: Message },
+    /// Originate a Byzantine (Bracha) broadcast from this node. Requires
+    /// [`crate::RuntimeConfig::byzantine`] to be configured.
+    ByzBroadcast { nonce: u64, payload: Bytes },
     /// Fail-stop: abandon everything immediately, no goodbyes.
     Kill,
 }
@@ -143,6 +151,7 @@ pub struct NodeShared {
     alive: AtomicBool,
     degraded: AtomicBool,
     delivered: Mutex<Vec<Message>>,
+    byz_delivered: Mutex<Vec<Message>>,
     overlay: Mutex<DynamicOverlay>,
     links_up: Mutex<BTreeSet<MemberId>>,
     crashes_applied: Mutex<BTreeSet<MemberId>>,
@@ -178,6 +187,25 @@ impl NodeShared {
     #[must_use]
     pub fn delivered_messages(&self) -> Vec<Message> {
         self.delivered.lock().clone()
+    }
+
+    /// Byzantine broadcast deliveries so far, in delivery order. Each
+    /// message's `broadcast_id` is the instance nonce, `origin` the
+    /// instance origin, `trace` the certified payload digest, and the byz
+    /// tag rides along — the shape the chaos oracle audits.
+    #[must_use]
+    pub fn byz_delivered(&self) -> Vec<Message> {
+        self.byz_delivered.lock().clone()
+    }
+
+    /// Instance nonces of Byzantine deliveries so far, in delivery order.
+    #[must_use]
+    pub fn byz_delivered_nonces(&self) -> Vec<u64> {
+        self.byz_delivered
+            .lock()
+            .iter()
+            .map(|m| m.broadcast_id)
+            .collect()
     }
 
     /// A snapshot of this node's overlay replica.
@@ -239,11 +267,27 @@ pub(crate) fn spawn_node(
     let (tx, rx) = unbounded();
 
     let k = overlay.k();
+    // Quorums are sized for the boot membership: Bracha's n is a protocol
+    // constant, not a view — resizing quorums on churn would let a
+    // partition-era minority certify deliveries the majority never saw.
+    let byz = config.byzantine.as_ref().map(|setup| {
+        let n = overlay.members().len();
+        ByzState {
+            engine: BrachaEngine::new(id as u32, BrachaConfig::new(n, setup.f)),
+            behavior: setup
+                .traitors
+                .iter()
+                .find(|(m, _)| *m == id)
+                .map(|(_, b)| *b),
+            attacked: false,
+        }
+    });
     let shared = Arc::new(NodeShared {
         id,
         alive: AtomicBool::new(true),
         degraded: AtomicBool::new(false),
         delivered: Mutex::new(Vec::new()),
+        byz_delivered: Mutex::new(Vec::new()),
         overlay: Mutex::new(overlay),
         links_up: Mutex::new(BTreeSet::new()),
         crashes_applied: Mutex::new(opts.initial_crashes.clone()),
@@ -296,7 +340,8 @@ pub(crate) fn spawn_node(
             writers: HashMap::new(),
             conn_ids: HashMap::new(),
             conns,
-            seen: HashSet::new(),
+            seen: SeenSet::default(),
+            byz,
             life: opts.life,
             wave_seq: 0,
             last_seen: HashMap::new(),
@@ -401,12 +446,18 @@ struct NodeRuntime {
     conn_ids: HashMap<MemberId, u64>,
     /// Source of connection generation ids (shared with the acceptor).
     conns: Arc<AtomicU64>,
-    /// Flooding dedup: broadcast ids already processed. Entries are never
-    /// removed — every control wave floods under a fresh nonce, so a stale
-    /// copy of an old wave is permanently absorbed here instead of being
-    /// re-applied (re-arming dedup per membership flip is how crash/join
-    /// waves used to chase each other into a churn livelock).
-    seen: HashSet<u64>,
+    /// Flooding dedup: broadcast ids already processed. Entries survive
+    /// until the set's capacity cap evicts the oldest — every control wave
+    /// floods under a fresh nonce, so a stale copy of an old wave is
+    /// absorbed here instead of being re-applied (re-arming dedup per
+    /// membership flip is how crash/join waves used to chase each other
+    /// into a churn livelock). The cap only matters on runs long enough to
+    /// see millions of distinct ids; see [`lhg_net::seen::SeenSet`].
+    seen: SeenSet,
+    /// Bracha engine + this node's (mis)behavior when the cluster runs
+    /// with [`crate::RuntimeConfig::byzantine`]. `None` relays byz gossip
+    /// like any flood but never votes or delivers.
+    byz: Option<ByzState>,
     /// This node-life's ordinal, unique across the cluster ([`BootOpts`]).
     life: u32,
     /// Per-life wave counter; with `life` it forms each wave's nonce.
@@ -457,6 +508,17 @@ struct NodeRuntime {
     /// eviction (bounded by the reliable config's `store_cap`).
     store: HashMap<u64, Message>,
     recent: VecDeque<u64>,
+}
+
+/// Per-node Byzantine state: the Bracha engine plus this node's scripted
+/// misbehavior, if it is one of the run's traitors.
+struct ByzState {
+    engine: BrachaEngine,
+    /// `Some` makes this node a traitor — it never votes honestly.
+    behavior: Option<TraitorBehavior>,
+    /// Equivocate/forge traitors mount their attack exactly once, on the
+    /// first byz frame they observe (so there is a broadcast to disrupt).
+    attacked: bool,
 }
 
 impl NodeRuntime {
@@ -571,6 +633,15 @@ impl NodeRuntime {
                 // Send the hop-incremented copy so a receiver's `hops` field
                 // counts the edges the copy travelled.
                 self.flood(&msg.forwarded(), None);
+            }
+            Event::ByzBroadcast { nonce, payload } => {
+                let actions = match self.byz.as_mut() {
+                    // Traitors never originate honestly; their scripted
+                    // attacks fire from the frame path instead.
+                    Some(b) if b.behavior.is_none() => b.engine.broadcast(nonce, payload),
+                    _ => Vec::new(),
+                };
+                self.apply_byz_actions(actions);
             }
             Event::Kill => {
                 self.shared.alive.store(false, Ordering::SeqCst);
@@ -701,6 +772,135 @@ impl NodeRuntime {
                     self.flood(&msg.forwarded(), Some(from));
                 }
             }
+            FrameKind::Byz => {
+                if self.seen.insert(msg.broadcast_id) {
+                    self.on_byz_frame(from, msg);
+                }
+            }
+        }
+    }
+
+    /// A deduplicated Bracha gossip frame (SEND/ECHO/READY). Relay happens
+    /// here rather than in the classify arm so a silent traitor can swallow
+    /// the frame entirely; a cluster without a byzantine setup still
+    /// relays (interop) but never votes or delivers.
+    fn on_byz_frame(&mut self, from: MemberId, msg: &Message) {
+        let behavior = self.byz.as_ref().and_then(|b| b.behavior);
+        if behavior == Some(TraitorBehavior::Silent) {
+            return;
+        }
+        self.flood(&msg.forwarded(), Some(from));
+        match behavior {
+            None => {
+                let actions = match (GossipFrame::from_message(msg), self.byz.as_mut()) {
+                    (Some(frame), Some(b)) => b.engine.on_gossip(&frame),
+                    _ => Vec::new(), // malformed frame, or byz off: relay-only
+                };
+                self.apply_byz_actions(actions);
+            }
+            // Re-flood the identical frame: correct peers' dedup absorbs
+            // the duplicate, so the copy costs bandwidth but no votes.
+            Some(TraitorBehavior::Replay) => self.flood(&msg.forwarded(), Some(from)),
+            Some(TraitorBehavior::Equivocate) => self.mount_equivocation(),
+            Some(TraitorBehavior::Forge) => self.mount_forgery(),
+            Some(TraitorBehavior::Silent) => unreachable!("handled above"),
+        }
+    }
+
+    /// Apply a batch of engine outputs: gossip frames flood to every live
+    /// link (marking our own dedup so the echo never re-enters), and
+    /// deliveries land in [`NodeShared::byz_delivered`] shaped for the
+    /// chaos oracle: `broadcast_id` = nonce, `origin`/`trace`/byz tag set.
+    fn apply_byz_actions(&mut self, actions: Vec<ByzAction>) {
+        for action in actions {
+            match action {
+                ByzAction::Gossip(frame) => {
+                    let m = frame.to_message();
+                    self.seen.insert(m.broadcast_id);
+                    self.flood(&m, None);
+                }
+                ByzAction::Deliver(d) => {
+                    self.metrics.counter("runtime.byz_delivered").inc();
+                    let m = Message::new(d.tag.nonce, d.tag.origin, d.payload)
+                        .with_trace(d.digest)
+                        .with_byz(d.tag);
+                    self.shared.byz_delivered.lock().push(m);
+                }
+            }
+        }
+    }
+
+    /// Equivocation attack (once): conflicting SENDs under our own origin,
+    /// one story to even-indexed live links, another to odd. Correct nodes
+    /// must converge on at most one of the two digests (usually neither —
+    /// neither side can reach its echo quorum without the other half).
+    fn mount_equivocation(&mut self) {
+        let Some(b) = self.byz.as_mut() else { return };
+        if std::mem::replace(&mut b.attacked, true) {
+            return;
+        }
+        let tag = ByzTag {
+            origin: self.id as u32,
+            nonce: EQUIVOCATE_NONCE_BASE + self.id,
+        };
+        let mut peers: Vec<MemberId> = self.writers.keys().copied().collect();
+        peers.sort_unstable();
+        for (i, peer) in peers.into_iter().enumerate() {
+            let payload = if i % 2 == 0 {
+                Bytes::from_static(b"two-faced: A")
+            } else {
+                Bytes::from_static(b"two-faced: B")
+            };
+            let frame = GossipFrame {
+                kind: GossipKind::Send,
+                witness: self.id as u32,
+                tag,
+                digest: byz_digest(&payload),
+                payload,
+            };
+            let m = frame.to_message();
+            self.seen.insert(m.broadcast_id);
+            self.send_to(peer, &m);
+        }
+    }
+
+    /// Forgery attack (once): ECHO+READY votes for a SEND the impersonated
+    /// origin (lowest other member) never issued. One forged voice is f
+    /// short of every quorum, so no correct node delivers the fake.
+    fn mount_forgery(&mut self) {
+        let Some(b) = self.byz.as_mut() else { return };
+        if std::mem::replace(&mut b.attacked, true) {
+            return;
+        }
+        let victim = self
+            .shared
+            .overlay
+            .lock()
+            .members()
+            .iter()
+            .copied()
+            .find(|&m| m != self.id)
+            .unwrap_or(self.id);
+        let tag = ByzTag {
+            origin: victim as u32,
+            nonce: FORGE_NONCE_BASE + self.id,
+        };
+        let payload = Bytes::from_static(b"the origin never said this");
+        let dig = byz_digest(&payload);
+        for (kind, body) in [
+            (GossipKind::Echo, payload),
+            (GossipKind::Ready, Bytes::new()),
+        ] {
+            let frame = GossipFrame {
+                kind,
+                witness: self.id as u32,
+                tag,
+                digest: dig,
+                payload: body,
+            };
+            let m = frame.to_message();
+            self.seen.insert(m.broadcast_id);
+            self.flood(&m, None);
         }
     }
 
@@ -1010,7 +1210,7 @@ impl NodeRuntime {
             Some((false, ids)) => {
                 let missing: Vec<u64> = ids
                     .into_iter()
-                    .filter(|id| !self.seen.contains(id))
+                    .filter(|id| !self.seen.contains(*id))
                     .collect();
                 if !missing.is_empty() {
                     self.metrics.counter("runtime.pulls_sent").inc();

@@ -53,17 +53,26 @@ pub const ACK_TAG: u64 = lhg_net::reliable::ACK_TAG;
 /// recently-seen broadcast ids, or a pull request for missing ones — the
 /// payload's mode byte distinguishes). Never forwarded, never deduplicated.
 pub const SUMMARY_TAG: u64 = lhg_net::reliable::SUMMARY_TAG;
+/// Tag bit of Byzantine broadcast gossip (Bracha SEND/ECHO/READY frames,
+/// see [`lhg_byzantine::frame`]). Unlike the other tags, the remaining 56
+/// bits are a content hash of the gossip frame, not a member id — flooded
+/// and deduplicated like data, never re-originated. The numeric value is
+/// [`lhg_byzantine::frame::BYZ_ID_TAG`] so all engines share one id space.
+pub const BYZ_TAG: u64 = lhg_byzantine::frame::BYZ_ID_TAG;
 
 const TAG_MASK: u64 =
-    HELLO_TAG | HEARTBEAT_TAG | CRASH_TAG | JOIN_TAG | SYNC_TAG | ACK_TAG | SUMMARY_TAG;
+    HELLO_TAG | HEARTBEAT_TAG | CRASH_TAG | JOIN_TAG | SYNC_TAG | ACK_TAG | SUMMARY_TAG | BYZ_TAG;
 
 /// Largest member id representable in a tagged frame without colliding with
-/// the wave-nonce bits (also bounds `fifo_id` origins well below bit 57).
-pub const MAX_MEMBERS: u64 = 1 << 25;
+/// the wave-nonce bits (also bounds `fifo_id` origins below bit 56, the
+/// Byzantine gossip tag).
+pub const MAX_MEMBERS: u64 = 1 << 24;
 
 const MEMBER_MASK: u64 = MAX_MEMBERS - 1;
-/// Wave nonces sit between the member id and the tag bits: 32 bits wide.
-const NONCE_SHIFT: u64 = 25;
+/// Wave nonces sit between the member id and the tag bits: 32 bits wide,
+/// occupying bits 24..56 (so the topmost nonce bit stays clear of
+/// [`BYZ_TAG`] at bit 56).
+const NONCE_SHIFT: u64 = 24;
 
 /// What a received frame is, according to its tagged `broadcast_id`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -83,6 +92,9 @@ pub enum FrameKind {
     Ack(MemberId),
     /// Anti-entropy summary (advertisement or pull) from the given member.
     Summary(MemberId),
+    /// Byzantine broadcast gossip (Bracha SEND/ECHO/READY). The witness is
+    /// in the message's origin field and the instance in its byz extension.
+    Byz,
     /// Application broadcast data.
     Data,
 }
@@ -99,6 +111,7 @@ pub fn classify(broadcast_id: u64) -> FrameKind {
         SYNC_TAG => FrameKind::Sync(member),
         ACK_TAG => FrameKind::Ack(member),
         SUMMARY_TAG => FrameKind::Summary(member),
+        BYZ_TAG => FrameKind::Byz,
         _ => FrameKind::Data,
     }
 }
@@ -231,6 +244,33 @@ mod tests {
         assert!(!is_control_id(id));
         assert!(is_control_id(join_id(0, 0)));
         assert!(is_control_id(crash_id(0, 0)));
+    }
+
+    #[test]
+    fn byz_gossip_ids_classify_as_byz() {
+        use lhg_byzantine::frame::{gossip_frame_id, GossipKind};
+        use lhg_net::message::ByzTag;
+
+        let id = gossip_frame_id(
+            GossipKind::Echo,
+            3,
+            ByzTag {
+                origin: 1,
+                nonce: 0x1000,
+            },
+            0xabcd,
+        );
+        assert_eq!(classify(id), FrameKind::Byz);
+        assert!(is_control_id(id));
+        // Byz ids and wave ids can never collide: the full 32-bit wave
+        // nonce tops out at bit 55, below BYZ_TAG.
+        assert_eq!(classify(crash_id(4, u32::MAX)), FrameKind::Crash(4));
+        assert_eq!(classify(join_id(4, u32::MAX)), FrameKind::Join(4));
+        // Nor can max-member fifo data ids reach bit 56.
+        assert_ne!(
+            classify(fifo_id((MAX_MEMBERS - 1) as u32, u32::MAX)),
+            FrameKind::Byz
+        );
     }
 
     #[test]

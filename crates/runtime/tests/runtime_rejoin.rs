@@ -89,9 +89,11 @@ fn killed_node_rejoins_and_delivers_broadcasts() {
         "a revenant-originated broadcast reaches everyone"
     );
 
-    // The revenant never saw the broadcast sent while it was dead, and no
-    // node delivered anything twice across the kill/rejoin cycle.
-    assert!(!c.delivered_ids(VICTIM).contains(&id2));
+    // Anti-entropy may legitimately backfill id2 (sent while the victim
+    // was dead) after the rejoin — summaries advertise recently-seen ids
+    // and the revenant pulls its gaps — so "never delivered" would be
+    // racy. The binding invariant is exactly-once: nothing is delivered
+    // twice across the kill/rejoin cycle.
     for m in c.members() {
         let ids = c.delivered_ids(m);
         let unique: HashSet<u64> = ids.iter().copied().collect();

@@ -18,6 +18,9 @@
 //!   injection;
 //! * [`net`] — discrete-event message-passing substrate and reliable
 //!   broadcast over LHG overlays;
+//! * [`byzantine`] — Bracha echo/ready Byzantine reliable broadcast over
+//!   the k disjoint paths, tolerating f ≤ ⌊(k−1)/2⌋ nodes that lie
+//!   (equivocate, forge, replay, go silent);
 //! * [`trace`] — observability: per-node flight recorders (structured
 //!   lifecycle events, JSONL timelines) and causal broadcast tracing
 //!   (realized dissemination trees checked against the O(log n) bound);
@@ -53,6 +56,7 @@
 #![warn(missing_docs)]
 
 pub use lhg_baselines as baselines;
+pub use lhg_byzantine as byzantine;
 pub use lhg_chaos as chaos;
 pub use lhg_core as core;
 pub use lhg_flood as flood;
