@@ -14,13 +14,15 @@
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
+use std::sync::Arc;
 use std::time::Instant;
 
 use bytes::Bytes;
-use lhg_byzantine::{run_sim_byzantine, ScheduledByzBroadcast};
+use lhg_byzantine::{run_sim_byzantine_with_metrics, ScheduledByzBroadcast};
 use lhg_core::kdiamond::build_kdiamond;
 use lhg_graph::NodeId;
 use lhg_net::message::Message;
+use lhg_net::metrics::MetricsRegistry;
 use lhg_net::seen::SeenSet;
 use lhg_net::sim::{Context, LinkModel, Process, Simulation, Time};
 
@@ -49,6 +51,9 @@ pub struct BaselineRow {
     pub deliveries: usize,
     /// Messages the engine put on links.
     pub messages: u64,
+    /// Bytes on the wire across all links (encoded message bodies, from
+    /// the engine's `sim.bytes_sent` counter).
+    pub bytes: u64,
     /// Wall-clock run time, milliseconds.
     pub wall_ms: f64,
     /// Engine throughput: `messages / wall seconds`.
@@ -119,11 +124,13 @@ fn percentile(sorted: &[u64], pct: usize) -> u64 {
     sorted[(sorted.len() - 1) * pct / 100]
 }
 
+#[allow(clippy::too_many_arguments)]
 fn finish_row(
     mode: &'static str,
     n: usize,
     deliveries: usize,
     messages: u64,
+    bytes: u64,
     mut latencies: Vec<u64>,
     wall: std::time::Duration,
 ) -> BaselineRow {
@@ -135,6 +142,7 @@ fn finish_row(
         broadcasts: BROADCASTS,
         deliveries,
         messages,
+        bytes,
         wall_ms: wall.as_secs_f64() * 1e3,
         #[allow(clippy::cast_precision_loss)]
         throughput_msgs_per_sec: messages as f64 / wall_secs,
@@ -154,7 +162,9 @@ pub fn run_flood_baseline(n: usize) -> BaselineRow {
     let sched = schedule(n);
     let origin_time: BTreeMap<u64, Time> = sched.iter().map(|&(_, id, at)| (id, at)).collect();
     let started = Instant::now();
+    let metrics = Arc::new(MetricsRegistry::new());
     let mut sim = Simulation::new(overlay.graph(), LINK, 42);
+    sim.with_metrics(Arc::clone(&metrics));
     let processes: Vec<Box<dyn Process>> = (0..n)
         .map(|v| -> Box<dyn Process> {
             Box::new(StaggeredFlood {
@@ -180,6 +190,7 @@ pub fn run_flood_baseline(n: usize) -> BaselineRow {
         n,
         report.deliveries.len(),
         report.messages_sent,
+        metrics.counter("sim.bytes_sent").get(),
         latencies,
         wall,
     )
@@ -210,7 +221,17 @@ pub fn run_bracha_baseline(n: usize) -> BaselineRow {
     let schedules: Vec<(NodeId, Vec<ScheduledByzBroadcast>)> = by_origin.into_iter().collect();
     let horizon = BROADCASTS as Time * STAGGER_US + 1_000_000;
     let started = Instant::now();
-    let report = run_sim_byzantine(overlay.graph(), K, &schedules, &[], LINK, 42, horizon);
+    let metrics = Arc::new(MetricsRegistry::new());
+    let report = run_sim_byzantine_with_metrics(
+        overlay.graph(),
+        K,
+        &schedules,
+        &[],
+        LINK,
+        42,
+        horizon,
+        Some(Arc::clone(&metrics)),
+    );
     let wall = started.elapsed();
     let latencies: Vec<u64> = report
         .deliveries
@@ -223,6 +244,7 @@ pub fn run_bracha_baseline(n: usize) -> BaselineRow {
         n,
         report.deliveries.len(),
         report.messages_sent,
+        metrics.counter("sim.bytes_sent").get(),
         latencies,
         wall,
     )
@@ -238,11 +260,50 @@ pub fn run_bracha_baseline(n: usize) -> BaselineRow {
 /// run, or its numbers mean nothing).
 #[must_use]
 pub fn baseline_json(sizes: &[usize]) -> String {
-    let mut rows = Vec::new();
-    for &n in sizes {
-        rows.push(run_flood_baseline(n));
-        rows.push(run_bracha_baseline(n));
+    baseline_json_for(sizes, sizes)
+}
+
+/// Measures one row for `(mode, n)`.
+///
+/// # Panics
+///
+/// Panics on an unknown mode or a lost delivery.
+#[must_use]
+pub fn run_mode_baseline(mode: &str, n: usize) -> BaselineRow {
+    match mode {
+        "flood" => run_flood_baseline(n),
+        "bracha" => run_bracha_baseline(n),
+        other => panic!("unknown baseline mode {other:?}"),
     }
+}
+
+/// Like [`baseline_json`] with independent size lists per mode —
+/// flooding scales to n=1024 in seconds, but Bracha's quorum gossip is
+/// O(n²) messages per broadcast, so its list typically stops earlier.
+///
+/// # Panics
+///
+/// Panics if any run loses a delivery.
+#[must_use]
+pub fn baseline_json_for(flood_sizes: &[usize], bracha_sizes: &[usize]) -> String {
+    let mut rows = Vec::new();
+    for &n in flood_sizes {
+        rows.push(run_flood_baseline(n));
+        if bracha_sizes.contains(&n) {
+            rows.push(run_bracha_baseline(n));
+        }
+    }
+    for &n in bracha_sizes {
+        if !flood_sizes.contains(&n) {
+            rows.push(run_bracha_baseline(n));
+        }
+    }
+    render_baseline_json(&rows)
+}
+
+/// Renders measured rows into the stable `BENCH_<pr>.json` schema.
+#[must_use]
+pub fn render_baseline_json(rows: &[BaselineRow]) -> String {
     let mut out = String::new();
     let _ = write!(
         out,
@@ -256,7 +317,8 @@ pub fn baseline_json(sizes: &[usize]) -> String {
         let _ = write!(
             out,
             "{}\n    {{\"mode\": \"{}\", \"n\": {}, \"broadcasts\": {}, \"deliveries\": {}, \
-             \"messages\": {}, \"wall_ms\": {:.2}, \"throughput_msgs_per_sec\": {:.0}, \
+             \"messages\": {}, \"bytes\": {}, \"wall_ms\": {:.2}, \
+             \"throughput_msgs_per_sec\": {:.0}, \
              \"p50_latency_us\": {}, \"p99_latency_us\": {}}}",
             if i == 0 { "" } else { "," },
             r.mode,
@@ -264,6 +326,7 @@ pub fn baseline_json(sizes: &[usize]) -> String {
             r.broadcasts,
             r.deliveries,
             r.messages,
+            r.bytes,
             r.wall_ms,
             r.throughput_msgs_per_sec,
             r.p50_latency_us,
@@ -284,8 +347,11 @@ mod tests {
         let bracha = run_bracha_baseline(16);
         assert_eq!(flood.deliveries, 16 * BROADCASTS);
         assert_eq!(bracha.deliveries, 16 * BROADCASTS);
-        // Bracha's quorum rounds cost strictly more messages and latency.
+        // Bracha's quorum rounds cost strictly more messages, bytes, and
+        // latency.
         assert!(bracha.messages > flood.messages);
+        assert!(bracha.bytes > flood.bytes);
+        assert!(flood.bytes > 0, "bytes-on-the-wire recorded");
         assert!(bracha.p50_latency_us > flood.p50_latency_us);
         // Zero-jitter links make the virtual-time numbers deterministic.
         assert_eq!(flood.p50_latency_us, run_flood_baseline(16).p50_latency_us);
@@ -303,6 +369,7 @@ mod tests {
             "\"throughput_msgs_per_sec\"",
             "\"p50_latency_us\"",
             "\"p99_latency_us\"",
+            "\"bytes\"",
         ] {
             assert!(doc.contains(field), "missing {field}: {doc}");
         }

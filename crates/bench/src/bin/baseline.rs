@@ -1,9 +1,14 @@
 //! Regenerates the recorded broadcast baseline:
 //! `cargo run --release -p lhg-bench --bin baseline > BENCH_<pr>.json`
 //!
-//! Measures plain flooding vs Bracha Byzantine broadcast at n ∈ {64, 256}
-//! (see `lhg_bench::baseline` for the workload definition).
+//! Measures plain flooding at n ∈ {64, 256, 1024} and Bracha Byzantine
+//! broadcast at n ∈ {64, 256} (Bracha message cost grows ~O(n²) per
+//! broadcast, so n = 1024 is flood-only). Rows now include bytes on the
+//! wire; `lhg bench --compare` gates on these recordings.
 
 fn main() {
-    print!("{}", lhg_bench::baseline::baseline_json(&[64, 256]));
+    print!(
+        "{}",
+        lhg_bench::baseline::baseline_json_for(&[64, 256, 1024], &[64, 256])
+    );
 }

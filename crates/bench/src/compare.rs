@@ -1,0 +1,409 @@
+//! The perf-regression gate: re-measure the baseline and compare against
+//! a recorded `BENCH_<pr>.json`, failing on real throughput loss.
+//!
+//! The recorded baseline (see [`crate::baseline`]) mixes two kinds of
+//! numbers. Messages, deliveries, and the virtual-time latency
+//! percentiles are **seed-deterministic** — any drift means the protocol
+//! itself changed, and the comparison reports it. Wall-clock throughput
+//! is **machine-dependent** — the one number a perf regression moves —
+//! so the gate fires only when current throughput falls more than a
+//! threshold (default 20%) below the recorded value, per `(mode, n)`
+//! row. Faster-than-baseline is never an error.
+
+use std::fmt::Write as _;
+
+use crate::baseline::{run_mode_baseline, BaselineRow};
+
+/// Default regression threshold: fail when current throughput is more
+/// than 20% below the recorded baseline.
+pub const DEFAULT_THRESHOLD: f64 = 0.20;
+
+/// One row parsed out of a recorded `BENCH_<pr>.json`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BaselineRef {
+    /// `"flood"` or `"bracha"`.
+    pub mode: String,
+    /// Overlay size.
+    pub n: usize,
+    /// Messages the engine put on links (seed-deterministic).
+    pub messages: u64,
+    /// Bytes on the wire; `None` for baselines recorded before the field
+    /// existed (BENCH_6 and earlier).
+    pub bytes: Option<u64>,
+    /// Recorded engine throughput, messages per wall-clock second.
+    pub throughput_msgs_per_sec: f64,
+    /// Recorded median virtual-time latency, µs.
+    pub p50_latency_us: u64,
+    /// Recorded p99 virtual-time latency, µs.
+    pub p99_latency_us: u64,
+}
+
+fn num(v: &serde::Value) -> Option<f64> {
+    match v {
+        serde::Value::U64(x) => Some(*x as f64),
+        serde::Value::I64(x) => Some(*x as f64),
+        serde::Value::F64(x) => Some(*x),
+        _ => None,
+    }
+}
+
+fn uint(v: &serde::Value) -> Option<u64> {
+    match v {
+        serde::Value::U64(x) => Some(*x),
+        serde::Value::F64(x) if *x >= 0.0 => Some(*x as u64),
+        _ => None,
+    }
+}
+
+/// Parses the rows out of a recorded baseline document.
+///
+/// # Errors
+///
+/// Returns a message when the document is not valid JSON or lacks the
+/// `results` rows / required fields.
+pub fn parse_baseline(text: &str) -> Result<Vec<BaselineRef>, String> {
+    let doc: serde::Value =
+        serde_json::from_str(text).map_err(|e| format!("baseline is not valid JSON: {e:?}"))?;
+    let results = doc
+        .field("results")
+        .and_then(serde::Value::as_array)
+        .ok_or_else(|| "baseline document has no \"results\" array".to_owned())?;
+    let mut rows = Vec::with_capacity(results.len());
+    for (i, row) in results.iter().enumerate() {
+        let get = |name: &str| {
+            row.field(name)
+                .ok_or_else(|| format!("results[{i}] missing \"{name}\""))
+        };
+        rows.push(BaselineRef {
+            mode: get("mode")?
+                .as_str()
+                .ok_or_else(|| format!("results[{i}].mode is not a string"))?
+                .to_owned(),
+            n: uint(get("n")?).ok_or_else(|| format!("results[{i}].n is not a number"))? as usize,
+            messages: uint(get("messages")?)
+                .ok_or_else(|| format!("results[{i}].messages is not a number"))?,
+            bytes: row.field("bytes").and_then(uint),
+            throughput_msgs_per_sec: num(get("throughput_msgs_per_sec")?)
+                .ok_or_else(|| format!("results[{i}].throughput_msgs_per_sec is not a number"))?,
+            p50_latency_us: uint(get("p50_latency_us")?)
+                .ok_or_else(|| format!("results[{i}].p50_latency_us is not a number"))?,
+            p99_latency_us: uint(get("p99_latency_us")?)
+                .ok_or_else(|| format!("results[{i}].p99_latency_us is not a number"))?,
+        });
+    }
+    if rows.is_empty() {
+        return Err("baseline document has zero result rows".to_owned());
+    }
+    Ok(rows)
+}
+
+/// One `(mode, n)` comparison between the recorded baseline and a fresh
+/// measurement.
+#[derive(Debug, Clone)]
+pub struct CompareRow {
+    /// The recorded row.
+    pub baseline: BaselineRef,
+    /// The fresh measurement on the current tree.
+    pub current: BaselineRow,
+    /// `current.throughput / baseline.throughput`.
+    pub throughput_ratio: f64,
+    /// True when the throughput ratio fell below `1 − threshold`.
+    pub regressed: bool,
+    /// True when a seed-deterministic metric (messages, p50, p99)
+    /// drifted from the recording — the protocol changed, not the
+    /// machine. Reported, never fatal by itself.
+    pub determinism_drift: bool,
+}
+
+/// The full gate verdict.
+#[derive(Debug, Clone)]
+pub struct CompareReport {
+    /// Per-row comparisons, in baseline-document order.
+    pub rows: Vec<CompareRow>,
+    /// The threshold the verdict used (fraction, e.g. 0.20).
+    pub threshold: f64,
+}
+
+impl CompareReport {
+    /// True when any row regressed beyond the threshold.
+    #[must_use]
+    pub fn regressed(&self) -> bool {
+        self.rows.iter().any(|r| r.regressed)
+    }
+
+    /// Human-readable table plus verdict line.
+    #[must_use]
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<8} {:>6} {:>14} {:>14} {:>7}  verdict",
+            "mode", "n", "base msg/s", "now msg/s", "ratio"
+        );
+        for r in &self.rows {
+            let verdict = if r.regressed {
+                "REGRESSED"
+            } else if r.determinism_drift {
+                "ok (drift)"
+            } else {
+                "ok"
+            };
+            let _ = writeln!(
+                out,
+                "{:<8} {:>6} {:>14.0} {:>14.0} {:>7.2}  {}",
+                r.baseline.mode,
+                r.baseline.n,
+                r.baseline.throughput_msgs_per_sec,
+                r.current.throughput_msgs_per_sec,
+                r.throughput_ratio,
+                verdict
+            );
+            if r.determinism_drift {
+                let _ = writeln!(
+                    out,
+                    "  drift: messages {} -> {}, p50 {} -> {}, p99 {} -> {} (seed-deterministic; \
+                     the protocol changed)",
+                    r.baseline.messages,
+                    r.current.messages,
+                    r.baseline.p50_latency_us,
+                    r.current.p50_latency_us,
+                    r.baseline.p99_latency_us,
+                    r.current.p99_latency_us
+                );
+            }
+        }
+        let _ = writeln!(
+            out,
+            "gate: {} (threshold {:.0}%)",
+            if self.regressed() { "FAIL" } else { "PASS" },
+            self.threshold * 100.0
+        );
+        out
+    }
+
+    /// JSON-ready tree of the verdict (for `--json` surfaces).
+    #[must_use]
+    pub fn to_value(&self) -> serde::Value {
+        let rows: Vec<serde::Value> = self
+            .rows
+            .iter()
+            .map(|r| {
+                serde::Value::Obj(vec![
+                    (
+                        "mode".to_owned(),
+                        serde::Value::Str(r.baseline.mode.clone()),
+                    ),
+                    ("n".to_owned(), serde::Value::U64(r.baseline.n as u64)),
+                    (
+                        "baseline_throughput".to_owned(),
+                        serde::Value::F64(r.baseline.throughput_msgs_per_sec),
+                    ),
+                    (
+                        "current_throughput".to_owned(),
+                        serde::Value::F64(r.current.throughput_msgs_per_sec),
+                    ),
+                    ("ratio".to_owned(), serde::Value::F64(r.throughput_ratio)),
+                    ("regressed".to_owned(), serde::Value::Bool(r.regressed)),
+                    (
+                        "determinism_drift".to_owned(),
+                        serde::Value::Bool(r.determinism_drift),
+                    ),
+                    (
+                        "current_messages".to_owned(),
+                        serde::Value::U64(r.current.messages),
+                    ),
+                    (
+                        "current_bytes".to_owned(),
+                        serde::Value::U64(r.current.bytes),
+                    ),
+                ])
+            })
+            .collect();
+        serde::Value::Obj(vec![
+            ("threshold".to_owned(), serde::Value::F64(self.threshold)),
+            ("regressed".to_owned(), serde::Value::Bool(self.regressed())),
+            ("rows".to_owned(), serde::Value::Arr(rows)),
+        ])
+    }
+}
+
+/// Compares recorded rows against fresh measurements (already taken).
+/// Rows are matched by `(mode, n)`; baseline rows with no matching
+/// measurement are skipped.
+#[must_use]
+pub fn compare_rows(
+    baseline: &[BaselineRef],
+    current: &[BaselineRow],
+    threshold: f64,
+) -> CompareReport {
+    let rows = baseline
+        .iter()
+        .filter_map(|b| {
+            let c = current
+                .iter()
+                .find(|c| c.mode == b.mode && c.n == b.n)?
+                .clone();
+            let ratio = if b.throughput_msgs_per_sec > 0.0 {
+                c.throughput_msgs_per_sec / b.throughput_msgs_per_sec
+            } else {
+                1.0
+            };
+            let drift = c.messages != b.messages
+                || c.p50_latency_us != b.p50_latency_us
+                || c.p99_latency_us != b.p99_latency_us;
+            Some(CompareRow {
+                baseline: b.clone(),
+                current: c,
+                throughput_ratio: ratio,
+                regressed: ratio < 1.0 - threshold,
+                determinism_drift: drift,
+            })
+        })
+        .collect();
+    CompareReport { rows, threshold }
+}
+
+/// The full gate: parse `baseline_text`, re-measure every `(mode, n)` row
+/// it records (optionally restricted to sizes in `sizes`), and compare at
+/// `threshold`.
+///
+/// # Errors
+///
+/// Returns a message when the baseline document cannot be parsed, or the
+/// size filter leaves nothing to compare.
+pub fn compare_against(
+    baseline_text: &str,
+    sizes: Option<&[usize]>,
+    threshold: f64,
+) -> Result<CompareReport, String> {
+    let baseline = parse_baseline(baseline_text)?;
+    let wanted: Vec<&BaselineRef> = baseline
+        .iter()
+        .filter(|b| sizes.is_none_or(|s| s.contains(&b.n)))
+        .collect();
+    if wanted.is_empty() {
+        return Err(format!(
+            "size filter {sizes:?} matches none of the baseline rows"
+        ));
+    }
+    let current: Vec<BaselineRow> = wanted
+        .iter()
+        .map(|b| run_mode_baseline(&b.mode, b.n))
+        .collect();
+    let refs: Vec<BaselineRef> = wanted.into_iter().cloned().collect();
+    Ok(compare_rows(&refs, &current, threshold))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baseline::render_baseline_json;
+
+    fn measured(n: usize) -> Vec<BaselineRow> {
+        vec![
+            run_mode_baseline("flood", n),
+            run_mode_baseline("bracha", n),
+        ]
+    }
+
+    fn refs_from(rows: &[BaselineRow], throughput_scale: f64) -> Vec<BaselineRef> {
+        rows.iter()
+            .map(|r| BaselineRef {
+                mode: r.mode.to_owned(),
+                n: r.n,
+                messages: r.messages,
+                bytes: Some(r.bytes),
+                throughput_msgs_per_sec: r.throughput_msgs_per_sec * throughput_scale,
+                p50_latency_us: r.p50_latency_us,
+                p99_latency_us: r.p99_latency_us,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn identical_rows_pass_the_gate() {
+        let rows = measured(16);
+        let report = compare_rows(&refs_from(&rows, 1.0), &rows, DEFAULT_THRESHOLD);
+        assert!(!report.regressed(), "{}", report.render_text());
+        assert_eq!(report.rows.len(), 2);
+        assert!(report.rows.iter().all(|r| !r.determinism_drift));
+    }
+
+    #[test]
+    fn synthetic_25_percent_regression_fails_the_gate() {
+        let rows = measured(16);
+        // Baseline recorded 1/0.75 ≈ 1.33× our throughput — i.e. the
+        // current tree is 25% slower than the recording.
+        let report = compare_rows(&refs_from(&rows, 1.0 / 0.75), &rows, DEFAULT_THRESHOLD);
+        assert!(report.regressed(), "{}", report.render_text());
+        let text = report.render_text();
+        assert!(text.contains("REGRESSED"), "{text}");
+        assert!(text.contains("FAIL"), "{text}");
+    }
+
+    #[test]
+    fn small_slowdowns_stay_green() {
+        let rows = measured(16);
+        // 10% slower than baseline: inside the 20% threshold.
+        let report = compare_rows(&refs_from(&rows, 1.0 / 0.9), &rows, DEFAULT_THRESHOLD);
+        assert!(!report.regressed(), "{}", report.render_text());
+    }
+
+    #[test]
+    fn message_count_drift_is_reported_not_fatal() {
+        let rows = measured(16);
+        let mut refs = refs_from(&rows, 1.0);
+        refs[0].messages += 1;
+        let report = compare_rows(&refs, &rows, DEFAULT_THRESHOLD);
+        assert!(!report.regressed());
+        assert!(report.rows[0].determinism_drift);
+        assert!(report.render_text().contains("drift"), "round-trip text");
+    }
+
+    #[test]
+    fn rendered_baselines_parse_back_including_legacy_without_bytes() {
+        let rows = measured(16);
+        let doc = render_baseline_json(&rows);
+        let parsed = parse_baseline(&doc).unwrap();
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].messages, rows[0].messages);
+        assert_eq!(parsed[0].bytes, Some(rows[0].bytes));
+        // A legacy document (BENCH_6-era, no "bytes" field) still parses.
+        let legacy = doc
+            .lines()
+            .map(|l| {
+                if let Some(pos) = l.find("\"bytes\": ") {
+                    let rest = &l[pos..];
+                    let end = rest.find(", ").unwrap() + 2;
+                    format!("{}{}", &l[..pos], &rest[end..])
+                } else {
+                    l.to_owned()
+                }
+            })
+            .collect::<Vec<_>>()
+            .join("\n");
+        let parsed = parse_baseline(&legacy).unwrap();
+        assert_eq!(parsed[0].bytes, None);
+        assert_eq!(parsed[0].messages, rows[0].messages);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse_baseline("not json").is_err());
+        assert!(parse_baseline("{}").is_err());
+        assert!(parse_baseline("{\"results\": []}").is_err());
+    }
+
+    #[test]
+    fn compare_against_runs_the_full_gate_on_a_rendered_doc() {
+        let doc = render_baseline_json(&measured(16));
+        let report = compare_against(&doc, Some(&[16]), DEFAULT_THRESHOLD).unwrap();
+        // Same machine, same seeds, moments apart: deterministic metrics
+        // match and throughput stays inside any sane threshold.
+        assert!(report.rows.iter().all(|r| !r.determinism_drift));
+        assert!(
+            compare_against(&doc, Some(&[999]), DEFAULT_THRESHOLD).is_err(),
+            "filter matching nothing is an error"
+        );
+    }
+}

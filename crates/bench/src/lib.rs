@@ -10,6 +10,7 @@
 #![warn(missing_docs)]
 
 pub mod baseline;
+pub mod compare;
 pub mod extensions;
 pub mod figures;
 pub mod flooding_tables;

@@ -23,7 +23,10 @@ use lhg_net::message::{ByzTag, Message};
 
 /// Tag bit marking a broadcast id as Byzantine gossip (bit 56 — below the
 /// TCP runtime's control tags in bits 57..64, above its data id space).
-pub const BYZ_ID_TAG: u64 = 1 << 56;
+/// The numeric value is [`lhg_net::wirecost::BYZ_TAG`], the canonical home
+/// of the class-tag bits, so wire-cost accounting classifies byz gossip
+/// without this crate in its dependency graph.
+pub const BYZ_ID_TAG: u64 = lhg_net::wirecost::BYZ_TAG;
 
 /// Mask selecting the 56 hash bits of a byz gossip id.
 pub const BYZ_ID_MASK: u64 = BYZ_ID_TAG - 1;

@@ -51,8 +51,8 @@ pub mod threaded;
 pub use engine::{Action, BrachaEngine, ByzDelivery, Phase};
 pub use frame::{digest, gossip_frame_id, GossipFrame, GossipKind, BYZ_ID_TAG};
 pub use sim::{
-    run_sim_byzantine, ByzantineFlooder, ByzantineTraitor, ScheduledByzBroadcast, TraitorBehavior,
-    EQUIVOCATE_NONCE_BASE, FORGE_NONCE_BASE,
+    run_sim_byzantine, run_sim_byzantine_with_metrics, ByzantineFlooder, ByzantineTraitor,
+    ScheduledByzBroadcast, TraitorBehavior, EQUIVOCATE_NONCE_BASE, FORGE_NONCE_BASE,
 };
 pub use threaded::{run_threaded_byzantine, ThreadedByzReport};
 

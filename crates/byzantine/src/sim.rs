@@ -367,6 +367,29 @@ pub fn run_sim_byzantine(
     seed: u64,
     horizon: Time,
 ) -> SimReport {
+    run_sim_byzantine_with_metrics(graph, k, schedules, traitors, link, seed, horizon, None)
+}
+
+/// Like [`run_sim_byzantine`], additionally recording into `metrics` when
+/// provided: the simulator's `sim.*` counters plus per-class wire-cost
+/// accounting (every gossip frame lands in the `byz` class), which is how
+/// the bench baseline measures Bracha's bytes on the wire.
+///
+/// # Panics
+///
+/// Same contract as [`run_sim_byzantine`].
+#[must_use]
+#[allow(clippy::too_many_arguments)]
+pub fn run_sim_byzantine_with_metrics(
+    graph: &Graph,
+    k: usize,
+    schedules: &[(NodeId, Vec<ScheduledByzBroadcast>)],
+    traitors: &[(NodeId, TraitorBehavior)],
+    link: LinkModel,
+    seed: u64,
+    horizon: Time,
+    metrics: Option<std::sync::Arc<lhg_net::metrics::MetricsRegistry>>,
+) -> SimReport {
     let n = graph.node_count();
     let cfg = BrachaConfig::for_overlay(n, k);
     for (origin, _) in schedules {
@@ -376,6 +399,9 @@ pub fn run_sim_byzantine(
         );
     }
     let mut sim = Simulation::new(graph, link, seed);
+    if let Some(m) = metrics {
+        sim.with_metrics(m);
+    }
     let processes: Vec<Box<dyn Process>> = (0..n)
         .map(|v| -> Box<dyn Process> {
             let id = NodeId(v);

@@ -186,6 +186,11 @@ pub struct ChaosReport {
     /// JSONL trace/event dump captured on failure (TCP engine only);
     /// written to disk by the CLI when `--events` is given.
     pub events_jsonl: Option<String>,
+    /// Pre-rendered JSON object summarizing the run's telemetry timeline
+    /// (sample count, span, per-class wire costs); spliced verbatim into
+    /// [`ChaosReport::to_json_line`]. The runner renders it so this module
+    /// stays free of JSON dependencies.
+    pub telemetry: Option<String>,
 }
 
 impl ChaosReport {
@@ -196,9 +201,10 @@ impl ChaosReport {
     }
 
     /// One JSON object per run, for machine consumption (`lhg chaos
-    /// --json`). Hand-rolled — the chaos crate carries no JSON dependency
-    /// — so the schema is fixed here: scalar run coordinates, a `passed`
-    /// flag, and the violations as rendered strings.
+    /// --json`). Hand-rolled — this module carries no JSON dependency —
+    /// so the schema is fixed here: scalar run coordinates, a `passed`
+    /// flag, the violations as rendered strings, and (when the runner
+    /// captured one) the pre-rendered `telemetry` summary object.
     #[must_use]
     pub fn to_json_line(&self) -> String {
         let mut out = String::with_capacity(160);
@@ -231,7 +237,12 @@ impl ChaosReport {
             }
             out.push('"');
         }
-        out.push_str("]}");
+        out.push(']');
+        if let Some(t) = &self.telemetry {
+            out.push_str(",\"telemetry\":");
+            out.push_str(t);
+        }
+        out.push('}');
         out
     }
 
@@ -284,6 +295,7 @@ mod tests {
             end_time_us: 1_000,
             deliveries: 24,
             events_jsonl: None,
+            telemetry: None,
         };
         assert!(r.passed());
         assert!(r.summary().contains("ok"));
@@ -304,6 +316,7 @@ mod tests {
             end_time_us: 2_500,
             deliveries: 30,
             events_jsonl: None,
+            telemetry: None,
         };
         let line = r.to_json_line();
         assert_eq!(
@@ -319,5 +332,26 @@ mod tests {
         assert!(line.contains("\"passed\":false"));
         assert!(line.contains("said \\\"no\\\""), "escaping: {line}");
         assert!(!line.contains('\n'));
+    }
+
+    #[test]
+    fn json_line_splices_the_telemetry_object() {
+        let r = ChaosReport {
+            seed: 7,
+            engine: Engine::Sim,
+            family: Family::Crash,
+            n: 8,
+            k: 3,
+            violations: Vec::new(),
+            end_time_us: 100,
+            deliveries: 8,
+            events_jsonl: None,
+            telemetry: Some("{\"samples\":4,\"span_us\":100}".into()),
+        };
+        let line = r.to_json_line();
+        assert!(
+            line.ends_with(",\"telemetry\":{\"samples\":4,\"span_us\":100}}"),
+            "{line}"
+        );
     }
 }

@@ -23,16 +23,19 @@ use std::time::{Duration, Instant};
 use bytes::Bytes;
 
 use lhg_byzantine::{
-    run_sim_byzantine, ScheduledByzBroadcast, TraitorBehavior, EQUIVOCATE_NONCE_BASE,
+    run_sim_byzantine_with_metrics, ScheduledByzBroadcast, TraitorBehavior, EQUIVOCATE_NONCE_BASE,
 };
 use lhg_core::overlay::{DynamicOverlay, MemberId};
 use lhg_core::properties::p4_diameter_bound;
 use lhg_graph::connectivity::is_k_vertex_connected;
 use lhg_graph::NodeId;
 use lhg_net::fault::{FaultInjector, Partition};
+use lhg_net::metrics::MetricsRegistry;
 use lhg_net::reliable::{ReliableConfig, ReliableFlooder, ScheduledBroadcast};
 use lhg_net::sim::{LinkModel, Process, SimReport, Simulation};
 use lhg_runtime::{Cluster, RuntimeConfig};
+use lhg_telemetry::{TelemetrySampler, Timeline};
+use parking_lot::Mutex;
 
 use crate::oracle::{ChaosReport, Engine, Violation};
 use crate::plan::{BroadcastSpec, Family, FaultPlan};
@@ -42,6 +45,27 @@ pub use crate::plan::CHAOS_BCAST_BASE;
 /// At most this many violations of each kind are reported per run; a
 /// systemic failure produces thousands of identical entries otherwise.
 const MAX_VIOLATIONS_PER_CHECK: usize = 8;
+
+/// Virtual-time sampling cadence of the sim telemetry timeline.
+const SIM_TELEMETRY_CADENCE_US: u64 = 100_000;
+
+/// Wall-clock sampling cadence of the TCP telemetry timeline.
+const TCP_TELEMETRY_CADENCE: Duration = Duration::from_millis(100);
+
+/// Renders the per-run telemetry summary embedded in `lhg chaos --json`
+/// records: timeline shape plus the per-class wire-cost decomposition
+/// from the registry's accountant.
+fn telemetry_json(timeline: &Timeline, metrics: &MetricsRegistry) -> String {
+    let obj = serde::Value::Obj(vec![
+        (
+            "samples".to_owned(),
+            serde::Value::U64(timeline.samples().len() as u64),
+        ),
+        ("span_us".to_owned(), serde::Value::U64(timeline.span_us())),
+        ("wire".to_owned(), metrics.wire().to_value()),
+    ]);
+    serde_json::to_string(&obj).expect("Value serialization is infallible")
+}
 
 /// The process chaos runs host on every sim node: flooding over reliable
 /// links with periodic anti-entropy ([`ReliableFlooder`]) — the same
@@ -124,13 +148,24 @@ pub fn run_sim_chaos(plan: &FaultPlan) -> ChaosReport {
         }
     }
 
-    // The chaos run proper.
+    // The chaos run proper, metered: the registry's wire accountant
+    // decomposes the run's traffic by message class, and the virtual-time
+    // sampler turns it into the timeline embedded in the JSON record.
+    let metrics = Arc::new(MetricsRegistry::new());
+    let sampler = Arc::new(Mutex::new(TelemetrySampler::new(
+        "sim",
+        Arc::clone(&metrics),
+    )));
     let mut sim = Simulation::new(&graph, LinkModel::default(), plan.seed);
+    sim.with_metrics(Arc::clone(&metrics));
     sim.with_faults(Arc::new(plan.compile()));
+    lhg_telemetry::attach_to_sim(&mut sim, &sampler, SIM_TELEMETRY_CADENCE_US);
     let report = sim.run(
         flooders(plan.n, &plan.broadcasts, plan.horizon_us),
         plan.horizon_us,
     );
+    let timeline = lhg_telemetry::merge(vec![sampler.lock().take_samples()]);
+    let telemetry = Some(telemetry_json(&timeline, &metrics));
     check_sim_report(plan, &report, &mut violations);
 
     // Structural P1 check for the crash family: the membership that
@@ -157,6 +192,7 @@ pub fn run_sim_chaos(plan: &FaultPlan) -> ChaosReport {
         end_time_us: report.end_time,
         deliveries: report.deliveries.len(),
         events_jsonl: None,
+        telemetry,
     }
 }
 
@@ -198,7 +234,11 @@ fn run_sim_byz_chaos(plan: &FaultPlan) -> ChaosReport {
         .map(|t| (NodeId(t.node as usize), t.behavior))
         .collect();
 
-    let report = run_sim_byzantine(
+    // The byzantine sim builds its own Simulation internally, so there is
+    // no sampler hook; one post-run sample still yields the full per-class
+    // wire decomposition (echo/ready quorum traffic vs everything else).
+    let metrics = Arc::new(MetricsRegistry::new());
+    let report = run_sim_byzantine_with_metrics(
         &graph,
         plan.k,
         &schedules,
@@ -206,7 +246,14 @@ fn run_sim_byz_chaos(plan: &FaultPlan) -> ChaosReport {
         LinkModel::default(),
         plan.seed,
         plan.horizon_us,
+        Some(Arc::clone(&metrics)),
     );
+    let timeline = {
+        let mut sampler = TelemetrySampler::new("sim", Arc::clone(&metrics));
+        sampler.sample(report.end_time);
+        lhg_telemetry::merge(vec![sampler.take_samples()])
+    };
+    let telemetry = Some(telemetry_json(&timeline, &metrics));
     if report.end_time > plan.horizon_us {
         violations.push(Violation::Timeout {
             phase: "virtual-time horizon".into(),
@@ -229,6 +276,7 @@ fn run_sim_byz_chaos(plan: &FaultPlan) -> ChaosReport {
         end_time_us: report.end_time,
         deliveries: report.deliveries.len(),
         events_jsonl: None,
+        telemetry,
     }
 }
 
@@ -454,9 +502,11 @@ pub fn run_tcp_chaos(plan: &FaultPlan) -> ChaosReport {
                 end_time_us: elapsed_us(started),
                 deliveries: 0,
                 events_jsonl: None,
+                telemetry: None,
             };
         }
     };
+    cluster.start_telemetry(TCP_TELEMETRY_CADENCE);
 
     match plan.family {
         Family::Crash => tcp_crash_schedule(plan, &mut cluster, &mut violations),
@@ -472,6 +522,9 @@ pub fn run_tcp_chaos(plan: &FaultPlan) -> ChaosReport {
         .map(|&m| cluster.delivered_ids(m).len() + cluster.byz_delivered(m).len())
         .sum();
     let events_jsonl = (!violations.is_empty()).then(|| cluster.events_jsonl());
+    let telemetry = cluster
+        .stop_telemetry()
+        .map(|tl| telemetry_json(&tl, cluster.metrics()));
     cluster.shutdown();
 
     ChaosReport {
@@ -484,6 +537,7 @@ pub fn run_tcp_chaos(plan: &FaultPlan) -> ChaosReport {
         end_time_us: elapsed_us(started),
         deliveries,
         events_jsonl,
+        telemetry,
     }
 }
 
@@ -865,6 +919,15 @@ mod tests {
         assert_eq!(a.deliveries, b.deliveries);
         assert_eq!(a.end_time_us, b.end_time_us);
         assert_eq!(a.violations, b.violations);
+        // Virtual-time telemetry is part of the deterministic surface.
+        assert_eq!(a.telemetry, b.telemetry);
+        assert!(
+            a.telemetry
+                .as_deref()
+                .is_some_and(|t| t.contains("\"data\"")),
+            "wire decomposition present: {:?}",
+            a.telemetry
+        );
     }
 
     #[test]

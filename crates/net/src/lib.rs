@@ -64,3 +64,4 @@ pub mod reliable;
 pub mod seen;
 pub mod sim;
 pub mod threaded;
+pub mod wirecost;

@@ -132,6 +132,36 @@ impl Histogram {
         self.count.load(Ordering::Relaxed)
     }
 
+    /// Observations and sum accumulated since `cursor` was last advanced,
+    /// without disturbing the histogram (concurrent writers keep
+    /// recording; other readers see cumulative totals as before). The
+    /// cursor is advanced to the levels read, so consecutive calls
+    /// partition the stream into non-overlapping intervals — this is what
+    /// lets a sampler report per-interval rates instead of
+    /// cumulative-only values.
+    ///
+    /// Bucket counts are diffed per bucket, so a merged timeline can
+    /// recompute interval percentiles; `min`/`max` are lifetime values
+    /// (atomics cannot be rewound per-interval) and are reported as-is.
+    pub fn delta_since(&self, cursor: &mut HistogramCursor) -> HistogramDelta {
+        let mut buckets = [0u64; BUCKETS];
+        let mut count = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            let now = b.load(Ordering::Relaxed);
+            buckets[i] = now.wrapping_sub(cursor.buckets[i]);
+            cursor.buckets[i] = now;
+            count = count.wrapping_add(buckets[i]);
+        }
+        let sum_now = self.sum.load(Ordering::Relaxed);
+        let sum = sum_now.wrapping_sub(cursor.sum);
+        cursor.sum = sum_now;
+        HistogramDelta {
+            buckets,
+            count,
+            sum,
+        }
+    }
+
     /// A consistent-enough point-in-time summary.
     #[must_use]
     pub fn summary(&self) -> HistogramSummary {
@@ -182,6 +212,87 @@ impl Histogram {
     }
 }
 
+/// Reader-side position into a [`Histogram`]: the bucket levels seen at
+/// the last [`Histogram::delta_since`] call. One cursor per reader; the
+/// histogram itself is never reset.
+#[derive(Debug, Clone)]
+pub struct HistogramCursor {
+    buckets: [u64; BUCKETS],
+    sum: u64,
+}
+
+impl Default for HistogramCursor {
+    fn default() -> Self {
+        HistogramCursor {
+            buckets: [0; BUCKETS],
+            sum: 0,
+        }
+    }
+}
+
+impl HistogramCursor {
+    /// A cursor positioned at zero (the first `delta_since` reads the
+    /// full history).
+    #[must_use]
+    pub fn new() -> Self {
+        HistogramCursor::default()
+    }
+}
+
+/// Observations accumulated over one sampling interval, produced by
+/// [`Histogram::delta_since`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramDelta {
+    /// Per-bucket observation counts for the interval (log₂ buckets,
+    /// same layout as the histogram itself).
+    pub buckets: [u64; BUCKETS],
+    /// Observations in the interval.
+    pub count: u64,
+    /// Sum of observed values in the interval.
+    pub sum: u64,
+}
+
+impl HistogramDelta {
+    /// An empty delta (useful as a merge identity).
+    #[must_use]
+    pub fn empty() -> Self {
+        HistogramDelta {
+            buckets: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+        }
+    }
+
+    /// Accumulates `other` into `self` (bucket-wise addition), so merged
+    /// timelines can recompute interval percentiles across nodes.
+    pub fn merge(&mut self, other: &HistogramDelta) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a = a.wrapping_add(*b);
+        }
+        self.count = self.count.wrapping_add(other.count);
+        self.sum = self.sum.wrapping_add(other.sum);
+    }
+
+    /// Approximate percentile of the interval's observations, as the
+    /// upper bound of the bucket containing the rank (same 2× contract as
+    /// [`Histogram::summary`], minus the lifetime min/max clamp).
+    #[must_use]
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Histogram::bucket_upper(i);
+            }
+        }
+        Histogram::bucket_upper(BUCKETS - 1)
+    }
+}
+
 /// Point-in-time summary of a [`Histogram`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct HistogramSummary {
@@ -213,6 +324,7 @@ pub struct MetricsRegistry {
     counters: RwLock<BTreeMap<String, Arc<Counter>>>,
     gauges: RwLock<BTreeMap<String, Arc<Gauge>>>,
     histograms: RwLock<BTreeMap<String, Arc<Histogram>>>,
+    wire: Arc<crate::wirecost::WireAccountant>,
 }
 
 impl MetricsRegistry {
@@ -262,6 +374,48 @@ impl MetricsRegistry {
                 .entry(name.to_owned())
                 .or_insert_with(|| Arc::new(Histogram::default())),
         )
+    }
+
+    /// The registry's wire-cost accountant: per-class / per-link / per-
+    /// broadcast frame and byte counts (see [`crate::wirecost`]). Engines
+    /// feed it at the same sites as their `messages_sent` / `bytes_sent`
+    /// counters; returned as an `Arc` so send paths on other threads can
+    /// record without holding the registry.
+    #[must_use]
+    pub fn wire(&self) -> Arc<crate::wirecost::WireAccountant> {
+        Arc::clone(&self.wire)
+    }
+
+    /// All registered counters, as `(name, instrument)` pairs in name
+    /// order. Samplers iterate these to diff against their cursors.
+    #[must_use]
+    pub fn counters(&self) -> Vec<(String, Arc<Counter>)> {
+        self.counters
+            .read()
+            .iter()
+            .map(|(k, v)| (k.clone(), Arc::clone(v)))
+            .collect()
+    }
+
+    /// All registered gauges, as `(name, instrument)` pairs in name order.
+    #[must_use]
+    pub fn gauges(&self) -> Vec<(String, Arc<Gauge>)> {
+        self.gauges
+            .read()
+            .iter()
+            .map(|(k, v)| (k.clone(), Arc::clone(v)))
+            .collect()
+    }
+
+    /// All registered histograms, as `(name, instrument)` pairs in name
+    /// order.
+    #[must_use]
+    pub fn histograms(&self) -> Vec<(String, Arc<Histogram>)> {
+        self.histograms
+            .read()
+            .iter()
+            .map(|(k, v)| (k.clone(), Arc::clone(v)))
+            .collect()
     }
 
     /// Renders every instrument into a JSON-ready value tree:
@@ -326,6 +480,13 @@ impl MetricsRegistry {
     /// (version 0.0.4): counters and gauges as single samples, histograms
     /// as summary-typed quantile series plus `_sum`/`_count`. Metric names
     /// are prefixed with `lhg_` and sanitized to `[a-zA-Z0-9_:]`.
+    ///
+    /// Each series gets a `# HELP` line (the original, unsanitized name —
+    /// the only place it survives sanitization), and `# HELP`/`# TYPE`
+    /// headers are emitted once per *sanitized* name: two registry names
+    /// that collapse to the same series (`a.b` and `a:b` both sanitize to
+    /// `lhg_a_b` for counters) would otherwise emit conflicting TYPE
+    /// blocks, which Prometheus rejects at scrape time.
     #[must_use]
     pub fn prometheus_text(&self) -> String {
         fn sanitize(name: &str) -> String {
@@ -340,19 +501,33 @@ impl MetricsRegistry {
             }
             out
         }
+        fn escape_help(name: &str) -> String {
+            name.replace('\\', "\\\\").replace('\n', "\\n")
+        }
         let mut out = String::new();
+        let mut seen: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
+        let mut header = |out: &mut String, n: &str, name: &str, kind: &str| {
+            if seen.insert(n.to_owned()) {
+                out.push_str(&format!(
+                    "# HELP {n} {}\n# TYPE {n} {kind}\n",
+                    escape_help(name)
+                ));
+            }
+        };
         for (name, c) in self.counters.read().iter() {
             let n = sanitize(name);
-            out.push_str(&format!("# TYPE {n} counter\n{n} {}\n", c.get()));
+            header(&mut out, &n, name, "counter");
+            out.push_str(&format!("{n} {}\n", c.get()));
         }
         for (name, g) in self.gauges.read().iter() {
             let n = sanitize(name);
-            out.push_str(&format!("# TYPE {n} gauge\n{n} {}\n", g.get()));
+            header(&mut out, &n, name, "gauge");
+            out.push_str(&format!("{n} {}\n", g.get()));
         }
         for (name, h) in self.histograms.read().iter() {
             let n = sanitize(name);
             let s = h.summary();
-            out.push_str(&format!("# TYPE {n} summary\n"));
+            header(&mut out, &n, name, "summary");
             for (q, v) in [("0.5", s.p50), ("0.9", s.p90), ("0.99", s.p99)] {
                 out.push_str(&format!("{n}{{quantile=\"{q}\"}} {v}\n"));
             }
@@ -484,6 +659,158 @@ mod tests {
         for line in text.lines().filter(|l| !l.starts_with('#')) {
             assert_eq!(line.split(' ').count(), 2, "bad exposition line: {line}");
         }
+    }
+
+    #[test]
+    fn prometheus_text_emits_help_and_dedupes_colliding_types() {
+        let reg = MetricsRegistry::new();
+        // Both sanitize to `lhg_a_b`; the TYPE/HELP block must appear once.
+        reg.counter("a.b").add(1);
+        reg.counter("a-b").add(2);
+        let text = reg.prometheus_text();
+        assert_eq!(
+            text.matches("# TYPE lhg_a_b counter\n").count(),
+            1,
+            "{text}"
+        );
+        assert_eq!(text.matches("# HELP lhg_a_b ").count(), 1, "{text}");
+        // Both samples still render.
+        assert!(text.contains("lhg_a_b 1\n"), "{text}");
+        assert!(text.contains("lhg_a_b 2\n"), "{text}");
+        // Every series carries a HELP line ahead of its TYPE line.
+        let help_pos = text.find("# HELP lhg_a_b").unwrap();
+        let type_pos = text.find("# TYPE lhg_a_b").unwrap();
+        assert!(help_pos < type_pos, "{text}");
+    }
+
+    #[test]
+    fn histogram_delta_reads_partition_the_stream() {
+        let h = Histogram::default();
+        let mut cursor = HistogramCursor::new();
+        h.record(10);
+        h.record(20);
+        let d1 = h.delta_since(&mut cursor);
+        assert_eq!((d1.count, d1.sum), (2, 30));
+        // Nothing recorded since: the next interval is empty.
+        let d2 = h.delta_since(&mut cursor);
+        assert_eq!((d2.count, d2.sum), (0, 0));
+        h.record(5);
+        let d3 = h.delta_since(&mut cursor);
+        assert_eq!((d3.count, d3.sum), (1, 5));
+        // The histogram itself was never reset: cumulative view intact.
+        assert_eq!(h.summary().count, 3);
+        assert_eq!(h.summary().sum, 35);
+        // A fresh cursor replays the full history.
+        let full = h.delta_since(&mut HistogramCursor::new());
+        assert_eq!((full.count, full.sum), (3, 35));
+    }
+
+    #[test]
+    fn histogram_delta_merge_recomputes_percentiles() {
+        let a = Histogram::default();
+        let b = Histogram::default();
+        for v in [1u64, 2, 3] {
+            a.record(v);
+        }
+        for v in [1000u64, 2000] {
+            b.record(v);
+        }
+        let mut merged = a.delta_since(&mut HistogramCursor::new());
+        merged.merge(&b.delta_since(&mut HistogramCursor::new()));
+        assert_eq!(merged.count, 5);
+        assert_eq!(merged.sum, 3006);
+        assert!(merged.percentile(0.50) >= 3, "median covers 3");
+        assert!(merged.percentile(0.99) >= 2000, "p99 covers max");
+    }
+
+    #[test]
+    fn registry_iteration_lists_all_instruments() {
+        let reg = MetricsRegistry::new();
+        reg.counter("c1").inc();
+        reg.counter("c2").inc();
+        reg.gauge("g1").set(4);
+        reg.histogram("h1").record(9);
+        let names: Vec<String> = reg.counters().into_iter().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["c1".to_owned(), "c2".to_owned()]);
+        assert_eq!(reg.gauges().len(), 1);
+        assert_eq!(reg.histograms().len(), 1);
+        // Iteration hands back the live instruments, not copies.
+        let (_, c1) = &reg.counters()[0];
+        c1.inc();
+        assert_eq!(reg.counter("c1").get(), 2);
+    }
+
+    #[test]
+    fn concurrent_writers_never_tear_snapshots() {
+        use std::sync::atomic::AtomicBool;
+        let reg = Arc::new(MetricsRegistry::new());
+        let stop = Arc::new(AtomicBool::new(false));
+        let mut writers = Vec::new();
+        for t in 0..4 {
+            let reg = Arc::clone(&reg);
+            let stop = Arc::clone(&stop);
+            writers.push(std::thread::spawn(move || {
+                let c = reg.counter("w.msgs");
+                let h = reg.histogram("w.lat");
+                let mut sent = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    c.inc();
+                    // Same value from every thread so sum/count stay
+                    // provably consistent: sum must equal 7 × count.
+                    h.record(7);
+                    reg.gauge(&format!("w.g{t}")).set(sent as i64);
+                    sent += 1;
+                }
+                sent
+            }));
+        }
+        // Snapshot repeatedly while the writers hammer the instruments.
+        // Mid-flight, count and sum may skew by in-flight writes (they are
+        // separate atomics), but no value may ever look *torn*: every
+        // observation is exactly 7, so the partial sum is always a
+        // multiple of 7 and every order statistic is exactly 7.
+        for _ in 0..50 {
+            let s = reg.histogram("w.lat").summary();
+            assert_eq!(s.sum % 7, 0, "torn histogram sum: {}", s.sum);
+            if s.count > 0 {
+                assert_eq!((s.min, s.max), (7, 7));
+                assert_eq!((s.p50, s.p99), (7, 7));
+            }
+            // The JSON tree renders without panicking mid-update.
+            assert!(serde_json::to_string(&reg.snapshot()).is_ok());
+            let _ = reg.prometheus_text();
+        }
+        stop.store(true, Ordering::Relaxed);
+        let total: u64 = writers.into_iter().map(|w| w.join().unwrap()).sum();
+        // After quiescence every write is visible exactly once.
+        assert_eq!(reg.counter("w.msgs").get(), total);
+        let s = reg.histogram("w.lat").summary();
+        assert_eq!(s.count, total);
+        assert_eq!(s.sum, total * 7);
+    }
+
+    #[test]
+    fn concurrent_delta_reader_loses_nothing() {
+        let h = Arc::new(Histogram::default());
+        let writer = {
+            let h = Arc::clone(&h);
+            std::thread::spawn(move || {
+                for _ in 0..10_000 {
+                    h.record(3);
+                }
+            })
+        };
+        let mut cursor = HistogramCursor::new();
+        let mut seen = HistogramDelta::empty();
+        while !writer.is_finished() {
+            seen.merge(&h.delta_since(&mut cursor));
+        }
+        writer.join().unwrap();
+        seen.merge(&h.delta_since(&mut cursor));
+        // Interval reads partition the stream: nothing lost, nothing
+        // double-counted, even against a live writer.
+        assert_eq!(seen.count, 10_000);
+        assert_eq!(seen.sum, 30_000);
     }
 
     #[test]

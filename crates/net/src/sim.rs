@@ -156,6 +156,9 @@ impl SimReport {
     }
 }
 
+/// Callback fired at each telemetry cadence boundary (virtual time).
+pub type SamplerHook = Box<dyn FnMut(Time)>;
+
 /// The discrete-event simulator.
 pub struct Simulation {
     topology: CsrGraph,
@@ -165,6 +168,7 @@ pub struct Simulation {
     metrics: Option<Arc<MetricsRegistry>>,
     tracer: Option<Arc<TraceCollector>>,
     faults: Option<Arc<FaultInjector>>,
+    sampler: Option<(Time, SamplerHook)>,
 }
 
 impl Simulation {
@@ -179,6 +183,7 @@ impl Simulation {
             metrics: None,
             tracer: None,
             faults: None,
+            sampler: None,
         }
     }
 
@@ -187,6 +192,19 @@ impl Simulation {
     /// histogram `sim.delivery_latency_us` (simulated µs from time 0).
     pub fn with_metrics(&mut self, metrics: Arc<MetricsRegistry>) -> &mut Self {
         self.metrics = Some(metrics);
+        self
+    }
+
+    /// Arms a virtual-time sampling cadence: during [`Simulation::run`],
+    /// `on_sample` fires at every multiple of `every_us` of simulated time
+    /// the run crosses (before the first event at or past the boundary is
+    /// handled), and once more at the run's end time. Telemetry samplers
+    /// hook here to snapshot the attached metrics registry on the same
+    /// fixed cadence wall-clock engines use, but in virtual µs — the
+    /// simulator stays free of any real-clock dependency.
+    pub fn with_sampler(&mut self, every_us: Time, on_sample: SamplerHook) -> &mut Self {
+        assert!(every_us > 0, "sampling cadence must be positive");
+        self.sampler = Some((every_us, on_sample));
         self
     }
 
@@ -286,6 +304,7 @@ impl Simulation {
             .metrics
             .as_ref()
             .map(|m| m.histogram("sim.delivery_latency_us"));
+        let m_wire = self.metrics.as_ref().map(|m| m.wire());
 
         let tracer = self.tracer.clone();
         let faults = self.faults.clone();
@@ -351,6 +370,14 @@ impl Simulation {
                     if let Some(c) = &m_bytes {
                         c.add(msg.encoded_len() as u64);
                     }
+                    if let Some(w) = &m_wire {
+                        w.record(
+                            at.index() as u32,
+                            to.index() as u32,
+                            msg.broadcast_id,
+                            msg.encoded_len() as u64,
+                        );
+                    }
                     let latency = rng_latency() + extra;
                     let slot = events.len();
                     events.push(EventKind::Message {
@@ -397,11 +424,20 @@ impl Simulation {
             );
         }
 
+        let mut sampler = self.sampler.take();
+        let mut next_sample = sampler.as_ref().map(|&(every, _)| every);
+
         while let Some(Reverse((time, _, node, slot))) = queue.pop() {
             if time > max_time {
                 break;
             }
             end_time = end_time.max(time);
+            if let (Some((every, on_sample)), Some(ns)) = (&mut sampler, &mut next_sample) {
+                while *ns <= time {
+                    on_sample(*ns);
+                    *ns += *every;
+                }
+            }
             let node_id = NodeId(node);
             if self.is_down(node_id, time) {
                 continue;
@@ -438,6 +474,12 @@ impl Simulation {
                 &mut events,
                 &mut seq,
             );
+        }
+
+        // Flush the tail interval so a merged timeline covers the whole
+        // run even when it ends between cadence boundaries.
+        if let Some((_, on_sample)) = &mut sampler {
+            on_sample(end_time);
         }
 
         SimReport {

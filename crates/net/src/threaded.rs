@@ -211,6 +211,7 @@ fn run_inner(
     let fault_seq = Arc::new(AtomicU64::new(0));
     let bytes_sent = Arc::new(AtomicU64::new(0));
     let frame_bytes_hist = metrics.histogram("threaded.frame_bytes");
+    let wire = metrics.wire();
     let is_crashed: Vec<bool> = {
         let mut v = vec![false; n];
         for &c in crashed {
@@ -235,6 +236,7 @@ fn run_inner(
         let fault_seq = Arc::clone(&fault_seq);
         let bytes_sent = Arc::clone(&bytes_sent);
         let frame_bytes_hist = Arc::clone(&frame_bytes_hist);
+        let wire = Arc::clone(&wire);
         let tracing = tracing.clone();
         let faults = faults.clone();
         let start_payload = (v == origin.index()).then(|| {
@@ -264,6 +266,9 @@ fn run_inner(
                     messages_sent.fetch_add(1, Ordering::Relaxed);
                     bytes_sent.fetch_add(frame.len() as u64, Ordering::Relaxed);
                     frame_bytes_hist.record(frame.len() as u64);
+                    if let Some(id) = crate::wirecost::peek_broadcast_id(frame) {
+                        wire.record(v as u32, to as u32, id, frame.len() as u64);
+                    }
                     let _ = tx.send((v, frame.clone()));
                 }
             };
@@ -379,6 +384,7 @@ pub fn run_threaded_reliable_broadcast(
     let messages_dropped = Arc::new(AtomicU64::new(0));
     let fault_seq = Arc::new(AtomicU64::new(0));
     let bytes_sent = Arc::new(AtomicU64::new(0));
+    let wire = metrics.wire();
 
     let mut handles = Vec::new();
     for (v, slot) in receivers.iter_mut().enumerate() {
@@ -392,6 +398,7 @@ pub fn run_threaded_reliable_broadcast(
         let messages_dropped = Arc::clone(&messages_dropped);
         let fault_seq = Arc::clone(&fault_seq);
         let bytes_sent = Arc::clone(&bytes_sent);
+        let wire = Arc::clone(&wire);
         let faults = faults.clone();
         let start_payload =
             (v == origin.index()).then(|| Message::new(1, v as u32, payload.clone()));
@@ -421,6 +428,9 @@ pub fn run_threaded_reliable_broadcast(
                 for _ in &copies {
                     messages_sent.fetch_add(1, Ordering::Relaxed);
                     bytes_sent.fetch_add(frame.len() as u64, Ordering::Relaxed);
+                    if let Some(id) = crate::wirecost::peek_broadcast_id(frame) {
+                        wire.record(v as u32, to as u32, id, frame.len() as u64);
+                    }
                     let _ = tx.send((v, frame.clone()));
                 }
             };

@@ -22,6 +22,7 @@ use lhg_graph::Graph;
 use lhg_net::fifo::fifo_id;
 use lhg_net::message::Message;
 use lhg_net::metrics::MetricsRegistry;
+use lhg_telemetry::{PeriodicSampler, TelemetrySampler, Timeline};
 use lhg_trace::{merge_timelines, BroadcastTrace, FlightRecorder, TraceCollector};
 
 use crate::node::{spawn_node, BootOpts, BroadcastClock, Directory, Event, NodeHandle, NodeShared};
@@ -93,6 +94,9 @@ pub struct Cluster {
     recorders: HashMap<MemberId, Arc<FlightRecorder>>,
     /// Cluster-wide sink of per-broadcast delivery path records.
     tracer: Arc<TraceCollector>,
+    /// Background telemetry sampler over the shared registry, when armed
+    /// (see [`Cluster::start_telemetry`]).
+    telemetry: Option<PeriodicSampler>,
 }
 
 impl Cluster {
@@ -169,6 +173,7 @@ impl Cluster {
             next_life,
             recorders,
             tracer,
+            telemetry: None,
         };
         if !cluster.await_links(cluster.config.launch_timeout) {
             cluster.shutdown();
@@ -183,6 +188,13 @@ impl Cluster {
         &self.metrics
     }
 
+    /// A shared handle to the registry that outlives the cluster — read it
+    /// after [`Cluster::shutdown`] for totals no live node can still bump.
+    #[must_use]
+    pub fn shared_metrics(&self) -> Arc<MetricsRegistry> {
+        Arc::clone(&self.metrics)
+    }
+
     /// Pretty-printed JSON snapshot of every metric.
     #[must_use]
     pub fn metrics_json(&self) -> String {
@@ -193,6 +205,24 @@ impl Cluster {
     #[must_use]
     pub fn metrics_prometheus(&self) -> String {
         self.metrics.prometheus_text()
+    }
+
+    /// Starts background telemetry sampling of the shared registry every
+    /// `interval` of wall-clock time (µs timestamps since the sampler
+    /// spawned). The cluster's nodes all record into one registry, so the
+    /// sampler's stream *is* the cluster-wide timeline — including the
+    /// per-class `wire.*` frame/byte series. Restarting replaces the
+    /// previous sampler, discarding its ring.
+    pub fn start_telemetry(&mut self, interval: Duration) {
+        let sampler = TelemetrySampler::new("cluster", self.metrics.clone());
+        self.telemetry = Some(sampler.spawn_periodic(interval));
+    }
+
+    /// Stops background sampling (one final flush sample) and returns the
+    /// merged timeline; `None` if telemetry was never started.
+    pub fn stop_telemetry(&mut self) -> Option<Timeline> {
+        let sampler = self.telemetry.take()?.stop();
+        Some(lhg_telemetry::merge(vec![sampler.samples()]))
     }
 
     /// The flight recorder of `member`, if it was ever launched.
@@ -540,8 +570,13 @@ impl Cluster {
             .unwrap_or_default()
     }
 
-    /// Stops every remaining node and joins their main threads.
+    /// Stops every remaining node and joins their main threads. Any
+    /// running telemetry sampler is stopped too (its ring is discarded —
+    /// call [`Cluster::stop_telemetry`] first to keep the timeline).
     pub fn shutdown(mut self) {
+        if let Some(telemetry) = self.telemetry.take() {
+            let _ = telemetry.stop();
+        }
         let members = self.members();
         for member in members {
             if let Some(handle) = self.nodes.get_mut(&member) {

@@ -1316,6 +1316,11 @@ impl NodeRuntime {
             Ok(n) => {
                 self.metrics.counter("runtime.messages_sent").inc();
                 self.metrics.counter("runtime.bytes_sent").add(n as u64);
+                // Same site as the counters above, so per-class totals
+                // reconcile with them exactly (n includes the length prefix).
+                self.metrics
+                    .wire()
+                    .record(self.id as u32, peer as u32, msg.broadcast_id, n as u64);
                 self.recorder.record(EventKind::FrameTx {
                     peer: peer as u32,
                     bytes: n as u32,

@@ -28,22 +28,26 @@ pub use lhg_net::reliable::{
 };
 
 /// Tag bit of a handshake frame: the first frame a dialer sends, announcing
-/// its member id so the acceptor can key the connection.
-pub const HELLO_TAG: u64 = 1 << 57;
+/// its member id so the acceptor can key the connection. The numeric values
+/// of this and the other runtime tags are re-derived from
+/// [`lhg_net::wirecost`], the canonical home of the class-tag bits, so
+/// wire-cost accounting in `lhg-net` classifies runtime control traffic
+/// without a dependency on this crate.
+pub const HELLO_TAG: u64 = lhg_net::wirecost::HELLO_TAG;
 /// Tag bit of a point-to-point liveness probe. Never forwarded, never
 /// deduplicated (the same id repeats every period).
-pub const HEARTBEAT_TAG: u64 = 1 << 58;
+pub const HEARTBEAT_TAG: u64 = lhg_net::wirecost::HEARTBEAT_TAG;
 /// Tag bit of a flooded crash announcement: the member in the low bits
 /// crashed. Each detection floods under a fresh wave nonce; applying a
 /// crash is idempotent, so concurrent detectors' waves coexist harmlessly.
-pub const CRASH_TAG: u64 = 1 << 59;
+pub const CRASH_TAG: u64 = lhg_net::wirecost::CRASH_TAG;
 /// Tag bit of a flooded (re)join announcement: the member in the low bits
 /// is (back) in the overlay and every replica must admit it.
-pub const JOIN_TAG: u64 = 1 << 60;
+pub const JOIN_TAG: u64 = lhg_net::wirecost::JOIN_TAG;
 /// Tag bit of the membership-sync handshake. An empty payload is a request
 /// (from a node that learned it was excommunicated); a non-empty payload is
 /// the serving replica's snapshot ([`encode_membership`]).
-pub const SYNC_TAG: u64 = 1 << 61;
+pub const SYNC_TAG: u64 = lhg_net::wirecost::SYNC_TAG;
 /// Tag bit of a point-to-point link-level ack (cumulative ack + selective
 /// NACK list in the payload, see [`lhg_net::reliable`]). Never forwarded,
 /// never deduplicated. The numeric value is [`lhg_net::reliable::ACK_TAG`]

@@ -26,7 +26,10 @@
 //!   (realized dissemination trees checked against the O(log n) bound);
 //! * [`chaos`] — deterministic chaos engine: seeded fault plans (loss,
 //!   duplication, reordering, partitions, crash/rejoin schedules) executed
-//!   on the simulator and the TCP runtime under an invariant oracle.
+//!   on the simulator and the TCP runtime under an invariant oracle;
+//! * [`telemetry`] — cluster-wide time-series layer over the metrics
+//!   registries: cadenced delta sampling into bounded rings, merged
+//!   timelines with per-second rates, and per-class wire-cost series.
 //!
 //! # Quickstart
 //!
@@ -62,4 +65,5 @@ pub use lhg_core as core;
 pub use lhg_flood as flood;
 pub use lhg_graph as graph;
 pub use lhg_net as net;
+pub use lhg_telemetry as telemetry;
 pub use lhg_trace as trace;
