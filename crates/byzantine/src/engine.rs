@@ -30,7 +30,23 @@ use bytes::Bytes;
 use lhg_net::message::ByzTag;
 
 use crate::frame::{digest, GossipFrame, GossipKind};
-use crate::BrachaConfig;
+use crate::{BrachaConfig, UnsoundMembership};
+
+/// An epoch-stamped membership view: the quorum parameters in force at a
+/// particular point of the cluster's churn history.
+///
+/// The engine holds the *current* view and bumps it on every membership
+/// change ([`BrachaEngine::bump_view`]); each broadcast instance snapshots
+/// the view live when it is created and keeps it for its whole lifetime —
+/// in-flight quorum accounting never resizes mid-instance, which would
+/// silently weaken the intersection arguments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MembershipView {
+    /// Monotone churn counter: 0 at boot, +1 per applied crash/join/sync.
+    pub epoch: u64,
+    /// Quorum parameters sized for this view's live membership.
+    pub cfg: BrachaConfig,
+}
 
 /// Protocol phase of one broadcast instance at one node.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -67,8 +83,12 @@ pub enum Action {
 }
 
 /// Per-instance quorum state.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 struct Instance {
+    /// The membership view snapshotted when this instance was created;
+    /// every quorum threshold below reads from it, never from the
+    /// engine's (possibly newer) current view.
+    view: MembershipView,
     /// Payloads seen for this instance, keyed by their digest.
     payloads: HashMap<u64, Bytes>,
     /// Digest this node echoed, if any (first valid SEND wins).
@@ -82,21 +102,45 @@ struct Instance {
     ready_witnesses: HashMap<u64, BTreeSet<u32>>,
 }
 
+impl Instance {
+    fn new(view: MembershipView) -> Self {
+        Instance {
+            view,
+            payloads: HashMap::new(),
+            echoed: None,
+            readied: None,
+            delivered: false,
+            echo_witnesses: HashMap::new(),
+            ready_witnesses: HashMap::new(),
+        }
+    }
+}
+
 /// One node's Bracha state across all broadcast instances it has seen.
 #[derive(Debug)]
 pub struct BrachaEngine {
     me: u32,
-    cfg: BrachaConfig,
+    /// The current membership view; snapshotted into each new instance.
+    view: MembershipView,
+    /// Set while the current view cannot support the traitor budget
+    /// (n < 3f+1): new instances are refused until a sound view arrives.
+    view_unsafe: bool,
+    /// How many broadcasts / incoming instances were refused because the
+    /// view was unsafe — the signal the chaos oracle's `QuorumUnsafe`
+    /// check reads (via a metrics counter each transport exports).
+    unsafe_refusals: u64,
     instances: HashMap<ByzTag, Instance>,
 }
 
 impl BrachaEngine {
-    /// Engine for node `me` under quorum config `cfg`.
+    /// Engine for node `me` under quorum config `cfg` (view epoch 0).
     #[must_use]
     pub fn new(me: u32, cfg: BrachaConfig) -> Self {
         BrachaEngine {
             me,
-            cfg,
+            view: MembershipView { epoch: 0, cfg },
+            view_unsafe: false,
+            unsafe_refusals: 0,
             instances: HashMap::new(),
         }
     }
@@ -107,10 +151,66 @@ impl BrachaEngine {
         self.me
     }
 
-    /// The quorum configuration.
+    /// The quorum configuration of the *current* view. In-flight instances
+    /// may be running under an older snapshot ([`Self::instance_view`]).
     #[must_use]
     pub fn config(&self) -> BrachaConfig {
-        self.cfg
+        self.view.cfg
+    }
+
+    /// The current epoch-stamped membership view.
+    #[must_use]
+    pub fn view(&self) -> MembershipView {
+        self.view
+    }
+
+    /// `true` while the current view is too small for the traitor budget
+    /// (n < 3f+1) and the engine is refusing new instances.
+    #[must_use]
+    pub fn view_is_unsafe(&self) -> bool {
+        self.view_unsafe
+    }
+
+    /// How many broadcasts or incoming instances have been refused under
+    /// unsafe views so far.
+    #[must_use]
+    pub fn unsafe_refusals(&self) -> u64 {
+        self.unsafe_refusals
+    }
+
+    /// The view snapshot instance `tag` is running under, if it exists.
+    #[must_use]
+    pub fn instance_view(&self, tag: ByzTag) -> Option<MembershipView> {
+        self.instances.get(&tag).map(|i| i.view)
+    }
+
+    /// Installs a new membership view with live membership `n`: the epoch
+    /// advances unconditionally, in-flight instances keep the view they
+    /// snapshotted at creation, and *new* instances will size their
+    /// quorums from `n`. The traitor budget `f` is a protocol constant —
+    /// it came from the overlay's connectivity k, which healing preserves.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnsoundMembership`] when `n < 3f + 1`: the view still
+    /// advances but is marked unsafe, and the engine refuses to create
+    /// instances (originations *and* incoming gossip for unknown tags)
+    /// until a sound view is installed. Refusing is the safe failure mode:
+    /// a quorum certified by fewer than 3f+1 members can be split by f
+    /// traitors.
+    pub fn bump_view(&mut self, n: usize) -> Result<MembershipView, UnsoundMembership> {
+        self.view.epoch += 1;
+        match BrachaConfig::new(n, self.view.cfg.f) {
+            Ok(cfg) => {
+                self.view.cfg = cfg;
+                self.view_unsafe = false;
+                Ok(self.view)
+            }
+            Err(e) => {
+                self.view_unsafe = true;
+                Err(e)
+            }
+        }
     }
 
     /// Phase of instance `tag` at this node.
@@ -126,8 +226,26 @@ impl BrachaEngine {
     }
 
     /// Originates a broadcast from this node: emits the `SEND` (and the
-    /// follow-on `ECHO`, since the origin is its own first witness).
-    pub fn broadcast(&mut self, nonce: u64, payload: Bytes) -> Vec<Action> {
+    /// follow-on `ECHO`, since the origin is its own first witness). The
+    /// new instance snapshots the current membership view.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnsoundMembership`] when the current view is unsafe
+    /// (n < 3f+1): originating under it could certify a split delivery, so
+    /// the broadcast is refused and counted in [`Self::unsafe_refusals`].
+    pub fn broadcast(
+        &mut self,
+        nonce: u64,
+        payload: Bytes,
+    ) -> Result<Vec<Action>, UnsoundMembership> {
+        if self.view_unsafe {
+            self.unsafe_refusals += 1;
+            return Err(UnsoundMembership {
+                n: self.view.cfg.n,
+                f: self.view.cfg.f,
+            });
+        }
         let tag = ByzTag {
             origin: self.me,
             nonce,
@@ -144,6 +262,56 @@ impl BrachaEngine {
         // whatever it fed in, which for an origination is this frame).
         let mut out = vec![Action::Gossip(send.clone())];
         out.extend(self.absorb(send));
+        Ok(out)
+    }
+
+    /// Re-emits this node's standing votes: the `SEND` of every instance it
+    /// originated, plus its `ECHO`/`READY` for every instance it voted on.
+    /// An anti-entropy pass for lossy links — peers that already hold these
+    /// frames absorb them in their dedup sets, peers that missed the
+    /// originals gain the lost votes. Instances are visited in tag order so
+    /// the emission is deterministic across runs.
+    #[must_use]
+    pub fn regossip(&self) -> Vec<Action> {
+        let mut tags: Vec<ByzTag> = self.instances.keys().copied().collect();
+        tags.sort_unstable_by_key(|t| (t.origin, t.nonce));
+        let mut out = Vec::new();
+        for tag in tags {
+            let inst = &self.instances[&tag];
+            if tag.origin == self.me {
+                if let Some(d) = inst.echoed {
+                    if let Some(payload) = inst.payloads.get(&d) {
+                        out.push(Action::Gossip(GossipFrame {
+                            kind: GossipKind::Send,
+                            witness: self.me,
+                            tag,
+                            digest: d,
+                            payload: payload.clone(),
+                        }));
+                    }
+                }
+            }
+            if let Some(d) = inst.echoed {
+                if let Some(payload) = inst.payloads.get(&d) {
+                    out.push(Action::Gossip(GossipFrame {
+                        kind: GossipKind::Echo,
+                        witness: self.me,
+                        tag,
+                        digest: d,
+                        payload: payload.clone(),
+                    }));
+                }
+            }
+            if let Some(d) = inst.readied {
+                out.push(Action::Gossip(GossipFrame {
+                    kind: GossipKind::Ready,
+                    witness: self.me,
+                    tag,
+                    digest: d,
+                    payload: Bytes::new(),
+                }));
+            }
+        }
         out
     }
 
@@ -189,12 +357,29 @@ impl BrachaEngine {
             GossipKind::Ready => false,
         };
 
-        let echo_quorum = self.cfg.echo_quorum();
-        let ready_amplify = self.cfg.ready_amplify();
-        let delivery_quorum = self.cfg.delivery_quorum();
-        let me = self.me;
+        // A frame for an unknown instance creates it under the *current*
+        // view — unless that view is unsafe, in which case the frame is
+        // refused outright (in-flight instances keep working under their
+        // own snapshots).
+        if !self.instances.contains_key(&frame.tag) {
+            if self.view_unsafe {
+                self.unsafe_refusals += 1;
+                return Vec::new();
+            }
+            self.instances.insert(frame.tag, Instance::new(self.view));
+        }
 
-        let inst = self.instances.entry(frame.tag).or_default();
+        let me = self.me;
+        let inst = self
+            .instances
+            .get_mut(&frame.tag)
+            .expect("instance inserted above");
+        // Quorum thresholds come from the instance's snapshotted view, not
+        // the engine's current one: churn after origination must not move
+        // the goalposts of an in-flight quorum count.
+        let echo_quorum = inst.view.cfg.echo_quorum();
+        let ready_amplify = inst.view.cfg.ready_amplify();
+        let delivery_quorum = inst.view.cfg.delivery_quorum();
         if carries_payload {
             inst.payloads
                 .entry(frame.digest)
@@ -282,7 +467,7 @@ mod tests {
     use super::*;
 
     fn cfg() -> BrachaConfig {
-        BrachaConfig::new(8, 1) // echo quorum 5, amplify 2, deliver 3
+        BrachaConfig::new(8, 1).unwrap() // echo quorum 5, amplify 2, deliver 3
     }
 
     fn tag(origin: u32, nonce: u64) -> ByzTag {
@@ -339,7 +524,7 @@ mod tests {
     #[test]
     fn origin_broadcast_emits_send_and_echo() {
         let mut e = BrachaEngine::new(0, cfg());
-        let actions = e.broadcast(7, Bytes::from_static(b"hi"));
+        let actions = e.broadcast(7, Bytes::from_static(b"hi")).unwrap();
         let gossip = gossip_of(&actions);
         assert_eq!(gossip.len(), 2);
         assert_eq!(gossip[0].kind, GossipKind::Send);
@@ -356,7 +541,7 @@ mod tests {
         let payload = Bytes::from_static(b"agreed value");
         let mut initial = Vec::new();
         let mut origin_delivered = Vec::new();
-        for action in engines[0].broadcast(1, payload.clone()) {
+        for action in engines[0].broadcast(1, payload.clone()).unwrap() {
             match action {
                 Action::Gossip(f) => {
                     for peer in 1..n {
@@ -384,7 +569,7 @@ mod tests {
         let mut engines: Vec<BrachaEngine> =
             (0..n as u32).map(|v| BrachaEngine::new(v, cfg())).collect();
         let mut initial = Vec::new();
-        for action in engines[3].broadcast(9, Bytes::new()) {
+        for action in engines[3].broadcast(9, Bytes::new()).unwrap() {
             if let Action::Gossip(f) = action {
                 for peer in 0..n {
                     if peer != 3 {
@@ -576,5 +761,165 @@ mod tests {
         assert!(e2.on_gossip(&echo).is_empty());
         assert!(deliveries_of(&e2.on_gossip(&ready)).is_empty());
         assert_ne!(e2.phase(t), Phase::Delivered);
+    }
+
+    #[test]
+    fn instances_snapshot_the_view_at_creation_and_never_mix() {
+        let mut e = BrachaEngine::new(0, cfg());
+        assert_eq!(e.view().epoch, 0);
+        let _ = e.broadcast(1, Bytes::from_static(b"pre-churn")).unwrap();
+        let before = e.instance_view(tag(0, 1)).unwrap();
+        assert_eq!((before.epoch, before.cfg.n), (0, 8));
+
+        // A member crashes: the view bumps to n=7, but the in-flight
+        // instance keeps its origin snapshot.
+        e.bump_view(7).unwrap();
+        assert_eq!(e.view().epoch, 1);
+        assert_eq!(e.view().cfg.n, 7);
+        let still = e.instance_view(tag(0, 1)).unwrap();
+        assert_eq!((still.epoch, still.cfg.n), (0, 8), "in-flight view frozen");
+
+        // A new instance created after the bump sizes from the live view.
+        let _ = e.broadcast(2, Bytes::from_static(b"post-churn")).unwrap();
+        let after = e.instance_view(tag(0, 2)).unwrap();
+        assert_eq!((after.epoch, after.cfg.n), (1, 7));
+    }
+
+    #[test]
+    fn in_flight_instance_keeps_its_quorum_thresholds_across_a_bump() {
+        // n=8 (delivery quorum 3). After bumping to a larger view the old
+        // instance must still deliver at 3 readys — its snapshot — even
+        // though the new view would also say 3; the *echo* quorum differs:
+        // old 5 vs new ⌈(12+1+1)/2⌉ = 7, so certify via 5 echoes to prove
+        // the snapshot is the one being read.
+        let mut e = BrachaEngine::new(6, cfg());
+        let t = tag(0, 1);
+        let payload = Bytes::from_static(b"frozen view");
+        let d = digest(&payload);
+        let send = GossipFrame {
+            kind: GossipKind::Send,
+            witness: 0,
+            tag: t,
+            digest: d,
+            payload: payload.clone(),
+        };
+        let _ = e.on_gossip(&send); // instance created at n=8
+        e.bump_view(12).unwrap(); // view grows; instance must not care
+        let mut actions = Vec::new();
+        for w in 0..5u32 {
+            let echo = GossipFrame {
+                kind: GossipKind::Echo,
+                witness: w,
+                tag: t,
+                digest: d,
+                payload: payload.clone(),
+            };
+            actions.extend(e.on_gossip(&echo));
+        }
+        // 5 echo witnesses meet the snapshotted quorum of 5 → READY fires.
+        assert!(
+            actions
+                .iter()
+                .any(|a| matches!(a, Action::Gossip(f) if f.kind == GossipKind::Ready)),
+            "snapshot echo quorum (5) certified, not the current view's (7)"
+        );
+    }
+
+    #[test]
+    fn unsafe_view_refuses_new_instances_but_in_flight_deliver() {
+        let mut e = BrachaEngine::new(6, cfg());
+        let t = tag(0, 1);
+        let payload = Bytes::from_static(b"survives the dip");
+        let d = digest(&payload);
+        let echo = |w: u32| GossipFrame {
+            kind: GossipKind::Echo,
+            witness: w,
+            tag: t,
+            digest: d,
+            payload: payload.clone(),
+        };
+        let ready = |w: u32| GossipFrame {
+            kind: GossipKind::Ready,
+            witness: w,
+            tag: t,
+            digest: d,
+            payload: Bytes::new(),
+        };
+        let _ = e.on_gossip(&echo(0)); // instance exists at epoch 0
+        assert!(e.bump_view(3).is_err(), "3 < 3f+1 = 4");
+        assert!(e.view_is_unsafe());
+        assert_eq!(e.view().epoch, 1, "epoch advances even on refusal");
+
+        // Originating is refused and surfaced as an error...
+        assert!(e.broadcast(9, Bytes::new()).is_err());
+        // ...and gossip for an unknown tag is dropped without state.
+        let forged = GossipFrame {
+            kind: GossipKind::Ready,
+            witness: 2,
+            tag: tag(5, 5),
+            digest: 42,
+            payload: Bytes::new(),
+        };
+        assert!(e.on_gossip(&forged).is_empty());
+        assert_eq!(e.phase(tag(5, 5)), Phase::Init);
+        assert_eq!(e.unsafe_refusals(), 2);
+
+        // The in-flight instance still runs under its safe snapshot.
+        let mut delivered = Vec::new();
+        for w in [1u32, 2, 3] {
+            for a in e.on_gossip(&ready(w)) {
+                if let Action::Deliver(del) = a {
+                    delivered.push(del);
+                }
+            }
+        }
+        assert_eq!(delivered.len(), 1, "pre-dip instance delivers");
+
+        // A sound view restores service.
+        e.bump_view(4).unwrap();
+        assert!(!e.view_is_unsafe());
+        assert!(e.broadcast(9, Bytes::new()).is_ok());
+    }
+
+    #[test]
+    fn regossip_reemits_standing_votes_deterministically() {
+        let mut e = BrachaEngine::new(0, cfg());
+        let _ = e.broadcast(1, Bytes::from_static(b"mine")).unwrap();
+        let first = e.regossip();
+        // Origin re-emits its SEND and its ECHO for the instance.
+        assert!(first
+            .iter()
+            .any(|a| matches!(a, Action::Gossip(f) if f.kind == GossipKind::Send)));
+        assert!(first
+            .iter()
+            .any(|a| matches!(a, Action::Gossip(f) if f.kind == GossipKind::Echo)));
+        assert!(
+            !first
+                .iter()
+                .any(|a| matches!(a, Action::Gossip(f) if f.kind == GossipKind::Ready)),
+            "no ready vote standing yet"
+        );
+        assert_eq!(first, e.regossip(), "emission is deterministic");
+
+        // Once readied, the READY vote is re-emitted too.
+        let t = tag(0, 1);
+        let d = e.regossip().iter().find_map(|a| match a {
+            Action::Gossip(f) if f.kind == GossipKind::Send => Some(f.digest),
+            _ => None,
+        });
+        let d = d.unwrap();
+        for w in [2u32, 3] {
+            let _ = e.on_gossip(&GossipFrame {
+                kind: GossipKind::Ready,
+                witness: w,
+                tag: t,
+                digest: d,
+                payload: Bytes::new(),
+            });
+        }
+        assert!(e
+            .regossip()
+            .iter()
+            .any(|a| matches!(a, Action::Gossip(f) if f.kind == GossipKind::Ready)));
     }
 }

@@ -48,13 +48,37 @@ pub mod frame;
 pub mod sim;
 pub mod threaded;
 
-pub use engine::{Action, BrachaEngine, ByzDelivery, Phase};
+pub use engine::{Action, BrachaEngine, ByzDelivery, MembershipView, Phase};
 pub use frame::{digest, gossip_frame_id, GossipFrame, GossipKind, BYZ_ID_TAG};
 pub use sim::{
-    run_sim_byzantine, run_sim_byzantine_with_metrics, ByzantineFlooder, ByzantineTraitor,
-    ScheduledByzBroadcast, TraitorBehavior, EQUIVOCATE_NONCE_BASE, FORGE_NONCE_BASE,
+    run_sim_byzantine, run_sim_byzantine_churn, run_sim_byzantine_with_metrics, ByzCrash,
+    ByzantineFlooder, ByzantineTraitor, ScheduledByzBroadcast, TraitorBehavior,
+    EQUIVOCATE_NONCE_BASE, FORGE_NONCE_BASE,
 };
 pub use threaded::{run_threaded_byzantine, ThreadedByzReport};
+
+/// Membership too small for the configured traitor budget: Bracha's quorum
+/// intersection arguments need `n ≥ 3f + 1`, and this view does not have it.
+///
+/// Returned (never panicked) by [`BrachaConfig::new`] and
+/// [`BrachaEngine::bump_view`](engine::BrachaEngine::bump_view) so callers —
+/// the CLI, the chaos runner, a node applying churn — can refuse the view
+/// gracefully instead of aborting the process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UnsoundMembership {
+    /// The offered membership size.
+    pub n: usize,
+    /// The traitor budget it cannot support.
+    pub f: usize,
+}
+
+impl std::fmt::Display for UnsoundMembership {
+    fn fmt(&self, fmt: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(fmt, "Bracha needs n ≥ 3f+1 (n={}, f={})", self.n, self.f)
+    }
+}
+
+impl std::error::Error for UnsoundMembership {}
 
 /// Maximum traitors a k-connected overlay supports with Bracha broadcast:
 /// f ≤ ⌊(k−1)/2⌋.
@@ -72,9 +96,11 @@ pub fn max_traitors(k: usize) -> usize {
 /// Quorum parameters of one Bracha instance: total membership `n` and the
 /// traitor budget `f` the protocol is configured to survive.
 ///
-/// Soundness needs n ≥ 3f + 1 (asserted); with LHG overlays at
-/// f = [`max_traitors`]`(k)` this holds for every constructible size,
-/// since an LHG needs n ≥ 2k ≥ 4f + 2.
+/// Soundness needs n ≥ 3f + 1 (enforced by the constructor); with LHG
+/// overlays at f = [`max_traitors`]`(k)` this holds for every constructible
+/// size, since an LHG needs n ≥ 2k ≥ 4f + 2 — but *churned* views can lose
+/// members, so the check is a recoverable [`UnsoundMembership`] error, not
+/// an assert.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BrachaConfig {
     /// Total membership size (correct + traitor).
@@ -84,25 +110,27 @@ pub struct BrachaConfig {
 }
 
 impl BrachaConfig {
-    /// Creates a config; panics if `n < 3f + 1` (quorums would be unsound).
+    /// Creates a config, refusing unsound memberships.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics when `n < 3f + 1`.
-    #[must_use]
-    pub fn new(n: usize, f: usize) -> Self {
-        assert!(n > 3 * f, "Bracha needs n ≥ 3f+1 (n={n}, f={f})");
-        BrachaConfig { n, f }
+    /// Returns [`UnsoundMembership`] when `n < 3f + 1` — the quorum
+    /// intersection arguments would not hold.
+    pub fn new(n: usize, f: usize) -> Result<Self, UnsoundMembership> {
+        if n > 3 * f {
+            Ok(BrachaConfig { n, f })
+        } else {
+            Err(UnsoundMembership { n, f })
+        }
     }
 
     /// Config for an n-node, k-connected LHG overlay at the full traitor
     /// budget f = ⌊(k−1)/2⌋.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics when `n < 3f + 1`.
-    #[must_use]
-    pub fn for_overlay(n: usize, k: usize) -> Self {
+    /// Returns [`UnsoundMembership`] when `n < 3f + 1`.
+    pub fn for_overlay(n: usize, k: usize) -> Result<Self, UnsoundMembership> {
         BrachaConfig::new(n, max_traitors(k))
     }
 
@@ -146,12 +174,12 @@ mod tests {
 
     #[test]
     fn quorum_sizes_at_small_memberships() {
-        let c = BrachaConfig::new(8, 1);
+        let c = BrachaConfig::new(8, 1).unwrap();
         assert_eq!(c.echo_quorum(), 5);
         assert_eq!(c.ready_amplify(), 2);
         assert_eq!(c.delivery_quorum(), 3);
 
-        let c = BrachaConfig::new(4, 1);
+        let c = BrachaConfig::new(4, 1).unwrap();
         assert_eq!(c.echo_quorum(), 3);
         assert_eq!(c.delivery_quorum(), 3);
     }
@@ -160,7 +188,7 @@ mod tests {
     fn echo_quorums_intersect_in_a_correct_node() {
         for n in 4..=40 {
             for f in 0..=(n - 1) / 3 {
-                let c = BrachaConfig::new(n, f);
+                let c = BrachaConfig::new(n, f).unwrap();
                 let q = c.echo_quorum();
                 // Two quorums overlap in ≥ 2q − n nodes; that overlap must
                 // exceed f so it contains a correct node.
@@ -172,8 +200,56 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "n ≥ 3f+1")]
-    fn unsound_membership_is_rejected() {
-        let _ = BrachaConfig::new(6, 2);
+    fn unsound_membership_is_an_error_not_a_panic() {
+        let e = BrachaConfig::new(6, 2).unwrap_err();
+        assert_eq!(e, UnsoundMembership { n: 6, f: 2 });
+        assert!(e.to_string().contains("n ≥ 3f+1"), "{e}");
+    }
+
+    #[test]
+    fn soundness_boundary_is_exactly_3f_plus_1() {
+        for f in 0..12 {
+            assert!(BrachaConfig::new(3 * f + 1, f).is_ok(), "n=3f+1 is sound");
+            if f > 0 {
+                assert!(BrachaConfig::new(3 * f, f).is_err(), "n=3f is not");
+            }
+        }
+    }
+
+    mod quorum_props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Quorum sizes are monotone in n at fixed f: growing the view
+            /// never shrinks a quorum, so a bumped-up view is never easier
+            /// to certify against than the one an instance snapshotted.
+            #[test]
+            fn quorums_monotone_in_n(f in 0usize..8, extra in 0usize..40) {
+                let n = 3 * f + 1 + extra; // always sound: n ≥ 3f+1
+                let c = BrachaConfig::new(n, f).unwrap();
+                let bigger = BrachaConfig::new(n + 1, f).unwrap();
+                prop_assert!(bigger.echo_quorum() >= c.echo_quorum());
+                prop_assert!(bigger.ready_amplify() >= c.ready_amplify());
+                prop_assert!(bigger.delivery_quorum() >= c.delivery_quorum());
+            }
+
+            /// Delivery never needs fewer than 2f+1 ready witnesses, at any
+            /// sound membership down to the n = 3f+1 boundary.
+            #[test]
+            fn delivery_never_below_2f_plus_1(f in 0usize..8, extra in 0usize..40) {
+                let n = 3 * f + 1 + extra; // always sound: n ≥ 3f+1
+                let c = BrachaConfig::new(n, f).unwrap();
+                prop_assert!(c.delivery_quorum() > 2 * f);
+                // And it stays reachable with every traitor silent.
+                prop_assert!(n - f >= c.delivery_quorum());
+            }
+
+            /// The constructor and the boundary agree for every (n, f).
+            #[test]
+            fn constructor_matches_boundary(f in 0usize..20, n in 0usize..80) {
+                prop_assert_eq!(BrachaConfig::new(n, f).is_ok(), n > 3 * f);
+            }
+        }
     }
 }

@@ -36,6 +36,19 @@ const SCHEDULE_TOKEN_LIMIT: u64 = 1 << 32;
 const ATTACK_TOKEN: u64 = 1 << 40;
 /// Token for a replay traitor's recurring re-flood timer.
 const REPLAY_TOKEN: u64 = (1 << 40) + 1;
+/// Token for a flooder's scheduled permanent crash.
+const DIE_TOKEN: u64 = 1 << 33;
+/// Token base for a flooder's scheduled membership-view bumps.
+const VIEW_BUMP_TOKEN_BASE: u64 = 1 << 34;
+/// Token for a flooder's periodic anti-entropy regossip timer.
+const REGOSSIP_TOKEN: u64 = 1 << 35;
+
+/// Regossip period: correct nodes re-emit standing votes this often, so a
+/// lossy link cannot permanently starve a quorum of one dropped vote.
+const REGOSSIP_PERIOD_US: Time = 100_000;
+/// Delay between a scheduled crash and survivors bumping their membership
+/// view — the sim stand-in for the runtime's heartbeat failure detector.
+const VIEW_BUMP_DELAY_US: Time = 50_000;
 
 /// Delay before a traitor mounts its attack: late enough that dials and
 /// first frames have propagated, early enough to race real broadcasts.
@@ -74,15 +87,27 @@ pub enum TraitorBehavior {
     /// Runs the protocol correctly but stashes every frame it relays and
     /// periodically re-floods stale copies.
     Replay,
+    /// Attacks the *failure detector*, not the gossip layer: on the TCP
+    /// runtime it floods forged CRASH waves naming a live victim, trying
+    /// to excommunicate a node that is still heartbeating. At the gossip
+    /// layer it relays honestly but casts no votes.
+    FrameCrash,
+    /// Attacks *healing*: on the TCP runtime it suppresses its own
+    /// heartbeats and summaries so correct nodes legitimately
+    /// excommunicate it, forcing churn while it keeps listening. At the
+    /// gossip layer it relays honestly but casts no votes.
+    SuppressHeartbeat,
 }
 
 impl TraitorBehavior {
     /// All behaviors, in seeding order.
-    pub const ALL: [TraitorBehavior; 4] = [
+    pub const ALL: [TraitorBehavior; 6] = [
         TraitorBehavior::Equivocate,
         TraitorBehavior::Forge,
         TraitorBehavior::Silent,
         TraitorBehavior::Replay,
+        TraitorBehavior::FrameCrash,
+        TraitorBehavior::SuppressHeartbeat,
     ];
 
     /// Stable lowercase name (chaos plans and JSON summaries).
@@ -93,8 +118,21 @@ impl TraitorBehavior {
             TraitorBehavior::Forge => "forge",
             TraitorBehavior::Silent => "silent",
             TraitorBehavior::Replay => "replay",
+            TraitorBehavior::FrameCrash => "frame_crash",
+            TraitorBehavior::SuppressHeartbeat => "suppress_heartbeat",
         }
     }
+}
+
+/// A scheduled permanent crash of a correct node mid-run: the node goes
+/// mute and deaf at `at_us`, and every survivor bumps its membership view
+/// one failure-detection delay later.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ByzCrash {
+    /// Simulated time the node dies.
+    pub at_us: Time,
+    /// The node that dies.
+    pub node: NodeId,
 }
 
 /// A correct node: flood-relay gossip, run the Bracha engine, deliver.
@@ -102,6 +140,14 @@ pub struct ByzantineFlooder {
     engine: BrachaEngine,
     seen: SeenSet,
     schedule: Vec<ScheduledByzBroadcast>,
+    /// Scheduled permanent crash: after this time the node is mute & deaf.
+    dies_at: Option<Time>,
+    dead: bool,
+    /// Scheduled membership-view bumps `(time, new n)` from crash waves.
+    view_bumps: Vec<(Time, usize)>,
+    /// Anti-entropy period (None: regossip disabled, the lossless default).
+    regossip_period: Option<Time>,
+    metrics: Option<std::sync::Arc<lhg_net::metrics::MetricsRegistry>>,
 }
 
 impl ByzantineFlooder {
@@ -112,6 +158,11 @@ impl ByzantineFlooder {
             engine: BrachaEngine::new(me, cfg),
             seen: SeenSet::default(),
             schedule: Vec::new(),
+            dies_at: None,
+            dead: false,
+            view_bumps: Vec::new(),
+            regossip_period: None,
+            metrics: None,
         }
     }
 
@@ -120,6 +171,34 @@ impl ByzantineFlooder {
     pub fn with_schedule(mut self, schedule: Vec<ScheduledByzBroadcast>) -> Self {
         assert!((schedule.len() as u64) < SCHEDULE_TOKEN_LIMIT);
         self.schedule = schedule;
+        self
+    }
+
+    /// The same node crashing permanently at `at_us`.
+    #[must_use]
+    pub fn with_death(mut self, at_us: Time) -> Self {
+        self.dies_at = Some(at_us);
+        self
+    }
+
+    /// Schedules membership-view bumps — `(time, new n)` per detected
+    /// crash — and enables periodic regossip so the re-sized quorums can
+    /// refill even when individual vote frames were lost.
+    #[must_use]
+    pub fn with_view_bumps(mut self, bumps: Vec<(Time, usize)>) -> Self {
+        self.view_bumps = bumps;
+        self.regossip_period = Some(REGOSSIP_PERIOD_US);
+        self
+    }
+
+    /// Records quorum-safety metrics: each refused view bump increments
+    /// the `byz.unsafe_views` counter the chaos oracle audits.
+    #[must_use]
+    pub fn with_metrics(
+        mut self,
+        metrics: std::sync::Arc<lhg_net::metrics::MetricsRegistry>,
+    ) -> Self {
+        self.metrics = Some(metrics);
         self
     }
 
@@ -149,9 +228,21 @@ impl Process for ByzantineFlooder {
         for (idx, b) in self.schedule.iter().enumerate() {
             ctx.set_timer(b.at_us, idx as u64);
         }
+        if let Some(at) = self.dies_at {
+            ctx.set_timer(at, DIE_TOKEN);
+        }
+        for (idx, (at, _)) in self.view_bumps.iter().enumerate() {
+            ctx.set_timer(*at, VIEW_BUMP_TOKEN_BASE + idx as u64);
+        }
+        if let Some(period) = self.regossip_period {
+            ctx.set_timer(period, REGOSSIP_TOKEN);
+        }
     }
 
     fn on_message(&mut self, from: NodeId, msg: Message, ctx: &mut Context<'_>) {
+        if self.dead {
+            return; // crashed nodes neither relay nor vote
+        }
         if !self.seen.insert(msg.broadcast_id) {
             return; // duplicate copy on another disjoint path
         }
@@ -170,10 +261,50 @@ impl Process for ByzantineFlooder {
     }
 
     fn on_timer(&mut self, token: u64, ctx: &mut Context<'_>) {
+        if token == DIE_TOKEN {
+            self.dead = true;
+            return;
+        }
+        if self.dead {
+            return;
+        }
+        if token == REGOSSIP_TOKEN {
+            // Anti-entropy: re-flood standing votes. Peers that already
+            // saw them dedup; peers that lost them to a lossy link gain
+            // the vote — which is what keeps post-churn quorums fillable.
+            for action in self.engine.regossip() {
+                if let Action::Gossip(frame) = action {
+                    let msg = frame.to_message();
+                    for &w in &ctx.neighbors().to_vec() {
+                        ctx.send(w, msg.clone());
+                    }
+                }
+            }
+            if let Some(period) = self.regossip_period {
+                ctx.set_timer(period, REGOSSIP_TOKEN);
+            }
+            return;
+        }
+        if token >= VIEW_BUMP_TOKEN_BASE {
+            let idx = (token - VIEW_BUMP_TOKEN_BASE) as usize;
+            if let Some(&(_, new_n)) = self.view_bumps.get(idx) {
+                if self.engine.bump_view(new_n).is_err() {
+                    if let Some(m) = &self.metrics {
+                        m.counter("byz.unsafe_views").inc();
+                    }
+                }
+            }
+            return;
+        }
         if let Some(b) = self.schedule.get(token as usize) {
             let (nonce, payload) = (b.nonce, b.payload.clone());
-            let actions = self.engine.broadcast(nonce, payload);
-            self.apply(actions, ctx);
+            // A refusal means the live view is unsound (n < 3f+1); the
+            // engine counts it and the oracle reports QuorumUnsafe.
+            if let Ok(actions) = self.engine.broadcast(nonce, payload) {
+                self.apply(actions, ctx);
+            } else if let Some(m) = &self.metrics {
+                m.counter("byz.unsafe_views").inc();
+            }
         }
     }
 }
@@ -295,7 +426,11 @@ impl Process for ByzantineTraitor {
                 ctx.set_timer(ATTACK_DELAY_US, ATTACK_TOKEN);
             }
             TraitorBehavior::Replay => ctx.set_timer(REPLAY_PERIOD_US, REPLAY_TOKEN),
-            TraitorBehavior::Silent => {}
+            // Failure-detector attacks have no gossip-layer timer: their
+            // teeth are in the TCP runtime (node.rs mounts them there).
+            TraitorBehavior::Silent
+            | TraitorBehavior::FrameCrash
+            | TraitorBehavior::SuppressHeartbeat => {}
         }
     }
 
@@ -311,6 +446,12 @@ impl Process for ByzantineTraitor {
             if w != from {
                 ctx.send(w, fwd.clone());
             }
+        }
+        if matches!(
+            self.behavior,
+            TraitorBehavior::FrameCrash | TraitorBehavior::SuppressHeartbeat
+        ) {
+            return; // honest relay, but no votes of its own
         }
         if let Some(frame) = GossipFrame::from_message(&msg) {
             let actions = self.engine.on_gossip(&frame);
@@ -390,17 +531,86 @@ pub fn run_sim_byzantine_with_metrics(
     horizon: Time,
     metrics: Option<std::sync::Arc<lhg_net::metrics::MetricsRegistry>>,
 ) -> SimReport {
+    run_sim_byzantine_churn(
+        graph,
+        k,
+        schedules,
+        traitors,
+        &[],
+        None,
+        link,
+        seed,
+        horizon,
+        metrics,
+    )
+}
+
+/// Like [`run_sim_byzantine_with_metrics`], with membership churn: nodes
+/// listed in `crashes` die permanently mid-run, and every survivor bumps
+/// its engine's membership view one detection delay after each death —
+/// so instances originated *after* the churn size their quorums from live
+/// membership, while in-flight ones keep the view they snapshotted.
+///
+/// When any crash is scheduled, correct nodes also regossip standing
+/// votes periodically (anti-entropy), so lossy links cannot permanently
+/// starve the post-churn quorums. A view that would dip below 3f+1 is
+/// refused by the engine and counted on the `byz.unsafe_views` metrics
+/// counter — the signal behind the chaos oracle's `QuorumUnsafe`
+/// violation.
+///
+/// `faults`, when given, puts a link-fault injector under the gossip
+/// plane (drops, duplicates, reorders — the mixed chaos family): byz
+/// frames are best-effort floods, so the regossip anti-entropy above is
+/// what repairs the losses.
+///
+/// # Panics
+///
+/// Panics if a scheduled origin or a crash victim is listed as a traitor,
+/// or if the boot quorums would be unsound (n < 3f+1).
+#[must_use]
+#[allow(clippy::too_many_arguments)]
+pub fn run_sim_byzantine_churn(
+    graph: &Graph,
+    k: usize,
+    schedules: &[(NodeId, Vec<ScheduledByzBroadcast>)],
+    traitors: &[(NodeId, TraitorBehavior)],
+    crashes: &[ByzCrash],
+    faults: Option<std::sync::Arc<lhg_net::fault::FaultInjector>>,
+    link: LinkModel,
+    seed: u64,
+    horizon: Time,
+    metrics: Option<std::sync::Arc<lhg_net::metrics::MetricsRegistry>>,
+) -> SimReport {
     let n = graph.node_count();
-    let cfg = BrachaConfig::for_overlay(n, k);
+    let cfg = BrachaConfig::for_overlay(n, k)
+        .expect("LHG overlays are quorum-sound at boot: n ≥ 2k ≥ 4f+2 > 3f+1");
     for (origin, _) in schedules {
         assert!(
             traitors.iter().all(|(t, _)| t != origin),
             "scheduled origin {origin} is a traitor"
         );
     }
+    for c in crashes {
+        assert!(
+            traitors.iter().all(|(t, _)| *t != c.node),
+            "crash victim {} is a traitor (traitors lie, they don't die)",
+            c.node
+        );
+    }
+    let mut ordered: Vec<ByzCrash> = crashes.to_vec();
+    ordered.sort_by_key(|c| (c.at_us, c.node.index()));
+    // One view bump per crash, each detection seeing one fewer member.
+    let bumps: Vec<(Time, usize)> = ordered
+        .iter()
+        .enumerate()
+        .map(|(i, c)| (c.at_us + VIEW_BUMP_DELAY_US, n - (i + 1)))
+        .collect();
     let mut sim = Simulation::new(graph, link, seed);
-    if let Some(m) = metrics {
-        sim.with_metrics(m);
+    if let Some(m) = &metrics {
+        sim.with_metrics(m.clone());
+    }
+    if let Some(f) = faults {
+        sim.with_faults(f);
     }
     let processes: Vec<Box<dyn Process>> = (0..n)
         .map(|v| -> Box<dyn Process> {
@@ -413,7 +623,17 @@ pub fn run_sim_byzantine_with_metrics(
                     .find(|(o, _)| *o == id)
                     .map(|(_, s)| s.clone())
                     .unwrap_or_default();
-                Box::new(ByzantineFlooder::new(v as u32, cfg).with_schedule(schedule))
+                let mut flooder = ByzantineFlooder::new(v as u32, cfg).with_schedule(schedule);
+                if let Some(c) = ordered.iter().find(|c| c.node == id) {
+                    flooder = flooder.with_death(c.at_us);
+                }
+                if !ordered.is_empty() {
+                    flooder = flooder.with_view_bumps(bumps.clone());
+                }
+                if let Some(m) = &metrics {
+                    flooder = flooder.with_metrics(m.clone());
+                }
+                Box::new(flooder)
             }
         })
         .collect();
@@ -583,6 +803,97 @@ mod tests {
         let b = run();
         assert_eq!(a.deliveries, b.deliveries);
         assert_eq!(a.messages_sent, b.messages_sent);
+    }
+
+    #[test]
+    fn post_churn_broadcasts_deliver_at_survivor_quorums() {
+        // n=8, k=3 (f=1): node 7 dies at 300ms; node 0 originates one
+        // broadcast before the crash and one after. Survivors bump their
+        // view to n=7 and the post-churn instance must still reach every
+        // survivor under the re-sized quorums.
+        let g = overlay(8, 3);
+        let report = run_sim_byzantine_churn(
+            &g,
+            3,
+            &[(
+                NodeId(0),
+                vec![sched(0x1000, 10_000), sched(0x1001, 600_000)],
+            )],
+            &[],
+            &[ByzCrash {
+                at_us: 300_000,
+                node: NodeId(7),
+            }],
+            None,
+            no_jitter(),
+            5,
+            2_000_000,
+            None,
+        );
+        let per_node = delivered_by_node(&report, 8);
+        for (v, d) in per_node.iter().enumerate().take(7) {
+            assert!(d.contains_key(&0x1000), "survivor {v}: pre-churn");
+            assert!(d.contains_key(&0x1001), "survivor {v}: post-churn");
+        }
+        // The dead node never delivers the post-crash instance.
+        assert!(!per_node[7].contains_key(&0x1001), "the dead do not vote");
+    }
+
+    #[test]
+    fn churn_with_a_traitor_is_deterministic() {
+        let g = overlay(10, 3);
+        let run = || {
+            run_sim_byzantine_churn(
+                &g,
+                3,
+                &[(
+                    NodeId(1),
+                    vec![sched(0x1000, 10_000), sched(0x1001, 700_000)],
+                )],
+                &[(NodeId(6), TraitorBehavior::FrameCrash)],
+                &[ByzCrash {
+                    at_us: 350_000,
+                    node: NodeId(9),
+                }],
+                None,
+                no_jitter(),
+                42,
+                2_000_000,
+                None,
+            )
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.deliveries, b.deliveries);
+        assert_eq!(a.messages_sent, b.messages_sent);
+    }
+
+    #[test]
+    fn view_dip_below_quorum_floor_is_counted_not_panicked() {
+        // k=5 ⇒ f=2 ⇒ floor 3f+1 = 7. Crash 6 of 12 nodes: the first five
+        // bumps (n = 11..7) are sound, the sixth (n = 6) is refused — each
+        // of the 6 survivors counts it on byz.unsafe_views.
+        let g = overlay(12, 5);
+        let metrics = std::sync::Arc::new(lhg_net::metrics::MetricsRegistry::new());
+        let crashes: Vec<ByzCrash> = (6..12)
+            .map(|v| ByzCrash {
+                at_us: 100_000 * (v as Time - 5),
+                node: NodeId(v),
+            })
+            .collect();
+        let _ = run_sim_byzantine_churn(
+            &g,
+            5,
+            &[(NodeId(0), vec![sched(0x1000, 10_000)])],
+            &[],
+            &crashes,
+            None,
+            no_jitter(),
+            9,
+            2_000_000,
+            Some(metrics.clone()),
+        );
+        assert_eq!(metrics.counter("byz.unsafe_views").get(), 6);
     }
 
     #[test]

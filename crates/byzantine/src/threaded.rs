@@ -86,7 +86,8 @@ pub fn run_threaded_byzantine(
         traitors.iter().all(|(t, _)| *t != origin),
         "origin {origin} must not be a traitor"
     );
-    let cfg = BrachaConfig::for_overlay(n, k);
+    let cfg = BrachaConfig::for_overlay(n, k)
+        .expect("LHG overlays are quorum-sound at boot: n ≥ 2k ≥ 4f+2 > 3f+1");
 
     let mut senders: Vec<Sender<(usize, Bytes)>> = Vec::with_capacity(n);
     let mut receivers: Vec<Option<Receiver<(usize, Bytes)>>> = Vec::with_capacity(n);
@@ -152,7 +153,9 @@ pub fn run_threaded_byzantine(
                 }
             };
             if let Some((nonce, payload)) = start {
-                let actions = engine.broadcast(nonce, payload);
+                let actions = engine
+                    .broadcast(nonce, payload)
+                    .expect("boot view is sound");
                 apply(actions, &mut seen);
             }
             match behavior {

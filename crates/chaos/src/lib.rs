@@ -30,6 +30,9 @@ pub mod runner;
 
 pub use oracle::{ChaosReport, Engine, Violation};
 pub use plan::{
-    BroadcastSpec, CrashSpec, Family, FaultPlan, PartitionSpec, TraitorSpec, CHAOS_BCAST_BASE,
+    BroadcastSpec, CrashSpec, Family, FaultPlan, PartitionSpec, PlanOverrides, TraitorSpec,
+    CHAOS_BCAST_BASE,
 };
-pub use runner::{run_sim_chaos, run_suite, run_suite_filtered, run_tcp_chaos, SuiteOutcome};
+pub use runner::{
+    run_sim_chaos, run_suite, run_suite_filtered, run_suite_with, run_tcp_chaos, SuiteOutcome,
+};

@@ -95,6 +95,15 @@ pub enum Violation {
         /// The deceived correct node.
         node: u32,
     },
+    /// A churned membership view dipped below the 3f+1 quorum floor:
+    /// some node's Bracha engine refused a view bump (or a broadcast under
+    /// the refused view) because the live membership could no longer
+    /// support the traitor budget. Generated plans keep n − crashes well
+    /// above the floor, so any occurrence is a runner or detector bug.
+    QuorumUnsafe {
+        /// Total `byz.unsafe_views` refusals counted across the run.
+        count: u64,
+    },
 }
 
 impl fmt::Display for Violation {
@@ -141,6 +150,11 @@ impl fmt::Display for Violation {
                 f,
                 "byzantine integrity forged: correct node {node} delivered \
                  instance {nonce:#x} that no correct origin broadcast"
+            ),
+            Violation::QuorumUnsafe { count } => write!(
+                f,
+                "membership view dipped below the 3f+1 quorum floor \
+                 ({count} unsafe-view refusal(s))"
             ),
         }
     }

@@ -37,17 +37,26 @@ pub enum Family {
     /// f = ⌊(k−1)/2⌋ traitors the oracle demands agreement, validity and
     /// integrity at every correct node — strictly.
     Byzantine,
+    /// Byzantine ∘ crash ∘ lossy, composed: traitors (up to the full
+    /// f = ⌊(k−1)/2⌋ budget at k up to 5, including the failure-detector
+    /// attacks `frame_crash` / `suppress_heartbeat`) while a correct node
+    /// permanently crashes mid-run and every link drops, duplicates and
+    /// reorders. Quorums re-size from the churned membership view; the
+    /// byzantine oracle applies strictly among correct survivors, plus
+    /// `QuorumUnsafe` if any view dips below 3f+1.
+    Mixed,
 }
 
 impl Family {
-    /// Deterministic family for a seed (cycles through all four).
+    /// Deterministic family for a seed (cycles through all five).
     #[must_use]
     pub fn of_seed(seed: u64) -> Family {
-        match seed % 4 {
+        match seed % 5 {
             0 => Family::Crash,
             1 => Family::Partition,
             2 => Family::Lossy,
-            _ => Family::Byzantine,
+            3 => Family::Byzantine,
+            _ => Family::Mixed,
         }
     }
 
@@ -59,8 +68,23 @@ impl Family {
             Family::Partition => "partition",
             Family::Lossy => "lossy",
             Family::Byzantine => "byzantine",
+            Family::Mixed => "mixed",
         }
     }
+}
+
+/// Caller-chosen knobs layered over the seeded plan generator: a CLI
+/// sweep can pin the connectivity parameter and the traitor count (e.g.
+/// k = 5 with the full f = 2 budget) without editing code. `None` fields
+/// keep the seeded default. Only the byzantine and mixed families read
+/// these; the crash/partition/lossy generators ignore them.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlanOverrides {
+    /// Overlay connectivity parameter (sensible range 3..=5: below 3 the
+    /// traitor budget is zero, above 5 cluster sizes get slow for CI).
+    pub k: Option<usize>,
+    /// Number of traitors to plant, clamped into `1..=⌊(k−1)/2⌋`.
+    pub traitors: Option<usize>,
 }
 
 /// One scheduled fail-stop crash, optionally followed by a recovery
@@ -148,21 +172,35 @@ impl FaultPlan {
     /// cluster (CI smoke runs); the schedule shape is otherwise identical.
     #[must_use]
     pub fn random(seed: u64, quick: bool) -> FaultPlan {
+        FaultPlan::random_with(seed, quick, &PlanOverrides::default())
+    }
+
+    /// Like [`FaultPlan::random`], with caller-chosen [`PlanOverrides`]
+    /// layered over the seeded defaults (byzantine and mixed families).
+    #[must_use]
+    pub fn random_with(seed: u64, quick: bool, overrides: &PlanOverrides) -> FaultPlan {
         let mut rng = StdRng::seed_from_u64(seed);
         let family = Family::of_seed(seed);
-        // Byzantine plans pin k = 3: f = ⌊(k−1)/2⌋ gives a budget of one
-        // traitor, and at k = 2 the budget is zero — nothing to inject.
-        let k = if family == Family::Byzantine {
-            3
-        } else {
-            rng.random_range(2usize..=3)
+        // Byzantine plans default to k = 3 (budget of one traitor; at
+        // k = 2 the budget is zero — nothing to inject). Mixed plans
+        // leave k unpinned up to 5 so the full f = 2 budget is covered.
+        let k = match family {
+            Family::Byzantine => overrides.k.unwrap_or(3),
+            Family::Mixed => overrides
+                .k
+                .unwrap_or_else(|| if rng.random_bool(0.5) { 3 } else { 5 }),
+            _ => rng.random_range(2usize..=3),
         };
         // Keep n − crashes ≥ 2k so healing never hits the membership floor.
-        let n = if quick {
-            rng.random_range((2 * k + 2)..=8)
-        } else {
-            rng.random_range((2 * k + 2)..=12)
+        let (lo, hi) = match family {
+            // Byz quorum arithmetic additionally needs room for traitors
+            // above the crash: n ≥ 2k + 2 already gives n ≥ 4f + 4, which
+            // keeps n − 1 − f ≥ ⌈(n+f+1)/2⌉ (echo quorums reachable with
+            // one dead node and every traitor mute) for every size here.
+            Family::Byzantine | Family::Mixed => (2 * k + 2, 2 * k + 2 + if quick { 2 } else { 4 }),
+            _ => (2 * k + 2, if quick { 8 } else { 12 }),
         };
+        let n = rng.random_range(lo..=hi);
         // Only the gap-free constructions: JD cannot build some sizes
         // (§4.4 gaps), so a heal or rejoin passing through a gap size would
         // be refused and the run would stall through no fault of the
@@ -271,15 +309,12 @@ impl FaultPlan {
                 }
             }
             Family::Byzantine => {
-                // One traitor — exactly the f = ⌊(k−1)/2⌋ budget at k = 3.
-                // Links stay clean: a traitor's power is lying, not losing
-                // frames, and the oracle must attribute every anomaly to it.
-                let behaviors = lhg_byzantine::TraitorBehavior::ALL;
-                let traitor = rng.random_range(0..n as u32);
-                plan.traitors.push(TraitorSpec {
-                    node: traitor,
-                    behavior: behaviors[rng.random_range(0..behaviors.len())],
-                });
+                // Default: one traitor — the f = ⌊(k−1)/2⌋ budget at k = 3.
+                // Overrides can raise both k and the planted count (still
+                // capped at f). Links stay clean: a traitor's power is
+                // lying, not losing frames, and the oracle must attribute
+                // every anomaly to it.
+                plan.plant_traitors(&mut rng, overrides.traitors.unwrap_or(1));
                 // One broadcast early, one amid the attack window, one
                 // late; origins are always correct nodes (a traitor origin
                 // makes validity unfalsifiable).
@@ -288,9 +323,68 @@ impl FaultPlan {
                     plan.broadcasts.push(BroadcastSpec { origin, at_us });
                 }
             }
+            Family::Mixed => {
+                // Lies ∘ churn ∘ loss. Traitors up to the full budget
+                // (seeded 1..=f unless overridden), one *permanent* crash
+                // of a correct node mid-run, and modestly lossy links —
+                // heavy enough that regossip anti-entropy must repair
+                // dropped votes, light enough that the best-effort gossip
+                // plane converges inside the horizon.
+                let f = lhg_byzantine::max_traitors(k);
+                let want = overrides
+                    .traitors
+                    .unwrap_or_else(|| rng.random_range(1..=f.max(1)));
+                plan.plant_traitors(&mut rng, want);
+                let traitor_ids: BTreeSet<u32> = plan.traitors.iter().map(|t| t.node).collect();
+                let victim = loop {
+                    let v = rng.random_range(0..n as u32);
+                    if !traitor_ids.contains(&v) {
+                        break v; // traitors lie, they don't die
+                    }
+                };
+                let crash_at = rng.random_range(300_000u64..=500_000);
+                plan.crashes.push(CrashSpec {
+                    node: victim,
+                    at_us: crash_at,
+                    recover_at_us: None,
+                });
+                plan.default_rates = LinkFaults {
+                    drop: rng.random_range(5u64..=15) as f64 / 100.0,
+                    duplicate: rng.random_range(0u64..=15) as f64 / 100.0,
+                    extra_delay_us: rng.random_range(0u64..=1_500),
+                    reorder: rng.random_range(0u64..=30) as f64 / 100.0,
+                    reorder_window_us: 2_000,
+                };
+                // Two broadcasts before the crash and two after detection
+                // has settled — the late pair certifies under re-sized,
+                // post-churn quorums. Origins are correct survivors.
+                for at_us in [10_000, 200_000, crash_at + 400_000, crash_at + 600_000] {
+                    let origin = plan.pick_correct_origin(&mut rng);
+                    plan.broadcasts.push(BroadcastSpec { origin, at_us });
+                }
+            }
         }
         plan.broadcasts.sort_by_key(|b| b.at_us);
         plan
+    }
+
+    /// Plants `want` distinct traitors (clamped into `1..=⌊(k−1)/2⌋`),
+    /// behaviors drawn seeded from the full repertoire. Victims are chosen
+    /// before origins so [`FaultPlan::pick_correct_origin`] can exclude them.
+    fn plant_traitors(&mut self, rng: &mut StdRng, want: usize) {
+        let f = lhg_byzantine::max_traitors(self.k).max(1);
+        let count = want.clamp(1, f);
+        let behaviors = lhg_byzantine::TraitorBehavior::ALL;
+        let mut victims = BTreeSet::new();
+        while victims.len() < count {
+            victims.insert(rng.random_range(0..self.n as u32));
+        }
+        for node in victims {
+            self.traitors.push(TraitorSpec {
+                node,
+                behavior: behaviors[rng.random_range(0..behaviors.len())],
+            });
+        }
     }
 
     /// A random node that is never down during the run.
@@ -417,8 +511,28 @@ mod tests {
                         assert!(correct.contains(&b.origin), "origins never traitors");
                     }
                 }
+                Family::Mixed => {
+                    assert!(plan.k == 3 || plan.k == 5, "unpinned k covers both budgets");
+                    let f = lhg_byzantine::max_traitors(plan.k);
+                    assert!(
+                        (1..=f).contains(&plan.traitors.len()),
+                        "traitor count within the f budget"
+                    );
+                    assert_eq!(plan.crashes.len(), 1, "one crash composed in");
+                    assert!(plan.crashes[0].recover_at_us.is_none(), "permanent crash");
+                    assert!(plan.default_rates.drop > 0.0, "links are lossy");
+                    let traitors: Vec<u32> = plan.traitors.iter().map(|t| t.node).collect();
+                    assert!(
+                        !traitors.contains(&plan.crashes[0].node),
+                        "traitors lie, they don't die"
+                    );
+                    let correct = plan.correct_nodes();
+                    for b in &plan.broadcasts {
+                        assert!(correct.contains(&b.origin), "origins are correct survivors");
+                    }
+                }
             }
-            if plan.family != Family::Byzantine {
+            if !matches!(plan.family, Family::Byzantine | Family::Mixed) {
                 assert!(plan.traitors.is_empty());
             }
             for b in &plan.broadcasts {
@@ -463,7 +577,37 @@ mod tests {
     #[test]
     fn quick_plans_stay_small() {
         for seed in 0..30u64 {
-            assert!(FaultPlan::random(seed, true).n <= 8);
+            let plan = FaultPlan::random(seed, true);
+            let cap = match plan.family {
+                // Byz/mixed sizes track k so quorum headroom survives the
+                // crash: 2k+4 tops out at 14 when the seed picks k = 5.
+                Family::Byzantine | Family::Mixed => 2 * plan.k + 4,
+                _ => 8,
+            };
+            assert!(plan.n <= cap, "seed {seed}: n={} cap={cap}", plan.n);
         }
+    }
+
+    #[test]
+    fn overrides_pin_k_and_traitor_count() {
+        let pinned = PlanOverrides {
+            k: Some(5),
+            traitors: Some(2),
+        };
+        for seed in [3u64, 4, 8, 9, 13, 14] {
+            let plan = FaultPlan::random_with(seed, false, &pinned);
+            assert_eq!(plan.k, 5, "seed {seed}");
+            assert_eq!(plan.traitors.len(), 2, "full f budget at k=5");
+        }
+        // The clamp keeps over-asking sound: f = 2 at k = 5.
+        let greedy = PlanOverrides {
+            k: Some(5),
+            traitors: Some(9),
+        };
+        assert_eq!(FaultPlan::random_with(4, false, &greedy).traitors.len(), 2);
+        // Families that don't read overrides are untouched.
+        let crash = FaultPlan::random_with(0, false, &pinned);
+        assert_eq!(crash.k, FaultPlan::random(0, false).k);
+        assert!(crash.traitors.is_empty());
     }
 }

@@ -23,7 +23,8 @@ use std::time::{Duration, Instant};
 use bytes::Bytes;
 
 use lhg_byzantine::{
-    run_sim_byzantine_with_metrics, ScheduledByzBroadcast, TraitorBehavior, EQUIVOCATE_NONCE_BASE,
+    run_sim_byzantine_churn, ByzCrash, ScheduledByzBroadcast, TraitorBehavior,
+    EQUIVOCATE_NONCE_BASE,
 };
 use lhg_core::overlay::{DynamicOverlay, MemberId};
 use lhg_core::properties::p4_diameter_bound;
@@ -38,7 +39,7 @@ use lhg_telemetry::{TelemetrySampler, Timeline};
 use parking_lot::Mutex;
 
 use crate::oracle::{ChaosReport, Engine, Violation};
-use crate::plan::{BroadcastSpec, Family, FaultPlan};
+use crate::plan::{BroadcastSpec, Family, FaultPlan, PlanOverrides};
 
 pub use crate::plan::CHAOS_BCAST_BASE;
 
@@ -105,7 +106,7 @@ fn flooders(n: usize, broadcasts: &[BroadcastSpec], horizon_us: u64) -> Vec<Box<
 /// builder's domain — [`FaultPlan::random`] never generates such plans.
 #[must_use]
 pub fn run_sim_chaos(plan: &FaultPlan) -> ChaosReport {
-    if plan.family == Family::Byzantine {
+    if matches!(plan.family, Family::Byzantine | Family::Mixed) {
         return run_sim_byz_chaos(plan);
     }
     let overlay = DynamicOverlay::bootstrap(plan.constraint, plan.n, plan.k)
@@ -202,13 +203,18 @@ fn byz_payload(idx: usize) -> Bytes {
     Bytes::from(format!("chaos byz {idx}"))
 }
 
-/// Byzantine family on the simulator: every node runs the Bracha
-/// echo/ready engine over LHG gossip ([`lhg_byzantine::run_sim_byzantine`]),
-/// the plan's traitor misbehaves on schedule, and the oracle demands
-/// agreement, validity and integrity at every correct node. The P4
-/// calibration pass is skipped — a Bracha delivery is a quorum event, not
-/// a single flood hop, so first-receipt hop counts do not measure BFS
-/// distance.
+/// Byzantine and mixed families on the simulator: every node runs the
+/// Bracha echo/ready engine over LHG gossip
+/// ([`lhg_byzantine::run_sim_byzantine_churn`]), the plan's traitors
+/// misbehave on schedule, and the oracle demands agreement, validity and
+/// integrity at every correct node. Mixed plans additionally kill their
+/// scheduled victim mid-run (survivors bump their membership views and
+/// re-size quorums) and put the plan's lossy link rates under the gossip
+/// plane — regossip anti-entropy must repair the dropped votes. A view
+/// refused for dipping below 3f+1 surfaces as [`Violation::QuorumUnsafe`].
+/// The P4 calibration pass is skipped — a Bracha delivery is a quorum
+/// event, not a single flood hop, so first-receipt hop counts do not
+/// measure BFS distance.
 fn run_sim_byz_chaos(plan: &FaultPlan) -> ChaosReport {
     let overlay = DynamicOverlay::bootstrap(plan.constraint, plan.n, plan.k)
         .expect("generated plans stay in the builder domain");
@@ -234,15 +240,29 @@ fn run_sim_byz_chaos(plan: &FaultPlan) -> ChaosReport {
         .map(|t| (NodeId(t.node as usize), t.behavior))
         .collect();
 
+    let crashes: Vec<ByzCrash> = plan
+        .crashes
+        .iter()
+        .map(|c| ByzCrash {
+            at_us: c.at_us,
+            node: NodeId(c.node as usize),
+        })
+        .collect();
+    // Mixed plans carry lossy rates; rates-only compilation leaves the
+    // crash semantics to the churn runner's death schedule above.
+    let faults = (!plan.is_lossless()).then(|| Arc::new(plan.compile_rates_only()));
+
     // The byzantine sim builds its own Simulation internally, so there is
     // no sampler hook; one post-run sample still yields the full per-class
     // wire decomposition (echo/ready quorum traffic vs everything else).
     let metrics = Arc::new(MetricsRegistry::new());
-    let report = run_sim_byzantine_with_metrics(
+    let report = run_sim_byzantine_churn(
         &graph,
         plan.k,
         &schedules,
         &traitors,
+        &crashes,
+        faults,
         LinkModel::default(),
         plan.seed,
         plan.horizon_us,
@@ -265,6 +285,12 @@ fn run_sim_byz_chaos(plan: &FaultPlan) -> ChaosReport {
         .map(|d| (d.node.index() as u32, d.broadcast_id, d.trace))
         .collect();
     check_byz_deliveries(plan, &records, &mut violations);
+    let unsafe_views = metrics.counter("byz.unsafe_views").get();
+    if unsafe_views > 0 {
+        violations.push(Violation::QuorumUnsafe {
+            count: unsafe_views,
+        });
+    }
 
     ChaosReport {
         seed: plan.seed,
@@ -475,7 +501,7 @@ pub fn run_tcp_chaos(plan: &FaultPlan) -> ChaosReport {
     let inj = Arc::new(inj);
 
     let mut config = tcp_chaos_config(plan.seed, Arc::clone(&inj));
-    if plan.family == Family::Byzantine {
+    if matches!(plan.family, Family::Byzantine | Family::Mixed) {
         config.byzantine = Some(lhg_runtime::ByzantineSetup {
             f: lhg_byzantine::max_traitors(plan.k),
             traitors: plan
@@ -513,6 +539,7 @@ pub fn run_tcp_chaos(plan: &FaultPlan) -> ChaosReport {
         Family::Partition => tcp_partition_schedule(plan, &mut cluster, &inj, &mut violations),
         Family::Lossy => tcp_lossy_schedule(plan, &mut cluster, &mut violations),
         Family::Byzantine => tcp_byzantine_schedule(plan, &mut cluster, &mut violations),
+        Family::Mixed => tcp_mixed_schedule(plan, &mut cluster, &mut violations),
     }
     check_no_duplicate_deliveries(&cluster, &mut violations);
 
@@ -760,20 +787,44 @@ fn tcp_byzantine_schedule(
         .map(MemberId::from)
         .collect();
     for (idx, spec) in plan.broadcasts.iter().enumerate() {
-        let nonce = CHAOS_BCAST_BASE + idx as u64;
-        if cluster
-            .byzantine_broadcast(MemberId::from(spec.origin), nonce, byz_payload(idx))
-            .is_err()
-        {
-            violations.push(Violation::Timeout {
-                phase: format!("byz broadcast from {}", spec.origin),
-            });
-            continue;
-        }
-        let _ = cluster.await_byz_delivery(nonce, &correct, Duration::from_secs(5));
+        tcp_byz_broadcast_step(cluster, idx, spec, &correct, violations);
     }
-    // Let attack debris (equivocation floods, forged votes, replays) and
-    // trailing quorum traffic drain before the audit.
+    tcp_byz_audit(plan, cluster, &correct, violations);
+}
+
+/// Originates the idx-th scheduled byz instance and paces the schedule by
+/// awaiting its certification at the correct nodes; a miss here is charged
+/// once, by the final audit sweep.
+fn tcp_byz_broadcast_step(
+    cluster: &mut Cluster,
+    idx: usize,
+    spec: &BroadcastSpec,
+    correct: &[MemberId],
+    violations: &mut Vec<Violation>,
+) {
+    let nonce = CHAOS_BCAST_BASE + idx as u64;
+    if cluster
+        .byzantine_broadcast(MemberId::from(spec.origin), nonce, byz_payload(idx))
+        .is_err()
+    {
+        violations.push(Violation::Timeout {
+            phase: format!("byz broadcast from {}", spec.origin),
+        });
+        return;
+    }
+    let _ = cluster.await_byz_delivery(nonce, correct, Duration::from_secs(8));
+}
+
+/// Drains trailing attack debris (equivocation floods, forged votes,
+/// replays, retransmitted quorum traffic), then audits the correct nodes'
+/// certified logs through the engine-shared byzantine oracle and charges
+/// [`Violation::QuorumUnsafe`] for any view the Bracha engines refused.
+fn tcp_byz_audit(
+    plan: &FaultPlan,
+    cluster: &Cluster,
+    correct: &[MemberId],
+    violations: &mut Vec<Violation>,
+) {
     std::thread::sleep(Duration::from_millis(300));
     let records: Vec<(u32, u64, Option<u64>)> = correct
         .iter()
@@ -785,6 +836,63 @@ fn tcp_byzantine_schedule(
         })
         .collect();
     check_byz_deliveries(plan, &records, violations);
+    let unsafe_views = cluster.metrics().counter("byz.unsafe_views").get();
+    if unsafe_views > 0 {
+        violations.push(Violation::QuorumUnsafe {
+            count: unsafe_views,
+        });
+    }
+}
+
+/// Mixed family on TCP: Bracha gossip under lossy links while traitors
+/// attack and a correct node is killed mid-schedule. Pre-crash instances
+/// certify at boot-view quorums; after the kill the runner waits until
+/// every correct survivor has applied the crash — under byz-aware
+/// corroborated suspicion — so the post-crash instances certify under the
+/// re-sized membership views.
+///
+/// `await_heal` is deliberately not used: a `suppress_heartbeat` traitor
+/// is *designed* to get itself excommunicated, so replicas legitimately
+/// converge on less than the survivor set.
+fn tcp_mixed_schedule(plan: &FaultPlan, cluster: &mut Cluster, violations: &mut Vec<Violation>) {
+    let correct: Vec<MemberId> = plan
+        .correct_nodes()
+        .into_iter()
+        .map(MemberId::from)
+        .collect();
+    let crash = plan.crashes[0]; // exactly one, permanent, never a traitor
+    let victim = MemberId::from(crash.node);
+    let broadcasts: Vec<(usize, &BroadcastSpec)> = plan.broadcasts.iter().enumerate().collect();
+
+    for &(idx, spec) in broadcasts.iter().filter(|(_, b)| b.at_us < crash.at_us) {
+        tcp_byz_broadcast_step(cluster, idx, spec, &correct, violations);
+    }
+
+    if cluster.kill(victim).is_err() {
+        violations.push(Violation::Timeout {
+            phase: format!("kill {victim}"),
+        });
+    }
+    // Corroborated suspicion needs f+1 distinct crash reporters; give it
+    // several suspicion windows, plus slack for lossy-link retransmits.
+    let detected = poll_until(Duration::from_secs(15), || {
+        correct.iter().all(|&m| {
+            cluster
+                .node(m)
+                .is_some_and(|s| s.crashes_applied().contains(&victim))
+        })
+    });
+    if !detected {
+        violations.push(Violation::Timeout {
+            phase: "crash detection under byzantine corroboration".into(),
+        });
+        return;
+    }
+
+    for &(idx, spec) in broadcasts.iter().filter(|(_, b)| b.at_us >= crash.at_us) {
+        tcp_byz_broadcast_step(cluster, idx, spec, &correct, violations);
+    }
+    tcp_byz_audit(plan, cluster, &correct, violations);
 }
 
 /// Per-node exactly-once: no member's delivery log repeats a broadcast id,
@@ -863,6 +971,29 @@ pub fn run_suite_filtered(
     count: u64,
     quick: bool,
     family: Option<Family>,
+    on_report: impl FnMut(&ChaosReport),
+) -> SuiteOutcome {
+    run_suite_with(
+        engines,
+        base_seed,
+        count,
+        quick,
+        family,
+        &PlanOverrides::default(),
+        on_report,
+    )
+}
+
+/// Like [`run_suite_filtered`], with caller-chosen [`PlanOverrides`]
+/// layered over every generated plan — how `lhg chaos --k 5 --traitors 2`
+/// pins the byzantine/mixed sweep shape without editing seeds.
+pub fn run_suite_with(
+    engines: &[Engine],
+    base_seed: u64,
+    count: u64,
+    quick: bool,
+    family: Option<Family>,
+    overrides: &PlanOverrides,
     mut on_report: impl FnMut(&ChaosReport),
 ) -> SuiteOutcome {
     let mut reports = Vec::new();
@@ -870,7 +1001,7 @@ pub fn run_suite_filtered(
     let mut ran = 0;
     while ran < count {
         if family.is_none_or(|f| Family::of_seed(seed) == f) {
-            let plan = FaultPlan::random(seed, quick);
+            let plan = FaultPlan::random_with(seed, quick, overrides);
             for &engine in engines {
                 let report = match engine {
                     Engine::Sim => run_sim_chaos(&plan),
@@ -894,9 +1025,9 @@ mod tests {
     use super::*;
 
     #[test]
-    fn sim_chaos_passes_all_four_families() {
-        // Seeds 0..8 cover each family twice (family = seed % 4).
-        for seed in 0..8u64 {
+    fn sim_chaos_passes_all_five_families() {
+        // Seeds 0..10 cover each family twice (family = seed % 5).
+        for seed in 0..10u64 {
             let plan = FaultPlan::random(seed, true);
             let report = run_sim_chaos(&plan);
             assert!(
@@ -912,7 +1043,7 @@ mod tests {
 
     #[test]
     fn sim_chaos_is_deterministic() {
-        let plan = FaultPlan::random(6, true); // lossy: the faultiest family
+        let plan = FaultPlan::random(7, true); // lossy: the faultiest pure family
         assert_eq!(plan.family, Family::Lossy);
         let a = run_sim_chaos(&plan);
         let b = run_sim_chaos(&plan);
@@ -939,6 +1070,49 @@ mod tests {
         assert_eq!(a.deliveries, b.deliveries);
         assert_eq!(a.end_time_us, b.end_time_us);
         assert_eq!(a.violations, b.violations);
+    }
+
+    #[test]
+    fn sim_mixed_chaos_is_deterministic() {
+        let plan = FaultPlan::random(4, true); // mixed: lies ∘ churn ∘ loss
+        assert_eq!(plan.family, Family::Mixed);
+        let a = run_sim_chaos(&plan);
+        let b = run_sim_chaos(&plan);
+        assert_eq!(a.deliveries, b.deliveries);
+        assert_eq!(a.end_time_us, b.end_time_us);
+        assert_eq!(a.violations, b.violations);
+    }
+
+    #[test]
+    fn sim_mixed_quorum_dip_trips_the_oracle() {
+        // Sabotage a mixed plan: crash members until the live view falls
+        // below the 3f+1 floor. Every refused bump must surface as a
+        // QuorumUnsafe violation, not a panic and not silence.
+        let mut plan = FaultPlan::random(4, true); // mixed family
+        plan.traitors.clear();
+        plan.crashes.clear();
+        plan.broadcasts = vec![BroadcastSpec {
+            origin: 0,
+            at_us: 10_000,
+        }];
+        let f = lhg_byzantine::max_traitors(plan.k);
+        let floor = 3 * f + 1;
+        for (i, v) in ((floor - 1)..plan.n).enumerate() {
+            plan.crashes.push(crate::plan::CrashSpec {
+                node: v as u32,
+                at_us: 100_000 * (i as u64 + 1),
+                recover_at_us: None,
+            });
+        }
+        let report = run_sim_chaos(&plan);
+        assert!(
+            report
+                .violations
+                .iter()
+                .any(|v| matches!(v, Violation::QuorumUnsafe { count } if *count > 0)),
+            "a view below 3f+1 must be charged, got: {:?}",
+            report.violations
+        );
     }
 
     #[test]
@@ -1024,6 +1198,18 @@ mod tests {
         assert!(
             report.deliveries >= plan.correct_nodes().len() * plan.broadcasts.len(),
             "every correct node certifies every scheduled instance"
+        );
+    }
+
+    #[test]
+    fn tcp_chaos_mixed_family_smoke() {
+        let plan = FaultPlan::random(4, true); // seed 4 → mixed family
+        assert_eq!(plan.family, Family::Mixed);
+        let report = run_tcp_chaos(&plan);
+        assert!(report.passed(), "violations: {:?}", report.violations);
+        assert!(
+            report.deliveries >= plan.correct_nodes().len() * plan.broadcasts.len(),
+            "every correct survivor certifies every scheduled instance"
         );
     }
 

@@ -155,8 +155,10 @@ USAGE:
   lhg cluster  --nodes N --k K [--kill F] [--constraint ktree|kdiamond|jd] [--metrics full|summary|off]
   lhg observe  --nodes N --k K [--kill F] [--broadcasts B] [--constraint C] [--format human|json] [--events PATH]
   lhg chaos    [--seeds N] [--seed BASE] [--engine sim|tcp|both]
-               [--family crash|partition|lossy|byzantine] [--quick] [--events PATH] [--json PATH]
-  lhg byzantine --nodes N --k K [--traitor none|equivocate|forge|silent|replay] [--seed S] [--constraint C]
+               [--family crash|partition|lossy|byzantine|mixed] [--k 3..5] [--traitors T]
+               [--quick] [--events PATH] [--json PATH]
+  lhg byzantine --nodes N --k K [--traitor none|equivocate|forge|silent|replay|frame_crash|suppress_heartbeat]
+               [--seed S] [--constraint C]
   lhg top      --nodes N --k K [--broadcasts B] [--duration-ms D] [--interval-ms I] [--constraint C] [--json]
   lhg bench    --compare FILE [--sizes N,N,..] [--threshold T] [--json]
   lhg help
@@ -367,12 +369,35 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
                 Some("partition") => Some(lhg_chaos::Family::Partition),
                 Some("lossy") => Some(lhg_chaos::Family::Lossy),
                 Some("byzantine") => Some(lhg_chaos::Family::Byzantine),
+                Some("mixed") => Some(lhg_chaos::Family::Mixed),
                 Some(other) => {
                     return Err(err(format!(
-                        "unknown family {other:?} (expected crash, partition, lossy or byzantine)"
+                        "unknown family {other:?} \
+                         (expected crash, partition, lossy, byzantine or mixed)"
                     )))
                 }
             };
+            // Sweep-shape overrides, read by the byzantine/mixed plan
+            // generators: pin k (and thus the f budget) and the planted
+            // traitor count, e.g. `--family mixed --k 5 --traitors 2`.
+            let mut overrides = lhg_chaos::PlanOverrides::default();
+            if opts.flags.contains_key("k") {
+                let k: usize = opts.required("k")?;
+                if !(3..=5).contains(&k) {
+                    return Err(err(
+                        "--k must be in 3..=5 (below 3 the traitor budget is zero, \
+                         above 5 cluster sizes get slow)",
+                    ));
+                }
+                overrides.k = Some(k);
+            }
+            if opts.flags.contains_key("traitors") {
+                let t: usize = opts.required("traitors")?;
+                if t == 0 {
+                    return Err(err("--traitors must be at least 1"));
+                }
+                overrides.traitors = Some(t);
+            }
             let events_path = opts.flags.get("events").cloned();
             let json_path = opts.flags.get("json").cloned();
             run_chaos(
@@ -381,6 +406,7 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
                 seeds,
                 quick,
                 family,
+                &overrides,
                 events_path.as_deref(),
                 json_path.as_deref(),
                 out,
@@ -468,6 +494,7 @@ fn run_chaos(
     seeds: u64,
     quick: bool,
     family: Option<lhg_chaos::Family>,
+    overrides: &lhg_chaos::PlanOverrides,
     events_path: Option<&str>,
     json_path: Option<&str>,
     out: &mut dyn Write,
@@ -481,8 +508,14 @@ fn run_chaos(
         ),
         None => None,
     };
-    let outcome =
-        lhg_chaos::run_suite_filtered(engines, base_seed, seeds, quick, family, |report| {
+    let outcome = lhg_chaos::run_suite_with(
+        engines,
+        base_seed,
+        seeds,
+        quick,
+        family,
+        overrides,
+        |report| {
             // One complete object + newline per run, flushed immediately:
             // a later abort can cut the sweep short, never a JSON line.
             if let Some(f) = json_file.as_mut() {
@@ -497,7 +530,8 @@ fn run_chaos(
                     write_err = Some(e);
                 }
             }
-        });
+        },
+    );
     if let Some(e) = write_err {
         return Err(io_err(e));
     }
@@ -544,12 +578,17 @@ fn run_chaos(
         .expect("failures is non-empty when the outcome did not pass");
     Err(err(format!(
         "{} of {} chaos run(s) violated an invariant; reproduce with: \
-         lhg chaos --seed {} --seeds 1 --engine {}{}",
+         lhg chaos --seed {} --seeds 1 --engine {}{}{}{}",
         outcome.failures().count(),
         outcome.reports.len(),
         first.seed,
         first.engine,
-        if quick { " --quick" } else { "" }
+        if quick { " --quick" } else { "" },
+        overrides.k.map(|k| format!(" --k {k}")).unwrap_or_default(),
+        overrides
+            .traitors
+            .map(|t| format!(" --traitors {t}"))
+            .unwrap_or_default(),
     )))
 }
 
@@ -906,10 +945,16 @@ fn run_byzantine_demo(
         "forge" => Some(TraitorBehavior::Forge),
         "silent" => Some(TraitorBehavior::Silent),
         "replay" => Some(TraitorBehavior::Replay),
+        // The failure-detector attacks. On the sim demo they reduce to
+        // vote-withholding (there is no heartbeat plane to lie to); their
+        // forged crash waves and heartbeat suppression bite on the TCP
+        // runtime, where the mixed chaos family exercises them.
+        "frame_crash" => Some(TraitorBehavior::FrameCrash),
+        "suppress_heartbeat" => Some(TraitorBehavior::SuppressHeartbeat),
         other => {
             return Err(err(format!(
-                "unknown traitor behavior {other:?} \
-                 (expected none, equivocate, forge, silent or replay)"
+                "unknown traitor behavior {other:?} (expected none, equivocate, \
+                 forge, silent, replay, frame_crash or suppress_heartbeat)"
             )))
         }
     };
@@ -921,7 +966,7 @@ fn run_byzantine_demo(
         )));
     }
     let g = build_topology(constraint, n, k)?;
-    let cfg = BrachaConfig::for_overlay(n, k);
+    let cfg = BrachaConfig::for_overlay(n, k).map_err(|e| err(e.to_string()))?;
     writeln!(
         out,
         "bracha broadcast over a {constraint} overlay: n={n} k={k} f={f} | \
@@ -1563,8 +1608,46 @@ mod tests {
     }
 
     #[test]
+    fn chaos_mixed_family_with_overrides_runs_on_sim() {
+        let out = run_to_string(&[
+            "chaos",
+            "--seeds",
+            "1",
+            "--engine",
+            "sim",
+            "--family",
+            "mixed",
+            "--k",
+            "5",
+            "--traitors",
+            "2",
+            "--quick",
+        ])
+        .unwrap();
+        assert!(out.contains("family=mixed"), "{out}");
+        assert!(out.contains("k=5"), "{out}");
+        assert!(out.contains("all 1 run(s) over 1 seed(s) passed"), "{out}");
+    }
+
+    #[test]
+    fn chaos_rejects_bad_overrides() {
+        let e = run_to_string(&["chaos", "--family", "mixed", "--k", "2"]).unwrap_err();
+        assert!(e.message.contains("--k must be in 3..=5"), "{e}");
+        let e = run_to_string(&["chaos", "--family", "mixed", "--traitors", "0"]).unwrap_err();
+        assert!(e.message.contains("at least 1"), "{e}");
+    }
+
+    #[test]
     fn byzantine_demo_survives_every_traitor_behavior() {
-        for traitor in ["none", "equivocate", "forge", "silent", "replay"] {
+        for traitor in [
+            "none",
+            "equivocate",
+            "forge",
+            "silent",
+            "replay",
+            "frame_crash",
+            "suppress_heartbeat",
+        ] {
             let out = run_to_string(&[
                 "byzantine",
                 "--nodes",

@@ -24,6 +24,11 @@
 //! 4. **Failure detection** — periodic heartbeats on every link; a
 //!    configurable silence window marks a neighbor crashed (fail-stop
 //!    model: crashed nodes never speak again, so suspicion is permanent).
+//!    With [`RuntimeConfig::byzantine`] set, suspicion is *corroborated*:
+//!    a crash only applies once f+1 distinct reporters (direct silence
+//!    counts as a self-report) agree, and a directly-heartbeating peer
+//!    vetoes the wave — so a lone traitor forging CRASH announcements
+//!    cannot excommunicate a live node.
 //! 5. **Self-healing** — a detected crash is flooded as an announcement;
 //!    every survivor applies it to its
 //!    [`lhg_core::overlay::DynamicOverlay`] replica via `crash_many` and
@@ -120,6 +125,15 @@ pub struct RuntimeConfig {
 
 /// Byzantine configuration for a cluster run: the traitor budget the
 /// quorums are sized for, and which members (if any) actually misbehave.
+///
+/// Setting this also hardens the failure detector: crash suspicion then
+/// requires corroboration from f+1 distinct reporters before it is
+/// applied, defeating [`lhg_byzantine::TraitorBehavior::FrameCrash`]
+/// (forged CRASH waves from one voice). A
+/// [`lhg_byzantine::TraitorBehavior::SuppressHeartbeat`] traitor instead
+/// *invites* excommunication — going silent so survivors churn — which
+/// the epoch-stamped Bracha membership views absorb by re-sizing quorums
+/// from the live view.
 #[derive(Debug, Clone, Default)]
 pub struct ByzantineSetup {
     /// Traitor budget f the Bracha quorums are sized for. The protocol is

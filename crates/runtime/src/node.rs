@@ -267,21 +267,29 @@ pub(crate) fn spawn_node(
     let (tx, rx) = unbounded();
 
     let k = overlay.k();
-    // Quorums are sized for the boot membership: Bracha's n is a protocol
-    // constant, not a view — resizing quorums on churn would let a
-    // partition-era minority certify deliveries the majority never saw.
-    let byz = config.byzantine.as_ref().map(|setup| {
-        let n = overlay.members().len();
-        ByzState {
-            engine: BrachaEngine::new(id as u32, BrachaConfig::new(n, setup.f)),
-            behavior: setup
-                .traitors
-                .iter()
-                .find(|(m, _)| *m == id)
-                .map(|(_, b)| *b),
-            attacked: false,
+    // Quorums are sized from an epoch-stamped membership view: each Bracha
+    // instance snapshots the view live at its creation, and crash/join
+    // churn bumps the view (f stays a protocol constant derived from k).
+    // A boot membership below 3f+1 is a configuration error, surfaced
+    // here instead of aborting the process.
+    let byz = match config.byzantine.as_ref() {
+        Some(setup) => {
+            let n = overlay.members().len();
+            let cfg = BrachaConfig::new(n, setup.f).map_err(|e| {
+                std::io::Error::new(std::io::ErrorKind::InvalidInput, e.to_string())
+            })?;
+            Some(ByzState {
+                engine: BrachaEngine::new(id as u32, cfg),
+                behavior: setup
+                    .traitors
+                    .iter()
+                    .find(|(m, _)| *m == id)
+                    .map(|(_, b)| *b),
+                attacked: false,
+            })
         }
-    });
+        None => None,
+    };
     let shared = Arc::new(NodeShared {
         id,
         alive: AtomicBool::new(true),
@@ -356,6 +364,8 @@ pub(crate) fn spawn_node(
             rejoin_cooldown: None,
             pending_join_announce: opts.announce_join,
             healing_since: None,
+            crash_reporters: HashMap::new(),
+            notice_senders: BTreeSet::new(),
             hb_age_gauges: HashMap::new(),
             link_tx: HashMap::new(),
             link_rx: HashMap::new(),
@@ -492,6 +502,15 @@ struct NodeRuntime {
     /// Set when a crash is first applied; cleared (and timed) once every
     /// desired link is re-established.
     healing_since: Option<Instant>,
+    /// Corroborated suspicion (byzantine runs): distinct wave origins that
+    /// have reported each victim crashed. A wave is only *applied* once
+    /// f+1 distinct reporters vouch for it — a lone traitor's forged CRASH
+    /// wave cannot excommunicate a live node ([`Self::note_crash_report`]).
+    crash_reporters: HashMap<MemberId, BTreeSet<MemberId>>,
+    /// Distinct peers that sent us a dead notice (byzantine runs): the
+    /// rejoin machinery only reacts once f+1 peers agree we were
+    /// excommunicated, so a traitor cannot trigger rejoin flapping.
+    notice_senders: BTreeSet<MemberId>,
     /// Cached per-peer heartbeat-age gauges (µs since last frame), updated
     /// every suspicion sweep so snapshots read a fresh value.
     hb_age_gauges: HashMap<MemberId, Arc<Gauge>>,
@@ -638,7 +657,19 @@ impl NodeRuntime {
                 let actions = match self.byz.as_mut() {
                     // Traitors never originate honestly; their scripted
                     // attacks fire from the frame path instead.
-                    Some(b) if b.behavior.is_none() => b.engine.broadcast(nonce, payload),
+                    Some(b) if b.behavior.is_none() => {
+                        match b.engine.broadcast(nonce, payload) {
+                            Ok(actions) => actions,
+                            Err(_) => {
+                                // The live view is below 3f+1: refuse the
+                                // origination instead of certifying under
+                                // unsound quorums. The chaos oracle reads
+                                // this counter as QuorumUnsafe.
+                                self.metrics.counter("byz.unsafe_views").inc();
+                                Vec::new()
+                            }
+                        }
+                    }
                     _ => Vec::new(),
                 };
                 self.apply_byz_actions(actions);
@@ -701,7 +732,10 @@ impl NodeRuntime {
                         via: from as u32,
                     });
                     self.flood(&msg.forwarded(), Some(from));
-                    self.apply_crash(victim);
+                    // The wave's *origin* is the reporter, not the relay:
+                    // a traitor re-flooding forged waves under fresh
+                    // nonces still counts as a single voice.
+                    self.note_crash_report(victim, MemberId::from(msg.origin));
                 }
             }
             FrameKind::Join(member) => {
@@ -803,6 +837,9 @@ impl NodeRuntime {
             Some(TraitorBehavior::Replay) => self.flood(&msg.forwarded(), Some(from)),
             Some(TraitorBehavior::Equivocate) => self.mount_equivocation(),
             Some(TraitorBehavior::Forge) => self.mount_forgery(),
+            // Failure-detector attacks relay honestly but cast no votes;
+            // their teeth are in the heartbeat path (`send_heartbeats`).
+            Some(TraitorBehavior::FrameCrash | TraitorBehavior::SuppressHeartbeat) => {}
             Some(TraitorBehavior::Silent) => unreachable!("handled above"),
         }
     }
@@ -827,6 +864,44 @@ impl NodeRuntime {
                     self.shared.byz_delivered.lock().push(m);
                 }
             }
+        }
+    }
+
+    /// Anti-entropy for byz gossip (summary cadence): re-floods this
+    /// node's standing SEND/ECHO/READY votes. Peers that already have
+    /// them dedup the copies; peers that lost them to a lossy link regain
+    /// the vote — which is what keeps churned, re-sized quorums fillable
+    /// without a byz-specific ack layer.
+    fn regossip_byz(&mut self) {
+        let frames: Vec<Message> = match self.byz.as_ref() {
+            Some(b) if b.behavior.is_none() => b
+                .engine
+                .regossip()
+                .into_iter()
+                .filter_map(|a| match a {
+                    ByzAction::Gossip(f) => Some(f.to_message()),
+                    ByzAction::Deliver(_) => None,
+                })
+                .collect(),
+            _ => return,
+        };
+        for m in frames {
+            self.seen.insert(m.broadcast_id);
+            self.flood(&m, None);
+        }
+    }
+
+    /// Re-sizes the Bracha membership view after applied churn: instances
+    /// created from here on quorum against live membership, while
+    /// in-flight instances keep the view they snapshotted. A view below
+    /// 3f+1 is refused by the engine — new instances and originations are
+    /// refused until membership recovers — and counted on
+    /// `byz.unsafe_views` for the chaos oracle's QuorumUnsafe audit.
+    fn bump_byz_view(&mut self) {
+        let n = self.shared.overlay.lock().members().len();
+        let Some(b) = self.byz.as_mut() else { return };
+        if b.engine.bump_view(n).is_err() {
+            self.metrics.counter("byz.unsafe_views").inc();
         }
     }
 
@@ -949,9 +1024,26 @@ impl NodeRuntime {
     /// about us), or request a membership snapshot when it is not (we are
     /// degraded, or already resyncing — our own view cannot be trusted).
     fn on_excommunication_notice(&mut self, from: MemberId) {
+        if self
+            .byz
+            .as_ref()
+            .is_some_and(|b| b.behavior == Some(TraitorBehavior::SuppressHeartbeat))
+        {
+            return; // scripted: it *wants* to stay excommunicated
+        }
         let now = Instant::now();
         if self.rejoin_cooldown.is_some_and(|t| now < t) {
             return; // an earlier notice already started the repair
+        }
+        // Under a byzantine setup a single notice could be a traitor's
+        // forgery; react only once f+1 distinct peers agree we were
+        // excommunicated (a lone traitor cannot trigger rejoin flapping).
+        if self.crash_quorum() > 1 {
+            self.notice_senders.insert(from);
+            if self.notice_senders.len() < self.crash_quorum() {
+                return;
+            }
+            self.notice_senders.clear();
         }
         self.rejoin_cooldown = Some(now + self.config.heartbeat_timeout);
         if self.shared.is_degraded() || self.awaiting_sync.is_some() {
@@ -1017,6 +1109,9 @@ impl NodeRuntime {
         self.revenant_grace.clear();
         self.revenant_since.clear();
         self.notice_sent.clear();
+        self.crash_reporters.clear();
+        self.notice_senders.clear();
+        self.bump_byz_view();
         self.awaiting_sync = None;
         self.rejoin_cooldown = Some(Instant::now() + self.config.heartbeat_timeout);
         self.pending_join_announce = true;
@@ -1061,6 +1156,8 @@ impl NodeRuntime {
         self.revenant_grace.remove(&member);
         self.revenant_since.remove(&member);
         self.notice_sent.remove(&member);
+        // A rejoined member's pre-join crash reports are stale evidence.
+        self.crash_reporters.remove(&member);
         self.backoffs.remove(&member);
         self.next_dial.remove(&member);
         self.last_seen.insert(member, Instant::now());
@@ -1075,6 +1172,7 @@ impl NodeRuntime {
         if let Some(report) = churn {
             self.metrics.counter("runtime.joins_applied").inc();
             self.apply_churn(&report);
+            self.bump_byz_view();
         }
         self.maybe_exit_degraded();
         self.reconcile();
@@ -1181,6 +1279,14 @@ impl NodeRuntime {
     /// Floods an anti-entropy summary of recently-delivered broadcast ids
     /// to every connected peer (heartbeat-cadence repair channel).
     fn send_summaries(&mut self) {
+        if self
+            .byz
+            .as_ref()
+            .is_some_and(|b| b.behavior == Some(TraitorBehavior::SuppressHeartbeat))
+        {
+            return; // any frame would refresh last_seen and spoil the act
+        }
+        self.regossip_byz();
         if self.recent.is_empty() || self.writers.is_empty() {
             return;
         }
@@ -1335,7 +1441,37 @@ impl NodeRuntime {
     }
 
     fn send_heartbeats(&mut self) {
+        match self.byz.as_ref().and_then(|b| b.behavior) {
+            // Plays dead on the control plane: no heartbeats means correct
+            // nodes legitimately excommunicate it — forced churn is the
+            // attack, and the dynamic views must absorb it.
+            Some(TraitorBehavior::SuppressHeartbeat) => return,
+            Some(TraitorBehavior::FrameCrash) => self.mount_frame_crash(),
+            _ => {}
+        }
         let msg = Message::new(wire::heartbeat_id(self.id), self.id as u32, Bytes::new());
+        self.flood(&msg, None);
+    }
+
+    /// FrameCrash traitor: on every heartbeat, flood a freshly-nonced
+    /// forged CRASH wave naming a live victim (the lowest other member).
+    /// Every wave carries this traitor's origin, so corroboration counts
+    /// the whole barrage as a single reporter — below the f+1 quorum, the
+    /// still-heartbeating victim survives.
+    fn mount_frame_crash(&mut self) {
+        let victim = self
+            .shared
+            .overlay
+            .lock()
+            .members()
+            .iter()
+            .copied()
+            .find(|&m| m != self.id);
+        let Some(victim) = victim else { return };
+        self.metrics.counter("runtime.forged_crash_waves").inc();
+        let id = wire::crash_id(victim, self.fresh_wave_nonce());
+        self.seen.insert(id);
+        let msg = Message::new(id, self.id as u32, Bytes::new());
         self.flood(&msg, None);
     }
 
@@ -1403,7 +1539,58 @@ impl NodeRuntime {
             .gauge(&format!("runtime.degraded.n{}", self.id))
     }
 
+    /// The number of distinct crash reporters required before a flooded
+    /// CRASH wave is applied: f+1 under a byzantine setup (so the f
+    /// traitors alone can never excommunicate anyone), 1 otherwise (the
+    /// crash-only fault model trusts every report — unchanged behavior).
+    fn crash_quorum(&self) -> usize {
+        match &self.config.byzantine {
+            Some(setup) => setup.f + 1,
+            None => 1,
+        }
+    }
+
+    /// `true` while `victim` is demonstrably alive on a direct link: the
+    /// connection is up and frames arrived within the suspicion timeout.
+    fn directly_live(&self, victim: MemberId) -> bool {
+        self.writers.contains_key(&victim)
+            && self
+                .last_seen
+                .get(&victim)
+                .is_some_and(|&t| t.elapsed() <= self.config.heartbeat_timeout)
+    }
+
+    /// Byz-aware corroborated suspicion: records `reporter`'s vote that
+    /// `victim` crashed and applies the crash only once
+    /// [`Self::crash_quorum`] distinct reporters agree **and** the victim
+    /// is not demonstrably alive on a direct link. Either guard alone
+    /// stops a lone traitor: forged waves all share the traitor's origin
+    /// (one voice), and even a corroborated-looking wave is vetoed while
+    /// the victim keeps heartbeating at us — our own detector counts
+    /// itself as a reporter the moment the silence becomes real.
+    fn note_crash_report(&mut self, victim: MemberId, reporter: MemberId) {
+        let quorum = self.crash_quorum();
+        if quorum <= 1 {
+            self.apply_crash(victim);
+            return;
+        }
+        let reporters = self.crash_reporters.entry(victim).or_default();
+        reporters.insert(reporter);
+        if reporters.len() < quorum {
+            self.metrics.counter("runtime.crash_reports_pending").inc();
+            return;
+        }
+        if self.directly_live(victim) {
+            self.metrics.counter("runtime.crash_vetoes").inc();
+            return;
+        }
+        self.crash_reporters.remove(&victim);
+        self.apply_crash(victim);
+    }
+
     /// Local suspicion: announce the crash to the cluster, then heal.
+    /// Direct evidence (our own heartbeat timeout) applies immediately —
+    /// corroboration guards *remote* reports, not first-hand observation.
     fn suspect(&mut self, victim: MemberId) {
         self.metrics.counter("runtime.suspects").inc();
         self.recorder.record(EventKind::Suspicion {
@@ -1481,6 +1668,7 @@ impl NodeRuntime {
         self.pending_relay.remove(&victim);
         if let Some(report) = churn {
             self.apply_churn(&report);
+            self.bump_byz_view();
         }
         self.reconcile();
     }
@@ -1511,6 +1699,7 @@ impl NodeRuntime {
         };
         if let Some(report) = churn {
             self.apply_churn(&report);
+            self.bump_byz_view();
         }
         self.reconcile();
     }
