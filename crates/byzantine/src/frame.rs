@@ -21,6 +21,8 @@ use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 use lhg_net::message::{ByzTag, Message};
 
+use crate::engine::{InstanceSummary, Phase};
+
 /// Tag bit marking a broadcast id as Byzantine gossip (bit 56 — below the
 /// TCP runtime's control tags in bits 57..64, above its data id space).
 /// The numeric value is [`lhg_net::wirecost::BYZ_TAG`], the canonical home
@@ -151,6 +153,218 @@ impl GossipFrame {
     }
 }
 
+// Payload kind bytes of the catch-up frames. Deliberately outside
+// `GossipKind::from_u8`'s range so `GossipFrame::from_message` rejects
+// them and the two codecs can share one wire slot without ambiguity.
+const KIND_CATCHUP_PULL: u8 = 3;
+const KIND_CATCHUP_PUSH: u8 = 4;
+
+/// Nonce base for catch-up frame tags, far above application nonces and
+/// the traitors' forged-instance bases.
+pub const CATCHUP_NONCE_BASE: u64 = 0xCA7C_0000_0000;
+
+fn phase_to_u8(p: Phase) -> u8 {
+    match p {
+        Phase::Init => 0,
+        Phase::Echoed => 1,
+        Phase::Readied => 2,
+        Phase::Delivered => 3,
+    }
+}
+
+fn phase_from_u8(b: u8) -> Option<Phase> {
+    match b {
+        0 => Some(Phase::Init),
+        1 => Some(Phase::Echoed),
+        2 => Some(Phase::Readied),
+        3 => Some(Phase::Delivered),
+        _ => None,
+    }
+}
+
+/// Encodes a summary list for the wire:
+/// `[count u32 | per item: origin u32, nonce u64, phase u8, digest u64,
+/// payload_len u32, payload…]`. Shared by the sim's catch-up pushes and
+/// the TCP runtime's SYNC snapshot extension.
+#[must_use]
+pub fn encode_summaries(items: &[InstanceSummary]) -> Bytes {
+    let mut buf = BytesMut::with_capacity(4 + items.len() * 25);
+    buf.put_u32(u32::try_from(items.len()).unwrap_or(u32::MAX));
+    for item in items {
+        buf.put_u32(item.tag.origin);
+        buf.put_u64(item.tag.nonce);
+        buf.put_u8(phase_to_u8(item.phase));
+        buf.put_u64(item.digest);
+        buf.put_u32(u32::try_from(item.payload.len()).unwrap_or(u32::MAX));
+        buf.put_slice(&item.payload);
+    }
+    buf.freeze()
+}
+
+/// Decodes a summary list; `None` on any truncation, trailing garbage, or
+/// out-of-range phase byte. Never panics on malformed input.
+#[must_use]
+pub fn decode_summaries(b: &[u8]) -> Option<Vec<InstanceSummary>> {
+    fn take<'a>(p: &mut &'a [u8], n: usize) -> Option<&'a [u8]> {
+        if p.len() < n {
+            return None;
+        }
+        let (head, rest) = p.split_at(n);
+        *p = rest;
+        Some(head)
+    }
+    fn take_u32(p: &mut &[u8]) -> Option<u32> {
+        take(p, 4).map(|b| u32::from_be_bytes(b.try_into().expect("4 bytes")))
+    }
+    fn take_u64(p: &mut &[u8]) -> Option<u64> {
+        take(p, 8).map(|b| u64::from_be_bytes(b.try_into().expect("8 bytes")))
+    }
+
+    let mut p = b;
+    let count = take_u32(&mut p)? as usize;
+    let mut out = Vec::new();
+    for _ in 0..count {
+        let origin = take_u32(&mut p)?;
+        let nonce = take_u64(&mut p)?;
+        let phase = phase_from_u8(take(&mut p, 1)?[0])?;
+        let dig = take_u64(&mut p)?;
+        let len = take_u32(&mut p)? as usize;
+        let payload = Bytes::copy_from_slice(take(&mut p, len)?);
+        out.push(InstanceSummary {
+            tag: ByzTag { origin, nonce },
+            phase,
+            digest: dig,
+            payload,
+        });
+    }
+    if !p.is_empty() {
+        return None;
+    }
+    Some(out)
+}
+
+/// A rejoined node's flooded solicitation for catch-up summaries
+/// (simulator transport; the TCP runtime solicits over its SYNC
+/// handshake instead). The `round` counter distinguishes successive
+/// solicitations of the same node so each floods under a fresh id.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CatchupPull {
+    /// The rejoined node asking to be caught up.
+    pub requester: u32,
+    /// Solicitation round (one per revival / re-ask).
+    pub round: u32,
+}
+
+impl CatchupPull {
+    /// Deterministic flooding id.
+    #[must_use]
+    pub fn id(&self) -> u64 {
+        let mut h = FNV_OFFSET;
+        for &b in [KIND_CATCHUP_PULL]
+            .iter()
+            .chain(self.requester.to_be_bytes().iter())
+            .chain(self.round.to_be_bytes().iter())
+        {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+        BYZ_ID_TAG | (h & BYZ_ID_MASK)
+    }
+
+    /// Encodes into a wire [`Message`].
+    #[must_use]
+    pub fn to_message(&self) -> Message {
+        let mut buf = BytesMut::with_capacity(5);
+        buf.put_u8(KIND_CATCHUP_PULL);
+        buf.put_u32(self.round);
+        Message::new(self.id(), self.requester, buf.freeze()).with_byz(ByzTag {
+            origin: self.requester,
+            nonce: CATCHUP_NONCE_BASE + u64::from(self.round),
+        })
+    }
+
+    /// Decodes from a wire message; `None` when it is not a pull.
+    #[must_use]
+    pub fn from_message(msg: &Message) -> Option<Self> {
+        let mut p = msg.payload.clone();
+        if p.len() != 5 || p.get_u8() != KIND_CATCHUP_PULL {
+            return None;
+        }
+        Some(CatchupPull {
+            requester: msg.origin,
+            round: p.get_u32(),
+        })
+    }
+}
+
+/// One node's full summary statement, flooded in reply to a
+/// [`CatchupPull`]. Only `requester` ingests it; everyone relays it so
+/// the attestation reaches the rejoiner over multi-hop paths.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CatchupPush {
+    /// The node attesting these summaries.
+    pub witness: u32,
+    /// The rejoined node this reply is for.
+    pub requester: u32,
+    /// The solicitation round being answered.
+    pub round: u32,
+    /// The witness's per-instance summaries.
+    pub items: Vec<InstanceSummary>,
+}
+
+impl CatchupPush {
+    /// Deterministic flooding id (distinct per witness, so every node's
+    /// reply floods independently).
+    #[must_use]
+    pub fn id(&self) -> u64 {
+        let mut h = FNV_OFFSET;
+        for &b in [KIND_CATCHUP_PUSH]
+            .iter()
+            .chain(self.witness.to_be_bytes().iter())
+            .chain(self.requester.to_be_bytes().iter())
+            .chain(self.round.to_be_bytes().iter())
+        {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+        BYZ_ID_TAG | (h & BYZ_ID_MASK)
+    }
+
+    /// Encodes into a wire [`Message`].
+    #[must_use]
+    pub fn to_message(&self) -> Message {
+        let body = encode_summaries(&self.items);
+        let mut buf = BytesMut::with_capacity(9 + body.len());
+        buf.put_u8(KIND_CATCHUP_PUSH);
+        buf.put_u32(self.requester);
+        buf.put_u32(self.round);
+        buf.put_slice(&body);
+        Message::new(self.id(), self.witness, buf.freeze()).with_byz(ByzTag {
+            origin: self.requester,
+            nonce: CATCHUP_NONCE_BASE + u64::from(self.round),
+        })
+    }
+
+    /// Decodes from a wire message; `None` when it is not a push or its
+    /// summary body is malformed.
+    #[must_use]
+    pub fn from_message(msg: &Message) -> Option<Self> {
+        let mut p = msg.payload.clone();
+        if p.len() < 9 || p.get_u8() != KIND_CATCHUP_PUSH {
+            return None;
+        }
+        let requester = p.get_u32();
+        let round = p.get_u32();
+        let items = decode_summaries(&p)?;
+        Some(CatchupPush {
+            witness: msg.origin,
+            requester,
+            round,
+            items,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -248,5 +462,87 @@ mod tests {
     fn truncated_gossip_payload_is_rejected() {
         let m = Message::new(1, 2, Bytes::from_static(b"short")).with_byz(tag());
         assert_eq!(GossipFrame::from_message(&m), None);
+    }
+
+    fn sample_summaries() -> Vec<InstanceSummary> {
+        vec![
+            InstanceSummary {
+                tag: ByzTag {
+                    origin: 1,
+                    nonce: 7,
+                },
+                phase: Phase::Delivered,
+                digest: digest(b"abc"),
+                payload: Bytes::from_static(b"abc"),
+            },
+            InstanceSummary {
+                tag: ByzTag {
+                    origin: 2,
+                    nonce: 0x1000,
+                },
+                phase: Phase::Readied,
+                digest: 42,
+                payload: Bytes::new(),
+            },
+        ]
+    }
+
+    #[test]
+    fn summaries_round_trip_including_empty() {
+        let items = sample_summaries();
+        assert_eq!(decode_summaries(&encode_summaries(&items)), Some(items));
+        assert_eq!(decode_summaries(&encode_summaries(&[])), Some(Vec::new()));
+    }
+
+    #[test]
+    fn malformed_summaries_are_rejected_not_panicked() {
+        let good = encode_summaries(&sample_summaries());
+        assert_eq!(decode_summaries(&[]), None, "empty buffer");
+        assert_eq!(decode_summaries(&good[..good.len() - 1]), None, "truncated");
+        let mut trailing = good.to_vec();
+        trailing.push(0);
+        assert_eq!(decode_summaries(&trailing), None, "trailing garbage");
+        let mut bad_phase = good.to_vec();
+        bad_phase[4 + 12] = 9; // first item's phase byte out of range
+        assert_eq!(decode_summaries(&bad_phase), None, "phase out of range");
+        // Count claiming more items than the buffer holds.
+        let mut lying = BytesMut::new();
+        lying.put_u32(1000);
+        assert_eq!(decode_summaries(&lying.freeze()), None);
+    }
+
+    #[test]
+    fn catchup_pull_round_trips_and_is_not_gossip() {
+        let pull = CatchupPull {
+            requester: 9,
+            round: 2,
+        };
+        let m = pull.to_message();
+        assert_eq!(CatchupPull::from_message(&m), Some(pull.clone()));
+        assert_eq!(GossipFrame::from_message(&m), None, "kind byte 3 rejected");
+        assert_eq!(CatchupPush::from_message(&m), None);
+        assert_ne!(m.broadcast_id & BYZ_ID_TAG, 0, "byz-tagged id");
+        let other = CatchupPull {
+            requester: 9,
+            round: 3,
+        };
+        assert_ne!(pull.id(), other.id(), "round distinguishes the flood id");
+    }
+
+    #[test]
+    fn catchup_push_round_trips_and_ids_differ_per_witness() {
+        let push = CatchupPush {
+            witness: 4,
+            requester: 9,
+            round: 1,
+            items: sample_summaries(),
+        };
+        let m = push.to_message();
+        assert_eq!(CatchupPush::from_message(&m), Some(push.clone()));
+        assert_eq!(GossipFrame::from_message(&m), None, "kind byte 4 rejected");
+        assert_eq!(CatchupPull::from_message(&m), None);
+        let mut other = push.clone();
+        other.witness = 5;
+        assert_ne!(push.id(), other.id(), "each witness's reply floods alone");
     }
 }

@@ -48,8 +48,11 @@ pub mod frame;
 pub mod sim;
 pub mod threaded;
 
-pub use engine::{Action, BrachaEngine, ByzDelivery, MembershipView, Phase};
-pub use frame::{digest, gossip_frame_id, GossipFrame, GossipKind, BYZ_ID_TAG};
+pub use engine::{Action, BrachaEngine, ByzDelivery, InstanceSummary, MembershipView, Phase};
+pub use frame::{
+    decode_summaries, digest, encode_summaries, gossip_frame_id, CatchupPull, CatchupPush,
+    GossipFrame, GossipKind, BYZ_ID_TAG, CATCHUP_NONCE_BASE,
+};
 pub use sim::{
     run_sim_byzantine, run_sim_byzantine_churn, run_sim_byzantine_with_metrics, ByzCrash,
     ByzantineFlooder, ByzantineTraitor, ScheduledByzBroadcast, TraitorBehavior,

@@ -26,8 +26,8 @@ use lhg_net::message::{ByzTag, Message};
 use lhg_net::seen::SeenSet;
 use lhg_net::sim::{Context, LinkModel, Process, SimReport, Simulation, Time};
 
-use crate::engine::{Action, BrachaEngine};
-use crate::frame::{digest, GossipFrame, GossipKind};
+use crate::engine::{Action, BrachaEngine, InstanceSummary, Phase};
+use crate::frame::{digest, CatchupPull, CatchupPush, GossipFrame, GossipKind};
 use crate::BrachaConfig;
 
 /// Timer token space for scheduled broadcasts (token = schedule index).
@@ -42,6 +42,15 @@ const DIE_TOKEN: u64 = 1 << 33;
 const VIEW_BUMP_TOKEN_BASE: u64 = 1 << 34;
 /// Token for a flooder's periodic anti-entropy regossip timer.
 const REGOSSIP_TOKEN: u64 = 1 << 35;
+/// Token for a flooder's scheduled revival (rejoin after a crash).
+const REVIVE_TOKEN: u64 = 1 << 36;
+/// Token base for a revived flooder's follow-up catch-up solicitations.
+const CATCHUP_TOKEN_BASE: u64 = 1 << 37;
+
+/// How many catch-up solicitation rounds a revived node floods (the first
+/// at revival, the rest one regossip period apart) — more than one so a
+/// pull or push lost to a lossy link cannot strand the rejoiner.
+const CATCHUP_ROUNDS: u32 = 3;
 
 /// Regossip period: correct nodes re-emit standing votes this often, so a
 /// lossy link cannot permanently starve a quorum of one dropped vote.
@@ -124,15 +133,20 @@ impl TraitorBehavior {
     }
 }
 
-/// A scheduled permanent crash of a correct node mid-run: the node goes
-/// mute and deaf at `at_us`, and every survivor bumps its membership view
-/// one failure-detection delay later.
+/// A scheduled crash of a correct node mid-run: the node goes mute and
+/// deaf at `at_us`, and every survivor bumps its membership view one
+/// failure-detection delay later. When `revive_at_us` is set the node
+/// comes back at that time — it floods catch-up solicitations
+/// ([`CatchupPull`]) to converge on instances it missed, and every node
+/// bumps its view back *up* one detection delay after the revival.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ByzCrash {
     /// Simulated time the node dies.
     pub at_us: Time,
     /// The node that dies.
     pub node: NodeId,
+    /// Simulated time the node rejoins (`None`: the crash is permanent).
+    pub revive_at_us: Option<Time>,
 }
 
 /// A correct node: flood-relay gossip, run the Bracha engine, deliver.
@@ -140,10 +154,14 @@ pub struct ByzantineFlooder {
     engine: BrachaEngine,
     seen: SeenSet,
     schedule: Vec<ScheduledByzBroadcast>,
-    /// Scheduled permanent crash: after this time the node is mute & deaf.
+    /// Scheduled crash: after this time the node is mute & deaf.
     dies_at: Option<Time>,
+    /// Scheduled revival: at this time a crashed node rejoins and floods
+    /// catch-up solicitations.
+    revives_at: Option<Time>,
     dead: bool,
-    /// Scheduled membership-view bumps `(time, new n)` from crash waves.
+    /// Scheduled membership-view bumps `(time, new n)` from churn waves
+    /// (downward on crashes, upward on revivals).
     view_bumps: Vec<(Time, usize)>,
     /// Anti-entropy period (None: regossip disabled, the lossless default).
     regossip_period: Option<Time>,
@@ -159,6 +177,7 @@ impl ByzantineFlooder {
             seen: SeenSet::default(),
             schedule: Vec::new(),
             dies_at: None,
+            revives_at: None,
             dead: false,
             view_bumps: Vec::new(),
             regossip_period: None,
@@ -178,6 +197,19 @@ impl ByzantineFlooder {
     #[must_use]
     pub fn with_death(mut self, at_us: Time) -> Self {
         self.dies_at = Some(at_us);
+        self
+    }
+
+    /// The same node reviving at `at_us` after its scheduled death: it
+    /// rejoins the gossip plane and floods [`CatchupPull`] solicitations
+    /// to converge on instances it missed while dead.
+    #[must_use]
+    pub fn with_revival(mut self, at_us: Time) -> Self {
+        assert!(
+            self.dies_at.is_some_and(|d| d < at_us),
+            "revival must follow a scheduled death"
+        );
+        self.revives_at = Some(at_us);
         self
     }
 
@@ -207,10 +239,7 @@ impl ByzantineFlooder {
             match action {
                 Action::Gossip(frame) => {
                     let msg = frame.to_message();
-                    self.seen.insert(msg.broadcast_id);
-                    for &w in &ctx.neighbors().to_vec() {
-                        ctx.send(w, msg.clone());
-                    }
+                    self.flood(msg, ctx);
                 }
                 Action::Deliver(d) => {
                     let msg = Message::new(d.tag.nonce, d.tag.origin, d.payload)
@@ -221,6 +250,32 @@ impl ByzantineFlooder {
             }
         }
     }
+
+    /// Floods `msg` to all neighbors, marking it seen first so relayed
+    /// copies dedup.
+    fn flood(&mut self, msg: Message, ctx: &mut Context<'_>) {
+        self.seen.insert(msg.broadcast_id);
+        for &w in &ctx.neighbors().to_vec() {
+            ctx.send(w, msg.clone());
+        }
+    }
+
+    fn bump_count(&self, name: &'static str) {
+        if let Some(m) = &self.metrics {
+            m.counter(name).inc();
+        }
+    }
+
+    /// Floods one catch-up solicitation round. Every correct node that
+    /// sees it replies with a flooded [`CatchupPush`] of its summaries.
+    fn solicit_catchup(&mut self, round: u32, ctx: &mut Context<'_>) {
+        let pull = CatchupPull {
+            requester: self.engine.id(),
+            round,
+        };
+        self.flood(pull.to_message(), ctx);
+        self.bump_count("byz.catchup_pulls");
+    }
 }
 
 impl Process for ByzantineFlooder {
@@ -230,6 +285,9 @@ impl Process for ByzantineFlooder {
         }
         if let Some(at) = self.dies_at {
             ctx.set_timer(at, DIE_TOKEN);
+        }
+        if let Some(at) = self.revives_at {
+            ctx.set_timer(at, REVIVE_TOKEN);
         }
         for (idx, (at, _)) in self.view_bumps.iter().enumerate() {
             ctx.set_timer(*at, VIEW_BUMP_TOKEN_BASE + idx as u64);
@@ -257,6 +315,28 @@ impl Process for ByzantineFlooder {
         if let Some(frame) = GossipFrame::from_message(&msg) {
             let actions = self.engine.on_gossip(&frame);
             self.apply(actions, ctx);
+        } else if let Some(pull) = CatchupPull::from_message(&msg) {
+            // Serve a rejoiner: flood back this node's summary attestation.
+            // The push's id is distinct per witness, so every reply crosses
+            // the overlay independently and the rejoiner hears from enough
+            // distinct peers to corroborate.
+            if pull.requester != self.engine.id() {
+                let push = CatchupPush {
+                    witness: self.engine.id(),
+                    requester: pull.requester,
+                    round: pull.round,
+                    items: self.engine.summaries(),
+                };
+                self.flood(push.to_message(), ctx);
+                self.bump_count("byz.catchup_pushes");
+            }
+        } else if let Some(push) = CatchupPush::from_message(&msg) {
+            // Already relayed above; only the addressee ingests.
+            if push.requester == self.engine.id() {
+                let actions = self.engine.ingest_summaries(push.witness, &push.items);
+                self.apply(actions, ctx);
+                self.bump_count("byz.catchup_ingests");
+            }
         }
     }
 
@@ -265,7 +345,41 @@ impl Process for ByzantineFlooder {
             self.dead = true;
             return;
         }
+        if token == REVIVE_TOKEN {
+            // Rejoin: wake up, resync the membership view to the latest
+            // bump that fired while dead (those timers were swallowed),
+            // re-arm the anti-entropy timer chain the death cut, and start
+            // soliciting catch-up summaries.
+            self.dead = false;
+            let now = ctx.now();
+            let died = self.dies_at.unwrap_or(0);
+            let missed = self
+                .view_bumps
+                .iter()
+                .rfind(|(t, _)| *t > died && *t <= now);
+            if let Some(&(_, n)) = missed {
+                if self.engine.bump_view(n).is_err() {
+                    self.bump_count("byz.unsafe_views");
+                }
+            }
+            if let Some(period) = self.regossip_period {
+                ctx.set_timer(period, REGOSSIP_TOKEN);
+            }
+            self.solicit_catchup(0, ctx);
+            for round in 1..CATCHUP_ROUNDS {
+                ctx.set_timer(
+                    REGOSSIP_PERIOD_US * Time::from(round),
+                    CATCHUP_TOKEN_BASE + u64::from(round),
+                );
+            }
+            return;
+        }
         if self.dead {
+            return;
+        }
+        if token >= CATCHUP_TOKEN_BASE && token < CATCHUP_TOKEN_BASE + u64::from(CATCHUP_ROUNDS) {
+            let round = (token - CATCHUP_TOKEN_BASE) as u32;
+            self.solicit_catchup(round, ctx);
             return;
         }
         if token == REGOSSIP_TOKEN {
@@ -410,6 +524,43 @@ impl ByzantineTraitor {
         self.flood(&echo, ctx);
         self.flood(&ready, ctx);
     }
+
+    /// Answers a rejoiner's catch-up solicitation with poison: a fabricated
+    /// Delivered instance the majority never saw, plus digest-flipped
+    /// copies of every real summary this traitor holds. All of it is one
+    /// witness's word — f short of amplification, 2f short of delivery.
+    fn forged_catchup_reply(&mut self, pull: &CatchupPull, ctx: &mut Context<'_>) {
+        let victim = if pull.requester == 0 { 1 } else { 0 };
+        let payload = Bytes::from_static(b"forged catch-up: majority never delivered this");
+        let mut items = vec![InstanceSummary {
+            tag: ByzTag {
+                origin: victim,
+                nonce: FORGE_NONCE_BASE + 0x500 + u64::from(self.me),
+            },
+            phase: Phase::Delivered,
+            digest: digest(&payload),
+            payload,
+        }];
+        for real in self.engine.summaries() {
+            items.push(InstanceSummary {
+                tag: real.tag,
+                phase: Phase::Delivered,
+                digest: real.digest.wrapping_add(1),
+                payload: Bytes::new(),
+            });
+        }
+        let push = CatchupPush {
+            witness: self.me,
+            requester: pull.requester,
+            round: pull.round,
+            items,
+        };
+        let msg = push.to_message();
+        self.seen.insert(msg.broadcast_id);
+        for w in self.targets(ctx) {
+            ctx.send(w, msg.clone());
+        }
+    }
 }
 
 impl Process for ByzantineTraitor {
@@ -446,6 +597,20 @@ impl Process for ByzantineTraitor {
             if w != from {
                 ctx.send(w, fwd.clone());
             }
+        }
+        if let Some(pull) = CatchupPull::from_message(&msg) {
+            // A rejoiner is asking to be caught up — poison the well. The
+            // forged summaries are one uncorroborated voice, so a correct
+            // rejoiner's engine must shrug them off.
+            if pull.requester != self.me
+                && matches!(
+                    self.behavior,
+                    TraitorBehavior::Equivocate | TraitorBehavior::Forge
+                )
+            {
+                self.forged_catchup_reply(&pull, ctx);
+            }
+            return;
         }
         if matches!(
             self.behavior,
@@ -545,11 +710,15 @@ pub fn run_sim_byzantine_with_metrics(
     )
 }
 
-/// Like [`run_sim_byzantine_with_metrics`], with membership churn: nodes
-/// listed in `crashes` die permanently mid-run, and every survivor bumps
-/// its engine's membership view one detection delay after each death —
-/// so instances originated *after* the churn size their quorums from live
-/// membership, while in-flight ones keep the view they snapshotted.
+/// Like [`run_sim_byzantine_with_metrics`], with full-lifecycle membership
+/// churn: nodes listed in `crashes` die mid-run (permanently, or until
+/// their scheduled `revive_at_us`), and every node bumps its engine's
+/// membership view one detection delay after each death *and each
+/// revival* — so instances originated after churn size their quorums from
+/// live membership (downward and upward), while in-flight ones keep the
+/// view they snapshotted. A revived node floods [`CatchupPull`]
+/// solicitations; correct peers answer with flooded summary attestations
+/// it corroborates through the regular quorum machinery.
 ///
 /// When any crash is scheduled, correct nodes also regossip standing
 /// votes periodically (anti-entropy), so lossy links cannot permanently
@@ -599,11 +768,28 @@ pub fn run_sim_byzantine_churn(
     }
     let mut ordered: Vec<ByzCrash> = crashes.to_vec();
     ordered.sort_by_key(|c| (c.at_us, c.node.index()));
-    // One view bump per crash, each detection seeing one fewer member.
-    let bumps: Vec<(Time, usize)> = ordered
-        .iter()
-        .enumerate()
-        .map(|(i, c)| (c.at_us + VIEW_BUMP_DELAY_US, n - (i + 1)))
+    // One view bump per churn event — down on each detected crash, up on
+    // each detected revival — tracking the live count over time. With no
+    // revivals this reduces to the old strictly-downward sequence.
+    let mut events: Vec<(Time, i64)> = Vec::new();
+    for c in &ordered {
+        events.push((c.at_us + VIEW_BUMP_DELAY_US, -1));
+        if let Some(r) = c.revive_at_us {
+            assert!(r > c.at_us, "revival must follow the crash");
+            events.push((r + VIEW_BUMP_DELAY_US, 1));
+        }
+    }
+    events.sort_unstable();
+    let mut live = n as i64;
+    let bumps: Vec<(Time, usize)> = events
+        .into_iter()
+        .map(|(t, delta)| {
+            live += delta;
+            (
+                t,
+                usize::try_from(live).expect("live membership never negative"),
+            )
+        })
         .collect();
     let mut sim = Simulation::new(graph, link, seed);
     if let Some(m) = &metrics {
@@ -626,6 +812,9 @@ pub fn run_sim_byzantine_churn(
                 let mut flooder = ByzantineFlooder::new(v as u32, cfg).with_schedule(schedule);
                 if let Some(c) = ordered.iter().find(|c| c.node == id) {
                     flooder = flooder.with_death(c.at_us);
+                    if let Some(r) = c.revive_at_us {
+                        flooder = flooder.with_revival(r);
+                    }
                 }
                 if !ordered.is_empty() {
                     flooder = flooder.with_view_bumps(bumps.clone());
@@ -823,6 +1012,7 @@ mod tests {
             &[ByzCrash {
                 at_us: 300_000,
                 node: NodeId(7),
+                revive_at_us: None,
             }],
             None,
             no_jitter(),
@@ -854,6 +1044,7 @@ mod tests {
                 &[ByzCrash {
                     at_us: 350_000,
                     node: NodeId(9),
+                    revive_at_us: None,
                 }],
                 None,
                 no_jitter(),
@@ -879,6 +1070,7 @@ mod tests {
             .map(|v| ByzCrash {
                 at_us: 100_000 * (v as Time - 5),
                 node: NodeId(v),
+                revive_at_us: None,
             })
             .collect();
         let _ = run_sim_byzantine_churn(
@@ -894,6 +1086,103 @@ mod tests {
             Some(metrics.clone()),
         );
         assert_eq!(metrics.counter("byz.unsafe_views").get(), 6);
+    }
+
+    #[test]
+    fn revived_node_catches_up_on_instances_missed_while_dead() {
+        // n=8, k=3 (f=1): node 7 dies at 300ms and revives at 600ms.
+        // Node 0 originates at 400ms — entirely inside node 7's dead
+        // window — and again at 900ms. The revived node must converge on
+        // BOTH: the missed instance via catch-up summary corroboration,
+        // the later one via live gossip under the bumped-up view.
+        let g = overlay(8, 3);
+        let report = run_sim_byzantine_churn(
+            &g,
+            3,
+            &[(
+                NodeId(0),
+                vec![
+                    sched(0x1000, 10_000),
+                    sched(0x1001, 400_000),
+                    sched(0x1002, 900_000),
+                ],
+            )],
+            &[],
+            &[ByzCrash {
+                at_us: 300_000,
+                node: NodeId(7),
+                revive_at_us: Some(600_000),
+            }],
+            None,
+            no_jitter(),
+            5,
+            2_000_000,
+            None,
+        );
+        let per_node = delivered_by_node(&report, 8);
+        for (v, d) in per_node.iter().enumerate() {
+            assert!(d.contains_key(&0x1000), "node {v}: pre-churn");
+            assert!(
+                d.contains_key(&0x1001),
+                "node {v}: originated while 7 was dead"
+            );
+            assert!(d.contains_key(&0x1002), "node {v}: post-revival");
+        }
+        // Agreement: the revived node's digests match the majority's.
+        for nonce in [0x1000u64, 0x1001, 0x1002] {
+            let digests: BTreeSet<u64> = per_node.iter().map(|d| d[&nonce]).collect();
+            assert_eq!(digests.len(), 1, "nonce {nonce:#x} digest agreement");
+        }
+    }
+
+    #[test]
+    fn forged_catchup_summaries_cannot_poison_a_revived_node() {
+        // Same lifecycle, with a Forge traitor that answers the rejoiner's
+        // solicitation with a fabricated Delivered instance and
+        // digest-flipped copies of the real ones. One uncorroborated voice:
+        // the rejoiner must still converge on the true digests and must
+        // never deliver the fabricated instance.
+        let g = overlay(10, 3);
+        let report = run_sim_byzantine_churn(
+            &g,
+            3,
+            &[(
+                NodeId(0),
+                vec![sched(0x1000, 10_000), sched(0x1001, 400_000)],
+            )],
+            &[(NodeId(4), TraitorBehavior::Forge)],
+            &[ByzCrash {
+                at_us: 300_000,
+                node: NodeId(9),
+                revive_at_us: Some(600_000),
+            }],
+            None,
+            no_jitter(),
+            13,
+            2_000_000,
+            None,
+        );
+        let per_node = delivered_by_node(&report, 10);
+        let mut digests_per_nonce: BTreeMap<u64, BTreeSet<u64>> = BTreeMap::new();
+        for (v, d) in per_node.iter().enumerate() {
+            if v == 4 {
+                continue;
+            }
+            for (nonce, dig) in d {
+                assert!(
+                    *nonce < FORGE_NONCE_BASE || *nonce >= FORGE_NONCE_BASE + 0x1000_0000,
+                    "node {v} delivered a forged instance {nonce:#x}"
+                );
+                digests_per_nonce.entry(*nonce).or_default().insert(*dig);
+            }
+            assert!(
+                d.contains_key(&0x1001),
+                "node {v} missed the dead-window instance"
+            );
+        }
+        for (nonce, digs) in digests_per_nonce {
+            assert_eq!(digs.len(), 1, "digest split on {nonce:#x}");
+        }
     }
 
     #[test]

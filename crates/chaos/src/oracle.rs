@@ -95,6 +95,20 @@ pub enum Violation {
         /// The deceived correct node.
         node: u32,
     },
+    /// A correct node that crashed and rejoined diverged from the stable
+    /// majority: after its return it must eventually agree with the
+    /// always-up correct nodes on every instance they delivered —
+    /// including broadcasts originated *while it was dead* (byz catch-up
+    /// repairs those) — and it must never contradict integrity on
+    /// instances it certified before the crash.
+    RejoinDivergence {
+        /// The rejoined node.
+        node: u32,
+        /// Instance nonce it disagrees on.
+        nonce: u64,
+        /// A description of the disagreement.
+        detail: String,
+    },
     /// A churned membership view dipped below the 3f+1 quorum floor:
     /// some node's Bracha engine refused a view bump (or a broadcast under
     /// the refused view) because the live membership could no longer
@@ -150,6 +164,15 @@ impl fmt::Display for Violation {
                 f,
                 "byzantine integrity forged: correct node {node} delivered \
                  instance {nonce:#x} that no correct origin broadcast"
+            ),
+            Violation::RejoinDivergence {
+                node,
+                nonce,
+                detail,
+            } => write!(
+                f,
+                "rejoin divergence: rejoined node {node} disagrees with the stable \
+                 majority on instance {nonce:#x}: {detail}"
             ),
             Violation::QuorumUnsafe { count } => write!(
                 f,

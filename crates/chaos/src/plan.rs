@@ -37,13 +37,17 @@ pub enum Family {
     /// f = ⌊(k−1)/2⌋ traitors the oracle demands agreement, validity and
     /// integrity at every correct node — strictly.
     Byzantine,
-    /// Byzantine ∘ crash ∘ lossy, composed: traitors (up to the full
-    /// f = ⌊(k−1)/2⌋ budget at k up to 5, including the failure-detector
-    /// attacks `frame_crash` / `suppress_heartbeat`) while a correct node
-    /// permanently crashes mid-run and every link drops, duplicates and
-    /// reorders. Quorums re-size from the churned membership view; the
-    /// byzantine oracle applies strictly among correct survivors, plus
-    /// `QuorumUnsafe` if any view dips below 3f+1.
+    /// Byzantine ∘ full-lifecycle churn ∘ lossy, composed: traitors (up
+    /// to the full f = ⌊(k−1)/2⌋ budget at k up to 5, including the
+    /// failure-detector attacks `frame_crash` / `suppress_heartbeat`)
+    /// while a correct node crashes mid-run, **rejoins** while broadcasts
+    /// keep flowing (the upward view bump plus byz catch-up), a second
+    /// correct node then crashes permanently, and every link drops,
+    /// duplicates and reorders throughout. Quorums re-size both ways from
+    /// the churned membership view; the byzantine oracle applies strictly
+    /// among correct survivors, plus `QuorumUnsafe` if any view dips
+    /// below 3f+1 and `RejoinDivergence` if the rejoiner disagrees with
+    /// the stable majority on anything delivered after its return.
     Mixed,
 }
 
@@ -324,12 +328,16 @@ impl FaultPlan {
                 }
             }
             Family::Mixed => {
-                // Lies ∘ churn ∘ loss. Traitors up to the full budget
-                // (seeded 1..=f unless overridden), one *permanent* crash
-                // of a correct node mid-run, and modestly lossy links —
-                // heavy enough that regossip anti-entropy must repair
-                // dropped votes, light enough that the best-effort gossip
-                // plane converges inside the horizon.
+                // Lies ∘ full-lifecycle churn ∘ loss. Traitors up to the
+                // full budget (seeded 1..=f unless overridden), one
+                // correct node that crashes mid-run and *rejoins* 200 ms
+                // later — with a broadcast originated while it is down, so
+                // catch-up has something real to repair — then a second,
+                // permanent crash of a different correct node once the
+                // rejoin has settled. Links stay modestly lossy
+                // throughout: heavy enough that regossip anti-entropy and
+                // the rejoin retry path must both do real work, light
+                // enough that the gossip plane converges in the horizon.
                 let f = lhg_byzantine::max_traitors(k);
                 let want = overrides
                     .traitors
@@ -342,10 +350,21 @@ impl FaultPlan {
                         break v; // traitors lie, they don't die
                     }
                 };
-                let crash_at = rng.random_range(300_000u64..=500_000);
+                let crash_at = rng.random_range(300_000u64..=400_000);
                 plan.crashes.push(CrashSpec {
                     node: victim,
                     at_us: crash_at,
+                    recover_at_us: Some(crash_at + 200_000),
+                });
+                let second = loop {
+                    let v = rng.random_range(0..n as u32);
+                    if !traitor_ids.contains(&v) && v != victim {
+                        break v; // a different correct node dies for good
+                    }
+                };
+                plan.crashes.push(CrashSpec {
+                    node: second,
+                    at_us: crash_at + 800_000,
                     recover_at_us: None,
                 });
                 plan.default_rates = LinkFaults {
@@ -355,10 +374,19 @@ impl FaultPlan {
                     reorder: rng.random_range(0u64..=30) as f64 / 100.0,
                     reorder_window_us: 2_000,
                 };
-                // Two broadcasts before the crash and two after detection
-                // has settled — the late pair certifies under re-sized,
-                // post-churn quorums. Origins are correct survivors.
-                for at_us in [10_000, 200_000, crash_at + 400_000, crash_at + 600_000] {
+                // Two broadcasts before the crash, one originated while
+                // the victim is down (the rejoiner must still deliver it
+                // via catch-up), two after its rejoin under the re-expanded
+                // view, and one after the second, permanent crash — the
+                // downward re-size again. Origins are correct survivors.
+                for at_us in [
+                    10_000,
+                    200_000,
+                    crash_at + 100_000,
+                    crash_at + 400_000,
+                    crash_at + 600_000,
+                    crash_at + 900_000,
+                ] {
                     let origin = plan.pick_correct_origin(&mut rng);
                     plan.broadcasts.push(BroadcastSpec { origin, at_us });
                 }
@@ -518,12 +546,26 @@ mod tests {
                         (1..=f).contains(&plan.traitors.len()),
                         "traitor count within the f budget"
                     );
-                    assert_eq!(plan.crashes.len(), 1, "one crash composed in");
-                    assert!(plan.crashes[0].recover_at_us.is_none(), "permanent crash");
+                    assert_eq!(plan.crashes.len(), 2, "full lifecycle: two crashes");
+                    let (first, second) = (&plan.crashes[0], &plan.crashes[1]);
+                    let revive_at = first.recover_at_us.expect("first crash rejoins");
+                    assert!(revive_at > first.at_us, "revival follows the crash");
+                    assert!(second.recover_at_us.is_none(), "second crash is permanent");
+                    assert!(
+                        second.at_us > revive_at,
+                        "the permanent crash lands after the rejoin"
+                    );
+                    assert_ne!(first.node, second.node, "distinct victims");
+                    assert!(
+                        plan.broadcasts
+                            .iter()
+                            .any(|b| b.at_us > first.at_us && b.at_us < revive_at),
+                        "a broadcast runs while the rejoiner is down"
+                    );
                     assert!(plan.default_rates.drop > 0.0, "links are lossy");
                     let traitors: Vec<u32> = plan.traitors.iter().map(|t| t.node).collect();
                     assert!(
-                        !traitors.contains(&plan.crashes[0].node),
+                        !traitors.contains(&first.node) && !traitors.contains(&second.node),
                         "traitors lie, they don't die"
                     );
                     let correct = plan.correct_nodes();

@@ -246,6 +246,7 @@ fn run_sim_byz_chaos(plan: &FaultPlan) -> ChaosReport {
         .map(|c| ByzCrash {
             at_us: c.at_us,
             node: NodeId(c.node as usize),
+            revive_at_us: c.recover_at_us,
         })
         .collect();
     // Mixed plans carry lossy rates; rates-only compilation leaves the
@@ -285,6 +286,7 @@ fn run_sim_byz_chaos(plan: &FaultPlan) -> ChaosReport {
         .map(|d| (d.node.index() as u32, d.broadcast_id, d.trace))
         .collect();
     check_byz_deliveries(plan, &records, &mut violations);
+    check_rejoin_divergence(plan, &records, &mut violations);
     let unsafe_views = metrics.counter("byz.unsafe_views").get();
     if unsafe_views > 0 {
         violations.push(Violation::QuorumUnsafe {
@@ -391,6 +393,90 @@ fn check_byz_deliveries(
         } else {
             for &(node, _) in deliveries.iter().take(MAX_VIOLATIONS_PER_CHECK) {
                 violations.push(Violation::IntegrityForged { nonce, node });
+            }
+        }
+    }
+}
+
+/// The rejoin-divergence oracle, shared by both engines: a correct node
+/// that crashed and returned must converge with the *stable majority* —
+/// the correct nodes that never went down. Every instance the majority
+/// certified must land in the rejoiner's log with the same digest
+/// (including instances originated while it was dead — catch-up's job),
+/// and the rejoiner must certify nothing the majority never did — a
+/// forged catch-up summary that slipped past corroboration would surface
+/// exactly there. Agreement *inside* the majority is
+/// [`check_byz_deliveries`]' charge, not this one's.
+fn check_rejoin_divergence(
+    plan: &FaultPlan,
+    records: &[(u32, u64, Option<u64>)],
+    violations: &mut Vec<Violation>,
+) {
+    let traitors: BTreeSet<u32> = plan.traitors.iter().map(|t| t.node).collect();
+    let rejoiners: Vec<u32> = plan
+        .crashes
+        .iter()
+        .filter(|c| c.recover_at_us.is_some() && !traitors.contains(&c.node))
+        .map(|c| c.node)
+        .collect();
+    if rejoiners.is_empty() {
+        return;
+    }
+    let majority: BTreeSet<u32> = plan.correct_nodes().into_iter().collect();
+    let mut majority_digest: BTreeMap<u64, Option<u64>> = BTreeMap::new();
+    for &(node, nonce, digest) in records {
+        if majority.contains(&node) {
+            majority_digest.entry(nonce).or_insert(digest);
+        }
+    }
+    for &r in &rejoiners {
+        let mine: BTreeMap<u64, Option<u64>> = records
+            .iter()
+            .filter(|&&(node, _, _)| node == r)
+            .map(|&(_, nonce, digest)| (nonce, digest))
+            .collect();
+        let mut charged = 0;
+        for (&nonce, &expected) in &majority_digest {
+            if charged >= MAX_VIOLATIONS_PER_CHECK {
+                break;
+            }
+            match mine.get(&nonce) {
+                None => {
+                    charged += 1;
+                    violations.push(Violation::RejoinDivergence {
+                        node: r,
+                        nonce,
+                        detail: "never certified an instance the stable majority delivered \
+                                 (catch-up failed)"
+                            .into(),
+                    });
+                }
+                Some(&got) if got != expected => {
+                    charged += 1;
+                    violations.push(Violation::RejoinDivergence {
+                        node: r,
+                        nonce,
+                        detail: format!(
+                            "certified digest {got:?}, stable majority certified {expected:?}"
+                        ),
+                    });
+                }
+                Some(_) => {}
+            }
+        }
+        for &nonce in mine.keys() {
+            if charged >= MAX_VIOLATIONS_PER_CHECK {
+                break;
+            }
+            if !majority_digest.contains_key(&nonce) {
+                charged += 1;
+                violations.push(Violation::RejoinDivergence {
+                    node: r,
+                    nonce,
+                    detail: "certified an instance the stable majority never delivered \
+                             (forged catch-up summary)"
+                        .into(),
+                });
             }
         }
     }
@@ -844,12 +930,16 @@ fn tcp_byz_audit(
     }
 }
 
-/// Mixed family on TCP: Bracha gossip under lossy links while traitors
-/// attack and a correct node is killed mid-schedule. Pre-crash instances
-/// certify at boot-view quorums; after the kill the runner waits until
-/// every correct survivor has applied the crash — under byz-aware
-/// corroborated suspicion — so the post-crash instances certify under the
-/// re-sized membership views.
+/// Mixed family on TCP: the full lifecycle under fire. Bracha gossip runs
+/// under lossy links while traitors attack; a correct node crashes
+/// mid-schedule and instances certify at the down-sized views; the victim
+/// then *rejoins* — a blank reboot that re-expands every survivor's view
+/// upward and catches up over the SYNC summary extension — more instances
+/// certify at the re-expanded views; finally a second correct node crashes
+/// permanently. The rejoiner sits outside [`FaultPlan::correct_nodes`], so
+/// the standard oracle never audits it; [`check_rejoin_divergence`] does,
+/// demanding it converge with the stable majority on every certified
+/// instance — including the one originated while it was dead.
 ///
 /// `await_heal` is deliberately not used: a `suppress_heartbeat` traitor
 /// is *designed* to get itself excommunicated, so replicas legitimately
@@ -860,21 +950,111 @@ fn tcp_mixed_schedule(plan: &FaultPlan, cluster: &mut Cluster, violations: &mut 
         .into_iter()
         .map(MemberId::from)
         .collect();
-    let crash = plan.crashes[0]; // exactly one, permanent, never a traitor
-    let victim = MemberId::from(crash.node);
+    let mut crashes = plan.crashes.clone();
+    crashes.sort_by_key(|c| c.at_us);
+    let first = crashes[0]; // recovers mid-run: the lifecycle rejoiner
+    let second = crashes[1]; // permanent
+    let revive_at = first
+        .recover_at_us
+        .expect("mixed plans schedule the first crash with a recovery");
+    let rejoiner = MemberId::from(first.node);
     let broadcasts: Vec<(usize, &BroadcastSpec)> = plan.broadcasts.iter().enumerate().collect();
 
-    for &(idx, spec) in broadcasts.iter().filter(|(_, b)| b.at_us < crash.at_us) {
+    for &(idx, spec) in broadcasts.iter().filter(|(_, b)| b.at_us < first.at_us) {
         tcp_byz_broadcast_step(cluster, idx, spec, &correct, violations);
     }
 
+    if !tcp_kill_and_detect(cluster, rejoiner, &correct, violations) {
+        return;
+    }
+
+    // Originated while the rejoiner is dead; catch-up must repair these.
+    for &(idx, spec) in broadcasts
+        .iter()
+        .filter(|(_, b)| b.at_us >= first.at_us && b.at_us < revive_at)
+    {
+        tcp_byz_broadcast_step(cluster, idx, spec, &correct, violations);
+    }
+
+    if cluster.rejoin(rejoiner).is_err() {
+        violations.push(Violation::Timeout {
+            phase: format!("rejoin {rejoiner}"),
+        });
+        return;
+    }
+    // Upward churn: every correct survivor must re-admit the rejoiner (and
+    // re-expand its quorum views) before the post-revive instances run.
+    let readmitted = poll_until(Duration::from_secs(15), || {
+        correct.iter().all(|&m| {
+            cluster
+                .node(m)
+                .is_some_and(|s| !s.crashes_applied().contains(&rejoiner))
+        })
+    });
+    if !readmitted {
+        violations.push(Violation::Timeout {
+            phase: "rejoin re-admission under byzantine corroboration".into(),
+        });
+        return;
+    }
+
+    for &(idx, spec) in broadcasts
+        .iter()
+        .filter(|(_, b)| b.at_us >= revive_at && b.at_us < second.at_us)
+    {
+        tcp_byz_broadcast_step(cluster, idx, spec, &correct, violations);
+    }
+
+    if !tcp_kill_and_detect(cluster, MemberId::from(second.node), &correct, violations) {
+        return;
+    }
+    for &(idx, spec) in broadcasts.iter().filter(|(_, b)| b.at_us >= second.at_us) {
+        tcp_byz_broadcast_step(cluster, idx, spec, &correct, violations);
+    }
+
+    // Give catch-up its retry budget before the divergence audit: the
+    // rejoiner converging late is fine; never converging is the violation.
+    let scheduled: Vec<u64> = (0..plan.broadcasts.len())
+        .map(|i| CHAOS_BCAST_BASE + i as u64)
+        .collect();
+    let _ = poll_until(Duration::from_secs(15), || {
+        let got: BTreeSet<u64> = cluster
+            .byz_delivered(rejoiner)
+            .iter()
+            .map(|d| d.broadcast_id)
+            .collect();
+        scheduled.iter().all(|n| got.contains(n))
+    });
+
+    tcp_byz_audit(plan, cluster, &correct, violations);
+    let records: Vec<(u32, u64, Option<u64>)> = correct
+        .iter()
+        .chain(std::iter::once(&rejoiner))
+        .flat_map(|&m| {
+            cluster
+                .byz_delivered(m)
+                .into_iter()
+                .map(move |d| (m as u32, d.broadcast_id, d.trace))
+        })
+        .collect();
+    check_rejoin_divergence(plan, &records, violations);
+}
+
+/// Kills `victim` and waits until every correct survivor has applied the
+/// crash. Corroborated suspicion needs f+1 distinct crash reporters; give
+/// it several suspicion windows, plus slack for lossy-link retransmits.
+/// Returns false (after charging a timeout) if detection never converges.
+fn tcp_kill_and_detect(
+    cluster: &mut Cluster,
+    victim: MemberId,
+    correct: &[MemberId],
+    violations: &mut Vec<Violation>,
+) -> bool {
     if cluster.kill(victim).is_err() {
         violations.push(Violation::Timeout {
             phase: format!("kill {victim}"),
         });
     }
-    // Corroborated suspicion needs f+1 distinct crash reporters; give it
-    // several suspicion windows, plus slack for lossy-link retransmits.
     let detected = poll_until(Duration::from_secs(15), || {
         correct.iter().all(|&m| {
             cluster
@@ -884,15 +1064,10 @@ fn tcp_mixed_schedule(plan: &FaultPlan, cluster: &mut Cluster, violations: &mut 
     });
     if !detected {
         violations.push(Violation::Timeout {
-            phase: "crash detection under byzantine corroboration".into(),
+            phase: format!("crash detection of {victim} under byzantine corroboration"),
         });
-        return;
     }
-
-    for &(idx, spec) in broadcasts.iter().filter(|(_, b)| b.at_us >= crash.at_us) {
-        tcp_byz_broadcast_step(cluster, idx, spec, &correct, violations);
-    }
-    tcp_byz_audit(plan, cluster, &correct, violations);
+    detected
 }
 
 /// Per-node exactly-once: no member's delivery log repeats a broadcast id,

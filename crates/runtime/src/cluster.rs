@@ -46,6 +46,11 @@ pub enum ClusterError {
     AlreadyKilled(MemberId),
     /// [`Cluster::rejoin`] targeted a member that is still alive.
     NotKilled(MemberId),
+    /// [`Cluster::rejoin`] targeted a member whose previous rejoin
+    /// handshake is still in flight — distinct from
+    /// [`ClusterError::NotKilled`] so a chaos schedule can tell "already
+    /// back" apart from "still coming back" and wait instead of flapping.
+    RejoinInProgress(MemberId),
 }
 
 impl fmt::Display for ClusterError {
@@ -59,6 +64,9 @@ impl fmt::Display for ClusterError {
             ClusterError::NoSuchMember(m) => write!(f, "no live member {m}"),
             ClusterError::AlreadyKilled(m) => write!(f, "member {m} was already killed"),
             ClusterError::NotKilled(m) => write!(f, "member {m} is not killed"),
+            ClusterError::RejoinInProgress(m) => {
+                write!(f, "member {m} is still mid-rejoin")
+            }
         }
     }
 }
@@ -429,6 +437,17 @@ impl Cluster {
             return Err(ClusterError::NoSuchMember(member));
         }
         if !self.killed.contains(&member) {
+            // A live member whose previous rejoin handshake has not
+            // settled yet gets the dedicated error: stacking a second
+            // boot on a node still announcing itself would orphan the
+            // first one's listener mid-handshake.
+            if self
+                .nodes
+                .get(&member)
+                .is_some_and(|h| h.shared.is_alive() && h.shared.is_rejoining())
+            {
+                return Err(ClusterError::RejoinInProgress(member));
+            }
             return Err(ClusterError::NotKilled(member));
         }
         // Boot from the freshest survivor view available; the revenant
@@ -759,6 +778,32 @@ mod tests {
         assert!(matches!(c.kill(5), Err(ClusterError::AlreadyKilled(5))));
         assert!(matches!(c.kill(99), Err(ClusterError::NoSuchMember(99))));
         assert!(matches!(c.rejoin(0), Err(ClusterError::NotKilled(0))));
+        c.shutdown();
+    }
+
+    #[test]
+    fn mid_rejoin_member_reports_rejoin_in_progress() {
+        let mut c = Cluster::launch(Constraint::Jd, 7, 2, cfg()).expect("launch");
+        c.kill(3).expect("kill");
+        assert!(c.await_heal(Duration::from_secs(10)), "survivors heal");
+        c.rejoin(3).expect("rejoin");
+        // Immediately stacking a second rejoin must be refused with the
+        // dedicated error while the first handshake is still in flight —
+        // and with NotKilled once it has settled (never AlreadyKilled).
+        match c.rejoin(3) {
+            Err(ClusterError::RejoinInProgress(3) | ClusterError::NotKilled(3)) => {}
+            other => panic!("expected RejoinInProgress or NotKilled, got {other:?}"),
+        }
+        assert!(c.await_heal(Duration::from_secs(10)), "revenant converges");
+        // Once the announcement handshake settles the flag clears and the
+        // refusal relaxes back to plain NotKilled.
+        assert!(
+            c.poll_until(Duration::from_secs(5), || {
+                c.node(3).is_some_and(|s| !s.is_rejoining())
+            }),
+            "join_pending clears once the announcement handshake settles"
+        );
+        assert!(matches!(c.rejoin(3), Err(ClusterError::NotKilled(3))));
         c.shutdown();
     }
 }

@@ -74,7 +74,7 @@ use rand::SeedableRng;
 use lhg_byzantine::engine::Action as ByzAction;
 use lhg_byzantine::frame::{digest as byz_digest, GossipFrame, GossipKind};
 use lhg_byzantine::sim::{EQUIVOCATE_NONCE_BASE, FORGE_NONCE_BASE};
-use lhg_byzantine::{BrachaConfig, BrachaEngine, TraitorBehavior};
+use lhg_byzantine::{BrachaConfig, BrachaEngine, InstanceSummary, Phase, TraitorBehavior};
 use lhg_core::overlay::{ChurnReport, DynamicOverlay, MemberId};
 use lhg_net::backoff::{Backoff, BackoffPolicy};
 use lhg_net::codec::{read_frame, write_frame};
@@ -150,6 +150,11 @@ pub struct NodeShared {
     pub id: MemberId,
     alive: AtomicBool,
     degraded: AtomicBool,
+    /// Set for the whole rejoin handshake of a rejoin boot: from spawn
+    /// until the `JOIN` announcement has flooded and no membership `SYNC`
+    /// request is outstanding. [`crate::Cluster::rejoin`] refuses to stack
+    /// a second rejoin on top of one still in flight.
+    join_pending: AtomicBool,
     delivered: Mutex<Vec<Message>>,
     byz_delivered: Mutex<Vec<Message>>,
     overlay: Mutex<DynamicOverlay>,
@@ -170,6 +175,13 @@ impl NodeShared {
     #[must_use]
     pub fn is_degraded(&self) -> bool {
         self.degraded.load(Ordering::SeqCst)
+    }
+
+    /// `true` while a rejoin boot's handshake (JOIN announcement and any
+    /// membership `SYNC`) is still in flight.
+    #[must_use]
+    pub fn is_rejoining(&self) -> bool {
+        self.join_pending.load(Ordering::SeqCst)
     }
 
     /// Broadcast ids of application messages delivered so far, in delivery
@@ -294,6 +306,7 @@ pub(crate) fn spawn_node(
         id,
         alive: AtomicBool::new(true),
         degraded: AtomicBool::new(false),
+        join_pending: AtomicBool::new(opts.announce_join),
         delivered: Mutex::new(Vec::new()),
         byz_delivered: Mutex::new(Vec::new()),
         overlay: Mutex::new(overlay),
@@ -361,6 +374,8 @@ pub(crate) fn spawn_node(
             revenant_since: HashMap::new(),
             notice_sent: HashMap::new(),
             awaiting_sync: None,
+            catchup: None,
+            catchup_replies: BTreeSet::new(),
             rejoin_cooldown: None,
             pending_join_announce: opts.announce_join,
             healing_since: None,
@@ -491,9 +506,19 @@ struct NodeRuntime {
     revenant_since: HashMap<MemberId, Instant>,
     /// Last time a dead notice was sent to each revenant (rate limiting).
     notice_sent: HashMap<MemberId, Instant>,
-    /// Set while a membership `SYNC` request is outstanding; cleared on the
-    /// reply or after a timeout (so the request can be retried).
-    awaiting_sync: Option<Instant>,
+    /// Set while a membership `SYNC` request is outstanding; the reply
+    /// clears it, and each missed per-attempt deadline re-sends the
+    /// request on a jittered exponential backoff until the schedule is
+    /// exhausted (so a lossy link degrades the rejoin into retries, never
+    /// a wedge).
+    awaiting_sync: Option<RetrySchedule>,
+    /// Set while a rejoin boot is soliciting Bracha instance summaries
+    /// from its neighbors (byz catch-up); retried like `awaiting_sync`
+    /// until a delivery quorum of distinct peers has answered.
+    catchup: Option<RetrySchedule>,
+    /// Distinct peers whose snapshots carried summaries we ingested; once
+    /// a delivery quorum has answered, the catch-up solicitation stops.
+    catchup_replies: BTreeSet<MemberId>,
     /// After announcing or requesting a rejoin, ignore further dead notices
     /// until this instant (they are echoes of the state being repaired).
     rejoin_cooldown: Option<Instant>,
@@ -527,6 +552,18 @@ struct NodeRuntime {
     /// eviction (bounded by the reliable config's `store_cap`).
     store: HashMap<u64, Message>,
     recent: VecDeque<u64>,
+}
+
+/// One bounded retry schedule for a rejoin-path request (membership
+/// `SYNC`, byz catch-up solicitation): a jittered exponential backoff
+/// between attempts plus the next per-attempt deadline. Exhaustion clears
+/// the state instead of wedging — a later dead notice restarts the
+/// handshake from scratch.
+struct RetrySchedule {
+    backoff: Backoff,
+    due: Instant,
+    /// The peer the request went to (`None` floods to every live link).
+    peer: Option<MemberId>,
 }
 
 /// Per-node Byzantine state: the Bracha engine plus this node's scripted
@@ -575,18 +612,17 @@ impl NodeRuntime {
                 self.reliable_tick();
                 next_sweep = now + self.config.tick;
             }
-            if self
-                .awaiting_sync
-                .is_some_and(|t| now.duration_since(t) > self.config.heartbeat_timeout)
-            {
-                // The snapshot never came (dropped frame, dead server):
-                // allow the next dead notice to trigger a fresh request.
-                self.awaiting_sync = None;
+            if self.awaiting_sync.as_ref().is_some_and(|r| now >= r.due) {
+                self.retry_sync(now);
+            }
+            if self.catchup.as_ref().is_some_and(|r| now >= r.due) {
+                self.retry_catchup(now);
             }
             self.check_suspicions(now);
             self.settle_backoffs(now);
             self.reconcile();
             self.try_announce_join();
+            self.maybe_settle_join();
         }
         // Fail-stop: slam every socket shut so peers see EOF, not silence.
         self.shared.alive.store(false, Ordering::SeqCst);
@@ -754,6 +790,11 @@ impl NodeRuntime {
                     self.serve_sync(from);
                 } else if self.awaiting_sync.is_some() {
                     self.install_sync(from, &msg.payload);
+                } else {
+                    // A snapshot we did not request as a membership repair
+                    // (byz catch-up solicitation, or a late duplicate)
+                    // still carries the server's instance summaries.
+                    self.ingest_sync_summaries(from, &msg.payload);
                 }
             }
             FrameKind::Ack(_) => {
@@ -1047,7 +1088,11 @@ impl NodeRuntime {
         }
         self.rejoin_cooldown = Some(now + self.config.heartbeat_timeout);
         if self.shared.is_degraded() || self.awaiting_sync.is_some() {
-            self.awaiting_sync = Some(now);
+            self.awaiting_sync = Some(RetrySchedule {
+                backoff: Backoff::new(self.retry_policy()),
+                due: now + self.config.heartbeat_timeout,
+                peer: Some(from),
+            });
             self.metrics.counter("runtime.sync_requests").inc();
             let req = Message::new(wire::sync_id(self.id), self.id as u32, Bytes::new());
             self.send_to(from, &req);
@@ -1065,23 +1110,91 @@ impl NodeRuntime {
 
     /// Answers a membership `SYNC` request with a snapshot of our replica —
     /// but only while that replica is trustworthy (not degraded, not itself
-    /// waiting on a snapshot).
+    /// waiting on a snapshot). Under a byzantine setup the snapshot also
+    /// carries this node's standing Bracha instance summaries
+    /// ([`BrachaEngine::summaries`]) so a rejoiner can catch up on
+    /// broadcasts that ran while it was down; Equivocate/Forge traitors
+    /// serve forged summaries instead — which corroboration must defeat.
     fn serve_sync(&mut self, from: MemberId) {
         if self.shared.is_degraded() || self.awaiting_sync.is_some() {
             return;
         }
-        let payload = wire::encode_membership(&self.shared.overlay.lock());
+        let summaries = match self.byz.as_ref() {
+            Some(b) => match b.behavior {
+                None => b.engine.summaries(),
+                Some(TraitorBehavior::Equivocate | TraitorBehavior::Forge) => {
+                    self.forged_summaries(from)
+                }
+                Some(_) => Vec::new(),
+            },
+            None => Vec::new(),
+        };
+        let payload = wire::encode_sync_snapshot(&self.shared.overlay.lock(), &summaries);
         let reply = Message::new(wire::sync_id(self.id), self.id as u32, payload);
         if self.send_to(from, &reply) {
             self.metrics.counter("runtime.syncs_served").inc();
         }
     }
 
+    /// A traitor's catch-up reply: a fabricated already-`Delivered`
+    /// instance the stable majority never saw, plus digest-flipped copies
+    /// of its real summaries. Each lie is one voice — f short of the f+1
+    /// echo corroboration and 2f+1 delivery quorum, so a correct rejoiner
+    /// ingests it into a state that never certifies.
+    fn forged_summaries(&self, requester: MemberId) -> Vec<InstanceSummary> {
+        let victim = if requester == 0 { 1 } else { 0 };
+        let payload = Bytes::from_static(b"forged catch-up: majority never delivered this");
+        let mut items = vec![InstanceSummary {
+            tag: ByzTag {
+                origin: victim as u32,
+                nonce: FORGE_NONCE_BASE + 0x500 + self.id,
+            },
+            phase: Phase::Delivered,
+            digest: byz_digest(&payload),
+            payload,
+        }];
+        if let Some(b) = self.byz.as_ref() {
+            items.extend(b.engine.summaries().into_iter().map(|mut s| {
+                s.digest = s.digest.wrapping_add(1);
+                s.payload = Bytes::new();
+                s.phase = Phase::Delivered;
+                s
+            }));
+        }
+        items
+    }
+
+    /// Ingests the Bracha summaries riding a SYNC snapshot as the serving
+    /// peer's standing votes. Corroboration happens inside the engine —
+    /// f+1 distinct echo witnesses, 2f+1 distinct ready witnesses — so one
+    /// forged snapshot (or one traitor's serve) moves no instance state,
+    /// while a delivery quorum of honest snapshots completes every
+    /// broadcast the rejoiner slept through. Idempotent per peer.
+    fn ingest_sync_summaries(&mut self, from: MemberId, payload: &Bytes) {
+        let Some((_, _, _, summaries)) = wire::decode_sync_snapshot(payload) else {
+            return;
+        };
+        self.ingest_summaries_from(from, &summaries);
+    }
+
+    fn ingest_summaries_from(&mut self, from: MemberId, summaries: &[InstanceSummary]) {
+        if summaries.is_empty() {
+            return;
+        }
+        let actions = match self.byz.as_mut() {
+            Some(b) if b.behavior.is_none() => b.engine.ingest_summaries(from as u32, summaries),
+            _ => return,
+        };
+        self.metrics.counter("runtime.catchup_ingests").inc();
+        self.catchup_replies.insert(from);
+        self.apply_byz_actions(actions);
+    }
+
     /// Installs a membership snapshot served by `via`: rebuild the replica,
     /// admit ourselves, clear all suspicion state, and schedule the `JOIN`
     /// announcement that tells everyone else.
     fn install_sync(&mut self, via: MemberId, payload: &Bytes) {
-        let Some((constraint, k, members)) = wire::decode_membership(payload) else {
+        let Some((constraint, k, members, summaries)) = wire::decode_sync_snapshot(payload) else {
             return;
         };
         if k != self.k {
@@ -1112,6 +1225,9 @@ impl NodeRuntime {
         self.crash_reporters.clear();
         self.notice_senders.clear();
         self.bump_byz_view();
+        // The snapshot's summaries are the server's standing byz votes:
+        // ingest them now so catch-up starts from this first witness.
+        self.ingest_summaries_from(via, &summaries);
         self.awaiting_sync = None;
         self.rejoin_cooldown = Some(Instant::now() + self.config.heartbeat_timeout);
         self.pending_join_announce = true;
@@ -1137,6 +1253,115 @@ impl NodeRuntime {
         });
         let msg = Message::new(id, self.id as u32, Bytes::new());
         self.flood(&msg, None);
+        // Byz catch-up rides the same moment: the instant we are back on
+        // the mesh, ask every neighbor for its instance summaries so
+        // broadcasts originated while we were down still corroborate and
+        // deliver here. Retried on backoff until a delivery quorum of
+        // distinct peers has answered (`retry_catchup`).
+        if self.solicit_catchup() {
+            self.catchup = Some(RetrySchedule {
+                backoff: Backoff::new(self.retry_policy()),
+                due: Instant::now() + self.config.heartbeat_timeout,
+                peer: None,
+            });
+        }
+    }
+
+    /// Clears the shared rejoin-in-flight flag once the announcement has
+    /// flooded and no membership `SYNC` is outstanding.
+    fn maybe_settle_join(&mut self) {
+        if self.shared.join_pending.load(Ordering::SeqCst)
+            && !self.pending_join_announce
+            && self.awaiting_sync.is_none()
+        {
+            self.shared.join_pending.store(false, Ordering::SeqCst);
+        }
+    }
+
+    /// The shared retry/backoff policy for rejoin-path requests: same
+    /// knobs as dialing, with the suspicion timeout as probation window.
+    fn retry_policy(&self) -> BackoffPolicy {
+        BackoffPolicy {
+            base: self.config.dial_backoff,
+            cap: self.config.dial_backoff_cap,
+            max_attempts: self.config.dial_max_attempts,
+            // A link healthy for a full suspicion window is genuinely
+            // healthy; anything shorter may be one beat of a flap.
+            probation_window: self.config.heartbeat_timeout,
+        }
+    }
+
+    /// The SYNC snapshot never arrived (dropped frame, dead server):
+    /// re-send the request on the jittered backoff instead of waiting for
+    /// the next dead notice. Exhaustion clears the state — bounded work,
+    /// never a wedge; a later notice restarts the handshake from scratch.
+    fn retry_sync(&mut self, now: Instant) {
+        let Some(mut retry) = self.awaiting_sync.take() else {
+            return;
+        };
+        let Some(delay) = retry.backoff.next_delay(&mut self.rng) else {
+            self.metrics.counter("runtime.sync_retry_exhausted").inc();
+            return;
+        };
+        self.metrics.counter("runtime.sync_retries").inc();
+        // Prefer the original server; fall back to any live link (the
+        // server itself may have died while we waited).
+        let target = retry
+            .peer
+            .filter(|p| self.writers.contains_key(p))
+            .or_else(|| self.writers.keys().next().copied());
+        if let Some(peer) = target {
+            retry.peer = Some(peer);
+            let req = Message::new(wire::sync_id(self.id), self.id as u32, Bytes::new());
+            self.send_to(peer, &req);
+        }
+        retry.due = now + self.config.heartbeat_timeout + delay;
+        self.awaiting_sync = Some(retry);
+    }
+
+    /// Sends an empty `SYNC` request to every live link: each correct
+    /// server answers with a snapshot whose summaries we ingest. Only
+    /// correct byz nodes solicit; returns whether anything was sent.
+    fn solicit_catchup(&mut self) -> bool {
+        if self.byz.as_ref().is_none_or(|b| b.behavior.is_some()) {
+            return false;
+        }
+        let peers: Vec<MemberId> = self.writers.keys().copied().collect();
+        if peers.is_empty() {
+            return false;
+        }
+        self.metrics.counter("runtime.catchup_solicits").inc();
+        let req = Message::new(wire::sync_id(self.id), self.id as u32, Bytes::new());
+        for peer in peers {
+            self.send_to(peer, &req);
+        }
+        true
+    }
+
+    /// Re-solicits byz catch-up on the jittered backoff until a delivery
+    /// quorum (2f+1) of distinct peers has answered or the schedule is
+    /// exhausted. Repeat ingests are idempotent, so over-asking is safe.
+    fn retry_catchup(&mut self, now: Instant) {
+        let Some(mut retry) = self.catchup.take() else {
+            return;
+        };
+        let quorum = self
+            .config
+            .byzantine
+            .as_ref()
+            .map_or(usize::MAX, |s| 2 * s.f + 1);
+        if self.catchup_replies.len() >= quorum {
+            return; // enough distinct witnesses; catch-up is corroborated
+        }
+        let Some(delay) = retry.backoff.next_delay(&mut self.rng) else {
+            self.metrics.counter("runtime.catchup_exhausted").inc();
+            return;
+        };
+        if self.solicit_catchup() {
+            self.metrics.counter("runtime.catchup_retries").inc();
+        }
+        retry.due = now + self.config.heartbeat_timeout + delay;
+        self.catchup = Some(retry);
     }
 
     /// The next control-wave nonce: this life's cluster-unique ordinal in
@@ -1144,7 +1369,7 @@ impl NodeRuntime {
     /// node ever floods share a nonce (until a single life emits 2^16
     /// waves, by which time the copies of wave 0 are long drained).
     fn fresh_wave_nonce(&mut self) -> u32 {
-        let nonce = (self.life << 16) | u32::from(self.wave_seq);
+        let nonce = wire::wave_nonce(self.life, self.wave_seq);
         self.wave_seq = self.wave_seq.wrapping_add(1);
         nonce
     }
@@ -1173,6 +1398,10 @@ impl NodeRuntime {
             self.metrics.counter("runtime.joins_applied").inc();
             self.apply_churn(&report);
             self.bump_byz_view();
+            // Churn-triggered regossip, aimed at the rejoiner: our
+            // standing votes go out now, not a summary cadence later, so
+            // its re-sized quorums start filling immediately.
+            self.regossip_byz();
         }
         self.maybe_exit_degraded();
         self.reconcile();

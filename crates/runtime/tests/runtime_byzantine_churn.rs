@@ -124,3 +124,90 @@ fn churned_cluster_still_delivers_byz_broadcasts() {
     }
     c.shutdown();
 }
+
+/// The full-lifecycle regression: a node is killed, an instance certifies
+/// *while it is dead*, and after a blank-reboot rejoin the revenant must
+/// still deliver that instance — learned purely through the SYNC catch-up
+/// extension — agreeing with the stable majority digest for digest. A
+/// `Forge` traitor serves poisoned catch-up summaries the whole time (a
+/// fabricated "the majority delivered this" instance plus digest-flipped
+/// copies of the real ones); since a summary only advances state as one
+/// synthetic voice in the existing quorums, one liar stays f short of
+/// every threshold and the revenant certifies nothing the majority
+/// didn't.
+#[test]
+fn rejoined_node_catches_up_despite_forged_summaries() {
+    let traitor: MemberId = (N - 1) as MemberId;
+    let mut c = Cluster::launch(
+        Constraint::KDiamond,
+        N,
+        K,
+        byz_config(vec![(traitor as u64, TraitorBehavior::Forge)]),
+    )
+    .expect("cluster boots and fully connects");
+    let victim: MemberId = 3;
+    let correct: Vec<MemberId> = c
+        .members()
+        .into_iter()
+        .filter(|&m| m != traitor && m != victim)
+        .collect();
+
+    // Pre-crash instance: certifies everywhere while the victim is up.
+    c.byzantine_broadcast(0, 0x10, Bytes::from_static(b"before the kill"))
+        .expect("send");
+    let all_but_traitor: Vec<MemberId> =
+        c.members().into_iter().filter(|&m| m != traitor).collect();
+    assert!(
+        c.await_byz_delivery(0x10, &all_but_traitor, Duration::from_secs(10)),
+        "pre-crash instance certifies at every correct node"
+    );
+
+    c.kill(victim).expect("victim alive");
+    assert!(c.await_heal(Duration::from_secs(15)), "survivors heal");
+
+    // Originated while the victim is dead — an instance it can only ever
+    // learn through catch-up.
+    c.byzantine_broadcast(0, 0x11, Bytes::from_static(b"sent while dead"))
+        .expect("send");
+    assert!(
+        c.await_byz_delivery(0x11, &correct, Duration::from_secs(10)),
+        "dead-window instance certifies at the stable majority"
+    );
+
+    // Blank-reboot rejoin: a fresh engine with an empty log.
+    c.rejoin(victim).expect("victim restarts");
+    assert!(
+        c.await_heal(Duration::from_secs(15)),
+        "views re-expand to n"
+    );
+    assert!(
+        c.await_byz_delivery(0x10, &[victim], Duration::from_secs(10)),
+        "rejoiner catches up on the pre-crash instance"
+    );
+    assert!(
+        c.await_byz_delivery(0x11, &[victim], Duration::from_secs(10)),
+        "rejoiner delivers the instance originated while it was dead"
+    );
+
+    // Agreement with the stable majority, digest for digest — and nothing
+    // the majority never certified, despite the forged summaries.
+    let got = c.byz_delivered(victim);
+    let nonces: std::collections::BTreeSet<u64> = got.iter().map(|d| d.broadcast_id).collect();
+    assert_eq!(
+        nonces,
+        [0x10u64, 0x11].into_iter().collect(),
+        "the revenant certified exactly the majority's instances — a \
+         forged summary must never become a delivery"
+    );
+    let expect_dead = lhg_byzantine::digest(b"sent while dead");
+    for d in &got {
+        if d.broadcast_id == 0x11 {
+            assert_eq!(d.trace, Some(expect_dead), "digest matches the majority");
+        }
+    }
+    assert!(
+        c.metrics().counter("runtime.catchup_ingests").get() >= 1,
+        "catch-up summaries were actually ingested, not just requested"
+    );
+    c.shutdown();
+}
